@@ -1,0 +1,135 @@
+/// Experiment E6 (paper §III): access-pattern restricted sources — "the
+/// value of the key must be specified in order to access the values
+/// associated to this key" — are reached through the BindJoin operator,
+/// and only *feasible* rewritings are built.
+///
+/// Reproduced series: cost of the users ⋈ carts join when the carts
+/// fragment sits behind a key-bound KV interface (BindJoin, with
+/// per-binding memoization) vs in a scannable document store (HashJoin),
+/// as the outer side grows; plus the feasibility boundary (key-less scan
+/// over the KV fragment is rejected as kNoRewriting).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace estocada::bench {
+namespace {
+
+using engine::Value;
+using pivot::Adornment;
+
+workload::MarketplaceConfig Config(size_t users) {
+  workload::MarketplaceConfig cfg;
+  cfg.num_users = users;
+  cfg.num_products = 100;
+  cfg.num_orders = 1000;
+  cfg.num_visits = 1000;
+  cfg.num_cities = 10;  // Outer selectivity knob: ~users/10 per city.
+  return cfg;
+}
+
+std::unique_ptr<MarketplaceSystem> Make(size_t users, bool kv_carts) {
+  auto m = MarketplaceSystem::Create(Config(users));
+  BenchCheck(m->sys.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                                   "postgres", {}, {0, 2}),
+             "users");
+  if (kv_carts) {
+    BenchCheck(m->sys.DefineFragment("F_carts(u, c) :- mk.carts(u, c)",
+                                     "redis",
+                                     {Adornment::kInput, Adornment::kFree}),
+               "carts-kv");
+  } else {
+    BenchCheck(m->sys.DefineFragment("F_carts(u, c) :- mk.carts(u, c)",
+                                     "mongodb", {}, {0}),
+               "carts-doc");
+  }
+  return m;
+}
+
+const char* kJoin = "q(n, c) :- mk.users(u, n, 'city3'), mk.carts(u, c)";
+
+void BM_CrossStoreJoin(benchmark::State& state) {
+  size_t users = static_cast<size_t>(state.range(0));
+  bool kv = state.range(1) == 1;
+  auto m = Make(users, kv);
+  state.SetLabel(kv ? "bindjoin(kv)" : "hashjoin(doc)");
+  double cost = 0;
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto r = m->sys.Query(kJoin);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    cost += r->simulated_cost();
+    ++n;
+  }
+  state.counters["sim_cost"] = n ? cost / static_cast<double>(n) : 0;
+}
+BENCHMARK(BM_CrossStoreJoin)
+    ->ArgsProduct({{100, 400, 1600}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// The memoization inside BindJoin: repeated keys on the outer side cost
+/// one KV call each.
+void BM_BindJoinMemoization(benchmark::State& state) {
+  auto m = Make(400, true);
+  // A query whose outer side repeats user ids (orders join carts).
+  BenchCheck(m->sys.DefineFragment(
+                 "F_orders(o, u, p, t) :- mk.orders(o, u, p, t)", "postgres",
+                 {}, {1}),
+             "orders");
+  const char* q = "q(o, c) :- mk.orders(o, u, p, 'x$never'), mk.carts(u, c)";
+  (void)q;  // Selective variant unused; measure the broad one:
+  const char* broad = "q(o, c) :- mk.orders(o, u, p, t), mk.carts(u, c)";
+  double cost = 0;
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto r = m->sys.Query(broad);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    cost += r->simulated_cost();
+    ++n;
+  }
+  state.counters["sim_cost"] = n ? cost / static_cast<double>(n) : 0;
+}
+BENCHMARK(BM_BindJoinMemoization)->Unit(benchmark::kMillisecond);
+
+void PrintSummary() {
+  std::printf("\n== E6: BindJoin through access-pattern-restricted sources "
+              "(paper Sec. III) ==\n");
+  std::printf("%8s | %16s %16s\n", "users", "bindjoin(kv)", "hashjoin(doc)");
+  for (size_t users : {100, 400, 1600}) {
+    auto kv = Make(users, true);
+    auto doc = Make(users, false);
+    auto rk = kv->sys.Query(kJoin);
+    auto rd = doc->sys.Query(kJoin);
+    if (!rk.ok() || !rd.ok()) continue;
+    std::printf("%8zu | %16.1f %16.1f\n", users, rk->simulated_cost(),
+                rd->simulated_cost());
+  }
+  // Feasibility boundary: enumerating the KV fragment without a key is
+  // rejected (no feasible rewriting), not silently slow.
+  auto kv = Make(200, true);
+  auto scan = kv->sys.Query("all(u, c) :- mk.carts(u, c)");
+  std::printf("key-less scan over the KV fragment: %s\n",
+              scan.ok() ? "UNEXPECTEDLY ANSWERED"
+                        : scan.status().ToString().c_str());
+  // And the memoization effect, shown via the plan's fetch calls:
+  auto r = kv->sys.Query(kJoin);
+  if (r.ok()) {
+    const auto& redis = r->runtime_stats.per_store["redis"];
+    std::printf("bindjoin issued %llu KV operations for %llu result rows "
+                "(distinct keys only, memoized)\n",
+                static_cast<unsigned long long>(redis.operations),
+                static_cast<unsigned long long>(redis.rows_returned));
+  }
+}
+
+}  // namespace
+}  // namespace estocada::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  estocada::bench::PrintSummary();
+  return 0;
+}

@@ -1,0 +1,100 @@
+#ifndef ESTOCADA_BENCH_BENCH_COMMON_H_
+#define ESTOCADA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "estocada/estocada.h"
+#include "workload/bigdata.h"
+#include "workload/marketplace.h"
+
+namespace estocada::bench {
+
+/// A self-contained marketplace deployment: the five stores plus an
+/// Estocada instance with schema + staging loaded. Fragments are defined
+/// by each experiment.
+struct MarketplaceSystem {
+  workload::MarketplaceData data;
+  stores::RelationalStore postgres;
+  stores::KeyValueStore redis;
+  stores::DocumentStore mongodb;
+  stores::ParallelStore spark{4};
+  stores::TextStore solr;
+  Estocada sys;
+
+  static std::unique_ptr<MarketplaceSystem> Create(
+      const workload::MarketplaceConfig& cfg) {
+    auto out = std::make_unique<MarketplaceSystem>();
+    auto data = workload::GenerateMarketplace(cfg);
+    if (!data.ok()) return nullptr;
+    out->data = std::move(*data);
+    if (!out->sys.RegisterSchema(out->data.schema).ok()) return nullptr;
+    using catalog::StoreKind;
+    auto ok = [&](Status st) { return st.ok(); };
+    if (!ok(out->sys.RegisterStore({"postgres", StoreKind::kRelational,
+                                    &out->postgres, nullptr, nullptr, nullptr,
+                                    nullptr})) ||
+        !ok(out->sys.RegisterStore({"redis", StoreKind::kKeyValue, nullptr,
+                                    &out->redis, nullptr, nullptr,
+                                    nullptr})) ||
+        !ok(out->sys.RegisterStore({"mongodb", StoreKind::kDocument, nullptr,
+                                    nullptr, &out->mongodb, nullptr,
+                                    nullptr})) ||
+        !ok(out->sys.RegisterStore({"spark", StoreKind::kParallel, nullptr,
+                                    nullptr, nullptr, &out->spark,
+                                    nullptr})) ||
+        !ok(out->sys.RegisterStore({"solr", StoreKind::kText, nullptr,
+                                    nullptr, nullptr, nullptr,
+                                    &out->solr}))) {
+      return nullptr;
+    }
+    if (!out->sys.LoadStaging(out->data.staging).ok()) return nullptr;
+    return out;
+  }
+};
+
+/// Aborts loudly when a setup step fails (benchmark setup must not
+/// silently measure a broken configuration).
+inline void BenchCheck(Status st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 st.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Runs `n` draws of the workload and returns the total simulated cost.
+inline double RunWorkloadCost(Estocada* sys,
+                              const workload::MarketplaceData& data,
+                              const workload::WorkloadMix& mix, int n,
+                              uint64_t seed) {
+  Rng rng(seed);
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    auto q = workload::DrawQuery(data, mix, &rng);
+    auto r = sys->Query(q.text, q.parameters);
+    if (!r.ok()) {
+      std::fprintf(stderr, "workload query failed: %s: %s\n", q.text.c_str(),
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+    total += r->simulated_cost();
+  }
+  return total;
+}
+
+/// The §II-calibrated workload mix (see EXPERIMENTS.md).
+inline workload::WorkloadMix ScenarioMix() {
+  workload::WorkloadMix mix;
+  mix.cart_lookup = 0.30;
+  mix.user_city = 0.25;
+  mix.orders_of_user = 0.20;
+  mix.personalized_search = 0.13;
+  mix.products_in_category = 0.12;
+  return mix;
+}
+
+}  // namespace estocada::bench
+
+#endif  // ESTOCADA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,191 @@
+/// Experiment E3 (paper §III): the provenance-aware Chase & Backchase
+/// "drastically reduces the back-chase effort ... this results in
+/// rewriting speedups that can even outperform a commercial relational
+/// optimizer by 1-2 orders of magnitude". We reproduce the algorithmic
+/// half of the claim: PACB vs. the classical C&B (bottom-up enumeration
+/// of universal-plan subqueries, each fully chase-verified) on chain
+/// queries with growing view sets.
+///
+/// Reproduced series: rewriting time and number of chase-verifications,
+/// PACB vs naive, as the query size grows.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "pacb/naive.h"
+#include "pacb/rewriter.h"
+#include "pivot/parser.h"
+
+namespace estocada::bench {
+namespace {
+
+using pacb::NaiveChaseBackchase;
+using pacb::Rewriter;
+using pacb::RewriterOptions;
+using pacb::ViewDefinition;
+using pivot::ConjunctiveQuery;
+using pivot::Schema;
+
+/// Chain setting: relations R0..R{n-1}; views = one identity view per
+/// relation plus one join view per adjacent pair; query = the full chain.
+struct ChainCase {
+  Schema schema;
+  std::vector<ViewDefinition> views;
+  ConjunctiveQuery query;
+};
+
+/// Variants: 0 = identity views only; 1 = + adjacent join views;
+/// 2 = + join views + a second (replicated) identity view per relation —
+/// the redundant-fragment setting polystores actually run with, where the
+/// naive enumeration suffers most.
+ChainCase MakeChain(size_t n, int variant) {
+  ChainCase c;
+  for (size_t i = 0; i < n; ++i) {
+    (void)c.schema.AddRelation(StrCat("R", i), 2);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ViewDefinition v;
+    v.query = *pivot::ParseQuery(
+        StrCat("V", i, "(a, b) :- R", i, "(a, b)"));
+    c.views.push_back(std::move(v));
+  }
+  if (variant >= 1) {
+    for (size_t i = 0; i + 1 < n; ++i) {
+      ViewDefinition v;
+      v.query = *pivot::ParseQuery(StrCat("VJ", i, "(a, c) :- R", i,
+                                          "(a, b), R", i + 1, "(b, c)"));
+      c.views.push_back(std::move(v));
+    }
+  }
+  if (variant >= 2) {
+    for (size_t i = 0; i < n; ++i) {
+      ViewDefinition v;
+      v.query = *pivot::ParseQuery(
+          StrCat("W", i, "(a, b) :- R", i, "(a, b)"));
+      c.views.push_back(std::move(v));
+    }
+  }
+  std::string body;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) body += ", ";
+    body += StrCat("R", i, "(x", i, ", x", i + 1, ")");
+  }
+  c.query = *pivot::ParseQuery(StrCat("q(x0, x", n, ") :- ", body));
+  return c;
+}
+
+void BM_PacbRewrite(benchmark::State& state) {
+  ChainCase c = MakeChain(static_cast<size_t>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  Rewriter rw(c.schema, c.views);
+  if (!rw.Prepare().ok()) {
+    state.SkipWithError("prepare failed");
+    return;
+  }
+  size_t verified = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    auto result = rw.Rewrite(c.query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    verified = result->stats.candidates_verified;
+    found = result->rewritings.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["verifications"] = static_cast<double>(verified);
+  state.counters["rewritings"] = static_cast<double>(found);
+}
+BENCHMARK(BM_PacbRewrite)
+    ->ArgsProduct({{2, 3, 4, 5, 6}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveRewrite(benchmark::State& state) {
+  ChainCase c = MakeChain(static_cast<size_t>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  NaiveChaseBackchase naive(c.schema, c.views);
+  if (!naive.Prepare().ok()) {
+    state.SkipWithError("prepare failed");
+    return;
+  }
+  size_t verified = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    auto result = naive.Rewrite(c.query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    verified = result->stats.candidates_verified;
+    found = result->rewritings.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["verifications"] = static_cast<double>(verified);
+  state.counters["rewritings"] = static_cast<double>(found);
+}
+BENCHMARK(BM_NaiveRewrite)
+    ->ArgsProduct({{2, 3, 4, 5, 6}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Ablation within PACB: provenance tracking + minimization off but
+/// candidate cap tight — isolates what the provenance bookkeeping buys.
+
+void PrintSummary() {
+  std::printf("\n== E3: PACB vs classical C&B rewriting time "
+              "(paper Sec. III: 1-2 orders of magnitude) ==\n");
+  std::printf("%5s %6s | %12s %12s | %9s | %10s %10s\n", "chain", "views",
+              "pacb (us)", "naive (us)", "speedup", "pacb#chk", "naive#chk");
+  struct Case { size_t n; int variant; };
+  const Case cases[] = {{2, 0}, {4, 0}, {6, 0}, {8, 0},
+                        {2, 1}, {4, 1}, {6, 1}, {8, 1}, {10, 1},
+                        {3, 2}, {4, 2}, {5, 2}};
+  for (const Case& cs : cases) {
+    {
+      size_t n = cs.n;
+      ChainCase c = MakeChain(n, cs.variant);
+      Rewriter rw(c.schema, c.views);
+      (void)rw.Prepare();
+      NaiveChaseBackchase naive(c.schema, c.views);
+      (void)naive.Prepare();
+      // Warm + measure a few repetitions of each.
+      auto time_us = [](auto&& fn, int reps) {
+        auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < reps; ++i) fn();
+        auto stop = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::micro>(stop - start)
+                   .count() /
+               reps;
+      };
+      size_t pacb_checks = 0;
+      size_t naive_checks = 0;
+      const int reps = 3;
+      double pacb_us = time_us(
+          [&] {
+            auto r = rw.Rewrite(c.query);
+            pacb_checks = r.ok() ? r->stats.candidates_verified : 0;
+          },
+          reps);
+      double naive_us = time_us(
+          [&] {
+            auto r = naive.Rewrite(c.query);
+            naive_checks = r.ok() ? r->stats.candidates_verified : 0;
+          },
+          reps);
+      std::printf("%5zu %6zu | %12.0f %12.0f | %8.1fx | %10zu %10zu\n", n,
+                  c.views.size(), pacb_us, naive_us, naive_us / pacb_us,
+                  pacb_checks, naive_checks);
+    }
+  }
+  std::printf("(naive C&B enumerates every universal-plan subquery and "
+              "chase-verifies it;\n PACB verifies only the provenance-"
+              "derived candidates.)\n");
+}
+
+}  // namespace
+}  // namespace estocada::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  estocada::bench::PrintSummary();
+  return 0;
+}

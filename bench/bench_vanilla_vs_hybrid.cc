@@ -1,0 +1,259 @@
+/// Experiment E4 (paper §IV demo step 3): for each dataset the demo keeps
+/// one fragment storing it "as such" in a DMS of its native model,
+/// enabling a comparison between the vanilla (one-store) execution and
+/// the one enabled by multiple stores — with the performance statistics
+/// split across the underlying DMSs and ESTOCADA's runtime.
+///
+/// Reproduced rows: per-query simulated cost under (a) the vanilla
+/// single-relational-store placement, (b) the tuned hybrid placement, for
+/// the marketplace queries and two Big-Data-Benchmark-style queries; plus
+/// the ablation "first rewriting vs cost-based choice".
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+#include "common/strings.h"
+
+namespace estocada::bench {
+namespace {
+
+using ::estocada::StrCat;
+using engine::Value;
+using pivot::Adornment;
+
+workload::MarketplaceConfig Config() {
+  workload::MarketplaceConfig cfg;
+  cfg.num_users = 800;
+  cfg.num_products = 200;
+  cfg.num_orders = 3000;
+  cfg.num_visits = 8000;
+  return cfg;
+}
+
+/// Vanilla: every relation "as such" in the single relational store
+/// (indexes included — a fair single-store deployment).
+void DefineVanilla(MarketplaceSystem* m) {
+  BenchCheck(m->sys.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                                   "postgres", {}, {0}),
+             "users");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_orders(o, u, p, t) :- mk.orders(o, u, p, t)", "postgres",
+                 {}, {1, 2}),
+             "orders");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_prod(p, n, cat, pr) :- mk.products(p, n, cat, pr)",
+                 "postgres", {}, {0, 2}),
+             "products");
+  BenchCheck(m->sys.DefineFragment("F_carts(u, c) :- mk.carts(u, c)",
+                                   "postgres", {}, {0}),
+             "carts");
+  BenchCheck(m->sys.DefineFragment("F_visits(u, p, d) :- mk.visits(u, p, d)",
+                                   "postgres", {}, {0, 1}),
+             "visits");
+  BenchCheck(m->sys.DefineFragment("F_terms(p, w) :- mk.prodterms(p, w)",
+                                   "postgres", {}, {1}),
+             "terms");
+}
+
+/// Hybrid: each fragment in the store whose blueprint fits it.
+void DefineHybrid(MarketplaceSystem* m) {
+  BenchCheck(m->sys.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                                   "postgres", {}, {0}),
+             "users");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_orders(o, u, p, t) :- mk.orders(o, u, p, t)", "postgres",
+                 {}, {1, 2}),
+             "orders");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_prod(p, n, cat, pr) :- mk.products(p, n, cat, pr)",
+                 "mongodb", {}, {0, 2}),
+             "products");
+  BenchCheck(m->sys.DefineFragment("F_carts(u, c) :- mk.carts(u, c)", "redis",
+                                   {Adornment::kInput, Adornment::kFree}),
+             "carts");
+  BenchCheck(m->sys.DefineFragment("F_profile(u, n, c) :- mk.users(u, n, c)",
+                                   "redis",
+                                   {Adornment::kInput, Adornment::kFree,
+                                    Adornment::kFree}),
+             "profile");
+  BenchCheck(m->sys.DefineFragment("F_visits(u, p, d) :- mk.visits(u, p, d)",
+                                   "spark"),
+             "visits");
+  BenchCheck(m->sys.DefineFragment("F_terms(p, w) :- mk.prodterms(p, w)",
+                                   "solr",
+                                   {Adornment::kFree, Adornment::kInput}),
+             "terms");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_pjoin(u, cat, p, n) :- mk.orders(o, u, p, t), "
+                 "mk.visits(u, p, d), mk.products(p, n, cat, pr)",
+                 "spark",
+                 {Adornment::kInput, Adornment::kInput, Adornment::kFree,
+                  Adornment::kFree}),
+             "pjoin");
+}
+
+struct NamedQuery {
+  const char* label;
+  const char* text;
+  std::map<std::string, Value> params;
+};
+
+std::vector<NamedQuery> Queries() {
+  return {
+      {"cart_lookup", workload::MarketplaceQueries::CartByUser(),
+       {{"$uid", Value::Int(3)}}},
+      {"user_city", workload::MarketplaceQueries::UserCity(),
+       {{"$uid", Value::Int(17)}}},
+      {"orders_of_user", workload::MarketplaceQueries::OrdersOfUser(),
+       {{"$uid", Value::Int(5)}}},
+      {"personalized_search",
+       workload::MarketplaceQueries::PersonalizedSearch(),
+       {{"$uid", Value::Int(1)}, {"$cat", Value::Str("cat0")}}},
+      {"products_in_category",
+       workload::MarketplaceQueries::ProductsInCategory(),
+       {{"$cat", Value::Str("cat2")}}},
+      {"text_search", "fulltext(p) :- mk.prodterms(p, 'lamp')", {}},
+      {"text_join",
+       "tj(p, n, pr) :- mk.prodterms(p, 'red'), mk.products(p, n, cat, pr)",
+       {}},
+  };
+}
+
+void BM_Query(benchmark::State& state) {
+  static auto vanilla = [] {
+    auto m = MarketplaceSystem::Create(Config());
+    DefineVanilla(m.get());
+    return m;
+  }();
+  static auto hybrid = [] {
+    auto m = MarketplaceSystem::Create(Config());
+    DefineHybrid(m.get());
+    return m;
+  }();
+  MarketplaceSystem* m =
+      state.range(1) == 0 ? vanilla.get() : hybrid.get();
+  NamedQuery q = Queries()[static_cast<size_t>(state.range(0))];
+  state.SetLabel(StrCat(q.label, state.range(1) == 0 ? "/vanilla" : "/hybrid"));
+  double cost = 0;
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto r = m->sys.Query(q.text, q.params);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    cost += r->simulated_cost();
+    ++n;
+  }
+  state.counters["sim_cost"] = n ? cost / static_cast<double>(n) : 0;
+}
+BENCHMARK(BM_Query)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void PrintSummary() {
+  auto vanilla = MarketplaceSystem::Create(Config());
+  DefineVanilla(vanilla.get());
+  auto hybrid = MarketplaceSystem::Create(Config());
+  DefineHybrid(hybrid.get());
+
+  std::printf("\n== E4: vanilla one-store vs ESTOCADA multi-store "
+              "(paper Sec. IV, demo step 3) ==\n");
+  std::printf("%-24s %12s %12s %9s  %s\n", "query", "vanilla", "hybrid",
+              "speedup", "hybrid per-store split");
+  for (const NamedQuery& q : Queries()) {
+    auto rv = vanilla->sys.Query(q.text, q.params);
+    auto rh = hybrid->sys.Query(q.text, q.params);
+    if (!rv.ok() || !rh.ok()) {
+      std::printf("%-24s (failed: %s)\n", q.label,
+                  (!rv.ok() ? rv.status() : rh.status()).ToString().c_str());
+      continue;
+    }
+    std::string split;
+    for (const auto& [store, st] : rh->runtime_stats.per_store) {
+      split += StrCat(store, "=", static_cast<int>(st.simulated_cost), " ");
+    }
+    std::printf("%-24s %12.1f %12.1f %8.1fx  %s\n", q.label,
+                rv->simulated_cost(), rh->simulated_cost(),
+                rv->simulated_cost() / rh->simulated_cost(), split.c_str());
+  }
+
+  // BDB-style dataset with *redundant* fragments of uservisits in both
+  // the relational and the parallel store: the cost-based choice sends
+  // each query to the store whose blueprint fits it (selective join ->
+  // indexed relational; bulk export -> parallel scan).
+  auto bdb = workload::GenerateBigDataBench({});
+  if (bdb.ok()) {
+    stores::RelationalStore pg2;
+    stores::ParallelStore spark2(4);
+    Estocada hyb;
+    (void)hyb.RegisterSchema(bdb->schema);
+    (void)hyb.RegisterStore({"pg", catalog::StoreKind::kRelational, &pg2,
+                             nullptr, nullptr, nullptr, nullptr});
+    (void)hyb.RegisterStore({"spark", catalog::StoreKind::kParallel, nullptr,
+                             nullptr, nullptr, &spark2, nullptr});
+    (void)hyb.LoadStaging(bdb->staging);
+    BenchCheck(hyb.DefineFragment(
+                   "F_rank(u, r, d) :- bdb.rankings(u, r, d)", "pg", {},
+                   {0, 1}),
+               "bdb-rank");
+    BenchCheck(hyb.DefineFragment(
+                   "F_uv_pg(ip, u, rev, cc) :- bdb.uservisits(ip, u, rev, cc)",
+                   "pg", {}, {1}),
+               "bdb-uv-pg");
+    BenchCheck(hyb.DefineFragment(
+                   "F_uv_sp(ip, u, rev, cc) :- bdb.uservisits(ip, u, rev, cc)",
+                   "spark"),
+               "bdb-uv-spark");
+    std::printf("\nredundant fragments + cost-based choice (BDB dataset):\n");
+    struct BdbQuery {
+      const char* label;
+      const char* text;
+      std::map<std::string, Value> params;
+    };
+    BdbQuery bdb_queries[] = {
+        {"selective_join",
+         workload::BigDataBenchQueries::VisitsToRankedPages(),
+         {{"$rank", Value::Int(7)}}},
+        {"bulk_export", "all(ip, u, rev) :- bdb.uservisits(ip, u, rev, cc)",
+         {}},
+    };
+    for (const BdbQuery& q : bdb_queries) {
+      auto r = hyb.Query(q.text, q.params);
+      if (!r.ok()) continue;
+      std::string stores_used;
+      for (const auto& [store, st] : r->runtime_stats.per_store) {
+        stores_used += store;
+        stores_used += ' ';
+      }
+      std::printf("  %-16s cost=%9.1f  planner chose: %s ( %s)\n", q.label,
+                  r->simulated_cost(), r->rewriting_text.c_str(),
+                  stores_used.c_str());
+    }
+  }
+
+  // Ablation: cost-based choice vs taking the first rewriting.
+  auto explained = hybrid->sys.Explain(
+      workload::MarketplaceQueries::PersonalizedSearch(),
+      {{"$uid", Value::Int(1)}, {"$cat", Value::Str("cat0")}});
+  if (explained.ok() && explained->plans.size() > 1) {
+    std::printf("\nablation (cost-based plan choice): best plan est=%.1f; "
+                "alternatives:", explained->best_plan().estimated_cost);
+    for (size_t i = 0; i < explained->plans.size(); ++i) {
+      if (i != explained->best) {
+        std::printf(" est=%.1f", explained->plans[i].estimated_cost);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace estocada::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  estocada::bench::PrintSummary();
+  return 0;
+}

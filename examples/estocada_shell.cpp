@@ -1,0 +1,262 @@
+/// Interactive ESTOCADA shell — the §IV "demo attendee experience":
+/// inspect fragments and their pivot translations, define/drop fragments,
+/// trigger rewritings and inspect the PACB output and executable plans,
+/// execute with per-store statistics, and ask the storage advisor.
+///
+///   ./build/examples/estocada_shell           # interactive
+///   echo 'query ...' | ./build/examples/estocada_shell   # scripted
+///
+/// Commands:
+///   help
+///   catalog                      stores + fragments + statistics
+///   define <view> @ <store> [in=0,1] [idx=2,3]
+///   drop <fragment>
+///   query <cq> [; k=v ...]       rewrite, choose, execute, show stats
+///   sql <select ...> [; k=v ...] the SQL front-end
+///   explain <cq> [; k=v ...]     all rewritings + plans, chosen one starred
+///   advise                       storage advisor recommendations
+///   apply                        apply the last advise output
+///   export                       catalog checkpoint as JSON
+///   quit
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "estocada/estocada.h"
+#include "pivot/parser.h"
+#include "workload/marketplace.h"
+
+namespace {
+
+using estocada::Estocada;
+using estocada::Status;
+using estocada::StrCat;
+using estocada::StripWhitespace;
+using estocada::catalog::StoreKind;
+using estocada::engine::Value;
+using estocada::pivot::Adornment;
+
+/// Parses "; uid=3 cat='cat0'" parameter suffixes. Values: integers,
+/// reals, or quoted strings. Keys get the '$' prefix added.
+std::map<std::string, Value> ParseParams(const std::string& text) {
+  std::map<std::string, Value> params;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = "$" + token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (!value.empty() && (value[0] == '\'' || value[0] == '"')) {
+      std::string s = value.substr(1);
+      if (!s.empty() && (s.back() == '\'' || s.back() == '"')) s.pop_back();
+      params[key] = Value::Str(s);
+    } else if (value.find('.') != std::string::npos) {
+      params[key] = Value::Real(std::stod(value));
+    } else if (!value.empty() &&
+               (std::isdigit(static_cast<unsigned char>(value[0])) ||
+                value[0] == '-')) {
+      params[key] = Value::Int(std::stoll(value));
+    } else {
+      params[key] = Value::Str(value);
+    }
+  }
+  return params;
+}
+
+/// Splits "body ; params" at the last ';'.
+std::pair<std::string, std::map<std::string, Value>> SplitParams(
+    const std::string& text) {
+  size_t semi = text.rfind(';');
+  if (semi == std::string::npos) return {text, {}};
+  return {std::string(StripWhitespace(text.substr(0, semi))),
+          ParseParams(text.substr(semi + 1))};
+}
+
+/// Parses "in=0,1" / "idx=2" position lists.
+std::vector<size_t> ParsePositions(const std::string& spec) {
+  std::vector<size_t> out;
+  for (const std::string& p : estocada::StrSplit(spec, ',')) {
+    if (!p.empty()) out.push_back(std::stoul(p));
+  }
+  return out;
+}
+
+void PrintResult(const Estocada::QueryResult& r, size_t max_rows = 10) {
+  std::cout << "rewriting: " << r.rewriting_text << "\n";
+  for (size_t i = 0; i < r.rows.size() && i < max_rows; ++i) {
+    std::cout << "  " << estocada::engine::RowToString(r.rows[i]) << "\n";
+  }
+  if (r.rows.size() > max_rows) {
+    std::cout << "  ... (" << r.rows.size() << " rows total)\n";
+  } else {
+    std::cout << "  (" << r.rows.size() << " rows)\n";
+  }
+  std::cout << "per-store work:\n" << r.runtime_stats.ToString();
+  std::cout << r.RuntimeSplitLine() << "\n";
+  std::cout << "simulated cost: " << r.simulated_cost() << " units\n";
+}
+
+constexpr const char* kHelp = R"(commands:
+  catalog                          stores, fragments, statistics
+  define <view> @ <store> [in=..] [idx=..]
+                                   e.g. define F_c(u,c) :- mk.carts(u,c) @ redis in=0
+  drop <fragment>
+  query <cq> [; k=v ...]           e.g. query cart(c) :- mk.carts($uid, c) ; uid=3
+  sql <select ...> [; k=v ...]
+  explain <cq> [; k=v ...]
+  advise / apply
+  export
+  quit
+)";
+
+}  // namespace
+
+int main() {
+  // The marketplace scenario dataset with all five stores registered.
+  estocada::workload::MarketplaceConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_products = 100;
+  cfg.num_orders = 1500;
+  cfg.num_visits = 4000;
+  auto data = estocada::workload::GenerateMarketplace(cfg);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  estocada::stores::RelationalStore postgres;
+  estocada::stores::KeyValueStore redis;
+  estocada::stores::DocumentStore mongodb;
+  estocada::stores::ParallelStore spark(4);
+  estocada::stores::TextStore solr;
+  Estocada sys;
+  (void)sys.RegisterSchema(data->schema);
+  (void)sys.RegisterStore({"postgres", StoreKind::kRelational, &postgres,
+                           nullptr, nullptr, nullptr, nullptr});
+  (void)sys.RegisterStore({"redis", StoreKind::kKeyValue, nullptr, &redis,
+                           nullptr, nullptr, nullptr});
+  (void)sys.RegisterStore({"mongodb", StoreKind::kDocument, nullptr, nullptr,
+                           &mongodb, nullptr, nullptr});
+  (void)sys.RegisterStore({"spark", StoreKind::kParallel, nullptr, nullptr,
+                           nullptr, &spark, nullptr});
+  (void)sys.RegisterStore({"solr", StoreKind::kText, nullptr, nullptr,
+                           nullptr, nullptr, &solr});
+  (void)sys.LoadStaging(data->staging);
+  // A starting layout the attendee can reshape.
+  (void)sys.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                           "postgres", {}, {0});
+  (void)sys.DefineFragment("F_orders(o, u, p, t) :- mk.orders(o, u, p, t)",
+                           "postgres", {}, {1, 2});
+  (void)sys.DefineFragment(
+      "F_prod(p, n, cat, pr) :- mk.products(p, n, cat, pr)", "postgres", {},
+      {0, 2});
+  (void)sys.DefineFragment("F_carts(u, c) :- mk.carts(u, c)", "mongodb", {},
+                           {0});
+  (void)sys.DefineFragment("F_visits(u, p, d) :- mk.visits(u, p, d)",
+                           "spark");
+
+  std::cout << "ESTOCADA demo shell — marketplace dataset loaded ("
+            << cfg.num_users << " users, " << cfg.num_orders
+            << " orders). Type 'help'.\n";
+
+  std::vector<estocada::advisor::Recommendation> last_advice;
+  std::string line;
+  while (std::cout << "estocada> " << std::flush,
+         std::getline(std::cin, line)) {
+    std::string input(StripWhitespace(line));
+    if (input.empty()) continue;
+    size_t space = input.find(' ');
+    std::string cmd = input.substr(0, space);
+    std::string rest = space == std::string::npos
+                           ? ""
+                           : std::string(StripWhitespace(input.substr(space)));
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::cout << kHelp;
+    } else if (cmd == "catalog") {
+      std::cout << sys.catalog().ToString();
+    } else if (cmd == "export") {
+      std::cout << sys.ExportCatalogJson() << "\n";
+    } else if (cmd == "define") {
+      // <view> @ <store> [in=..] [idx=..]
+      size_t at = rest.rfind('@');
+      if (at == std::string::npos) {
+        std::cout << "usage: define <view> @ <store> [in=..] [idx=..]\n";
+        continue;
+      }
+      std::string view(StripWhitespace(rest.substr(0, at)));
+      std::istringstream tail(rest.substr(at + 1));
+      std::string store;
+      tail >> store;
+      std::vector<Adornment> adornments;
+      std::vector<size_t> indexes;
+      std::string opt;
+      while (tail >> opt) {
+        if (opt.rfind("in=", 0) == 0) {
+          auto q = estocada::pivot::ParseQuery(view);
+          size_t arity = q.ok() ? q->arity() : 0;
+          adornments.assign(arity, Adornment::kFree);
+          for (size_t p : ParsePositions(opt.substr(3))) {
+            if (p < adornments.size()) adornments[p] = Adornment::kInput;
+          }
+        } else if (opt.rfind("idx=", 0) == 0) {
+          indexes = ParsePositions(opt.substr(4));
+        }
+      }
+      Status st = sys.DefineFragment(view, store, adornments, indexes);
+      std::cout << (st.ok() ? "materialized." : st.ToString()) << "\n";
+    } else if (cmd == "drop") {
+      Status st = sys.DropFragment(rest);
+      std::cout << (st.ok() ? "dropped." : st.ToString()) << "\n";
+    } else if (cmd == "query" || cmd == "sql") {
+      auto [body, params] = SplitParams(rest);
+      auto r = cmd == "sql" ? sys.QuerySql(body, params)
+                            : sys.Query(body, params);
+      if (!r.ok()) {
+        std::cout << r.status() << "\n";
+      } else {
+        PrintResult(*r);
+      }
+    } else if (cmd == "explain") {
+      auto [body, params] = SplitParams(rest);
+      auto ex = sys.Explain(body, params);
+      if (!ex.ok()) {
+        std::cout << ex.status() << "\n";
+        continue;
+      }
+      const auto& st = ex->rewriting_result.stats;
+      std::cout << "PACB: " << st.universal_plan_atoms
+                << " universal-plan atoms, " << st.query_matches
+                << " match(es), " << st.candidates_considered
+                << " candidate(s), " << st.candidates_verified
+                << " verified\n";
+      for (size_t i = 0; i < ex->plans.size(); ++i) {
+        std::cout << (i == ex->best ? "* " : "  ") << ex->plans[i].ToString()
+                  << "\n";
+      }
+    } else if (cmd == "advise") {
+      estocada::advisor::AdvisorOptions opts;
+      opts.min_count = 5;
+      opts.min_mean_cost = 5.0;
+      last_advice = sys.Advise(opts);
+      if (last_advice.empty()) {
+        std::cout << "no recommendations (run some queries first).\n";
+      }
+      for (const auto& rec : last_advice) {
+        std::cout << "  " << rec.ToString() << "\n";
+      }
+    } else if (cmd == "apply") {
+      for (const auto& rec : last_advice) {
+        Status st = sys.ApplyRecommendation(rec);
+        std::cout << "  " << (st.ok() ? "applied" : st.ToString()) << ": "
+                  << rec.ToString() << "\n";
+      }
+      last_advice.clear();
+    } else {
+      std::cout << "unknown command '" << cmd << "' — try 'help'\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,276 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "pacb/feasibility.h"
+
+namespace estocada::advisor {
+
+using pivot::Adornment;
+using pivot::Atom;
+using pivot::ConjunctiveQuery;
+using pivot::Term;
+
+std::string WorkloadLog::ShapeKey(const ConjunctiveQuery& query) {
+  // Rename variables positionally; parameters keep only their '$' marker
+  // so different parameter *names* and values map to the same shape.
+  std::unordered_map<std::string, std::string> renaming;
+  size_t next = 0;
+  auto rename = [&](const Term& t) -> std::string {
+    if (t.is_constant()) return t.ToString();
+    if (!t.is_variable()) return t.ToString();
+    bool param = pacb::IsParameterVariable(t.var_name());
+    auto it = renaming.find(t.var_name());
+    if (it == renaming.end()) {
+      it = renaming
+               .emplace(t.var_name(),
+                        StrCat(param ? "$p" : "v", next++))
+               .first;
+    }
+    return it->second;
+  };
+  std::string key;
+  for (const Atom& a : query.body) {
+    key += a.relation;
+    key += '(';
+    for (const Term& t : a.terms) {
+      key += rename(t);
+      key += ',';
+    }
+    key += ") ";
+  }
+  key += "-> ";
+  for (const Term& t : query.head) {
+    key += rename(t);
+    key += ',';
+  }
+  return key;
+}
+
+void WorkloadLog::Record(const ConjunctiveQuery& query, double cost,
+                         const std::vector<std::string>& fragments_used) {
+  WorkloadEntry& entry = entries_[ShapeKey(query)];
+  if (entry.count == 0) entry.example = query;
+  ++entry.count;
+  entry.total_cost += cost;
+  for (const std::string& f : fragments_used) ++entry.fragments_used[f];
+}
+
+size_t WorkloadLog::FragmentUses(const std::string& fragment) const {
+  size_t uses = 0;
+  for (const auto& [key, entry] : entries_) {
+    auto it = entry.fragments_used.find(fragment);
+    if (it != entry.fragments_used.end()) uses += it->second;
+  }
+  return uses;
+}
+
+std::string Recommendation::ToString() const {
+  if (action == Action::kDropFragment) {
+    return StrCat("DROP ", fragment_name, "  # ", rationale);
+  }
+  return StrCat("ADD ", view.query.ToString(), " @ ", store_name, "  # ",
+                rationale);
+}
+
+StorageAdvisor::StorageAdvisor(AdvisorOptions options) : options_(options) {}
+
+namespace {
+
+/// First registered store of the wanted kind, if any.
+std::optional<std::string> FindStoreOfKind(const catalog::Catalog& catalog,
+                                           catalog::StoreKind kind) {
+  for (const auto& [name, handle] : catalog.stores()) {
+    if (handle.kind == kind) return name;
+  }
+  return std::nullopt;
+}
+
+/// Builds the materialized-view definition for a heavy query shape: head =
+/// parameter positions first (these become the index / key), then the
+/// query's own head variables; body = the query body with parameters
+/// turned into plain variables.
+pacb::ViewDefinition ViewForShape(const ConjunctiveQuery& query,
+                                  const std::string& name) {
+  pacb::ViewDefinition view;
+  view.query.name = name;
+  // Parameters become regular variables of the view.
+  std::unordered_map<std::string, std::string> renamed;
+  auto fix = [&renamed](const Term& t) {
+    if (t.is_variable() && pacb::IsParameterVariable(t.var_name())) {
+      auto it = renamed.find(t.var_name());
+      if (it == renamed.end()) {
+        it = renamed.emplace(t.var_name(), t.var_name().substr(1)).first;
+      }
+      return Term::Var(it->second);
+    }
+    return t;
+  };
+  std::vector<std::string> param_vars;
+  std::unordered_set<std::string> param_seen;
+  for (const Atom& a : query.body) {
+    Atom out;
+    out.relation = a.relation;
+    for (const Term& t : a.terms) {
+      Term fixed = fix(t);
+      if (t.is_variable() && pacb::IsParameterVariable(t.var_name()) &&
+          param_seen.insert(fixed.var_name()).second) {
+        param_vars.push_back(fixed.var_name());
+      }
+      out.terms.push_back(std::move(fixed));
+    }
+    view.query.body.push_back(std::move(out));
+  }
+  std::unordered_set<std::string> in_head;
+  for (const std::string& p : param_vars) {
+    view.query.head.push_back(Term::Var(p));
+    view.adornments.push_back(Adornment::kInput);
+    in_head.insert(p);
+  }
+  for (const Term& h : query.head) {
+    Term fixed = fix(h);
+    if (fixed.is_variable() && in_head.insert(fixed.var_name()).second) {
+      view.query.head.push_back(fixed);
+      view.adornments.push_back(Adornment::kFree);
+    }
+  }
+  return view;
+}
+
+/// True when the catalog already holds a fragment with the same body
+/// shape *in a store of the same kind* (an equivalent view in a slower
+/// store kind is exactly what a migration recommendation replaces).
+bool EquivalentFragmentExists(const catalog::Catalog& catalog,
+                              const pacb::ViewDefinition& view,
+                              catalog::StoreKind kind) {
+  std::string key = WorkloadLog::ShapeKey(view.query);
+  for (const auto& [name, desc] : catalog.fragments()) {
+    auto store = catalog.GetStore(desc.store_name);
+    if (store.ok() && (*store)->kind == kind &&
+        WorkloadLog::ShapeKey(desc.view.query) == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Recommendation> StorageAdvisor::Recommend(
+    const catalog::Catalog& catalog, const WorkloadLog& log) const {
+  std::vector<Recommendation> out;
+
+  // Heavy hitters, most expensive aggregate first.
+  std::vector<const WorkloadEntry*> heavy;
+  for (const auto& [key, entry] : log.entries()) {
+    if (entry.count >= options_.min_count &&
+        entry.MeanCost() >= options_.min_mean_cost) {
+      heavy.push_back(&entry);
+    }
+  }
+  std::sort(heavy.begin(), heavy.end(),
+            [](const WorkloadEntry* a, const WorkloadEntry* b) {
+              return a->total_cost > b->total_cost;
+            });
+
+  size_t fresh_id = 0;
+  for (const WorkloadEntry* entry : heavy) {
+    if (out.size() >= options_.max_recommendations) break;
+    const ConjunctiveQuery& q = entry->example;
+    // Count parameter positions.
+    size_t params = 0;
+    for (const Atom& a : q.body) {
+      for (const Term& t : a.terms) {
+        if (t.is_variable() && pacb::IsParameterVariable(t.var_name())) {
+          ++params;
+        }
+      }
+    }
+    if (q.body.size() == 1 && params >= 1) {
+      // Key-lookup shape -> key-value fragment.
+      auto store = FindStoreOfKind(catalog, catalog::StoreKind::kKeyValue);
+      if (!store) continue;
+      pacb::ViewDefinition view =
+          ViewForShape(q, StrCat("F_adv_kv_", fresh_id++));
+      if (EquivalentFragmentExists(catalog, view,
+                                   catalog::StoreKind::kKeyValue)) {
+        continue;
+      }
+      Recommendation rec;
+      rec.action = Recommendation::Action::kAddFragment;
+      rec.view = std::move(view);
+      rec.store_name = *store;
+      rec.rationale =
+          StrCat("key-lookup shape, ", entry->count, " calls, mean cost ",
+                 entry->MeanCost());
+      out.push_back(std::move(rec));
+    } else if (q.body.size() >= 2) {
+      // Join shape -> materialized join in a parallel store (fall back to
+      // a relational store when no parallel store is registered).
+      auto store = FindStoreOfKind(catalog, catalog::StoreKind::kParallel);
+      bool parallel = store.has_value();
+      if (!store) {
+        store = FindStoreOfKind(catalog, catalog::StoreKind::kRelational);
+      }
+      if (!store) continue;
+      pacb::ViewDefinition view =
+          ViewForShape(q, StrCat("F_adv_join_", fresh_id++));
+      if (!parallel) view.adornments.clear();  // No composite index.
+      if (EquivalentFragmentExists(catalog, view,
+                                   parallel
+                                       ? catalog::StoreKind::kParallel
+                                       : catalog::StoreKind::kRelational)) {
+        continue;
+      }
+      Recommendation rec;
+      rec.action = Recommendation::Action::kAddFragment;
+      rec.view = std::move(view);
+      rec.store_name = *store;
+      rec.rationale = StrCat("heavy join shape, ", entry->count,
+                             " calls, mean cost ", entry->MeanCost());
+      out.push_back(std::move(rec));
+    }
+  }
+
+  // Drop candidates: fragments that are both *unused* (no logged plan
+  // touched them) and *redundant* (every dataset relation they cover is
+  // still covered by some other fragment, so no query becomes
+  // unanswerable). The redundancy check keeps the advisor from cutting
+  // off future workload drift.
+  if (!log.entries().empty()) {
+    for (const auto& [name, desc] : catalog.fragments()) {
+      if (out.size() >= options_.max_recommendations) break;
+      if (log.FragmentUses(name) != 0) continue;
+      bool redundant = true;
+      for (const Atom& a : desc.view.query.body) {
+        bool covered_elsewhere = false;
+        for (const auto& [other_name, other] : catalog.fragments()) {
+          if (other_name == name) continue;
+          for (const Atom& b : other.view.query.body) {
+            if (b.relation == a.relation) {
+              covered_elsewhere = true;
+              break;
+            }
+          }
+          if (covered_elsewhere) break;
+        }
+        if (!covered_elsewhere) {
+          redundant = false;
+          break;
+        }
+      }
+      if (!redundant) continue;
+      Recommendation rec;
+      rec.action = Recommendation::Action::kDropFragment;
+      rec.fragment_name = name;
+      rec.rationale = "unused by every logged query plan, and redundant";
+      out.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+}  // namespace estocada::advisor

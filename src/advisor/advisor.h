@@ -1,0 +1,99 @@
+#ifndef ESTOCADA_ADVISOR_ADVISOR_H_
+#define ESTOCADA_ADVISOR_ADVISOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "pacb/view.h"
+#include "pivot/query.h"
+
+namespace estocada::advisor {
+
+/// Aggregated record of one query *shape* (same CQ up to parameter
+/// values) observed in the workload.
+struct WorkloadEntry {
+  pivot::ConjunctiveQuery example;       ///< Representative query.
+  size_t count = 0;                      ///< Executions observed.
+  double total_cost = 0;                 ///< Summed simulated cost.
+  std::map<std::string, size_t> fragments_used;  ///< By the chosen plans.
+
+  double MeanCost() const {
+    return count == 0 ? 0 : total_cost / static_cast<double>(count);
+  }
+};
+
+/// Sliding workload log the Query Evaluator feeds after every execution;
+/// the Storage Advisor reads it to spot heavy hitters.
+class WorkloadLog {
+ public:
+  /// Records one execution: the query (parameters still symbolic), its
+  /// simulated cost, and the fragments its chosen plan touched.
+  void Record(const pivot::ConjunctiveQuery& query, double cost,
+              const std::vector<std::string>& fragments_used);
+
+  const std::map<std::string, WorkloadEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Total uses of `fragment` across all logged queries.
+  size_t FragmentUses(const std::string& fragment) const;
+
+  void Clear() { entries_.clear(); }
+
+  /// Canonical shape key of a query (variables renamed positionally so
+  /// parameter *values* do not split shapes).
+  static std::string ShapeKey(const pivot::ConjunctiveQuery& query);
+
+ private:
+  std::map<std::string, WorkloadEntry> entries_;
+};
+
+/// One piece of advice from the Storage Advisor.
+struct Recommendation {
+  enum class Action { kAddFragment, kDropFragment };
+  Action action;
+  /// kAddFragment: the view to materialize and the target store.
+  pacb::ViewDefinition view;
+  std::string store_name;
+  /// kDropFragment: the fragment to retire.
+  std::string fragment_name;
+  /// Why ("heavy key-lookup shape, 312 calls, mean cost 41.2", ...).
+  std::string rationale;
+
+  std::string ToString() const;
+};
+
+/// Tuning knobs of the advisor heuristics.
+struct AdvisorOptions {
+  size_t min_count = 8;          ///< Shape must repeat this often.
+  double min_mean_cost = 30.0;   ///< ... and be at least this expensive.
+  size_t max_recommendations = 8;
+};
+
+/// The paper's Storage Advisor (§III): "recommends dropping redundant
+/// fragments that are rarely used or under-performing, and adding new
+/// fragments that fit recently heavy-hitting queries", via simple
+/// heuristics (the demo's scope):
+///  * a heavy single-atom shape whose only bound position is a parameter
+///    becomes a key-value fragment keyed by that position;
+///  * a heavy multi-atom (join) shape becomes a materialized join
+///    fragment in a parallel store, index-adorned on its parameter
+///    positions;
+///  * fragments never used by any logged plan become drop candidates.
+class StorageAdvisor {
+ public:
+  explicit StorageAdvisor(AdvisorOptions options = {});
+
+  std::vector<Recommendation> Recommend(const catalog::Catalog& catalog,
+                                        const WorkloadLog& log) const;
+
+ private:
+  AdvisorOptions options_;
+};
+
+}  // namespace estocada::advisor
+
+#endif  // ESTOCADA_ADVISOR_ADVISOR_H_

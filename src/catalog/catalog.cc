@@ -1,0 +1,162 @@
+#include "catalog/catalog.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace estocada::catalog {
+
+const char* StoreKindName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kRelational:
+      return "relational";
+    case StoreKind::kKeyValue:
+      return "key-value";
+    case StoreKind::kDocument:
+      return "document";
+    case StoreKind::kParallel:
+      return "parallel";
+    case StoreKind::kText:
+      return "text";
+  }
+  return "?";
+}
+
+double FragmentStatistics::EqualitySelectivity(size_t position) const {
+  if (position < distinct.size() && distinct[position] > 0) {
+    return 1.0 / static_cast<double>(distinct[position]);
+  }
+  // Textbook default when statistics are missing.
+  return 0.1;
+}
+
+Status Catalog::RegisterDatasetSchema(const pivot::Schema& schema) {
+  return dataset_schema_.Merge(schema);
+}
+
+Status Catalog::RegisterStore(StoreHandle handle) {
+  if (handle.name.empty()) {
+    return Status::InvalidArgument("store needs a name");
+  }
+  int set = (handle.relational != nullptr) + (handle.kv != nullptr) +
+            (handle.document != nullptr) + (handle.parallel != nullptr) +
+            (handle.text != nullptr);
+  if (set != 1) {
+    return Status::InvalidArgument(
+        StrCat("store '", handle.name,
+               "': exactly one implementation pointer must be set, got ",
+               set));
+  }
+  bool matches = (handle.kind == StoreKind::kRelational &&
+                  handle.relational != nullptr) ||
+                 (handle.kind == StoreKind::kKeyValue && handle.kv != nullptr) ||
+                 (handle.kind == StoreKind::kDocument &&
+                  handle.document != nullptr) ||
+                 (handle.kind == StoreKind::kParallel &&
+                  handle.parallel != nullptr) ||
+                 (handle.kind == StoreKind::kText && handle.text != nullptr);
+  if (!matches) {
+    return Status::InvalidArgument(
+        StrCat("store '", handle.name, "': pointer does not match kind ",
+               StoreKindName(handle.kind)));
+  }
+  if (stores_.count(handle.name)) {
+    return Status::AlreadyExists(
+        StrCat("store '", handle.name, "' already registered"));
+  }
+  stores_.emplace(handle.name, std::move(handle));
+  return Status::OK();
+}
+
+Result<const StoreHandle*> Catalog::GetStore(const std::string& name) const {
+  auto it = stores_.find(name);
+  if (it == stores_.end()) {
+    return Status::NotFound(StrCat("store '", name, "' not registered"));
+  }
+  return &it->second;
+}
+
+Status Catalog::RegisterFragment(StorageDescriptor descriptor) {
+  ESTOCADA_RETURN_NOT_OK(descriptor.view.query.Validate());
+  const std::string& name = descriptor.name();
+  if (fragments_.count(name)) {
+    return Status::AlreadyExists(
+        StrCat("fragment '", name, "' already registered"));
+  }
+  if (dataset_schema_.HasRelation(name)) {
+    return Status::InvalidArgument(
+        StrCat("fragment '", name, "' collides with a dataset relation"));
+  }
+  ESTOCADA_RETURN_NOT_OK(GetStore(descriptor.store_name).status());
+  for (const pivot::Atom& a : descriptor.view.query.body) {
+    if (!dataset_schema_.HasRelation(a.relation)) {
+      return Status::NotFound(
+          StrCat("fragment '", name, "': view body uses unknown relation '",
+                 a.relation, "'"));
+    }
+  }
+  if (descriptor.container.empty()) descriptor.container = name;
+  fragments_.emplace(name, std::move(descriptor));
+  return Status::OK();
+}
+
+Status Catalog::DropFragment(const std::string& name) {
+  if (fragments_.erase(name) == 0) {
+    return Status::NotFound(StrCat("fragment '", name, "' not registered"));
+  }
+  return Status::OK();
+}
+
+Result<const StorageDescriptor*> Catalog::GetFragment(
+    const std::string& name) const {
+  auto it = fragments_.find(name);
+  if (it == fragments_.end()) {
+    return Status::NotFound(StrCat("fragment '", name, "' not registered"));
+  }
+  return &it->second;
+}
+
+Result<StorageDescriptor*> Catalog::GetMutableFragment(
+    const std::string& name) {
+  auto it = fragments_.find(name);
+  if (it == fragments_.end()) {
+    return Status::NotFound(StrCat("fragment '", name, "' not registered"));
+  }
+  return &it->second;
+}
+
+std::vector<pacb::ViewDefinition> Catalog::AllViews() const {
+  std::vector<pacb::ViewDefinition> out;
+  out.reserve(fragments_.size());
+  for (const auto& [name, desc] : fragments_) out.push_back(desc.view);
+  return out;
+}
+
+std::string Catalog::ToString() const {
+  std::string out = "== Stores ==\n";
+  for (const auto& [name, handle] : stores_) {
+    out += StrCat("  ", name, " (", StoreKindName(handle.kind), ")\n");
+  }
+  out += "== Fragments ==\n";
+  for (const auto& [name, desc] : fragments_) {
+    out += StrCat("  ", desc.view.query.ToString(), "\n    @ ",
+                  desc.store_name, "/", desc.container, ", ",
+                  desc.stats.row_count, " rows\n");
+  }
+  return out;
+}
+
+std::vector<std::string> FragmentColumnNames(const pacb::ViewDefinition& view) {
+  std::vector<std::string> names;
+  std::set<std::string> seen;
+  for (size_t i = 0; i < view.query.head.size(); ++i) {
+    const pivot::Term& t = view.query.head[i];
+    std::string name = t.is_variable() ? t.var_name() : StrCat("h", i);
+    if (!name.empty() && name[0] == '$') name = name.substr(1);
+    if (!seen.insert(name).second) name = StrCat(name, "_", i);
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+}  // namespace estocada::catalog

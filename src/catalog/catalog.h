@@ -1,0 +1,132 @@
+#ifndef ESTOCADA_CATALOG_CATALOG_H_
+#define ESTOCADA_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pacb/view.h"
+#include "pivot/schema.h"
+#include "stores/document_store.h"
+#include "stores/kv_store.h"
+#include "stores/parallel_store.h"
+#include "stores/relational_store.h"
+#include "stores/text_store.h"
+
+namespace estocada::catalog {
+
+/// The kinds of DMSs ESTOCADA can exploit side by side.
+enum class StoreKind {
+  kRelational,
+  kKeyValue,
+  kDocument,
+  kParallel,
+  kText,
+};
+
+const char* StoreKindName(StoreKind kind);
+
+/// A registered DMS instance: a name (e.g. "postgres1") plus a non-owning
+/// pointer to exactly one store implementation.
+struct StoreHandle {
+  std::string name;
+  StoreKind kind = StoreKind::kRelational;
+  stores::RelationalStore* relational = nullptr;
+  stores::KeyValueStore* kv = nullptr;
+  stores::DocumentStore* document = nullptr;
+  stores::ParallelStore* parallel = nullptr;
+  stores::TextStore* text = nullptr;
+};
+
+/// Per-fragment statistics driving the cost model ("statistics it gathers
+/// and stores on the data of each fragment, using database textbook
+/// formulas").
+struct FragmentStatistics {
+  size_t row_count = 0;
+  /// Distinct value count per view-head position.
+  std::vector<size_t> distinct;
+
+  /// Selectivity of an equality on `position` (1/distinct, floored).
+  double EqualitySelectivity(size_t position) const;
+};
+
+/// A storage descriptor sd(Sk, Di/Fj) — the paper's §III artifact. The
+/// *what* is the LAV view definition (a CQ over the application dataset's
+/// pivot relations); the *where* names the store and the container inside
+/// it; the supported access operations follow from the store kind and the
+/// view's access-pattern adornments.
+struct StorageDescriptor {
+  /// Fragment name == view head relation name (e.g. "F_cart_by_user").
+  pacb::ViewDefinition view;
+  /// Which registered store holds this fragment.
+  std::string store_name;
+  /// Container within the store: table / collection / relation / core
+  /// name. Defaults to the fragment name at registration.
+  std::string container;
+  FragmentStatistics stats;
+  /// Positions whose values are nested lists (set at materialization).
+  /// Stores without a native collection type (relational, text keys)
+  /// persist them as JSON text; readers must parse them back.
+  std::vector<bool> list_column;
+  /// Extra positions to build secondary indexes on at materialization
+  /// (beyond the input-adorned ones). For relational/document fragments
+  /// each position gets its own index; for parallel fragments the set
+  /// forms one composite index when no input adornments exist.
+  std::vector<size_t> index_positions;
+
+  const std::string& name() const { return view.name(); }
+};
+
+/// The Storage Descriptor Manager: datasets (pivot schemas + constraints),
+/// registered stores, and fragment descriptors.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Merges a dataset's pivot schema (relations + constraints).
+  Status RegisterDatasetSchema(const pivot::Schema& schema);
+
+  /// Registers a DMS instance. Exactly one store pointer must be set and
+  /// must match `kind`.
+  Status RegisterStore(StoreHandle handle);
+
+  Result<const StoreHandle*> GetStore(const std::string& name) const;
+
+  /// Registers a fragment descriptor; the view's head relation name must
+  /// be fresh, the store known, and the view body over dataset relations.
+  Status RegisterFragment(StorageDescriptor descriptor);
+
+  Status DropFragment(const std::string& name);
+
+  Result<const StorageDescriptor*> GetFragment(const std::string& name) const;
+  Result<StorageDescriptor*> GetMutableFragment(const std::string& name);
+
+  const std::map<std::string, StorageDescriptor>& fragments() const {
+    return fragments_;
+  }
+  const std::map<std::string, StoreHandle>& stores() const { return stores_; }
+  const pivot::Schema& dataset_schema() const { return dataset_schema_; }
+
+  /// All view definitions, for the rewriter.
+  std::vector<pacb::ViewDefinition> AllViews() const;
+
+  /// Human-readable inventory (demo step 1: "view their specification").
+  std::string ToString() const;
+
+ private:
+  pivot::Schema dataset_schema_;
+  std::map<std::string, StoreHandle> stores_;
+  std::map<std::string, StorageDescriptor> fragments_;
+};
+
+/// Stored column names of a fragment's physical layout: the view head
+/// variable names ('$' stripped; h<i> fallback; duplicates suffixed).
+/// Shared by the materializer (which creates containers) and the
+/// translator (which queries them).
+std::vector<std::string> FragmentColumnNames(const pacb::ViewDefinition& view);
+
+}  // namespace estocada::catalog
+
+#endif  // ESTOCADA_CATALOG_CATALOG_H_

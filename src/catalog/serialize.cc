@@ -1,0 +1,113 @@
+#include "catalog/serialize.h"
+
+#include "common/strings.h"
+#include "pivot/parser.h"
+
+namespace estocada::catalog {
+
+using json::JsonValue;
+
+JsonValue CatalogToJson(const Catalog& catalog) {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("format", JsonValue::Str("estocada-catalog"));
+  root.Set("version", JsonValue::Int(1));
+  JsonValue fragments = JsonValue::MakeArray();
+  for (const auto& [name, desc] : catalog.fragments()) {
+    JsonValue f = JsonValue::MakeObject();
+    f.Set("view", JsonValue::Str(desc.view.query.ToString()));
+    JsonValue adorn = JsonValue::MakeArray();
+    for (pivot::Adornment a : desc.view.adornments) {
+      adorn.Append(JsonValue::Str(a == pivot::Adornment::kInput ? "in"
+                                                                : "free"));
+    }
+    f.Set("adornments", adorn);
+    f.Set("store", JsonValue::Str(desc.store_name));
+    f.Set("container", JsonValue::Str(desc.container));
+    JsonValue idx = JsonValue::MakeArray();
+    for (size_t p : desc.index_positions) {
+      idx.Append(JsonValue::Int(static_cast<int64_t>(p)));
+    }
+    f.Set("index_positions", idx);
+    JsonValue stats = JsonValue::MakeObject();
+    stats.Set("row_count",
+              JsonValue::Int(static_cast<int64_t>(desc.stats.row_count)));
+    JsonValue distinct = JsonValue::MakeArray();
+    for (size_t d : desc.stats.distinct) {
+      distinct.Append(JsonValue::Int(static_cast<int64_t>(d)));
+    }
+    stats.Set("distinct", distinct);
+    f.Set("stats", stats);
+    fragments.Append(std::move(f));
+  }
+  root.Set("fragments", std::move(fragments));
+  return root;
+}
+
+Status FragmentsFromJson(const JsonValue& doc, Catalog* catalog) {
+  const JsonValue* format = doc.Find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->string_value() != "estocada-catalog") {
+    return Status::InvalidArgument(
+        "not an estocada-catalog JSON document");
+  }
+  const JsonValue* fragments = doc.Find("fragments");
+  if (fragments == nullptr || !fragments->is_array()) {
+    return Status::InvalidArgument("catalog JSON lacks a fragments array");
+  }
+  for (const JsonValue& f : fragments->array()) {
+    const JsonValue* view = f.Find("view");
+    const JsonValue* store = f.Find("store");
+    if (view == nullptr || !view->is_string() || store == nullptr ||
+        !store->is_string()) {
+      return Status::InvalidArgument(
+          "fragment entry needs 'view' and 'store' strings");
+    }
+    StorageDescriptor desc;
+    ESTOCADA_ASSIGN_OR_RETURN(desc.view.query,
+                              pivot::ParseQuery(view->string_value()));
+    if (const JsonValue* adorn = f.Find("adornments");
+        adorn != nullptr && adorn->is_array()) {
+      for (const JsonValue& a : adorn->array()) {
+        if (!a.is_string()) {
+          return Status::InvalidArgument("adornment entries must be strings");
+        }
+        desc.view.adornments.push_back(a.string_value() == "in"
+                                           ? pivot::Adornment::kInput
+                                           : pivot::Adornment::kFree);
+      }
+    }
+    desc.store_name = store->string_value();
+    if (const JsonValue* container = f.Find("container");
+        container != nullptr && container->is_string()) {
+      desc.container = container->string_value();
+    }
+    if (const JsonValue* idx = f.Find("index_positions");
+        idx != nullptr && idx->is_array()) {
+      for (const JsonValue& p : idx->array()) {
+        if (!p.is_int()) {
+          return Status::InvalidArgument("index positions must be integers");
+        }
+        desc.index_positions.push_back(static_cast<size_t>(p.int_value()));
+      }
+    }
+    if (const JsonValue* stats = f.Find("stats"); stats != nullptr) {
+      if (const JsonValue* rc = stats->Find("row_count");
+          rc != nullptr && rc->is_int()) {
+        desc.stats.row_count = static_cast<size_t>(rc->int_value());
+      }
+      if (const JsonValue* distinct = stats->Find("distinct");
+          distinct != nullptr && distinct->is_array()) {
+        for (const JsonValue& d : distinct->array()) {
+          if (d.is_int()) {
+            desc.stats.distinct.push_back(
+                static_cast<size_t>(d.int_value()));
+          }
+        }
+      }
+    }
+    ESTOCADA_RETURN_NOT_OK(catalog->RegisterFragment(std::move(desc)));
+  }
+  return Status::OK();
+}
+
+}  // namespace estocada::catalog

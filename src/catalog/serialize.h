@@ -1,0 +1,29 @@
+#ifndef ESTOCADA_CATALOG_SERIALIZE_H_
+#define ESTOCADA_CATALOG_SERIALIZE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "json/json.h"
+
+namespace estocada::catalog {
+
+/// Serializes the Storage Descriptor Manager's state — every fragment's
+/// *what* (view text + adornments) and *where* (store, container, index
+/// positions), plus its statistics — as a JSON document, so a deployment
+/// can be checkpointed, versioned, and re-established. Store handles are
+/// referenced by name only (they are live connections, re-registered at
+/// startup).
+json::JsonValue CatalogToJson(const Catalog& catalog);
+
+/// Re-registers the fragments of `doc` (a CatalogToJson result) into
+/// `catalog`. The dataset schema and the named stores must already be
+/// registered; fragments are *not* materialized (callers re-materialize
+/// from staged data or trust the stores' existing contents). Fails on the
+/// first invalid descriptor, leaving earlier ones registered.
+Status FragmentsFromJson(const json::JsonValue& doc, Catalog* catalog);
+
+}  // namespace estocada::catalog
+
+#endif  // ESTOCADA_CATALOG_SERIALIZE_H_

@@ -1,0 +1,185 @@
+#include "chase/chase.h"
+
+#include <unordered_map>
+
+#include "chase/homomorphism.h"
+#include "common/strings.h"
+
+namespace estocada::chase {
+
+using pivot::Atom;
+using pivot::Dependency;
+using pivot::Substitution;
+using pivot::Term;
+using pivot::Tgd;
+
+namespace {
+
+/// Memo of fired TGD triggers for the provenance-aware (semi-oblivious)
+/// chase: key = dependency index + canonical frontier bindings; value =
+/// the ids of the head atoms that firing produced (so later rounds can OR
+/// refreshed trigger provenance into exactly those atoms, conditioned on
+/// any merges that have rewritten them since).
+using FiredMemo = std::unordered_map<std::string, std::vector<size_t>>;
+
+std::string TriggerKey(size_t dep_index, const Tgd& tgd,
+                       const Substitution& sub, const Instance& inst) {
+  std::string key = std::to_string(dep_index);
+  for (const std::string& v : tgd.FrontierVariables()) {
+    key += '|';
+    auto it = sub.find(v);
+    if (it != sub.end()) key += inst.Canonical(it->second).ToString();
+  }
+  return key;
+}
+
+/// Fires one TGD over all current triggers. Returns whether the instance
+/// changed. Matches are materialized first so insertion does not disturb
+/// the enumeration; new triggers created by these insertions are picked up
+/// in the next round.
+///
+/// Two firing disciplines:
+///  * standard chase (no provenance): a trigger whose head is already
+///    satisfiable by some extension does not fire;
+///  * provenance-aware chase: the *semi-oblivious* (Skolem) discipline —
+///    every trigger fires exactly once per frontier binding, and on later
+///    rounds its (possibly refined) provenance is OR-ed into the atoms it
+///    produced. Satisfaction-based skipping would lose alternative
+///    derivations that use the trigger's own existential witnesses, which
+///    is exactly what PACB's backchase needs to enumerate rewritings.
+Result<bool> ChaseTgdRound(size_t dep_index, const Tgd& tgd, Instance* inst,
+                           const ChaseOptions& options, ChaseStats* stats,
+                           FiredMemo* fired) {
+  std::vector<Match> triggers = FindHomomorphisms(tgd.body, *inst);
+  stats->triggers_checked += triggers.size();
+  bool changed = false;
+  const std::vector<std::string> existentials = tgd.ExistentialVariables();
+
+  for (const Match& trigger : triggers) {
+    // Provenance of the trigger: conjunction over matched body atoms
+    // (re-resolved, as earlier merges may have rewritten them).
+    ProvFormula prov;
+    if (inst->track_provenance()) {
+      prov = ProvFormula::True();
+      for (size_t id : trigger.atom_ids) {
+        auto live = inst->FindAtom(inst->atom(id));
+        prov = prov.And(inst->provenance(live.value_or(id)));
+      }
+    }
+
+    // Canonicalize bindings (earlier merges in this round may apply).
+    Substitution sub;
+    for (const auto& [v, t] : trigger.sub) sub.emplace(v, inst->Canonical(t));
+
+    if (inst->track_provenance()) {
+      std::string key = TriggerKey(dep_index, tgd, sub, *inst);
+      auto it = fired->find(key);
+      if (it != fired->end()) {
+        // Refire virtually: OR the refreshed provenance into the atoms
+        // this trigger produced the first time. If merges have rewritten a
+        // produced atom since, this derivation only reaches the current
+        // form under those equalities — AND their conditioning in.
+        for (size_t produced_id : it->second) {
+          auto r = inst->Insert(
+              inst->atom(produced_id),
+              prov.And(inst->merge_conditioning(produced_id)));
+          changed |= r.changed;
+        }
+        continue;
+      }
+      for (const std::string& ev : existentials) sub[ev] = inst->FreshNull();
+      std::vector<size_t> produced;
+      for (const Atom& h : tgd.head) {
+        auto r = inst->Insert(ApplySubstitution(sub, h), prov);
+        changed |= r.changed;
+        produced.push_back(r.id);
+      }
+      (*fired)[std::move(key)] = std::move(produced);
+      ++stats->tgd_fires;
+    } else {
+      // Head pattern with frontier variables substituted; existential
+      // variables stay free for the satisfaction check.
+      std::vector<Atom> head = ApplySubstitution(sub, tgd.head);
+      if (ExistsHomomorphism(head, *inst)) continue;
+      for (const std::string& ev : existentials) sub[ev] = inst->FreshNull();
+      for (const Atom& h : tgd.head) {
+        auto r = inst->Insert(ApplySubstitution(sub, h), prov);
+        changed |= r.changed;
+      }
+      ++stats->tgd_fires;
+    }
+    if (inst->size() > options.max_atoms) {
+      return Status::ChaseFailure(
+          StrCat("chase exceeded max_atoms=", options.max_atoms,
+                 " (non-terminating constraint set?)"));
+    }
+  }
+  return changed;
+}
+
+/// Fires one EGD over all current triggers; merges are applied after the
+/// enumeration so iteration sees a stable instance.
+Result<bool> ChaseEgdRound(const pivot::Egd& egd, Instance* inst,
+                           ChaseStats* stats) {
+  std::vector<Match> triggers = FindHomomorphisms(egd.body, *inst);
+  stats->triggers_checked += triggers.size();
+  bool changed = false;
+  for (const Match& trigger : triggers) {
+    Term l = ApplySubstitution(trigger.sub, egd.left);
+    Term r = ApplySubstitution(trigger.sub, egd.right);
+    if (l.is_variable() || r.is_variable()) {
+      return Status::InvalidArgument(
+          StrCat("EGD '", egd.label,
+                 "' equates a variable not bound by its body"));
+    }
+    ProvFormula prov = ProvFormula::True();
+    if (inst->track_provenance()) {
+      // Re-resolve the matched atoms: earlier merges in this round may
+      // have rewritten them, and the *current* provenance is the sound
+      // one to condition the merge on.
+      for (size_t id : trigger.atom_ids) {
+        auto live = inst->FindAtom(inst->atom(id));
+        prov = prov.And(inst->provenance(live.value_or(id)));
+      }
+    }
+    ESTOCADA_ASSIGN_OR_RETURN(bool merged, inst->MergeTerms(l, r, prov));
+    if (merged) {
+      changed = true;
+      ++stats->egd_merges;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Status RunChase(const std::vector<Dependency>& deps, Instance* inst,
+                const ChaseOptions& options, ChaseStats* stats) {
+  ChaseStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  FiredMemo fired;
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    ++stats->rounds;
+    bool changed = false;
+    for (size_t di = 0; di < deps.size(); ++di) {
+      const Dependency& d = deps[di];
+      if (d.is_tgd()) {
+        ESTOCADA_ASSIGN_OR_RETURN(
+            bool c, ChaseTgdRound(di, d.tgd, inst, options, stats, &fired));
+        changed |= c;
+      } else {
+        ESTOCADA_ASSIGN_OR_RETURN(bool c, ChaseEgdRound(d.egd, inst, stats));
+        changed |= c;
+      }
+    }
+    if (!changed) {
+      stats->reached_fixpoint = true;
+      return Status::OK();
+    }
+  }
+  return Status::ChaseFailure(
+      StrCat("chase did not reach a fixpoint within ", options.max_rounds,
+             " rounds"));
+}
+
+}  // namespace estocada::chase

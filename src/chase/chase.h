@@ -1,0 +1,42 @@
+#ifndef ESTOCADA_CHASE_CHASE_H_
+#define ESTOCADA_CHASE_CHASE_H_
+
+#include <vector>
+
+#include "chase/instance.h"
+#include "common/result.h"
+#include "pivot/dependency.h"
+
+namespace estocada::chase {
+
+/// Tuning/limit knobs for a chase run.
+struct ChaseOptions {
+  /// Maximum full passes over the dependency set. For weakly acyclic sets
+  /// the chase reaches a fixpoint long before this; the bound is a guard
+  /// against non-terminating (cyclic) inputs.
+  size_t max_rounds = 64;
+  /// Hard cap on instance atoms; exceeding it aborts with kChaseFailure.
+  size_t max_atoms = 200000;
+};
+
+/// Counters reported by a chase run.
+struct ChaseStats {
+  size_t rounds = 0;
+  size_t tgd_fires = 0;
+  size_t egd_merges = 0;
+  size_t triggers_checked = 0;
+  bool reached_fixpoint = false;
+};
+
+/// Runs the standard chase of `inst` with `deps` to fixpoint (or until a
+/// limit). TGD steps fire only *active* triggers (no existing extension of
+/// the trigger satisfies the head); when the instance tracks provenance,
+/// satisfied triggers still OR the trigger's provenance into the head
+/// match's atoms — this is the provenance-aware chase of PACB. EGD steps
+/// merge terms and fail on constant clashes.
+Status RunChase(const std::vector<pivot::Dependency>& deps, Instance* inst,
+                const ChaseOptions& options = {}, ChaseStats* stats = nullptr);
+
+}  // namespace estocada::chase
+
+#endif  // ESTOCADA_CHASE_CHASE_H_

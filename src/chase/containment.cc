@@ -1,0 +1,65 @@
+#include "chase/containment.h"
+
+#include "chase/homomorphism.h"
+#include "common/strings.h"
+
+namespace estocada::chase {
+
+using pivot::ConjunctiveQuery;
+using pivot::Substitution;
+using pivot::Term;
+
+Result<bool> IsContainedIn(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2,
+                           const std::vector<pivot::Dependency>& deps,
+                           const ChaseOptions& options) {
+  if (q1.arity() != q2.arity()) {
+    return Status::InvalidArgument(
+        StrCat("containment between different arities: ", q1.arity(), " vs ",
+               q2.arity()));
+  }
+  // Freeze q1 and chase.
+  pivot::FrozenBody frozen = FreezeBody(q1);
+  Instance inst;
+  Status st = inst.InsertAll(frozen.atoms);
+  if (!st.ok()) return st;
+  Status chase_status = RunChase(deps, &inst, options);
+  if (!chase_status.ok()) {
+    if (chase_status.code() == StatusCode::kChaseFailure) {
+      // q1 is unsatisfiable under the constraints: vacuously contained.
+      return true;
+    }
+    return chase_status;
+  }
+
+  // Required head mapping: q2's i-th head term must land on the canonical
+  // image of q1's i-th head term.
+  Substitution required;
+  for (size_t i = 0; i < q2.head.size(); ++i) {
+    Term target = inst.Canonical(
+        pivot::ApplySubstitution(frozen.freeze, q1.head[i]));
+    const Term& h2 = q2.head[i];
+    if (h2.is_variable()) {
+      auto it = required.find(h2.var_name());
+      if (it != required.end()) {
+        if (!(it->second == target)) return false;
+      } else {
+        required.emplace(h2.var_name(), target);
+      }
+    } else {
+      if (!(inst.Canonical(h2) == target)) return false;
+    }
+  }
+  return ExistsHomomorphism(q2.body, inst, required);
+}
+
+Result<bool> AreEquivalent(const ConjunctiveQuery& q1,
+                           const ConjunctiveQuery& q2,
+                           const std::vector<pivot::Dependency>& deps,
+                           const ChaseOptions& options) {
+  ESTOCADA_ASSIGN_OR_RETURN(bool a, IsContainedIn(q1, q2, deps, options));
+  if (!a) return false;
+  return IsContainedIn(q2, q1, deps, options);
+}
+
+}  // namespace estocada::chase

@@ -1,0 +1,31 @@
+#ifndef ESTOCADA_CHASE_CONTAINMENT_H_
+#define ESTOCADA_CHASE_CONTAINMENT_H_
+
+#include <vector>
+
+#include "chase/chase.h"
+#include "common/result.h"
+#include "pivot/dependency.h"
+#include "pivot/query.h"
+
+namespace estocada::chase {
+
+/// Decides `q1 ⊑ q2` under the dependencies `deps` by the classical
+/// chase-based test: freeze q1's body, chase it with `deps`, and look for a
+/// homomorphism of q2's body that maps q2's head to q1's (frozen, chased)
+/// head. A failing chase (EGD constant clash) means q1 is unsatisfiable
+/// under the constraints, hence trivially contained.
+Result<bool> IsContainedIn(const pivot::ConjunctiveQuery& q1,
+                           const pivot::ConjunctiveQuery& q2,
+                           const std::vector<pivot::Dependency>& deps,
+                           const ChaseOptions& options = {});
+
+/// Both directions: q1 ≡ q2 under `deps`.
+Result<bool> AreEquivalent(const pivot::ConjunctiveQuery& q1,
+                           const pivot::ConjunctiveQuery& q2,
+                           const std::vector<pivot::Dependency>& deps,
+                           const ChaseOptions& options = {});
+
+}  // namespace estocada::chase
+
+#endif  // ESTOCADA_CHASE_CONTAINMENT_H_

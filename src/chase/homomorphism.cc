@@ -1,0 +1,150 @@
+#include "chase/homomorphism.h"
+
+#include <algorithm>
+
+namespace estocada::chase {
+
+using pivot::Atom;
+using pivot::Substitution;
+using pivot::Term;
+
+namespace {
+
+/// Backtracking matcher. At each level picks the unmatched pattern atom
+/// with the most bound terms (cheap fail-first heuristic), scans the
+/// candidate atoms of its relation, and unifies.
+class Matcher {
+ public:
+  Matcher(const std::vector<Atom>& pattern, const Instance& inst,
+          const std::function<bool(const Match&)>& on_match)
+      : pattern_(pattern), inst_(inst), on_match_(on_match) {}
+
+  bool Run(const Substitution& start) {
+    sub_ = start;
+    // Canonicalize the start bindings through the instance union-find so
+    // required targets survive EGD merges.
+    for (auto& [k, v] : sub_) v = inst_.Canonical(v);
+    matched_.assign(pattern_.size(), false);
+    atom_ids_.assign(pattern_.size(), 0);
+    return Descend(0);
+  }
+
+ private:
+  /// Number of terms of `a` that are ground or bound under sub_.
+  size_t BoundCount(const Atom& a) const {
+    size_t n = 0;
+    for (const Term& t : a.terms) {
+      if (!t.is_variable() || sub_.count(t.var_name())) ++n;
+    }
+    return n;
+  }
+
+  /// Returns false to abort the whole enumeration (callback said stop).
+  bool Descend(size_t depth) {
+    if (depth == pattern_.size()) {
+      Match m;
+      m.sub = sub_;
+      m.atom_ids = atom_ids_;
+      return on_match_(m);
+    }
+    // Fail-first: the unmatched atom with the most bound positions.
+    size_t best = pattern_.size();
+    size_t best_bound = 0;
+    for (size_t i = 0; i < pattern_.size(); ++i) {
+      if (matched_[i]) continue;
+      size_t b = BoundCount(pattern_[i]);
+      if (best == pattern_.size() || b > best_bound) {
+        best = i;
+        best_bound = b;
+      }
+    }
+    const Atom& pat = pattern_[best];
+    matched_[best] = true;
+
+    const std::vector<size_t>& candidates = inst_.AtomsOf(pat.relation);
+    for (size_t id : candidates) {
+      if (!inst_.alive(id)) continue;
+      const Atom& ground = inst_.atom(id);
+      if (ground.terms.size() != pat.terms.size()) continue;
+      // Attempt unification; record which vars we bound to undo later.
+      std::vector<std::string> bound_here;
+      bool ok = true;
+      for (size_t i = 0; i < pat.terms.size(); ++i) {
+        const Term& pt = pat.terms[i];
+        const Term& gt = ground.terms[i];
+        if (pt.is_variable()) {
+          auto it = sub_.find(pt.var_name());
+          if (it == sub_.end()) {
+            sub_.emplace(pt.var_name(), gt);
+            bound_here.push_back(pt.var_name());
+          } else if (!(it->second == gt)) {
+            ok = false;
+            break;
+          }
+        } else {
+          // Constants / labelled nulls in the pattern must match exactly
+          // (after canonicalization, which Insert already applied).
+          if (!(inst_.Canonical(pt) == gt)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        atom_ids_[best] = id;
+        if (!Descend(depth + 1)) {
+          for (const auto& v : bound_here) sub_.erase(v);
+          matched_[best] = false;
+          return false;
+        }
+      }
+      for (const auto& v : bound_here) sub_.erase(v);
+    }
+    matched_[best] = false;
+    return true;
+  }
+
+  const std::vector<Atom>& pattern_;
+  const Instance& inst_;
+  const std::function<bool(const Match&)>& on_match_;
+  Substitution sub_;
+  std::vector<bool> matched_;
+  std::vector<size_t> atom_ids_;
+};
+
+}  // namespace
+
+void ForEachHomomorphism(const std::vector<Atom>& pattern,
+                         const Instance& inst, const Substitution& start,
+                         const std::function<bool(const Match&)>& on_match) {
+  if (pattern.empty()) {
+    Match m;
+    m.sub = start;
+    on_match(m);
+    return;
+  }
+  Matcher(pattern, inst, on_match).Run(start);
+}
+
+std::vector<Match> FindHomomorphisms(const std::vector<Atom>& pattern,
+                                     const Instance& inst,
+                                     const Substitution& start, size_t limit) {
+  std::vector<Match> out;
+  ForEachHomomorphism(pattern, inst, start, [&](const Match& m) {
+    out.push_back(m);
+    return limit == 0 || out.size() < limit;
+  });
+  return out;
+}
+
+bool ExistsHomomorphism(const std::vector<Atom>& pattern, const Instance& inst,
+                        const Substitution& start) {
+  bool found = false;
+  ForEachHomomorphism(pattern, inst, start, [&](const Match&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+}  // namespace estocada::chase

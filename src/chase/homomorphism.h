@@ -1,0 +1,43 @@
+#ifndef ESTOCADA_CHASE_HOMOMORPHISM_H_
+#define ESTOCADA_CHASE_HOMOMORPHISM_H_
+
+#include <functional>
+#include <vector>
+
+#include "chase/instance.h"
+#include "pivot/query.h"
+
+namespace estocada::chase {
+
+/// A homomorphism match: the substitution plus the instance atom ids the
+/// pattern atoms were mapped to (parallel to the pattern order used
+/// internally; `atom_ids[i]` matches `pattern[order[i]]`, exposed in
+/// original pattern order).
+struct Match {
+  pivot::Substitution sub;
+  std::vector<size_t> atom_ids;  ///< One instance atom id per pattern atom.
+};
+
+/// Enumerates homomorphisms of `pattern` (atoms with variables; constants
+/// and labelled nulls must match exactly) into `inst`, extending the
+/// partial substitution `start`. Invokes `on_match` per match; stop early
+/// by returning false from the callback.
+void ForEachHomomorphism(const std::vector<pivot::Atom>& pattern,
+                         const Instance& inst,
+                         const pivot::Substitution& start,
+                         const std::function<bool(const Match&)>& on_match);
+
+/// Convenience: all matches (bounded by `limit`, 0 = unbounded).
+std::vector<Match> FindHomomorphisms(const std::vector<pivot::Atom>& pattern,
+                                     const Instance& inst,
+                                     const pivot::Substitution& start = {},
+                                     size_t limit = 0);
+
+/// True iff at least one homomorphism exists.
+bool ExistsHomomorphism(const std::vector<pivot::Atom>& pattern,
+                        const Instance& inst,
+                        const pivot::Substitution& start = {});
+
+}  // namespace estocada::chase
+
+#endif  // ESTOCADA_CHASE_HOMOMORPHISM_H_

@@ -1,0 +1,164 @@
+#include "chase/instance.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace estocada::chase {
+
+using pivot::Atom;
+using pivot::Term;
+
+Instance::InsertResult Instance::Insert(Atom atom, const ProvFormula& prov) {
+  // Canonicalize terms through the union-find before storing.
+  for (Term& t : atom.terms) t = Canonical(t);
+  for (const Term& t : atom.terms) {
+    if (t.is_labelled_null() && t.null_id() >= next_null_id_) {
+      next_null_id_ = t.null_id() + 1;
+    }
+  }
+  auto it = index_.find(atom);
+  if (it != index_.end()) {
+    size_t id = it->second;
+    bool changed = false;
+    if (track_provenance_ && !prov_[id].Subsumes(prov)) {
+      prov_[id] = prov_[id].Or(prov);
+      changed = true;
+    }
+    return {id, changed};
+  }
+  size_t id = atoms_.size();
+  by_relation_[atom.relation].push_back(id);
+  index_.emplace(atom, id);
+  atoms_.push_back(std::move(atom));
+  prov_.push_back(track_provenance_ ? prov : ProvFormula());
+  merge_cond_.push_back(ProvFormula::True());
+  alive_.push_back(true);
+  return {id, true};
+}
+
+size_t Instance::live_size() const {
+  size_t n = 0;
+  for (bool b : alive_) {
+    if (b) ++n;
+  }
+  return n;
+}
+
+bool Instance::Contains(const Atom& atom) const {
+  Atom canon = atom;
+  for (Term& t : canon.terms) t = Canonical(t);
+  return index_.count(canon) > 0;
+}
+
+const std::vector<size_t>& Instance::AtomsOf(const std::string& relation) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = by_relation_.find(relation);
+  return it == by_relation_.end() ? kEmpty : it->second;
+}
+
+Term Instance::Canonical(const Term& t) const {
+  Term cur = t;
+  // Path walk (no compression here: method is const; chains stay short
+  // because MergeTerms compresses as it rebuilds).
+  for (;;) {
+    auto it = redirect_.find(cur);
+    if (it == redirect_.end()) return cur;
+    cur = it->second;
+  }
+}
+
+Result<bool> Instance::MergeTerms(const Term& a, const Term& b,
+                                  const ProvFormula& merge_prov) {
+  Term ca = Canonical(a);
+  Term cb = Canonical(b);
+  if (ca == cb) return false;
+  if (ca.is_constant() && cb.is_constant()) {
+    return Status::ChaseFailure(
+        StrCat("EGD attempts to equate distinct constants ", ca.ToString(),
+               " and ", cb.ToString()));
+  }
+  // Constants win; between nulls, the smaller id wins (stable orientation).
+  Term winner = ca;
+  Term loser = cb;
+  if (cb.is_constant() ||
+      (ca.is_labelled_null() && cb.is_labelled_null() &&
+       cb.null_id() < ca.null_id())) {
+    winner = cb;
+    loser = ca;
+  }
+  redirect_[loser] = winner;
+  Recanonicalize(merge_prov);
+  return true;
+}
+
+std::optional<size_t> Instance::FindAtom(const Atom& atom) const {
+  Atom canon = atom;
+  for (Term& t : canon.terms) t = Canonical(t);
+  auto it = index_.find(canon);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Instance::Recanonicalize(const ProvFormula& merge_prov) {
+  by_relation_.clear();
+  index_.clear();
+  for (size_t id = 0; id < atoms_.size(); ++id) {
+    if (!alive_[id]) continue;
+    Atom& atom = atoms_[id];
+    bool rewritten = false;
+    for (Term& t : atom.terms) {
+      Term c = Canonical(t);
+      if (!(c == t)) {
+        t = c;
+        rewritten = true;
+      }
+    }
+    if (rewritten && track_provenance_ && !merge_prov.is_true()) {
+      // This atom's current form is only derivable given the equality that
+      // caused the rewrite: condition its provenance on the merge's, and
+      // remember the conditioning for future re-derivations of the atom.
+      prov_[id] = prov_[id].And(merge_prov);
+      merge_cond_[id] = merge_cond_[id].And(merge_prov);
+    }
+    auto it = index_.find(atom);
+    if (it != index_.end()) {
+      // Collapsed onto an earlier atom: merge provenance, retire this id.
+      size_t keep = it->second;
+      if (track_provenance_) prov_[keep] = prov_[keep].Or(prov_[id]);
+      alive_[id] = false;
+      continue;
+    }
+    index_.emplace(atom, id);
+    by_relation_[atom.relation].push_back(id);
+  }
+}
+
+Status Instance::InsertAll(const std::vector<Atom>& atoms) {
+  for (const Atom& a : atoms) {
+    for (const Term& t : a.terms) {
+      if (t.is_variable()) {
+        return Status::InvalidArgument(
+            StrCat("cannot insert non-ground atom ", a.ToString()));
+      }
+    }
+    Insert(a);
+  }
+  return Status::OK();
+}
+
+std::string Instance::ToString() const {
+  std::string out;
+  for (size_t id = 0; id < atoms_.size(); ++id) {
+    if (!alive_[id]) continue;
+    out += atoms_[id].ToString();
+    if (track_provenance_) {
+      out += "  @ ";
+      out += prov_[id].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace estocada::chase

@@ -1,0 +1,116 @@
+#ifndef ESTOCADA_CHASE_INSTANCE_H_
+#define ESTOCADA_CHASE_INSTANCE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/prov.h"
+#include "common/result.h"
+#include "pivot/atom.h"
+#include "pivot/query.h"
+
+namespace estocada::chase {
+
+/// A (ground) instance of the pivot schema: a deduplicated set of atoms
+/// whose terms are constants or labelled nulls. Supports
+///  * insertion with optional provenance (OR-merged on duplicates),
+///  * per-relation access for the homomorphism matcher,
+///  * EGD-style term merging with a union-find canonicalizer,
+///  * fresh labelled-null allocation for TGD firing.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Whether atoms carry provenance annotations (PACB backchase).
+  void set_track_provenance(bool on) { track_provenance_ = on; }
+  bool track_provenance() const { return track_provenance_; }
+
+  /// Inserts a ground atom. Returns the atom id and whether anything
+  /// changed (new atom, or provenance grew on an existing one).
+  struct InsertResult {
+    size_t id;
+    bool changed;
+  };
+  InsertResult Insert(pivot::Atom atom, const ProvFormula& prov = {});
+
+  /// True iff the exact atom is present (after canonicalization).
+  bool Contains(const pivot::Atom& atom) const;
+
+  /// Total ids ever allocated (including retired duplicates).
+  size_t size() const { return atoms_.size(); }
+  /// Number of live (non-collapsed) atoms.
+  size_t live_size() const;
+  bool alive(size_t id) const { return alive_[id]; }
+  const pivot::Atom& atom(size_t id) const { return atoms_[id]; }
+  const std::vector<pivot::Atom>& atoms() const { return atoms_; }
+  const ProvFormula& provenance(size_t id) const { return prov_[id]; }
+
+  /// Conjunction of the provenance of every EGD merge that has rewritten
+  /// this atom's stored form (True when untouched). A derivation that
+  /// re-produces this atom's *original* form only reaches the current form
+  /// under those merges, so its provenance must be AND-ed with this before
+  /// being OR-ed in (see the provenance-aware chase).
+  const ProvFormula& merge_conditioning(size_t id) const {
+    return merge_cond_[id];
+  }
+
+  /// Atom ids of a relation (empty list when none).
+  const std::vector<size_t>& AtomsOf(const std::string& relation) const;
+
+  /// Allocates a fresh labelled null, unique within this instance.
+  pivot::Term FreshNull() { return pivot::Term::Null(next_null_id_++); }
+
+  /// Ensures freshly allocated nulls will not collide with ids below `id`.
+  void ReserveNullIdsUpTo(uint64_t id) {
+    if (id > next_null_id_) next_null_id_ = id;
+  }
+
+  /// Canonical representative of a term under the merges applied so far.
+  pivot::Term Canonical(const pivot::Term& t) const;
+
+  /// Merges two terms (EGD firing). Fails with kChaseFailure when both are
+  /// distinct constants. Labelled nulls are redirected to the other term
+  /// (constants win; between nulls the smaller id wins). Returns whether
+  /// the instance changed.
+  ///
+  /// When provenance is tracked, `merge_prov` must carry the provenance of
+  /// the EGD trigger that requested the merge: every atom whose stored form
+  /// changes because of this merge only exists *conditionally* on the
+  /// equality, so its provenance is AND-ed with `merge_prov`. Without this,
+  /// the PACB backchase would report spuriously small rewriting candidates.
+  Result<bool> MergeTerms(const pivot::Term& a, const pivot::Term& b,
+                          const ProvFormula& merge_prov = ProvFormula::True());
+
+  /// Live id of an atom (after canonicalization), if present.
+  std::optional<size_t> FindAtom(const pivot::Atom& atom) const;
+
+  /// Loads all atoms of `atoms` (must be ground).
+  Status InsertAll(const std::vector<pivot::Atom>& atoms);
+
+  /// Multi-line dump for debugging/tests.
+  std::string ToString() const;
+
+ private:
+  /// Rewrites every atom through the canonicalizer, merging duplicates
+  /// (provenance OR), AND-ing `merge_prov` into atoms whose form changed,
+  /// and rebuilding indexes.
+  void Recanonicalize(const ProvFormula& merge_prov);
+
+  bool track_provenance_ = false;
+  std::vector<pivot::Atom> atoms_;
+  std::vector<ProvFormula> prov_;
+  std::vector<ProvFormula> merge_cond_;
+  /// Atom ids are stable; ids whose atom collapsed onto an earlier one
+  /// during recanonicalization are marked dead and skipped by AtomsOf.
+  std::vector<bool> alive_;
+  std::unordered_map<pivot::Atom, size_t, pivot::AtomHash> index_;
+  std::unordered_map<std::string, std::vector<size_t>> by_relation_;
+  std::unordered_map<pivot::Term, pivot::Term, pivot::TermHash> redirect_;
+  uint64_t next_null_id_ = 0;
+};
+
+}  // namespace estocada::chase
+
+#endif  // ESTOCADA_CHASE_INSTANCE_H_

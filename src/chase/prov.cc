@@ -1,0 +1,104 @@
+#include "chase/prov.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace estocada::chase {
+
+namespace {
+
+bool IsSubsetSorted(const ProvFormula::Conjunct& small,
+                    const ProvFormula::Conjunct& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+ProvFormula ProvFormula::True() {
+  ProvFormula f;
+  f.disjuncts_.push_back({});
+  return f;
+}
+
+ProvFormula ProvFormula::Leaf(uint32_t id) {
+  ProvFormula f;
+  f.disjuncts_.push_back({id});
+  return f;
+}
+
+ProvFormula ProvFormula::And(const ProvFormula& other) const {
+  ProvFormula out;
+  out.disjuncts_.reserve(disjuncts_.size() * other.disjuncts_.size());
+  for (const Conjunct& a : disjuncts_) {
+    for (const Conjunct& b : other.disjuncts_) {
+      Conjunct merged;
+      merged.reserve(a.size() + b.size());
+      std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                     std::back_inserter(merged));
+      out.disjuncts_.push_back(std::move(merged));
+    }
+  }
+  out.Minimize();
+  return out;
+}
+
+ProvFormula ProvFormula::Or(const ProvFormula& other) const {
+  ProvFormula out;
+  out.disjuncts_ = disjuncts_;
+  out.disjuncts_.insert(out.disjuncts_.end(), other.disjuncts_.begin(),
+                        other.disjuncts_.end());
+  out.Minimize();
+  return out;
+}
+
+bool ProvFormula::Subsumes(const ProvFormula& other) const {
+  for (const Conjunct& oc : other.disjuncts_) {
+    bool covered = false;
+    for (const Conjunct& c : disjuncts_) {
+      if (IsSubsetSorted(c, oc)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+void ProvFormula::Minimize() {
+  // Sort by size so subset checks only need to look at earlier entries.
+  std::sort(disjuncts_.begin(), disjuncts_.end(),
+            [](const Conjunct& a, const Conjunct& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  std::vector<Conjunct> kept;
+  for (const Conjunct& c : disjuncts_) {
+    bool dominated = false;
+    for (const Conjunct& k : kept) {
+      if (IsSubsetSorted(k, c)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      if (kept.size() < kMaxDisjuncts) {
+        kept.push_back(c);
+      }
+      // Overflow beyond the cap drops the largest conjuncts (we sorted by
+      // size), preserving all minimal candidates up to the budget.
+    }
+  }
+  disjuncts_ = std::move(kept);
+}
+
+std::string ProvFormula::ToString() const {
+  if (is_false()) return "false";
+  if (is_true()) return "true";
+  return StrJoinMapped(disjuncts_, " | ", [](const Conjunct& c) {
+    return StrCat("{", StrJoin(c, ","), "}");
+  });
+}
+
+}  // namespace estocada::chase

@@ -1,0 +1,70 @@
+#ifndef ESTOCADA_CHASE_PROV_H_
+#define ESTOCADA_CHASE_PROV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace estocada::chase {
+
+/// A positive DNF formula over atom identifiers, used by the
+/// provenance-aware chase (PACB): each disjunct (a sorted id set) is one
+/// sufficient set of "input" atoms (view atoms, in the backchase) whose
+/// presence derives the annotated atom.
+///
+/// The representation is kept minimized: no disjunct is a superset of
+/// another. To bound memory during adversarial chases the number of
+/// disjuncts is capped (`kMaxDisjuncts`), keeping the smallest conjuncts —
+/// exactly the ones that matter for minimal rewritings.
+class ProvFormula {
+ public:
+  using Conjunct = std::vector<uint32_t>;  // sorted, unique ids
+
+  /// Number of disjuncts retained after minimization.
+  static constexpr size_t kMaxDisjuncts = 64;
+
+  /// The `false` formula (no derivation known).
+  ProvFormula() = default;
+
+  /// The `true` formula: derivable from nothing (one empty conjunct).
+  static ProvFormula True();
+
+  /// A single-leaf formula {{id}}.
+  static ProvFormula Leaf(uint32_t id);
+
+  bool is_false() const { return disjuncts_.empty(); }
+  bool is_true() const {
+    return disjuncts_.size() == 1 && disjuncts_[0].empty();
+  }
+
+  const std::vector<Conjunct>& disjuncts() const { return disjuncts_; }
+
+  /// Logical AND: pairwise unions of disjuncts, then minimize.
+  ProvFormula And(const ProvFormula& other) const;
+
+  /// Logical OR: union of disjunct sets, then minimize.
+  ProvFormula Or(const ProvFormula& other) const;
+
+  /// True if `other` adds nothing (every disjunct of `other` is a superset
+  /// of one of ours); used for the chase fixpoint test.
+  bool Subsumes(const ProvFormula& other) const;
+
+  friend bool operator==(const ProvFormula& a, const ProvFormula& b) {
+    return a.disjuncts_ == b.disjuncts_;
+  }
+  friend bool operator!=(const ProvFormula& a, const ProvFormula& b) {
+    return !(a == b);
+  }
+
+  /// "{1,3} | {2}".
+  std::string ToString() const;
+
+ private:
+  void Minimize();
+
+  std::vector<Conjunct> disjuncts_;
+};
+
+}  // namespace estocada::chase
+
+#endif  // ESTOCADA_CHASE_PROV_H_

@@ -1,0 +1,29 @@
+#ifndef ESTOCADA_COMMON_HASH_H_
+#define ESTOCADA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace estocada {
+
+/// FNV-1a 64-bit over raw bytes; stable across platforms so hash-partitioned
+/// stores produce deterministic layouts.
+inline uint64_t FnvHash64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// boost-style hash combiner for building composite hashes.
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace estocada
+
+#endif  // ESTOCADA_COMMON_HASH_H_

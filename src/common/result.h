@@ -1,0 +1,83 @@
+#ifndef ESTOCADA_COMMON_RESULT_H_
+#define ESTOCADA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace estocada {
+
+/// `Result<T>` holds either a value of type `T` or a non-OK `Status`.
+/// Modeled on arrow::Result. Use `ESTOCADA_ASSIGN_OR_RETURN` to unwrap.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, like arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Passing an OK status is a programming
+  /// error and degrades to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::holds_alternative<Status>(repr_) &&
+        std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the status: OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors; must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagates the error, else binds the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+///   ESTOCADA_ASSIGN_OR_RETURN(auto table, store.GetTable("users"));
+#define ESTOCADA_CONCAT_IMPL(a, b) a##b
+#define ESTOCADA_CONCAT(a, b) ESTOCADA_CONCAT_IMPL(a, b)
+#define ESTOCADA_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto ESTOCADA_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!ESTOCADA_CONCAT(_res_, __LINE__).ok())                       \
+    return ESTOCADA_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(ESTOCADA_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace estocada
+
+#endif  // ESTOCADA_COMMON_RESULT_H_

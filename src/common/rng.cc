@@ -1,0 +1,92 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace estocada {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& w : state_) w = SplitMix64(&s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  // Gray et al. approximation; zeta terms computed with the closed-form
+  // approximation of the generalized harmonic number to keep it O(1).
+  auto zeta_approx = [theta](uint64_t m) {
+    // H_{m,theta} ~ m^{1-theta}/(1-theta) + 0.577... (good enough for the
+    // shape properties benchmarks rely on).
+    return std::pow(static_cast<double>(m), 1.0 - theta) / (1.0 - theta) +
+           0.5772156649;
+  };
+  const double zetan = zeta_approx(n);
+  const double alpha = 1.0 / (1.0 - theta);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - zeta_approx(2) / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+std::string Rng::AlphaString(size_t len) {
+  std::string s(len, 'a');
+  for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+  return s;
+}
+
+}  // namespace estocada

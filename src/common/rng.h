@@ -1,0 +1,53 @@
+#ifndef ESTOCADA_COMMON_RNG_H_
+#define ESTOCADA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace estocada {
+
+/// Deterministic pseudo-random generator (xoshiro256**). Every workload
+/// generator and property test seeds one of these explicitly so runs are
+/// reproducible; we deliberately avoid std::random_device / global state.
+class Rng {
+ public:
+  /// Seeds via splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Chance(double p);
+
+  /// Zipf-distributed rank in [0, n) with skew parameter `theta` in (0, 1).
+  /// Uses the standard inverse-CDF approximation (Gray et al., SIGMOD'94),
+  /// the textbook generator for skewed key popularity in storage benchmarks.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Random lowercase ASCII string of length `len`.
+  std::string AlphaString(size_t len);
+
+  /// Picks a uniformly random element of `v` (must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace estocada
+
+#endif  // ESTOCADA_COMMON_RNG_H_

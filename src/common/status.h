@@ -1,0 +1,100 @@
+#ifndef ESTOCADA_COMMON_STATUS_H_
+#define ESTOCADA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace estocada {
+
+/// Error categories used across the system. Mirrors the Arrow/RocksDB
+/// convention of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< A named entity (table, fragment, key...) is absent.
+  kAlreadyExists,     ///< Attempt to create an entity that already exists.
+  kOutOfRange,        ///< Index/position outside the valid domain.
+  kUnsupported,       ///< Operation not supported by this store/data model.
+  kParseError,        ///< Malformed query / JSON / expression text.
+  kChaseFailure,      ///< The chase failed (EGD equated distinct constants).
+  kNoRewriting,       ///< No feasible rewriting exists for the query.
+  kInternal,          ///< Invariant violation; indicates a bug.
+};
+
+/// Human-readable name for a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Exception-free error propagation type. A `Status` is either OK or carries
+/// a code and message. The style guides in force ban exceptions, so every
+/// fallible API in this codebase returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ChaseFailure(std::string msg) {
+    return Status(StatusCode::kChaseFailure, std::move(msg));
+  }
+  static Status NoRewriting(std::string msg) {
+    return Status(StatusCode::kNoRewriting, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// `Status` or `Result<T>` (the latter converts implicitly).
+#define ESTOCADA_RETURN_NOT_OK(expr)                  \
+  do {                                                \
+    ::estocada::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                        \
+  } while (false)
+
+}  // namespace estocada
+
+#endif  // ESTOCADA_COMMON_STATUS_H_

@@ -1,0 +1,61 @@
+#ifndef ESTOCADA_COMMON_STRINGS_H_
+#define ESTOCADA_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace estocada {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Joins the string forms of a range with `sep` between elements. Elements
+/// are rendered via operator<<.
+template <typename Range>
+std::string StrJoin(const Range& range, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) os << sep;
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+/// Like StrJoin but applies `fn` to each element to produce its text.
+template <typename Range, typename Fn>
+std::string StrJoinMapped(const Range& range, std::string_view sep, Fn fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) os << sep;
+    first = false;
+    os << fn(item);
+  }
+  return os.str();
+}
+
+/// Concatenates the stream renderings of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True iff `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lowercase copy.
+std::string AsciiLower(std::string_view s);
+
+}  // namespace estocada
+
+#endif  // ESTOCADA_COMMON_STRINGS_H_

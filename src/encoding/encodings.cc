@@ -1,0 +1,271 @@
+#include "encoding/encodings.h"
+
+#include "common/strings.h"
+#include "pivot/parser.h"
+
+namespace estocada::encoding {
+
+using pivot::Adornment;
+using pivot::Atom;
+using pivot::Dependency;
+using pivot::RelationSignature;
+using pivot::Schema;
+using pivot::Term;
+
+namespace {
+
+/// Adds an EGD "R(..k.., a), R(..k.., b) -> a = b" stating that position
+/// `dependent` is functionally determined by positions `determinants`.
+void AddFunctionalEgd(Schema* schema, const std::string& relation,
+                      size_t arity, const std::vector<size_t>& determinants,
+                      size_t dependent, const std::string& label) {
+  pivot::Egd egd;
+  egd.label = label;
+  Atom a1(relation, {});
+  Atom a2(relation, {});
+  for (size_t i = 0; i < arity; ++i) {
+    bool is_det = false;
+    for (size_t d : determinants) {
+      if (d == i) is_det = true;
+    }
+    if (is_det) {
+      a1.terms.push_back(Term::Var(StrCat("k", i)));
+      a2.terms.push_back(Term::Var(StrCat("k", i)));
+    } else if (i == dependent) {
+      a1.terms.push_back(Term::Var("va"));
+      a2.terms.push_back(Term::Var("vb"));
+    } else {
+      a1.terms.push_back(Term::Var(StrCat("xa", i)));
+      a2.terms.push_back(Term::Var(StrCat("xb", i)));
+    }
+  }
+  egd.body = {a1, a2};
+  egd.left = Term::Var("va");
+  egd.right = Term::Var("vb");
+  schema->AddDependency(Dependency::FromEgd(std::move(egd)));
+}
+
+}  // namespace
+
+Result<Schema> RelationalEncoding(const std::string& dataset,
+                                  const std::string& table,
+                                  const std::vector<std::string>& columns,
+                                  const std::vector<std::string>& primary_key) {
+  Schema s;
+  RelationSignature sig;
+  sig.name = StrCat(dataset, ".", table);
+  sig.columns = columns;
+  std::vector<size_t> key_positions;
+  for (const std::string& pk : primary_key) {
+    bool found = false;
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == pk) {
+        key_positions.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          StrCat("primary key column '", pk, "' not among the columns of ",
+                 sig.name));
+    }
+  }
+  sig.key = key_positions;
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(sig));
+  // Key EGDs: every non-key position is functionally determined.
+  if (!key_positions.empty()) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      bool is_key = false;
+      for (size_t k : key_positions) {
+        if (k == i) is_key = true;
+      }
+      if (!is_key) {
+        AddFunctionalEgd(&s, sig.name, columns.size(), key_positions, i,
+                         StrCat(sig.name, ":key:", columns[i]));
+      }
+    }
+  }
+  return s;
+}
+
+Result<Schema> KeyValueEncoding(const std::string& dataset,
+                                const std::string& collection) {
+  Schema s;
+  RelationSignature sig;
+  sig.name = StrCat(dataset, ".", collection);
+  sig.columns = {"key", "value"};
+  sig.adornments = {Adornment::kInput, Adornment::kFree};
+  sig.key = {0};
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(sig));
+  AddFunctionalEgd(&s, sig.name, 2, {0}, 1, StrCat(sig.name, ":key"));
+  return s;
+}
+
+Result<Schema> DocumentEncoding(const std::string& dataset,
+                                const std::string& collection,
+                                const std::vector<DocumentPath>& paths) {
+  Schema s;
+  std::string doc_rel = StrCat(dataset, ".", collection, ".doc");
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(RelationSignature{
+      doc_rel, {"docID"}, {Adornment::kFree}, {0}}));
+  for (const DocumentPath& p : paths) {
+    std::string rel = StrCat(dataset, ".", collection, ".", p.path);
+    ESTOCADA_RETURN_NOT_OK(s.AddRelation(RelationSignature{
+        rel, {"docID", "value"}, {Adornment::kFree, Adornment::kFree}, {}}));
+    // Every path fact implies its document exists.
+    pivot::Tgd tgd;
+    tgd.label = StrCat(rel, ":doc");
+    tgd.body = {Atom(rel, {Term::Var("d"), Term::Var("v")})};
+    tgd.head = {Atom(doc_rel, {Term::Var("d")})};
+    s.AddDependency(Dependency::FromTgd(std::move(tgd)));
+    if (p.scalar) {
+      AddFunctionalEgd(&s, rel, 2, {0}, 1, StrCat(rel, ":scalar"));
+    }
+  }
+  return s;
+}
+
+Result<Schema> DocumentTreeEncoding(const std::string& dataset) {
+  Schema s;
+  auto rel = [&dataset](const char* r) { return StrCat(dataset, ".", r); };
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(rel("Doc"), 1));
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(rel("Root"), 2));   // (docID, nodeID)
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(rel("Child"), 2));  // (parent, child)
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(rel("Desc"), 2));   // (anc, desc)
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(rel("Tag"), 2));    // (node, tag)
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(rel("Val"), 2));    // (node, value)
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(rel("ArrayElem"), 3));  // (node, idx, elem)
+  std::string axioms = StrCat(
+      // Child is contained in Desc; Desc is transitively closed by Child.
+      rel("Child"), "(p, c) -> ", rel("Desc"), "(p, c)\n",              //
+      rel("Desc"), "(a, b), ", rel("Child"), "(b, c) -> ", rel("Desc"),
+      "(a, c)\n",
+      // Every node has at most one parent and one tag; one root per doc;
+      // one value per node.
+      rel("Child"), "(p, c), ", rel("Child"), "(q, c) -> p = q\n",      //
+      rel("Tag"), "(n, t1), ", rel("Tag"), "(n, t2) -> t1 = t2\n",      //
+      rel("Root"), "(d, r1), ", rel("Root"), "(d, r2) -> r1 = r2\n",    //
+      rel("Val"), "(n, v1), ", rel("Val"), "(n, v2) -> v1 = v2\n",      //
+      // Roots belong to documents.
+      rel("Root"), "(d, r) -> ", rel("Doc"), "(d)\n");
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Dependency> deps,
+                            pivot::ParseDependencies(axioms));
+  for (Dependency& d : deps) s.AddDependency(std::move(d));
+  return s;
+}
+
+namespace {
+
+void ShredValue(const std::string& dataset, const std::string& node_id,
+                const json::JsonValue& v, std::vector<Atom>* out,
+                uint64_t* counter, const std::string& doc_id) {
+  auto rel = [&dataset](const char* r) { return StrCat(dataset, ".", r); };
+  switch (v.kind()) {
+    case json::JsonKind::kObject:
+      for (const auto& [key, member] : v.object()) {
+        std::string child_id = StrCat(doc_id, "#", (*counter)++);
+        out->push_back(Atom(rel("Child"),
+                            {Term::Str(node_id), Term::Str(child_id)}));
+        out->push_back(Atom(rel("Tag"), {Term::Str(child_id), Term::Str(key)}));
+        ShredValue(dataset, child_id, member, out, counter, doc_id);
+      }
+      break;
+    case json::JsonKind::kArray: {
+      int64_t idx = 0;
+      for (const auto& elem : v.array()) {
+        std::string child_id = StrCat(doc_id, "#", (*counter)++);
+        out->push_back(Atom(rel("Child"),
+                            {Term::Str(node_id), Term::Str(child_id)}));
+        out->push_back(Atom(
+            rel("ArrayElem"),
+            {Term::Str(node_id), Term::Int(idx++), Term::Str(child_id)}));
+        ShredValue(dataset, child_id, elem, out, counter, doc_id);
+      }
+      break;
+    }
+    default: {
+      // Scalar: attach the value.
+      pivot::Constant c;
+      switch (v.kind()) {
+        case json::JsonKind::kNull:
+          c = pivot::Constant::Null();
+          break;
+        case json::JsonKind::kBool:
+          c = pivot::Constant::Bool(v.bool_value());
+          break;
+        case json::JsonKind::kInt:
+          c = pivot::Constant::Int(v.int_value());
+          break;
+        case json::JsonKind::kDouble:
+          c = pivot::Constant::Real(v.double_value());
+          break;
+        default:
+          c = pivot::Constant::Str(v.string_value());
+          break;
+      }
+      out->push_back(Atom(StrCat(dataset, ".", "Val"),
+                          {Term::Str(node_id), Term::Const(std::move(c))}));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Atom> ShredDocument(const std::string& dataset,
+                                const std::string& doc_id,
+                                const json::JsonValue& doc) {
+  std::vector<Atom> out;
+  auto rel = [&dataset](const char* r) { return StrCat(dataset, ".", r); };
+  out.push_back(Atom(rel("Doc"), {Term::Str(doc_id)}));
+  uint64_t counter = 0;
+  std::string root_id = StrCat(doc_id, "#", counter++);
+  out.push_back(Atom(rel("Root"), {Term::Str(doc_id), Term::Str(root_id)}));
+  ShredValue(dataset, root_id, doc, &out, &counter, doc_id);
+  return out;
+}
+
+Result<Schema> NestedEncoding(const std::string& dataset,
+                              const std::string& relation,
+                              const std::vector<std::string>& columns,
+                              const std::vector<std::string>& key) {
+  Schema s;
+  RelationSignature sig;
+  sig.name = StrCat(dataset, ".", relation);
+  sig.columns = columns;
+  std::vector<size_t> key_positions;
+  for (const std::string& k : key) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == k) key_positions.push_back(i);
+    }
+  }
+  sig.key = key_positions;
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(sig));
+  if (!key_positions.empty()) {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      bool is_key = false;
+      for (size_t k : key_positions) {
+        if (k == i) is_key = true;
+      }
+      if (!is_key) {
+        AddFunctionalEgd(&s, sig.name, columns.size(), key_positions, i,
+                         StrCat(sig.name, ":key:", columns[i]));
+      }
+    }
+  }
+  return s;
+}
+
+Result<Schema> TextEncoding(const std::string& dataset,
+                            const std::string& core) {
+  Schema s;
+  RelationSignature sig;
+  sig.name = StrCat(dataset, ".", core, ".contains");
+  sig.columns = {"docID", "term"};
+  sig.adornments = {Adornment::kFree, Adornment::kInput};
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(sig));
+  return s;
+}
+
+}  // namespace estocada::encoding

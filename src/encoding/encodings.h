@@ -1,0 +1,78 @@
+#ifndef ESTOCADA_ENCODING_ENCODINGS_H_
+#define ESTOCADA_ENCODING_ENCODINGS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "json/json.h"
+#include "pivot/atom.h"
+#include "pivot/schema.h"
+
+namespace estocada::encoding {
+
+/// Builders for the pivot-model encodings of each application/storage data
+/// model (paper §III "Pivot model with constraints"). Each returns a
+/// Schema fragment (relations + constraints) that callers Merge into the
+/// global pivot schema.
+
+/// Relational model: one pivot relation per table, named
+/// "<dataset>.<table>", plus one key EGD per primary-key position pair.
+Result<pivot::Schema> RelationalEncoding(
+    const std::string& dataset, const std::string& table,
+    const std::vector<std::string>& columns,
+    const std::vector<std::string>& primary_key);
+
+/// Key-value model: "<dataset>.<collection>" (key, value) with the key
+/// input-adorned (the paper's access-pattern restriction) and a key EGD.
+Result<pivot::Schema> KeyValueEncoding(const std::string& dataset,
+                                       const std::string& collection);
+
+/// Document model, *path-relation* form (delegable to the document
+/// store): one relation "<dataset>.<collection>.<path>"(docID, value) per
+/// registered path, plus "<dataset>.<collection>.doc"(docID). Constraints:
+/// every path fact implies the doc fact; scalar paths are functional in
+/// docID (EGD) when `scalar` is set.
+struct DocumentPath {
+  std::string path;    ///< Dotted JSON path ("user.address.city").
+  bool scalar = true;  ///< One value per document (vs array/multikey).
+};
+Result<pivot::Schema> DocumentEncoding(const std::string& dataset,
+                                       const std::string& collection,
+                                       const std::vector<DocumentPath>& paths);
+
+/// Document model, *generic tree* form — the Node/Child/Desc/Tag/Val
+/// encoding the paper describes verbatim, with its axioms:
+///   Child(p,c) → Desc(p,c);  Desc(a,b), Child(b,c) → Desc(a,c);
+///   Child(p,c), Child(q,c) → p = q   (one parent);
+///   Tag(n,t1), Tag(n,t2) → t1 = t2   (one tag);
+///   Root(d,r), Child(p,r) → ⊥ is approximated by: roots have one doc;
+///   Doc(d), Root(d,r) pairs are functional.
+/// Relation names are prefixed "<dataset>.", e.g. "cat.Child".
+Result<pivot::Schema> DocumentTreeEncoding(const std::string& dataset);
+
+/// Shreds a JSON document into generic-tree pivot facts (Doc, Root,
+/// Child, Desc, Tag, Val, ArrayElem) for `DocumentTreeEncoding`; node ids
+/// are "<doc_id>#<n>" strings in pre-order. Desc facts are *not* emitted
+/// (they follow from the axioms via the chase); callers chase when they
+/// need them.
+std::vector<pivot::Atom> ShredDocument(const std::string& dataset,
+                                       const std::string& doc_id,
+                                       const json::JsonValue& doc);
+
+/// Nested-relation model (parallel store): "<dataset>.<relation>" with
+/// the given column names; nested collection columns hold list values
+/// (opaque to the pivot model, traversed by the engine's Unnest).
+Result<pivot::Schema> NestedEncoding(const std::string& dataset,
+                                     const std::string& relation,
+                                     const std::vector<std::string>& columns,
+                                     const std::vector<std::string>& key = {});
+
+/// Full-text model: "<dataset>.<core>.contains"(docID, term) with the
+/// term input-adorned (a term must be supplied to search).
+Result<pivot::Schema> TextEncoding(const std::string& dataset,
+                                   const std::string& core);
+
+}  // namespace estocada::encoding
+
+#endif  // ESTOCADA_ENCODING_ENCODINGS_H_

@@ -1,0 +1,171 @@
+#include "engine/expr.h"
+
+#include "common/strings.h"
+
+namespace estocada::engine {
+
+std::shared_ptr<Expr> Expr::Column(size_t index) {
+  auto e = std::make_shared<Expr>();
+  e->op_ = Op::kColumn;
+  e->column_ = index;
+  return e;
+}
+
+std::shared_ptr<Expr> Expr::Const(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->op_ = Op::kConst;
+  e->value_ = std::move(v);
+  return e;
+}
+
+std::shared_ptr<Expr> Expr::Binary(Op op, std::shared_ptr<Expr> l,
+                                   std::shared_ptr<Expr> r) {
+  auto e = std::make_shared<Expr>();
+  e->op_ = op;
+  e->left_ = std::move(l);
+  e->right_ = std::move(r);
+  return e;
+}
+
+std::shared_ptr<Expr> Expr::Not(std::shared_ptr<Expr> inner) {
+  auto e = std::make_shared<Expr>();
+  e->op_ = Op::kNot;
+  e->left_ = std::move(inner);
+  return e;
+}
+
+Result<Value> Expr::Eval(const Row& row) const {
+  switch (op_) {
+    case Op::kColumn:
+      if (column_ >= row.size()) {
+        return Status::OutOfRange(
+            StrCat("column ", column_, " out of range (row has ", row.size(),
+                   ")"));
+      }
+      return row[column_];
+    case Op::kConst:
+      return value_;
+    case Op::kNot: {
+      ESTOCADA_ASSIGN_OR_RETURN(bool b, left_->EvalBool(row));
+      return Value::Bool(!b);
+    }
+    default:
+      break;
+  }
+  ESTOCADA_ASSIGN_OR_RETURN(Value l, left_->Eval(row));
+  ESTOCADA_ASSIGN_OR_RETURN(Value r, right_->Eval(row));
+  switch (op_) {
+    case Op::kAnd:
+    case Op::kOr: {
+      bool lb = l.is_bool() ? l.bool_value() : !l.is_null();
+      bool rb = r.is_bool() ? r.bool_value() : !r.is_null();
+      return Value::Bool(op_ == Op::kAnd ? (lb && rb) : (lb || rb));
+    }
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      if (l.is_null() || r.is_null()) return Value::Bool(false);
+      int c = Value::Compare(l, r);
+      switch (op_) {
+        case Op::kEq:
+          return Value::Bool(c == 0);
+        case Op::kNe:
+          return Value::Bool(c != 0);
+        case Op::kLt:
+          return Value::Bool(c < 0);
+        case Op::kLe:
+          return Value::Bool(c <= 0);
+        case Op::kGt:
+          return Value::Bool(c > 0);
+        default:
+          return Value::Bool(c >= 0);
+      }
+    }
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (op_ == Op::kAdd && l.is_string() && r.is_string()) {
+        return Value::Str(l.string_value() + r.string_value());
+      }
+      if (!(l.is_int() || l.is_real()) || !(r.is_int() || r.is_real())) {
+        return Status::InvalidArgument(
+            StrCat("arithmetic on non-numeric values: ", l.ToString(), ", ",
+                   r.ToString()));
+      }
+      if (l.is_int() && r.is_int() && op_ != Op::kDiv) {
+        int64_t a = l.int_value();
+        int64_t b = r.int_value();
+        switch (op_) {
+          case Op::kAdd:
+            return Value::Int(a + b);
+          case Op::kSub:
+            return Value::Int(a - b);
+          default:
+            return Value::Int(a * b);
+        }
+      }
+      double a = l.as_real();
+      double b = r.as_real();
+      switch (op_) {
+        case Op::kAdd:
+          return Value::Real(a + b);
+        case Op::kSub:
+          return Value::Real(a - b);
+        case Op::kMul:
+          return Value::Real(a * b);
+        default:
+          if (b == 0) {
+            return Status::InvalidArgument("division by zero");
+          }
+          return Value::Real(a / b);
+      }
+    }
+    default:
+      return Status::Internal("unhandled expression operator");
+  }
+}
+
+Result<bool> Expr::EvalBool(const Row& row) const {
+  ESTOCADA_ASSIGN_OR_RETURN(Value v, Eval(row));
+  if (v.is_null()) return false;
+  if (v.is_bool()) return v.bool_value();
+  return true;  // Non-null non-bool is truthy.
+}
+
+std::string Expr::ToString() const {
+  switch (op_) {
+    case Op::kColumn:
+      return StrCat("$", column_);
+    case Op::kConst:
+      return value_.ToString();
+    case Op::kNot:
+      return StrCat("NOT(", left_->ToString(), ")");
+    default:
+      break;
+  }
+  const char* sym = "?";
+  switch (op_) {
+    case Op::kEq: sym = "="; break;
+    case Op::kNe: sym = "!="; break;
+    case Op::kLt: sym = "<"; break;
+    case Op::kLe: sym = "<="; break;
+    case Op::kGt: sym = ">"; break;
+    case Op::kGe: sym = ">="; break;
+    case Op::kAnd: sym = "AND"; break;
+    case Op::kOr: sym = "OR"; break;
+    case Op::kAdd: sym = "+"; break;
+    case Op::kSub: sym = "-"; break;
+    case Op::kMul: sym = "*"; break;
+    case Op::kDiv: sym = "/"; break;
+    default: break;
+  }
+  return StrCat("(", left_->ToString(), " ", sym, " ", right_->ToString(),
+                ")");
+}
+
+}  // namespace estocada::engine

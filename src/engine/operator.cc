@@ -1,0 +1,571 @@
+#include "engine/operator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace estocada::engine {
+
+Result<std::vector<Row>> Collect(Operator* op) {
+  ESTOCADA_RETURN_NOT_OK(op->Open());
+  std::vector<Row> out;
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(std::optional<Row> row, op->Next());
+    if (!row.has_value()) break;
+    out.push_back(std::move(*row));
+  }
+  return out;
+}
+
+std::string PlanToString(const Operator& op, int indent) {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += op.label();
+  out += "\n";
+  for (const Operator* child : op.children()) {
+    out += PlanToString(*child, indent + 1);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- Sources --
+
+RowsOperator::RowsOperator(std::vector<std::string> columns,
+                           std::vector<Row> rows, std::string label)
+    : columns_(std::move(columns)),
+      rows_(std::move(rows)),
+      label_(std::move(label)) {}
+
+Status RowsOperator::Open() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> RowsOperator::Next() {
+  if (pos_ >= rows_.size()) return std::optional<Row>();
+  return std::optional<Row>(rows_[pos_++]);
+}
+
+std::string RowsOperator::label() const {
+  return StrCat(label_, " [", rows_.size(), " rows]");
+}
+
+CallbackScanOperator::CallbackScanOperator(std::vector<std::string> columns,
+                                           Fetch fetch, std::string label)
+    : columns_(std::move(columns)),
+      fetch_(std::move(fetch)),
+      label_(std::move(label)) {}
+
+Status CallbackScanOperator::Open() {
+  ESTOCADA_ASSIGN_OR_RETURN(rows_, fetch_());
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> CallbackScanOperator::Next() {
+  if (pos_ >= rows_.size()) return std::optional<Row>();
+  return std::optional<Row>(rows_[pos_++]);
+}
+
+// ------------------------------------------------------- Unary operators --
+
+FilterOperator::FilterOperator(OperatorPtr input, ExprPtr predicate)
+    : input_(std::move(input)), predicate_(std::move(predicate)) {}
+
+Status FilterOperator::Open() { return input_->Open(); }
+
+Result<std::optional<Row>> FilterOperator::Next() {
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
+    if (!row.has_value()) return std::optional<Row>();
+    ESTOCADA_ASSIGN_OR_RETURN(bool keep, predicate_->EvalBool(*row));
+    if (keep) return row;
+  }
+}
+
+std::string FilterOperator::label() const {
+  return StrCat("Filter ", predicate_->ToString());
+}
+
+ProjectOperator::ProjectOperator(OperatorPtr input,
+                                 std::vector<std::string> names,
+                                 std::vector<ExprPtr> exprs)
+    : input_(std::move(input)),
+      names_(std::move(names)),
+      exprs_(std::move(exprs)) {}
+
+Status ProjectOperator::Open() {
+  if (names_.size() != exprs_.size()) {
+    return Status::InvalidArgument("Project: name/expr count mismatch");
+  }
+  return input_->Open();
+}
+
+Result<std::optional<Row>> ProjectOperator::Next() {
+  ESTOCADA_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
+  if (!row.has_value()) return std::optional<Row>();
+  Row out;
+  out.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    ESTOCADA_ASSIGN_OR_RETURN(Value v, e->Eval(*row));
+    out.push_back(std::move(v));
+  }
+  return std::optional<Row>(std::move(out));
+}
+
+std::string ProjectOperator::label() const {
+  return StrCat("Project [", StrJoin(names_, ", "), "]");
+}
+
+LimitOperator::LimitOperator(OperatorPtr input, size_t limit)
+    : input_(std::move(input)), limit_(limit) {}
+
+Status LimitOperator::Open() {
+  produced_ = 0;
+  return input_->Open();
+}
+
+Result<std::optional<Row>> LimitOperator::Next() {
+  if (produced_ >= limit_) return std::optional<Row>();
+  ESTOCADA_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
+  if (row.has_value()) ++produced_;
+  return row;
+}
+
+std::string LimitOperator::label() const { return StrCat("Limit ", limit_); }
+
+DistinctOperator::DistinctOperator(OperatorPtr input)
+    : input_(std::move(input)) {}
+
+Status DistinctOperator::Open() {
+  seen_.clear();
+  return input_->Open();
+}
+
+Result<std::optional<Row>> DistinctOperator::Next() {
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
+    if (!row.has_value()) return std::optional<Row>();
+    if (seen_.emplace(*row, true).second) return row;
+  }
+}
+
+SortOperator::SortOperator(OperatorPtr input, std::vector<size_t> sort_columns)
+    : input_(std::move(input)), sort_columns_(std::move(sort_columns)) {}
+
+Status SortOperator::Open() {
+  ESTOCADA_ASSIGN_OR_RETURN(rows_, Collect(input_.get()));
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (size_t c : sort_columns_) {
+                       int cmp = Value::Compare(a[c], b[c]);
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> SortOperator::Next() {
+  if (pos_ >= rows_.size()) return std::optional<Row>();
+  return std::optional<Row>(rows_[pos_++]);
+}
+
+std::string SortOperator::label() const {
+  return StrCat("Sort [", StrJoin(sort_columns_, ", "), "]");
+}
+
+// ------------------------------------------------------ Binary operators --
+
+HashJoinOperator::HashJoinOperator(
+    OperatorPtr left, OperatorPtr right,
+    std::vector<std::pair<size_t, size_t>> key_pairs)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      key_pairs_(std::move(key_pairs)) {}
+
+std::vector<std::string> HashJoinOperator::columns() const {
+  std::vector<std::string> out = left_->columns();
+  for (const std::string& c : right_->columns()) out.push_back(c);
+  return out;
+}
+
+std::string HashJoinOperator::label() const {
+  return StrCat("HashJoin [",
+                StrJoinMapped(key_pairs_, ", ",
+                              [](const std::pair<size_t, size_t>& p) {
+                                return StrCat("l", p.first, "=r", p.second);
+                              }),
+                "]");
+}
+
+Status HashJoinOperator::Open() {
+  build_.clear();
+  current_probe_.reset();
+  current_matches_ = nullptr;
+  match_pos_ = 0;
+  // Build on the left input.
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> left_rows, Collect(left_.get()));
+  for (Row& row : left_rows) {
+    Row key;
+    key.reserve(key_pairs_.size());
+    for (const auto& [l, r] : key_pairs_) key.push_back(row[l]);
+    build_[std::move(key)].push_back(std::move(row));
+  }
+  return right_->Open();
+}
+
+Result<std::optional<Row>> HashJoinOperator::Next() {
+  for (;;) {
+    if (current_matches_ != nullptr && match_pos_ < current_matches_->size()) {
+      Row out = (*current_matches_)[match_pos_++];
+      out.insert(out.end(), current_probe_->begin(), current_probe_->end());
+      return std::optional<Row>(std::move(out));
+    }
+    ESTOCADA_ASSIGN_OR_RETURN(current_probe_, right_->Next());
+    if (!current_probe_.has_value()) return std::optional<Row>();
+    Row key;
+    key.reserve(key_pairs_.size());
+    for (const auto& [l, r] : key_pairs_) key.push_back((*current_probe_)[r]);
+    auto it = build_.find(key);
+    current_matches_ = it == build_.end() ? nullptr : &it->second;
+    match_pos_ = 0;
+  }
+}
+
+BindJoinOperator::BindJoinOperator(OperatorPtr input,
+                                   std::vector<size_t> bind_columns,
+                                   std::vector<std::string> fetched_columns,
+                                   Fetch fetch, std::string target_label)
+    : input_(std::move(input)),
+      bind_columns_(std::move(bind_columns)),
+      fetched_columns_(std::move(fetched_columns)),
+      fetch_(std::move(fetch)),
+      target_label_(std::move(target_label)) {}
+
+std::vector<std::string> BindJoinOperator::columns() const {
+  std::vector<std::string> out = input_->columns();
+  for (const std::string& c : fetched_columns_) out.push_back(c);
+  return out;
+}
+
+std::string BindJoinOperator::label() const {
+  return StrCat("BindJoin -> ", target_label_, " [bind: ",
+                StrJoin(bind_columns_, ", "), "]");
+}
+
+Status BindJoinOperator::Open() {
+  cache_.clear();
+  current_input_.reset();
+  current_matches_ = nullptr;
+  match_pos_ = 0;
+  fetch_calls_ = 0;
+  return input_->Open();
+}
+
+Result<std::optional<Row>> BindJoinOperator::Next() {
+  for (;;) {
+    if (current_matches_ != nullptr && match_pos_ < current_matches_->size()) {
+      Row out = *current_input_;
+      const Row& fetched = (*current_matches_)[match_pos_++];
+      out.insert(out.end(), fetched.begin(), fetched.end());
+      return std::optional<Row>(std::move(out));
+    }
+    ESTOCADA_ASSIGN_OR_RETURN(current_input_, input_->Next());
+    if (!current_input_.has_value()) return std::optional<Row>();
+    Row binding;
+    binding.reserve(bind_columns_.size());
+    for (size_t c : bind_columns_) {
+      if (c >= current_input_->size()) {
+        return Status::OutOfRange(
+            StrCat("BindJoin: bind column ", c, " out of range"));
+      }
+      binding.push_back((*current_input_)[c]);
+    }
+    auto it = cache_.find(binding);
+    if (it == cache_.end()) {
+      ++fetch_calls_;
+      ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> fetched, fetch_(binding));
+      it = cache_.emplace(std::move(binding), std::move(fetched)).first;
+    }
+    current_matches_ = &it->second;
+    match_pos_ = 0;
+  }
+}
+
+UnionAllOperator::UnionAllOperator(std::vector<OperatorPtr> inputs)
+    : inputs_(std::move(inputs)) {}
+
+std::vector<std::string> UnionAllOperator::columns() const {
+  return inputs_.empty() ? std::vector<std::string>{} : inputs_[0]->columns();
+}
+
+std::vector<const Operator*> UnionAllOperator::children() const {
+  std::vector<const Operator*> out;
+  out.reserve(inputs_.size());
+  for (const OperatorPtr& in : inputs_) out.push_back(in.get());
+  return out;
+}
+
+Status UnionAllOperator::Open() {
+  if (inputs_.empty()) {
+    return Status::InvalidArgument("UnionAll needs at least one input");
+  }
+  current_ = 0;
+  return inputs_[0]->Open();
+}
+
+Result<std::optional<Row>> UnionAllOperator::Next() {
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(std::optional<Row> row,
+                              inputs_[current_]->Next());
+    if (row.has_value()) return row;
+    if (++current_ >= inputs_.size()) return std::optional<Row>();
+    ESTOCADA_RETURN_NOT_OK(inputs_[current_]->Open());
+  }
+}
+
+// ------------------------------------------------------ Nested / groups --
+
+NestOperator::NestOperator(OperatorPtr input, std::vector<size_t> group_columns,
+                           std::string nested_column_name)
+    : input_(std::move(input)),
+      group_columns_(std::move(group_columns)),
+      nested_name_(std::move(nested_column_name)) {}
+
+std::vector<std::string> NestOperator::columns() const {
+  std::vector<std::string> in_cols = input_->columns();
+  std::vector<std::string> out;
+  for (size_t c : group_columns_) {
+    out.push_back(c < in_cols.size() ? in_cols[c] : StrCat("c", c));
+  }
+  out.push_back(nested_name_);
+  return out;
+}
+
+std::string NestOperator::label() const {
+  return StrCat("Nest group=[", StrJoin(group_columns_, ", "), "] as ",
+                nested_name_);
+}
+
+Status NestOperator::Open() {
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect(input_.get()));
+  // Preserve first-seen group order (deterministic output).
+  std::unordered_map<Row, size_t, RowHash> group_pos;
+  output_.clear();
+  std::vector<bool> grouped;
+  const size_t in_arity = rows.empty() ? 0 : rows[0].size();
+  grouped.assign(in_arity, false);
+  for (size_t c : group_columns_) {
+    if (!rows.empty() && c >= in_arity) {
+      return Status::OutOfRange(StrCat("Nest: group column ", c,
+                                       " out of range (arity ", in_arity,
+                                       ")"));
+    }
+    if (c < grouped.size()) grouped[c] = true;
+  }
+  for (Row& row : rows) {
+    Row key;
+    key.reserve(group_columns_.size());
+    for (size_t c : group_columns_) key.push_back(row[c]);
+    Row rest;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (!grouped[i]) rest.push_back(row[i]);
+    }
+    Value rest_value = rest.size() == 1 ? rest[0] : Value::List(rest);
+    auto it = group_pos.find(key);
+    if (it == group_pos.end()) {
+      group_pos.emplace(key, output_.size());
+      Row out = key;
+      out.push_back(Value::List({rest_value}));
+      output_.push_back(std::move(out));
+    } else {
+      output_[it->second].back().mutable_list().push_back(rest_value);
+    }
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> NestOperator::Next() {
+  if (pos_ >= output_.size()) return std::optional<Row>();
+  return std::optional<Row>(output_[pos_++]);
+}
+
+UnnestOperator::UnnestOperator(OperatorPtr input, size_t list_column)
+    : input_(std::move(input)), list_column_(list_column) {}
+
+std::string UnnestOperator::label() const {
+  return StrCat("Unnest $", list_column_);
+}
+
+Status UnnestOperator::Open() {
+  current_.reset();
+  elem_pos_ = 0;
+  return input_->Open();
+}
+
+Result<std::optional<Row>> UnnestOperator::Next() {
+  for (;;) {
+    if (current_.has_value()) {
+      const Value& lv = (*current_)[list_column_];
+      if (!lv.is_list()) {
+        return Status::InvalidArgument(
+            StrCat("Unnest: column ", list_column_, " is not a list: ",
+                   lv.ToString()));
+      }
+      if (elem_pos_ < lv.list().size()) {
+        Row out = *current_;
+        out[list_column_] = lv.list()[elem_pos_++];
+        return std::optional<Row>(std::move(out));
+      }
+      current_.reset();
+    }
+    ESTOCADA_ASSIGN_OR_RETURN(current_, input_->Next());
+    if (!current_.has_value()) return std::optional<Row>();
+    if (list_column_ >= current_->size()) {
+      return Status::OutOfRange(
+          StrCat("Unnest: column ", list_column_, " out of range"));
+    }
+    elem_pos_ = 0;
+  }
+}
+
+AggregateOperator::AggregateOperator(OperatorPtr input,
+                                     std::vector<size_t> group_columns,
+                                     std::vector<AggSpec> aggregates)
+    : input_(std::move(input)),
+      group_columns_(std::move(group_columns)),
+      aggs_(std::move(aggregates)) {}
+
+std::vector<std::string> AggregateOperator::columns() const {
+  std::vector<std::string> in_cols = input_->columns();
+  std::vector<std::string> out;
+  for (size_t c : group_columns_) {
+    out.push_back(c < in_cols.size() ? in_cols[c] : StrCat("c", c));
+  }
+  for (const AggSpec& a : aggs_) out.push_back(a.output_name);
+  return out;
+}
+
+std::string AggregateOperator::label() const {
+  auto fn_name = [](AggFn f) {
+    switch (f) {
+      case AggFn::kCount: return "count";
+      case AggFn::kSum: return "sum";
+      case AggFn::kMin: return "min";
+      case AggFn::kMax: return "max";
+      case AggFn::kAvg: return "avg";
+    }
+    return "?";
+  };
+  return StrCat("Aggregate group=[", StrJoin(group_columns_, ", "), "] [",
+                StrJoinMapped(aggs_, ", ",
+                              [&](const AggSpec& a) {
+                                return StrCat(fn_name(a.fn), "($", a.column,
+                                              ")");
+                              }),
+                "]");
+}
+
+Status AggregateOperator::Open() {
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> rows, Collect(input_.get()));
+  struct Acc {
+    int64_t count = 0;    ///< All rows (COUNT(*)).
+    int64_t nonnull = 0;  ///< Non-null inputs (AVG denominator).
+    double sum = 0;
+    bool sum_is_int = true;
+    int64_t isum = 0;
+    std::optional<Value> min;
+    std::optional<Value> max;
+  };
+  std::unordered_map<Row, size_t, RowHash> group_pos;
+  std::vector<Row> keys;
+  std::vector<std::vector<Acc>> accs;
+  for (const Row& row : rows) {
+    Row key;
+    key.reserve(group_columns_.size());
+    for (size_t c : group_columns_) {
+      if (c >= row.size()) {
+        return Status::OutOfRange(
+            StrCat("Aggregate: group column ", c, " out of range"));
+      }
+      key.push_back(row[c]);
+    }
+    auto it = group_pos.find(key);
+    size_t gi;
+    if (it == group_pos.end()) {
+      gi = keys.size();
+      group_pos.emplace(key, gi);
+      keys.push_back(key);
+      accs.emplace_back(aggs_.size());
+    } else {
+      gi = it->second;
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      Acc& acc = accs[gi][a];
+      ++acc.count;
+      if (aggs_[a].fn == AggFn::kCount) continue;
+      if (aggs_[a].column >= row.size()) {
+        return Status::OutOfRange(
+            StrCat("Aggregate: column ", aggs_[a].column, " out of range"));
+      }
+      const Value& v = row[aggs_[a].column];
+      if (v.is_null()) continue;
+      ++acc.nonnull;
+      if (aggs_[a].fn == AggFn::kSum || aggs_[a].fn == AggFn::kAvg) {
+        if (!v.is_int() && !v.is_real()) {
+          return Status::InvalidArgument(
+              StrCat("Aggregate: sum/avg over non-numeric ", v.ToString()));
+        }
+        acc.sum += v.as_real();
+        if (v.is_int()) {
+          acc.isum += v.int_value();
+        } else {
+          acc.sum_is_int = false;
+        }
+      }
+      if (!acc.min || Value::Compare(v, *acc.min) < 0) acc.min = v;
+      if (!acc.max || Value::Compare(v, *acc.max) > 0) acc.max = v;
+    }
+  }
+  output_.clear();
+  for (size_t gi = 0; gi < keys.size(); ++gi) {
+    Row out = keys[gi];
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const Acc& acc = accs[gi][a];
+      switch (aggs_[a].fn) {
+        case AggFn::kCount:
+          out.push_back(Value::Int(acc.count));
+          break;
+        case AggFn::kSum:
+          out.push_back(acc.sum_is_int ? Value::Int(acc.isum)
+                                       : Value::Real(acc.sum));
+          break;
+        case AggFn::kAvg:
+          out.push_back(acc.nonnull == 0
+                            ? Value::Null()
+                            : Value::Real(acc.sum /
+                                          static_cast<double>(acc.nonnull)));
+          break;
+        case AggFn::kMin:
+          out.push_back(acc.min.value_or(Value::Null()));
+          break;
+        case AggFn::kMax:
+          out.push_back(acc.max.value_or(Value::Null()));
+          break;
+      }
+    }
+    output_.push_back(std::move(out));
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Row>> AggregateOperator::Next() {
+  if (pos_ >= output_.size()) return std::optional<Row>();
+  return std::optional<Row>(output_[pos_++]);
+}
+
+}  // namespace estocada::engine

@@ -1,0 +1,341 @@
+#ifndef ESTOCADA_ENGINE_OPERATOR_H_
+#define ESTOCADA_ENGINE_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/expr.h"
+#include "engine/value.h"
+
+namespace estocada::engine {
+
+/// Pull-based physical operator of ESTOCADA's lightweight execution engine
+/// (the paper's "Runtime Execution Engine" evaluating the non-delegated
+/// operations over a nested relational model). Usage: Open(), then Next()
+/// until it yields nullopt.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+  /// Next output row, or nullopt at end of stream.
+  virtual Result<std::optional<Row>> Next() = 0;
+
+  /// Column names of the output (for plan display and name resolution).
+  virtual std::vector<std::string> columns() const = 0;
+
+  /// One-line operator description; trees render via PlanToString.
+  virtual std::string label() const = 0;
+
+  /// Children, for plan printing (borrowed pointers).
+  virtual std::vector<const Operator*> children() const { return {}; }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Drains `op` into a vector (Open + Next*).
+Result<std::vector<Row>> Collect(Operator* op);
+
+/// Indented multi-line rendering of an operator tree.
+std::string PlanToString(const Operator& op, int indent = 0);
+
+// --------------------------------------------------------------- Sources --
+
+/// Materialized input (also the adapter for delegated store results:
+/// the rewriting layer runs the native store query and wraps the rows).
+class RowsOperator final : public Operator {
+ public:
+  RowsOperator(std::vector<std::string> columns, std::vector<Row> rows,
+               std::string label = "rows");
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override { return columns_; }
+  std::string label() const override;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+  std::string label_;
+  size_t pos_ = 0;
+};
+
+/// Lazily calls `fetch` at Open — this is how delegated subqueries reach
+/// the underlying DMSs without the engine depending on the store APIs.
+class CallbackScanOperator final : public Operator {
+ public:
+  using Fetch = std::function<Result<std::vector<Row>>()>;
+  CallbackScanOperator(std::vector<std::string> columns, Fetch fetch,
+                       std::string label);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override { return columns_; }
+  std::string label() const override { return label_; }
+
+ private:
+  std::vector<std::string> columns_;
+  Fetch fetch_;
+  std::string label_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------- Unary operators --
+
+class FilterOperator final : public Operator {
+ public:
+  FilterOperator(OperatorPtr input, ExprPtr predicate);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override {
+    return input_->columns();
+  }
+  std::string label() const override;
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  OperatorPtr input_;
+  ExprPtr predicate_;
+};
+
+/// Projects/computes output columns from expressions.
+class ProjectOperator final : public Operator {
+ public:
+  ProjectOperator(OperatorPtr input, std::vector<std::string> names,
+                  std::vector<ExprPtr> exprs);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override { return names_; }
+  std::string label() const override;
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  OperatorPtr input_;
+  std::vector<std::string> names_;
+  std::vector<ExprPtr> exprs_;
+};
+
+class LimitOperator final : public Operator {
+ public:
+  LimitOperator(OperatorPtr input, size_t limit);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override {
+    return input_->columns();
+  }
+  std::string label() const override;
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  OperatorPtr input_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+class DistinctOperator final : public Operator {
+ public:
+  explicit DistinctOperator(OperatorPtr input);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override {
+    return input_->columns();
+  }
+  std::string label() const override { return "Distinct"; }
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  OperatorPtr input_;
+  std::unordered_map<Row, bool, RowHash> seen_;
+};
+
+/// Sorts by the given column positions (ascending; stable).
+class SortOperator final : public Operator {
+ public:
+  SortOperator(OperatorPtr input, std::vector<size_t> sort_columns);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override {
+    return input_->columns();
+  }
+  std::string label() const override;
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  OperatorPtr input_;
+  std::vector<size_t> sort_columns_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------ Binary operators --
+
+/// Classic build/probe hash equijoin on pairs of (left col, right col).
+/// Output = left columns ++ right columns.
+class HashJoinOperator final : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr left, OperatorPtr right,
+                   std::vector<std::pair<size_t, size_t>> key_pairs);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override;
+  std::string label() const override;
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<std::pair<size_t, size_t>> key_pairs_;
+  std::unordered_map<Row, std::vector<Row>, RowHash> build_;
+  std::optional<Row> current_probe_;
+  const std::vector<Row>* current_matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// The BindJoin of the paper: for each input row, extracts the values at
+/// `bind_columns` and calls `fetch` with them — the closure performs a
+/// native access-pattern-restricted call (a KV Get, an indexed lookup...).
+/// Output = input columns ++ fetched columns. Results are memoized per
+/// binding so repeated keys cost one call.
+class BindJoinOperator final : public Operator {
+ public:
+  using Fetch = std::function<Result<std::vector<Row>>(const Row& binding)>;
+  BindJoinOperator(OperatorPtr input, std::vector<size_t> bind_columns,
+                   std::vector<std::string> fetched_columns, Fetch fetch,
+                   std::string target_label);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override;
+  std::string label() const override;
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+  /// Number of times `fetch` was actually invoked (cache misses).
+  size_t fetch_calls() const { return fetch_calls_; }
+
+ private:
+  OperatorPtr input_;
+  std::vector<size_t> bind_columns_;
+  std::vector<std::string> fetched_columns_;
+  Fetch fetch_;
+  std::string target_label_;
+  std::unordered_map<Row, std::vector<Row>, RowHash> cache_;
+  std::optional<Row> current_input_;
+  const std::vector<Row>* current_matches_ = nullptr;
+  size_t match_pos_ = 0;
+  size_t fetch_calls_ = 0;
+};
+
+/// Bag union of inputs with identical arity.
+class UnionAllOperator final : public Operator {
+ public:
+  explicit UnionAllOperator(std::vector<OperatorPtr> inputs);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override;
+  std::string label() const override { return "UnionAll"; }
+  std::vector<const Operator*> children() const override;
+
+ private:
+  std::vector<OperatorPtr> inputs_;
+  size_t current_ = 0;
+};
+
+// ------------------------------------------------------ Nested / groups --
+
+/// Groups by `group_columns` and nests each remaining column tuple into a
+/// list value: output = group columns ++ one list column of nested rows
+/// (each nested row itself a list). This is the engine-side construction
+/// of nested results the paper describes for non-delegable operations.
+class NestOperator final : public Operator {
+ public:
+  NestOperator(OperatorPtr input, std::vector<size_t> group_columns,
+               std::string nested_column_name);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override;
+  std::string label() const override;
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  OperatorPtr input_;
+  std::vector<size_t> group_columns_;
+  std::string nested_name_;
+  std::vector<Row> output_;
+  size_t pos_ = 0;
+};
+
+/// Expands a list column into one output row per element (positions other
+/// than `list_column` are copied; the list column is replaced with the
+/// element).
+class UnnestOperator final : public Operator {
+ public:
+  UnnestOperator(OperatorPtr input, size_t list_column);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override {
+    return input_->columns();
+  }
+  std::string label() const override;
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  OperatorPtr input_;
+  size_t list_column_;
+  std::optional<Row> current_;
+  size_t elem_pos_ = 0;
+};
+
+/// Aggregate functions of the grouping operator.
+enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggSpec {
+  AggFn fn;
+  size_t column;  ///< Ignored for kCount.
+  std::string output_name;
+};
+
+/// Hash group-by with the classic aggregate functions.
+class AggregateOperator final : public Operator {
+ public:
+  AggregateOperator(OperatorPtr input, std::vector<size_t> group_columns,
+                    std::vector<AggSpec> aggregates);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override;
+  std::string label() const override;
+  std::vector<const Operator*> children() const override {
+    return {input_.get()};
+  }
+
+ private:
+  OperatorPtr input_;
+  std::vector<size_t> group_columns_;
+  std::vector<AggSpec> aggs_;
+  std::vector<Row> output_;
+  size_t pos_ = 0;
+};
+
+}  // namespace estocada::engine
+
+#endif  // ESTOCADA_ENGINE_OPERATOR_H_

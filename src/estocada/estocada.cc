@@ -1,0 +1,470 @@
+#include "estocada/estocada.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "pivot/parser.h"
+
+namespace estocada {
+
+using engine::Row;
+using engine::Value;
+
+Status Estocada::RegisterSchema(const pivot::Schema& schema) {
+  ESTOCADA_RETURN_NOT_OK(catalog_.RegisterDatasetSchema(schema));
+  // Create empty staging slots with the declared column names.
+  for (const auto& [name, sig] : schema.relations()) {
+    auto& slot = staging_[name];
+    if (slot.columns.empty()) slot.columns = sig.columns;
+  }
+  rewriter_dirty_ = true;
+  return Status::OK();
+}
+
+Status Estocada::RegisterStore(catalog::StoreHandle handle) {
+  return catalog_.RegisterStore(std::move(handle));
+}
+
+Status Estocada::LoadRow(const std::string& relation, Row row) {
+  auto sig = catalog_.dataset_schema().GetRelation(relation);
+  if (!sig.ok()) return sig.status();
+  if (row.size() != sig->arity()) {
+    return Status::InvalidArgument(
+        StrCat("relation '", relation, "' expects ", sig->arity(),
+               " values, got ", row.size()));
+  }
+  staging_[relation].rows.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Estocada::LoadRows(const std::string& relation,
+                          std::vector<Row> rows) {
+  for (Row& row : rows) {
+    ESTOCADA_RETURN_NOT_OK(LoadRow(relation, std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status Estocada::LoadStaging(const rewriting::StagingData& staging) {
+  for (const auto& [relation, rel] : staging) {
+    ESTOCADA_RETURN_NOT_OK(LoadRows(relation, rel.rows));
+  }
+  return Status::OK();
+}
+
+Status Estocada::DefineFragment(const std::string& view_text,
+                                const std::string& store_name,
+                                std::vector<pivot::Adornment> adornments,
+                                std::vector<size_t> index_positions) {
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                            pivot::ParseQuery(view_text));
+  pacb::ViewDefinition view;
+  view.query = std::move(q);
+  view.adornments = std::move(adornments);
+  return DefineFragment(std::move(view), store_name,
+                        std::move(index_positions));
+}
+
+Status Estocada::DefineFragment(pacb::ViewDefinition view,
+                                const std::string& store_name,
+                                std::vector<size_t> index_positions) {
+  catalog::StorageDescriptor desc;
+  desc.view = std::move(view);
+  desc.store_name = store_name;
+  desc.index_positions = std::move(index_positions);
+  std::string name = desc.name();
+  ESTOCADA_RETURN_NOT_OK(catalog_.RegisterFragment(std::move(desc)));
+  Status materialized =
+      rewriting::MaterializeFragment(staging_, &catalog_, name);
+  if (!materialized.ok()) {
+    // Keep catalog and stores consistent on failure.
+    (void)catalog_.DropFragment(name);
+    return materialized;
+  }
+  rewriter_dirty_ = true;
+  return Status::OK();
+}
+
+Status Estocada::DropFragment(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(rewriting::DematerializeFragment(&catalog_, name));
+  ESTOCADA_RETURN_NOT_OK(catalog_.DropFragment(name));
+  rewriter_dirty_ = true;
+  return Status::OK();
+}
+
+std::string Estocada::ExportCatalogJson() const {
+  return catalog::CatalogToJson(catalog_).Pretty();
+}
+
+Status Estocada::ImportCatalogJson(const std::string& json_text) {
+  ESTOCADA_ASSIGN_OR_RETURN(json::JsonValue doc, json::Parse(json_text));
+  // Stage descriptors into a scratch catalog first so a malformed file
+  // cannot leave this system half-imported.
+  catalog::Catalog scratch;
+  ESTOCADA_RETURN_NOT_OK(scratch.RegisterDatasetSchema(
+      catalog_.dataset_schema()));
+  for (const auto& [name, handle] : catalog_.stores()) {
+    ESTOCADA_RETURN_NOT_OK(scratch.RegisterStore(handle));
+  }
+  ESTOCADA_RETURN_NOT_OK(catalog::FragmentsFromJson(doc, &scratch));
+  for (const auto& [name, desc] : scratch.fragments()) {
+    catalog::StorageDescriptor copy = desc;
+    copy.stats = {};  // Recomputed at materialization.
+    ESTOCADA_RETURN_NOT_OK(catalog_.RegisterFragment(std::move(copy)));
+    Status materialized =
+        rewriting::MaterializeFragment(staging_, &catalog_, name);
+    if (!materialized.ok()) {
+      (void)catalog_.DropFragment(name);
+      return materialized;
+    }
+  }
+  rewriter_dirty_ = true;
+  return Status::OK();
+}
+
+Status Estocada::RefreshRewriter() {
+  if (!rewriter_dirty_ && rewriter_ != nullptr) return Status::OK();
+  rewriter_ = std::make_unique<pacb::Rewriter>(catalog_.dataset_schema(),
+                                               catalog_.AllViews());
+  ESTOCADA_RETURN_NOT_OK(rewriter_->Prepare());
+  rewriter_dirty_ = false;
+  return Status::OK();
+}
+
+Result<rewriting::PlanSet> Estocada::Explain(
+    const std::string& query_text,
+    const std::map<std::string, Value>& parameters) {
+  ESTOCADA_RETURN_NOT_OK(RefreshRewriter());
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                            pivot::ParseQuery(query_text));
+  rewriting::Planner planner(&catalog_, rewriter_.get());
+  return planner.PlanQuery(q, parameters);
+}
+
+Status Estocada::RegisterDocumentCollection(
+    const std::string& dataset, const std::string& collection,
+    std::vector<encoding::DocumentPath> paths) {
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::Schema schema,
+      encoding::DocumentEncoding(dataset, collection, paths));
+  ESTOCADA_RETURN_NOT_OK(RegisterSchema(schema));
+  doc_collections_[StrCat(dataset, ".", collection)] = std::move(paths);
+  return Status::OK();
+}
+
+Result<std::string> Estocada::LoadDocument(const std::string& dataset,
+                                           const std::string& collection,
+                                           const json::JsonValue& document) {
+  std::string key = StrCat(dataset, ".", collection);
+  auto it = doc_collections_.find(key);
+  if (it == doc_collections_.end()) {
+    return Status::NotFound(
+        StrCat("'", key, "' is not a registered document collection"));
+  }
+  std::string id;
+  if (const json::JsonValue* idv = document.Find("_id");
+      idv != nullptr && idv->is_string()) {
+    id = idv->string_value();
+  } else {
+    id = StrCat(key, "/", next_doc_id_++);
+  }
+  // Uniqueness within the staged .doc relation.
+  auto& doc_rel = staging_[StrCat(key, ".doc")];
+  for (const Row& row : doc_rel.rows) {
+    if (row[0] == Value::Str(id)) {
+      return Status::AlreadyExists(
+          StrCat("document '", id, "' already loaded into ", key));
+    }
+  }
+  doc_rel.rows.push_back({Value::Str(id)});
+  for (const encoding::DocumentPath& p : it->second) {
+    const json::JsonValue* v = document.FindPath(p.path);
+    if (v == nullptr) continue;  // Missing path: no fact.
+    auto& rel = staging_[StrCat(key, ".", p.path)];
+    if (v->is_array()) {
+      for (const json::JsonValue& e : v->array()) {
+        rel.rows.push_back({Value::Str(id), Value::FromJson(e)});
+      }
+    } else {
+      rel.rows.push_back({Value::Str(id), Value::FromJson(*v)});
+    }
+  }
+  return id;
+}
+
+Status Estocada::DeleteRow(const std::string& relation,
+                           const Row& row) {
+  auto it = staging_.find(relation);
+  if (it == staging_.end()) {
+    return Status::NotFound(StrCat("relation '", relation, "' not staged"));
+  }
+  auto& rows = it->second.rows;
+  size_t before = rows.size();
+  rows.erase(std::remove(rows.begin(), rows.end(), row), rows.end());
+  if (rows.size() == before) {
+    return Status::NotFound(
+        StrCat("no staged tuple ", engine::RowToString(row), " in '",
+               relation, "'"));
+  }
+  // Rebuild every fragment whose view mentions the relation.
+  for (const auto& [name, desc] : catalog_.fragments()) {
+    bool affected = false;
+    for (const pivot::Atom& a : desc.view.query.body) {
+      if (a.relation == relation) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) continue;
+    ESTOCADA_RETURN_NOT_OK(
+        rewriting::DematerializeFragment(&catalog_, name));
+    ESTOCADA_RETURN_NOT_OK(
+        rewriting::MaterializeFragment(staging_, &catalog_, name));
+  }
+  return Status::OK();
+}
+
+Status Estocada::RegisterTreeDataset(const std::string& dataset) {
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::Schema schema,
+                            encoding::DocumentTreeEncoding(dataset));
+  return RegisterSchema(schema);
+}
+
+Status Estocada::LoadTreeDocument(const std::string& dataset,
+                                  const std::string& doc_id,
+                                  const json::JsonValue& document) {
+  std::string doc_rel = StrCat(dataset, ".Doc");
+  if (!catalog_.dataset_schema().HasRelation(doc_rel)) {
+    return Status::NotFound(
+        StrCat("'", dataset, "' is not a registered tree dataset"));
+  }
+  for (const Row& row : staging_[doc_rel].rows) {
+    if (row[0] == Value::Str(doc_id)) {
+      return Status::AlreadyExists(
+          StrCat("document '", doc_id, "' already loaded into ", dataset));
+    }
+  }
+  std::vector<pivot::Atom> atoms =
+      encoding::ShredDocument(dataset, doc_id, document);
+  // Stage the shredded facts, collecting Child edges for the closure.
+  std::map<std::string, std::vector<std::string>> children;
+  for (const pivot::Atom& a : atoms) {
+    Row row;
+    row.reserve(a.terms.size());
+    for (const pivot::Term& t : a.terms) {
+      row.push_back(Value::FromConstant(t.constant()));
+    }
+    if (a.relation == StrCat(dataset, ".Child")) {
+      children[row[0].string_value()].push_back(row[1].string_value());
+    }
+    staging_[a.relation].rows.push_back(std::move(row));
+  }
+  // Complete Desc transitively (depth-first from every node). The tree
+  // axioms would derive the same facts by chasing; staging them directly
+  // makes Desc a first-class queryable relation.
+  auto& desc_rel = staging_[StrCat(dataset, ".Desc")];
+  for (const auto& [anc, direct] : children) {
+    std::vector<std::string> stack(direct.begin(), direct.end());
+    while (!stack.empty()) {
+      std::string node = std::move(stack.back());
+      stack.pop_back();
+      desc_rel.rows.push_back({Value::Str(anc), Value::Str(node)});
+      auto it = children.find(node);
+      if (it != children.end()) {
+        stack.insert(stack.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Estocada::InsertRow(const std::string& relation, Row row) {
+  ESTOCADA_RETURN_NOT_OK(LoadRow(relation, row));
+  return rewriting::MaintainFragmentsOnInsert(staging_, &catalog_, relation,
+                                              row);
+}
+
+Result<std::string> Estocada::InsertDocument(const std::string& dataset,
+                                             const std::string& collection,
+                                             const json::JsonValue& document) {
+  std::string key = StrCat(dataset, ".", collection);
+  // Capture relation sizes to identify the rows LoadDocument stages.
+  std::map<std::string, size_t> before;
+  for (const auto& [rel, data] : staging_) {
+    if (rel.rfind(key, 0) == 0) before[rel] = data.rows.size();
+  }
+  ESTOCADA_ASSIGN_OR_RETURN(std::string id,
+                            LoadDocument(dataset, collection, document));
+  std::vector<std::pair<std::string, Row>> batch;
+  for (const auto& [rel, data] : staging_) {
+    if (rel.rfind(key, 0) != 0) continue;
+    size_t start = before.count(rel) ? before[rel] : 0;
+    for (size_t i = start; i < data.rows.size(); ++i) {
+      batch.emplace_back(rel, data.rows[i]);
+    }
+  }
+  ESTOCADA_RETURN_NOT_OK(rewriting::MaintainFragmentsOnInsertBatch(
+      staging_, &catalog_, batch));
+  return id;
+}
+
+Result<Estocada::QueryResult> Estocada::Query(
+    const std::string& query_text,
+    const std::map<std::string, Value>& parameters) {
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                            pivot::ParseQuery(query_text));
+  return RunQuery(q, parameters);
+}
+
+Result<Estocada::QueryResult> Estocada::QuerySql(
+    const std::string& sql,
+    const std::map<std::string, Value>& parameters) {
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::ConjunctiveQuery q,
+      frontend::SqlToCq(sql, catalog_.dataset_schema()));
+  return RunQuery(q, parameters);
+}
+
+Result<Estocada::QueryResult> Estocada::QueryDocFind(
+    const frontend::DocFindSpec& spec,
+    const std::map<std::string, Value>& parameters) {
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::ConjunctiveQuery q,
+      frontend::DocFindToCq(spec, catalog_.dataset_schema()));
+  return RunQuery(q, parameters);
+}
+
+Result<Estocada::QueryResult> Estocada::QueryKeyLookup(
+    const std::string& relation, const Value& key) {
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::ConjunctiveQuery q,
+      frontend::KeyLookupToCq(relation, catalog_.dataset_schema()));
+  return RunQuery(q, {{"$key", key}});
+}
+
+Result<rewriting::PlanSet> Estocada::PlanBest(
+    const pivot::ConjunctiveQuery& q,
+    const std::map<std::string, Value>& parameters) {
+  ESTOCADA_RETURN_NOT_OK(RefreshRewriter());
+  rewriting::Planner planner(&catalog_, rewriter_.get());
+  return planner.PlanQuery(q, parameters);
+}
+
+Result<Estocada::QueryResult> Estocada::QueryProgram(
+    const std::vector<std::string>& cq_texts,
+    const std::map<std::string, Value>& parameters, const ProgramOps& ops) {
+  if (cq_texts.empty()) {
+    return Status::InvalidArgument("QueryProgram needs at least one query");
+  }
+  std::vector<engine::OperatorPtr> branches;
+  std::vector<std::shared_ptr<rewriting::RuntimeStats>> branch_stats;
+  QueryResult result;
+  size_t arity = 0;
+  std::vector<std::string> rewriting_texts;
+  for (const std::string& text : cq_texts) {
+    ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                              pivot::ParseQuery(text));
+    if (branches.empty()) {
+      arity = q.arity();
+    } else if (q.arity() != arity) {
+      return Status::InvalidArgument(
+          StrCat("union branches must share one arity; '", text, "' has ",
+                 q.arity(), ", expected ", arity));
+    }
+    ESTOCADA_ASSIGN_OR_RETURN(rewriting::PlanSet plans,
+                              PlanBest(q, parameters));
+    rewriting::PlannedQuery& best = plans.best_plan();
+    result.estimated_cost += best.estimated_cost;
+    result.rewritings_considered += plans.plans.size();
+    rewriting_texts.push_back(best.rewriting.ToString());
+    branch_stats.push_back(best.runtime_stats);
+    branches.push_back(std::move(best.root));
+    // Log each branch for the advisor, cost attributed after execution.
+    std::vector<std::string> fragments_used;
+    for (const pivot::Atom& a : best.rewriting.body) {
+      fragments_used.push_back(a.relation);
+    }
+    workload_log_.Record(q, best.estimated_cost, fragments_used);
+  }
+  engine::OperatorPtr root =
+      branches.size() == 1
+          ? std::move(branches[0])
+          : std::make_unique<engine::UnionAllOperator>(std::move(branches));
+  if (!ops.aggregates.empty() || !ops.group_by.empty()) {
+    root = std::make_unique<engine::AggregateOperator>(
+        std::move(root), ops.group_by, ops.aggregates);
+  }
+  if (!ops.order_by.empty()) {
+    root = std::make_unique<engine::SortOperator>(std::move(root),
+                                                  ops.order_by);
+  }
+  if (ops.limit > 0) {
+    root = std::make_unique<engine::LimitOperator>(std::move(root),
+                                                   ops.limit);
+  }
+  ESTOCADA_ASSIGN_OR_RETURN(result.rows, engine::Collect(root.get()));
+  for (const auto& stats : branch_stats) {
+    for (const auto& [store, st] : stats->per_store) {
+      result.runtime_stats.per_store[store].Add(st);
+    }
+  }
+  result.rewriting_text = StrJoin(rewriting_texts, "  UNION  ");
+  result.plan_text = engine::PlanToString(*root);
+  return result;
+}
+
+std::string Estocada::QueryResult::RuntimeSplitLine() const {
+  return StrCat("stores shipped ", rows_from_stores,
+                " row(s); estocada runtime returned ", rows.size());
+}
+
+Result<Estocada::QueryResult> Estocada::RunQuery(
+    const pivot::ConjunctiveQuery& q,
+    const std::map<std::string, Value>& parameters) {
+  ESTOCADA_ASSIGN_OR_RETURN(rewriting::PlanSet plans,
+                            PlanBest(q, parameters));
+  rewriting::PlannedQuery& best = plans.best_plan();
+
+  QueryResult result;
+  ESTOCADA_ASSIGN_OR_RETURN(result.rows, engine::Collect(best.root.get()));
+  result.runtime_stats = *best.runtime_stats;
+  for (const auto& [store, st] : result.runtime_stats.per_store) {
+    result.rows_from_stores += st.rows_returned;
+  }
+  result.rewriting_text = best.rewriting.ToString();
+  result.plan_text = best.ToString();
+  result.estimated_cost = best.estimated_cost;
+  result.rewritings_considered = plans.plans.size();
+  result.rewriter_stats = plans.rewriting_result.stats;
+
+  // Feed the advisor's workload log.
+  std::vector<std::string> fragments_used;
+  for (const pivot::Atom& a : best.rewriting.body) {
+    fragments_used.push_back(a.relation);
+  }
+  workload_log_.Record(q, result.simulated_cost(), fragments_used);
+  return result;
+}
+
+Result<std::vector<Row>> Estocada::EvaluateOverStaging(
+    const std::string& query_text,
+    const std::map<std::string, Value>& parameters) {
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                            pivot::ParseQuery(query_text));
+  return rewriting::EvaluateCqOverStaging(q, staging_, parameters);
+}
+
+std::vector<advisor::Recommendation> Estocada::Advise(
+    const advisor::AdvisorOptions& options) const {
+  advisor::StorageAdvisor sa(options);
+  return sa.Recommend(catalog_, workload_log_);
+}
+
+Status Estocada::ApplyRecommendation(const advisor::Recommendation& rec) {
+  if (rec.action == advisor::Recommendation::Action::kDropFragment) {
+    return DropFragment(rec.fragment_name);
+  }
+  return DefineFragment(rec.view, rec.store_name);
+}
+
+}  // namespace estocada

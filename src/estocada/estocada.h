@@ -1,0 +1,257 @@
+#ifndef ESTOCADA_ESTOCADA_ESTOCADA_H_
+#define ESTOCADA_ESTOCADA_ESTOCADA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "catalog/catalog.h"
+#include "catalog/serialize.h"
+#include "common/result.h"
+#include "encoding/encodings.h"
+#include "frontend/docfind.h"
+#include "frontend/sql.h"
+#include "json/json.h"
+#include "pacb/rewriter.h"
+#include "rewriting/cq_eval.h"
+#include "rewriting/materializer.h"
+#include "rewriting/planner.h"
+#include "rewriting/translator.h"
+
+namespace estocada {
+
+/// The ESTOCADA system facade (paper Fig. 1): applications register their
+/// dataset schemas and the available DMSs, load data, declare fragments
+/// (LAV materialized views placed in specific stores), and then query the
+/// *datasets* — the system rewrites each query over the fragments with
+/// PACB, picks a plan cost-wise, delegates subqueries to the stores, and
+/// evaluates the rest in its own engine.
+class Estocada {
+ public:
+  Estocada() = default;
+
+  // ------------------------------------------------------------- Setup --
+
+  /// Merges a dataset's pivot schema (relations + model constraints).
+  Status RegisterSchema(const pivot::Schema& schema);
+
+  /// Registers a DMS instance (non-owning pointer inside the handle).
+  Status RegisterStore(catalog::StoreHandle handle);
+
+  /// Loads one tuple of a dataset relation into the staging area (the
+  /// application-side ground truth fragments are materialized from).
+  Status LoadRow(const std::string& relation, engine::Row row);
+
+  /// Bulk load.
+  Status LoadRows(const std::string& relation, std::vector<engine::Row> rows);
+
+  /// Loads a whole staged dataset at once (workload generators).
+  Status LoadStaging(const rewriting::StagingData& staging);
+
+  /// Registers a *document-native* dataset collection: merges the path-
+  /// relation encoding ("<dataset>.<collection>.<path>"(docID, value) per
+  /// path, plus the .doc relation and its constraints) into the pivot
+  /// schema. Documents are then loaded with LoadDocument and queried
+  /// through the path relations (or the DocFind front-end).
+  Status RegisterDocumentCollection(
+      const std::string& dataset, const std::string& collection,
+      std::vector<encoding::DocumentPath> paths);
+
+  /// Shreds one JSON document of a registered collection into the staging
+  /// path relations. The document's string "_id" is used when present
+  /// (must be unique), else an id is generated. Array values at a path
+  /// stage one row per element (multikey). Returns the document id.
+  Result<std::string> LoadDocument(const std::string& dataset,
+                                   const std::string& collection,
+                                   const json::JsonValue& document);
+
+  /// Registers a dataset in the paper's *generic tree* document encoding
+  /// (§III): relations <dataset>.Doc/Root/Child/Desc/Tag/Val/ArrayElem
+  /// plus the tree axioms (Child ⊆ Desc, transitivity, one parent/tag/
+  /// value, ...). Unlike the path-relation form, this encodes arbitrary
+  /// documents without pre-registering paths.
+  Status RegisterTreeDataset(const std::string& dataset);
+
+  /// Shreds a JSON document into tree facts and stages them. `Desc` facts
+  /// are completed transitively at load time, so structural queries over
+  /// Desc are answerable through fragments without chasing at runtime.
+  Status LoadTreeDocument(const std::string& dataset,
+                          const std::string& doc_id,
+                          const json::JsonValue& document);
+
+  // ------------------------------------------------ Incremental updates --
+
+  /// Inserts a tuple *after* fragments exist: stages it and incrementally
+  /// maintains every fragment whose view mentions the relation (delta
+  /// evaluation + append; text fragments rebuild). A delta row that was
+  /// already derivable through another witness may be stored twice; query
+  /// answers stay correct because evaluation applies set semantics.
+  Status InsertRow(const std::string& relation, engine::Row row);
+
+  /// Document-collection variant of InsertRow: shreds and maintains.
+  Result<std::string> InsertDocument(const std::string& dataset,
+                                     const std::string& collection,
+                                     const json::JsonValue& document);
+
+  /// Deletes every staged tuple equal to `row` and *rebuilds* the
+  /// fragments whose views mention the relation. Deletions do not have an
+  /// efficient delta under bag-free view maintenance (and the paper
+  /// leaves dynamic reorganization as ongoing work), so correctness is
+  /// bought with a rematerialization. Returns kNotFound when no such
+  /// tuple is staged.
+  Status DeleteRow(const std::string& relation, const engine::Row& row);
+
+  // -------------------------------------------------------- Fragments --
+
+  /// Declares and materializes a fragment. `view_text` is pivot syntax,
+  /// e.g. "F_cart(u, c) :- mk.carts(u, c)"; `adornments` flags
+  /// access-pattern-restricted positions (empty = all free);
+  /// `index_positions` requests extra secondary indexes (beyond the
+  /// input-adorned positions, which are always indexed).
+  Status DefineFragment(const std::string& view_text,
+                        const std::string& store_name,
+                        std::vector<pivot::Adornment> adornments = {},
+                        std::vector<size_t> index_positions = {});
+
+  /// Structured variant.
+  Status DefineFragment(pacb::ViewDefinition view,
+                        const std::string& store_name,
+                        std::vector<size_t> index_positions = {});
+
+  /// Drops a fragment: removes the stored container and the descriptor.
+  Status DropFragment(const std::string& name);
+
+  const catalog::Catalog& catalog() const { return catalog_; }
+
+  /// Checkpoints the fragment layout (storage descriptors) as JSON text.
+  std::string ExportCatalogJson() const;
+
+  /// Re-creates a fragment layout from ExportCatalogJson output: registers
+  /// each descriptor and re-materializes it from the staged data. Stores
+  /// and dataset schemas must already be registered under the same names.
+  Status ImportCatalogJson(const std::string& json_text);
+
+  // ----------------------------------------------------------- Queries --
+
+  struct QueryResult {
+    std::vector<engine::Row> rows;
+    /// Work split across the underlying DMSs (demo step 3).
+    rewriting::RuntimeStats runtime_stats;
+    /// The rewriting the cost-based choice picked and its plan.
+    std::string rewriting_text;
+    std::string plan_text;
+    double estimated_cost = 0;
+    size_t rewritings_considered = 0;
+    pacb::RewriterStats rewriter_stats;
+    /// ESTOCADA's own runtime share (demo step 3 splits statistics
+    /// "across the underlying DMS and ESTOCADA's runtime"): rows shipped
+    /// out of the stores into the engine vs. rows finally returned — the
+    /// difference is joined/filtered/deduplicated by the engine.
+    uint64_t rows_from_stores = 0;
+
+    double simulated_cost() const {
+      return runtime_stats.TotalSimulatedCost();
+    }
+
+    /// "stores shipped N rows; engine returned M" one-liner.
+    std::string RuntimeSplitLine() const;
+  };
+
+  /// Answers a query over the *datasets* through the fragments. The query
+  /// is pivot CQ text; '$'-variables take values from `parameters`.
+  Result<QueryResult> Query(
+      const std::string& query_text,
+      const std::map<std::string, engine::Value>& parameters = {});
+
+  /// Native-language front-ends (paper §III: each dataset is accessed in
+  /// the language of its model). All reduce to pivot CQs and share the
+  /// whole rewriting/delegation pipeline.
+  /// SQL (conjunctive SELECT-FROM-WHERE) for relational datasets:
+  Result<QueryResult> QuerySql(
+      const std::string& sql,
+      const std::map<std::string, engine::Value>& parameters = {});
+  /// Document find() for document collections:
+  Result<QueryResult> QueryDocFind(
+      const frontend::DocFindSpec& spec,
+      const std::map<std::string, engine::Value>& parameters = {});
+  /// Key-based access for key-value-shaped relations:
+  Result<QueryResult> QueryKeyLookup(const std::string& relation,
+                                     const engine::Value& key);
+
+  /// Post-combination operations of the (optional) GAV layer the paper
+  /// sketches: algebraic operators applied *on top of* individually
+  /// rewritten queries. Aggregation references the union's head columns
+  /// by position.
+  struct ProgramOps {
+    std::vector<size_t> group_by;
+    std::vector<engine::AggSpec> aggregates;
+    std::vector<size_t> order_by;  ///< Applied after aggregation.
+    size_t limit = 0;              ///< 0 = no limit.
+  };
+
+  /// Evaluates the union of several CQs (same head arity), each rewritten
+  /// and planned independently over the fragments, with `ops` applied to
+  /// the combined stream by ESTOCADA's own engine.
+  Result<QueryResult> QueryProgram(
+      const std::vector<std::string>& cq_texts,
+      const std::map<std::string, engine::Value>& parameters,
+      const ProgramOps& ops);
+  Result<QueryResult> QueryProgram(
+      const std::vector<std::string>& cq_texts,
+      const std::map<std::string, engine::Value>& parameters = {}) {
+    return QueryProgram(cq_texts, parameters, ProgramOps());
+  }
+
+  /// Plans without executing (demo step 2: inspect rewritings + plans).
+  Result<rewriting::PlanSet> Explain(
+      const std::string& query_text,
+      const std::map<std::string, engine::Value>& parameters = {});
+
+  /// Reference evaluation directly over the staging area (ground truth
+  /// for tests and the vanilla baseline in benches).
+  Result<std::vector<engine::Row>> EvaluateOverStaging(
+      const std::string& query_text,
+      const std::map<std::string, engine::Value>& parameters = {});
+
+  // ----------------------------------------------------------- Advisor --
+
+  const advisor::WorkloadLog& workload_log() const { return workload_log_; }
+  void ClearWorkloadLog() { workload_log_.Clear(); }
+
+  /// Runs the storage advisor over the accumulated workload log.
+  std::vector<advisor::Recommendation> Advise(
+      const advisor::AdvisorOptions& options = {}) const;
+
+  /// Applies one recommendation (defines or drops the fragment).
+  Status ApplyRecommendation(const advisor::Recommendation& rec);
+
+ private:
+  /// Rebuilds the PACB rewriter after a fragment change.
+  Status RefreshRewriter();
+
+  /// Shared body of Query and the front-end variants.
+  Result<QueryResult> RunQuery(
+      const pivot::ConjunctiveQuery& query,
+      const std::map<std::string, engine::Value>& parameters);
+
+  /// Plans one CQ and returns the chosen plan (used by RunQuery and
+  /// QueryProgram).
+  Result<rewriting::PlanSet> PlanBest(
+      const pivot::ConjunctiveQuery& query,
+      const std::map<std::string, engine::Value>& parameters);
+
+  catalog::Catalog catalog_;
+  rewriting::StagingData staging_;
+  std::unique_ptr<pacb::Rewriter> rewriter_;
+  bool rewriter_dirty_ = true;
+  advisor::WorkloadLog workload_log_;
+  /// Registered document collections: "<dataset>.<collection>" -> paths.
+  std::map<std::string, std::vector<encoding::DocumentPath>> doc_collections_;
+  uint64_t next_doc_id_ = 0;
+};
+
+}  // namespace estocada
+
+#endif  // ESTOCADA_ESTOCADA_ESTOCADA_H_

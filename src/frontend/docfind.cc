@@ -1,0 +1,100 @@
+#include "frontend/docfind.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "pivot/parser.h"
+
+namespace estocada::frontend {
+
+using pivot::Atom;
+using pivot::ConjunctiveQuery;
+using pivot::Term;
+
+Result<ConjunctiveQuery> DocFindToCq(const DocFindSpec& spec,
+                                     const pivot::Schema& schema,
+                                     std::string query_name) {
+  if (spec.collection.empty()) {
+    return Status::InvalidArgument("DocFindSpec needs a collection");
+  }
+  std::string doc_rel = StrCat(spec.collection, ".doc");
+  if (!schema.HasRelation(doc_rel)) {
+    return Status::NotFound(
+        StrCat("'", spec.collection,
+               "' is not a registered document collection (no ", doc_rel,
+               " relation)"));
+  }
+  ConjunctiveQuery q;
+  q.name = std::move(query_name);
+  Term doc_id = Term::Var("docID");
+  q.body.push_back(Atom(doc_rel, {doc_id}));
+
+  // One path-relation atom per mentioned path; repeated paths share one
+  // atom only if both filter and return mention it (value var reused).
+  std::map<std::string, Term> value_term;
+  auto path_atom = [&](const std::string& path,
+                       const Term& value) -> Status {
+    std::string rel = StrCat(spec.collection, ".", path);
+    if (!schema.HasRelation(rel)) {
+      return Status::NotFound(
+          StrCat("path '", path, "' is not registered for collection '",
+                 spec.collection, "'"));
+    }
+    q.body.push_back(Atom(rel, {doc_id, value}));
+    return Status::OK();
+  };
+  for (const DocFindSpec::Filter& f : spec.filters) {
+    // Parse the literal via a throwaway atom ("X(<value>)").
+    ESTOCADA_ASSIGN_OR_RETURN(std::vector<Atom> parsed,
+                              pivot::ParseAtomList(StrCat("X(", f.value,
+                                                          ")")));
+    const Term& v = parsed[0].terms[0];
+    if (v.is_variable() && v.var_name()[0] != '$') {
+      return Status::InvalidArgument(
+          StrCat("filter value '", f.value,
+                 "' must be a literal or a $parameter"));
+    }
+    ESTOCADA_RETURN_NOT_OK(path_atom(f.path, v));
+  }
+  for (const std::string& path : spec.returns) {
+    auto [it, fresh] = value_term.emplace(
+        path, Term::Var(StrCat("v_", path)));
+    if (fresh) {
+      ESTOCADA_RETURN_NOT_OK(path_atom(path, it->second));
+    }
+  }
+
+  if (spec.include_doc_id) q.head.push_back(doc_id);
+  for (const std::string& path : spec.returns) {
+    q.head.push_back(value_term.at(path));
+  }
+  if (q.head.empty()) q.head.push_back(doc_id);
+  ESTOCADA_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+Result<ConjunctiveQuery> KeyLookupToCq(const std::string& relation,
+                                       const pivot::Schema& schema,
+                                       std::string query_name) {
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::RelationSignature sig,
+                            schema.GetRelation(relation));
+  if (sig.arity() < 2) {
+    return Status::InvalidArgument(
+        StrCat("key lookup needs arity >= 2, '", relation, "' has ",
+               sig.arity()));
+  }
+  ConjunctiveQuery q;
+  q.name = std::move(query_name);
+  Atom a;
+  a.relation = relation;
+  a.terms.push_back(Term::Var("$key"));
+  for (size_t i = 1; i < sig.arity(); ++i) {
+    Term v = Term::Var(StrCat("v", i));
+    a.terms.push_back(v);
+    q.head.push_back(v);
+  }
+  q.body.push_back(std::move(a));
+  return q;
+}
+
+}  // namespace estocada::frontend

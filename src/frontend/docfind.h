@@ -1,0 +1,51 @@
+#ifndef ESTOCADA_FRONTEND_DOCFIND_H_
+#define ESTOCADA_FRONTEND_DOCFIND_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pivot/query.h"
+#include "pivot/schema.h"
+
+namespace estocada::frontend {
+
+/// The document-native query API (the "find()" of the paper's MongoDB):
+/// conjunctive equality predicates over registered dotted paths of one
+/// document collection, returning values at selected paths. Translates to
+/// a pivot CQ over the collection's *path relations* (see
+/// encoding::DocumentEncoding): one atom per mentioned path, joined on the
+/// shared document id.
+///
+///   DocFindSpec spec;
+///   spec.collection = "mk.products";            // dataset.collection
+///   spec.filters = {{"category", "'cat0'"}};    // path = pivot literal
+///   spec.returns = {"pid", "name"};             // paths to project
+///
+/// Filter values use pivot literal syntax ('str', 42, 2.5, true, null) or
+/// a $parameter. The resulting CQ's head is (docID, returns...).
+struct DocFindSpec {
+  std::string collection;
+  struct Filter {
+    std::string path;
+    std::string value;  ///< Pivot literal or $param.
+  };
+  std::vector<Filter> filters;
+  std::vector<std::string> returns;
+  bool include_doc_id = true;  ///< Prepend docID to the head.
+};
+
+Result<pivot::ConjunctiveQuery> DocFindToCq(const DocFindSpec& spec,
+                                            const pivot::Schema& schema,
+                                            std::string query_name = "q");
+
+/// The key-value-native access ("key-based search API"): the value columns
+/// of `relation` for a given key, i.e. q(v...) :- relation($key, v...).
+/// `relation` must be binary-or-wider with the key in position 0.
+Result<pivot::ConjunctiveQuery> KeyLookupToCq(const std::string& relation,
+                                              const pivot::Schema& schema,
+                                              std::string query_name = "q");
+
+}  // namespace estocada::frontend
+
+#endif  // ESTOCADA_FRONTEND_DOCFIND_H_

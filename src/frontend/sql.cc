@@ -1,0 +1,366 @@
+#include "frontend/sql.h"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace estocada::frontend {
+
+using pivot::Atom;
+using pivot::ConjunctiveQuery;
+using pivot::RelationSignature;
+using pivot::Term;
+
+namespace {
+
+/// SQL token kinds: identifiers (possibly dotted), literals, punctuation.
+struct Token {
+  enum class Kind { kIdent, kString, kNumber, kParam, kPunct, kEnd };
+  Kind kind;
+  std::string text;
+};
+
+class SqlLexer {
+ public:
+  explicit SqlLexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Lex() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        std::string s;
+        while (pos_ < text_.size() && text_[pos_] != '\'') {
+          s.push_back(text_[pos_++]);
+        }
+        if (pos_ >= text_.size()) {
+          return Status::ParseError("unterminated SQL string literal");
+        }
+        ++pos_;
+        out.push_back({Token::Kind::kString, std::move(s)});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        size_t start = pos_;
+        if (c == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.')) {
+          ++pos_;
+        }
+        out.push_back({Token::Kind::kNumber,
+                       std::string(text_.substr(start, pos_ - start))});
+        continue;
+      }
+      if (c == '$') {
+        size_t start = pos_++;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back({Token::Kind::kParam,
+                       std::string(text_.substr(start, pos_ - start))});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.')) {
+          ++pos_;
+        }
+        out.push_back({Token::Kind::kIdent,
+                       std::string(text_.substr(start, pos_ - start))});
+        continue;
+      }
+      if (c == ',' || c == '=' || c == '(' || c == ')' || c == '*' ||
+          c == '<' || c == '>' || c == '!') {
+        out.push_back({Token::Kind::kPunct, std::string(1, c)});
+        ++pos_;
+        continue;
+      }
+      return Status::ParseError(
+          StrCat("unexpected character '", std::string(1, c),
+                 "' in SQL at offset ", pos_));
+    }
+    out.push_back({Token::Kind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Recursive-descent parser over the token stream.
+class SqlParser {
+ public:
+  SqlParser(std::vector<Token> tokens, const pivot::Schema& schema,
+            std::string query_name)
+      : tokens_(std::move(tokens)),
+        schema_(schema),
+        query_name_(std::move(query_name)) {}
+
+  Result<ConjunctiveQuery> Parse() {
+    ESTOCADA_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    // Select list: alias.column [AS name], ...
+    struct SelectItem {
+      std::string alias, column, out_name;
+    };
+    std::vector<SelectItem> select;
+    for (;;) {
+      if (PeekPunct("*")) {
+        return Status::Unsupported(
+            "SELECT * is not part of the supported conjunctive fragment; "
+            "list the columns explicitly");
+      }
+      ESTOCADA_ASSIGN_OR_RETURN(auto col, ParseQualifiedColumn());
+      SelectItem item{col.first, col.second, col.second};
+      if (PeekKeyword("AS")) {
+        ++pos_;
+        ESTOCADA_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+        item.out_name = std::move(name);
+      }
+      select.push_back(std::move(item));
+      if (!ConsumePunct(",")) break;
+    }
+    ESTOCADA_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    // FROM list: relation alias, ...
+    for (;;) {
+      ESTOCADA_ASSIGN_OR_RETURN(std::string rel, ParseIdent());
+      ESTOCADA_ASSIGN_OR_RETURN(std::string alias, ParseIdent());
+      ESTOCADA_ASSIGN_OR_RETURN(const RelationSignature sig,
+                                schema_.GetRelation(rel));
+      if (tables_.count(alias)) {
+        return Status::ParseError(StrCat("duplicate alias '", alias, "'"));
+      }
+      tables_.emplace(alias, sig);
+      from_order_.push_back(alias);
+      if (!ConsumePunct(",")) break;
+    }
+    // WHERE: conjunction of equalities.
+    struct Equality {
+      // Each side is a column ref or a constant term.
+      bool left_is_col, right_is_col;
+      std::pair<std::string, std::string> lcol, rcol;
+      Term lconst, rconst;
+    };
+    std::vector<Equality> equalities;
+    if (PeekKeyword("WHERE")) {
+      ++pos_;
+      for (;;) {
+        Equality eq;
+        ESTOCADA_RETURN_NOT_OK(ParseOperand(&eq.left_is_col, &eq.lcol,
+                                            &eq.lconst));
+        if (!ConsumePunct("=")) {
+          return Status::Unsupported(
+              "only equality predicates are in the conjunctive fragment");
+        }
+        ESTOCADA_RETURN_NOT_OK(ParseOperand(&eq.right_is_col, &eq.rcol,
+                                            &eq.rconst));
+        equalities.push_back(std::move(eq));
+        if (!PeekKeyword("AND")) break;
+        ++pos_;
+      }
+    }
+    if (tokens_[pos_].kind != Token::Kind::kEnd) {
+      return Status::Unsupported(
+          StrCat("unsupported SQL beyond the conjunctive fragment near '",
+                 tokens_[pos_].text, "'"));
+    }
+
+    // ---- Build the CQ. Every (alias, column) gets a variable name;
+    // equalities unify variable names (union-find over column refs) or
+    // pin a column to a constant.
+    // Variable naming: "<alias>_<column>" canonicalized by union-find.
+    std::map<std::pair<std::string, std::string>,
+             std::pair<std::string, std::string>>
+        parent;
+    auto canon = [&](std::pair<std::string, std::string> c) {
+      while (true) {
+        auto it = parent.find(c);
+        if (it == parent.end() || it->second == c) return c;
+        c = it->second;
+      }
+    };
+    auto check_col = [&](const std::pair<std::string, std::string>& c)
+        -> Status {
+      auto it = tables_.find(c.first);
+      if (it == tables_.end()) {
+        return Status::NotFound(StrCat("unknown alias '", c.first, "'"));
+      }
+      for (const std::string& col : it->second.columns) {
+        if (col == c.second) return Status::OK();
+      }
+      return Status::NotFound(
+          StrCat("unknown column '", c.first, ".", c.second, "'"));
+    };
+    std::map<std::pair<std::string, std::string>, Term> pinned;
+    for (const Equality& eq : equalities) {
+      if (eq.left_is_col) ESTOCADA_RETURN_NOT_OK(check_col(eq.lcol));
+      if (eq.right_is_col) ESTOCADA_RETURN_NOT_OK(check_col(eq.rcol));
+      if (eq.left_is_col && eq.right_is_col) {
+        auto a = canon(eq.lcol);
+        auto b = canon(eq.rcol);
+        if (a != b) parent[a] = b;
+      } else if (eq.left_is_col) {
+        pinned[canon(eq.lcol)] = eq.rconst;
+      } else if (eq.right_is_col) {
+        pinned[canon(eq.rcol)] = eq.lconst;
+      } else {
+        return Status::Unsupported(
+            "constant = constant predicates are not useful in a CQ");
+      }
+    }
+    // Re-canonicalize pins (a later union may have moved the root).
+    std::map<std::pair<std::string, std::string>, Term> pinned_canon;
+    for (const auto& [col, term] : pinned) {
+      pinned_canon[canon(col)] = term;
+    }
+
+    auto term_for = [&](const std::string& alias,
+                        const std::string& column) -> Term {
+      auto c = canon({alias, column});
+      auto pin = pinned_canon.find(c);
+      if (pin != pinned_canon.end()) return pin->second;
+      return Term::Var(StrCat(c.first, "_", c.second));
+    };
+
+    ConjunctiveQuery q;
+    q.name = query_name_;
+    for (const std::string& alias : from_order_) {
+      const RelationSignature& sig = tables_.at(alias);
+      Atom a;
+      a.relation = sig.name;
+      for (const std::string& col : sig.columns) {
+        a.terms.push_back(term_for(alias, col));
+      }
+      q.body.push_back(std::move(a));
+    }
+    for (const auto& item : select) {
+      ESTOCADA_RETURN_NOT_OK(check_col({item.alias, item.column}));
+      q.head.push_back(term_for(item.alias, item.column));
+    }
+    ESTOCADA_RETURN_NOT_OK(q.Validate());
+    return q;
+  }
+
+ private:
+  bool PeekKeyword(const char* kw) const {
+    return tokens_[pos_].kind == Token::Kind::kIdent &&
+           AsciiLower(tokens_[pos_].text) == AsciiLower(kw);
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::ParseError(
+          StrCat("expected ", kw, " near '", tokens_[pos_].text, "'"));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+  bool PeekPunct(const char* p) const {
+    return tokens_[pos_].kind == Token::Kind::kPunct &&
+           tokens_[pos_].text == p;
+  }
+  bool ConsumePunct(const char* p) {
+    if (PeekPunct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Result<std::string> ParseIdent() {
+    if (tokens_[pos_].kind != Token::Kind::kIdent) {
+      return Status::ParseError(
+          StrCat("expected identifier near '", tokens_[pos_].text, "'"));
+    }
+    return tokens_[pos_++].text;
+  }
+  /// "alias.column" (the relation name itself may be dotted, so the
+  /// *last* dot separates the column).
+  Result<std::pair<std::string, std::string>> ParseQualifiedColumn() {
+    ESTOCADA_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+    size_t dot = ident.rfind('.');
+    if (dot == std::string::npos) {
+      return Status::ParseError(
+          StrCat("column reference '", ident, "' must be alias-qualified"));
+    }
+    return std::make_pair(ident.substr(0, dot), ident.substr(dot + 1));
+  }
+  Status ParseOperand(bool* is_col,
+                      std::pair<std::string, std::string>* col, Term* c) {
+    const Token& t = tokens_[pos_];
+    switch (t.kind) {
+      case Token::Kind::kIdent: {
+        ESTOCADA_ASSIGN_OR_RETURN(auto qc, ParseQualifiedColumn());
+        *is_col = true;
+        *col = std::move(qc);
+        return Status::OK();
+      }
+      case Token::Kind::kString:
+        *is_col = false;
+        *c = Term::Str(t.text);
+        ++pos_;
+        return Status::OK();
+      case Token::Kind::kNumber: {
+        *is_col = false;
+        if (t.text.find('.') != std::string::npos) {
+          double d = 0;
+          auto [p, ec] =
+              std::from_chars(t.text.data(), t.text.data() + t.text.size(), d);
+          (void)p;
+          if (ec != std::errc()) return Status::ParseError("bad number");
+          *c = Term::Const(pivot::Constant::Real(d));
+        } else {
+          int64_t v = 0;
+          auto [p, ec] =
+              std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
+          (void)p;
+          if (ec != std::errc()) return Status::ParseError("bad number");
+          *c = Term::Int(v);
+        }
+        ++pos_;
+        return Status::OK();
+      }
+      case Token::Kind::kParam:
+        // Parameters stay symbolic: they become '$'-variables of the CQ.
+        *is_col = false;
+        *c = Term::Var(t.text);
+        ++pos_;
+        return Status::OK();
+      default:
+        return Status::ParseError(
+            StrCat("expected operand near '", t.text, "'"));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const pivot::Schema& schema_;
+  std::string query_name_;
+  std::map<std::string, RelationSignature> tables_;
+  std::vector<std::string> from_order_;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> SqlToCq(std::string_view sql,
+                                 const pivot::Schema& schema,
+                                 std::string query_name) {
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Token> tokens, SqlLexer(sql).Lex());
+  return SqlParser(std::move(tokens), schema, std::move(query_name)).Parse();
+}
+
+}  // namespace estocada::frontend

@@ -1,0 +1,38 @@
+#ifndef ESTOCADA_FRONTEND_SQL_H_
+#define ESTOCADA_FRONTEND_SQL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "pivot/query.h"
+#include "pivot/schema.h"
+
+namespace estocada::frontend {
+
+/// Translates the conjunctive SELECT-FROM-WHERE fragment of SQL — the
+/// native language of relational datasets (paper §III: "each dataset is
+/// accessed through a language specific to its native data model, e.g.
+/// SQL if the data is relational") — into a pivot-model conjunctive
+/// query.
+///
+/// Supported grammar (case-insensitive keywords):
+///
+///   SELECT a.col [AS name], b.col, ...
+///   FROM   dataset.table a, dataset.table2 b, ...
+///   WHERE  a.col = b.col AND a.col = 'literal' AND b.col = $param ...
+///
+/// Tables resolve against `schema` ("dataset.table" pivot relations with
+/// named columns); star selects (`SELECT *`), inequalities, and nested
+/// queries are outside the CQ fragment and rejected with kUnsupported.
+/// `$param` variables carry through as execution-time parameters.
+///
+/// The result is an ordinary pivot CQ: run it through Estocada::Query /
+/// the PACB rewriter like any other.
+Result<pivot::ConjunctiveQuery> SqlToCq(std::string_view sql,
+                                        const pivot::Schema& schema,
+                                        std::string query_name = "q");
+
+}  // namespace estocada::frontend
+
+#endif  // ESTOCADA_FRONTEND_SQL_H_

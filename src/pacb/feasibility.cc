@@ -1,0 +1,65 @@
+#include "pacb/feasibility.h"
+
+#include <unordered_set>
+
+namespace estocada::pacb {
+
+using pivot::Adornment;
+using pivot::Atom;
+using pivot::Term;
+
+bool IsParameterVariable(const std::string& name) {
+  return !name.empty() && name[0] == '$';
+}
+
+std::vector<size_t> FeasibleOrder(const std::vector<Atom>& body,
+                                  const AdornmentMap& adornments) {
+  std::unordered_set<std::string> bound;
+  for (const Atom& a : body) {
+    for (const Term& t : a.terms) {
+      if (t.is_variable() && IsParameterVariable(t.var_name())) {
+        bound.insert(t.var_name());
+      }
+    }
+  }
+
+  auto accessible = [&](const Atom& a) {
+    auto it = adornments.find(a.relation);
+    if (it == adornments.end()) return true;
+    const std::vector<Adornment>& ad = it->second;
+    for (size_t i = 0; i < a.terms.size() && i < ad.size(); ++i) {
+      if (ad[i] != Adornment::kInput) continue;
+      const Term& t = a.terms[i];
+      if (t.is_variable() && !bound.count(t.var_name())) return false;
+      // Constants and labelled nulls count as bound; a labelled null in a
+      // rewriting body would be a bug upstream, but is at least ground.
+    }
+    return true;
+  };
+
+  std::vector<size_t> order;
+  std::vector<bool> used(body.size(), false);
+  for (size_t step = 0; step < body.size(); ++step) {
+    size_t pick = body.size();
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!used[i] && accessible(body[i])) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == body.size()) return {};  // Stuck: infeasible.
+    used[pick] = true;
+    order.push_back(pick);
+    for (const Term& t : body[pick].terms) {
+      if (t.is_variable()) bound.insert(t.var_name());
+    }
+  }
+  return order;
+}
+
+bool IsFeasible(const std::vector<Atom>& body, const AdornmentMap& adornments) {
+  if (body.empty()) return true;
+  return !FeasibleOrder(body, adornments).empty();
+}
+
+}  // namespace estocada::pacb

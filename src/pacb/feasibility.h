@@ -1,0 +1,42 @@
+#ifndef ESTOCADA_PACB_FEASIBILITY_H_
+#define ESTOCADA_PACB_FEASIBILITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pivot/query.h"
+#include "pivot/schema.h"
+
+namespace estocada::pacb {
+
+/// Map from relation name to the adornments of its positions. Relations
+/// absent from the map are all-free.
+using AdornmentMap = std::map<std::string, std::vector<pivot::Adornment>>;
+
+/// Decides whether `body` is *feasible* under access-pattern restrictions:
+/// there is an evaluation order in which every kInput position of every
+/// atom is bound at the time the atom is accessed. Bound means: a
+/// constant, a '$'-prefixed parameter variable (provided by the
+/// application at execution time), or a variable output by an earlier
+/// atom. This implements the paper's "the information needed to access a
+/// given data source is either provided by the query, or has been obtained
+/// from data sources previously accessed".
+///
+/// The greedy strategy is complete here: once an atom becomes accessible
+/// it stays accessible, so any feasible order can be reproduced greedily.
+bool IsFeasible(const std::vector<pivot::Atom>& body,
+                const AdornmentMap& adornments);
+
+/// Returns a feasible evaluation order (indices into `body`), or empty if
+/// none exists. The order is the greedy one: at each step the first
+/// accessible unused atom (stable, so plans are deterministic).
+std::vector<size_t> FeasibleOrder(const std::vector<pivot::Atom>& body,
+                                  const AdornmentMap& adornments);
+
+/// True for variables bound by the application at execution time ("$uid").
+bool IsParameterVariable(const std::string& name);
+
+}  // namespace estocada::pacb
+
+#endif  // ESTOCADA_PACB_FEASIBILITY_H_

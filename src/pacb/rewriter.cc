@@ -1,0 +1,334 @@
+#include "pacb/rewriter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "chase/containment.h"
+#include "chase/homomorphism.h"
+#include "common/strings.h"
+
+namespace estocada::pacb {
+
+using chase::Instance;
+using chase::Match;
+using chase::ProvFormula;
+using pivot::Atom;
+using pivot::ConjunctiveQuery;
+using pivot::Substitution;
+using pivot::Term;
+
+Rewriter::Rewriter(pivot::Schema schema, std::vector<ViewDefinition> views)
+    : schema_(std::move(schema)), views_(std::move(views)) {}
+
+Status Rewriter::Prepare() {
+  forward_deps_ = schema_.dependencies();
+  backward_deps_ = schema_.dependencies();
+  for (const ViewDefinition& v : views_) {
+    ESTOCADA_ASSIGN_OR_RETURN(ViewConstraints vc, MakeViewConstraints(v));
+    forward_deps_.push_back(vc.forward);
+    backward_deps_.push_back(vc.backward);
+    if (!v.adornments.empty()) {
+      adornments_[v.name()] = v.adornments;
+    }
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+Result<Rewriter::UniversalPlan> Rewriter::BuildUniversalPlan(
+    const ConjunctiveQuery& q, const RewriterOptions& options,
+    RewriterStats* stats) const {
+  pivot::FrozenBody fb = pivot::FreezeBody(q);
+  Instance inst;
+  ESTOCADA_RETURN_NOT_OK(inst.InsertAll(fb.atoms));
+  ESTOCADA_RETURN_NOT_OK(RunChase(forward_deps_, &inst, options.chase));
+  stats->forward_chase_atoms = inst.live_size();
+
+  UniversalPlan plan;
+  std::unordered_set<std::string> view_names;
+  for (const ViewDefinition& v : views_) view_names.insert(v.name());
+  for (const ViewDefinition& v : views_) {
+    for (size_t id : inst.AtomsOf(v.name())) {
+      if (!inst.alive(id)) continue;
+      plan.view_atoms.push_back(inst.atom(id));
+    }
+  }
+  // Deterministic order (relation name, then terms) so candidate ids and
+  // rewriting variable names are stable run to run.
+  std::sort(plan.view_atoms.begin(), plan.view_atoms.end());
+  plan.view_atoms.erase(
+      std::unique(plan.view_atoms.begin(), plan.view_atoms.end()),
+      plan.view_atoms.end());
+  stats->universal_plan_atoms = plan.view_atoms.size();
+
+  for (const Term& h : q.head) {
+    plan.head_targets.push_back(
+        inst.Canonical(pivot::ApplySubstitution(fb.freeze, h)));
+  }
+  for (const auto& [var, null_term] : fb.freeze) {
+    Term canon = inst.Canonical(null_term);
+    if (!canon.is_labelled_null()) continue;
+    auto it = plan.null_names.find(canon.null_id());
+    // Prefer parameter names ('$uid'), then keep the first seen.
+    if (it == plan.null_names.end() ||
+        (IsParameterVariable(var) && !IsParameterVariable(it->second))) {
+      plan.null_names[canon.null_id()] = var;
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+/// Names a canonical null for use as a rewriting variable.
+std::string NullVarName(const std::map<uint64_t, std::string>& names,
+                        uint64_t null_id) {
+  auto it = names.find(null_id);
+  if (it != names.end()) return it->second;
+  return StrCat("_x", null_id);
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> Rewriter::CandidateToQuery(
+    const ConjunctiveQuery& q, const UniversalPlan& plan,
+    const std::vector<uint32_t>& atom_ids) const {
+  ConjunctiveQuery out;
+  out.name = q.name;
+  std::unordered_set<uint64_t> covered;
+  for (uint32_t id : atom_ids) {
+    if (id >= plan.view_atoms.size()) {
+      return Status::Internal("candidate atom id out of range");
+    }
+    const Atom& ground = plan.view_atoms[id];
+    Atom a;
+    a.relation = ground.relation;
+    for (const Term& t : ground.terms) {
+      if (t.is_labelled_null()) {
+        covered.insert(t.null_id());
+        a.terms.push_back(Term::Var(NullVarName(plan.null_names, t.null_id())));
+      } else {
+        a.terms.push_back(t);
+      }
+    }
+    out.body.push_back(std::move(a));
+  }
+  for (const Term& target : plan.head_targets) {
+    if (target.is_labelled_null()) {
+      if (!covered.count(target.null_id())) {
+        return Status::InvalidArgument(
+            "candidate does not expose a head value");
+      }
+      out.head.push_back(
+          Term::Var(NullVarName(plan.null_names, target.null_id())));
+    } else {
+      out.head.push_back(target);
+    }
+  }
+  return out;
+}
+
+Result<bool> Rewriter::VerifyCandidate(const ConjunctiveQuery& candidate,
+                                       const ConjunctiveQuery& q,
+                                       const RewriterOptions& options) const {
+  // Soundness: candidate ⊑ q under schema + backward view constraints.
+  ESTOCADA_ASSIGN_OR_RETURN(
+      bool sound,
+      chase::IsContainedIn(candidate, q, backward_deps_, options.chase));
+  if (!sound) return false;
+  // Exactness: q ⊑ candidate under schema + forward view constraints. This
+  // holds by construction for candidates read off the forward chase, but
+  // backchase EGD merges can occasionally canonicalize a candidate more
+  // aggressively than the forward instance; the explicit check keeps the
+  // rewriting exact in those corner cases too.
+  return chase::IsContainedIn(q, candidate, forward_deps_, options.chase);
+}
+
+Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
+                                          const RewriterOptions& options) const {
+  if (!prepared_) {
+    return Status::Internal("Rewriter::Prepare() was not called");
+  }
+  ESTOCADA_RETURN_NOT_OK(query.Validate());
+
+  RewritingResult result;
+  RewriterStats& stats = result.stats;
+
+  ESTOCADA_ASSIGN_OR_RETURN(UniversalPlan plan,
+                            BuildUniversalPlan(query, options, &stats));
+  if (plan.view_atoms.empty()) return result;  // No views apply: empty.
+
+  // ---- Backchase: chase the universal plan with backward constraints,
+  // tracking provenance over universal-plan atom ids.
+  Instance back;
+  back.set_track_provenance(options.track_provenance);
+  std::vector<size_t> plan_atom_ids;
+  plan_atom_ids.reserve(plan.view_atoms.size());
+  for (size_t i = 0; i < plan.view_atoms.size(); ++i) {
+    auto ins = back.Insert(plan.view_atoms[i],
+                           ProvFormula::Leaf(static_cast<uint32_t>(i)));
+    plan_atom_ids.push_back(ins.id);
+  }
+  ESTOCADA_RETURN_NOT_OK(RunChase(backward_deps_, &back, options.chase));
+  stats.backchase_atoms = back.live_size();
+
+  // Canonical name preference, recomputed under the backchase merges.
+  std::map<uint64_t, std::string> canon_names;
+  for (const auto& [nid, name] : plan.null_names) {
+    Term canon = back.Canonical(Term::Null(nid));
+    if (!canon.is_labelled_null()) continue;
+    auto it = canon_names.find(canon.null_id());
+    if (it == canon_names.end() ||
+        (IsParameterVariable(name) && !IsParameterVariable(it->second))) {
+      canon_names[canon.null_id()] = name;
+    }
+  }
+  UniversalPlan canon_plan;
+  canon_plan.null_names = std::move(canon_names);
+  for (const Atom& a : plan.view_atoms) {
+    Atom c = a;
+    for (Term& t : c.terms) t = back.Canonical(t);
+    canon_plan.view_atoms.push_back(std::move(c));
+  }
+  for (const Term& t : plan.head_targets) {
+    canon_plan.head_targets.push_back(back.Canonical(t));
+  }
+
+  // ---- Find matches of the query in the backchased instance, with the
+  // head pinned onto the frozen head terms.
+  Substitution required;
+  for (size_t i = 0; i < query.head.size(); ++i) {
+    const Term& h = query.head[i];
+    const Term& target = canon_plan.head_targets[i];
+    if (h.is_variable()) {
+      auto it = required.find(h.var_name());
+      if (it != required.end() && !(it->second == target)) {
+        return result;  // Inconsistent head: no rewriting.
+      }
+      required.emplace(h.var_name(), target);
+    } else if (!(back.Canonical(h) == target)) {
+      return result;
+    }
+  }
+
+  ProvFormula combined;  // starts false
+  constexpr size_t kMaxMatches = 4096;
+  size_t match_count = 0;
+  ForEachHomomorphism(query.body, back, required, [&](const Match& m) {
+    ++match_count;
+    if (options.track_provenance) {
+      ProvFormula p = ProvFormula::True();
+      for (size_t id : m.atom_ids) p = p.And(back.provenance(id));
+      combined = combined.Or(p);
+    }
+    return match_count < kMaxMatches;
+  });
+  stats.query_matches = match_count;
+  if (match_count == 0) return result;
+
+  // ---- Candidate generation.
+  std::vector<std::vector<uint32_t>> candidates;
+  if (options.track_provenance) {
+    candidates.assign(combined.disjuncts().begin(),
+                      combined.disjuncts().end());
+  } else {
+    // Ablation path: enumerate subsets of the universal plan by size.
+    size_t n = canon_plan.view_atoms.size();
+    size_t cap = options.naive_max_subset == 0
+                     ? n
+                     : std::min(options.naive_max_subset, n);
+    std::vector<uint32_t> subset;
+    // Iterative combination enumeration, sizes 1..cap.
+    for (size_t k = 1; k <= cap; ++k) {
+      std::vector<uint32_t> idx(k);
+      for (size_t i = 0; i < k; ++i) idx[i] = static_cast<uint32_t>(i);
+      for (;;) {
+        candidates.push_back(idx);
+        // Next combination.
+        size_t i = k;
+        while (i > 0 && idx[i - 1] == n - k + i - 1) --i;
+        if (i == 0) break;
+        ++idx[i - 1];
+        for (size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+      }
+      if (candidates.size() > 100000) break;  // Safety valve.
+    }
+  }
+
+  // ---- Convert, verify, filter; smallest-first; skip supersets of
+  // accepted rewritings (minimality).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  std::vector<std::vector<uint32_t>> accepted_sets;
+  for (const auto& original_cand : candidates) {
+    if (result.rewritings.size() >= options.max_rewritings) break;
+    ++stats.candidates_considered;
+    bool superset = false;
+    for (const auto& acc : accepted_sets) {
+      if (std::includes(original_cand.begin(), original_cand.end(),
+                        acc.begin(), acc.end())) {
+        superset = true;
+        break;
+      }
+    }
+    if (superset) continue;
+    auto cq = CandidateToQuery(query, canon_plan, original_cand);
+    if (!cq.ok()) continue;  // Head not exposed: not a rewriting.
+    if (options.verify_candidates) {
+      ++stats.candidates_verified;
+      ESTOCADA_ASSIGN_OR_RETURN(bool sound,
+                                VerifyCandidate(*cq, query, options));
+      if (!sound) continue;
+    }
+    std::vector<uint32_t> cand = original_cand;
+    if (options.verify_candidates) {
+      // Classical backchase minimization: EGD merges can over-condition
+      // provenance (a witness null merged away makes a candidate look
+      // larger than necessary), so greedily try dropping each atom and
+      // keep the candidate exactly-minimal.
+      bool shrunk = true;
+      while (shrunk && cand.size() > 1) {
+        shrunk = false;
+        for (size_t drop = 0; drop < cand.size(); ++drop) {
+          std::vector<uint32_t> smaller = cand;
+          smaller.erase(smaller.begin() + static_cast<long>(drop));
+          auto smaller_cq = CandidateToQuery(query, canon_plan, smaller);
+          if (!smaller_cq.ok()) continue;
+          ++stats.candidates_verified;
+          ESTOCADA_ASSIGN_OR_RETURN(
+              bool still_exact,
+              VerifyCandidate(*smaller_cq, query, options));
+          if (still_exact) {
+            cand = std::move(smaller);
+            cq = std::move(smaller_cq);
+            shrunk = true;
+            break;
+          }
+        }
+      }
+      // The minimized set may now duplicate or subsume an accepted one.
+      bool dominated = false;
+      for (const auto& acc : accepted_sets) {
+        if (std::includes(cand.begin(), cand.end(), acc.begin(),
+                          acc.end())) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+    }
+    Rewriting rw;
+    rw.query = std::move(*cq);
+    rw.feasible = IsFeasible(rw.query.body, adornments_);
+    if (options.require_feasible && !rw.feasible) continue;
+    accepted_sets.push_back(cand);
+    result.rewritings.push_back(std::move(rw));
+  }
+  stats.rewritings_found = result.rewritings.size();
+  return result;
+}
+
+}  // namespace estocada::pacb

@@ -1,0 +1,54 @@
+#include "pacb/view.h"
+
+#include "common/strings.h"
+
+namespace estocada::pacb {
+
+using pivot::Atom;
+using pivot::Dependency;
+using pivot::Egd;
+using pivot::Term;
+using pivot::Tgd;
+
+Result<ViewConstraints> MakeViewConstraints(const ViewDefinition& view) {
+  ESTOCADA_RETURN_NOT_OK(view.query.Validate());
+  if (!view.adornments.empty() &&
+      view.adornments.size() != view.query.arity()) {
+    return Status::InvalidArgument(
+        StrCat("view '", view.name(), "': adornment count ",
+               view.adornments.size(), " != arity ", view.query.arity()));
+  }
+  Atom head_atom(view.name(), view.query.head);
+
+  Tgd forward;
+  forward.label = StrCat("view:", view.name(), ":fwd");
+  forward.body = view.query.body;
+  forward.head = {head_atom};
+
+  Tgd backward;
+  backward.label = StrCat("view:", view.name(), ":bwd");
+  backward.body = {head_atom};
+  backward.head = view.query.body;
+
+  ViewConstraints out;
+  out.forward = Dependency::FromTgd(std::move(forward));
+  out.backward = Dependency::FromTgd(std::move(backward));
+  return out;
+}
+
+Result<std::vector<Dependency>> CompileViewConstraints(
+    const std::vector<ViewDefinition>& views, ViewConstraintDirection which) {
+  std::vector<Dependency> out;
+  for (const ViewDefinition& v : views) {
+    ESTOCADA_ASSIGN_OR_RETURN(ViewConstraints vc, MakeViewConstraints(v));
+    if (which != ViewConstraintDirection::kBackward) {
+      out.push_back(vc.forward);
+    }
+    if (which != ViewConstraintDirection::kForward) {
+      out.push_back(vc.backward);
+    }
+  }
+  return out;
+}
+
+}  // namespace estocada::pacb

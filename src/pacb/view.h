@@ -1,0 +1,56 @@
+#ifndef ESTOCADA_PACB_VIEW_H_
+#define ESTOCADA_PACB_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pivot/dependency.h"
+#include "pivot/query.h"
+#include "pivot/schema.h"
+
+namespace estocada::pacb {
+
+/// A materialized view in the pivot model: a named CQ over the source
+/// schema whose head relation is the view's *stored* relation. In ESTOCADA
+/// every fragment stored in some DMS is described by one of these (the
+/// "what" part of a storage descriptor).
+struct ViewDefinition {
+  /// The defining query over the source/pivot relations; `query.name` is
+  /// the stored relation name (e.g. "V_cart_by_user").
+  pivot::ConjunctiveQuery query;
+
+  /// Access-pattern adornment of the stored relation's positions. Empty
+  /// means all-free; a kInput position encodes a binding-pattern store
+  /// (e.g. the key column of a key-value fragment must be bound first).
+  std::vector<pivot::Adornment> adornments;
+
+  const std::string& name() const { return query.name; }
+  size_t arity() const { return query.arity(); }
+};
+
+/// The LAV constraint pair for a view V(x̄) :- body(x̄, ȳ):
+///   forward:  body(x̄, ȳ) → V(x̄)          ("data in the sources appears
+///                                           in the view")
+///   backward: V(x̄) → ∃ȳ body(x̄, ȳ)       ("view tuples are witnessed by
+///                                           source data")
+/// Chasing a query with forward constraints introduces the view atoms
+/// available for rewriting; chasing candidate rewritings with backward
+/// constraints re-expands them for the containment check.
+struct ViewConstraints {
+  pivot::Dependency forward;
+  pivot::Dependency backward;
+};
+
+/// Builds the forward/backward dependency pair for `view`. Fails when the
+/// view query is unsafe or has an empty body.
+Result<ViewConstraints> MakeViewConstraints(const ViewDefinition& view);
+
+/// Convenience: compiles a whole view set; `which` selects the directions.
+enum class ViewConstraintDirection { kForward, kBackward, kBoth };
+Result<std::vector<pivot::Dependency>> CompileViewConstraints(
+    const std::vector<ViewDefinition>& views, ViewConstraintDirection which);
+
+}  // namespace estocada::pacb
+
+#endif  // ESTOCADA_PACB_VIEW_H_

@@ -1,0 +1,48 @@
+#include "pivot/atom.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace estocada::pivot {
+
+std::string Atom::ToString() const {
+  return StrCat(relation, "(",
+                StrJoinMapped(terms, ", ", [](const Term& t) { return t.ToString(); }),
+                ")");
+}
+
+size_t Atom::Hash() const {
+  size_t seed = std::hash<std::string>()(relation);
+  for (const Term& t : terms) HashCombine(&seed, t.Hash());
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Atom& a) {
+  return os << a.ToString();
+}
+
+std::vector<std::string> CollectVariables(const std::vector<Atom>& atoms) {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Atom& atom : atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable() && seen.insert(t.var_name()).second) {
+        out.push_back(t.var_name());
+      }
+    }
+  }
+  return out;
+}
+
+bool ContainsVariable(const std::vector<Atom>& atoms, const std::string& name) {
+  for (const Atom& atom : atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable() && t.var_name() == name) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace estocada::pivot

@@ -1,0 +1,53 @@
+#ifndef ESTOCADA_PIVOT_ATOM_H_
+#define ESTOCADA_PIVOT_ATOM_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "pivot/term.h"
+
+namespace estocada::pivot {
+
+/// A relational atom `R(t1, ..., tn)` in the pivot model.
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+
+  Atom() = default;
+  Atom(std::string rel, std::vector<Term> ts)
+      : relation(std::move(rel)), terms(std::move(ts)) {}
+
+  size_t arity() const { return terms.size(); }
+
+  /// "R(x, 'a', _N3)".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation == b.relation && a.terms == b.terms;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.terms < b.terms;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Atom& a);
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+/// Collects the distinct variables occurring in `atoms`, in first-occurrence
+/// order.
+std::vector<std::string> CollectVariables(const std::vector<Atom>& atoms);
+
+/// True iff variable `name` occurs in any of `atoms`.
+bool ContainsVariable(const std::vector<Atom>& atoms, const std::string& name);
+
+}  // namespace estocada::pivot
+
+#endif  // ESTOCADA_PIVOT_ATOM_H_

@@ -1,0 +1,135 @@
+#include "pivot/dependency.h"
+
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace estocada::pivot {
+
+std::vector<std::string> Tgd::ExistentialVariables() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Atom& a : head) {
+    for (const Term& t : a.terms) {
+      if (t.is_variable() && !ContainsVariable(body, t.var_name()) &&
+          seen.insert(t.var_name()).second) {
+        out.push_back(t.var_name());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Tgd::FrontierVariables() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Atom& a : head) {
+    for (const Term& t : a.terms) {
+      if (t.is_variable() && ContainsVariable(body, t.var_name()) &&
+          seen.insert(t.var_name()).second) {
+        out.push_back(t.var_name());
+      }
+    }
+  }
+  return out;
+}
+
+std::string Tgd::ToString() const {
+  return StrCat(
+      StrJoinMapped(body, ", ", [](const Atom& a) { return a.ToString(); }),
+      " -> ",
+      StrJoinMapped(head, ", ", [](const Atom& a) { return a.ToString(); }));
+}
+
+std::string Egd::ToString() const {
+  return StrCat(
+      StrJoinMapped(body, ", ", [](const Atom& a) { return a.ToString(); }),
+      " -> ", left.ToString(), " = ", right.ToString());
+}
+
+std::ostream& operator<<(std::ostream& os, const Tgd& t) {
+  return os << t.ToString();
+}
+std::ostream& operator<<(std::ostream& os, const Egd& e) {
+  return os << e.ToString();
+}
+std::ostream& operator<<(std::ostream& os, const Dependency& d) {
+  return os << d.ToString();
+}
+
+bool IsWeaklyAcyclic(const std::vector<Dependency>& deps) {
+  // Nodes: (relation, position). Edges from every body position of a
+  // frontier variable to (a) every head position of the same variable
+  // (regular edge) and (b) every head position holding an existential
+  // variable in the same head (special edge). Weakly acyclic iff no cycle
+  // contains a special edge.
+  using Node = std::pair<std::string, size_t>;
+  std::map<Node, std::map<Node, bool>> edges;  // dst -> has_special
+
+  for (const Dependency& d : deps) {
+    if (!d.is_tgd()) continue;
+    const Tgd& t = d.tgd;
+    std::unordered_set<std::string> existentials;
+    for (const std::string& v : t.ExistentialVariables()) existentials.insert(v);
+
+    // Positions of each frontier variable in the body.
+    std::map<std::string, std::vector<Node>> body_positions;
+    for (const Atom& a : t.body) {
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        if (a.terms[i].is_variable()) {
+          body_positions[a.terms[i].var_name()].push_back({a.relation, i});
+        }
+      }
+    }
+
+    for (const Atom& a : t.head) {
+      for (size_t i = 0; i < a.terms.size(); ++i) {
+        const Term& ht = a.terms[i];
+        if (!ht.is_variable()) continue;
+        Node dst{a.relation, i};
+        if (existentials.count(ht.var_name())) {
+          // Special edge from every body position of every frontier var.
+          for (const std::string& fv : t.FrontierVariables()) {
+            for (const Node& src : body_positions[fv]) {
+              edges[src][dst] = true;  // special dominates
+            }
+          }
+        } else {
+          for (const Node& src : body_positions[ht.var_name()]) {
+            auto& entry = edges[src];
+            entry.emplace(dst, false);  // keep special if already there
+          }
+        }
+      }
+    }
+  }
+
+  // Detect a cycle through a special edge: for each special edge (u, v),
+  // check whether v reaches u.
+  auto reaches = [&edges](const Node& from, const Node& to) {
+    std::set<Node> visited;
+    std::vector<Node> stack{from};
+    while (!stack.empty()) {
+      Node n = stack.back();
+      stack.pop_back();
+      if (n == to) return true;
+      if (!visited.insert(n).second) continue;
+      auto it = edges.find(n);
+      if (it == edges.end()) continue;
+      for (const auto& [dst, special] : it->second) stack.push_back(dst);
+    }
+    return false;
+  };
+
+  for (const auto& [src, outs] : edges) {
+    for (const auto& [dst, special] : outs) {
+      if (special && reaches(dst, src)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace estocada::pivot

@@ -1,0 +1,86 @@
+#ifndef ESTOCADA_PIVOT_DEPENDENCY_H_
+#define ESTOCADA_PIVOT_DEPENDENCY_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "pivot/atom.h"
+
+namespace estocada::pivot {
+
+/// Tuple-generating dependency: ∀x̄ body(x̄) → ∃ȳ head(x̄, ȳ).
+/// Existential variables are exactly the head variables absent from the body.
+struct Tgd {
+  std::string label;  ///< Diagnostic name ("doc:child-desc", "view:V1:fwd"...).
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+
+  /// Head variables that do not occur in the body (the ∃-quantified ones).
+  std::vector<std::string> ExistentialVariables() const;
+
+  /// Body variables that also occur in the head (the frontier).
+  std::vector<std::string> FrontierVariables() const;
+
+  /// "body -> head".
+  std::string ToString() const;
+};
+
+/// Equality-generating dependency: ∀x̄ body(x̄) → l = r (one equality; a
+/// multi-equality EGD is represented as several Egd values).
+struct Egd {
+  std::string label;
+  std::vector<Atom> body;
+  Term left;
+  Term right;
+
+  std::string ToString() const;
+};
+
+/// A dependency is a TGD or an EGD; sets of these describe both the data
+/// models (document/KV/nested encodings) and the materialized views.
+struct Dependency {
+  enum class Kind { kTgd, kEgd };
+  Kind kind;
+  Tgd tgd;  // valid when kind == kTgd
+  Egd egd;  // valid when kind == kEgd
+
+  static Dependency FromTgd(Tgd t) {
+    Dependency d;
+    d.kind = Kind::kTgd;
+    d.tgd = std::move(t);
+    return d;
+  }
+  static Dependency FromEgd(Egd e) {
+    Dependency d;
+    d.kind = Kind::kEgd;
+    d.egd = std::move(e);
+    return d;
+  }
+
+  bool is_tgd() const { return kind == Kind::kTgd; }
+  bool is_egd() const { return kind == Kind::kEgd; }
+
+  const std::string& label() const {
+    return is_tgd() ? tgd.label : egd.label;
+  }
+
+  std::string ToString() const {
+    return is_tgd() ? tgd.ToString() : egd.ToString();
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Tgd& t);
+std::ostream& operator<<(std::ostream& os, const Egd& e);
+std::ostream& operator<<(std::ostream& os, const Dependency& d);
+
+/// True iff the TGD set is weakly acyclic (Fagin et al.): the dependency
+/// graph over (relation, position) nodes has no cycle through a
+/// special ("existential") edge. Weak acyclicity guarantees chase
+/// termination; all encodings and view constraints ESTOCADA generates are
+/// checked against this in tests.
+bool IsWeaklyAcyclic(const std::vector<Dependency>& deps);
+
+}  // namespace estocada::pivot
+
+#endif  // ESTOCADA_PIVOT_DEPENDENCY_H_

@@ -1,0 +1,257 @@
+#include "pivot/parser.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace estocada::pivot {
+
+namespace {
+
+/// Hand-rolled tokenizer/parser for the pivot text syntax. Tokens:
+/// identifiers, quoted strings, numbers, punctuation ( ) , :- -> =.
+class PivotParser {
+ public:
+  explicit PivotParser(std::string_view text) : text_(text) {}
+
+  Result<ConjunctiveQuery> ParseQueryText() {
+    ConjunctiveQuery q;
+    SkipWs();
+    ESTOCADA_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    q.name = std::move(name);
+    ESTOCADA_ASSIGN_OR_RETURN(std::vector<Term> head, ParseTermList());
+    q.head = std::move(head);
+    SkipWs();
+    if (!ConsumeSeq(":-")) return Fail("expected ':-'");
+    ESTOCADA_ASSIGN_OR_RETURN(std::vector<Atom> body, ParseAtoms());
+    q.body = std::move(body);
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing input after query");
+    ESTOCADA_RETURN_NOT_OK(q.Validate());
+    return q;
+  }
+
+  Result<Dependency> ParseDependencyText(std::string label) {
+    ESTOCADA_ASSIGN_OR_RETURN(std::vector<Atom> body, ParseAtoms());
+    SkipWs();
+    if (!ConsumeSeq("->")) return Fail("expected '->'");
+    // Lookahead: an EGD head is `term = term`; a TGD head is an atom list.
+    size_t saved = pos_;
+    {
+      auto lhs = TryParseTerm();
+      if (lhs.ok()) {
+        SkipWs();
+        if (Consume('=')) {
+          ESTOCADA_ASSIGN_OR_RETURN(Term rhs, TryParseTerm());
+          SkipWs();
+          if (pos_ != text_.size()) return Fail("trailing input after EGD");
+          Egd egd;
+          egd.label = std::move(label);
+          egd.body = std::move(body);
+          egd.left = lhs.value();
+          egd.right = rhs;
+          return Dependency::FromEgd(std::move(egd));
+        }
+      }
+    }
+    pos_ = saved;
+    ESTOCADA_ASSIGN_OR_RETURN(std::vector<Atom> head, ParseAtoms());
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing input after TGD");
+    Tgd tgd;
+    tgd.label = std::move(label);
+    tgd.body = std::move(body);
+    tgd.head = std::move(head);
+    return Dependency::FromTgd(std::move(tgd));
+  }
+
+  Result<std::vector<Atom>> ParseAtoms() {
+    std::vector<Atom> atoms;
+    for (;;) {
+      SkipWs();
+      ESTOCADA_ASSIGN_OR_RETURN(std::string rel, ParseIdentifier());
+      ESTOCADA_ASSIGN_OR_RETURN(std::vector<Term> terms, ParseTermList());
+      atoms.emplace_back(std::move(rel), std::move(terms));
+      SkipWs();
+      // A comma continues the atom list only if an identifier+'(' follows
+      // (to let callers stop before '->' etc.).
+      size_t saved = pos_;
+      if (!Consume(',')) break;
+      SkipWs();
+      if (!PeekAtomStart()) {
+        pos_ = saved;
+        break;
+      }
+    }
+    return atoms;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  Status Fail(std::string_view what) {
+    return Status::ParseError(StrCat("pivot parse error at offset ", pos_,
+                                     " in \"", text_, "\": ", what));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSeq(std::string_view seq) {
+    if (text_.substr(pos_, seq.size()) == seq) {
+      pos_ += seq.size();
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+           c == '$';
+  }
+
+  bool PeekAtomStart() {
+    size_t p = pos_;
+    while (p < text_.size() && IsIdentChar(text_[p])) ++p;
+    if (p == pos_) return false;
+    while (p < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[p]))) {
+      ++p;
+    }
+    return p < text_.size() && text_[p] == '(';
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Fail("expected identifier");
+    if (std::isdigit(static_cast<unsigned char>(text_[start]))) {
+      return Fail("identifier may not start with a digit");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Term> TryParseTerm() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("expected term");
+    char c = text_[pos_];
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++pos_;
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        s.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated string literal");
+      ++pos_;  // closing quote
+      return Term::Const(Constant::Str(std::move(s)));
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      bool is_real = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        if (text_[pos_] == '.') is_real = true;
+        ++pos_;
+      }
+      std::string_view num = text_.substr(start, pos_ - start);
+      if (is_real) {
+        double d = 0;
+        auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), d);
+        if (ec != std::errc()) return Fail("bad real literal");
+        return Term::Const(Constant::Real(d));
+      }
+      int64_t v = 0;
+      auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), v);
+      if (ec != std::errc()) return Fail("bad integer literal");
+      return Term::Const(Constant::Int(v));
+    }
+    ESTOCADA_ASSIGN_OR_RETURN(std::string ident, ParseIdentifier());
+    if (ident == "true") return Term::Const(Constant::Bool(true));
+    if (ident == "false") return Term::Const(Constant::Bool(false));
+    if (ident == "null") return Term::Const(Constant::Null());
+    return Term::Var(std::move(ident));
+  }
+
+  Result<std::vector<Term>> ParseTermList() {
+    SkipWs();
+    if (!Consume('(')) return Fail("expected '('");
+    std::vector<Term> terms;
+    SkipWs();
+    if (Consume(')')) return terms;
+    for (;;) {
+      ESTOCADA_ASSIGN_OR_RETURN(Term t, TryParseTerm());
+      terms.push_back(std::move(t));
+      SkipWs();
+      if (Consume(')')) return terms;
+      if (!Consume(',')) return Fail("expected ',' or ')' in term list");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text) {
+  return PivotParser(text).ParseQueryText();
+}
+
+Result<Dependency> ParseDependency(std::string_view text, std::string label) {
+  return PivotParser(text).ParseDependencyText(std::move(label));
+}
+
+Result<std::vector<Dependency>> ParseDependencies(std::string_view text) {
+  std::vector<Dependency> out;
+  size_t line_no = 0;
+  std::string current;
+  auto flush = [&]() -> Status {
+    std::string_view stripped = StripWhitespace(current);
+    if (stripped.empty() || stripped[0] == '#') {
+      current.clear();
+      return Status::OK();
+    }
+    ESTOCADA_ASSIGN_OR_RETURN(
+        Dependency d,
+        ParseDependency(stripped, StrCat("line", line_no)));
+    out.push_back(std::move(d));
+    current.clear();
+    return Status::OK();
+  };
+  for (char c : text) {
+    if (c == '\n' || c == ';') {
+      ++line_no;
+      ESTOCADA_RETURN_NOT_OK(flush());
+    } else {
+      current.push_back(c);
+    }
+  }
+  ++line_no;
+  ESTOCADA_RETURN_NOT_OK(flush());
+  return out;
+}
+
+Result<std::vector<Atom>> ParseAtomList(std::string_view text) {
+  PivotParser p(text);
+  return p.ParseAtoms();
+}
+
+}  // namespace estocada::pivot

@@ -1,0 +1,39 @@
+#ifndef ESTOCADA_PIVOT_PARSER_H_
+#define ESTOCADA_PIVOT_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "pivot/dependency.h"
+#include "pivot/query.h"
+
+namespace estocada::pivot {
+
+/// Parses a conjunctive query in datalog-ish syntax:
+///
+///   q(x, y) :- R(x, z), S(z, y), T(z, 'paris', 42)
+///
+/// Identifiers are variables; quoted strings, numbers, true/false/null are
+/// constants. Relation names are the identifiers applied to parentheses.
+Result<ConjunctiveQuery> ParseQuery(std::string_view text);
+
+/// Parses a dependency:
+///
+///   TGD:  R(x, y), S(y, z) -> T(x, w), U(w, z)     (w is existential)
+///   EGD:  R(x, y), R(x, z) -> y = z
+///
+/// Existential variables of a TGD are inferred (head vars not in the body).
+Result<Dependency> ParseDependency(std::string_view text,
+                                   std::string label = "");
+
+/// Parses a ';'- or newline-separated list of dependencies; lines starting
+/// with '#' are comments.
+Result<std::vector<Dependency>> ParseDependencies(std::string_view text);
+
+/// Parses a comma-separated atom list "R(x,y), S(y,z)".
+Result<std::vector<Atom>> ParseAtomList(std::string_view text);
+
+}  // namespace estocada::pivot
+
+#endif  // ESTOCADA_PIVOT_PARSER_H_

@@ -1,0 +1,102 @@
+#include "pivot/query.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace estocada::pivot {
+
+Term ApplySubstitution(const Substitution& sub, const Term& t) {
+  if (!t.is_variable()) return t;
+  auto it = sub.find(t.var_name());
+  return it == sub.end() ? t : it->second;
+}
+
+Atom ApplySubstitution(const Substitution& sub, const Atom& a) {
+  Atom out;
+  out.relation = a.relation;
+  out.terms.reserve(a.terms.size());
+  for (const Term& t : a.terms) out.terms.push_back(ApplySubstitution(sub, t));
+  return out;
+}
+
+std::vector<Atom> ApplySubstitution(const Substitution& sub,
+                                    const std::vector<Atom>& atoms) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) out.push_back(ApplySubstitution(sub, a));
+  return out;
+}
+
+std::vector<std::string> ConjunctiveQuery::HeadVariables() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Term& t : head) {
+    if (t.is_variable() && seen.insert(t.var_name()).second) {
+      out.push_back(t.var_name());
+    }
+  }
+  return out;
+}
+
+bool ConjunctiveQuery::IsSafe() const {
+  for (const Term& t : head) {
+    if (t.is_variable() && !ContainsVariable(body, t.var_name())) return false;
+  }
+  return true;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  if (body.empty()) {
+    return Status::InvalidArgument(
+        StrCat("query '", name, "' has an empty body"));
+  }
+  if (!IsSafe()) {
+    return Status::InvalidArgument(
+        StrCat("query '", name, "' is unsafe: head variable not in body"));
+  }
+  return Status::OK();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  return StrCat(
+      name, "(",
+      StrJoinMapped(head, ", ", [](const Term& t) { return t.ToString(); }),
+      ") :- ",
+      StrJoinMapped(body, ", ", [](const Atom& a) { return a.ToString(); }));
+}
+
+ConjunctiveQuery ConjunctiveQuery::RenameVariables(
+    const std::string& prefix) const {
+  Substitution sub;
+  for (const std::string& v : BodyVariables()) {
+    sub.emplace(v, Term::Var(prefix + v));
+  }
+  for (const Term& t : head) {
+    if (t.is_variable() && !sub.count(t.var_name())) {
+      sub.emplace(t.var_name(), Term::Var(prefix + t.var_name()));
+    }
+  }
+  ConjunctiveQuery out;
+  out.name = name;
+  out.body = ApplySubstitution(sub, body);
+  out.head.reserve(head.size());
+  for (const Term& t : head) out.head.push_back(ApplySubstitution(sub, t));
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const ConjunctiveQuery& q) {
+  return os << q.ToString();
+}
+
+FrozenBody FreezeBody(const ConjunctiveQuery& q, uint64_t first_null_id) {
+  FrozenBody out;
+  uint64_t next = first_null_id;
+  for (const std::string& v : q.BodyVariables()) {
+    out.freeze.emplace(v, Term::Null(next++));
+  }
+  out.atoms = ApplySubstitution(out.freeze, q.body);
+  return out;
+}
+
+}  // namespace estocada::pivot

@@ -1,0 +1,74 @@
+#ifndef ESTOCADA_PIVOT_QUERY_H_
+#define ESTOCADA_PIVOT_QUERY_H_
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "pivot/atom.h"
+
+namespace estocada::pivot {
+
+/// A substitution maps variable names to terms. Applying it replaces bound
+/// variables and leaves everything else alone.
+using Substitution = std::unordered_map<std::string, Term>;
+
+/// Applies `sub` to a term / atom / atom list.
+Term ApplySubstitution(const Substitution& sub, const Term& t);
+Atom ApplySubstitution(const Substitution& sub, const Atom& a);
+std::vector<Atom> ApplySubstitution(const Substitution& sub,
+                                    const std::vector<Atom>& atoms);
+
+/// A conjunctive query over the pivot signature:
+///   name(head_terms) :- body_atoms.
+/// Head terms are usually variables but may be constants. All pivot-level
+/// queries, view definitions and rewritings in ESTOCADA are CQs.
+struct ConjunctiveQuery {
+  std::string name;
+  std::vector<Term> head;
+  std::vector<Atom> body;
+
+  size_t arity() const { return head.size(); }
+
+  /// Distinct variables of the body in first-occurrence order.
+  std::vector<std::string> BodyVariables() const {
+    return CollectVariables(body);
+  }
+
+  /// Variables occurring in the head.
+  std::vector<std::string> HeadVariables() const;
+
+  /// True if every head variable appears in the body (safety).
+  bool IsSafe() const;
+
+  /// Verifies safety and non-empty body.
+  Status Validate() const;
+
+  /// "q(x, y) :- R(x, z), S(z, y)".
+  std::string ToString() const;
+
+  /// Renames every variable with `prefix` prepended; used to make two
+  /// queries variable-disjoint before combining them.
+  ConjunctiveQuery RenameVariables(const std::string& prefix) const;
+
+  friend bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+    return a.name == b.name && a.head == b.head && a.body == b.body;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const ConjunctiveQuery& q);
+
+/// The canonical ("frozen") instance of a CQ body: each variable becomes a
+/// distinct labelled null, numbered from `first_null_id` in first-occurrence
+/// order; returns the frozen atoms and the variable→null mapping.
+struct FrozenBody {
+  std::vector<Atom> atoms;
+  Substitution freeze;  // variable name -> labelled null
+};
+FrozenBody FreezeBody(const ConjunctiveQuery& q, uint64_t first_null_id = 0);
+
+}  // namespace estocada::pivot
+
+#endif  // ESTOCADA_PIVOT_QUERY_H_

@@ -1,0 +1,130 @@
+#include "pivot/schema.h"
+
+#include "common/strings.h"
+
+namespace estocada::pivot {
+
+bool RelationSignature::HasAccessPattern() const {
+  for (Adornment a : adornments) {
+    if (a == Adornment::kInput) return true;
+  }
+  return false;
+}
+
+std::string RelationSignature::ToString() const {
+  std::vector<std::string> cols;
+  cols.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::string c = columns[i];
+    if (i < adornments.size() && adornments[i] == Adornment::kInput) {
+      c += "^in";
+    }
+    cols.push_back(std::move(c));
+  }
+  return StrCat(name, "(", StrJoin(cols, ", "), ")");
+}
+
+Status Schema::AddRelation(RelationSignature sig) {
+  if (sig.name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (sig.adornments.empty()) {
+    sig.adornments.assign(sig.columns.size(), Adornment::kFree);
+  }
+  if (sig.adornments.size() != sig.columns.size()) {
+    return Status::InvalidArgument(
+        StrCat("relation '", sig.name, "': adornment/column count mismatch"));
+  }
+  for (size_t k : sig.key) {
+    if (k >= sig.columns.size()) {
+      return Status::InvalidArgument(
+          StrCat("relation '", sig.name, "': key position out of range"));
+    }
+  }
+  auto it = relations_.find(sig.name);
+  if (it != relations_.end()) {
+    if (it->second.arity() != sig.arity()) {
+      return Status::AlreadyExists(
+          StrCat("relation '", sig.name, "' already exists with arity ",
+                 it->second.arity()));
+    }
+    return Status::OK();  // Identical-enough re-registration is a no-op.
+  }
+  relations_.emplace(sig.name, std::move(sig));
+  return Status::OK();
+}
+
+Status Schema::AddRelation(const std::string& name, size_t arity) {
+  RelationSignature sig;
+  sig.name = name;
+  for (size_t i = 0; i < arity; ++i) sig.columns.push_back(StrCat("c", i));
+  sig.adornments.assign(arity, Adornment::kFree);
+  return AddRelation(std::move(sig));
+}
+
+bool Schema::HasRelation(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+Result<RelationSignature> Schema::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not in schema"));
+  }
+  return it->second;
+}
+
+Status Schema::Merge(const Schema& other) {
+  for (const auto& [name, sig] : other.relations_) {
+    ESTOCADA_RETURN_NOT_OK(AddRelation(sig));
+  }
+  for (const Dependency& d : other.dependencies_) {
+    dependencies_.push_back(d);
+  }
+  return Status::OK();
+}
+
+Status Schema::Validate() const {
+  auto check_atoms = [this](const std::vector<Atom>& atoms,
+                            const std::string& label) -> Status {
+    for (const Atom& a : atoms) {
+      auto it = relations_.find(a.relation);
+      if (it == relations_.end()) {
+        return Status::NotFound(
+            StrCat("dependency '", label, "': unknown relation '", a.relation,
+                   "'"));
+      }
+      if (it->second.arity() != a.arity()) {
+        return Status::InvalidArgument(
+            StrCat("dependency '", label, "': relation '", a.relation,
+                   "' used with arity ", a.arity(), ", declared ",
+                   it->second.arity()));
+      }
+    }
+    return Status::OK();
+  };
+  for (const Dependency& d : dependencies_) {
+    if (d.is_tgd()) {
+      ESTOCADA_RETURN_NOT_OK(check_atoms(d.tgd.body, d.label()));
+      ESTOCADA_RETURN_NOT_OK(check_atoms(d.tgd.head, d.label()));
+    } else {
+      ESTOCADA_RETURN_NOT_OK(check_atoms(d.egd.body, d.label()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (const auto& [name, sig] : relations_) {
+    out += sig.ToString();
+    out += "\n";
+  }
+  for (const Dependency& d : dependencies_) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace estocada::pivot

@@ -1,0 +1,79 @@
+#ifndef ESTOCADA_PIVOT_SCHEMA_H_
+#define ESTOCADA_PIVOT_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pivot/dependency.h"
+
+namespace estocada::pivot {
+
+/// Access-pattern adornment of one relation position. `kInput` encodes the
+/// paper's "the value of the key must be specified in order to access the
+/// values associated to this key": a feasible plan must bind every kInput
+/// position before the atom can be evaluated.
+enum class Adornment {
+  kFree,   ///< Position can be retrieved by scanning.
+  kInput,  ///< Position must be bound before access (binding pattern).
+};
+
+/// Signature of one pivot-model relation: name, named positions, adornments
+/// and (optionally) a primary key over a subset of positions.
+struct RelationSignature {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<Adornment> adornments;  ///< Same length as columns; kFree default.
+  std::vector<size_t> key;            ///< Position indices; empty = no key.
+
+  size_t arity() const { return columns.size(); }
+
+  /// True when some position requires an input binding.
+  bool HasAccessPattern() const;
+
+  /// "KVCarts(key^in, value)".
+  std::string ToString() const;
+};
+
+/// A pivot schema: the relation signatures plus the constraints (TGDs/EGDs)
+/// describing the data model(s) — e.g. the Child/Desc axioms of the document
+/// encoding, key EGDs, and access-pattern metadata.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation; positions default to kFree / no key.
+  Status AddRelation(RelationSignature sig);
+
+  /// Convenience: relation with all-free positions named c0..c{n-1}.
+  Status AddRelation(const std::string& name, size_t arity);
+
+  bool HasRelation(const std::string& name) const;
+  Result<RelationSignature> GetRelation(const std::string& name) const;
+  const std::map<std::string, RelationSignature>& relations() const {
+    return relations_;
+  }
+
+  void AddDependency(Dependency d) { dependencies_.push_back(std::move(d)); }
+  const std::vector<Dependency>& dependencies() const { return dependencies_; }
+
+  /// Merges another schema's relations and dependencies into this one.
+  /// Identical re-registrations are tolerated; conflicting arities fail.
+  Status Merge(const Schema& other);
+
+  /// Validates that every atom of every dependency matches a registered
+  /// relation with the right arity.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, RelationSignature> relations_;
+  std::vector<Dependency> dependencies_;
+};
+
+}  // namespace estocada::pivot
+
+#endif  // ESTOCADA_PIVOT_SCHEMA_H_

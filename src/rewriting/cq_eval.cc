@@ -1,0 +1,189 @@
+#include "rewriting/cq_eval.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "pacb/feasibility.h"
+
+namespace estocada::rewriting {
+
+using engine::Expr;
+using engine::ExprPtr;
+using engine::Operator;
+using engine::OperatorPtr;
+using engine::Row;
+using engine::Value;
+using pivot::Atom;
+using pivot::ConjunctiveQuery;
+using pivot::Term;
+
+namespace {
+
+/// Resolves a term to a compile-time value if it is a constant or a
+/// parameter; returns nullopt for free variables.
+std::optional<Value> ResolveGroundTerm(
+    const Term& t, const std::map<std::string, Value>& parameters) {
+  if (t.is_constant()) return Value::FromConstant(t.constant());
+  if (t.is_variable() && pacb::IsParameterVariable(t.var_name())) {
+    auto it = parameters.find(t.var_name());
+    if (it != parameters.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<OperatorPtr> CompileCqOverStaging(
+    const ConjunctiveQuery& query, const StagingData& staging,
+    const std::map<std::string, Value>& parameters, bool distinct) {
+  ESTOCADA_RETURN_NOT_OK(query.Validate());
+
+  // Greedy bound-first atom order: maximize shared variables with the
+  // running scope (keeps hash joins keyed rather than cross products).
+  std::vector<size_t> order;
+  std::vector<bool> used(query.body.size(), false);
+  std::unordered_set<std::string> scope_vars;
+  for (size_t step = 0; step < query.body.size(); ++step) {
+    size_t best = query.body.size();
+    int best_score = -1;
+    for (size_t i = 0; i < query.body.size(); ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      for (const Term& t : query.body[i].terms) {
+        if (!t.is_variable()) {
+          score += 1;  // Constants filter early.
+        } else if (scope_vars.count(t.var_name())) {
+          score += 4;
+        }
+      }
+      if (score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const Term& t : query.body[best].terms) {
+      if (t.is_variable()) scope_vars.insert(t.var_name());
+    }
+  }
+
+  OperatorPtr tree;
+  std::unordered_map<std::string, size_t> scope;  // var -> output column
+  size_t tree_width = 0;
+
+  for (size_t idx : order) {
+    const Atom& atom = query.body[idx];
+    auto sit = staging.find(atom.relation);
+    if (sit == staging.end()) {
+      return Status::NotFound(
+          StrCat("relation '", atom.relation, "' has no staged data"));
+    }
+    const StagingRelation& rel = sit->second;
+    if (!rel.rows.empty() && rel.rows[0].size() != atom.arity()) {
+      return Status::InvalidArgument(
+          StrCat("relation '", atom.relation, "' arity mismatch: atom has ",
+                 atom.arity(), ", staged rows have ", rel.rows[0].size()));
+    }
+    OperatorPtr source = std::make_unique<engine::RowsOperator>(
+        rel.columns, rel.rows, atom.relation);
+
+    // Per-atom filters: ground terms and repeated variables.
+    ExprPtr pred;
+    std::unordered_map<std::string, size_t> first_pos;
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& t = atom.terms[i];
+      ExprPtr clause;
+      if (auto v = ResolveGroundTerm(t, parameters)) {
+        clause = Expr::Binary(Expr::Op::kEq, Expr::Column(i),
+                              Expr::Const(*v));
+      } else if (t.is_variable()) {
+        auto [it, fresh] = first_pos.emplace(t.var_name(), i);
+        if (!fresh) {
+          clause = Expr::Binary(Expr::Op::kEq, Expr::Column(i),
+                                Expr::Column(it->second));
+        }
+      } else if (t.is_labelled_null()) {
+        return Status::InvalidArgument(
+            "labelled null in an executable query body");
+      } else if (t.is_variable() &&
+                 pacb::IsParameterVariable(t.var_name())) {
+        return Status::InvalidArgument(
+            StrCat("unbound parameter ", t.var_name()));
+      }
+      if (clause) {
+        pred = pred ? Expr::Binary(Expr::Op::kAnd, pred, clause) : clause;
+      }
+    }
+    // Unbound parameters are an error (they would silently join as vars).
+    for (const Term& t : atom.terms) {
+      if (t.is_variable() && pacb::IsParameterVariable(t.var_name()) &&
+          !parameters.count(t.var_name())) {
+        return Status::InvalidArgument(
+            StrCat("no value supplied for parameter ", t.var_name()));
+      }
+    }
+    if (pred) {
+      source = std::make_unique<engine::FilterOperator>(std::move(source),
+                                                        pred);
+    }
+
+    if (!tree) {
+      tree = std::move(source);
+      for (const auto& [var, pos] : first_pos) scope.emplace(var, pos);
+      tree_width = atom.arity();
+      continue;
+    }
+    // Join with the running tree on shared variables.
+    std::vector<std::pair<size_t, size_t>> keys;
+    for (const auto& [var, pos] : first_pos) {
+      auto it = scope.find(var);
+      if (it != scope.end()) keys.emplace_back(it->second, pos);
+    }
+    tree = std::make_unique<engine::HashJoinOperator>(std::move(tree),
+                                                      std::move(source), keys);
+    for (const auto& [var, pos] : first_pos) {
+      scope.emplace(var, tree_width + pos);  // No-op when already present.
+    }
+    tree_width += atom.arity();
+  }
+
+  // Project the head.
+  std::vector<std::string> names;
+  std::vector<ExprPtr> exprs;
+  for (size_t i = 0; i < query.head.size(); ++i) {
+    const Term& h = query.head[i];
+    if (auto v = ResolveGroundTerm(h, parameters)) {
+      names.push_back(StrCat("h", i));
+      exprs.push_back(Expr::Const(*v));
+    } else if (h.is_variable()) {
+      auto it = scope.find(h.var_name());
+      if (it == scope.end()) {
+        return Status::InvalidArgument(
+            StrCat("head variable '", h.var_name(), "' not bound by body"));
+      }
+      names.push_back(h.var_name());
+      exprs.push_back(Expr::Column(it->second));
+    } else {
+      return Status::InvalidArgument("unsupported head term");
+    }
+  }
+  tree = std::make_unique<engine::ProjectOperator>(std::move(tree), names,
+                                                   exprs);
+  if (distinct) {
+    tree = std::make_unique<engine::DistinctOperator>(std::move(tree));
+  }
+  return tree;
+}
+
+Result<std::vector<Row>> EvaluateCqOverStaging(
+    const ConjunctiveQuery& query, const StagingData& staging,
+    const std::map<std::string, Value>& parameters, bool distinct) {
+  ESTOCADA_ASSIGN_OR_RETURN(
+      OperatorPtr op, CompileCqOverStaging(query, staging, parameters,
+                                           distinct));
+  return Collect(op.get());
+}
+
+}  // namespace estocada::rewriting

@@ -1,0 +1,43 @@
+#ifndef ESTOCADA_REWRITING_CQ_EVAL_H_
+#define ESTOCADA_REWRITING_CQ_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/operator.h"
+#include "engine/value.h"
+#include "pivot/query.h"
+
+namespace estocada::rewriting {
+
+/// One staged (in-memory, pivot-level) relation: the application dataset's
+/// ground truth from which fragments are materialized.
+struct StagingRelation {
+  std::vector<std::string> columns;
+  std::vector<engine::Row> rows;
+};
+
+/// Dataset relation name -> staged rows.
+using StagingData = std::map<std::string, StagingRelation>;
+
+/// Compiles a conjunctive query over staged relations into an engine
+/// operator tree (hash joins in greedy bound-first order, filters for
+/// constants and repeated variables, projection to the head).
+/// `parameters` supplies values for '$'-prefixed variables. The result
+/// applies set semantics (Distinct) when `distinct` is set.
+Result<engine::OperatorPtr> CompileCqOverStaging(
+    const pivot::ConjunctiveQuery& query, const StagingData& staging,
+    const std::map<std::string, engine::Value>& parameters = {},
+    bool distinct = true);
+
+/// Convenience: compile + collect.
+Result<std::vector<engine::Row>> EvaluateCqOverStaging(
+    const pivot::ConjunctiveQuery& query, const StagingData& staging,
+    const std::map<std::string, engine::Value>& parameters = {},
+    bool distinct = true);
+
+}  // namespace estocada::rewriting
+
+#endif  // ESTOCADA_REWRITING_CQ_EVAL_H_

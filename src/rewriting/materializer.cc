@@ -1,0 +1,400 @@
+#include "rewriting/materializer.h"
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace estocada::rewriting {
+
+using catalog::Catalog;
+using catalog::FragmentStatistics;
+using catalog::StorageDescriptor;
+using catalog::StoreHandle;
+using catalog::StoreKind;
+using engine::Row;
+using engine::Value;
+using pivot::Adornment;
+
+namespace {
+
+stores::ColumnType InferColumnType(const std::vector<Row>& rows, size_t col) {
+  for (const Row& r : rows) {
+    const Value& v = r[col];
+    if (v.is_null()) continue;
+    if (v.is_int()) return stores::ColumnType::kInt;
+    if (v.is_real()) return stores::ColumnType::kReal;
+    if (v.is_bool()) return stores::ColumnType::kBool;
+    return stores::ColumnType::kStr;
+  }
+  // No data to infer from (empty view at materialization time): stay
+  // open to whatever incremental maintenance appends later.
+  return stores::ColumnType::kAny;
+}
+
+/// Lists cannot live in a relational column; serialize them to JSON text.
+Value FlattenForRelational(const Value& v) {
+  if (v.is_list()) return Value::Str(v.ToJson().Serialize());
+  return v;
+}
+
+FragmentStatistics ComputeStatistics(const std::vector<Row>& rows,
+                                     size_t arity) {
+  FragmentStatistics stats;
+  stats.row_count = rows.size();
+  stats.distinct.assign(arity, 0);
+  for (size_t c = 0; c < arity; ++c) {
+    std::unordered_set<size_t> hashes;
+    for (const Row& r : rows) hashes.insert(r[c].Hash());
+    stats.distinct[c] = hashes.size();
+  }
+  return stats;
+}
+
+/// Input-adorned positions of the fragment's stored relation.
+std::vector<size_t> InputPositions(const pacb::ViewDefinition& view) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < view.adornments.size(); ++i) {
+    if (view.adornments[i] == Adornment::kInput) out.push_back(i);
+  }
+  return out;
+}
+
+/// Positions to index: input-adorned ones plus the descriptor's explicit
+/// index_positions (deduplicated, sorted).
+std::vector<size_t> IndexPositions(const StorageDescriptor& desc) {
+  std::set<size_t> positions;
+  for (size_t p : InputPositions(desc.view)) positions.insert(p);
+  for (size_t p : desc.index_positions) positions.insert(p);
+  return {positions.begin(), positions.end()};
+}
+
+Status LoadRelational(stores::RelationalStore* store,
+                      const StorageDescriptor& desc,
+                      const std::vector<Row>& rows,
+                      const std::vector<std::string>& columns) {
+  std::vector<stores::ColumnDef> defs;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    defs.push_back({columns[c], InferColumnType(rows, c)});
+  }
+  ESTOCADA_RETURN_NOT_OK(store->CreateTable(desc.container, defs));
+  for (const Row& row : rows) {
+    Row flat;
+    flat.reserve(row.size());
+    for (const Value& v : row) flat.push_back(FlattenForRelational(v));
+    ESTOCADA_RETURN_NOT_OK(store->Insert(desc.container, std::move(flat)));
+  }
+  // Index the declared fast access paths.
+  for (size_t pos : IndexPositions(desc)) {
+    ESTOCADA_RETURN_NOT_OK(store->CreateIndex(desc.container, columns[pos]));
+  }
+  return Status::OK();
+}
+
+Status LoadKeyValue(stores::KeyValueStore* store,
+                    const StorageDescriptor& desc,
+                    const std::vector<Row>& rows) {
+  ESTOCADA_RETURN_NOT_OK(store->CreateCollection(desc.container));
+  // The payload under each key is the JSON *list of rows* sharing that
+  // key (a key position need not be unique — e.g. an advisor-made
+  // fragment keyed by product category).
+  std::map<std::string, Value> grouped;
+  for (const Row& row : rows) {
+    std::string key = row[0].ToJson().Serialize();
+    auto [it, fresh] = grouped.emplace(key, Value::List({}));
+    it->second.mutable_list().push_back(Value::List(row));
+  }
+  for (const auto& [key, payload] : grouped) {
+    ESTOCADA_RETURN_NOT_OK(
+        store->Put(desc.container, key, payload.ToJson().Serialize()));
+  }
+  return Status::OK();
+}
+
+Status LoadDocument(stores::DocumentStore* store,
+                    const StorageDescriptor& desc,
+                    const std::vector<Row>& rows) {
+  ESTOCADA_RETURN_NOT_OK(store->CreateCollection(desc.container));
+  size_t n = 0;
+  for (const Row& row : rows) {
+    json::JsonValue doc = json::JsonValue::MakeObject();
+    doc.Set("_id", json::JsonValue::Str(StrCat("r", n++)));
+    for (size_t c = 0; c < row.size(); ++c) {
+      doc.Set(StrCat("f", c), row[c].ToJson());
+    }
+    ESTOCADA_RETURN_NOT_OK(store->Insert(desc.container, doc).status());
+  }
+  // Path indexes on the declared fast access paths.
+  for (size_t pos : IndexPositions(desc)) {
+    ESTOCADA_RETURN_NOT_OK(
+        store->CreatePathIndex(desc.container, StrCat("f", pos)));
+  }
+  return Status::OK();
+}
+
+Status LoadParallel(stores::ParallelStore* store,
+                    const StorageDescriptor& desc,
+                    const std::vector<Row>& rows, size_t arity) {
+  ESTOCADA_RETURN_NOT_OK(store->CreateRelation(desc.container, arity));
+  ESTOCADA_RETURN_NOT_OK(store->InsertBatch(desc.container, rows));
+  std::vector<size_t> inputs = InputPositions(desc.view);
+  if (inputs.empty()) inputs = desc.index_positions;
+  if (!inputs.empty()) {
+    ESTOCADA_RETURN_NOT_OK(store->CreateIndex(desc.container, inputs));
+  }
+  return Status::OK();
+}
+
+Status LoadText(stores::TextStore* store, const StorageDescriptor& desc,
+                const std::vector<Row>& rows, size_t arity) {
+  if (arity != 2) {
+    return Status::InvalidArgument(
+        StrCat("text fragment '", desc.name(),
+               "' must have arity 2 (docID, term), got ", arity));
+  }
+  ESTOCADA_RETURN_NOT_OK(store->CreateCore(desc.container));
+  // Group terms per document id.
+  std::map<std::string, std::string> text_per_doc;
+  for (const Row& row : rows) {
+    std::string id = row[0].ToJson().Serialize();
+    std::string term = row[1].is_string() ? row[1].string_value()
+                                          : row[1].ToString();
+    std::string& text = text_per_doc[id];
+    if (!text.empty()) text += ' ';
+    text += term;
+  }
+  for (const auto& [id, text] : text_per_doc) {
+    ESTOCADA_RETURN_NOT_OK(store->AddDocument(desc.container, id,
+                                              {{"text", text}}));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MaterializeFragment(const StagingData& staging, Catalog* catalog,
+                           const std::string& fragment_name) {
+  ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
+                            catalog->GetMutableFragment(fragment_name));
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(desc->store_name));
+  // Evaluate the view over the staged dataset (set semantics: a
+  // materialized view holds each tuple once).
+  ESTOCADA_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      EvaluateCqOverStaging(desc->view.query, staging, {}, true));
+  const size_t arity = desc->view.arity();
+  std::vector<std::string> columns = catalog::FragmentColumnNames(desc->view);
+
+  switch (store->kind) {
+    case StoreKind::kRelational:
+      ESTOCADA_RETURN_NOT_OK(
+          LoadRelational(store->relational, *desc, rows, columns));
+      break;
+    case StoreKind::kKeyValue:
+      ESTOCADA_RETURN_NOT_OK(LoadKeyValue(store->kv, *desc, rows));
+      break;
+    case StoreKind::kDocument:
+      ESTOCADA_RETURN_NOT_OK(LoadDocument(store->document, *desc, rows));
+      break;
+    case StoreKind::kParallel:
+      ESTOCADA_RETURN_NOT_OK(LoadParallel(store->parallel, *desc, rows,
+                                          arity));
+      break;
+    case StoreKind::kText:
+      ESTOCADA_RETURN_NOT_OK(LoadText(store->text, *desc, rows, arity));
+      break;
+  }
+  desc->stats = ComputeStatistics(rows, arity);
+  desc->list_column.assign(arity, false);
+  for (const Row& row : rows) {
+    for (size_t c = 0; c < arity; ++c) {
+      if (row[c].is_list()) desc->list_column[c] = true;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Appends freshly derived view rows to a fragment's physical container.
+Status AppendRowsToFragment(const StoreHandle& store,
+                            StorageDescriptor* desc,
+                            const std::vector<Row>& rows) {
+  switch (store.kind) {
+    case StoreKind::kRelational:
+      for (const Row& row : rows) {
+        Row flat;
+        flat.reserve(row.size());
+        for (const Value& v : row) flat.push_back(FlattenForRelational(v));
+        ESTOCADA_RETURN_NOT_OK(
+            store.relational->Insert(desc->container, std::move(flat)));
+      }
+      break;
+    case StoreKind::kKeyValue: {
+      // Read-modify-write of the per-key row-list payloads.
+      std::map<std::string, std::vector<Row>> by_key;
+      for (const Row& row : rows) {
+        by_key[row[0].ToJson().Serialize()].push_back(row);
+      }
+      for (const auto& [key, new_rows] : by_key) {
+        Value payload = Value::List({});
+        auto existing = store.kv->Get(desc->container, key);
+        if (existing.ok()) {
+          ESTOCADA_ASSIGN_OR_RETURN(json::JsonValue parsed,
+                                    json::Parse(*existing));
+          payload = Value::FromJson(parsed);
+          if (!payload.is_list()) {
+            return Status::Internal("corrupt KV fragment payload");
+          }
+        } else if (existing.status().code() != StatusCode::kNotFound) {
+          return existing.status();
+        }
+        for (const Row& row : new_rows) {
+          payload.mutable_list().push_back(Value::List(row));
+        }
+        ESTOCADA_RETURN_NOT_OK(store.kv->Put(
+            desc->container, key, payload.ToJson().Serialize()));
+      }
+      break;
+    }
+    case StoreKind::kDocument: {
+      size_t n = desc->stats.row_count;
+      for (const Row& row : rows) {
+        json::JsonValue doc = json::JsonValue::MakeObject();
+        doc.Set("_id", json::JsonValue::Str(StrCat("r", n++)));
+        for (size_t c = 0; c < row.size(); ++c) {
+          doc.Set(StrCat("f", c), row[c].ToJson());
+        }
+        ESTOCADA_RETURN_NOT_OK(
+            store.document->Insert(desc->container, doc).status());
+      }
+      break;
+    }
+    case StoreKind::kParallel:
+      ESTOCADA_RETURN_NOT_OK(
+          store.parallel->InsertBatch(desc->container, rows));
+      break;
+    case StoreKind::kText:
+      return Status::Unsupported("text fragments are rebuilt, not appended");
+  }
+  desc->stats.row_count += rows.size();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MaintainFragmentsOnInsertBatch(
+    const StagingData& staging, Catalog* catalog,
+    const std::vector<std::pair<std::string, Row>>& new_rows) {
+  // Collect affected fragment names first (iteration + mutation safety).
+  std::vector<std::string> affected;
+  for (const auto& [name, desc] : catalog->fragments()) {
+    bool hit = false;
+    for (const pivot::Atom& a : desc.view.query.body) {
+      for (const auto& [relation, row] : new_rows) {
+        if (a.relation == relation) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) break;
+    }
+    if (hit) affected.push_back(name);
+  }
+  for (const std::string& name : affected) {
+    ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
+                              catalog->GetMutableFragment(name));
+    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                              catalog->GetStore(desc->store_name));
+    if (store->kind == StoreKind::kText) {
+      // Per-document postings are immutable in the text store: rebuild.
+      ESTOCADA_RETURN_NOT_OK(DematerializeFragment(catalog, name));
+      ESTOCADA_RETURN_NOT_OK(MaterializeFragment(staging, catalog, name));
+      continue;
+    }
+    // Delta rule: for each new tuple and each occurrence of its relation
+    // in the view body, evaluate the view with that atom pinned to the
+    // tuple. Deduplicate across all pins of the batch: several staged
+    // rows of one logical update (e.g. one document's path facts) derive
+    // the same view row.
+    std::vector<Row> delta;
+    std::unordered_set<size_t> seen_hashes;
+    const pivot::ConjunctiveQuery& view = desc->view.query;
+    for (const auto& [relation, new_row] : new_rows) {
+      for (size_t occ = 0; occ < view.body.size(); ++occ) {
+        if (view.body[occ].relation != relation) continue;
+        // Unify the occurrence's terms with the new row.
+        pivot::Substitution pin;
+        bool consistent = true;
+        for (size_t i = 0; i < view.body[occ].terms.size() && consistent;
+             ++i) {
+          const pivot::Term& t = view.body[occ].terms[i];
+          pivot::Term value = pivot::Term::Const(new_row[i].ToConstant());
+          if (t.is_constant()) {
+            consistent = (t == value);
+          } else if (t.is_variable()) {
+            auto [it, fresh] = pin.emplace(t.var_name(), value);
+            if (!fresh) consistent = (it->second == value);
+          }
+        }
+        if (!consistent) continue;
+        pivot::ConjunctiveQuery pinned;
+        pinned.name = view.name;
+        pinned.body = ApplySubstitution(pin, view.body);
+        for (const pivot::Term& h : view.head) {
+          pinned.head.push_back(ApplySubstitution(pin, h));
+        }
+        ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                                  EvaluateCqOverStaging(pinned, staging));
+        for (Row& row : rows) {
+          if (seen_hashes.insert(engine::RowHash()(row)).second) {
+            delta.push_back(std::move(row));
+          }
+        }
+      }
+    }
+    if (delta.empty()) continue;
+    for (size_t c = 0; c < desc->view.arity(); ++c) {
+      for (const Row& row : delta) {
+        if (row[c].is_list() && c < desc->list_column.size()) {
+          desc->list_column[c] = true;
+        }
+      }
+    }
+    ESTOCADA_RETURN_NOT_OK(AppendRowsToFragment(*store, desc, delta));
+  }
+  return Status::OK();
+}
+
+Status MaintainFragmentsOnInsert(const StagingData& staging,
+                                 Catalog* catalog,
+                                 const std::string& relation,
+                                 const Row& new_row) {
+  return MaintainFragmentsOnInsertBatch(staging, catalog,
+                                        {{relation, new_row}});
+}
+
+Status DematerializeFragment(Catalog* catalog,
+                             const std::string& fragment_name) {
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog->GetFragment(fragment_name));
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(desc->store_name));
+  switch (store->kind) {
+    case StoreKind::kRelational:
+      return store->relational->DropTable(desc->container);
+    case StoreKind::kKeyValue:
+      return store->kv->DropCollection(desc->container);
+    case StoreKind::kDocument:
+      return store->document->DropCollection(desc->container);
+    case StoreKind::kParallel:
+      return store->parallel->DropRelation(desc->container);
+    case StoreKind::kText:
+      return store->text->DropCore(desc->container);
+  }
+  return Status::Internal("unknown store kind");
+}
+
+}  // namespace estocada::rewriting

@@ -1,0 +1,62 @@
+#ifndef ESTOCADA_REWRITING_MATERIALIZER_H_
+#define ESTOCADA_REWRITING_MATERIALIZER_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "rewriting/cq_eval.h"
+
+namespace estocada::rewriting {
+
+/// Materializes a registered fragment: evaluates its view definition over
+/// the staged dataset, creates the physical container in the target store
+/// (table / collection / relation / core), loads the rows in the store's
+/// native layout, builds the indexes implied by the view's access-pattern
+/// adornments, and fills in the fragment statistics.
+///
+/// Physical layouts (documented per DESIGN.md §3):
+///  * relational: table named after the container, one column per view
+///    head position (named by the head variable, h<i> fallback); list
+///    values are stored as JSON text.
+///  * key-value:  key = JSON serialization of head position 0; value =
+///    JSON array of the whole row.
+///  * document:   one JSON document per row: {"_id": "r<N>", "f0": ...}.
+///  * parallel:   nested relation of the view arity, hash-partitioned;
+///    a composite index over the input-adorned positions when present.
+///  * text:       one core document per distinct head-0 value; terms =
+///    all head-1 values of that key ("contains" layout).
+Status MaterializeFragment(const StagingData& staging,
+                           catalog::Catalog* catalog,
+                           const std::string& fragment_name);
+
+/// Drops the fragment's physical container from its store (inverse of
+/// materialization), leaving the descriptor in place; used by the advisor
+/// when re-organizing. DropFragment on the catalog removes the
+/// descriptor.
+Status DematerializeFragment(catalog::Catalog* catalog,
+                             const std::string& fragment_name);
+
+/// Incremental view maintenance: given one tuple freshly appended to
+/// dataset relation `relation` (already present in `staging`), computes
+/// each affected fragment's delta with the standard delta rule — for every
+/// occurrence of `relation` in the view body, evaluate the body with that
+/// atom pinned to the new tuple — and appends the new view rows to the
+/// fragment's physical container, updating its statistics.
+///
+/// Text fragments are rebuilt from scratch (their per-document postings
+/// cannot be appended to); deletions are not supported (the paper, too,
+/// leaves dynamic reorganization as ongoing work).
+Status MaintainFragmentsOnInsert(const StagingData& staging,
+                                 catalog::Catalog* catalog,
+                                 const std::string& relation,
+                                 const engine::Row& new_row);
+
+/// Batch form: one logical update that staged several tuples (e.g. one
+/// document's path facts). Deltas are deduplicated across the batch so a
+/// view row derivable from several of the new tuples is appended once.
+Status MaintainFragmentsOnInsertBatch(
+    const StagingData& staging, catalog::Catalog* catalog,
+    const std::vector<std::pair<std::string, engine::Row>>& new_rows);
+
+}  // namespace estocada::rewriting
+
+#endif  // ESTOCADA_REWRITING_MATERIALIZER_H_

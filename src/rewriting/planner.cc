@@ -1,0 +1,50 @@
+#include "rewriting/planner.h"
+
+#include "common/strings.h"
+
+namespace estocada::rewriting {
+
+Planner::Planner(const catalog::Catalog* catalog,
+                 const pacb::Rewriter* rewriter)
+    : catalog_(catalog), rewriter_(rewriter) {}
+
+Result<PlanSet> Planner::PlanQuery(
+    const pivot::ConjunctiveQuery& query,
+    const std::map<std::string, engine::Value>& parameters,
+    const pacb::RewriterOptions& options) const {
+  PlanSet out;
+  ESTOCADA_ASSIGN_OR_RETURN(out.rewriting_result,
+                            rewriter_->Rewrite(query, options));
+  if (out.rewriting_result.rewritings.empty()) {
+    return Status::NoRewriting(
+        StrCat("no rewriting over the registered fragments answers ",
+               query.ToString()));
+  }
+  Translator translator(catalog_);
+  Status last_error = Status::OK();
+  for (const pacb::Rewriting& rw : out.rewriting_result.rewritings) {
+    auto plan = translator.Plan(rw.query, parameters);
+    if (!plan.ok()) {
+      // An individual rewriting can be unplannable (e.g. unbound
+      // parameter for this call); remember and try the others.
+      last_error = plan.status();
+      continue;
+    }
+    out.plans.push_back(std::move(*plan));
+  }
+  if (out.plans.empty()) {
+    return last_error.ok()
+               ? Status::NoRewriting("no executable plan for any rewriting")
+               : last_error;
+  }
+  out.best = 0;
+  for (size_t i = 1; i < out.plans.size(); ++i) {
+    if (out.plans[i].estimated_cost <
+        out.plans[out.best].estimated_cost) {
+      out.best = i;
+    }
+  }
+  return out;
+}
+
+}  // namespace estocada::rewriting

@@ -1,0 +1,49 @@
+#ifndef ESTOCADA_REWRITING_PLANNER_H_
+#define ESTOCADA_REWRITING_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "pacb/rewriter.h"
+#include "rewriting/translator.h"
+
+namespace estocada::rewriting {
+
+/// Everything the query evaluator produced for one query: the PACB
+/// rewritings, an executable plan per rewriting, and the index of the
+/// cost-based choice. Demo step 2 ("inspect the translation, the PACB
+/// output, the translated form and the executable plan") reads this.
+struct PlanSet {
+  pacb::RewritingResult rewriting_result;
+  std::vector<PlannedQuery> plans;  ///< Parallel to rewritings.
+  size_t best = 0;                  ///< Index of the chosen plan.
+
+  PlannedQuery& best_plan() { return plans[best]; }
+  const PlannedQuery& best_plan() const { return plans[best]; }
+};
+
+/// The cost-based query evaluator: runs the PACB rewriter against the
+/// catalog's views, translates every rewriting to an executable plan, and
+/// picks the cheapest by estimated cost.
+class Planner {
+ public:
+  Planner(const catalog::Catalog* catalog, const pacb::Rewriter* rewriter);
+
+  /// Plans `query` (a CQ over dataset relations). Fails with kNoRewriting
+  /// when no executable rewriting exists.
+  Result<PlanSet> PlanQuery(
+      const pivot::ConjunctiveQuery& query,
+      const std::map<std::string, engine::Value>& parameters = {},
+      const pacb::RewriterOptions& options = {}) const;
+
+ private:
+  const catalog::Catalog* catalog_;
+  const pacb::Rewriter* rewriter_;
+};
+
+}  // namespace estocada::rewriting
+
+#endif  // ESTOCADA_REWRITING_PLANNER_H_

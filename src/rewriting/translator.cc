@@ -1,0 +1,746 @@
+#include "rewriting/translator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "pacb/feasibility.h"
+
+namespace estocada::rewriting {
+
+using catalog::StorageDescriptor;
+using catalog::StoreHandle;
+using catalog::StoreKind;
+using engine::Expr;
+using engine::ExprPtr;
+using engine::OperatorPtr;
+using engine::Row;
+using engine::Value;
+using pivot::Adornment;
+using pivot::Atom;
+using pivot::ConjunctiveQuery;
+using pivot::Term;
+
+double RuntimeStats::TotalSimulatedCost() const {
+  double total = 0;
+  for (const auto& [name, stats] : per_store) total += stats.simulated_cost;
+  return total;
+}
+
+std::string RuntimeStats::ToString() const {
+  std::string out;
+  for (const auto& [name, stats] : per_store) {
+    out += StrCat("  ", name, ": ", stats.ToString(), "\n");
+  }
+  return out;
+}
+
+std::string PlannedQuery::ToString() const {
+  std::string out = StrCat("rewriting: ", rewriting.ToString(), "\n",
+                           "estimated cost: ", estimated_cost,
+                           ", estimated rows: ", estimated_rows, "\n");
+  for (const std::string& d : delegated) {
+    out += StrCat("delegated: ", d, "\n");
+  }
+  if (root) out += engine::PlanToString(*root);
+  return out;
+}
+
+namespace {
+
+/// Everything the translator derives about one rewriting atom.
+struct AtomInfo {
+  const Atom* atom;
+  const StorageDescriptor* fragment;
+  const StoreHandle* store;
+  /// Plan-time ground value per position (constant or parameter).
+  std::vector<std::optional<Value>> ground;
+  /// Variable name per position ("" when ground).
+  std::vector<std::string> var;
+};
+
+/// A group of atoms reformulated as a single native store access.
+struct CompiledGroup {
+  /// Output column variable names ("" for columns not bound to a var).
+  std::vector<std::string> out_vars;
+  std::vector<std::string> out_names;
+  /// Per-column distinct estimate (0 = unknown).
+  std::vector<double> out_distinct;
+  /// Outer variables that must be supplied per call (BindJoin bindings).
+  std::vector<std::string> needed_vars;
+  engine::BindJoinOperator::Fetch fetch;
+  double est_out_rows = 1;  ///< Expected rows per fetch call.
+  double access_cost = 1;   ///< Simulated cost per fetch call.
+  std::string desc;
+};
+
+/// Mirrors the default store cost profiles for *estimation* (the stores
+/// themselves charge the authoritative simulated cost at run time).
+struct CostConstants {
+  double per_op, per_row, per_lookup, per_ret;
+};
+CostConstants CostModel(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kRelational:
+      return {25.0, 0.05, 0.8, 0.05};
+    case StoreKind::kKeyValue:
+      return {4.0, 0.02, 0.3, 0.05};
+    case StoreKind::kDocument:
+      return {12.0, 0.12, 0.5, 0.15};
+    case StoreKind::kParallel:
+      return {60.0, 0.0025, 0.6, 0.05};  // per-row cost amortized over workers
+    case StoreKind::kText:
+      return {10.0, 0.03, 0.4, 0.1};
+  }
+  return {10, 0.1, 0.5, 0.1};
+}
+
+Result<Value> ParseStoredJson(const std::string& text) {
+  ESTOCADA_ASSIGN_OR_RETURN(json::JsonValue j, json::Parse(text));
+  return Value::FromJson(j);
+}
+
+/// Post-check applied to every fetched row: ground positions must match
+/// and repeated variables must agree (stores may not have been able to
+/// push all predicates down).
+bool RowSatisfiesAtom(const Row& row, const AtomInfo& info) {
+  std::unordered_map<std::string, size_t> first;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (info.ground[i].has_value()) {
+      if (!(row[i] == *info.ground[i])) return false;
+    } else if (!info.var[i].empty()) {
+      auto [it, fresh] = first.emplace(info.var[i], i);
+      if (!fresh && !(row[i] == row[it->second])) return false;
+    }
+  }
+  return true;
+}
+
+/// Values of the needed (outer-bound) variables are appended to the
+/// ground map at call time: returns a copy of `info.ground` with the
+/// binding row filled in at `needed_positions`.
+std::vector<std::optional<Value>> BindGround(
+    const AtomInfo& info, const std::vector<size_t>& needed_positions,
+    const Row& binding) {
+  std::vector<std::optional<Value>> ground = info.ground;
+  for (size_t i = 0; i < needed_positions.size(); ++i) {
+    ground[needed_positions[i]] = binding[i];
+  }
+  return ground;
+}
+
+}  // namespace
+
+Translator::Translator(const catalog::Catalog* catalog) : catalog_(catalog) {}
+
+Result<PlannedQuery> Translator::Plan(
+    const ConjunctiveQuery& rewriting,
+    const std::map<std::string, Value>& parameters) const {
+  ESTOCADA_RETURN_NOT_OK(rewriting.Validate());
+  auto runtime = std::make_shared<RuntimeStats>();
+
+  // ---- Resolve atoms against the catalog.
+  std::vector<AtomInfo> infos;
+  for (const Atom& atom : rewriting.body) {
+    ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* frag,
+                              catalog_->GetFragment(atom.relation));
+    if (frag->view.arity() != atom.arity()) {
+      return Status::InvalidArgument(
+          StrCat("atom ", atom.ToString(), " does not match fragment arity ",
+                 frag->view.arity()));
+    }
+    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                              catalog_->GetStore(frag->store_name));
+    AtomInfo info;
+    info.atom = &atom;
+    info.fragment = frag;
+    info.store = store;
+    for (const Term& t : atom.terms) {
+      if (t.is_constant()) {
+        info.ground.emplace_back(Value::FromConstant(t.constant()));
+        info.var.emplace_back("");
+      } else if (t.is_variable() &&
+                 pacb::IsParameterVariable(t.var_name())) {
+        auto it = parameters.find(t.var_name());
+        if (it == parameters.end()) {
+          return Status::InvalidArgument(
+              StrCat("no value supplied for parameter ", t.var_name()));
+        }
+        info.ground.emplace_back(it->second);
+        info.var.emplace_back("");
+      } else if (t.is_variable()) {
+        info.ground.emplace_back(std::nullopt);
+        info.var.emplace_back(t.var_name());
+      } else {
+        return Status::InvalidArgument(
+            StrCat("labelled null in rewriting atom ", atom.ToString()));
+      }
+    }
+    infos.push_back(std::move(info));
+  }
+
+  // ---- Feasible evaluation order under access patterns.
+  pacb::AdornmentMap adornments;
+  for (const AtomInfo& info : infos) {
+    if (!info.fragment->view.adornments.empty()) {
+      adornments[info.fragment->name()] = info.fragment->view.adornments;
+    }
+  }
+  std::vector<size_t> order =
+      pacb::FeasibleOrder(rewriting.body, adornments);
+  if (order.empty() && !rewriting.body.empty()) {
+    return Status::NoRewriting(
+        StrCat("rewriting is not executable under access patterns: ",
+               rewriting.ToString()));
+  }
+
+  // ---- Group: all atoms on the same relational store fuse into one
+  // delegated SPJ subquery anchored at the first of them; every other
+  // atom is its own group.
+  std::vector<std::vector<size_t>> groups;  // atom indices, in order
+  std::map<std::string, size_t> rel_group_of_store;
+  for (size_t idx : order) {
+    const AtomInfo& info = infos[idx];
+    if (info.store->kind == StoreKind::kRelational) {
+      auto it = rel_group_of_store.find(info.fragment->store_name);
+      if (it != rel_group_of_store.end()) {
+        groups[it->second].push_back(idx);
+        continue;
+      }
+      rel_group_of_store.emplace(info.fragment->store_name, groups.size());
+    }
+    groups.push_back({idx});
+  }
+
+  // ---- Compile each group to a native access.
+  PlannedQuery plan;
+  plan.rewriting = rewriting;
+  plan.runtime_stats = runtime;
+
+  std::vector<CompiledGroup> compiled;
+  for (const std::vector<size_t>& group : groups) {
+    CompiledGroup cg;
+    const AtomInfo& head_info = infos[group[0]];
+    const StoreKind kind = head_info.store->kind;
+    const CostConstants cost = CostModel(kind);
+    const std::string store_name = head_info.fragment->store_name;
+
+    if (kind == StoreKind::kRelational) {
+      // -- Largest delegatable subquery: one SPJ over all group atoms.
+      stores::SpjQuery q;
+      std::unordered_map<std::string,
+                         stores::SpjQuery::ColumnRef> var_first;
+      auto indexed = [](const AtomInfo& ai, size_t pos) {
+        const auto& ad = ai.fragment->view.adornments;
+        if (pos < ad.size() && ad[pos] == Adornment::kInput) return true;
+        for (size_t p : ai.fragment->index_positions) {
+          if (p == pos) return true;
+        }
+        return false;
+      };
+      double est = 1;
+      double scanned = 0;
+      for (size_t gi = 0; gi < group.size(); ++gi) {
+        const AtomInfo& info = infos[group[gi]];
+        std::string alias = StrCat("a", gi);
+        q.from.push_back({info.fragment->container, alias});
+        std::vector<std::string> cols =
+            catalog::FragmentColumnNames(info.fragment->view);
+        const double atom_rows = std::max<double>(
+            1.0, static_cast<double>(info.fragment->stats.row_count));
+        est *= atom_rows;
+        // An indexed equality (filter or in-group join) narrows the
+        // atom's scan to the matching rows; otherwise it is a full pass.
+        double atom_scanned = atom_rows;
+        for (size_t i = 0; i < info.atom->arity(); ++i) {
+          const bool eq_access =
+              info.ground[i].has_value() ||
+              (!info.var[i].empty() && var_first.count(info.var[i]));
+          if (eq_access && indexed(info, i)) {
+            atom_scanned = std::min(
+                atom_scanned,
+                atom_rows * info.fragment->stats.EqualitySelectivity(i));
+          }
+        }
+        scanned += atom_scanned;
+        for (size_t i = 0; i < info.atom->arity(); ++i) {
+          stores::SpjQuery::ColumnRef ref{alias, cols[i]};
+          q.select.push_back(ref);
+          cg.out_names.push_back(StrCat(alias, ".", cols[i]));
+          cg.out_vars.push_back(info.var[i]);
+          cg.out_distinct.push_back(static_cast<double>(
+              i < info.fragment->stats.distinct.size()
+                  ? info.fragment->stats.distinct[i]
+                  : 0));
+          if (info.ground[i].has_value()) {
+            q.filters.push_back({ref, *info.ground[i]});
+            est *= info.fragment->stats.EqualitySelectivity(i);
+          } else if (!info.var[i].empty()) {
+            auto [it, fresh] = var_first.emplace(info.var[i], ref);
+            if (!fresh) {
+              q.joins.push_back({it->second, ref});
+              est *= info.fragment->stats.EqualitySelectivity(i);
+            }
+          }
+        }
+      }
+      cg.est_out_rows = std::max(est, 0.0);
+      cg.access_cost = cost.per_op + cost.per_row * scanned +
+                       cost.per_ret * cg.est_out_rows;
+      cg.desc = StrCat(store_name, ": ", q.ToString());
+      stores::RelationalStore* store = head_info.store->relational;
+      // Relational columns that persist nested lists as JSON text and
+      // must be parsed back (output column index, group-wide).
+      std::vector<size_t> list_cols;
+      {
+        size_t off = 0;
+        for (size_t gi = 0; gi < group.size(); ++gi) {
+          const AtomInfo& ai = infos[group[gi]];
+          for (size_t i = 0; i < ai.atom->arity(); ++i) {
+            if (i < ai.fragment->list_column.size() &&
+                ai.fragment->list_column[i]) {
+              list_cols.push_back(off + i);
+            }
+          }
+          off += ai.atom->arity();
+        }
+      }
+      cg.fetch = [store, q, runtime, store_name, list_cols](
+                     const Row&) -> Result<std::vector<Row>> {
+        ESTOCADA_ASSIGN_OR_RETURN(
+            std::vector<Row> rows,
+            store->Execute(q, &runtime->per_store[store_name]));
+        for (Row& row : rows) {
+          for (size_t c : list_cols) {
+            if (row[c].is_string()) {
+              ESTOCADA_ASSIGN_OR_RETURN(Value parsed,
+                                        ParseStoredJson(row[c].string_value()));
+              row[c] = std::move(parsed);
+            }
+          }
+        }
+        return rows;
+      };
+      compiled.push_back(std::move(cg));
+      continue;
+    }
+
+    // -- Single-atom groups.
+    const AtomInfo& info = head_info;
+    const size_t arity = info.atom->arity();
+    std::vector<std::string> cols =
+        catalog::FragmentColumnNames(info.fragment->view);
+    cg.out_names = cols;
+    cg.out_vars = info.var;
+    for (size_t i = 0; i < arity; ++i) {
+      cg.out_distinct.push_back(static_cast<double>(
+          i < info.fragment->stats.distinct.size()
+              ? info.fragment->stats.distinct[i]
+              : 0));
+    }
+    // Needed variables: input-adorned positions holding a free variable.
+    std::vector<size_t> needed_positions;
+    const auto& adorn = info.fragment->view.adornments;
+    for (size_t i = 0; i < arity; ++i) {
+      if (i < adorn.size() && adorn[i] == Adornment::kInput &&
+          !info.var[i].empty() &&
+          // If the same variable repeats and an earlier position binds
+          // it, the post-check handles consistency.
+          std::find(cg.needed_vars.begin(), cg.needed_vars.end(),
+                    info.var[i]) == cg.needed_vars.end()) {
+        needed_positions.push_back(i);
+        cg.needed_vars.push_back(info.var[i]);
+      }
+    }
+    double sel = 1;
+    for (size_t i = 0; i < arity; ++i) {
+      if (info.ground[i].has_value()) {
+        sel *= info.fragment->stats.EqualitySelectivity(i);
+      }
+    }
+    for (size_t p : needed_positions) {
+      sel *= info.fragment->stats.EqualitySelectivity(p);
+    }
+    const double rows_total =
+        static_cast<double>(info.fragment->stats.row_count);
+    cg.est_out_rows = std::max(rows_total * sel, 0.0);
+    const AtomInfo info_copy = info;  // Captured by the closures below.
+
+    switch (kind) {
+      case StoreKind::kKeyValue: {
+        stores::KeyValueStore* store = info.store->kv;
+        const std::string container = info.fragment->container;
+        // Key is position 0 (materializer layout).
+        bool key_needed = !needed_positions.empty() &&
+                          needed_positions[0] == 0;
+        bool key_ground = info.ground[0].has_value();
+        if (key_ground || key_needed) {
+          cg.access_cost = cost.per_op + cost.per_lookup;
+          cg.desc = StrCat(store_name, ": GET ", container, "[",
+                           key_ground ? info.ground[0]->ToString()
+                                      : StrCat("?", cg.needed_vars[0]),
+                           "]");
+          std::vector<size_t> np = needed_positions;
+          cg.fetch = [store, container, info_copy, np, runtime,
+                      store_name](const Row& binding)
+              -> Result<std::vector<Row>> {
+            auto ground = BindGround(info_copy, np, binding);
+            auto got = store->Get(container, ground[0]->ToJson().Serialize(),
+                                  &runtime->per_store[store_name]);
+            if (!got.ok()) {
+              if (got.status().code() == StatusCode::kNotFound) {
+                return std::vector<Row>{};
+              }
+              return got.status();
+            }
+            ESTOCADA_ASSIGN_OR_RETURN(Value v, ParseStoredJson(*got));
+            if (!v.is_list()) {
+              return Status::Internal("corrupt KV fragment payload");
+            }
+            AtomInfo check = info_copy;
+            for (size_t i = 0; i < np.size(); ++i) {
+              check.ground[np[i]] = binding[i];
+            }
+            // Payload = list of rows sharing this key.
+            std::vector<Row> out;
+            for (const Value& row_value : v.list()) {
+              if (!row_value.is_list()) {
+                return Status::Internal("corrupt KV fragment payload row");
+              }
+              Row row = row_value.list();
+              if (RowSatisfiesAtom(row, check)) out.push_back(std::move(row));
+            }
+            return out;
+          };
+        } else {
+          // Free access: full collection scan (allowed but costly). Any
+          // outer bindings on non-key input positions become post-checks.
+          cg.access_cost = cost.per_op + cost.per_row * rows_total +
+                           cost.per_ret * cg.est_out_rows;
+          cg.desc = StrCat(store_name, ": SCAN ", container);
+          std::vector<size_t> np = needed_positions;
+          cg.fetch = [store, container, info_copy, np, runtime,
+                      store_name](const Row& binding)
+              -> Result<std::vector<Row>> {
+            AtomInfo check = info_copy;
+            for (size_t i = 0; i < np.size(); ++i) {
+              check.ground[np[i]] = binding[i];
+            }
+            ESTOCADA_ASSIGN_OR_RETURN(
+                auto pairs,
+                store->Scan(container, &runtime->per_store[store_name]));
+            std::vector<Row> out;
+            for (const auto& [k, v] : pairs) {
+              ESTOCADA_ASSIGN_OR_RETURN(Value parsed, ParseStoredJson(v));
+              if (!parsed.is_list()) continue;
+              for (const Value& row_value : parsed.list()) {
+                if (!row_value.is_list()) continue;
+                Row row = row_value.list();
+                if (RowSatisfiesAtom(row, check)) {
+                  out.push_back(std::move(row));
+                }
+              }
+            }
+            return out;
+          };
+        }
+        break;
+      }
+      case StoreKind::kDocument: {
+        stores::DocumentStore* store = info.store->document;
+        const std::string container = info.fragment->container;
+        cg.access_cost = cost.per_op + cost.per_row * rows_total * 0.5 +
+                         cost.per_ret * cg.est_out_rows;
+        std::vector<std::string> pred_bits;
+        for (size_t i = 0; i < arity; ++i) {
+          if (info.ground[i].has_value()) {
+            pred_bits.push_back(
+                StrCat("f", i, "=", info.ground[i]->ToString()));
+          }
+        }
+        cg.desc = StrCat(store_name, ": FIND ", container, " {",
+                         StrJoin(pred_bits, ", "), "}");
+        std::vector<size_t> np = needed_positions;
+        cg.fetch = [store, container, info_copy, np, arity, runtime,
+                    store_name](const Row& binding)
+            -> Result<std::vector<Row>> {
+          auto ground = BindGround(info_copy, np, binding);
+          std::vector<stores::PathPredicate> preds;
+          for (size_t i = 0; i < arity; ++i) {
+            if (ground[i].has_value()) {
+              preds.push_back({StrCat("f", i), stores::DocOp::kEq,
+                               ground[i]->ToJson()});
+            }
+          }
+          ESTOCADA_ASSIGN_OR_RETURN(
+              std::vector<json::JsonValue> docs,
+              store->Find(container, preds,
+                          &runtime->per_store[store_name]));
+          AtomInfo check = info_copy;
+          for (size_t i = 0; i < np.size(); ++i) {
+            check.ground[np[i]] = binding[i];
+          }
+          std::vector<Row> out;
+          for (const json::JsonValue& doc : docs) {
+            Row row;
+            row.reserve(arity);
+            for (size_t i = 0; i < arity; ++i) {
+              const json::JsonValue* f = doc.Find(StrCat("f", i));
+              row.push_back(f == nullptr ? Value::Null()
+                                         : Value::FromJson(*f));
+            }
+            if (RowSatisfiesAtom(row, check)) out.push_back(std::move(row));
+          }
+          return out;
+        };
+        break;
+      }
+      case StoreKind::kParallel: {
+        stores::ParallelStore* store = info.store->parallel;
+        const std::string container = info.fragment->container;
+        // Index over the input-adorned positions exists iff there are any
+        // (materializer contract). Use it when every indexed position is
+        // ground or needed.
+        std::vector<size_t> index_positions;
+        for (size_t i = 0; i < adorn.size(); ++i) {
+          if (adorn[i] == Adornment::kInput) index_positions.push_back(i);
+        }
+        bool index_usable = !index_positions.empty();
+        for (size_t p : index_positions) {
+          bool is_needed = std::find(needed_positions.begin(),
+                                     needed_positions.end(),
+                                     p) != needed_positions.end();
+          if (!info.ground[p].has_value() && !is_needed) {
+            index_usable = false;
+          }
+        }
+        std::vector<size_t> np = needed_positions;
+        if (index_usable) {
+          cg.access_cost = cost.per_op + cost.per_lookup +
+                           cost.per_ret * cg.est_out_rows;
+          cg.desc = StrCat(store_name, ": INDEX-LOOKUP ", container, " (",
+                           StrJoin(index_positions, ","), ")");
+          cg.fetch = [store, container, info_copy, np, index_positions,
+                      runtime, store_name](const Row& binding)
+              -> Result<std::vector<Row>> {
+            auto ground = BindGround(info_copy, np, binding);
+            Row key;
+            for (size_t p : index_positions) key.push_back(*ground[p]);
+            ESTOCADA_ASSIGN_OR_RETURN(
+                std::vector<Row> rows,
+                store->IndexLookup(container, index_positions, key,
+                                   &runtime->per_store[store_name]));
+            AtomInfo check = info_copy;
+            for (size_t i = 0; i < np.size(); ++i) {
+              check.ground[np[i]] = binding[i];
+            }
+            std::vector<Row> out;
+            for (Row& row : rows) {
+              if (RowSatisfiesAtom(row, check)) out.push_back(std::move(row));
+            }
+            return out;
+          };
+        } else {
+          cg.access_cost = cost.per_op + cost.per_row * rows_total +
+                           cost.per_ret * cg.est_out_rows;
+          cg.desc = StrCat(store_name, ": PARALLEL-SCAN ", container);
+          cg.fetch = [store, container, info_copy, np, runtime,
+                      store_name](const Row& binding)
+              -> Result<std::vector<Row>> {
+            AtomInfo check = info_copy;
+            for (size_t i = 0; i < np.size(); ++i) {
+              check.ground[np[i]] = binding[i];
+            }
+            return store->ParallelScan(
+                container,
+                [check](const Row& row) {
+                  return RowSatisfiesAtom(row, check);
+                },
+                {}, &runtime->per_store[store_name]);
+          };
+        }
+        break;
+      }
+      case StoreKind::kText: {
+        stores::TextStore* store = info.store->text;
+        const std::string container = info.fragment->container;
+        cg.access_cost = cost.per_op + cost.per_lookup +
+                         cost.per_ret * cg.est_out_rows;
+        cg.desc = StrCat(
+            store_name, ": SEARCH ", container, " [",
+            info.ground[1].has_value() ? info.ground[1]->ToString() : "?",
+            "]");
+        std::vector<size_t> np = needed_positions;
+        cg.fetch = [store, container, info_copy, np, runtime,
+                    store_name](const Row& binding)
+            -> Result<std::vector<Row>> {
+          auto ground = BindGround(info_copy, np, binding);
+          if (!ground[1].has_value()) {
+            return Status::NoRewriting(
+                "text search requires a bound term");
+          }
+          std::string term = ground[1]->is_string()
+                                 ? ground[1]->string_value()
+                                 : ground[1]->ToString();
+          ESTOCADA_ASSIGN_OR_RETURN(
+              std::vector<std::string> ids,
+              store->Search(container, {term},
+                            &runtime->per_store[store_name]));
+          AtomInfo check = info_copy;
+          for (size_t i = 0; i < np.size(); ++i) {
+            check.ground[np[i]] = binding[i];
+          }
+          std::vector<Row> out;
+          for (const std::string& id : ids) {
+            ESTOCADA_ASSIGN_OR_RETURN(Value doc_id, ParseStoredJson(id));
+            Row row{doc_id, *ground[1]};
+            if (RowSatisfiesAtom(row, check)) out.push_back(std::move(row));
+          }
+          return out;
+        };
+        break;
+      }
+      default:
+        return Status::Internal("unhandled store kind in translator");
+    }
+    compiled.push_back(std::move(cg));
+  }
+
+  // ---- Stitch groups with hash joins / bind joins.
+  OperatorPtr tree;
+  std::unordered_map<std::string, size_t> scope;  // var -> column index
+  size_t width = 0;
+  double est_rows = 1;
+  double est_cost = 0;
+
+  for (CompiledGroup& cg : compiled) {
+    plan.delegated.push_back(cg.desc);
+    // Join selectivity for shared output variables (not used as binding).
+    auto shared_selectivity = [&]() {
+      double sel = 1;
+      std::unordered_set<std::string> counted;
+      for (size_t i = 0; i < cg.out_vars.size(); ++i) {
+        const std::string& v = cg.out_vars[i];
+        if (v.empty() || !scope.count(v)) continue;
+        if (std::find(cg.needed_vars.begin(), cg.needed_vars.end(), v) !=
+            cg.needed_vars.end()) {
+          continue;
+        }
+        if (!counted.insert(v).second) continue;
+        sel *= cg.out_distinct[i] > 0 ? 1.0 / cg.out_distinct[i] : 0.1;
+      }
+      return sel;
+    };
+
+    if (!tree) {
+      if (!cg.needed_vars.empty()) {
+        return Status::NoRewriting(
+            StrCat("first group of plan needs outer bindings (",
+                   StrJoin(cg.needed_vars, ", "), ")"));
+      }
+      auto fetch = cg.fetch;
+      tree = std::make_unique<engine::CallbackScanOperator>(
+          cg.out_names, [fetch]() { return fetch(Row{}); }, cg.desc);
+      est_cost += cg.access_cost;
+      est_rows = cg.est_out_rows;
+    } else if (!cg.needed_vars.empty()) {
+      // BindJoin: feed scope values into the access-restricted source.
+      std::vector<size_t> bind_cols;
+      for (const std::string& v : cg.needed_vars) {
+        auto it = scope.find(v);
+        if (it == scope.end()) {
+          return Status::NoRewriting(
+              StrCat("binding variable '", v, "' not available in scope"));
+        }
+        bind_cols.push_back(it->second);
+      }
+      tree = std::make_unique<engine::BindJoinOperator>(
+          std::move(tree), bind_cols, cg.out_names, cg.fetch, cg.desc);
+      // Equality post-filters for shared vars that are plain outputs.
+      ExprPtr post;
+      for (size_t i = 0; i < cg.out_vars.size(); ++i) {
+        const std::string& v = cg.out_vars[i];
+        if (v.empty() || !scope.count(v)) continue;
+        if (std::find(cg.needed_vars.begin(), cg.needed_vars.end(), v) !=
+            cg.needed_vars.end()) {
+          continue;
+        }
+        ExprPtr clause = Expr::Binary(Expr::Op::kEq,
+                                      Expr::Column(scope[v]),
+                                      Expr::Column(width + i));
+        post = post ? Expr::Binary(Expr::Op::kAnd, post, clause) : clause;
+      }
+      if (post) {
+        tree = std::make_unique<engine::FilterOperator>(std::move(tree),
+                                                        post);
+      }
+      est_cost += est_rows * cg.access_cost;
+      est_rows = est_rows * cg.est_out_rows * shared_selectivity();
+    } else {
+      // Self-contained group: hash join on shared variables.
+      auto fetch = cg.fetch;
+      OperatorPtr source = std::make_unique<engine::CallbackScanOperator>(
+          cg.out_names, [fetch]() { return fetch(Row{}); }, cg.desc);
+      std::vector<std::pair<size_t, size_t>> keys;
+      std::unordered_set<std::string> keyed;
+      for (size_t i = 0; i < cg.out_vars.size(); ++i) {
+        const std::string& v = cg.out_vars[i];
+        if (v.empty() || !scope.count(v)) continue;
+        if (!keyed.insert(v).second) continue;
+        keys.emplace_back(scope[v], i);
+      }
+      tree = std::make_unique<engine::HashJoinOperator>(std::move(tree),
+                                                        std::move(source),
+                                                        keys);
+      est_cost += cg.access_cost;
+      est_rows = est_rows * cg.est_out_rows * shared_selectivity();
+    }
+    // Extend the variable scope with this group's fresh outputs.
+    for (size_t i = 0; i < cg.out_vars.size(); ++i) {
+      const std::string& v = cg.out_vars[i];
+      if (!v.empty()) scope.emplace(v, width + i);
+    }
+    width += cg.out_vars.size();
+  }
+
+  // ---- Head projection (+ set semantics).
+  std::vector<std::string> names;
+  std::vector<ExprPtr> exprs;
+  for (size_t i = 0; i < rewriting.head.size(); ++i) {
+    const Term& h = rewriting.head[i];
+    if (h.is_constant()) {
+      names.push_back(StrCat("h", i));
+      exprs.push_back(Expr::Const(Value::FromConstant(h.constant())));
+    } else if (h.is_variable() &&
+               pacb::IsParameterVariable(h.var_name())) {
+      auto it = parameters.find(h.var_name());
+      if (it == parameters.end()) {
+        return Status::InvalidArgument(
+            StrCat("no value supplied for parameter ", h.var_name()));
+      }
+      names.push_back(h.var_name().substr(1));
+      exprs.push_back(Expr::Const(it->second));
+    } else if (h.is_variable()) {
+      auto it = scope.find(h.var_name());
+      if (it == scope.end()) {
+        return Status::InvalidArgument(
+            StrCat("head variable '", h.var_name(), "' not produced"));
+      }
+      names.push_back(h.var_name());
+      exprs.push_back(Expr::Column(it->second));
+    } else {
+      return Status::InvalidArgument("unsupported rewriting head term");
+    }
+  }
+  tree = std::make_unique<engine::ProjectOperator>(std::move(tree), names,
+                                                   exprs);
+  tree = std::make_unique<engine::DistinctOperator>(std::move(tree));
+
+  plan.root = std::move(tree);
+  plan.estimated_cost = est_cost;
+  plan.estimated_rows = est_rows;
+  return plan;
+}
+
+}  // namespace estocada::rewriting

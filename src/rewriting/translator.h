@@ -1,0 +1,66 @@
+#ifndef ESTOCADA_REWRITING_TRANSLATOR_H_
+#define ESTOCADA_REWRITING_TRANSLATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "engine/operator.h"
+#include "pivot/query.h"
+
+namespace estocada::rewriting {
+
+/// Per-store work counters accumulated while a plan executes; gives the
+/// demo's "performance statistics split across the underlying DMSs and
+/// ESTOCADA's runtime" (§IV step 3).
+struct RuntimeStats {
+  std::map<std::string, stores::StoreStats> per_store;
+
+  double TotalSimulatedCost() const;
+  std::string ToString() const;
+};
+
+/// An executable plan for one rewriting: an engine operator tree whose
+/// leaves call into the underlying stores (delegated subqueries, point
+/// lookups, searches), plus cost estimates and a printable description.
+struct PlannedQuery {
+  engine::OperatorPtr root;
+  /// Work counters filled in while `root` executes.
+  std::shared_ptr<RuntimeStats> runtime_stats;
+  double estimated_cost = 0;
+  double estimated_rows = 0;
+  /// The rewriting this plan evaluates (over fragment relations).
+  pivot::ConjunctiveQuery rewriting;
+  /// Delegated native queries, one line each (SQL text, KV gets, ...).
+  std::vector<std::string> delegated;
+
+  /// Operator tree rendering plus the delegation list.
+  std::string ToString() const;
+};
+
+/// Translates rewritings (CQs over fragment relations) into executable
+/// plans: groups atoms per store ("identify the largest subquery that can
+/// be delegated"), reformulates each group in the store's native API,
+/// stitches groups with hash joins and BindJoins (for access-pattern
+/// restricted sources), and estimates cost with textbook cardinality
+/// formulas over the catalog's fragment statistics.
+class Translator {
+ public:
+  explicit Translator(const catalog::Catalog* catalog);
+
+  /// Builds the executable plan of `rewriting`. `parameters` supplies
+  /// values for '$'-prefixed variables.
+  Result<PlannedQuery> Plan(
+      const pivot::ConjunctiveQuery& rewriting,
+      const std::map<std::string, engine::Value>& parameters = {}) const;
+
+ private:
+  const catalog::Catalog* catalog_;
+};
+
+}  // namespace estocada::rewriting
+
+#endif  // ESTOCADA_REWRITING_TRANSLATOR_H_

@@ -1,0 +1,130 @@
+#include "stores/kv_store.h"
+
+#include "common/strings.h"
+
+namespace estocada::stores {
+
+KeyValueStore::KeyValueStore(CostProfile profile) : profile_(profile) {}
+
+Status KeyValueStore::CreateCollection(const std::string& name) {
+  if (collections_.count(name)) {
+    return Status::AlreadyExists(
+        StrCat("collection '", name, "' already exists"));
+  }
+  collections_.emplace(name, Collection{});
+  return Status::OK();
+}
+
+Status KeyValueStore::DropCollection(const std::string& name) {
+  if (collections_.erase(name) == 0) {
+    return Status::NotFound(StrCat("collection '", name, "' does not exist"));
+  }
+  return Status::OK();
+}
+
+bool KeyValueStore::HasCollection(const std::string& name) const {
+  return collections_.count(name) > 0;
+}
+
+Result<const KeyValueStore::Collection*> KeyValueStore::GetCollection(
+    const std::string& name) const {
+  auto it = collections_.find(name);
+  if (it == collections_.end()) {
+    return Status::NotFound(StrCat("collection '", name, "' does not exist"));
+  }
+  return &it->second;
+}
+
+void KeyValueStore::Charge(StoreStats* stats, uint64_t ops, uint64_t scanned,
+                           uint64_t lookups, uint64_t returned) const {
+  StoreStats delta;
+  delta.operations = ops;
+  delta.rows_scanned = scanned;
+  delta.index_lookups = lookups;
+  delta.rows_returned = returned;
+  delta.simulated_cost =
+      profile_.per_operation * static_cast<double>(ops) +
+      profile_.per_row_scanned * static_cast<double>(scanned) +
+      profile_.per_index_lookup * static_cast<double>(lookups) +
+      profile_.per_row_returned * static_cast<double>(returned);
+  lifetime_stats_.Add(delta);
+  if (stats != nullptr) stats->Add(delta);
+}
+
+Status KeyValueStore::Put(const std::string& collection, const std::string& key,
+                          std::string value) {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    return Status::NotFound(
+        StrCat("collection '", collection, "' does not exist"));
+  }
+  Charge(nullptr, 1, 0, 1, 0);
+  it->second[key] = std::move(value);
+  return Status::OK();
+}
+
+Result<std::string> KeyValueStore::Get(const std::string& collection,
+                                       const std::string& key,
+                                       StoreStats* stats) const {
+  ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
+  Charge(stats, 1, 0, 1, 0);
+  auto it = c->find(key);
+  if (it == c->end()) {
+    return Status::NotFound(
+        StrCat("key '", key, "' not in collection '", collection, "'"));
+  }
+  Charge(stats, 0, 0, 0, 1);
+  return it->second;
+}
+
+Result<std::vector<std::optional<std::string>>> KeyValueStore::MGet(
+    const std::string& collection, const std::vector<std::string>& keys,
+    StoreStats* stats) const {
+  ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
+  std::vector<std::optional<std::string>> out;
+  out.reserve(keys.size());
+  uint64_t returned = 0;
+  for (const std::string& k : keys) {
+    auto it = c->find(k);
+    if (it == c->end()) {
+      out.emplace_back(std::nullopt);
+    } else {
+      out.emplace_back(it->second);
+      ++returned;
+    }
+  }
+  Charge(stats, 1, 0, keys.size(), returned);
+  return out;
+}
+
+Status KeyValueStore::Delete(const std::string& collection,
+                             const std::string& key) {
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    return Status::NotFound(
+        StrCat("collection '", collection, "' does not exist"));
+  }
+  Charge(nullptr, 1, 0, 1, 0);
+  if (it->second.erase(key) == 0) {
+    return Status::NotFound(
+        StrCat("key '", key, "' not in collection '", collection, "'"));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> KeyValueStore::Scan(
+    const std::string& collection, StoreStats* stats) const {
+  ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(c->size());
+  for (const auto& [k, v] : *c) out.emplace_back(k, v);
+  Charge(stats, 1, c->size(), 0, c->size());
+  return out;
+}
+
+Result<size_t> KeyValueStore::Size(const std::string& collection) const {
+  ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
+  return c->size();
+}
+
+}  // namespace estocada::stores

@@ -1,0 +1,74 @@
+#ifndef ESTOCADA_STORES_KV_STORE_H_
+#define ESTOCADA_STORES_KV_STORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "stores/store_stats.h"
+
+namespace estocada::stores {
+
+/// Key-value store standing in for the paper's Redis/Voldemort: named
+/// collections of string key → string value pairs, O(1) Get/Put/Delete and
+/// batched MGet. Deliberately *no* secondary predicates and no joins — the
+/// only way in is by key, which is exactly the access-pattern restriction
+/// the pivot model encodes with an input-adorned key position. A full Scan
+/// exists (the stores are slave systems, ESTOCADA may bulk-load from them)
+/// but costs proportionally to the collection.
+class KeyValueStore {
+ public:
+  /// Default profile models a lightweight binary-protocol round trip —
+  /// the cheap-lookup blueprint that motivates the §II migration.
+  explicit KeyValueStore(CostProfile profile = {/*per_operation=*/4.0,
+                                                /*per_row_scanned=*/0.02,
+                                                /*per_index_lookup=*/0.3,
+                                                /*per_row_returned=*/0.05});
+
+  Status CreateCollection(const std::string& name);
+  Status DropCollection(const std::string& name);
+  bool HasCollection(const std::string& name) const;
+
+  /// Upserts `key` in `collection`.
+  Status Put(const std::string& collection, const std::string& key,
+             std::string value);
+
+  /// Point lookup; kNotFound when absent.
+  Result<std::string> Get(const std::string& collection, const std::string& key,
+                          StoreStats* stats = nullptr) const;
+
+  /// Batched lookup; missing keys yield nullopt at their position. One
+  /// round trip, one index access per key.
+  Result<std::vector<std::optional<std::string>>> MGet(
+      const std::string& collection, const std::vector<std::string>& keys,
+      StoreStats* stats = nullptr) const;
+
+  Status Delete(const std::string& collection, const std::string& key);
+
+  /// Full dump of a collection in unspecified order. Expensive by design.
+  Result<std::vector<std::pair<std::string, std::string>>> Scan(
+      const std::string& collection, StoreStats* stats = nullptr) const;
+
+  Result<size_t> Size(const std::string& collection) const;
+
+  const StoreStats& lifetime_stats() const { return lifetime_stats_; }
+
+ private:
+  using Collection = std::unordered_map<std::string, std::string>;
+
+  Result<const Collection*> GetCollection(const std::string& name) const;
+
+  void Charge(StoreStats* stats, uint64_t ops, uint64_t scanned,
+              uint64_t lookups, uint64_t returned) const;
+
+  CostProfile profile_;
+  std::map<std::string, Collection> collections_;
+  mutable StoreStats lifetime_stats_;
+};
+
+}  // namespace estocada::stores
+
+#endif  // ESTOCADA_STORES_KV_STORE_H_

@@ -1,0 +1,13 @@
+#include "stores/store_stats.h"
+
+#include "common/strings.h"
+
+namespace estocada::stores {
+
+std::string StoreStats::ToString() const {
+  return StrCat("ops=", operations, " scanned=", rows_scanned,
+                " index_lookups=", index_lookups, " returned=", rows_returned,
+                " simulated_cost=", simulated_cost);
+}
+
+}  // namespace estocada::stores

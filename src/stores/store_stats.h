@@ -1,0 +1,47 @@
+#ifndef ESTOCADA_STORES_STORE_STATS_H_
+#define ESTOCADA_STORES_STORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace estocada::stores {
+
+/// Work counters shared by every store stand-in. Stores do real in-memory
+/// work; on top of it they accumulate `simulated_cost`, a deterministic
+/// abstract-latency figure driven by each store's CostProfile. Benches
+/// report both: wall time reflects this machine, simulated cost reflects
+/// the relative performance blueprint of the systems the paper used
+/// (client/server round trips, job launch overheads, per-row costs) —
+/// see DESIGN.md §3 on substitutions.
+struct StoreStats {
+  uint64_t operations = 0;      ///< API calls served.
+  uint64_t rows_scanned = 0;    ///< Tuples/documents examined.
+  uint64_t index_lookups = 0;   ///< Point accesses through an index.
+  uint64_t rows_returned = 0;   ///< Results produced.
+  double simulated_cost = 0.0;  ///< Abstract latency units (≈ microseconds).
+
+  void Add(const StoreStats& other) {
+    operations += other.operations;
+    rows_scanned += other.rows_scanned;
+    index_lookups += other.index_lookups;
+    rows_returned += other.rows_returned;
+    simulated_cost += other.simulated_cost;
+  }
+
+  std::string ToString() const;
+};
+
+/// Per-operation abstract costs of one store. Defaults are per-store (see
+/// each store's header); units are arbitrary but consistent across stores,
+/// calibrated so the E1/E2 scenario experiments reproduce the paper's
+/// relative gains.
+struct CostProfile {
+  double per_operation = 0.0;    ///< Fixed cost per API call (round trip).
+  double per_row_scanned = 0.0;  ///< Cost per tuple/doc examined.
+  double per_index_lookup = 0.0; ///< Cost per index point access.
+  double per_row_returned = 0.0; ///< Cost per result transferred.
+};
+
+}  // namespace estocada::stores
+
+#endif  // ESTOCADA_STORES_STORE_STATS_H_

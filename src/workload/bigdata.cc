@@ -1,0 +1,64 @@
+#include "workload/bigdata.h"
+
+#include "common/strings.h"
+#include "encoding/encodings.h"
+
+namespace estocada::workload {
+
+using engine::Value;
+
+Result<BigDataBenchData> GenerateBigDataBench(
+    const BigDataBenchConfig& config) {
+  BigDataBenchData data;
+  data.config = config;
+  Rng rng(config.seed);
+
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::Schema rankings_schema,
+      encoding::RelationalEncoding(
+          "bdb", "rankings", {"pageURL", "pageRank", "avgDuration"},
+          {"pageURL"}));
+  ESTOCADA_RETURN_NOT_OK(data.schema.Merge(rankings_schema));
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::Schema visits_schema,
+      encoding::RelationalEncoding(
+          "bdb", "uservisits",
+          {"sourceIP", "destURL", "adRevenue", "countryCode"}, {}));
+  ESTOCADA_RETURN_NOT_OK(data.schema.Merge(visits_schema));
+
+  auto& rankings = data.staging["bdb.rankings"];
+  rankings.columns = {"pageURL", "pageRank", "avgDuration"};
+  for (size_t p = 0; p < config.num_pages; ++p) {
+    rankings.rows.push_back(
+        {Value::Str(StrCat("url", p)),
+         Value::Int(static_cast<int64_t>(
+             rng.Zipf(config.num_ranks, 0.6))),
+         Value::Int(static_cast<int64_t>(1 + rng.Uniform(120)))});
+  }
+
+  auto& visits = data.staging["bdb.uservisits"];
+  visits.columns = {"sourceIP", "destURL", "adRevenue", "countryCode"};
+  for (size_t v = 0; v < config.num_visits; ++v) {
+    visits.rows.push_back(
+        {Value::Str(StrCat("ip", rng.Uniform(config.num_ips))),
+         Value::Str(StrCat("url", rng.Zipf(config.num_pages, 0.7))),
+         Value::Real(static_cast<double>(rng.Uniform(1000)) / 100.0),
+         Value::Str(StrCat("cc", rng.Uniform(config.num_countries)))});
+  }
+  return data;
+}
+
+const char* BigDataBenchQueries::PagesAtRank() {
+  return "pages(u, d) :- bdb.rankings(u, $rank, d)";
+}
+
+const char* BigDataBenchQueries::VisitsToRankedPages() {
+  return "rv(ip, u, rev) :- bdb.uservisits(ip, u, rev, cc), "
+         "bdb.rankings(u, $rank, d)";
+}
+
+const char* BigDataBenchQueries::VisitsOfPage() {
+  return "vp(ip, rev, cc) :- bdb.uservisits(ip, $url, rev, cc)";
+}
+
+}  // namespace estocada::workload

@@ -1,0 +1,48 @@
+#ifndef ESTOCADA_WORKLOAD_BIGDATA_H_
+#define ESTOCADA_WORKLOAD_BIGDATA_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "pivot/schema.h"
+#include "rewriting/cq_eval.h"
+
+namespace estocada::workload {
+
+/// Synthetic data in the shape of the AMPLab Big Data Benchmark [4] the
+/// demo uses (rankings + uservisits); generated locally since the hosted
+/// datasets are unavailable offline (DESIGN.md §3).
+///
+///   bdb.rankings(pageURL, pageRank, avgDuration)
+///   bdb.uservisits(sourceIP, destURL, adRevenue, countryCode)
+struct BigDataBenchConfig {
+  uint64_t seed = 7;
+  size_t num_pages = 3000;
+  size_t num_visits = 30000;
+  size_t num_ips = 5000;
+  size_t num_countries = 30;
+  size_t num_ranks = 100;  ///< pageRank values are 0..num_ranks-1.
+};
+
+struct BigDataBenchData {
+  pivot::Schema schema;
+  rewriting::StagingData staging;
+  BigDataBenchConfig config;
+};
+
+Result<BigDataBenchData> GenerateBigDataBench(const BigDataBenchConfig& config);
+
+/// Benchmark queries (equality-CQ forms of the BDB workload):
+struct BigDataBenchQueries {
+  /// Q1-style scan: pages at an exact rank.
+  static const char* PagesAtRank();
+  /// Q3-style join: revenue-bearing visits to pages of a given rank.
+  static const char* VisitsToRankedPages();
+  /// Per-country visit listing for one page.
+  static const char* VisitsOfPage();
+};
+
+}  // namespace estocada::workload
+
+#endif  // ESTOCADA_WORKLOAD_BIGDATA_H_

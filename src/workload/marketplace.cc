@@ -1,0 +1,189 @@
+#include "workload/marketplace.h"
+
+#include "common/strings.h"
+#include "encoding/encodings.h"
+
+namespace estocada::workload {
+
+using engine::Row;
+using engine::Value;
+
+std::string MarketplaceData::Category(size_t i, size_t num_categories) {
+  return StrCat("cat", i % num_categories);
+}
+
+Result<MarketplaceData> GenerateMarketplace(const MarketplaceConfig& config) {
+  MarketplaceData data;
+  data.config = config;
+  Rng rng(config.seed);
+
+  // ---- Pivot schema (one encoding per native model).
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::Schema users_schema,
+      encoding::RelationalEncoding("mk", "users", {"uid", "name", "city"},
+                                   {"uid"}));
+  ESTOCADA_RETURN_NOT_OK(data.schema.Merge(users_schema));
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::Schema products_schema,
+      encoding::RelationalEncoding(
+          "mk", "products", {"pid", "name", "category", "price"}, {"pid"}));
+  ESTOCADA_RETURN_NOT_OK(data.schema.Merge(products_schema));
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::Schema orders_schema,
+      encoding::RelationalEncoding("mk", "orders",
+                                   {"oid", "uid", "pid", "total"}, {"oid"}));
+  ESTOCADA_RETURN_NOT_OK(data.schema.Merge(orders_schema));
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::Schema carts_schema,
+      encoding::NestedEncoding("mk", "carts", {"uid", "cart"}, {"uid"}));
+  ESTOCADA_RETURN_NOT_OK(data.schema.Merge(carts_schema));
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::Schema visits_schema,
+      encoding::NestedEncoding("mk", "visits", {"uid", "pid", "day"}));
+  ESTOCADA_RETURN_NOT_OK(data.schema.Merge(visits_schema));
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::Schema terms_schema,
+      encoding::NestedEncoding("mk", "prodterms", {"pid", "term"}));
+  ESTOCADA_RETURN_NOT_OK(data.schema.Merge(terms_schema));
+
+  // ---- Staged rows.
+  auto& users = data.staging["mk.users"];
+  users.columns = {"uid", "name", "city"};
+  for (size_t u = 0; u < config.num_users; ++u) {
+    users.rows.push_back(
+        {Value::Int(static_cast<int64_t>(u)),
+         Value::Str(StrCat("user", u)),
+         Value::Str(StrCat("city", rng.Uniform(config.num_cities)))});
+  }
+
+  static const char* kAdjectives[] = {"red",  "blue",  "small", "large",
+                                      "warm", "solid", "light", "smart"};
+  static const char* kNouns[] = {"lamp",  "table", "phone",  "chair",
+                                 "stove", "book",  "carpet", "camera"};
+  auto& products = data.staging["mk.products"];
+  products.columns = {"pid", "name", "category", "price"};
+  for (size_t p = 0; p < config.num_products; ++p) {
+    std::string name = StrCat(kAdjectives[rng.Uniform(8)], " ",
+                              kNouns[rng.Uniform(8)], " ", p);
+    products.rows.push_back(
+        {Value::Int(static_cast<int64_t>(p)), Value::Str(name),
+         Value::Str(MarketplaceData::Category(
+             rng.Uniform(config.num_categories), config.num_categories)),
+         Value::Real(5.0 + static_cast<double>(rng.Uniform(2000)) / 10.0)});
+  }
+
+  auto& terms = data.staging["mk.prodterms"];
+  terms.columns = {"pid", "term"};
+  for (size_t p = 0; p < config.num_products; ++p) {
+    const std::string& name = products.rows[p][1].string_value();
+    for (const std::string& tok : StrSplit(name, ' ')) {
+      if (!tok.empty()) {
+        terms.rows.push_back(
+            {Value::Int(static_cast<int64_t>(p)), Value::Str(tok)});
+      }
+    }
+  }
+
+  auto& orders = data.staging["mk.orders"];
+  orders.columns = {"oid", "uid", "pid", "total"};
+  for (size_t o = 0; o < config.num_orders; ++o) {
+    size_t uid = rng.Zipf(config.num_users, config.zipf_theta);
+    size_t pid = rng.Zipf(config.num_products, config.zipf_theta);
+    orders.rows.push_back(
+        {Value::Int(static_cast<int64_t>(o)),
+         Value::Int(static_cast<int64_t>(uid)),
+         Value::Int(static_cast<int64_t>(pid)),
+         Value::Real(products.rows[pid][3].real_value())});
+  }
+
+  auto& carts = data.staging["mk.carts"];
+  carts.columns = {"uid", "cart"};
+  for (size_t u = 0; u < config.num_users; ++u) {
+    std::vector<Value> items;
+    size_t n = rng.Uniform(5);
+    for (size_t i = 0; i < n; ++i) {
+      items.push_back(Value::Int(static_cast<int64_t>(
+          rng.Zipf(config.num_products, config.zipf_theta))));
+    }
+    carts.rows.push_back(
+        {Value::Int(static_cast<int64_t>(u)), Value::List(std::move(items))});
+  }
+
+  auto& visits = data.staging["mk.visits"];
+  visits.columns = {"uid", "pid", "day"};
+  for (size_t v = 0; v < config.num_visits; ++v) {
+    visits.rows.push_back(
+        {Value::Int(static_cast<int64_t>(
+             rng.Zipf(config.num_users, config.zipf_theta))),
+         Value::Int(static_cast<int64_t>(
+             rng.Zipf(config.num_products, config.zipf_theta))),
+         Value::Int(static_cast<int64_t>(rng.Uniform(365)))});
+  }
+  return data;
+}
+
+const char* MarketplaceQueries::CartByUser() {
+  return "cart(c) :- mk.carts($uid, c)";
+}
+
+const char* MarketplaceQueries::UserCity() {
+  return "ucity(city) :- mk.users($uid, n, city)";
+}
+
+const char* MarketplaceQueries::OrdersOfUser() {
+  return "uorders(o, p, t) :- mk.orders(o, $uid, p, t)";
+}
+
+const char* MarketplaceQueries::PersonalizedSearch() {
+  // Products of a given category the user both purchased and browsed —
+  // §II's bottleneck query combining past purchases with the browsing
+  // history, filtered by product category.
+  return "psearch(p, n) :- mk.orders(o, $uid, p, t), "
+         "mk.visits($uid, p, d), mk.products(p, n, $cat, pr)";
+}
+
+const char* MarketplaceQueries::ProductsInCategory() {
+  return "pcat(p, n, pr) :- mk.products(p, n, $cat, pr)";
+}
+
+QueryInstance DrawQuery(const MarketplaceData& data, const WorkloadMix& mix,
+                        Rng* rng) {
+  const double total = mix.cart_lookup + mix.user_city + mix.orders_of_user +
+                       mix.personalized_search + mix.products_in_category;
+  double draw = rng->NextDouble() * total;
+  const auto& cfg = data.config;
+  auto uid = [&] {
+    return Value::Int(
+        static_cast<int64_t>(rng->Zipf(cfg.num_users, cfg.zipf_theta)));
+  };
+  auto category = [&] {
+    return Value::Str(MarketplaceData::Category(
+        rng->Uniform(cfg.num_categories), cfg.num_categories));
+  };
+  QueryInstance q;
+  if ((draw -= mix.cart_lookup) < 0) {
+    q.text = MarketplaceQueries::CartByUser();
+    q.parameters["$uid"] = uid();
+    q.label = "cart_lookup";
+  } else if ((draw -= mix.user_city) < 0) {
+    q.text = MarketplaceQueries::UserCity();
+    q.parameters["$uid"] = uid();
+    q.label = "user_city";
+  } else if ((draw -= mix.orders_of_user) < 0) {
+    q.text = MarketplaceQueries::OrdersOfUser();
+    q.parameters["$uid"] = uid();
+    q.label = "orders_of_user";
+  } else if ((draw -= mix.personalized_search) < 0) {
+    q.text = MarketplaceQueries::PersonalizedSearch();
+    q.parameters["$uid"] = uid();
+    q.parameters["$cat"] = category();
+    q.label = "personalized_search";
+  } else {
+    q.text = MarketplaceQueries::ProductsInCategory();
+    q.parameters["$cat"] = category();
+    q.label = "products_in_category";
+  }
+  return q;
+}
+
+}  // namespace estocada::workload

@@ -1,0 +1,88 @@
+#ifndef ESTOCADA_WORKLOAD_MARKETPLACE_H_
+#define ESTOCADA_WORKLOAD_MARKETPLACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "pivot/schema.h"
+#include "rewriting/cq_eval.h"
+
+namespace estocada::workload {
+
+/// Synthetic stand-in for the Datalyse online-marketplace data of §II
+/// (DESIGN.md §3: the real e-commerce logs are proprietary). Deterministic
+/// given the seed; user/product popularity is Zipf-skewed like real
+/// marketplace traffic.
+///
+/// Dataset relations (pivot names under the "mk" dataset):
+///   mk.users(uid, name, city)                 user accounts (relational)
+///   mk.products(pid, name, category, price)   product catalog (JSON-ish)
+///   mk.orders(oid, uid, pid, total)           orders (relational)
+///   mk.carts(uid, cart)                       shopping carts (documents;
+///                                             cart = nested list value)
+///   mk.visits(uid, pid, day)                  browsing log (HTTP logs)
+///   mk.prodterms(pid, term)                   catalog full-text terms
+struct MarketplaceConfig {
+  uint64_t seed = 42;
+  size_t num_users = 2000;
+  size_t num_products = 500;
+  size_t num_orders = 8000;
+  size_t num_visits = 20000;
+  size_t num_categories = 12;
+  size_t num_cities = 20;
+  double zipf_theta = 0.8;  ///< Popularity skew of users/products.
+};
+
+struct MarketplaceData {
+  pivot::Schema schema;
+  rewriting::StagingData staging;
+  MarketplaceConfig config;
+
+  /// Category name of index `i` ("cat<i % num_categories>").
+  static std::string Category(size_t i, size_t num_categories);
+};
+
+/// Generates schema + staged rows.
+Result<MarketplaceData> GenerateMarketplace(const MarketplaceConfig& config);
+
+/// The §II application workload, as parameterized CQ texts:
+///   CartByUser:  cart of one user (key lookup)
+///   UserCity:    a user's profile attribute (key lookup)
+///   OrdersOfUser: orders of one user (selective join side)
+///   PersonalizedSearch: products of a category the user both bought and
+///     browsed — the paper's bottleneck query (3-way join)
+///   ProductsInCategory: catalog slice
+struct MarketplaceQueries {
+  static const char* CartByUser();
+  static const char* UserCity();
+  static const char* OrdersOfUser();
+  static const char* PersonalizedSearch();
+  static const char* ProductsInCategory();
+};
+
+/// A drawn query instance: text + parameter bindings.
+struct QueryInstance {
+  std::string text;
+  std::map<std::string, engine::Value> parameters;
+  std::string label;
+};
+
+/// Mix proportions for DrawQuery (need not sum to 1; normalized).
+struct WorkloadMix {
+  double cart_lookup = 0.4;
+  double user_city = 0.3;
+  double orders_of_user = 0.1;
+  double personalized_search = 0.15;
+  double products_in_category = 0.05;
+};
+
+/// Draws one workload query with Zipf-skewed parameters.
+QueryInstance DrawQuery(const MarketplaceData& data, const WorkloadMix& mix,
+                        Rng* rng);
+
+}  // namespace estocada::workload
+
+#endif  // ESTOCADA_WORKLOAD_MARKETPLACE_H_

@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "chase/containment.h"
+#include "chase/homomorphism.h"
+#include "chase/instance.h"
+#include "chase/prov.h"
+#include "common/rng.h"
+#include "pivot/parser.h"
+
+namespace estocada::chase {
+namespace {
+
+using pivot::Atom;
+using pivot::ParseAtomList;
+using pivot::ParseDependencies;
+using pivot::ParseDependency;
+using pivot::ParseQuery;
+using pivot::Term;
+
+std::vector<Atom> Atoms(std::string_view text) {
+  auto r = ParseAtomList(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+TEST(ProvFormulaTest, BasicAlgebra) {
+  ProvFormula f;
+  EXPECT_TRUE(f.is_false());
+  ProvFormula t = ProvFormula::True();
+  EXPECT_TRUE(t.is_true());
+  ProvFormula a = ProvFormula::Leaf(1);
+  ProvFormula b = ProvFormula::Leaf(2);
+  EXPECT_EQ(a.And(b).ToString(), "{1,2}");
+  EXPECT_EQ(a.Or(b).ToString(), "{1} | {2}");
+  EXPECT_EQ(a.And(t), a);
+  EXPECT_EQ(a.Or(f), a);
+  EXPECT_TRUE(a.And(f).is_false());
+}
+
+TEST(ProvFormulaTest, MinimizationRemovesSupersets) {
+  ProvFormula a = ProvFormula::Leaf(1);
+  ProvFormula ab = ProvFormula::Leaf(1).And(ProvFormula::Leaf(2));
+  ProvFormula u = a.Or(ab);
+  EXPECT_EQ(u, a);  // {1} subsumes {1,2}
+  EXPECT_TRUE(u.Subsumes(ab));
+  EXPECT_FALSE(ab.Subsumes(a));
+}
+
+TEST(ProvFormulaTest, AndDistributes) {
+  // ({1}|{2}) & {3} == {1,3}|{2,3}
+  ProvFormula lhs = ProvFormula::Leaf(1).Or(ProvFormula::Leaf(2));
+  ProvFormula out = lhs.And(ProvFormula::Leaf(3));
+  EXPECT_EQ(out.ToString(), "{1,3} | {2,3}");
+}
+
+TEST(InstanceTest, InsertDeduplicates) {
+  Instance inst;
+  auto a = Atoms("R(1, 2)");
+  auto r1 = inst.Insert(a[0]);
+  auto r2 = inst.Insert(a[0]);
+  EXPECT_TRUE(r1.changed);
+  EXPECT_FALSE(r2.changed);
+  EXPECT_EQ(r1.id, r2.id);
+  EXPECT_EQ(inst.live_size(), 1u);
+  EXPECT_TRUE(inst.Contains(a[0]));
+}
+
+TEST(InstanceTest, InsertAllRejectsVariables) {
+  Instance inst;
+  EXPECT_EQ(inst.InsertAll(Atoms("R(x, 2)")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InstanceTest, FreshNullsAvoidExisting) {
+  Instance inst;
+  Atom a("R", {Term::Null(5)});
+  inst.Insert(a);
+  Term fresh = inst.FreshNull();
+  EXPECT_GT(fresh.null_id(), 5u);
+}
+
+TEST(InstanceTest, MergeTermsRedirectsAndCollapses) {
+  Instance inst;
+  Atom a("R", {Term::Null(0), Term::Int(1)});
+  Atom b("R", {Term::Null(1), Term::Int(1)});
+  inst.Insert(a);
+  inst.Insert(b);
+  EXPECT_EQ(inst.live_size(), 2u);
+  auto merged = inst.MergeTerms(Term::Null(0), Term::Null(1));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(*merged);
+  EXPECT_EQ(inst.live_size(), 1u);  // Atoms collapsed.
+  EXPECT_EQ(inst.Canonical(Term::Null(1)), Term::Null(0));
+}
+
+TEST(InstanceTest, MergeConstantWinsOverNull) {
+  Instance inst;
+  inst.Insert(Atom("R", {Term::Null(3)}));
+  ASSERT_TRUE(inst.MergeTerms(Term::Null(3), Term::Str("c")).ok());
+  EXPECT_EQ(inst.Canonical(Term::Null(3)), Term::Str("c"));
+  EXPECT_TRUE(inst.Contains(Atom("R", {Term::Str("c")})));
+}
+
+TEST(InstanceTest, MergeDistinctConstantsFails) {
+  Instance inst;
+  auto r = inst.MergeTerms(Term::Int(1), Term::Int(2));
+  EXPECT_EQ(r.status().code(), StatusCode::kChaseFailure);
+}
+
+TEST(InstanceTest, ProvenanceOrOnDuplicate) {
+  Instance inst;
+  inst.set_track_provenance(true);
+  Atom a("R", {Term::Int(1)});
+  inst.Insert(a, ProvFormula::Leaf(1));
+  auto r = inst.Insert(a, ProvFormula::Leaf(2));
+  EXPECT_TRUE(r.changed);
+  EXPECT_EQ(inst.provenance(r.id).ToString(), "{1} | {2}");
+  // Subsumed provenance does not change anything.
+  auto r2 = inst.Insert(a, ProvFormula::Leaf(1).And(ProvFormula::Leaf(2)));
+  EXPECT_FALSE(r2.changed);
+}
+
+TEST(HomomorphismTest, FindsAllMatches) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("E(1, 2), E(2, 3), E(3, 1)")).ok());
+  auto matches = FindHomomorphisms(Atoms("E(x, y), E(y, z)"), inst);
+  EXPECT_EQ(matches.size(), 3u);  // The cycle has 3 length-2 paths.
+}
+
+TEST(HomomorphismTest, RespectsStartBindings) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("E(1, 2), E(2, 3)")).ok());
+  pivot::Substitution start{{"x", Term::Int(2)}};
+  auto matches = FindHomomorphisms(Atoms("E(x, y)"), inst, start);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].sub.at("y"), Term::Int(3));
+}
+
+TEST(HomomorphismTest, ConstantMismatchFails) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("E(1, 2)")).ok());
+  EXPECT_FALSE(ExistsHomomorphism(Atoms("E(1, 3)"), inst));
+  EXPECT_TRUE(ExistsHomomorphism(Atoms("E(1, x)"), inst));
+}
+
+TEST(HomomorphismTest, RepeatedVariableMustAgree) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("E(1, 2), E(2, 2)")).ok());
+  auto matches = FindHomomorphisms(Atoms("E(x, x)"), inst);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].sub.at("x"), Term::Int(2));
+}
+
+TEST(HomomorphismTest, AtomIdsAlignWithPatternOrder) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("A(1), B(1)")).ok());
+  auto matches = FindHomomorphisms(Atoms("B(x), A(x)"), inst);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(inst.atom(matches[0].atom_ids[0]).relation, "B");
+  EXPECT_EQ(inst.atom(matches[0].atom_ids[1]).relation, "A");
+}
+
+TEST(HomomorphismTest, LimitStopsEarly) {
+  Instance inst;
+  for (int i = 0; i < 10; ++i) {
+    inst.Insert(Atom("R", {Term::Int(i)}));
+  }
+  auto matches = FindHomomorphisms(Atoms("R(x)"), inst, {}, 3);
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(ChaseTest, TransitiveClosureTgd) {
+  Instance inst;
+  ASSERT_TRUE(
+      inst.InsertAll(Atoms("Child(1, 2), Child(2, 3), Child(3, 4)")).ok());
+  auto deps = ParseDependencies(R"(
+    Child(p, c) -> Desc(p, c)
+    Desc(a, b), Child(b, c) -> Desc(a, c)
+  )");
+  ASSERT_TRUE(deps.ok());
+  ChaseStats stats;
+  ASSERT_TRUE(RunChase(*deps, &inst, {}, &stats).ok());
+  EXPECT_TRUE(stats.reached_fixpoint);
+  EXPECT_TRUE(inst.Contains(Atoms("Desc(1, 4)")[0]));
+  EXPECT_TRUE(inst.Contains(Atoms("Desc(2, 4)")[0]));
+  EXPECT_FALSE(inst.Contains(Atoms("Desc(4, 1)")[0]));
+  // 3 Child + 6 Desc = 9 atoms.
+  EXPECT_EQ(inst.live_size(), 9u);
+}
+
+TEST(ChaseTest, ExistentialCreatesFreshNulls) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("Person(1)")).ok());
+  auto deps = ParseDependencies("Person(p) -> HasName(p, n)");
+  ASSERT_TRUE(deps.ok());
+  ASSERT_TRUE(RunChase(*deps, &inst).ok());
+  ASSERT_EQ(inst.AtomsOf("HasName").size(), 1u);
+  const Atom& a = inst.atom(inst.AtomsOf("HasName")[0]);
+  EXPECT_TRUE(a.terms[1].is_labelled_null());
+}
+
+TEST(ChaseTest, SatisfiedTriggerDoesNotFire) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("Person(1), HasName(1, 'ada')")).ok());
+  auto deps = ParseDependencies("Person(p) -> HasName(p, n)");
+  ASSERT_TRUE(deps.ok());
+  ChaseStats stats;
+  ASSERT_TRUE(RunChase(*deps, &inst, {}, &stats).ok());
+  EXPECT_EQ(stats.tgd_fires, 0u);
+  EXPECT_EQ(inst.live_size(), 2u);
+}
+
+TEST(ChaseTest, EgdEquatesNullWithConstant) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("R(1, 'a')")).ok());
+  Atom with_null("R", {Term::Int(1), inst.FreshNull()});
+  inst.Insert(with_null);
+  auto deps = ParseDependencies("R(x, y), R(x, z) -> y = z");
+  ASSERT_TRUE(deps.ok());
+  ChaseStats stats;
+  ASSERT_TRUE(RunChase(*deps, &inst, {}, &stats).ok());
+  EXPECT_EQ(stats.egd_merges, 1u);
+  EXPECT_EQ(inst.live_size(), 1u);
+}
+
+TEST(ChaseTest, EgdConstantClashFailsChase) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("R(1, 'a'), R(1, 'b')")).ok());
+  auto deps = ParseDependencies("R(x, y), R(x, z) -> y = z");
+  ASSERT_TRUE(deps.ok());
+  EXPECT_EQ(RunChase(*deps, &inst).code(), StatusCode::kChaseFailure);
+}
+
+TEST(ChaseTest, NonTerminatingSetHitsRoundLimit) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("R(1, 2)")).ok());
+  auto deps = ParseDependencies("R(x, y) -> R(y, w)");
+  ASSERT_TRUE(deps.ok());
+  ChaseOptions opts;
+  opts.max_rounds = 5;
+  Status st = RunChase(*deps, &inst, opts);
+  EXPECT_EQ(st.code(), StatusCode::kChaseFailure);
+}
+
+TEST(ChaseTest, MaxAtomsGuard) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("R(1, 2)")).ok());
+  auto deps = ParseDependencies("R(x, y) -> R(y, w)");
+  ASSERT_TRUE(deps.ok());
+  ChaseOptions opts;
+  opts.max_rounds = 10000;
+  opts.max_atoms = 50;
+  EXPECT_EQ(RunChase(*deps, &inst, opts).code(), StatusCode::kChaseFailure);
+}
+
+TEST(ChaseTest, ChaseSatisfiesDependenciesAfterwards) {
+  // Property-ish: after a successful chase every TGD has no active trigger.
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(
+                      Atoms("Child(1, 2), Child(1, 3), Child(2, 4), Root(1)"))
+                  .ok());
+  auto deps = ParseDependencies(R"(
+    Child(p, c) -> Desc(p, c)
+    Desc(a, b), Child(b, c) -> Desc(a, c)
+    Root(r), Child(p, r) -> Bad(r)
+  )");
+  ASSERT_TRUE(deps.ok());
+  ASSERT_TRUE(RunChase(*deps, &inst).ok());
+  for (const auto& d : *deps) {
+    if (!d.is_tgd()) continue;
+    auto matches = FindHomomorphisms(d.tgd.body, inst);
+    for (const auto& m : matches) {
+      auto head = ApplySubstitution(m.sub, d.tgd.head);
+      EXPECT_TRUE(ExistsHomomorphism(head, inst))
+          << "unsatisfied trigger for " << d.ToString();
+    }
+  }
+}
+
+TEST(ChaseTest, ProvenanceTracksDerivation) {
+  Instance inst;
+  inst.set_track_provenance(true);
+  auto a = Atoms("V1(1, 2), V2(2, 3)");
+  auto r1 = inst.Insert(a[0], ProvFormula::Leaf(10));
+  inst.Insert(a[1], ProvFormula::Leaf(20));
+  (void)r1;
+  auto deps = ParseDependencies("V1(x, y), V2(y, z) -> Joined(x, z)");
+  ASSERT_TRUE(deps.ok());
+  ASSERT_TRUE(RunChase(*deps, &inst).ok());
+  ASSERT_EQ(inst.AtomsOf("Joined").size(), 1u);
+  size_t id = inst.AtomsOf("Joined")[0];
+  EXPECT_EQ(inst.provenance(id).ToString(), "{10,20}");
+}
+
+TEST(ChaseTest, ProvenanceAlternativeDerivationsAreOred) {
+  Instance inst;
+  inst.set_track_provenance(true);
+  inst.Insert(Atoms("V1(1)")[0], ProvFormula::Leaf(1));
+  inst.Insert(Atoms("V2(1)")[0], ProvFormula::Leaf(2));
+  auto deps = ParseDependencies(R"(
+    V1(x) -> Out(x)
+    V2(x) -> Out(x)
+  )");
+  ASSERT_TRUE(deps.ok());
+  ASSERT_TRUE(RunChase(*deps, &inst).ok());
+  size_t id = inst.AtomsOf("Out")[0];
+  EXPECT_EQ(inst.provenance(id).ToString(), "{1} | {2}");
+}
+
+TEST(ContainmentTest, ClassicSubsumption) {
+  // q1 asks for a 2-path; q2 asks for an edge endpoint pair — q1 ⊑ q2 only
+  // via constraints; without constraints a 2-path is not contained in edge.
+  auto q1 = ParseQuery("q(x, z) :- E(x, y), E(y, z)");
+  auto q2 = ParseQuery("q(x, z) :- E(x, z)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  auto c = IsContainedIn(*q1, *q2, {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(*c);
+  // But transitivity makes it contained.
+  auto deps = ParseDependencies("E(x, y), E(y, z) -> E(x, z)");
+  ASSERT_TRUE(deps.ok());
+  auto c2 = IsContainedIn(*q1, *q2, *deps);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE(*c2);
+}
+
+TEST(ContainmentTest, MorePatternsContainedInFewer) {
+  auto q1 = ParseQuery("q(x) :- R(x, y), S(y), T(y)");
+  auto q2 = ParseQuery("q(x) :- R(x, y), S(y)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_TRUE(*IsContainedIn(*q1, *q2, {}));
+  EXPECT_FALSE(*IsContainedIn(*q2, *q1, {}));
+}
+
+TEST(ContainmentTest, EquivalenceUpToVariableRenaming) {
+  auto q1 = ParseQuery("q(a) :- R(a, b), R(b, a)");
+  auto q2 = ParseQuery("q(x) :- R(x, y), R(y, x)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_TRUE(*AreEquivalent(*q1, *q2, {}));
+}
+
+TEST(ContainmentTest, HeadMappingIsEnforced) {
+  auto q1 = ParseQuery("q(x, y) :- R(x, y)");
+  auto q2 = ParseQuery("q(y, x) :- R(x, y)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  // Same body, transposed head: not contained without symmetry.
+  EXPECT_FALSE(*IsContainedIn(*q1, *q2, {}));
+  auto deps = ParseDependencies("R(x, y) -> R(y, x)");
+  ASSERT_TRUE(deps.ok());
+  EXPECT_TRUE(*IsContainedIn(*q1, *q2, *deps));
+}
+
+TEST(ContainmentTest, ConstantsInHead) {
+  auto q1 = ParseQuery("q(x) :- R(x, 'a')");
+  auto q2 = ParseQuery("q(x) :- R(x, y)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_TRUE(*IsContainedIn(*q1, *q2, {}));
+  EXPECT_FALSE(*IsContainedIn(*q2, *q1, {}));
+}
+
+TEST(ContainmentTest, ArityMismatchRejected) {
+  auto q1 = ParseQuery("q(x) :- R(x, y)");
+  auto q2 = ParseQuery("q(x, y) :- R(x, y)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_EQ(IsContainedIn(*q1, *q2, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ContainmentTest, EgdKeyEnablesContainment) {
+  // q1 splits the S/T conditions over two R-atoms with the same key; only
+  // the key EGD (which merges the two value nulls during the chase) makes
+  // q1 contained in q2.
+  auto q1 = ParseQuery("q(x) :- R(x, a), R(x, b), S(a), T(b)");
+  auto q2 = ParseQuery("q(x) :- R(x, y), S(y), T(y)");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_FALSE(*IsContainedIn(*q1, *q2, {}));
+  auto deps = ParseDependencies("R(k, a), R(k, b) -> a = b");
+  ASSERT_TRUE(deps.ok());
+  EXPECT_TRUE(*IsContainedIn(*q1, *q2, *deps));
+  EXPECT_TRUE(*AreEquivalent(*q1, *q2, *deps));
+}
+
+/// Property: containment via chase agrees with direct evaluation over
+/// random small instances (soundness spot-check: q1 ⊑ q2 implies answers
+/// of q1 are answers of q2 on every instance).
+class ContainmentSoundnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContainmentSoundnessProperty, ContainmentImpliesAnswerInclusion) {
+  Rng rng(GetParam());
+  // Random queries over binary relations R, S.
+  auto random_query = [&rng]() {
+    std::vector<std::string> vars{"a", "b", "c", "d"};
+    std::vector<Atom> body;
+    size_t n = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < n; ++i) {
+      std::string rel = rng.Chance(0.5) ? "R" : "S";
+      body.push_back(Atom(rel, {Term::Var(rng.Pick(vars)),
+                                Term::Var(rng.Pick(vars))}));
+    }
+    pivot::ConjunctiveQuery q;
+    q.name = "q";
+    q.body = body;
+    // Head: first variable occurring.
+    q.head = {Term::Var(body[0].terms[0].var_name())};
+    return q;
+  };
+  auto evaluate = [](const pivot::ConjunctiveQuery& q, const Instance& inst) {
+    std::set<std::string> answers;
+    for (const auto& m : FindHomomorphisms(q.body, inst)) {
+      answers.insert(
+          pivot::ApplySubstitution(m.sub, q.head[0]).ToString());
+    }
+    return answers;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    pivot::ConjunctiveQuery q1 = random_query();
+    pivot::ConjunctiveQuery q2 = random_query();
+    auto contained = IsContainedIn(q1, q2, {});
+    ASSERT_TRUE(contained.ok());
+    if (!*contained) continue;
+    // Random instance; answer sets must be included.
+    Instance inst;
+    for (int i = 0; i < 12; ++i) {
+      std::string rel = rng.Chance(0.5) ? "R" : "S";
+      inst.Insert(Atom(rel, {Term::Int(static_cast<int64_t>(rng.Uniform(4))),
+                             Term::Int(static_cast<int64_t>(rng.Uniform(4)))}));
+    }
+    auto a1 = evaluate(q1, inst);
+    auto a2 = evaluate(q2, inst);
+    for (const auto& ans : a1) {
+      EXPECT_TRUE(a2.count(ans))
+          << q1.ToString() << " vs " << q2.ToString() << " answer " << ans;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentSoundnessProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace estocada::chase

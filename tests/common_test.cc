@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace estocada {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table users");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table users");
+  EXPECT_EQ(s.ToString(), "NotFound: table users");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kUnsupported, StatusCode::kParseError,
+        StatusCode::kChaseFailure, StatusCode::kNoRewriting,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::Unsupported("nope"); };
+  auto outer = [&]() -> Status {
+    ESTOCADA_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kUnsupported);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("idx");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusDegradesToInternal) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto make = []() -> Result<std::string> { return std::string("hi"); };
+  auto use = [&]() -> Result<size_t> {
+    ESTOCADA_ASSIGN_OR_RETURN(std::string s, make());
+    return s.size();
+  };
+  ASSERT_TRUE(use().ok());
+  EXPECT_EQ(*use(), 2u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto make = []() -> Result<std::string> {
+    return Status::ParseError("bad");
+  };
+  auto use = [&]() -> Result<size_t> {
+    ESTOCADA_ASSIGN_OR_RETURN(std::string s, make());
+    return s.size();
+  };
+  EXPECT_EQ(use().status().code(), StatusCode::kParseError);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All values hit.
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(6);
+  const uint64_t n = 1000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(n, 0.9)]++;
+  // Rank 0 should be far more popular than the tail.
+  int head = counts[0];
+  int tail = 0;
+  for (uint64_t r = n / 2; r < n; ++r) {
+    auto it = counts.find(r);
+    if (it != counts.end()) tail += it->second;
+  }
+  EXPECT_GT(head, tail / 4);
+  EXPECT_GT(head, 500);
+}
+
+TEST(RngTest, ZipfStaysInRange) {
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(rng.Zipf(50, 0.5), 50u);
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, JoinAndCat) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(StrJoin(v, "-"), "1-2-3");
+  EXPECT_EQ(StrCat("a", 1, 'b', 2.5), "a1b2.5");
+  EXPECT_EQ(StrJoinMapped(v, ",", [](int x) { return x * 2; }), "2,4,6");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("estocada", "est"));
+  EXPECT_FALSE(StartsWith("es", "est"));
+  EXPECT_TRUE(EndsWith("estocada", "cada"));
+  EXPECT_FALSE(EndsWith("da", "cada"));
+}
+
+TEST(StringsTest, AsciiLower) { EXPECT_EQ(AsciiLower("AbC-9"), "abc-9"); }
+
+TEST(HashTest, FnvIsStable) {
+  // Known FNV-1a test vector.
+  EXPECT_EQ(FnvHash64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(FnvHash64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(HashTest, CombineChangesSeed) {
+  size_t s1 = 1;
+  size_t s2 = 1;
+  HashCombine(&s1, 10);
+  HashCombine(&s2, 11);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace estocada

@@ -1,0 +1,141 @@
+#include "encoding/encodings.h"
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "chase/instance.h"
+#include "pivot/dependency.h"
+#include "pivot/parser.h"
+
+namespace estocada::encoding {
+namespace {
+
+using chase::Instance;
+using pivot::Adornment;
+
+TEST(RelationalEncodingTest, RelationAndKeyEgds) {
+  auto s = RelationalEncoding("mk", "users", {"uid", "name", "city"}, {"uid"});
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_TRUE(s->HasRelation("mk.users"));
+  auto sig = s->GetRelation("mk.users");
+  EXPECT_EQ(sig->key, (std::vector<size_t>{0}));
+  // Two non-key columns -> two key EGDs.
+  EXPECT_EQ(s->dependencies().size(), 2u);
+  EXPECT_TRUE(s->Validate().ok());
+  EXPECT_TRUE(pivot::IsWeaklyAcyclic(s->dependencies()));
+}
+
+TEST(RelationalEncodingTest, BadPrimaryKeyRejected) {
+  auto s = RelationalEncoding("mk", "users", {"uid"}, {"nope"});
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationalEncodingTest, KeyEgdFiresInChase) {
+  auto s = RelationalEncoding("mk", "users", {"uid", "city"}, {"uid"});
+  ASSERT_TRUE(s.ok());
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(*pivot::ParseAtomList(
+                                 "mk.users(1, 'paris'), mk.users(1, 'lyon')"))
+                  .ok());
+  EXPECT_EQ(RunChase(s->dependencies(), &inst).code(),
+            StatusCode::kChaseFailure);  // Key violation detected.
+}
+
+TEST(KeyValueEncodingTest, InputAdornedKey) {
+  auto s = KeyValueEncoding("mk", "carts");
+  ASSERT_TRUE(s.ok());
+  auto sig = s->GetRelation("mk.carts");
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig->adornments[0], Adornment::kInput);
+  EXPECT_EQ(sig->adornments[1], Adornment::kFree);
+  EXPECT_TRUE(sig->HasAccessPattern());
+  EXPECT_EQ(s->dependencies().size(), 1u);  // Key EGD.
+}
+
+TEST(DocumentEncodingTest, PathRelationsAndConstraints) {
+  auto s = DocumentEncoding("mk", "products",
+                            {{"name", true}, {"tags", false}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->HasRelation("mk.products.doc"));
+  EXPECT_TRUE(s->HasRelation("mk.products.name"));
+  EXPECT_TRUE(s->HasRelation("mk.products.tags"));
+  // name: scalar EGD + doc TGD; tags: doc TGD only.
+  size_t egds = 0, tgds = 0;
+  for (const auto& d : s->dependencies()) {
+    d.is_egd() ? ++egds : ++tgds;
+  }
+  EXPECT_EQ(egds, 1u);
+  EXPECT_EQ(tgds, 2u);
+  EXPECT_TRUE(s->Validate().ok());
+}
+
+TEST(DocumentTreeEncodingTest, AxiomsAreWeaklyAcyclicAndValid) {
+  auto s = DocumentTreeEncoding("cat");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_TRUE(s->HasRelation("cat.Child"));
+  EXPECT_TRUE(s->HasRelation("cat.Desc"));
+  EXPECT_TRUE(s->Validate().ok());
+  EXPECT_TRUE(pivot::IsWeaklyAcyclic(s->dependencies()));
+}
+
+TEST(DocumentTreeEncodingTest, ShredAndChaseDerivesDescendants) {
+  auto schema = DocumentTreeEncoding("cat");
+  ASSERT_TRUE(schema.ok());
+  auto doc = json::Parse(R"({"book":{"title":"Foundation","tags":["sf","classic"]}})");
+  ASSERT_TRUE(doc.ok());
+  std::vector<pivot::Atom> atoms = ShredDocument("cat", "d1", *doc);
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(atoms).ok());
+  ASSERT_TRUE(RunChase(schema->dependencies(), &inst).ok());
+  // The title node is a descendant of the root.
+  auto q = pivot::ParseAtomList(
+      "cat.Root('d1', r), cat.Desc(r, n), cat.Tag(n, 'title'), "
+      "cat.Val(n, v)");
+  ASSERT_TRUE(q.ok());
+  auto matches = chase::FindHomomorphisms(*q, inst);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].sub.at("v"), pivot::Term::Str("Foundation"));
+}
+
+TEST(DocumentTreeEncodingTest, ShredEmitsArrayElems) {
+  auto doc = json::Parse(R"([10, 20])");
+  ASSERT_TRUE(doc.ok());
+  std::vector<pivot::Atom> atoms = ShredDocument("cat", "d2", *doc);
+  size_t array_elems = 0;
+  for (const auto& a : atoms) {
+    if (a.relation == "cat.ArrayElem") ++array_elems;
+  }
+  EXPECT_EQ(array_elems, 2u);
+}
+
+TEST(DocumentTreeEncodingTest, OneParentAxiomMergesDuplicateParents) {
+  auto schema = DocumentTreeEncoding("cat");
+  ASSERT_TRUE(schema.ok());
+  Instance inst;
+  // Two labelled-null parents of the same child must be equated.
+  pivot::Atom a("cat.Child", {pivot::Term::Null(0), pivot::Term::Str("c")});
+  pivot::Atom b("cat.Child", {pivot::Term::Null(1), pivot::Term::Str("c")});
+  inst.Insert(a);
+  inst.Insert(b);
+  ASSERT_TRUE(RunChase(schema->dependencies(), &inst).ok());
+  EXPECT_EQ(inst.Canonical(pivot::Term::Null(1)), pivot::Term::Null(0));
+}
+
+TEST(NestedEncodingTest, RelationWithKey) {
+  auto s = NestedEncoding("mk", "carts", {"uid", "cart"}, {"uid"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->HasRelation("mk.carts"));
+  EXPECT_EQ(s->dependencies().size(), 1u);
+}
+
+TEST(TextEncodingTest, TermIsInput) {
+  auto s = TextEncoding("mk", "catalogtext");
+  ASSERT_TRUE(s.ok());
+  auto sig = s->GetRelation("mk.catalogtext.contains");
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig->adornments[1], Adornment::kInput);
+}
+
+}  // namespace
+}  // namespace estocada::encoding

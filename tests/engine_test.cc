@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/expr.h"
+#include "engine/operator.h"
+#include "engine/value.h"
+
+namespace estocada::engine {
+namespace {
+
+OperatorPtr Rows(std::vector<std::string> cols, std::vector<Row> rows) {
+  return std::make_unique<RowsOperator>(std::move(cols), std::move(rows));
+}
+
+std::vector<Row> MustCollect(Operator* op) {
+  auto r = Collect(op);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(*r);
+}
+
+// ------------------------------------------------------------------ Expr --
+
+TEST(ExprTest, ColumnAndConst) {
+  Row row{Value::Int(5), Value::Str("x")};
+  EXPECT_EQ(*Expr::Column(0)->Eval(row), Value::Int(5));
+  EXPECT_EQ(*Expr::Const(Value::Str("k"))->Eval(row), Value::Str("k"));
+  EXPECT_EQ(Expr::Column(9)->Eval(row).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ExprTest, Comparisons) {
+  Row row{Value::Int(5), Value::Int(7)};
+  auto lt = Expr::Binary(Expr::Op::kLt, Expr::Column(0), Expr::Column(1));
+  auto ge = Expr::Binary(Expr::Op::kGe, Expr::Column(0), Expr::Column(1));
+  EXPECT_TRUE(*lt->EvalBool(row));
+  EXPECT_FALSE(*ge->EvalBool(row));
+  // Null comparisons are false.
+  Row with_null{Value::Null(), Value::Int(1)};
+  auto eq = Expr::Binary(Expr::Op::kEq, Expr::Column(0), Expr::Column(1));
+  EXPECT_FALSE(*eq->EvalBool(with_null));
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  Row row{Value::Int(1)};
+  auto t = Expr::Binary(Expr::Op::kEq, Expr::Column(0),
+                        Expr::Const(Value::Int(1)));
+  auto f = Expr::Binary(Expr::Op::kEq, Expr::Column(0),
+                        Expr::Const(Value::Int(2)));
+  EXPECT_TRUE(*Expr::Binary(Expr::Op::kOr, f, t)->EvalBool(row));
+  EXPECT_FALSE(*Expr::Binary(Expr::Op::kAnd, f, t)->EvalBool(row));
+  EXPECT_TRUE(*Expr::Not(f)->EvalBool(row));
+}
+
+TEST(ExprTest, Arithmetic) {
+  Row row{Value::Int(6), Value::Int(4), Value::Real(0.5)};
+  auto add = Expr::Binary(Expr::Op::kAdd, Expr::Column(0), Expr::Column(1));
+  EXPECT_EQ(*add->Eval(row), Value::Int(10));
+  auto mixed = Expr::Binary(Expr::Op::kMul, Expr::Column(0), Expr::Column(2));
+  EXPECT_EQ(*mixed->Eval(row), Value::Real(3.0));
+  auto div = Expr::Binary(Expr::Op::kDiv, Expr::Column(0), Expr::Column(1));
+  EXPECT_DOUBLE_EQ(div->Eval(row)->real_value(), 1.5);
+  auto div0 = Expr::Binary(Expr::Op::kDiv, Expr::Column(0),
+                           Expr::Const(Value::Int(0)));
+  EXPECT_EQ(div0->Eval(row).status().code(), StatusCode::kInvalidArgument);
+  auto bad = Expr::Binary(Expr::Op::kAdd, Expr::Column(0),
+                          Expr::Const(Value::Bool(true)));
+  EXPECT_FALSE(bad->Eval(row).ok());
+}
+
+TEST(ExprTest, StringConcat) {
+  Row row{Value::Str("a"), Value::Str("b")};
+  auto cat = Expr::Binary(Expr::Op::kAdd, Expr::Column(0), Expr::Column(1));
+  EXPECT_EQ(*cat->Eval(row), Value::Str("ab"));
+}
+
+TEST(ExprTest, ToStringRendering) {
+  auto e = Expr::Binary(Expr::Op::kAnd,
+                        Expr::Binary(Expr::Op::kEq, Expr::Column(0),
+                                     Expr::Const(Value::Int(1))),
+                        Expr::Not(Expr::Column(1)));
+  EXPECT_EQ(e->ToString(), "(($0 = 1) AND NOT($1))");
+}
+
+// ------------------------------------------------------------- Operators --
+
+TEST(OperatorTest, RowsAndCollect) {
+  auto op = Rows({"a"}, {{Value::Int(1)}, {Value::Int(2)}});
+  auto rows = MustCollect(op.get());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], Value::Int(2));
+  EXPECT_EQ(op->columns(), (std::vector<std::string>{"a"}));
+}
+
+TEST(OperatorTest, CallbackScanLazy) {
+  int calls = 0;
+  CallbackScanOperator op(
+      {"x"},
+      [&calls]() -> Result<std::vector<Row>> {
+        ++calls;
+        return std::vector<Row>{{Value::Int(9)}};
+      },
+      "kv.Get");
+  EXPECT_EQ(calls, 0);
+  auto rows = MustCollect(&op);
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(9));
+}
+
+TEST(OperatorTest, CallbackScanPropagatesErrors) {
+  CallbackScanOperator op(
+      {"x"},
+      []() -> Result<std::vector<Row>> {
+        return Status::NotFound("gone");
+      },
+      "src");
+  EXPECT_EQ(Collect(&op).status().code(), StatusCode::kNotFound);
+}
+
+TEST(OperatorTest, Filter) {
+  auto pred = Expr::Binary(Expr::Op::kGt, Expr::Column(0),
+                           Expr::Const(Value::Int(1)));
+  FilterOperator op(Rows({"a"}, {{Value::Int(1)}, {Value::Int(2)},
+                                 {Value::Int(3)}}),
+                    pred);
+  auto rows = MustCollect(&op);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(OperatorTest, Project) {
+  ProjectOperator op(
+      Rows({"a", "b"}, {{Value::Int(2), Value::Int(3)}}), {"sum", "b"},
+      {Expr::Binary(Expr::Op::kAdd, Expr::Column(0), Expr::Column(1)),
+       Expr::Column(1)});
+  auto rows = MustCollect(&op);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(5));
+  EXPECT_EQ(op.columns(), (std::vector<std::string>{"sum", "b"}));
+}
+
+TEST(OperatorTest, LimitAndDistinct) {
+  LimitOperator limited(
+      Rows({"a"}, {{Value::Int(1)}, {Value::Int(2)}, {Value::Int(3)}}), 2);
+  EXPECT_EQ(MustCollect(&limited).size(), 2u);
+
+  DistinctOperator distinct(
+      Rows({"a"}, {{Value::Int(1)}, {Value::Int(1)}, {Value::Int(2)}}));
+  EXPECT_EQ(MustCollect(&distinct).size(), 2u);
+}
+
+TEST(OperatorTest, SortStableMultiColumn) {
+  SortOperator op(Rows({"a", "b"}, {{Value::Int(2), Value::Str("x")},
+                                    {Value::Int(1), Value::Str("z")},
+                                    {Value::Int(1), Value::Str("a")}}),
+                  {0, 1});
+  auto rows = MustCollect(&op);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][1], Value::Str("a"));
+  EXPECT_EQ(rows[1][1], Value::Str("z"));
+  EXPECT_EQ(rows[2][0], Value::Int(2));
+}
+
+TEST(OperatorTest, HashJoinMatchesPairs) {
+  auto left = Rows({"uid", "name"}, {{Value::Int(1), Value::Str("ada")},
+                                     {Value::Int(2), Value::Str("bob")}});
+  auto right = Rows({"uid", "total"}, {{Value::Int(1), Value::Int(10)},
+                                       {Value::Int(1), Value::Int(20)},
+                                       {Value::Int(3), Value::Int(30)}});
+  HashJoinOperator join(std::move(left), std::move(right), {{0, 0}});
+  auto rows = MustCollect(&join);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Row& r : rows) {
+    EXPECT_EQ(r[0], Value::Int(1));
+    EXPECT_EQ(r[1], Value::Str("ada"));
+  }
+  EXPECT_EQ(join.columns(),
+            (std::vector<std::string>{"uid", "name", "uid", "total"}));
+}
+
+TEST(OperatorTest, HashJoinCompositeKeys) {
+  auto left = Rows({"a", "b"}, {{Value::Int(1), Value::Int(2)},
+                                {Value::Int(1), Value::Int(3)}});
+  auto right = Rows({"a", "b"}, {{Value::Int(1), Value::Int(2)}});
+  HashJoinOperator join(std::move(left), std::move(right), {{0, 0}, {1, 1}});
+  EXPECT_EQ(MustCollect(&join).size(), 1u);
+}
+
+TEST(OperatorTest, BindJoinFetchesPerBinding) {
+  auto left = Rows({"uid"}, {{Value::Int(1)}, {Value::Int(2)},
+                             {Value::Int(1)}});
+  size_t calls = 0;
+  BindJoinOperator op(
+      std::move(left), {0}, {"cart"},
+      [&calls](const Row& binding) -> Result<std::vector<Row>> {
+        ++calls;
+        if (binding[0] == Value::Int(2)) return std::vector<Row>{};
+        return std::vector<Row>{{Value::Str("cart-of-" +
+                                            binding[0].ToString())}};
+      },
+      "kv:carts");
+  auto rows = MustCollect(&op);
+  ASSERT_EQ(rows.size(), 2u);  // uid=2 has no cart; uid=1 appears twice.
+  EXPECT_EQ(rows[0][1], Value::Str("cart-of-1"));
+  // Memoized: only two distinct bindings -> two fetches.
+  EXPECT_EQ(op.fetch_calls(), 2u);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(OperatorTest, BindJoinPropagatesFetchError) {
+  BindJoinOperator op(
+      Rows({"k"}, {{Value::Int(1)}}), {0}, {"v"},
+      [](const Row&) -> Result<std::vector<Row>> {
+        return Status::Unsupported("no such access");
+      },
+      "src");
+  EXPECT_EQ(Collect(&op).status().code(), StatusCode::kUnsupported);
+}
+
+TEST(OperatorTest, UnionAllConcatenates) {
+  std::vector<OperatorPtr> inputs;
+  inputs.push_back(Rows({"a"}, {{Value::Int(1)}}));
+  inputs.push_back(Rows({"a"}, {{Value::Int(2)}, {Value::Int(3)}}));
+  UnionAllOperator op(std::move(inputs));
+  EXPECT_EQ(MustCollect(&op).size(), 3u);
+}
+
+TEST(OperatorTest, NestGroupsIntoLists) {
+  NestOperator op(Rows({"uid", "item"}, {{Value::Int(1), Value::Str("a")},
+                                         {Value::Int(2), Value::Str("b")},
+                                         {Value::Int(1), Value::Str("c")}}),
+                  {0}, "items");
+  auto rows = MustCollect(&op);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Int(1));
+  EXPECT_EQ(rows[0][1],
+            Value::List({Value::Str("a"), Value::Str("c")}));
+  EXPECT_EQ(rows[1][1], Value::List({Value::Str("b")}));
+  EXPECT_EQ(op.columns(), (std::vector<std::string>{"uid", "items"}));
+}
+
+TEST(OperatorTest, NestMultipleRestColumnsBecomeTuples) {
+  NestOperator op(Rows({"k", "x", "y"},
+                       {{Value::Int(1), Value::Int(10), Value::Int(20)}}),
+                  {0}, "pairs");
+  auto rows = MustCollect(&op);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1],
+            Value::List({Value::List({Value::Int(10), Value::Int(20)})}));
+}
+
+TEST(OperatorTest, UnnestInvertsNest) {
+  NestOperator nest(Rows({"uid", "item"}, {{Value::Int(1), Value::Str("a")},
+                                           {Value::Int(1), Value::Str("c")}}),
+                    {0}, "items");
+  auto nested = MustCollect(&nest);
+  UnnestOperator unnest(Rows({"uid", "items"}, nested), 1);
+  auto rows = MustCollect(&unnest);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], Value::Str("a"));
+  EXPECT_EQ(rows[1][1], Value::Str("c"));
+}
+
+TEST(OperatorTest, UnnestRejectsNonList) {
+  UnnestOperator op(Rows({"a"}, {{Value::Int(1)}}), 0);
+  EXPECT_EQ(Collect(&op).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OperatorTest, AggregateAllFunctions) {
+  AggregateOperator op(
+      Rows({"g", "v"},
+           {{Value::Str("a"), Value::Int(1)},
+            {Value::Str("a"), Value::Int(3)},
+            {Value::Str("b"), Value::Int(10)}}),
+      {0},
+      {{AggFn::kCount, 0, "n"},
+       {AggFn::kSum, 1, "s"},
+       {AggFn::kMin, 1, "lo"},
+       {AggFn::kMax, 1, "hi"},
+       {AggFn::kAvg, 1, "mean"}});
+  auto rows = MustCollect(&op);
+  ASSERT_EQ(rows.size(), 2u);
+  // Group "a".
+  EXPECT_EQ(rows[0][0], Value::Str("a"));
+  EXPECT_EQ(rows[0][1], Value::Int(2));
+  EXPECT_EQ(rows[0][2], Value::Int(4));
+  EXPECT_EQ(rows[0][3], Value::Int(1));
+  EXPECT_EQ(rows[0][4], Value::Int(3));
+  EXPECT_DOUBLE_EQ(rows[0][5].real_value(), 2.0);
+  // Group "b".
+  EXPECT_EQ(rows[1][1], Value::Int(1));
+}
+
+TEST(OperatorTest, AggregateGlobalGroup) {
+  AggregateOperator op(Rows({"v"}, {{Value::Int(2)}, {Value::Int(4)}}), {},
+                       {{AggFn::kSum, 0, "s"}});
+  auto rows = MustCollect(&op);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int(6));
+}
+
+TEST(OperatorTest, AggregateIgnoresNullsForAvg) {
+  AggregateOperator op(
+      Rows({"v"}, {{Value::Int(2)}, {Value::Null()}, {Value::Int(4)}}), {},
+      {{AggFn::kAvg, 0, "m"}, {AggFn::kCount, 0, "n"}});
+  auto rows = MustCollect(&op);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0][0].real_value(), 3.0);
+  EXPECT_EQ(rows[0][1], Value::Int(3));  // COUNT(*) counts all rows.
+}
+
+TEST(OperatorTest, ComposedPipeline) {
+  // users join orders, filter total > 5, nest orders per user.
+  auto users = Rows({"uid", "name"}, {{Value::Int(1), Value::Str("ada")},
+                                      {Value::Int(2), Value::Str("bob")}});
+  auto orders = Rows({"uid", "total"}, {{Value::Int(1), Value::Int(10)},
+                                        {Value::Int(1), Value::Int(2)},
+                                        {Value::Int(2), Value::Int(7)}});
+  auto join = std::make_unique<HashJoinOperator>(
+      std::move(users), std::move(orders),
+      std::vector<std::pair<size_t, size_t>>{{0, 0}});
+  auto filter = std::make_unique<FilterOperator>(
+      std::move(join), Expr::Binary(Expr::Op::kGt, Expr::Column(3),
+                                    Expr::Const(Value::Int(5))));
+  auto project = std::make_unique<ProjectOperator>(
+      std::move(filter), std::vector<std::string>{"name", "total"},
+      std::vector<ExprPtr>{Expr::Column(1), Expr::Column(3)});
+  NestOperator nest(std::move(project), {0}, "totals");
+  auto rows = MustCollect(&nest);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::Str("ada"));
+  EXPECT_EQ(rows[0][1], Value::List({Value::Int(10)}));
+}
+
+TEST(OperatorTest, PlanToStringShowsTree) {
+  auto filter = std::make_unique<FilterOperator>(
+      Rows({"a"}, {}), Expr::Binary(Expr::Op::kEq, Expr::Column(0),
+                                    Expr::Const(Value::Int(1))));
+  std::string plan = PlanToString(*filter);
+  EXPECT_NE(plan.find("Filter"), std::string::npos);
+  EXPECT_NE(plan.find("rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace estocada::engine

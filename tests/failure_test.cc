@@ -1,0 +1,163 @@
+/// Failure-injection tests: errors raised deep inside delegated store
+/// calls or engine operators must propagate as Status values — never
+/// crash, never silently truncate results.
+
+#include <gtest/gtest.h>
+
+#include "engine/operator.h"
+#include "estocada/estocada.h"
+
+namespace estocada {
+namespace {
+
+using engine::CallbackScanOperator;
+using engine::Operator;
+using engine::OperatorPtr;
+using engine::Row;
+using engine::Value;
+
+/// An operator that yields `good` rows and then fails.
+class FailAfterOperator final : public Operator {
+ public:
+  FailAfterOperator(size_t good, Status error)
+      : good_(good), error_(std::move(error)) {}
+  Status Open() override {
+    produced_ = 0;
+    return Status::OK();
+  }
+  Result<std::optional<Row>> Next() override {
+    if (produced_ >= good_) return error_;
+    ++produced_;
+    return std::optional<Row>({Value::Int(static_cast<int64_t>(produced_))});
+  }
+  std::vector<std::string> columns() const override { return {"x"}; }
+  std::string label() const override { return "FailAfter"; }
+
+ private:
+  size_t good_;
+  Status error_;
+  size_t produced_ = 0;
+};
+
+/// An operator whose Open fails.
+class FailOpenOperator final : public Operator {
+ public:
+  Status Open() override { return Status::Unsupported("cannot open"); }
+  Result<std::optional<Row>> Next() override {
+    return Status::Internal("Next after failed Open");
+  }
+  std::vector<std::string> columns() const override { return {"x"}; }
+  std::string label() const override { return "FailOpen"; }
+};
+
+TEST(FailureInjectionTest, MidStreamErrorPropagatesThroughFilter) {
+  auto src = std::make_unique<FailAfterOperator>(
+      3, Status::Internal("disk on fire"));
+  engine::FilterOperator op(std::move(src),
+                            engine::Expr::Const(Value::Bool(true)));
+  auto rows = Collect(&op);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInternal);
+  EXPECT_NE(rows.status().message().find("disk on fire"),
+            std::string::npos);
+}
+
+TEST(FailureInjectionTest, MidStreamErrorPropagatesThroughHashJoinBuild) {
+  // The failing operator sits on the BUILD side: Open() must fail.
+  auto left = std::make_unique<FailAfterOperator>(
+      2, Status::Unsupported("connection reset"));
+  auto right = std::make_unique<engine::RowsOperator>(
+      std::vector<std::string>{"x"}, std::vector<Row>{{Value::Int(1)}});
+  engine::HashJoinOperator join(std::move(left), std::move(right),
+                                {{0, 0}});
+  EXPECT_EQ(join.Open().code(), StatusCode::kUnsupported);
+}
+
+TEST(FailureInjectionTest, MidStreamErrorPropagatesThroughHashJoinProbe) {
+  auto left = std::make_unique<engine::RowsOperator>(
+      std::vector<std::string>{"x"}, std::vector<Row>{{Value::Int(1)}});
+  auto right = std::make_unique<FailAfterOperator>(
+      1, Status::Internal("probe side died"));
+  engine::HashJoinOperator join(std::move(left), std::move(right),
+                                {{0, 0}});
+  auto rows = Collect(&join);
+  EXPECT_EQ(rows.status().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjectionTest, OpenFailurePropagatesThroughPipelines) {
+  OperatorPtr src = std::make_unique<FailOpenOperator>();
+  src = std::make_unique<engine::SortOperator>(std::move(src),
+                                               std::vector<size_t>{0});
+  src = std::make_unique<engine::LimitOperator>(std::move(src), 10);
+  EXPECT_EQ(src->Open().code(), StatusCode::kUnsupported);
+}
+
+TEST(FailureInjectionTest, AggregateSurfacesInputError) {
+  auto src = std::make_unique<FailAfterOperator>(
+      5, Status::Internal("late failure"));
+  engine::AggregateOperator agg(std::move(src), {},
+                                {{engine::AggFn::kCount, 0, "n"}});
+  // Aggregate drains its input in Open.
+  EXPECT_EQ(agg.Open().code(), StatusCode::kInternal);
+}
+
+TEST(FailureInjectionTest, BindJoinFetchFailureAfterSomeRows) {
+  auto outer = std::make_unique<engine::RowsOperator>(
+      std::vector<std::string>{"k"},
+      std::vector<Row>{{Value::Int(1)}, {Value::Int(2)}, {Value::Int(3)}});
+  int calls = 0;
+  engine::BindJoinOperator bind(
+      std::move(outer), {0}, {"v"},
+      [&calls](const Row& binding) -> Result<std::vector<Row>> {
+        if (++calls == 3) return Status::NotFound("kv store shard down");
+        return std::vector<Row>{{binding[0]}};
+      },
+      "kv");
+  auto rows = Collect(&bind);
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(FailureInjectionTest, SystemSurfacesStoreFailureOnDroppedContainer) {
+  // Simulate operational failure: a fragment's physical container
+  // disappears behind ESTOCADA's back (store admin dropped the table).
+  pivot::Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+  stores::RelationalStore pg;
+  Estocada sys;
+  ASSERT_TRUE(sys.RegisterSchema(schema).ok());
+  ASSERT_TRUE(sys.RegisterStore({"pg", catalog::StoreKind::kRelational, &pg,
+                                 nullptr, nullptr, nullptr, nullptr})
+                  .ok());
+  ASSERT_TRUE(sys.LoadRow("R", {Value::Int(1), Value::Int(2)}).ok());
+  ASSERT_TRUE(sys.DefineFragment("F(a, b) :- R(a, b)", "pg").ok());
+  ASSERT_TRUE(pg.DropTable("F").ok());  // Out-of-band destruction.
+  auto r = sys.Query("q(a, b) :- R(a, b)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find("'F'"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, CorruptKvPayloadReportedNotCrashed) {
+  pivot::Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+  stores::KeyValueStore kv;
+  Estocada sys;
+  ASSERT_TRUE(sys.RegisterSchema(schema).ok());
+  ASSERT_TRUE(sys.RegisterStore({"kv", catalog::StoreKind::kKeyValue,
+                                 nullptr, &kv, nullptr, nullptr, nullptr})
+                  .ok());
+  ASSERT_TRUE(sys.LoadRow("R", {Value::Int(1), Value::Int(2)}).ok());
+  ASSERT_TRUE(sys.DefineFragment("K(a, b) :- R(a, b)", "kv",
+                                 {pivot::Adornment::kInput,
+                                  pivot::Adornment::kFree})
+                  .ok());
+  // Out-of-band corruption of the stored payload.
+  ASSERT_TRUE(kv.Put("K", "1", "this is not json").ok());
+  auto r = sys.Query("q(b) :- R($a, b)", {{"$a", Value::Int(1)}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace estocada

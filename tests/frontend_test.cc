@@ -1,0 +1,394 @@
+/// Tests of the native-language front-ends (SQL / document find / key
+/// lookup) and the document-native dataset support, including end-to-end
+/// runs through the Estocada facade.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "encoding/encodings.h"
+#include "estocada/estocada.h"
+#include "frontend/docfind.h"
+#include "common/strings.h"
+#include "frontend/sql.h"
+
+namespace estocada::frontend {
+namespace {
+
+using ::estocada::StrCat;
+using engine::Row;
+using engine::Value;
+using pivot::Adornment;
+using pivot::Schema;
+
+Schema ShopSchema() {
+  Schema s;
+  auto users = encoding::RelationalEncoding("shop", "users",
+                                            {"uid", "name", "city"}, {"uid"});
+  auto orders = encoding::RelationalEncoding(
+      "shop", "orders", {"oid", "uid", "total"}, {"oid"});
+  EXPECT_TRUE(users.ok() && orders.ok());
+  EXPECT_TRUE(s.Merge(*users).ok());
+  EXPECT_TRUE(s.Merge(*orders).ok());
+  return s;
+}
+
+// ------------------------------------------------------------- SQL --
+
+TEST(SqlFrontendTest, SimpleSelect) {
+  auto q = SqlToCq("SELECT u.name FROM shop.users u WHERE u.city = 'paris'",
+                   ShopSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->ToString(),
+            "q(u_name) :- shop.users(u_uid, u_name, 'paris')");
+}
+
+TEST(SqlFrontendTest, JoinWithParameterAndNumber) {
+  auto q = SqlToCq(
+      "SELECT u.name, o.total FROM shop.users u, shop.orders o "
+      "WHERE u.uid = o.uid AND o.total = 9.5 AND u.uid = $id",
+      ShopSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  // The join column and the $param pin collapse into one term.
+  ASSERT_EQ(q->body.size(), 2u);
+  EXPECT_EQ(q->body[0].terms[0], q->body[1].terms[1]);
+  EXPECT_EQ(q->body[0].terms[0], pivot::Term::Var("$id"));
+  EXPECT_EQ(q->body[1].terms[2].constant().real_value(), 9.5);
+}
+
+TEST(SqlFrontendTest, KeywordsAreCaseInsensitive) {
+  auto q = SqlToCq("select u.uid from shop.users u where u.name = 'ada'",
+                   ShopSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+}
+
+TEST(SqlFrontendTest, AsRenamesOutput) {
+  auto q = SqlToCq("SELECT u.uid AS id FROM shop.users u", ShopSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->head.size(), 1u);
+}
+
+TEST(SqlFrontendTest, IntegerLiteral) {
+  auto q = SqlToCq("SELECT o.total FROM shop.orders o WHERE o.oid = 42",
+                   ShopSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->body[0].terms[0], pivot::Term::Int(42));
+}
+
+TEST(SqlFrontendTest, RejectsBeyondConjunctiveFragment) {
+  Schema s = ShopSchema();
+  EXPECT_EQ(SqlToCq("SELECT * FROM shop.users u", s).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(SqlToCq("SELECT u.uid FROM shop.users u WHERE u.uid < 3", s)
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(SqlToCq("SELECT u.uid FROM shop.users u ORDER BY u.uid", s)
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(SqlFrontendTest, RejectsUnknownEntities) {
+  Schema s = ShopSchema();
+  EXPECT_EQ(SqlToCq("SELECT u.uid FROM shop.nope u", s).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(SqlToCq("SELECT u.nope FROM shop.users u", s).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      SqlToCq("SELECT x.uid FROM shop.users u WHERE x.uid = 1", s)
+          .status()
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST(SqlFrontendTest, ParseErrors) {
+  Schema s = ShopSchema();
+  EXPECT_EQ(SqlToCq("FROM shop.users u", s).status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(SqlToCq("SELECT u.uid FROM shop.users u WHERE u.uid = 'x", s)
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(SqlToCq("SELECT uid FROM shop.users u", s).status().code(),
+            StatusCode::kParseError);  // Unqualified column.
+}
+
+TEST(SqlFrontendTest, TransitiveColumnEqualities) {
+  // u.uid = o.uid AND o.uid = $id: all three unify.
+  auto q = SqlToCq(
+      "SELECT u.name FROM shop.users u, shop.orders o "
+      "WHERE u.uid = o.uid AND o.uid = $id",
+      ShopSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->body[0].terms[0], pivot::Term::Var("$id"));
+  EXPECT_EQ(q->body[1].terms[1], pivot::Term::Var("$id"));
+}
+
+// --------------------------------------------------------- DocFind --
+
+Schema CatalogDocSchema() {
+  Schema s;
+  auto enc = encoding::DocumentEncoding(
+      "mk", "products",
+      {{"pid", true}, {"name", true}, {"category", true}, {"tags", false}});
+  EXPECT_TRUE(enc.ok());
+  EXPECT_TRUE(s.Merge(*enc).ok());
+  return s;
+}
+
+TEST(DocFindTest, FilterAndReturn) {
+  DocFindSpec spec;
+  spec.collection = "mk.products";
+  spec.filters = {{"category", "'home'"}};
+  spec.returns = {"pid", "name"};
+  auto q = DocFindToCq(spec, CatalogDocSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->ToString(),
+            "q(docID, v_pid, v_name) :- mk.products.doc(docID), "
+            "mk.products.category(docID, 'home'), "
+            "mk.products.pid(docID, v_pid), "
+            "mk.products.name(docID, v_name)");
+}
+
+TEST(DocFindTest, ParameterFilter) {
+  DocFindSpec spec;
+  spec.collection = "mk.products";
+  spec.filters = {{"tags", "$tag"}};
+  spec.returns = {"pid"};
+  spec.include_doc_id = false;
+  auto q = DocFindToCq(spec, CatalogDocSchema());
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->head.size(), 1u);
+}
+
+TEST(DocFindTest, RejectsUnknownCollectionOrPath) {
+  DocFindSpec spec;
+  spec.collection = "mk.nope";
+  EXPECT_EQ(DocFindToCq(spec, CatalogDocSchema()).status().code(),
+            StatusCode::kNotFound);
+  spec.collection = "mk.products";
+  spec.filters = {{"nopath", "1"}};
+  EXPECT_EQ(DocFindToCq(spec, CatalogDocSchema()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DocFindTest, RejectsBareVariableFilter) {
+  DocFindSpec spec;
+  spec.collection = "mk.products";
+  spec.filters = {{"category", "x"}};
+  EXPECT_EQ(DocFindToCq(spec, CatalogDocSchema()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KeyLookupTest, BuildsParameterizedLookup) {
+  Schema s;
+  auto enc = encoding::NestedEncoding("mk", "carts", {"uid", "cart"},
+                                      {"uid"});
+  ASSERT_TRUE(enc.ok());
+  ASSERT_TRUE(s.Merge(*enc).ok());
+  auto q = KeyLookupToCq("mk.carts", s);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->ToString(), "q(v1) :- mk.carts($key, v1)");
+  EXPECT_EQ(KeyLookupToCq("mk.nope", s).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ------------------------------------------- end-to-end via Estocada --
+
+class FrontendSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(sys_.RegisterSchema(ShopSchema()).ok());
+    ASSERT_TRUE(sys_.RegisterDocumentCollection(
+                        "shop", "reviews",
+                        {{"pid", true}, {"stars", true}, {"tags", false}})
+                    .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"pg", catalog::StoreKind::kRelational,
+                                    &pg_, nullptr, nullptr, nullptr,
+                                    nullptr})
+                    .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"redis", catalog::StoreKind::kKeyValue,
+                                    nullptr, &kv_, nullptr, nullptr,
+                                    nullptr})
+                    .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"mongo", catalog::StoreKind::kDocument,
+                                    nullptr, nullptr, &doc_, nullptr,
+                                    nullptr})
+                    .ok());
+    for (int u = 0; u < 40; ++u) {
+      ASSERT_TRUE(sys_.LoadRow("shop.users",
+                               {Value::Int(u),
+                                Value::Str("u" + std::to_string(u)),
+                                Value::Str(u % 2 ? "paris" : "lyon")})
+                      .ok());
+      ASSERT_TRUE(sys_.LoadRow("shop.orders",
+                               {Value::Int(u), Value::Int(u % 10),
+                                Value::Real(u * 1.5)})
+                      .ok());
+    }
+    for (int r = 0; r < 20; ++r) {
+      auto doc = json::Parse(StrCat(
+          R"({"pid":)", r % 5, R"(,"stars":)", 1 + r % 5,
+          R"(,"tags":["t)", r % 3, R"(","all"]})"));
+      ASSERT_TRUE(doc.ok());
+      auto id = sys_.LoadDocument("shop", "reviews", *doc);
+      ASSERT_TRUE(id.ok()) << id.status();
+    }
+  }
+
+  stores::RelationalStore pg_;
+  stores::KeyValueStore kv_;
+  stores::DocumentStore doc_;
+  Estocada sys_;
+};
+
+TEST_F(FrontendSystemTest, SqlQueryEndToEnd) {
+  ASSERT_TRUE(sys_.DefineFragment("F_users(u, n, c) :- shop.users(u, n, c)",
+                                  "pg")
+                  .ok());
+  ASSERT_TRUE(sys_.DefineFragment("F_orders(o, u, t) :- shop.orders(o, u, t)",
+                                  "pg", {}, {1})
+                  .ok());
+  auto r = sys_.QuerySql(
+      "SELECT u.name, o.total FROM shop.users u, shop.orders o "
+      "WHERE u.uid = o.uid AND u.city = 'paris'");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Odd order-uids {1,3,5,7,9} each match 4 orders (u, u+10, u+20, u+30).
+  EXPECT_EQ(r->rows.size(), 20u);
+}
+
+TEST_F(FrontendSystemTest, SqlWithRuntimeParameter) {
+  ASSERT_TRUE(sys_.DefineFragment("F_users(u, n, c) :- shop.users(u, n, c)",
+                                  "pg")
+                  .ok());
+  auto r = sys_.QuerySql("SELECT u.name FROM shop.users u WHERE u.uid = $id",
+                         {{"$id", Value::Int(7)}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Value::Str("u7"));
+}
+
+TEST_F(FrontendSystemTest, DocumentCollectionLoadsAndQueries) {
+  // Place the reviews' path relations as one flat fragment per path pair
+  // in the document store, then find() through ESTOCADA.
+  ASSERT_TRUE(sys_.DefineFragment(
+                     "F_rev(d, p, s) :- shop.reviews.doc(d), "
+                     "shop.reviews.pid(d, p), shop.reviews.stars(d, s)",
+                     "mongo")
+                  .ok());
+  frontend::DocFindSpec spec;
+  spec.collection = "shop.reviews";
+  spec.filters = {{"stars", "5"}};
+  spec.returns = {"pid"};
+  auto r = sys_.QueryDocFind(spec);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->rows.size(), 4u);  // stars = 1 + r%5 == 5 for r in {4,9,14,19}.
+  // Ground truth via staging.
+  auto expected = sys_.EvaluateOverStaging(
+      "q(d, p) :- shop.reviews.doc(d), shop.reviews.stars(d, 5), "
+      "shop.reviews.pid(d, p)");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(r->rows.size(), expected->size());
+}
+
+TEST_F(FrontendSystemTest, MultikeyPathStagesOneRowPerElement) {
+  auto rows = sys_.EvaluateOverStaging(
+      "q(d) :- shop.reviews.tags(d, 'all')");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 20u);  // Every review carries the 'all' tag.
+  auto t0 = sys_.EvaluateOverStaging("q(d) :- shop.reviews.tags(d, 't0')");
+  ASSERT_TRUE(t0.ok());
+  EXPECT_EQ(t0->size(), 7u);  // r % 3 == 0 for 0,3,...,18.
+}
+
+TEST_F(FrontendSystemTest, DuplicateDocumentIdRejected) {
+  auto doc = json::Parse(R"({"_id":"r1","pid":1,"stars":3})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(sys_.LoadDocument("shop", "reviews", *doc).ok());
+  EXPECT_EQ(sys_.LoadDocument("shop", "reviews", *doc).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(sys_.LoadDocument("shop", "nope", *doc).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FrontendSystemTest, KeyLookupApi) {
+  // uid-keyed projection of users into the KV store.
+  ASSERT_TRUE(sys_.DefineFragment("F_u(u, n, c) :- shop.users(u, n, c)",
+                                  "redis",
+                                  {Adornment::kInput, Adornment::kFree,
+                                   Adornment::kFree})
+                  .ok());
+  auto r = sys_.QueryKeyLookup("shop.users", Value::Int(5));
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Value::Str("u5"));
+  EXPECT_EQ(r->rows[0][1], Value::Str("paris"));
+}
+
+TEST_F(FrontendSystemTest, TreeDatasetStructuralQueriesThroughFragments) {
+  // The paper's generic Node/Child/Desc encoding, end to end: load JSON
+  // books, fragment the (tag, value) index relationally and the Desc
+  // structure in the document store, then ask a structural query.
+  ASSERT_TRUE(sys_.RegisterTreeDataset("lib").ok());
+  auto b1 = json::Parse(
+      R"({"book":{"title":"Foundation","author":{"name":"Asimov"}}})");
+  auto b2 = json::Parse(
+      R"({"book":{"title":"Dune","author":{"name":"Herbert"}}})");
+  ASSERT_TRUE(b1.ok() && b2.ok());
+  ASSERT_TRUE(sys_.LoadTreeDocument("lib", "d1", *b1).ok());
+  ASSERT_TRUE(sys_.LoadTreeDocument("lib", "d2", *b2).ok());
+  EXPECT_EQ(sys_.LoadTreeDocument("lib", "d1", *b1).code(),
+            StatusCode::kAlreadyExists);
+
+  ASSERT_TRUE(sys_.DefineFragment(
+                     "F_tv(n, t, v) :- lib.Tag(n, t), lib.Val(n, v)", "pg",
+                     {}, {1})
+                  .ok());
+  ASSERT_TRUE(sys_.DefineFragment("F_desc(a, d) :- lib.Desc(a, d)", "mongo")
+                  .ok());
+  ASSERT_TRUE(sys_.DefineFragment("F_root(d, r) :- lib.Root(d, r)", "pg")
+                  .ok());
+
+  // "Titles of documents whose tree contains an author named Asimov":
+  // a structural multi-join spanning two stores.
+  const char* q =
+      "q(title) :- lib.Root(doc, r), lib.Desc(r, a), lib.Tag(a, 'name'), "
+      "lib.Val(a, 'Asimov'), lib.Desc(r, t), lib.Tag(t, 'title'), "
+      "lib.Val(t, title)";
+  auto result = sys_.Query(q);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto expected = sys_.EvaluateOverStaging(q);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::Str("Foundation"));
+  EXPECT_EQ(result->rows.size(), expected->size());
+  // Both stores served parts of the plan.
+  EXPECT_TRUE(result->runtime_stats.per_store.count("pg"));
+  EXPECT_TRUE(result->runtime_stats.per_store.count("mongo"));
+}
+
+TEST_F(FrontendSystemTest, CrossModelSqlOverDocumentData) {
+  // The application writes SQL; the data lives in document-shaped path
+  // relations reshaped into a relational fragment: the LAV pipeline makes
+  // the combination transparent.
+  ASSERT_TRUE(sys_.DefineFragment(
+                     "F_rev_flat(d, p, s) :- shop.reviews.doc(d), "
+                     "shop.reviews.pid(d, p), shop.reviews.stars(d, s)",
+                     "pg")
+                  .ok());
+  frontend::DocFindSpec spec;
+  spec.collection = "shop.reviews";
+  spec.filters = {{"pid", "2"}};
+  spec.returns = {"stars"};
+  spec.include_doc_id = false;
+  auto r = sys_.QueryDocFind(spec);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Four reviews carry pid 2 but they all have stars = 3, and CQ answers
+  // are sets: one distinct row.
+  EXPECT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Value::Int(3));
+}
+
+}  // namespace
+}  // namespace estocada::frontend

@@ -1,0 +1,226 @@
+#include "json/json.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace estocada::json {
+namespace {
+
+TEST(JsonValueTest, DefaultIsNull) {
+  JsonValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.Serialize(), "null");
+}
+
+TEST(JsonValueTest, Scalars) {
+  EXPECT_EQ(JsonValue::Bool(true).Serialize(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Serialize(), "false");
+  EXPECT_EQ(JsonValue::Int(-7).Serialize(), "-7");
+  EXPECT_EQ(JsonValue::Str("hi").Serialize(), "\"hi\"");
+  EXPECT_TRUE(JsonValue::Double(1.5).is_double());
+  EXPECT_DOUBLE_EQ(JsonValue::Double(1.5).as_double(), 1.5);
+  EXPECT_DOUBLE_EQ(JsonValue::Int(3).as_double(), 3.0);
+}
+
+TEST(JsonValueTest, ObjectSetAndFind) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("name", JsonValue::Str("ada"));
+  obj.Set("age", JsonValue::Int(36));
+  ASSERT_NE(obj.Find("name"), nullptr);
+  EXPECT_EQ(obj.Find("name")->string_value(), "ada");
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(JsonValueTest, ObjectKeysSerializedSorted) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("b", JsonValue::Int(2));
+  obj.Set("a", JsonValue::Int(1));
+  EXPECT_EQ(obj.Serialize(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonValueTest, ArrayAppend) {
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue::Int(1));
+  arr.Append(JsonValue::Str("x"));
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.Serialize(), "[1,\"x\"]");
+}
+
+TEST(JsonValueTest, FindPathNested) {
+  auto r = Parse(R"({"user":{"address":{"city":"paris"},"tags":["a","b"]}})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const JsonValue& v = *r;
+  ASSERT_NE(v.FindPath("user.address.city"), nullptr);
+  EXPECT_EQ(v.FindPath("user.address.city")->string_value(), "paris");
+  ASSERT_NE(v.FindPath("user.tags.1"), nullptr);
+  EXPECT_EQ(v.FindPath("user.tags.1")->string_value(), "b");
+  EXPECT_EQ(v.FindPath("user.tags.7"), nullptr);
+  EXPECT_EQ(v.FindPath("user.zip"), nullptr);
+  EXPECT_EQ(v.FindPath("user.address.city.deeper"), nullptr);
+}
+
+TEST(JsonValueTest, CopyOnWriteIsolation) {
+  JsonValue a = JsonValue::MakeObject();
+  a.Set("k", JsonValue::Int(1));
+  JsonValue b = a;  // shares representation
+  b.Set("k", JsonValue::Int(2));
+  EXPECT_EQ(a.Find("k")->int_value(), 1);
+  EXPECT_EQ(b.Find("k")->int_value(), 2);
+}
+
+TEST(JsonValueTest, EqualityIsDeepAndTyped) {
+  auto a = Parse(R"({"x":[1,2,{"y":true}]})");
+  auto b = Parse(R"({"x":[1,2,{"y":true}]})");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  // Int 1 and double 1.0 are distinct values.
+  EXPECT_NE(JsonValue::Int(1), JsonValue::Double(1.0));
+}
+
+TEST(JsonValueTest, CompareGivesTotalOrder) {
+  EXPECT_LT(JsonValue::Compare(JsonValue::Int(1), JsonValue::Int(2)), 0);
+  EXPECT_GT(JsonValue::Compare(JsonValue::Str("b"), JsonValue::Str("a")), 0);
+  EXPECT_EQ(JsonValue::Compare(JsonValue::Null(), JsonValue::Null()), 0);
+  // Kind rank orders heterogeneous values deterministically.
+  EXPECT_NE(JsonValue::Compare(JsonValue::Int(1), JsonValue::Str("1")), 0);
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_EQ(Parse("null")->kind(), JsonKind::kNull);
+  EXPECT_EQ(Parse("true")->bool_value(), true);
+  EXPECT_EQ(Parse("-42")->int_value(), -42);
+  EXPECT_DOUBLE_EQ(Parse("2.5e2")->double_value(), 250.0);
+  EXPECT_EQ(Parse("\"a\\nb\"")->string_value(), "a\nb");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  auto r = Parse(R"("café")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->string_value(), "caf\xc3\xa9");
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  auto r = Parse(R"({"a":[{"b":1},{"b":2}],"c":null})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->Find("a")->array().size(), 2u);
+  EXPECT_EQ(r->FindPath("a.1.b")->int_value(), 2);
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  auto r = Parse(" {\n\t\"a\" : [ 1 , 2 ] }\n ");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->FindPath("a.0")->int_value(), 1);
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("1 2").ok());  // trailing content
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  for (auto bad : {"", "{", "[1,]"}) {
+    EXPECT_EQ(Parse(bad).status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(JsonParseTest, IntOverflowFallsBackToDouble) {
+  auto r = Parse("99999999999999999999999999");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_double());
+}
+
+TEST(JsonParseTest, DeeplyNestedArrays) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += '[';
+  text += '1';
+  for (int i = 0; i < 100; ++i) text += ']';
+  auto r = Parse(text);
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(JsonRoundTripTest, SerializeParseIsIdentity) {
+  const char* docs[] = {
+      R"({"product":{"id":17,"name":"lamp","tags":["home","light"],"price":12.5,"instock":true}})",
+      R"([])",
+      R"({})",
+      R"([null,0,-1,2.25,"",{"k":[]}])",
+      R"({"weird key \" with quotes":"\\backslash\\"})",
+  };
+  for (const char* doc : docs) {
+    auto v1 = Parse(doc);
+    ASSERT_TRUE(v1.ok()) << doc << " -> " << v1.status();
+    auto v2 = Parse(v1->Serialize());
+    ASSERT_TRUE(v2.ok()) << v1->Serialize();
+    EXPECT_EQ(*v1, *v2) << doc;
+  }
+}
+
+/// Property: a randomly generated JSON tree round-trips through
+/// Serialize+Parse (also via Pretty).
+class JsonRoundTripProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  JsonValue RandomValue(Rng* rng, int depth) {
+    int pick = static_cast<int>(rng->Uniform(depth >= 4 ? 5 : 7));
+    switch (pick) {
+      case 0:
+        return JsonValue::Null();
+      case 1:
+        return JsonValue::Bool(rng->Chance(0.5));
+      case 2:
+        return JsonValue::Int(rng->UniformRange(-1000000, 1000000));
+      case 3:
+        return JsonValue::Double(
+            static_cast<double>(rng->UniformRange(-1000, 1000)) / 8.0);
+      case 4:
+        return JsonValue::Str(rng->AlphaString(rng->Uniform(12)));
+      case 5: {
+        JsonValue arr = JsonValue::MakeArray();
+        size_t n = rng->Uniform(4);
+        for (size_t i = 0; i < n; ++i) {
+          arr.Append(RandomValue(rng, depth + 1));
+        }
+        return arr;
+      }
+      default: {
+        JsonValue obj = JsonValue::MakeObject();
+        size_t n = rng->Uniform(4);
+        for (size_t i = 0; i < n; ++i) {
+          obj.Set(rng->AlphaString(1 + rng->Uniform(8)),
+                  RandomValue(rng, depth + 1));
+        }
+        return obj;
+      }
+    }
+  }
+};
+
+TEST_P(JsonRoundTripProperty, CompactRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    JsonValue v = RandomValue(&rng, 0);
+    auto back = Parse(v.Serialize());
+    ASSERT_TRUE(back.ok()) << v.Serialize() << " -> " << back.status();
+    EXPECT_EQ(v, *back) << v.Serialize();
+  }
+}
+
+TEST_P(JsonRoundTripProperty, PrettyRoundTrip) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 25; ++i) {
+    JsonValue v = RandomValue(&rng, 0);
+    auto back = Parse(v.Pretty());
+    ASSERT_TRUE(back.ok()) << v.Pretty() << " -> " << back.status();
+    EXPECT_EQ(v, *back);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace estocada::json

@@ -1,0 +1,229 @@
+/// Cross-cutting property suites: invariants that must hold over random
+/// inputs (parser round-trips, value-order laws, chase post-conditions,
+/// weak-acyclicity vs. termination agreement).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "engine/value.h"
+#include "pivot/parser.h"
+
+namespace estocada {
+namespace {
+
+using chase::Instance;
+using engine::Value;
+using pivot::Atom;
+using pivot::Dependency;
+using pivot::Term;
+
+// ------------------------------------------------ parser round trips --
+
+class ParserRoundTripProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Term RandomTerm(Rng* rng) {
+    switch (rng->Uniform(5)) {
+      case 0:
+        return Term::Var(StrCat("v", rng->Uniform(4)));
+      case 1:
+        return Term::Str(rng->AlphaString(1 + rng->Uniform(6)));
+      case 2:
+        return Term::Int(rng->UniformRange(-50, 50));
+      case 3:
+        return Term::Const(pivot::Constant::Bool(rng->Chance(0.5)));
+      default:
+        return Term::Var(StrCat("$p", rng->Uniform(2)));
+    }
+  }
+
+  pivot::ConjunctiveQuery RandomQuery(Rng* rng) {
+    pivot::ConjunctiveQuery q;
+    q.name = "q";
+    size_t atoms = 1 + rng->Uniform(4);
+    for (size_t i = 0; i < atoms; ++i) {
+      Atom a;
+      a.relation = StrCat("R", rng->Uniform(3));
+      size_t arity = 1 + rng->Uniform(3);
+      for (size_t j = 0; j < arity; ++j) a.terms.push_back(RandomTerm(rng));
+      q.body.push_back(std::move(a));
+    }
+    // Head: every distinct body variable (guarantees safety).
+    for (const std::string& v : q.BodyVariables()) {
+      q.head.push_back(Term::Var(v));
+    }
+    if (q.head.empty()) {
+      // All-constant body: add one variable atom to stay safe+nonempty.
+      q.body.push_back(Atom("R0", {Term::Var("x")}));
+      q.head.push_back(Term::Var("x"));
+    }
+    return q;
+  }
+};
+
+TEST_P(ParserRoundTripProperty, QueryToStringParsesBack) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    pivot::ConjunctiveQuery q = RandomQuery(&rng);
+    auto parsed = pivot::ParseQuery(q.ToString());
+    ASSERT_TRUE(parsed.ok()) << q.ToString() << " -> " << parsed.status();
+    EXPECT_EQ(parsed->ToString(), q.ToString());
+    EXPECT_EQ(*parsed == q, true) << q.ToString();
+  }
+}
+
+TEST_P(ParserRoundTripProperty, DependencyToStringParsesBack) {
+  Rng rng(GetParam() ^ 0x5a5a);
+  for (int i = 0; i < 40; ++i) {
+    // Build a TGD from two random queries' bodies.
+    pivot::Tgd tgd;
+    tgd.body = RandomQuery(&rng).body;
+    tgd.head = RandomQuery(&rng).body;
+    std::string text = tgd.ToString();
+    auto parsed = pivot::ParseDependency(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->ToString(), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripProperty,
+                         ::testing::Values(3, 14, 159, 2653));
+
+// ------------------------------------------------- value order laws --
+
+class ValueOrderProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Value RandomValue(Rng* rng, int depth = 0) {
+    switch (rng->Uniform(depth >= 2 ? 5 : 6)) {
+      case 0:
+        return Value::Null();
+      case 1:
+        return Value::Bool(rng->Chance(0.5));
+      case 2:
+        return Value::Int(rng->UniformRange(-8, 8));
+      case 3:
+        return Value::Real(static_cast<double>(rng->UniformRange(-16, 16)) /
+                           2.0);
+      case 4:
+        return Value::Str(rng->AlphaString(rng->Uniform(3)));
+      default: {
+        std::vector<Value> items;
+        size_t n = rng->Uniform(3);
+        for (size_t i = 0; i < n; ++i) {
+          items.push_back(RandomValue(rng, depth + 1));
+        }
+        return Value::List(std::move(items));
+      }
+    }
+  }
+};
+
+TEST_P(ValueOrderProperty, CompareIsTotalOrder) {
+  Rng rng(GetParam());
+  std::vector<Value> values;
+  for (int i = 0; i < 24; ++i) values.push_back(RandomValue(&rng));
+  for (const Value& a : values) {
+    EXPECT_EQ(Value::Compare(a, a), 0) << a.ToString();
+    for (const Value& b : values) {
+      // Antisymmetry.
+      EXPECT_EQ(Value::Compare(a, b), -Value::Compare(b, a))
+          << a.ToString() << " vs " << b.ToString();
+      // Hash consistency with equality.
+      if (Value::Compare(a, b) == 0) {
+        EXPECT_EQ(a.Hash(), b.Hash()) << a.ToString();
+      }
+      for (const Value& c : values) {
+        // Transitivity (≤).
+        if (Value::Compare(a, b) <= 0 && Value::Compare(b, c) <= 0) {
+          EXPECT_LE(Value::Compare(a, c), 0)
+              << a.ToString() << " " << b.ToString() << " " << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOrderProperty,
+                         ::testing::Values(7, 77, 777));
+
+// ----------------------------------------- chase post-conditions --
+
+class ChasePostconditionProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ChasePostconditionProperty, WeaklyAcyclicSetsReachSatisfiedFixpoint) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random dependency set over a layered signature (layers force weak
+    // acyclicity: existentials only flow to strictly higher layers).
+    const size_t layers = 3;
+    std::vector<Dependency> deps;
+    size_t ndeps = 2 + rng.Uniform(4);
+    for (size_t d = 0; d < ndeps; ++d) {
+      size_t src_layer = rng.Uniform(layers - 1);
+      pivot::Tgd tgd;
+      tgd.label = StrCat("d", d);
+      Atom body(StrCat("L", src_layer), {Term::Var("x"), Term::Var("y")});
+      tgd.body.push_back(body);
+      Atom head(StrCat("L", src_layer + 1),
+                {Term::Var("x"),
+                 rng.Chance(0.5) ? Term::Var("w") : Term::Var("y")});
+      tgd.head.push_back(head);
+      deps.push_back(Dependency::FromTgd(std::move(tgd)));
+    }
+    ASSERT_TRUE(pivot::IsWeaklyAcyclic(deps));
+
+    Instance inst;
+    for (int i = 0; i < 8; ++i) {
+      inst.Insert(Atom(StrCat("L", rng.Uniform(layers)),
+                       {Term::Int(static_cast<int64_t>(rng.Uniform(4))),
+                        Term::Int(static_cast<int64_t>(rng.Uniform(4)))}));
+    }
+    chase::ChaseStats stats;
+    ASSERT_TRUE(RunChase(deps, &inst, {}, &stats).ok());
+    EXPECT_TRUE(stats.reached_fixpoint);
+    // Post-condition: no active trigger remains.
+    for (const Dependency& d : deps) {
+      for (const auto& m : chase::FindHomomorphisms(d.tgd.body, inst)) {
+        auto head = ApplySubstitution(m.sub, d.tgd.head);
+        EXPECT_TRUE(chase::ExistsHomomorphism(head, inst))
+            << d.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(ChasePostconditionProperty, EgdsLeaveNoUnmergedPairs) {
+  Rng rng(GetParam() ^ 0xbeef);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Key EGD over R(k, v); random instance with nulls as values.
+    auto deps = pivot::ParseDependencies("R(k, a), R(k, b) -> a = b");
+    ASSERT_TRUE(deps.ok());
+    Instance inst;
+    for (int i = 0; i < 10; ++i) {
+      inst.Insert(Atom("R", {Term::Int(static_cast<int64_t>(rng.Uniform(3))),
+                             inst.FreshNull()}));
+    }
+    ASSERT_TRUE(RunChase(*deps, &inst).ok());
+    // Post-condition: at most one live R atom per key.
+    std::map<std::string, size_t> per_key;
+    for (size_t id : inst.AtomsOf("R")) {
+      if (inst.alive(id)) {
+        per_key[inst.atom(id).terms[0].ToString()]++;
+      }
+    }
+    for (const auto& [key, count] : per_key) {
+      EXPECT_EQ(count, 1u) << "key " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChasePostconditionProperty,
+                         ::testing::Values(11, 222, 3333));
+
+}  // namespace
+}  // namespace estocada

@@ -1,0 +1,126 @@
+/// Catalog (de)serialization: checkpointing the Storage Descriptor
+/// Manager and re-establishing a deployment from it.
+
+#include "catalog/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "estocada/estocada.h"
+#include "pivot/parser.h"
+
+namespace estocada::catalog {
+namespace {
+
+using engine::Value;
+using pivot::Adornment;
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pivot::Schema schema;
+    ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+    ASSERT_TRUE(schema.AddRelation("S", 2).ok());
+    ASSERT_TRUE(sys_.RegisterSchema(schema).ok());
+    ASSERT_TRUE(sys_.RegisterStore({"pg", StoreKind::kRelational, &rel_,
+                                    nullptr, nullptr, nullptr, nullptr})
+                    .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"kv", StoreKind::kKeyValue, nullptr,
+                                    &kv_, nullptr, nullptr, nullptr})
+                    .ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(sys_.LoadRow("R", {Value::Int(i), Value::Int(i * 2)}).ok());
+      ASSERT_TRUE(
+          sys_.LoadRow("S", {Value::Int(i * 2), Value::Str("v")}).ok());
+    }
+  }
+
+  stores::RelationalStore rel_;
+  stores::KeyValueStore kv_;
+  Estocada sys_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesDescriptors) {
+  ASSERT_TRUE(sys_.DefineFragment("F(a, b) :- R(a, b)", "pg", {}, {0}).ok());
+  ASSERT_TRUE(sys_.DefineFragment("K(b, v) :- S(b, v)", "kv",
+                                  {Adornment::kInput, Adornment::kFree})
+                  .ok());
+  std::string text = sys_.ExportCatalogJson();
+  // Parse back structurally.
+  auto doc = json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->Find("format")->string_value(), "estocada-catalog");
+  ASSERT_EQ(doc->Find("fragments")->array().size(), 2u);
+
+  // A fresh system (same stores + schema, new store instances) imports
+  // the layout and answers queries identically.
+  stores::RelationalStore rel2;
+  stores::KeyValueStore kv2;
+  Estocada sys2;
+  pivot::Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("S", 2).ok());
+  ASSERT_TRUE(sys2.RegisterSchema(schema).ok());
+  ASSERT_TRUE(sys2.RegisterStore({"pg", StoreKind::kRelational, &rel2,
+                                  nullptr, nullptr, nullptr, nullptr})
+                  .ok());
+  ASSERT_TRUE(sys2.RegisterStore({"kv", StoreKind::kKeyValue, nullptr, &kv2,
+                                  nullptr, nullptr, nullptr})
+                  .ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(sys2.LoadRow("R", {Value::Int(i), Value::Int(i * 2)}).ok());
+    ASSERT_TRUE(sys2.LoadRow("S", {Value::Int(i * 2), Value::Str("v")}).ok());
+  }
+  ASSERT_TRUE(sys2.ImportCatalogJson(text).ok());
+  EXPECT_TRUE(rel2.HasTable("F"));
+  EXPECT_TRUE(kv2.HasCollection("K"));
+
+  auto r1 = sys_.Query("q(b, v) :- R($a, b), S(b, v)",
+                       {{"$a", Value::Int(3)}});
+  auto r2 = sys2.Query("q(b, v) :- R($a, b), S(b, v)",
+                       {{"$a", Value::Int(3)}});
+  ASSERT_TRUE(r1.ok() && r2.ok()) << r1.status() << r2.status();
+  ASSERT_EQ(r1->rows.size(), r2->rows.size());
+  // The KV fragment's adornment survived: same rewriting chosen.
+  EXPECT_EQ(r1->rewriting_text, r2->rewriting_text);
+}
+
+TEST_F(SerializeTest, StatisticsSerialized) {
+  ASSERT_TRUE(sys_.DefineFragment("F(a, b) :- R(a, b)", "pg").ok());
+  auto doc = json::Parse(sys_.ExportCatalogJson());
+  ASSERT_TRUE(doc.ok());
+  const auto& frag = doc->Find("fragments")->array()[0];
+  EXPECT_EQ(frag.FindPath("stats.row_count")->int_value(), 10);
+  EXPECT_EQ(frag.FindPath("stats.distinct")->array().size(), 2u);
+}
+
+TEST_F(SerializeTest, RejectsMalformedDocuments) {
+  Catalog cat;
+  auto not_catalog = json::Parse(R"({"format":"other"})");
+  ASSERT_TRUE(not_catalog.ok());
+  EXPECT_EQ(FragmentsFromJson(*not_catalog, &cat).code(),
+            StatusCode::kInvalidArgument);
+  auto no_fragments = json::Parse(R"({"format":"estocada-catalog"})");
+  ASSERT_TRUE(no_fragments.ok());
+  EXPECT_EQ(FragmentsFromJson(*no_fragments, &cat).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(sys_.ImportCatalogJson("{broken").code(),
+            StatusCode::kParseError);
+  // A fragment referencing an unregistered store fails cleanly.
+  auto bad_store = json::Parse(
+      R"json({"format":"estocada-catalog","fragments":
+          [{"view":"F(a, b) :- R(a, b)","store":"nope"}]})json");
+  ASSERT_TRUE(bad_store.ok());
+  EXPECT_EQ(sys_.ImportCatalogJson(bad_store->Serialize()).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SerializeTest, EmptyCatalogRoundTrips) {
+  auto doc = json::Parse(sys_.ExportCatalogJson());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->Find("fragments")->array().empty());
+  Catalog cat;
+  EXPECT_TRUE(FragmentsFromJson(*doc, &cat).ok());
+}
+
+}  // namespace
+}  // namespace estocada::catalog

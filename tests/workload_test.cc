@@ -1,0 +1,148 @@
+/// Tests of the synthetic workload generators (the stand-ins for the
+/// proprietary Datalyse data and the hosted Big Data Benchmark).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/bigdata.h"
+#include "workload/marketplace.h"
+
+namespace estocada::workload {
+namespace {
+
+using engine::Value;
+
+TEST(MarketplaceGeneratorTest, SizesMatchConfig) {
+  MarketplaceConfig cfg;
+  cfg.num_users = 100;
+  cfg.num_products = 30;
+  cfg.num_orders = 250;
+  cfg.num_visits = 400;
+  auto data = GenerateMarketplace(cfg);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->staging.at("mk.users").rows.size(), 100u);
+  EXPECT_EQ(data->staging.at("mk.products").rows.size(), 30u);
+  EXPECT_EQ(data->staging.at("mk.orders").rows.size(), 250u);
+  EXPECT_EQ(data->staging.at("mk.visits").rows.size(), 400u);
+  EXPECT_EQ(data->staging.at("mk.carts").rows.size(), 100u);
+  EXPECT_FALSE(data->staging.at("mk.prodterms").rows.empty());
+}
+
+TEST(MarketplaceGeneratorTest, DeterministicBySeed) {
+  MarketplaceConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_products = 20;
+  cfg.num_orders = 100;
+  cfg.num_visits = 100;
+  auto a = GenerateMarketplace(cfg);
+  auto b = GenerateMarketplace(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (const auto& [rel, data] : a->staging) {
+    const auto& other = b->staging.at(rel);
+    ASSERT_EQ(data.rows.size(), other.rows.size()) << rel;
+    for (size_t i = 0; i < data.rows.size(); ++i) {
+      EXPECT_EQ(engine::RowToString(data.rows[i]),
+                engine::RowToString(other.rows[i]))
+          << rel << "[" << i << "]";
+    }
+  }
+  cfg.seed = 777;
+  auto c = GenerateMarketplace(cfg);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(engine::RowToString(a->staging.at("mk.orders").rows[0]),
+            engine::RowToString(c->staging.at("mk.orders").rows[0]));
+}
+
+TEST(MarketplaceGeneratorTest, ReferentialIntegrity) {
+  MarketplaceConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_products = 15;
+  cfg.num_orders = 120;
+  cfg.num_visits = 150;
+  auto data = GenerateMarketplace(cfg);
+  ASSERT_TRUE(data.ok());
+  for (const auto& row : data->staging.at("mk.orders").rows) {
+    EXPECT_GE(row[1].int_value(), 0);
+    EXPECT_LT(row[1].int_value(), 40);  // uid in range
+    EXPECT_LT(row[2].int_value(), 15);  // pid in range
+  }
+  for (const auto& row : data->staging.at("mk.visits").rows) {
+    EXPECT_LT(row[0].int_value(), 40);
+    EXPECT_LT(row[1].int_value(), 15);
+  }
+}
+
+TEST(MarketplaceGeneratorTest, OrdersAreZipfSkewed) {
+  MarketplaceConfig cfg;
+  cfg.num_users = 500;
+  cfg.num_orders = 5000;
+  auto data = GenerateMarketplace(cfg);
+  ASSERT_TRUE(data.ok());
+  std::map<int64_t, int> per_user;
+  for (const auto& row : data->staging.at("mk.orders").rows) {
+    per_user[row[1].int_value()]++;
+  }
+  // The most popular user must far exceed the mean (10).
+  int max_orders = 0;
+  for (const auto& [uid, n] : per_user) max_orders = std::max(max_orders, n);
+  EXPECT_GT(max_orders, 50);
+}
+
+TEST(MarketplaceGeneratorTest, SchemaValidatesAndIsWeaklyAcyclic) {
+  auto data = GenerateMarketplace({});
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->schema.Validate().ok());
+  EXPECT_TRUE(pivot::IsWeaklyAcyclic(data->schema.dependencies()));
+}
+
+TEST(MarketplaceGeneratorTest, DrawQueryCoversMixAndBindsParams) {
+  auto data = GenerateMarketplace({});
+  ASSERT_TRUE(data.ok());
+  WorkloadMix mix;  // defaults cover all five classes
+  Rng rng(9);
+  std::set<std::string> labels;
+  for (int i = 0; i < 300; ++i) {
+    QueryInstance q = DrawQuery(*data, mix, &rng);
+    labels.insert(q.label);
+    // Every $param mentioned in the text has a binding.
+    for (const auto& [name, value] : q.parameters) {
+      EXPECT_NE(q.text.find(name), std::string::npos) << q.text;
+    }
+    EXPECT_FALSE(q.parameters.empty());
+  }
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+TEST(BigDataBenchGeneratorTest, SizesAndDeterminism) {
+  BigDataBenchConfig cfg;
+  cfg.num_pages = 100;
+  cfg.num_visits = 800;
+  auto a = GenerateBigDataBench(cfg);
+  auto b = GenerateBigDataBench(cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->staging.at("bdb.rankings").rows.size(), 100u);
+  EXPECT_EQ(a->staging.at("bdb.uservisits").rows.size(), 800u);
+  EXPECT_EQ(engine::RowToString(a->staging.at("bdb.uservisits").rows[7]),
+            engine::RowToString(b->staging.at("bdb.uservisits").rows[7]));
+  EXPECT_TRUE(a->schema.Validate().ok());
+}
+
+TEST(BigDataBenchGeneratorTest, VisitsTargetExistingPages) {
+  BigDataBenchConfig cfg;
+  cfg.num_pages = 50;
+  cfg.num_visits = 300;
+  auto data = GenerateBigDataBench(cfg);
+  ASSERT_TRUE(data.ok());
+  std::set<std::string> pages;
+  for (const auto& row : data->staging.at("bdb.rankings").rows) {
+    pages.insert(row[0].string_value());
+  }
+  for (const auto& row : data->staging.at("bdb.uservisits").rows) {
+    EXPECT_TRUE(pages.count(row[1].string_value())) << row[1].ToString();
+  }
+}
+
+}  // namespace
+}  // namespace estocada::workload
