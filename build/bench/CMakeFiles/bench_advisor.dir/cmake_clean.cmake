@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_advisor.dir/bench_advisor.cc.o"
+  "CMakeFiles/bench_advisor.dir/bench_advisor.cc.o.d"
+  "bench_advisor"
+  "bench_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bindjoin.dir/bench_bindjoin.cc.o"
+  "CMakeFiles/bench_bindjoin.dir/bench_bindjoin.cc.o.d"
+  "bench_bindjoin"
+  "bench_bindjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bindjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

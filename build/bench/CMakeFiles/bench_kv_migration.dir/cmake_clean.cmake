@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kv_migration.dir/bench_kv_migration.cc.o"
+  "CMakeFiles/bench_kv_migration.dir/bench_kv_migration.cc.o.d"
+  "bench_kv_migration"
+  "bench_kv_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kv_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

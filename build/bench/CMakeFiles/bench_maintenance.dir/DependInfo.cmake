@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_maintenance.cc" "bench/CMakeFiles/bench_maintenance.dir/bench_maintenance.cc.o" "gcc" "bench/CMakeFiles/bench_maintenance.dir/bench_maintenance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estocada/CMakeFiles/estocada_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/estocada_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/estocada_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/estocada_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewriting/CMakeFiles/estocada_rewriting.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/estocada_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stores/CMakeFiles/estocada_stores.dir/DependInfo.cmake"
+  "/root/repo/build/src/pacb/CMakeFiles/estocada_pacb.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/estocada_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/estocada_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/estocada_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/estocada_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/pivot/CMakeFiles/estocada_pivot.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/estocada_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/estocada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

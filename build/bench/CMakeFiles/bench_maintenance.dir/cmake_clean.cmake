@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maintenance.dir/bench_maintenance.cc.o"
+  "CMakeFiles/bench_maintenance.dir/bench_maintenance.cc.o.d"
+  "bench_maintenance"
+  "bench_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

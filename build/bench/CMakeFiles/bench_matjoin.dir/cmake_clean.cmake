@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matjoin.dir/bench_matjoin.cc.o"
+  "CMakeFiles/bench_matjoin.dir/bench_matjoin.cc.o.d"
+  "bench_matjoin"
+  "bench_matjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

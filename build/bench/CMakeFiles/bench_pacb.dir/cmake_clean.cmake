@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pacb.dir/bench_pacb.cc.o"
+  "CMakeFiles/bench_pacb.dir/bench_pacb.cc.o.d"
+  "bench_pacb"
+  "bench_pacb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pacb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

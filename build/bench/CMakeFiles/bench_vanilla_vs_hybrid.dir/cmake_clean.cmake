@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vanilla_vs_hybrid.dir/bench_vanilla_vs_hybrid.cc.o"
+  "CMakeFiles/bench_vanilla_vs_hybrid.dir/bench_vanilla_vs_hybrid.cc.o.d"
+  "bench_vanilla_vs_hybrid"
+  "bench_vanilla_vs_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vanilla_vs_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_tour.dir/advisor_tour.cpp.o"
+  "CMakeFiles/advisor_tour.dir/advisor_tour.cpp.o.d"
+  "advisor_tour"
+  "advisor_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_shell.dir/estocada_shell.cpp.o"
+  "CMakeFiles/estocada_shell.dir/estocada_shell.cpp.o.d"
+  "estocada_shell"
+  "estocada_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_scenario.dir/marketplace_scenario.cpp.o"
+  "CMakeFiles/marketplace_scenario.dir/marketplace_scenario.cpp.o.d"
+  "marketplace_scenario"
+  "marketplace_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyglot_frontends.dir/polyglot_frontends.cpp.o"
+  "CMakeFiles/polyglot_frontends.dir/polyglot_frontends.cpp.o.d"
+  "polyglot_frontends"
+  "polyglot_frontends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyglot_frontends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for polyglot_frontends.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriting_explorer.dir/rewriting_explorer.cpp.o"
+  "CMakeFiles/rewriting_explorer.dir/rewriting_explorer.cpp.o.d"
+  "rewriting_explorer"
+  "rewriting_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriting_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("pivot")
+subdirs("chase")
+subdirs("pacb")
+subdirs("stores")
+subdirs("engine")
+subdirs("encoding")
+subdirs("frontend")
+subdirs("catalog")
+subdirs("rewriting")
+subdirs("advisor")
+subdirs("workload")
+subdirs("estocada")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_advisor.dir/advisor.cc.o"
+  "CMakeFiles/estocada_advisor.dir/advisor.cc.o.d"
+  "libestocada_advisor.a"
+  "libestocada_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_catalog.dir/catalog.cc.o"
+  "CMakeFiles/estocada_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/estocada_catalog.dir/serialize.cc.o"
+  "CMakeFiles/estocada_catalog.dir/serialize.cc.o.d"
+  "libestocada_catalog.a"
+  "libestocada_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

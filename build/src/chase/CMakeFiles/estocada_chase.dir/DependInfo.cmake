@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/chase.cc" "src/chase/CMakeFiles/estocada_chase.dir/chase.cc.o" "gcc" "src/chase/CMakeFiles/estocada_chase.dir/chase.cc.o.d"
+  "/root/repo/src/chase/containment.cc" "src/chase/CMakeFiles/estocada_chase.dir/containment.cc.o" "gcc" "src/chase/CMakeFiles/estocada_chase.dir/containment.cc.o.d"
+  "/root/repo/src/chase/homomorphism.cc" "src/chase/CMakeFiles/estocada_chase.dir/homomorphism.cc.o" "gcc" "src/chase/CMakeFiles/estocada_chase.dir/homomorphism.cc.o.d"
+  "/root/repo/src/chase/instance.cc" "src/chase/CMakeFiles/estocada_chase.dir/instance.cc.o" "gcc" "src/chase/CMakeFiles/estocada_chase.dir/instance.cc.o.d"
+  "/root/repo/src/chase/prov.cc" "src/chase/CMakeFiles/estocada_chase.dir/prov.cc.o" "gcc" "src/chase/CMakeFiles/estocada_chase.dir/prov.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pivot/CMakeFiles/estocada_pivot.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/estocada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_chase.dir/chase.cc.o"
+  "CMakeFiles/estocada_chase.dir/chase.cc.o.d"
+  "CMakeFiles/estocada_chase.dir/containment.cc.o"
+  "CMakeFiles/estocada_chase.dir/containment.cc.o.d"
+  "CMakeFiles/estocada_chase.dir/homomorphism.cc.o"
+  "CMakeFiles/estocada_chase.dir/homomorphism.cc.o.d"
+  "CMakeFiles/estocada_chase.dir/instance.cc.o"
+  "CMakeFiles/estocada_chase.dir/instance.cc.o.d"
+  "CMakeFiles/estocada_chase.dir/prov.cc.o"
+  "CMakeFiles/estocada_chase.dir/prov.cc.o.d"
+  "libestocada_chase.a"
+  "libestocada_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_common.dir/rng.cc.o"
+  "CMakeFiles/estocada_common.dir/rng.cc.o.d"
+  "CMakeFiles/estocada_common.dir/status.cc.o"
+  "CMakeFiles/estocada_common.dir/status.cc.o.d"
+  "CMakeFiles/estocada_common.dir/strings.cc.o"
+  "CMakeFiles/estocada_common.dir/strings.cc.o.d"
+  "CMakeFiles/estocada_common.dir/thread_pool.cc.o"
+  "CMakeFiles/estocada_common.dir/thread_pool.cc.o.d"
+  "libestocada_common.a"
+  "libestocada_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

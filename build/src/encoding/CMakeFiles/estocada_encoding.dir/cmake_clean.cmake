@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_encoding.dir/encodings.cc.o"
+  "CMakeFiles/estocada_encoding.dir/encodings.cc.o.d"
+  "libestocada_encoding.a"
+  "libestocada_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_engine.dir/expr.cc.o"
+  "CMakeFiles/estocada_engine.dir/expr.cc.o.d"
+  "CMakeFiles/estocada_engine.dir/operator.cc.o"
+  "CMakeFiles/estocada_engine.dir/operator.cc.o.d"
+  "libestocada_engine.a"
+  "libestocada_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

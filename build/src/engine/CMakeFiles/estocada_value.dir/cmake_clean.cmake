@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_value.dir/value.cc.o"
+  "CMakeFiles/estocada_value.dir/value.cc.o.d"
+  "libestocada_value.a"
+  "libestocada_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

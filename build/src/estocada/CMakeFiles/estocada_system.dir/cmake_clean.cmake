@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_system.dir/estocada.cc.o"
+  "CMakeFiles/estocada_system.dir/estocada.cc.o.d"
+  "libestocada_system.a"
+  "libestocada_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libestocada_system.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_frontend.dir/docfind.cc.o"
+  "CMakeFiles/estocada_frontend.dir/docfind.cc.o.d"
+  "CMakeFiles/estocada_frontend.dir/sql.cc.o"
+  "CMakeFiles/estocada_frontend.dir/sql.cc.o.d"
+  "libestocada_frontend.a"
+  "libestocada_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

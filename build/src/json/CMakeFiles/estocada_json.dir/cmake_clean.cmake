@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_json.dir/json.cc.o"
+  "CMakeFiles/estocada_json.dir/json.cc.o.d"
+  "libestocada_json.a"
+  "libestocada_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

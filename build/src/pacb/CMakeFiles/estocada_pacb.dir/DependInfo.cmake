@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pacb/feasibility.cc" "src/pacb/CMakeFiles/estocada_pacb.dir/feasibility.cc.o" "gcc" "src/pacb/CMakeFiles/estocada_pacb.dir/feasibility.cc.o.d"
+  "/root/repo/src/pacb/rewriter.cc" "src/pacb/CMakeFiles/estocada_pacb.dir/rewriter.cc.o" "gcc" "src/pacb/CMakeFiles/estocada_pacb.dir/rewriter.cc.o.d"
+  "/root/repo/src/pacb/view.cc" "src/pacb/CMakeFiles/estocada_pacb.dir/view.cc.o" "gcc" "src/pacb/CMakeFiles/estocada_pacb.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chase/CMakeFiles/estocada_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/pivot/CMakeFiles/estocada_pivot.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/estocada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_pacb.dir/feasibility.cc.o"
+  "CMakeFiles/estocada_pacb.dir/feasibility.cc.o.d"
+  "CMakeFiles/estocada_pacb.dir/rewriter.cc.o"
+  "CMakeFiles/estocada_pacb.dir/rewriter.cc.o.d"
+  "CMakeFiles/estocada_pacb.dir/view.cc.o"
+  "CMakeFiles/estocada_pacb.dir/view.cc.o.d"
+  "libestocada_pacb.a"
+  "libestocada_pacb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_pacb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

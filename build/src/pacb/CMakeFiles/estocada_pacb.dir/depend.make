@@ -1,0 +1,2 @@
+# Empty dependencies file for estocada_pacb.
+# This may be replaced when dependencies are built.

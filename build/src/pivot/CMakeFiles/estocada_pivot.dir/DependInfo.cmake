@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pivot/atom.cc" "src/pivot/CMakeFiles/estocada_pivot.dir/atom.cc.o" "gcc" "src/pivot/CMakeFiles/estocada_pivot.dir/atom.cc.o.d"
+  "/root/repo/src/pivot/dependency.cc" "src/pivot/CMakeFiles/estocada_pivot.dir/dependency.cc.o" "gcc" "src/pivot/CMakeFiles/estocada_pivot.dir/dependency.cc.o.d"
+  "/root/repo/src/pivot/parser.cc" "src/pivot/CMakeFiles/estocada_pivot.dir/parser.cc.o" "gcc" "src/pivot/CMakeFiles/estocada_pivot.dir/parser.cc.o.d"
+  "/root/repo/src/pivot/query.cc" "src/pivot/CMakeFiles/estocada_pivot.dir/query.cc.o" "gcc" "src/pivot/CMakeFiles/estocada_pivot.dir/query.cc.o.d"
+  "/root/repo/src/pivot/schema.cc" "src/pivot/CMakeFiles/estocada_pivot.dir/schema.cc.o" "gcc" "src/pivot/CMakeFiles/estocada_pivot.dir/schema.cc.o.d"
+  "/root/repo/src/pivot/term.cc" "src/pivot/CMakeFiles/estocada_pivot.dir/term.cc.o" "gcc" "src/pivot/CMakeFiles/estocada_pivot.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/estocada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_pivot.dir/atom.cc.o"
+  "CMakeFiles/estocada_pivot.dir/atom.cc.o.d"
+  "CMakeFiles/estocada_pivot.dir/dependency.cc.o"
+  "CMakeFiles/estocada_pivot.dir/dependency.cc.o.d"
+  "CMakeFiles/estocada_pivot.dir/parser.cc.o"
+  "CMakeFiles/estocada_pivot.dir/parser.cc.o.d"
+  "CMakeFiles/estocada_pivot.dir/query.cc.o"
+  "CMakeFiles/estocada_pivot.dir/query.cc.o.d"
+  "CMakeFiles/estocada_pivot.dir/schema.cc.o"
+  "CMakeFiles/estocada_pivot.dir/schema.cc.o.d"
+  "CMakeFiles/estocada_pivot.dir/term.cc.o"
+  "CMakeFiles/estocada_pivot.dir/term.cc.o.d"
+  "libestocada_pivot.a"
+  "libestocada_pivot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

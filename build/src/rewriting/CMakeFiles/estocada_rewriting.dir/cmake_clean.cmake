@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_rewriting.dir/cq_eval.cc.o"
+  "CMakeFiles/estocada_rewriting.dir/cq_eval.cc.o.d"
+  "CMakeFiles/estocada_rewriting.dir/materializer.cc.o"
+  "CMakeFiles/estocada_rewriting.dir/materializer.cc.o.d"
+  "CMakeFiles/estocada_rewriting.dir/planner.cc.o"
+  "CMakeFiles/estocada_rewriting.dir/planner.cc.o.d"
+  "CMakeFiles/estocada_rewriting.dir/translator.cc.o"
+  "CMakeFiles/estocada_rewriting.dir/translator.cc.o.d"
+  "libestocada_rewriting.a"
+  "libestocada_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

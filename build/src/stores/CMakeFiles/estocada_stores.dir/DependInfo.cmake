@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stores/document_store.cc" "src/stores/CMakeFiles/estocada_stores.dir/document_store.cc.o" "gcc" "src/stores/CMakeFiles/estocada_stores.dir/document_store.cc.o.d"
+  "/root/repo/src/stores/kv_store.cc" "src/stores/CMakeFiles/estocada_stores.dir/kv_store.cc.o" "gcc" "src/stores/CMakeFiles/estocada_stores.dir/kv_store.cc.o.d"
+  "/root/repo/src/stores/parallel_store.cc" "src/stores/CMakeFiles/estocada_stores.dir/parallel_store.cc.o" "gcc" "src/stores/CMakeFiles/estocada_stores.dir/parallel_store.cc.o.d"
+  "/root/repo/src/stores/relational_store.cc" "src/stores/CMakeFiles/estocada_stores.dir/relational_store.cc.o" "gcc" "src/stores/CMakeFiles/estocada_stores.dir/relational_store.cc.o.d"
+  "/root/repo/src/stores/store_stats.cc" "src/stores/CMakeFiles/estocada_stores.dir/store_stats.cc.o" "gcc" "src/stores/CMakeFiles/estocada_stores.dir/store_stats.cc.o.d"
+  "/root/repo/src/stores/text_store.cc" "src/stores/CMakeFiles/estocada_stores.dir/text_store.cc.o" "gcc" "src/stores/CMakeFiles/estocada_stores.dir/text_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/estocada_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/estocada_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/estocada_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pivot/CMakeFiles/estocada_pivot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_stores.dir/document_store.cc.o"
+  "CMakeFiles/estocada_stores.dir/document_store.cc.o.d"
+  "CMakeFiles/estocada_stores.dir/kv_store.cc.o"
+  "CMakeFiles/estocada_stores.dir/kv_store.cc.o.d"
+  "CMakeFiles/estocada_stores.dir/parallel_store.cc.o"
+  "CMakeFiles/estocada_stores.dir/parallel_store.cc.o.d"
+  "CMakeFiles/estocada_stores.dir/relational_store.cc.o"
+  "CMakeFiles/estocada_stores.dir/relational_store.cc.o.d"
+  "CMakeFiles/estocada_stores.dir/store_stats.cc.o"
+  "CMakeFiles/estocada_stores.dir/store_stats.cc.o.d"
+  "CMakeFiles/estocada_stores.dir/text_store.cc.o"
+  "CMakeFiles/estocada_stores.dir/text_store.cc.o.d"
+  "libestocada_stores.a"
+  "libestocada_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estocada_workload.dir/bigdata.cc.o"
+  "CMakeFiles/estocada_workload.dir/bigdata.cc.o.d"
+  "CMakeFiles/estocada_workload.dir/marketplace.cc.o"
+  "CMakeFiles/estocada_workload.dir/marketplace.cc.o.d"
+  "libestocada_workload.a"
+  "libestocada_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estocada_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_test.dir/chase_test.cc.o"
+  "CMakeFiles/chase_test.dir/chase_test.cc.o.d"
+  "chase_test"
+  "chase_test.pdb"
+  "chase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

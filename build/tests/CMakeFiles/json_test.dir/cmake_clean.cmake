@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_test.dir/json_test.cc.o"
+  "CMakeFiles/json_test.dir/json_test.cc.o.d"
+  "json_test"
+  "json_test.pdb"
+  "json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivot_test.dir/pivot_test.cc.o"
+  "CMakeFiles/pivot_test.dir/pivot_test.cc.o.d"
+  "pivot_test"
+  "pivot_test.pdb"
+  "pivot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

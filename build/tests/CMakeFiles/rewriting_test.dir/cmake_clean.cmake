@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriting_test.dir/rewriting_test.cc.o"
+  "CMakeFiles/rewriting_test.dir/rewriting_test.cc.o.d"
+  "rewriting_test"
+  "rewriting_test.pdb"
+  "rewriting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stores_test.dir/stores_test.cc.o"
+  "CMakeFiles/stores_test.dir/stores_test.cc.o.d"
+  "stores_test"
+  "stores_test.pdb"
+  "stores_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
