@@ -1,9 +1,12 @@
 #ifndef ESTOCADA_BENCH_BENCH_COMMON_H_
 #define ESTOCADA_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "estocada/estocada.h"
 #include "workload/bigdata.h"
@@ -83,6 +86,78 @@ inline double RunWorkloadCost(Estocada* sys,
   }
   return total;
 }
+
+/// Accumulates key→value pairs and writes them as one flat JSON object to
+/// `BENCH_<name>.json` in the working directory, so runs of a benchmark
+/// leave a machine-readable record that later PRs can diff. Besides plain
+/// scalar fields there are helpers for the serving-performance fields
+/// (cache hit rate, latency percentiles) every serving benchmark should
+/// report under a consistent naming scheme.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    fields_.emplace_back(key, quoted);
+  }
+
+  /// "<prefix>_cache_hit_rate" in [0, 1] plus the raw hit/miss counts.
+  void AddCacheStats(const std::string& prefix, uint64_t hits,
+                     uint64_t misses) {
+    Add(prefix + "_cache_hits", hits);
+    Add(prefix + "_cache_misses", misses);
+    uint64_t total = hits + misses;
+    Add(prefix + "_cache_hit_rate",
+        total == 0 ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(total));
+  }
+
+  /// "<prefix>_latency_p50_us" / p95 / p99.
+  void AddLatencyPercentiles(const std::string& prefix, double p50_us,
+                             double p95_us, double p99_us) {
+    Add(prefix + "_latency_p50_us", p50_us);
+    Add(prefix + "_latency_p95_us", p95_us);
+    Add(prefix + "_latency_p99_us", p99_us);
+  }
+
+  /// Writes BENCH_<name>.json. Returns false (and warns) on I/O failure.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                   fields_[i].second.c_str(),
+                   i + 1 < fields_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// The §II-calibrated workload mix (see EXPERIMENTS.md).
 inline workload::WorkloadMix ScenarioMix() {

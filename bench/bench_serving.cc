@@ -1,0 +1,319 @@
+/// Serving-runtime benchmark: closed-loop multi-client load against a
+/// QueryServer over the tuned hybrid marketplace placement. Reports
+///
+///  * cold vs warm plan cache: per-query latency when every call pays the
+///    full PACB rewrite (cache cleared before each query) vs when
+///    structurally repeated queries hit the cache and only re-translate +
+///    execute;
+///  * closed-loop throughput and tail latency for 1/4/8 concurrent
+///    clients drawing the §II workload mix with Zipf-skewed parameters.
+///
+/// Emits BENCH_serving.json (cache hit rate + latency percentiles) via
+/// bench_common.h so later PRs can track serving performance.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "runtime/query_server.h"
+
+namespace estocada::bench {
+namespace {
+
+using ::estocada::StrCat;
+using pivot::Adornment;
+using runtime::MetricsSnapshot;
+using runtime::QueryServer;
+
+workload::MarketplaceConfig Config() {
+  workload::MarketplaceConfig cfg;
+  cfg.num_users = 800;
+  cfg.num_products = 200;
+  cfg.num_orders = 3000;
+  cfg.num_visits = 8000;
+  return cfg;
+}
+
+/// The tuned hybrid placement of bench_vanilla_vs_hybrid: each fragment
+/// in the store whose blueprint fits it.
+void DefineHybrid(MarketplaceSystem* m) {
+  BenchCheck(m->sys.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                                   "postgres", {}, {0}),
+             "users");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_orders(o, u, p, t) :- mk.orders(o, u, p, t)", "postgres",
+                 {}, {1, 2}),
+             "orders");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_prod(p, n, cat, pr) :- mk.products(p, n, cat, pr)",
+                 "mongodb", {}, {0, 2}),
+             "products");
+  BenchCheck(m->sys.DefineFragment("F_carts(u, c) :- mk.carts(u, c)", "redis",
+                                   {Adornment::kInput, Adornment::kFree}),
+             "carts");
+  BenchCheck(m->sys.DefineFragment("F_profile(u, n, c) :- mk.users(u, n, c)",
+                                   "redis",
+                                   {Adornment::kInput, Adornment::kFree,
+                                    Adornment::kFree}),
+             "profile");
+  BenchCheck(m->sys.DefineFragment("F_visits(u, p, d) :- mk.visits(u, p, d)",
+                                   "spark"),
+             "visits");
+  BenchCheck(m->sys.DefineFragment("F_terms(p, w) :- mk.prodterms(p, w)",
+                                   "solr",
+                                   {Adornment::kFree, Adornment::kInput}),
+             "terms");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_pjoin(u, cat, p, n) :- mk.orders(o, u, p, t), "
+                 "mk.visits(u, p, d), mk.products(p, n, cat, pr)",
+                 "spark",
+                 {Adornment::kInput, Adornment::kInput, Adornment::kFree,
+                  Adornment::kFree}),
+             "pjoin");
+}
+
+struct ServingFixture {
+  std::unique_ptr<MarketplaceSystem> m;
+  std::unique_ptr<QueryServer> server;
+
+  static ServingFixture Create() {
+    ServingFixture f;
+    f.m = MarketplaceSystem::Create(Config());
+    if (f.m == nullptr) {
+      std::fprintf(stderr, "marketplace setup failed\n");
+      std::abort();
+    }
+    DefineHybrid(f.m.get());
+    f.server = std::make_unique<QueryServer>(&f.m->sys);
+    return f;
+  }
+};
+
+void RunOne(QueryServer* server, const workload::QueryInstance& q) {
+  auto r = server->Query(q.text, q.parameters);
+  if (!r.ok()) {
+    std::fprintf(stderr, "serving query failed: %s: %s\n", q.text.c_str(),
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+// -------------------------------------------------- microbenchmark view --
+
+/// range(0): query index; range(1): 0 = cold cache (cleared before each
+/// call, every call pays the PACB rewrite), 1 = warm.
+void BM_Serve(benchmark::State& state) {
+  static ServingFixture f = ServingFixture::Create();
+  struct NamedQuery {
+    const char* label;
+    const char* text;
+    std::map<std::string, engine::Value> params;
+  };
+  static const std::vector<NamedQuery> queries = {
+      {"cart_lookup", workload::MarketplaceQueries::CartByUser(),
+       {{"$uid", engine::Value::Int(3)}}},
+      {"orders_of_user", workload::MarketplaceQueries::OrdersOfUser(),
+       {{"$uid", engine::Value::Int(5)}}},
+      {"personalized_search",
+       workload::MarketplaceQueries::PersonalizedSearch(),
+       {{"$uid", engine::Value::Int(1)},
+        {"$cat", engine::Value::Str("cat0")}}},
+  };
+  const NamedQuery& q = queries[static_cast<size_t>(state.range(0))];
+  bool cold = state.range(1) == 0;
+  state.SetLabel(StrCat(q.label, cold ? "/cold" : "/warm"));
+  for (auto _ : state) {
+    if (cold) f.server->ClearPlanCache();
+    auto r = f.server->Query(q.text, q.params);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Serve)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------------- summary report --
+
+struct Phase {
+  MetricsSnapshot metrics;
+  double wall_seconds = 0;
+
+  double Qps() const {
+    return wall_seconds > 0
+               ? static_cast<double>(metrics.queries_served) / wall_seconds
+               : 0;
+  }
+};
+
+/// Closed loop: `clients` threads each issue `per_client` workload draws
+/// back-to-back. Per-query latency lands in the server's histogram.
+Phase RunClosedLoop(QueryServer* server, const workload::MarketplaceData& data,
+                    int clients, int per_client, bool cold_cache) {
+  server->ResetMetrics();
+  if (cold_cache) server->ClearPlanCache();
+  workload::WorkloadMix mix = ScenarioMix();
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < per_client; ++i) {
+        auto q = workload::DrawQuery(data, mix, &rng);
+        if (cold_cache) server->ClearPlanCache();
+        RunOne(server, q);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Phase phase;
+  phase.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  phase.metrics = server->metrics();
+  return phase;
+}
+
+/// Repeated-query phase: the same query issued `n` times back-to-back —
+/// the pattern the plan cache exists for (every call after the first is a
+/// cache hit; cold mode clears the cache so every call pays the rewrite).
+Phase RunRepeated(QueryServer* server, const workload::QueryInstance& q,
+                  int n, bool cold_cache) {
+  server->ResetMetrics();
+  server->ClearPlanCache();
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    if (cold_cache) server->ClearPlanCache();
+    RunOne(server, q);
+  }
+  Phase phase;
+  phase.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  phase.metrics = server->metrics();
+  return phase;
+}
+
+void PrintSummary() {
+  ServingFixture f = ServingFixture::Create();
+  constexpr int kQueries = 400;
+
+  auto row = [](const char* name, const Phase& p) {
+    std::printf("%-6s %10.1f %10.1f %10.1f %10.0f %8.1f%%\n", name,
+                p.metrics.p50_micros(), p.metrics.p95_micros(),
+                p.metrics.p99_micros(), p.Qps(),
+                100.0 * p.metrics.CacheHitRate());
+  };
+  auto speedup_of = [](const Phase& cold, const Phase& warm) {
+    return warm.metrics.p50_micros() > 0
+               ? cold.metrics.p50_micros() / warm.metrics.p50_micros()
+               : 0;
+  };
+
+  // Repeated-query phase: the paper's bottleneck query (§II personalized
+  // search, the largest rewrite) issued over and over — the acceptance
+  // numbers (median speedup, hit rate) come from here.
+  workload::QueryInstance repeated;
+  repeated.text = workload::MarketplaceQueries::PersonalizedSearch();
+  repeated.parameters = {{"$uid", engine::Value::Int(1)},
+                         {"$cat", engine::Value::Str("cat0")}};
+  Phase rep_cold = RunRepeated(f.server.get(), repeated, kQueries,
+                               /*cold_cache=*/true);
+  Phase rep_warm = RunRepeated(f.server.get(), repeated, kQueries,
+                               /*cold_cache=*/false);
+  std::printf("\n== repeated query (personalized_search x%d, 1 client) ==\n",
+              kQueries);
+  std::printf("%-6s %10s %10s %10s %10s %9s\n", "phase", "p50(us)", "p95(us)",
+              "p99(us)", "qps", "hit rate");
+  row("cold", rep_cold);
+  row("warm", rep_warm);
+  double rep_speedup = speedup_of(rep_cold, rep_warm);
+  std::printf("repeated-query warm-cache median speedup: %.1fx "
+              "(PACB rewrites: cold=%llu warm=%llu)\n",
+              rep_speedup,
+              static_cast<unsigned long long>(rep_cold.metrics.rewrites),
+              static_cast<unsigned long long>(rep_warm.metrics.rewrites));
+
+  // Mixed-workload phase: the full §II mix with Zipf-skewed parameters.
+  // Median speedup is lower than the repeated-query phase because the mix
+  // is dominated by key lookups whose execution, not rewrite, dominates.
+  Phase cold = RunClosedLoop(f.server.get(), f.m->data, 1, kQueries,
+                             /*cold_cache=*/true);
+  Phase warm = RunClosedLoop(f.server.get(), f.m->data, 1, kQueries,
+                             /*cold_cache=*/false);
+  std::printf("\n== serving runtime: cold vs warm plan cache "
+              "(%d workload queries, 1 client) ==\n",
+              kQueries);
+  std::printf("%-6s %10s %10s %10s %10s %9s\n", "phase", "p50(us)", "p95(us)",
+              "p99(us)", "qps", "hit rate");
+  row("cold", cold);
+  row("warm", warm);
+  double speedup = speedup_of(cold, warm);
+  std::printf("warm-cache median speedup: %.1fx (PACB rewrites: cold=%llu "
+              "warm=%llu)\n",
+              speedup,
+              static_cast<unsigned long long>(cold.metrics.rewrites),
+              static_cast<unsigned long long>(warm.metrics.rewrites));
+
+  // Closed-loop scaling: concurrent clients share the warm cache.
+  std::printf("\n== closed-loop scaling (warm cache, %d queries/client) ==\n",
+              kQueries / 4);
+  std::printf("%-8s %10s %10s %10s %10s %9s\n", "clients", "p50(us)",
+              "p95(us)", "p99(us)", "qps", "hit rate");
+  BenchJson json("serving");
+  json.Add("workload_queries", static_cast<uint64_t>(kQueries));
+  json.AddLatencyPercentiles("repeated_cold", rep_cold.metrics.p50_micros(),
+                             rep_cold.metrics.p95_micros(),
+                             rep_cold.metrics.p99_micros());
+  json.AddLatencyPercentiles("repeated_warm", rep_warm.metrics.p50_micros(),
+                             rep_warm.metrics.p95_micros(),
+                             rep_warm.metrics.p99_micros());
+  json.AddCacheStats("repeated_warm", rep_warm.metrics.cache_hits,
+                     rep_warm.metrics.cache_misses);
+  json.Add("repeated_warm_p50_speedup", rep_speedup);
+  json.AddLatencyPercentiles("cold", cold.metrics.p50_micros(),
+                             cold.metrics.p95_micros(),
+                             cold.metrics.p99_micros());
+  json.AddCacheStats("cold", cold.metrics.cache_hits,
+                     cold.metrics.cache_misses);
+  json.Add("cold_qps", cold.Qps());
+  json.AddLatencyPercentiles("warm", warm.metrics.p50_micros(),
+                             warm.metrics.p95_micros(),
+                             warm.metrics.p99_micros());
+  json.AddCacheStats("warm", warm.metrics.cache_hits,
+                     warm.metrics.cache_misses);
+  json.Add("warm_qps", warm.Qps());
+  json.Add("warm_p50_speedup", speedup);
+  for (int clients : {1, 4, 8}) {
+    Phase p = RunClosedLoop(f.server.get(), f.m->data, clients, kQueries / 4,
+                            /*cold_cache=*/false);
+    std::printf("%-8d %10.1f %10.1f %10.1f %10.0f %8.1f%%\n", clients,
+                p.metrics.p50_micros(), p.metrics.p95_micros(),
+                p.metrics.p99_micros(), p.Qps(),
+                100.0 * p.metrics.CacheHitRate());
+    std::string prefix = StrCat("clients", clients);
+    json.AddLatencyPercentiles(prefix, p.metrics.p50_micros(),
+                               p.metrics.p95_micros(), p.metrics.p99_micros());
+    json.AddCacheStats(prefix, p.metrics.cache_hits, p.metrics.cache_misses);
+    json.Add(prefix + "_qps", p.Qps());
+  }
+  json.Write();
+
+  std::printf("\nserver metrics after the last phase:\n%s",
+              f.server->metrics().ToString().c_str());
+}
+
+}  // namespace
+}  // namespace estocada::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  estocada::bench::PrintSummary();
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// Serving demo: a QueryServer in front of the marketplace deployment.
+///
+/// Eight client threads fire the §II workload concurrently while the
+/// plan cache absorbs the repeated query shapes (PACB runs once per
+/// shape, not once per call). Mid-flight, an "admin" applies a fragment
+/// change through the server: the catalog epoch bumps, cached plans are
+/// invalidated, and the clients never observe a stale rewriting.
+///
+///   ./build/examples/serving_demo
+
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "runtime/query_server.h"
+#include "workload/marketplace.h"
+
+using estocada::Rng;
+using estocada::engine::Value;
+using estocada::pivot::Adornment;
+using estocada::runtime::QueryServer;
+using estocada::runtime::ServerOptions;
+
+int main() {
+  // ---- 1. Marketplace deployment: five stores, hybrid placement.
+  estocada::workload::MarketplaceConfig cfg;
+  cfg.num_users = 500;
+  cfg.num_products = 150;
+  cfg.num_orders = 2000;
+  cfg.num_visits = 5000;
+  auto data = estocada::workload::GenerateMarketplace(cfg);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+
+  estocada::stores::RelationalStore postgres;
+  estocada::stores::KeyValueStore redis;
+  estocada::stores::ParallelStore spark(4);
+  estocada::Estocada sys;
+  (void)sys.RegisterSchema(data->schema);
+  (void)sys.RegisterStore({"postgres", estocada::catalog::StoreKind::kRelational,
+                           &postgres, nullptr, nullptr, nullptr, nullptr});
+  (void)sys.RegisterStore({"redis", estocada::catalog::StoreKind::kKeyValue,
+                           nullptr, &redis, nullptr, nullptr, nullptr});
+  (void)sys.RegisterStore({"spark", estocada::catalog::StoreKind::kParallel,
+                           nullptr, nullptr, nullptr, &spark, nullptr});
+  (void)sys.LoadStaging(data->staging);
+  (void)sys.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                           "postgres", {}, {0});
+  (void)sys.DefineFragment("F_orders(o, u, p, t) :- mk.orders(o, u, p, t)",
+                           "postgres", {}, {1});
+  (void)sys.DefineFragment("F_carts(u, c) :- mk.carts(u, c)", "redis",
+                           {Adornment::kInput, Adornment::kFree});
+
+  // ---- 2. The serving runtime: catalog changes and queries both go
+  // through the server, which handles locking, caching, and metrics.
+  ServerOptions options;
+  options.worker_threads = 8;
+  QueryServer server(&sys, options);
+
+  // ---- 3. Eight concurrent clients, each a closed loop of lookups.
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&server, t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 50; ++i) {
+        int uid = static_cast<int>(rng.Uniform(500));
+        auto r = server.Query(
+            estocada::workload::MarketplaceQueries::OrdersOfUser(),
+            {{"$uid", Value::Int(uid)}});
+        if (!r.ok()) {
+          std::cerr << "client " << t << ": " << r.status() << "\n";
+          return;
+        }
+      }
+    });
+  }
+
+  // ---- 4. Admin thread: re-place the orders fragment mid-flight. The
+  // epoch bump invalidates every cached plan; in-flight queries finish on
+  // the old layout, later ones re-plan on the new one.
+  std::thread admin([&server] {
+    auto st = server.DefineFragment(
+        "F_orders_by_user(u, o, p, t) :- mk.orders(o, u, p, t)", "spark",
+        {}, {0});
+    if (st.ok()) st = server.DropFragment("F_orders");
+    if (!st.ok()) std::cerr << "admin: " << st << "\n";
+  });
+
+  for (auto& t : clients) t.join();
+  admin.join();
+
+  // ---- 5. What happened, in numbers: 400 queries, a handful of PACB
+  // rewrites (one per query shape per fragment layout), the rest served
+  // from the plan cache.
+  std::cout << server.metrics().ToString();
+  auto cache = server.cache_stats();
+  std::cout << "plan-cache entries: " << cache.entries
+            << " (evictions: " << cache.evictions
+            << ", epoch invalidations: " << cache.invalidations << ")\n";
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo checks: the tier-1 build + test suite, then a ThreadSanitizer build
+# of the concurrency-sensitive pieces (serving runtime + stores) and their
+# tests. Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== TSan: build runtime_test + stores_test =="
+cmake -B build-tsan -S . -DESTOCADA_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target runtime_test stores_test
+
+echo "== TSan: run =="
+(cd build-tsan/tests && ./runtime_test && ./stores_test)
+
+echo "== all checks passed =="

@@ -52,14 +52,27 @@ std::string WorkloadLog::ShapeKey(const ConjunctiveQuery& query) {
 
 void WorkloadLog::Record(const ConjunctiveQuery& query, double cost,
                          const std::vector<std::string>& fragments_used) {
-  WorkloadEntry& entry = entries_[ShapeKey(query)];
+  std::string key = ShapeKey(query);
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkloadEntry& entry = entries_[key];
   if (entry.count == 0) entry.example = query;
   ++entry.count;
   entry.total_cost += cost;
   for (const std::string& f : fragments_used) ++entry.fragments_used[f];
 }
 
+std::map<std::string, WorkloadEntry> WorkloadLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void WorkloadLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
 size_t WorkloadLog::FragmentUses(const std::string& fragment) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t uses = 0;
   for (const auto& [key, entry] : entries_) {
     auto it = entry.fragments_used.find(fragment);

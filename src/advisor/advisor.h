@@ -2,6 +2,7 @@
 #define ESTOCADA_ADVISOR_ADVISOR_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,12 @@ struct WorkloadEntry {
 };
 
 /// Sliding workload log the Query Evaluator feeds after every execution;
-/// the Storage Advisor reads it to spot heavy hitters.
+/// the Storage Advisor reads it to spot heavy hitters. Writers (Record,
+/// Clear) synchronize on an internal mutex so concurrent query threads in
+/// the serving runtime can log safely; `entries()` hands out an unguarded
+/// reference and must only be called once writers are quiesced (the
+/// QueryServer does this under its exclusive catalog lock — use
+/// `Snapshot()` otherwise).
 class WorkloadLog {
  public:
   /// Records one execution: the query (parameters still symbolic), its
@@ -38,16 +44,20 @@ class WorkloadLog {
     return entries_;
   }
 
+  /// Copy of the entries, safe against concurrent Record calls.
+  std::map<std::string, WorkloadEntry> Snapshot() const;
+
   /// Total uses of `fragment` across all logged queries.
   size_t FragmentUses(const std::string& fragment) const;
 
-  void Clear() { entries_.clear(); }
+  void Clear();
 
   /// Canonical shape key of a query (variables renamed positionally so
   /// parameter *values* do not split shapes).
   static std::string ShapeKey(const pivot::ConjunctiveQuery& query);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, WorkloadEntry> entries_;
 };
 

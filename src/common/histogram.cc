@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace estocada {
+
+namespace {
+/// Geometric grid: bucket i covers [kMin * kRatio^i, kMin * kRatio^(i+1)).
+constexpr double kMinMicros = 0.1;
+constexpr double kRatio = 1.12;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketIndex(double micros) {
+  if (!(micros > kMinMicros)) return 0;
+  double idx = std::log(micros / kMinMicros) / std::log(kRatio);
+  if (idx >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+double LatencyHistogram::BucketLowerBound(size_t i) {
+  return kMinMicros * std::pow(kRatio, static_cast<double>(i));
+}
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0) micros = 0;
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(micros * 1000.0),
+                       std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  s.buckets.resize(kNumBuckets);
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += s.buckets[i];
+  }
+  s.count = total;
+  if (total > 0) {
+    s.mean_micros = static_cast<double>(
+                        sum_nanos_.load(std::memory_order_relaxed)) /
+                    1000.0 / static_cast<double>(total);
+  }
+  return s;
+}
+
+double LatencyHistogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target) {
+      // Linear interpolation within the bucket.
+      double fraction = buckets[i] == 0
+                            ? 0
+                            : (target - before) / static_cast<double>(buckets[i]);
+      if (fraction < 0) fraction = 0;
+      double lo = BucketLowerBound(i);
+      double hi = BucketLowerBound(i + 1);
+      return lo + fraction * (hi - lo);
+    }
+  }
+  return BucketLowerBound(buckets.size());
+}
+
+std::string LatencyHistogram::Snapshot::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus",
+                static_cast<unsigned long long>(count), mean_micros,
+                Quantile(0.50), Quantile(0.95), Quantile(0.99));
+  return buf;
+}
+
+}  // namespace estocada

@@ -1,0 +1,66 @@
+#ifndef ESTOCADA_COMMON_HISTOGRAM_H_
+#define ESTOCADA_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace estocada {
+
+/// Lock-free latency histogram with geometrically spaced buckets, built for
+/// the serving runtime's per-query timings: many writer threads call
+/// `Record` concurrently (one relaxed atomic increment each), readers take
+/// approximate snapshots for percentile reports. Values are microseconds;
+/// the bucket grid spans 0.1 us .. ~7 minutes with ~12% resolution, which
+/// is plenty for p50/p95/p99 reporting.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one observation (clamped into the bucket range). Thread-safe.
+  void Record(double micros);
+
+  /// Number of recorded observations.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Consistent-enough copy of the counters for reporting. Concurrent
+  /// Record calls may or may not be included; never tears a bucket.
+  struct Snapshot {
+    uint64_t count = 0;
+    double mean_micros = 0;
+    std::vector<uint64_t> buckets;
+
+    /// Value (micros) below which a `q` fraction of observations fall,
+    /// interpolated within the winning bucket. q in [0, 1].
+    double Quantile(double q) const;
+
+    /// "n=1200 mean=84.2us p50=61.0us p95=210.4us p99=402.8us".
+    std::string ToString() const;
+  };
+  Snapshot snapshot() const;
+
+  /// Shorthand: quantile over a fresh snapshot.
+  double Quantile(double q) const { return snapshot().Quantile(q); }
+
+  /// Resets every counter to zero (not atomic w.r.t. concurrent Records;
+  /// callers quiesce writers first, e.g. between benchmark phases).
+  void Reset();
+
+  /// Lower bound (micros) of bucket `i` — exposed for tests.
+  static double BucketLowerBound(size_t i);
+  static constexpr size_t kNumBuckets = 192;
+
+ private:
+  static size_t BucketIndex(double micros);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_{0};
+  /// Sum kept in nanoseconds so it fits an integer atomic.
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+}  // namespace estocada
+
+#endif  // ESTOCADA_COMMON_HISTOGRAM_H_

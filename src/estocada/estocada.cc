@@ -17,7 +17,7 @@ Status Estocada::RegisterSchema(const pivot::Schema& schema) {
     auto& slot = staging_[name];
     if (slot.columns.empty()) slot.columns = sig.columns;
   }
-  rewriter_dirty_ = true;
+  MarkCatalogChanged();
   return Status::OK();
 }
 
@@ -81,14 +81,14 @@ Status Estocada::DefineFragment(pacb::ViewDefinition view,
     (void)catalog_.DropFragment(name);
     return materialized;
   }
-  rewriter_dirty_ = true;
+  MarkCatalogChanged();
   return Status::OK();
 }
 
 Status Estocada::DropFragment(const std::string& name) {
   ESTOCADA_RETURN_NOT_OK(rewriting::DematerializeFragment(&catalog_, name));
   ESTOCADA_RETURN_NOT_OK(catalog_.DropFragment(name));
-  rewriter_dirty_ = true;
+  MarkCatalogChanged();
   return Status::OK();
 }
 
@@ -118,7 +118,7 @@ Status Estocada::ImportCatalogJson(const std::string& json_text) {
       return materialized;
     }
   }
-  rewriter_dirty_ = true;
+  MarkCatalogChanged();
   return Status::OK();
 }
 
@@ -423,6 +423,30 @@ Result<Estocada::QueryResult> Estocada::RunQuery(
     const std::map<std::string, Value>& parameters) {
   ESTOCADA_ASSIGN_OR_RETURN(rewriting::PlanSet plans,
                             PlanBest(q, parameters));
+  return ExecutePlanned(std::move(plans), q);
+}
+
+Result<rewriting::PlanSet> Estocada::PlanPrepared(
+    const pivot::ConjunctiveQuery& query,
+    const std::map<std::string, Value>& parameters) const {
+  if (!rewriter_ready()) {
+    return Status::Internal(
+        "PlanPrepared called with a stale rewriter; run PrepareRewriter() "
+        "after catalog changes");
+  }
+  rewriting::Planner planner(&catalog_, rewriter_.get());
+  return planner.PlanQuery(query, parameters);
+}
+
+Result<rewriting::PlanSet> Estocada::PlanFromRewritings(
+    pacb::RewritingResult rewritings,
+    const std::map<std::string, Value>& parameters) const {
+  rewriting::Planner planner(&catalog_, /*rewriter=*/nullptr);
+  return planner.PlanRewritings(std::move(rewritings), parameters);
+}
+
+Result<Estocada::QueryResult> Estocada::ExecutePlanned(
+    rewriting::PlanSet plans, const pivot::ConjunctiveQuery& q) const {
   rewriting::PlannedQuery& best = plans.best_plan();
 
   QueryResult result;

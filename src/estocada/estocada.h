@@ -1,6 +1,7 @@
 #ifndef ESTOCADA_ESTOCADA_ESTOCADA_H_
 #define ESTOCADA_ESTOCADA_ESTOCADA_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -215,6 +216,53 @@ class Estocada {
       const std::string& query_text,
       const std::map<std::string, engine::Value>& parameters = {});
 
+  // ----------------------------------------------------------- Serving --
+  //
+  // Const-safe query path for the concurrent serving runtime
+  // (src/runtime): a QueryServer serializes catalog changes behind an
+  // exclusive lock, calls PrepareRewriter() there, and then serves reads
+  // through the const members below under a shared lock. The catalog
+  // epoch versions cached plans: every fragment/schema change bumps it,
+  // so a plan cache keyed on (canonical query, epoch) can never serve a
+  // rewriting computed against a stale fragment layout.
+
+  /// Monotone counter incremented by every catalog change (schema merge,
+  /// fragment definition/drop, catalog import, applied recommendation).
+  uint64_t catalog_epoch() const {
+    return catalog_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Builds the PACB rewriter if a catalog change left it dirty. Callers
+  /// that want the const planning path must run this (under an exclusive
+  /// lock, when serving concurrently) after any catalog change.
+  Status PrepareRewriter() { return RefreshRewriter(); }
+
+  /// True when the rewriter reflects the current catalog, i.e. the const
+  /// planning path is usable without PrepareRewriter().
+  bool rewriter_ready() const {
+    return !rewriter_dirty_ && rewriter_ != nullptr;
+  }
+
+  /// Plans a query without mutating the facade; requires rewriter_ready().
+  /// Runs the full PACB rewrite + translation + cost-based choice.
+  Result<rewriting::PlanSet> PlanPrepared(
+      const pivot::ConjunctiveQuery& query,
+      const std::map<std::string, engine::Value>& parameters = {}) const;
+
+  /// Translates previously computed PACB rewritings (e.g. a plan-cache
+  /// hit) into executable plans for this call's parameters — the rewrite,
+  /// the system's most expensive step, is skipped entirely.
+  Result<rewriting::PlanSet> PlanFromRewritings(
+      pacb::RewritingResult rewritings,
+      const std::map<std::string, engine::Value>& parameters = {}) const;
+
+  /// Executes the best plan of `plans` and assembles the QueryResult,
+  /// recording `query` in the workload log (internally synchronized).
+  /// Const: safe to run from many threads as long as no catalog or data
+  /// mutation runs concurrently.
+  Result<QueryResult> ExecutePlanned(rewriting::PlanSet plans,
+                                     const pivot::ConjunctiveQuery& query) const;
+
   // ----------------------------------------------------------- Advisor --
 
   const advisor::WorkloadLog& workload_log() const { return workload_log_; }
@@ -231,6 +279,13 @@ class Estocada {
   /// Rebuilds the PACB rewriter after a fragment change.
   Status RefreshRewriter();
 
+  /// Marks the fragment layout changed: dirties the rewriter and bumps the
+  /// catalog epoch so serving-layer plan caches drop their entries.
+  void MarkCatalogChanged() {
+    rewriter_dirty_ = true;
+    catalog_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   /// Shared body of Query and the front-end variants.
   Result<QueryResult> RunQuery(
       const pivot::ConjunctiveQuery& query,
@@ -246,7 +301,10 @@ class Estocada {
   rewriting::StagingData staging_;
   std::unique_ptr<pacb::Rewriter> rewriter_;
   bool rewriter_dirty_ = true;
-  advisor::WorkloadLog workload_log_;
+  std::atomic<uint64_t> catalog_epoch_{0};
+  /// Mutable so the const serving path can log executions; WorkloadLog
+  /// synchronizes its writers internally.
+  mutable advisor::WorkloadLog workload_log_;
   /// Registered document collections: "<dataset>.<collection>" -> paths.
   std::map<std::string, std::vector<encoding::DocumentPath>> doc_collections_;
   uint64_t next_doc_id_ = 0;

@@ -12,14 +12,21 @@ Result<PlanSet> Planner::PlanQuery(
     const pivot::ConjunctiveQuery& query,
     const std::map<std::string, engine::Value>& parameters,
     const pacb::RewriterOptions& options) const {
-  PlanSet out;
-  ESTOCADA_ASSIGN_OR_RETURN(out.rewriting_result,
+  ESTOCADA_ASSIGN_OR_RETURN(pacb::RewritingResult rewriting_result,
                             rewriter_->Rewrite(query, options));
-  if (out.rewriting_result.rewritings.empty()) {
+  if (rewriting_result.rewritings.empty()) {
     return Status::NoRewriting(
         StrCat("no rewriting over the registered fragments answers ",
                query.ToString()));
   }
+  return PlanRewritings(std::move(rewriting_result), parameters);
+}
+
+Result<PlanSet> Planner::PlanRewritings(
+    pacb::RewritingResult rewriting_result,
+    const std::map<std::string, engine::Value>& parameters) const {
+  PlanSet out;
+  out.rewriting_result = std::move(rewriting_result);
   Translator translator(catalog_);
   Status last_error = Status::OK();
   for (const pacb::Rewriting& rw : out.rewriting_result.rewritings) {

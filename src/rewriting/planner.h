@@ -39,6 +39,14 @@ class Planner {
       const std::map<std::string, engine::Value>& parameters = {},
       const pacb::RewriterOptions& options = {}) const;
 
+  /// Translation-only half of PlanQuery: turns already-computed PACB
+  /// rewritings into executable plans for this call's parameters and picks
+  /// the cheapest. The serving runtime's plan cache uses this to skip the
+  /// rewrite on a hit. Does not touch the rewriter.
+  Result<PlanSet> PlanRewritings(
+      pacb::RewritingResult rewriting_result,
+      const std::map<std::string, engine::Value>& parameters = {}) const;
+
  private:
   const catalog::Catalog* catalog_;
   const pacb::Rewriter* rewriter_;

@@ -1,0 +1,49 @@
+#ifndef ESTOCADA_RUNTIME_CANONICAL_H_
+#define ESTOCADA_RUNTIME_CANONICAL_H_
+
+#include <map>
+#include <string>
+
+#include "engine/value.h"
+#include "pivot/query.h"
+
+namespace estocada::runtime {
+
+/// A conjunctive query normalized for plan-cache keying: variables renamed
+/// positionally ("v0", "v1", ... / parameters "$p0", "$p1", ...), body
+/// atoms reordered into a structure-determined order, and the head
+/// predicate name dropped (it never affects the answer). Two queries that
+/// differ only in variable names, parameter names, atom order, or head
+/// name canonicalize to the same key and therefore share one plan-cache
+/// entry; parameter *values* are never part of the key.
+struct CanonicalQuery {
+  /// The normalized query. Head positions match the original query's, so
+  /// rows produced by executing a plan of the canonical query are
+  /// positionally identical to the original's answer.
+  pivot::ConjunctiveQuery query;
+  /// Cache key: `query.ToString()`.
+  std::string key;
+  /// Original parameter variable name -> canonical name ("$uid" -> "$p0").
+  std::map<std::string, std::string> parameter_renaming;
+};
+
+/// Canonicalizes `q`. Deterministic; invariant under variable renaming and
+/// body-atom reordering. The body order is fixed by a greedy
+/// smallest-label-first construction: repeatedly emit the atom whose
+/// rendering (under the names assigned so far, unassigned variables as
+/// "?") is lexicographically smallest, then name its fresh variables.
+/// Ties between structurally symmetric atoms are broken arbitrarily —
+/// that can only split automorphic queries across two cache entries
+/// (an extra miss), never merge inequivalent ones (the key is the full
+/// canonical text).
+CanonicalQuery Canonicalize(const pivot::ConjunctiveQuery& q);
+
+/// Rewrites a caller's parameter map into the canonical query's parameter
+/// names; entries without a mapping pass through unchanged.
+std::map<std::string, engine::Value> RemapParameters(
+    const CanonicalQuery& canonical,
+    const std::map<std::string, engine::Value>& parameters);
+
+}  // namespace estocada::runtime
+
+#endif  // ESTOCADA_RUNTIME_CANONICAL_H_

@@ -1,0 +1,40 @@
+#include "runtime/metrics.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace estocada::runtime {
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.queries_served = queries_served_.load(kRelaxed);
+  s.cache_hits = cache_hits_.load(kRelaxed);
+  s.cache_misses = cache_misses_.load(kRelaxed);
+  s.rewrites = rewrites_.load(kRelaxed);
+  s.errors = errors_.load(kRelaxed);
+  s.latency = latency_.snapshot();
+  return s;
+}
+
+void ServerMetrics::Reset() {
+  queries_served_.store(0, kRelaxed);
+  cache_hits_.store(0, kRelaxed);
+  cache_misses_.store(0, kRelaxed);
+  rewrites_.store(0, kRelaxed);
+  errors_.store(0, kRelaxed);
+  latency_.Reset();
+}
+
+std::string MetricsSnapshot::ToString() const {
+  char rate[32];
+  std::snprintf(rate, sizeof(rate), "%.1f%%", CacheHitRate() * 100.0);
+  return StrCat("queries served:  ", queries_served, "\n",
+                "errors:          ", errors, "\n",
+                "plan cache:      ", cache_hits, " hit(s), ", cache_misses,
+                " miss(es) (", rate, " hit rate)\n",
+                "PACB rewrites:   ", rewrites, "\n",
+                "latency:         ", latency.ToString(), "\n");
+}
+
+}  // namespace estocada::runtime

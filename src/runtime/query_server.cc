@@ -1,0 +1,144 @@
+#include "runtime/query_server.h"
+
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "pivot/parser.h"
+
+namespace estocada::runtime {
+
+namespace {
+double ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+QueryServer::QueryServer(Estocada* system, ServerOptions options)
+    : system_(system),
+      cache_(options.cache),
+      pool_(options.worker_threads == 0 ? 1 : options.worker_threads) {
+  // Build the rewriter eagerly so the first queries take the fast path.
+  std::unique_lock lock(mu_);
+  (void)system_->PrepareRewriter();
+}
+
+QueryServer::~QueryServer() { pool_.WaitIdle(); }
+
+Result<Estocada::QueryResult> QueryServer::ServeLocked(
+    const CanonicalQuery& canonical,
+    const std::map<std::string, engine::Value>& parameters) {
+  uint64_t epoch = system_->catalog_epoch();
+  PlanCache::CachedRewritings cached = cache_.Lookup(canonical.key, epoch);
+  rewriting::PlanSet plans;
+  if (cached != nullptr) {
+    metrics_.RecordCacheHit();
+    // Translation only — the PACB rewrite is skipped.
+    ESTOCADA_ASSIGN_OR_RETURN(plans,
+                              system_->PlanFromRewritings(*cached, parameters));
+  } else {
+    metrics_.RecordCacheMiss();
+    metrics_.RecordRewrite();
+    ESTOCADA_ASSIGN_OR_RETURN(plans,
+                              system_->PlanPrepared(canonical.query, parameters));
+    cache_.Insert(canonical.key, epoch,
+                  std::make_shared<const pacb::RewritingResult>(
+                      plans.rewriting_result));
+  }
+  return system_->ExecutePlanned(std::move(plans), canonical.query);
+}
+
+Result<Estocada::QueryResult> QueryServer::ServeTimed(
+    const std::string& query_text,
+    const std::map<std::string, engine::Value>& parameters) {
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                            pivot::ParseQuery(query_text));
+  CanonicalQuery canonical = Canonicalize(q);
+  std::map<std::string, engine::Value> remapped =
+      RemapParameters(canonical, parameters);
+
+  // The rewriter may be stale right after a catalog change; rebuilding
+  // needs the exclusive lock, serving only the shared one. Retry the
+  // upgrade a bounded number of times in case admin calls keep landing
+  // between the rebuild and the re-acquired read lock.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    {
+      std::shared_lock read_lock(mu_);
+      if (system_->rewriter_ready()) {
+        return ServeLocked(canonical, remapped);
+      }
+    }
+    std::unique_lock write_lock(mu_);
+    ESTOCADA_RETURN_NOT_OK(system_->PrepareRewriter());
+  }
+  return Status::Internal(
+      "rewriter preparation kept racing catalog changes; giving up");
+}
+
+Result<Estocada::QueryResult> QueryServer::Query(
+    const std::string& query_text,
+    const std::map<std::string, engine::Value>& parameters) {
+  auto start = std::chrono::steady_clock::now();
+  Result<Estocada::QueryResult> result = ServeTimed(query_text, parameters);
+  metrics_.RecordQuery(result.ok(), ElapsedMicros(start));
+  return result;
+}
+
+std::future<Result<Estocada::QueryResult>> QueryServer::Submit(
+    std::string query_text, std::map<std::string, engine::Value> parameters) {
+  auto task = std::make_shared<
+      std::packaged_task<Result<Estocada::QueryResult>()>>(
+      [this, text = std::move(query_text), params = std::move(parameters)] {
+        return Query(text, params);
+      });
+  std::future<Result<Estocada::QueryResult>> future = task->get_future();
+  pool_.Submit([task] { (*task)(); });
+  return future;
+}
+
+void QueryServer::Drain() { pool_.WaitIdle(); }
+
+Status QueryServer::DefineFragment(const std::string& view_text,
+                                   const std::string& store_name,
+                                   std::vector<pivot::Adornment> adornments,
+                                   std::vector<size_t> index_positions) {
+  std::unique_lock lock(mu_);
+  ESTOCADA_RETURN_NOT_OK(system_->DefineFragment(
+      view_text, store_name, std::move(adornments), std::move(index_positions)));
+  return system_->PrepareRewriter();
+}
+
+Status QueryServer::DropFragment(const std::string& name) {
+  std::unique_lock lock(mu_);
+  ESTOCADA_RETURN_NOT_OK(system_->DropFragment(name));
+  return system_->PrepareRewriter();
+}
+
+Status QueryServer::ApplyRecommendation(const advisor::Recommendation& rec) {
+  std::unique_lock lock(mu_);
+  ESTOCADA_RETURN_NOT_OK(system_->ApplyRecommendation(rec));
+  return system_->PrepareRewriter();
+}
+
+Status QueryServer::InsertRow(const std::string& relation, engine::Row row) {
+  std::unique_lock lock(mu_);
+  return system_->InsertRow(relation, std::move(row));
+}
+
+Status QueryServer::DeleteRow(const std::string& relation,
+                              const engine::Row& row) {
+  std::unique_lock lock(mu_);
+  return system_->DeleteRow(relation, row);
+}
+
+std::vector<advisor::Recommendation> QueryServer::Advise(
+    const advisor::AdvisorOptions& options) {
+  // Exclusive: quiesces the query threads feeding the workload log so the
+  // advisor reads a consistent view.
+  std::unique_lock lock(mu_);
+  return system_->Advise(options);
+}
+
+}  // namespace estocada::runtime

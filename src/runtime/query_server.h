@@ -1,0 +1,123 @@
+#ifndef ESTOCADA_RUNTIME_QUERY_SERVER_H_
+#define ESTOCADA_RUNTIME_QUERY_SERVER_H_
+
+#include <future>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "estocada/estocada.h"
+#include "runtime/canonical.h"
+#include "runtime/metrics.h"
+#include "runtime/plan_cache.h"
+
+namespace estocada::runtime {
+
+/// Tuning knobs of a QueryServer.
+struct ServerOptions {
+  /// Worker threads executing Submit()ted queries. Direct Query() calls
+  /// run on the caller's thread, so total concurrency is workers + direct
+  /// callers.
+  size_t worker_threads = 8;
+  PlanCache::Options cache;
+};
+
+/// The concurrent serving runtime wrapped around the Estocada facade —
+/// the mediator tier the paper's demo does not need (it issues each query
+/// once, single-threaded) but a production polystore does:
+///
+///  * many clients query concurrently: the read path holds a shared lock,
+///    so plan translation and execution over the stores run in parallel;
+///  * catalog changes (fragment definition/drop, applied recommendations,
+///    data updates) take the exclusive lock, rebuild the PACB rewriter
+///    once, and bump the catalog epoch;
+///  * structurally identical queries share one plan-cache entry keyed by
+///    their canonical form, so the PACB rewrite — the most expensive step
+///    of the query path — runs once per query shape per fragment layout
+///    instead of once per call;
+///  * the epoch versioning guarantees a plan cached before a fragment
+///    change is never served after it.
+///
+/// The wrapped Estocada must not be mutated behind the server's back while
+/// serving; route all catalog/data changes through the server.
+class QueryServer {
+ public:
+  explicit QueryServer(Estocada* system, ServerOptions options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // -------------------------------------------------------- Query path --
+
+  /// Answers one query on the calling thread. Thread-safe: any number of
+  /// client threads may call concurrently.
+  Result<Estocada::QueryResult> Query(
+      const std::string& query_text,
+      const std::map<std::string, engine::Value>& parameters = {});
+
+  /// Enqueues a query on the server's worker pool; the future delivers
+  /// the result.
+  std::future<Result<Estocada::QueryResult>> Submit(
+      std::string query_text,
+      std::map<std::string, engine::Value> parameters = {});
+
+  /// Blocks until every Submit()ted query has finished.
+  void Drain();
+
+  // -------------------------------------------- Catalog administration --
+  // All exclusive: they quiesce the read path, apply the change, rebuild
+  // the rewriter, and leave the bumped epoch to invalidate cached plans.
+
+  Status DefineFragment(const std::string& view_text,
+                        const std::string& store_name,
+                        std::vector<pivot::Adornment> adornments = {},
+                        std::vector<size_t> index_positions = {});
+  Status DropFragment(const std::string& name);
+  Status ApplyRecommendation(const advisor::Recommendation& rec);
+  Status InsertRow(const std::string& relation, engine::Row row);
+  Status DeleteRow(const std::string& relation, const engine::Row& row);
+
+  /// Runs the storage advisor over the accumulated workload log.
+  std::vector<advisor::Recommendation> Advise(
+      const advisor::AdvisorOptions& options = {});
+
+  // ------------------------------------------------------ Introspection --
+
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  PlanCache::Stats cache_stats() const { return cache_.stats(); }
+  size_t worker_threads() const { return pool_.num_threads(); }
+
+  /// Drops every cached plan (benchmarks measuring cold caches).
+  void ClearPlanCache() { cache_.Clear(); }
+
+  /// Resets the metrics counters (between benchmark phases; do not call
+  /// while queries are in flight).
+  void ResetMetrics() { metrics_.Reset(); }
+
+ private:
+  /// Cache-lookup → (on miss) rewrite → translate → execute, under the
+  /// shared lock the caller already holds.
+  Result<Estocada::QueryResult> ServeLocked(
+      const CanonicalQuery& canonical,
+      const std::map<std::string, engine::Value>& parameters);
+
+  Result<Estocada::QueryResult> ServeTimed(
+      const std::string& query_text,
+      const std::map<std::string, engine::Value>& parameters);
+
+  Estocada* system_;
+  /// Guards the Estocada facade: shared for the query path, exclusive for
+  /// catalog/data changes and rewriter rebuilds.
+  std::shared_mutex mu_;
+  PlanCache cache_;
+  ServerMetrics metrics_;
+  ThreadPool pool_;
+};
+
+}  // namespace estocada::runtime
+
+#endif  // ESTOCADA_RUNTIME_QUERY_SERVER_H_

@@ -2,6 +2,7 @@
 #define ESTOCADA_STORES_DOCUMENT_STORE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,7 +67,12 @@ class DocumentStore {
 
   Result<size_t> Count(const std::string& collection) const;
 
-  const StoreStats& lifetime_stats() const { return lifetime_stats_; }
+  /// Snapshot of the stats accumulated across all calls. Reads under the
+  /// stats mutex so concurrent query threads never observe torn counters.
+  StoreStats lifetime_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return lifetime_stats_;
+  }
 
  private:
   struct Collection {
@@ -88,6 +94,7 @@ class DocumentStore {
   CostProfile profile_;
   std::map<std::string, Collection> collections_;
   mutable StoreStats lifetime_stats_;
+  mutable std::mutex stats_mu_;
 };
 
 /// True iff `doc` satisfies `pred` (missing path = no match; array values

@@ -2,6 +2,7 @@
 #define ESTOCADA_STORES_KV_STORE_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -54,7 +55,12 @@ class KeyValueStore {
 
   Result<size_t> Size(const std::string& collection) const;
 
-  const StoreStats& lifetime_stats() const { return lifetime_stats_; }
+  /// Snapshot of the stats accumulated across all calls. Reads under the
+  /// stats mutex so concurrent query threads never observe torn counters.
+  StoreStats lifetime_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return lifetime_stats_;
+  }
 
  private:
   using Collection = std::unordered_map<std::string, std::string>;
@@ -67,6 +73,7 @@ class KeyValueStore {
   CostProfile profile_;
   std::map<std::string, Collection> collections_;
   mutable StoreStats lifetime_stats_;
+  mutable std::mutex stats_mu_;
 };
 
 }  // namespace estocada::stores

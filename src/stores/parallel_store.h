@@ -68,7 +68,13 @@ class ParallelStore {
   Result<size_t> Arity(const std::string& relation) const;
 
   size_t workers() const { return pool_->num_threads(); }
-  const StoreStats& lifetime_stats() const { return lifetime_stats_; }
+
+  /// Snapshot of the stats accumulated across all calls. Reads under the
+  /// stats mutex so concurrent query threads never observe torn counters.
+  StoreStats lifetime_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return lifetime_stats_;
+  }
 
  private:
   struct Relation {

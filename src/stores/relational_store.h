@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -98,8 +99,12 @@ class RelationalStore {
   Result<std::vector<engine::Row>> Scan(const std::string& table,
                                         StoreStats* stats = nullptr) const;
 
-  /// Total accumulated stats across all calls.
-  const StoreStats& lifetime_stats() const { return lifetime_stats_; }
+  /// Snapshot of the stats accumulated across all calls. Reads under the
+  /// stats mutex so concurrent query threads never observe torn counters.
+  StoreStats lifetime_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return lifetime_stats_;
+  }
 
  private:
   struct Table {
@@ -124,6 +129,7 @@ class RelationalStore {
   CostProfile profile_;
   std::map<std::string, Table> tables_;
   mutable StoreStats lifetime_stats_;
+  mutable std::mutex stats_mu_;
 };
 
 }  // namespace estocada::stores

@@ -65,7 +65,10 @@ void TextStore::Charge(StoreStats* stats, uint64_t ops, uint64_t scanned,
       profile_.per_row_scanned * static_cast<double>(scanned) +
       profile_.per_index_lookup * static_cast<double>(lookups) +
       profile_.per_row_returned * static_cast<double>(returned);
-  lifetime_stats_.Add(delta);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    lifetime_stats_.Add(delta);
+  }
   if (stats != nullptr) stats->Add(delta);
 }
 

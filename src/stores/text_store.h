@@ -2,6 +2,7 @@
 #define ESTOCADA_STORES_TEXT_STORE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,7 +47,12 @@ class TextStore {
 
   Result<size_t> DocumentCount(const std::string& core) const;
 
-  const StoreStats& lifetime_stats() const { return lifetime_stats_; }
+  /// Snapshot of the stats accumulated across all calls. Reads under the
+  /// stats mutex so concurrent query threads never observe torn counters.
+  StoreStats lifetime_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return lifetime_stats_;
+  }
 
   /// Lowercase alphanumeric tokens of `text`.
   static std::vector<std::string> Tokenize(const std::string& text);
@@ -65,6 +71,7 @@ class TextStore {
   CostProfile profile_;
   std::map<std::string, Core> cores_;
   mutable StoreStats lifetime_stats_;
+  mutable std::mutex stats_mu_;
 };
 
 }  // namespace estocada::stores

@@ -1,0 +1,490 @@
+/// Tests of the concurrent serving runtime (src/runtime): canonicalization
+/// equivalences, plan-cache LRU + epoch invalidation, metrics, and
+/// QueryServer correctness under concurrent clients (run under TSan via
+/// scripts/check.sh).
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "pivot/parser.h"
+#include "runtime/canonical.h"
+#include "runtime/metrics.h"
+#include "runtime/plan_cache.h"
+#include "runtime/query_server.h"
+#include "workload/marketplace.h"
+
+namespace estocada::runtime {
+namespace {
+
+using engine::Row;
+using engine::Value;
+using pivot::Adornment;
+
+std::string KeyOf(const std::string& query_text) {
+  auto q = pivot::ParseQuery(query_text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return Canonicalize(*q).key;
+}
+
+// ------------------------------------------------------ Canonicalization --
+
+TEST(CanonicalTest, RenamedVariablesShareAKey) {
+  EXPECT_EQ(KeyOf("q(x, y) :- R(x, z), S(z, y)"),
+            KeyOf("out(a, b) :- R(a, c), S(c, b)"));
+}
+
+TEST(CanonicalTest, ReorderedAtomsShareAKey) {
+  EXPECT_EQ(KeyOf("q(x, y) :- R(x, z), S(z, y)"),
+            KeyOf("q(x, y) :- S(z, y), R(x, z)"));
+}
+
+TEST(CanonicalTest, RenamedAndReorderedShareAKey) {
+  EXPECT_EQ(KeyOf("q(u) :- mk.orders(o, u, p, t), mk.visits(u, p, d)"),
+            KeyOf("res(a) :- mk.visits(a, b, c), mk.orders(x, a, b, y)"));
+}
+
+TEST(CanonicalTest, ParameterNamesDoNotSplitEntries) {
+  EXPECT_EQ(KeyOf("cart(c) :- mk.carts($uid, c)"),
+            KeyOf("cart(x) :- mk.carts($user, x)"));
+}
+
+TEST(CanonicalTest, DifferentConstantsDiffer) {
+  EXPECT_NE(KeyOf("q(x) :- R(x, 'a')"), KeyOf("q(x) :- R(x, 'b')"));
+}
+
+TEST(CanonicalTest, DifferentStructureDiffers) {
+  EXPECT_NE(KeyOf("q(x) :- R(x, y)"), KeyOf("q(x) :- R(x, x)"));
+  EXPECT_NE(KeyOf("q(x) :- R(x, y)"), KeyOf("q(x) :- R(y, x)"));
+  EXPECT_NE(KeyOf("q(x, y) :- R(x, y)"), KeyOf("q(y, x) :- R(x, y)"));
+}
+
+TEST(CanonicalTest, HeadNameIsIrrelevant) {
+  EXPECT_EQ(KeyOf("foo(x) :- R(x)"), KeyOf("bar(x) :- R(x)"));
+}
+
+TEST(CanonicalTest, RemapParametersFollowsRenaming) {
+  auto q = pivot::ParseQuery("cart(c) :- mk.carts($uid, c)");
+  ASSERT_TRUE(q.ok());
+  CanonicalQuery canonical = Canonicalize(*q);
+  ASSERT_EQ(canonical.parameter_renaming.count("$uid"), 1u);
+  std::map<std::string, Value> params{{"$uid", Value::Int(7)}};
+  auto remapped = RemapParameters(canonical, params);
+  ASSERT_EQ(remapped.size(), 1u);
+  EXPECT_EQ(remapped.begin()->first, canonical.parameter_renaming["$uid"]);
+  EXPECT_EQ(remapped.begin()->second, Value::Int(7));
+}
+
+// ------------------------------------------------------------ Plan cache --
+
+PlanCache::CachedRewritings SomeRewritings(const std::string& text) {
+  auto result = std::make_shared<pacb::RewritingResult>();
+  pacb::Rewriting rw;
+  rw.query = *pivot::ParseQuery(text);
+  result->rewritings.push_back(std::move(rw));
+  return result;
+}
+
+TEST(PlanCacheTest, HitAfterInsert) {
+  PlanCache cache;
+  EXPECT_EQ(cache.Lookup("k1", 0), nullptr);
+  cache.Insert("k1", 0, SomeRewritings("q(x) :- V(x)"));
+  auto hit = cache.Lookup("k1", 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rewritings.size(), 1u);
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCacheTest, EpochMismatchInvalidates) {
+  PlanCache cache;
+  cache.Insert("k1", 3, SomeRewritings("q(x) :- V(x)"));
+  EXPECT_EQ(cache.Lookup("k1", 4), nullptr);  // Newer epoch: stale entry.
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);       // ... and it was dropped.
+  EXPECT_EQ(cache.Lookup("k1", 3), nullptr);  // Gone for the old epoch too.
+}
+
+TEST(PlanCacheTest, LruEvictsOldest) {
+  PlanCache::Options options;
+  options.shards = 1;
+  options.capacity = 2;
+  PlanCache cache(options);
+  cache.Insert("a", 0, SomeRewritings("q(x) :- V(x)"));
+  cache.Insert("b", 0, SomeRewritings("q(x) :- V(x)"));
+  ASSERT_NE(cache.Lookup("a", 0), nullptr);  // Touch: "b" is now LRU.
+  cache.Insert("c", 0, SomeRewritings("q(x) :- V(x)"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup("a", 0), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 0), nullptr);
+  EXPECT_NE(cache.Lookup("c", 0), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+// --------------------------------------------------- Histogram & metrics --
+
+TEST(HistogramTest, QuantilesAreOrderedAndBracket) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  double p50 = s.Quantile(0.50);
+  double p95 = s.Quantile(0.95);
+  double p99 = s.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Bucketed estimates: generous brackets.
+  EXPECT_GT(p50, 300.0);
+  EXPECT_LT(p50, 800.0);
+  EXPECT_GT(p99, 700.0);
+  EXPECT_NEAR(s.mean_micros, 500.5, 5.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.Record(10.0 + i % 7);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 8000u);
+}
+
+TEST(MetricsTest, SnapshotAndReport) {
+  ServerMetrics metrics;
+  metrics.RecordCacheMiss();
+  metrics.RecordRewrite();
+  metrics.RecordQuery(true, 120.0);
+  metrics.RecordCacheHit();
+  metrics.RecordQuery(true, 40.0);
+  metrics.RecordQuery(false, 5.0);
+  MetricsSnapshot s = metrics.snapshot();
+  EXPECT_EQ(s.queries_served, 2u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.rewrites, 1u);
+  EXPECT_DOUBLE_EQ(s.CacheHitRate(), 0.5);
+  std::string report = s.ToString();
+  EXPECT_NE(report.find("queries served:  2"), std::string::npos);
+  EXPECT_NE(report.find("50.0% hit rate"), std::string::npos);
+}
+
+// ------------------------------------------------------------ QueryServer --
+
+/// Small marketplace with the five stores and a hybrid fragment layout,
+/// fronted by a QueryServer.
+class QueryServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::MarketplaceConfig cfg;
+    cfg.seed = 7;
+    cfg.num_users = 80;
+    cfg.num_products = 30;
+    cfg.num_orders = 250;
+    cfg.num_visits = 600;
+    auto data = workload::GenerateMarketplace(cfg);
+    ASSERT_TRUE(data.ok()) << data.status();
+    data_ = std::move(*data);
+
+    ASSERT_TRUE(sys_.RegisterSchema(data_.schema).ok());
+    ASSERT_TRUE(sys_.RegisterStore({"postgres", catalog::StoreKind::kRelational,
+                                    &relational_, nullptr, nullptr, nullptr,
+                                    nullptr})
+                    .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"redis", catalog::StoreKind::kKeyValue,
+                                    nullptr, &kv_, nullptr, nullptr, nullptr})
+                    .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"mongo", catalog::StoreKind::kDocument,
+                                    nullptr, nullptr, &doc_, nullptr, nullptr})
+                    .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"spark", catalog::StoreKind::kParallel,
+                                    nullptr, nullptr, nullptr, &parallel_,
+                                    nullptr})
+                    .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"solr", catalog::StoreKind::kText, nullptr,
+                                    nullptr, nullptr, nullptr, &text_})
+                    .ok());
+    ASSERT_TRUE(sys_.LoadStaging(data_.staging).ok());
+
+    ASSERT_TRUE(sys_.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                                    "postgres", {}, {0})
+                    .ok());
+    ASSERT_TRUE(sys_.DefineFragment(
+                        "F_orders(o, u, p, t) :- mk.orders(o, u, p, t)",
+                        "postgres", {}, {1, 2})
+                    .ok());
+    ASSERT_TRUE(sys_.DefineFragment(
+                        "F_prod(p, n, cat, pr) :- mk.products(p, n, cat, pr)",
+                        "postgres", {}, {0, 2})
+                    .ok());
+    ASSERT_TRUE(sys_.DefineFragment("F_carts(u, c) :- mk.carts(u, c)", "redis",
+                                    {Adornment::kInput, Adornment::kFree})
+                    .ok());
+    ASSERT_TRUE(sys_.DefineFragment("F_visits(u, p, d) :- mk.visits(u, p, d)",
+                                    "spark", {}, {0, 1})
+                    .ok());
+  }
+
+  /// Set-canon of rows for order/duplicate-insensitive comparison.
+  static std::set<std::string> Canon(const std::vector<Row>& rows) {
+    std::set<std::string> out;
+    for (const Row& r : rows) out.insert(engine::RowToString(r));
+    return out;
+  }
+
+  workload::MarketplaceData data_;
+  stores::RelationalStore relational_;
+  stores::KeyValueStore kv_;
+  stores::DocumentStore doc_;
+  stores::ParallelStore parallel_{2};
+  stores::TextStore text_;
+  Estocada sys_;
+};
+
+TEST_F(QueryServerTest, RepeatedQueryHitsTheCacheAndMatchesGroundTruth) {
+  QueryServer server(&sys_);
+  std::map<std::string, Value> params{{"$uid", Value::Int(3)}};
+  const char* text = workload::MarketplaceQueries::OrdersOfUser();
+
+  auto first = server.Query(text, params);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = server.Query(text, params);
+  ASSERT_TRUE(second.ok()) << second.status();
+
+  MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.queries_served, 2u);
+  EXPECT_EQ(m.cache_misses, 1u);
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.rewrites, 1u);  // PACB ran once; the hit skipped it.
+
+  auto truth = sys_.EvaluateOverStaging(text, params);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(Canon(first->rows), Canon(*truth));
+  EXPECT_EQ(Canon(second->rows), Canon(*truth));
+}
+
+TEST_F(QueryServerTest, EquivalentQueriesShareOneEntry) {
+  QueryServer server(&sys_);
+  std::map<std::string, Value> p1{{"$uid", Value::Int(5)}};
+  std::map<std::string, Value> p2{{"$u", Value::Int(9)}};
+  auto r1 = server.Query("uorders(o, p, t) :- mk.orders(o, $uid, p, t)", p1);
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  // Renamed variables, renamed parameter, different value: same entry.
+  auto r2 = server.Query("res(a, b, c) :- mk.orders(a, $u, b, c)", p2);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(server.metrics().cache_hits, 1u);
+
+  auto truth = sys_.EvaluateOverStaging(
+      "uorders(o, p, t) :- mk.orders(o, $uid, p, t)",
+      {{"$uid", Value::Int(9)}});
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(Canon(r2->rows), Canon(*truth));
+}
+
+TEST_F(QueryServerTest, ParameterValuesDoNotPolluteTheCache) {
+  QueryServer server(&sys_);
+  const char* text = workload::MarketplaceQueries::UserCity();
+  for (int i = 0; i < 10; ++i) {
+    std::map<std::string, Value> params{{"$uid", Value::Int(i)}};
+    auto r = server.Query(text, params);
+    ASSERT_TRUE(r.ok()) << r.status();
+    auto truth = sys_.EvaluateOverStaging(text, params);
+    ASSERT_TRUE(truth.ok());
+    EXPECT_EQ(Canon(r->rows), Canon(*truth)) << "uid u" << i;
+  }
+  MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.cache_misses, 1u);
+  EXPECT_EQ(m.cache_hits, 9u);
+  EXPECT_EQ(server.cache_stats().entries, 1u);
+}
+
+TEST_F(QueryServerTest, FragmentChangeInvalidatesCachedPlans) {
+  QueryServer server(&sys_);
+  std::map<std::string, Value> params{{"$uid", Value::Int(2)}};
+  const char* text = workload::MarketplaceQueries::OrdersOfUser();
+
+  auto before = server.Query(text, params);
+  ASSERT_TRUE(before.ok()) << before.status();
+  // The only orders fragment is F_orders; the cached plan uses it.
+  EXPECT_NE(before->rewriting_text.find("F_orders"), std::string::npos);
+
+  // Replace the fragment layout: a user-keyed orders fragment appears and
+  // the old one is dropped. The cached plan references a fragment that no
+  // longer exists — serving it would be flat-out wrong.
+  ASSERT_TRUE(server
+                  .DefineFragment(
+                      "F_orders_by_user(u, o, p, t) :- mk.orders(o, u, p, t)",
+                      "spark", {}, {0})
+                  .ok());
+  ASSERT_TRUE(server.DropFragment("F_orders").ok());
+
+  auto after = server.Query(text, params);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->rewriting_text.find("F_orders("), std::string::npos);
+  EXPECT_NE(after->rewriting_text.find("F_orders_by_user"), std::string::npos);
+
+  auto truth = sys_.EvaluateOverStaging(text, params);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(Canon(after->rows), Canon(*truth));
+
+  // The epoch changed, so the pre-change entry was invalidated, not hit.
+  EXPECT_GE(server.cache_stats().invalidations, 1u);
+  EXPECT_EQ(server.metrics().cache_hits, 0u);
+}
+
+TEST_F(QueryServerTest, ApplyRecommendationInvalidatesToo) {
+  QueryServer server(&sys_);
+  std::map<std::string, Value> params{{"$uid", Value::Int(4)}};
+  const char* text = workload::MarketplaceQueries::OrdersOfUser();
+  uint64_t epoch_before = sys_.catalog_epoch();
+  ASSERT_TRUE(server.Query(text, params).ok());
+
+  // Drive the advisor with a hot shape, then apply its recommendation
+  // through the server.
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(server.Query(text, params).ok());
+  auto recs = server.Advise();
+  if (!recs.empty()) {
+    ASSERT_TRUE(server.ApplyRecommendation(recs[0]).ok());
+    EXPECT_GT(sys_.catalog_epoch(), epoch_before);
+    auto after = server.Query(text, params);
+    ASSERT_TRUE(after.ok()) << after.status();
+    auto truth = sys_.EvaluateOverStaging(text, params);
+    ASSERT_TRUE(truth.ok());
+    EXPECT_EQ(Canon(after->rows), Canon(*truth));
+  }
+}
+
+TEST_F(QueryServerTest, ConcurrentClientsMatchGroundTruth) {
+  QueryServer server(&sys_);
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 25;
+
+  // Precompute ground truth for every (query, uid) pair used below.
+  struct Case {
+    std::string text;
+    std::map<std::string, Value> params;
+    std::set<std::string> truth;
+  };
+  std::vector<Case> cases;
+  for (int u = 0; u < 10; ++u) {
+    for (const char* text : {workload::MarketplaceQueries::OrdersOfUser(),
+                             workload::MarketplaceQueries::UserCity(),
+                             workload::MarketplaceQueries::CartByUser()}) {
+      Case c;
+      c.text = text;
+      c.params = {{"$uid", Value::Int(u)}};
+      auto truth = sys_.EvaluateOverStaging(c.text, c.params);
+      ASSERT_TRUE(truth.ok()) << truth.status();
+      c.truth = Canon(*truth);
+      cases.push_back(std::move(c));
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const Case& c = cases[(t * kQueriesPerThread + i) % cases.size()];
+        auto r = server.Query(c.text, c.params);
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        if (Canon(r->rows) != c.truth) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.queries_served,
+            static_cast<uint64_t>(kThreads * kQueriesPerThread));
+  // 3 query shapes -> ~3 misses. Concurrent first requests for one shape
+  // may each miss before the first insert lands (benign: both compute the
+  // same entry), so allow a little slack but demand a high hit rate.
+  EXPECT_GE(m.cache_misses, 3u);
+  EXPECT_LE(m.cache_misses, 3u + static_cast<uint64_t>(kThreads));
+  EXPECT_GT(m.CacheHitRate(), 0.9);
+}
+
+TEST_F(QueryServerTest, ConcurrentQueriesAndCatalogChanges) {
+  QueryServer server(&sys_);
+  const char* text = workload::MarketplaceQueries::UserCity();
+  std::map<std::string, Value> params{{"$uid", Value::Int(1)}};
+  auto truth = sys_.EvaluateOverStaging(text, params);
+  ASSERT_TRUE(truth.ok());
+  std::set<std::string> expected = Canon(*truth);
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        auto r = server.Query(text, params);
+        if (!r.ok() || Canon(r->rows) != expected) ++bad;
+      }
+    });
+  }
+  // Meanwhile, churn the fragment layout with an unrelated fragment so
+  // epochs bump mid-flight.
+  std::thread admin([&] {
+    for (int i = 0; i < 5; ++i) {
+      std::string name = "F_churn" + std::to_string(i);
+      EXPECT_TRUE(server
+                      .DefineFragment(name + "(p, w) :- mk.prodterms(p, w)",
+                                      "solr",
+                                      {Adornment::kFree, Adornment::kInput})
+                      .ok());
+      EXPECT_TRUE(server.DropFragment(name).ok());
+    }
+  });
+  for (auto& t : clients) t.join();
+  admin.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_F(QueryServerTest, SubmitRunsOnWorkerPool) {
+  ServerOptions options;
+  options.worker_threads = 4;
+  QueryServer server(&sys_, options);
+  std::vector<std::future<Result<Estocada::QueryResult>>> futures;
+  for (int u = 0; u < 12; ++u) {
+    futures.push_back(server.Submit(workload::MarketplaceQueries::UserCity(),
+                                    {{"$uid", Value::Int(u)}}));
+  }
+  for (int u = 0; u < 12; ++u) {
+    auto r = futures[static_cast<size_t>(u)].get();
+    ASSERT_TRUE(r.ok()) << r.status();
+    auto truth = sys_.EvaluateOverStaging(
+        workload::MarketplaceQueries::UserCity(), {{"$uid", Value::Int(u)}});
+    ASSERT_TRUE(truth.ok());
+    EXPECT_EQ(Canon(r->rows), Canon(*truth));
+  }
+  EXPECT_EQ(server.metrics().queries_served, 12u);
+}
+
+TEST_F(QueryServerTest, ParseErrorsCountAsErrors) {
+  QueryServer server(&sys_);
+  auto r = server.Query("this is not a query");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(server.metrics().errors, 1u);
+}
+
+}  // namespace
+}  // namespace estocada::runtime
