@@ -1,0 +1,363 @@
+/// Chaos benchmark: the fault-tolerant serving layer under injected store
+/// failures. Every fragment is replicated on a second store, so the same
+/// logical data is reachable through several equivalent rewritings — the
+/// paper's rewriting multiplicity, measured here as availability:
+///
+///  * transient faults at 0/5/20% injection rates, baseline (PR-1
+///    behavior: first store error kills the query) vs the fault-tolerant
+///    ladder (retry → breaker-driven failover rewriting → staging
+///    fallback) — success rate, p99 latency, retry/failover counts;
+///  * a hard single-store outage (postgres down): the breaker trips,
+///    planning excludes postgres fragments, and every answer must still
+///    equal the staging ground truth through an alternative rewriting;
+///  * recovery: the store comes back, the half-open probe closes the
+///    breaker, and serving returns to the cheapest plans.
+///
+/// Emits BENCH_failover.json via bench_common.h.
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "runtime/query_server.h"
+#include "stores/fault.h"
+
+namespace estocada::bench {
+namespace {
+
+using ::estocada::StrCat;
+using runtime::BreakerStateName;
+using engine::Row;
+using engine::Value;
+using pivot::Adornment;
+using runtime::MetricsSnapshot;
+using runtime::QueryServer;
+using runtime::ServerOptions;
+using stores::FaultInjector;
+using stores::FaultPlan;
+
+workload::MarketplaceConfig Config() {
+  workload::MarketplaceConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_products = 120;
+  cfg.num_orders = 1500;
+  cfg.num_visits = 4000;
+  return cfg;
+}
+
+/// Replicated placement: every fragment exists on two different stores,
+/// so any single-store outage leaves an alternative rewriting. The
+/// primaries follow the tuned hybrid layout; the replicas live wherever
+/// the blueprint still fits.
+void DefineReplicated(MarketplaceSystem* m) {
+  BenchCheck(m->sys.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                                   "postgres", {}, {0}),
+             "users");
+  BenchCheck(m->sys.DefineFragment("F_users_r(u, n, c) :- mk.users(u, n, c)",
+                                   "mongodb", {}, {0}),
+             "users replica");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_orders(o, u, p, t) :- mk.orders(o, u, p, t)", "postgres",
+                 {}, {1, 2}),
+             "orders");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_orders_r(o, u, p, t) :- mk.orders(o, u, p, t)", "spark",
+                 {}, {1}),
+             "orders replica");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_prod(p, n, cat, pr) :- mk.products(p, n, cat, pr)",
+                 "mongodb", {}, {0, 2}),
+             "products");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_prod_r(p, n, cat, pr) :- mk.products(p, n, cat, pr)",
+                 "postgres", {}, {0, 2}),
+             "products replica");
+  BenchCheck(m->sys.DefineFragment("F_carts(u, c) :- mk.carts(u, c)", "redis",
+                                   {Adornment::kInput, Adornment::kFree}),
+             "carts");
+  BenchCheck(m->sys.DefineFragment("F_carts_r(u, c) :- mk.carts(u, c)",
+                                   "postgres", {}, {0}),
+             "carts replica");
+  BenchCheck(m->sys.DefineFragment("F_visits(u, p, d) :- mk.visits(u, p, d)",
+                                   "spark", {}, {0, 1}),
+             "visits");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_visits_r(u, p, d) :- mk.visits(u, p, d)", "postgres", {},
+                 {0, 1}),
+             "visits replica");
+  BenchCheck(m->sys.DefineFragment("F_terms(p, w) :- mk.prodterms(p, w)",
+                                   "solr",
+                                   {Adornment::kFree, Adornment::kInput}),
+             "terms");
+  BenchCheck(m->sys.DefineFragment("F_terms_r(p, w) :- mk.prodterms(p, w)",
+                                   "postgres", {}, {1}),
+             "terms replica");
+}
+
+struct ChaosFixture {
+  std::unique_ptr<MarketplaceSystem> m;
+  FaultInjector injector{/*seed=*/20260806};
+
+  static std::unique_ptr<ChaosFixture> Create() {
+    auto f = std::make_unique<ChaosFixture>();
+    f->m = MarketplaceSystem::Create(Config());
+    if (f->m == nullptr) {
+      std::fprintf(stderr, "marketplace setup failed\n");
+      std::abort();
+    }
+    DefineReplicated(f->m.get());
+    f->m->postgres.AttachFaultInjector(&f->injector, "postgres");
+    f->m->redis.AttachFaultInjector(&f->injector, "redis");
+    f->m->mongodb.AttachFaultInjector(&f->injector, "mongodb");
+    f->m->spark.AttachFaultInjector(&f->injector, "spark");
+    f->m->solr.AttachFaultInjector(&f->injector, "solr");
+    return f;
+  }
+
+  void SetAllStores(const FaultPlan& plan) {
+    for (const char* s : {"postgres", "redis", "mongodb", "spark", "solr"}) {
+      injector.SetPlan(s, plan);
+    }
+  }
+};
+
+ServerOptions FaultTolerantOptions() {
+  ServerOptions options;
+  options.fault_tolerant = true;
+  // More attempts than the default serve loop: the chaos phases inject
+  // faults into every store at once, so heavy multi-store joins need a
+  // deeper retry budget to keep overall success above 99%.
+  options.retry.max_attempts = 10;
+  options.retry.initial_backoff_micros = 20;
+  options.retry.max_backoff_micros = 2'000;
+  options.retry.deadline_micros = 0;  // The attempt bound is the budget.
+  options.health.failure_threshold = 3;
+  options.health.open_cooldown_micros = 20'000;
+  return options;
+}
+
+ServerOptions BaselineOptions() {
+  ServerOptions options;
+  options.fault_tolerant = false;
+  return options;
+}
+
+struct ChaosPhase {
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  MetricsSnapshot metrics;
+  double wall_seconds = 0;
+
+  double SuccessRate() const {
+    uint64_t total = ok + failed;
+    return total == 0 ? 0.0
+                      : static_cast<double>(ok) / static_cast<double>(total);
+  }
+};
+
+/// Closed loop of `clients` threads x `per_client` workload draws;
+/// failures are counted, never aborted on — measuring them is the point.
+ChaosPhase RunChaosLoop(QueryServer* server,
+                        const workload::MarketplaceData& data, int clients,
+                        int per_client) {
+  server->ResetMetrics();
+  workload::WorkloadMix mix = ScenarioMix();
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> failed{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(5000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < per_client; ++i) {
+        auto q = workload::DrawQuery(data, mix, &rng);
+        auto r = server->Query(q.text, q.parameters);
+        if (r.ok()) {
+          ++ok;
+        } else {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ChaosPhase phase;
+  phase.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  phase.ok = ok.load();
+  phase.failed = failed.load();
+  phase.metrics = server->metrics();
+  return phase;
+}
+
+std::set<std::string> Canon(const std::vector<Row>& rows) {
+  std::set<std::string> out;
+  for (const Row& r : rows) out.insert(engine::RowToString(r));
+  return out;
+}
+
+void PrintRow(const char* name, const ChaosPhase& p) {
+  std::printf("%-14s %8.2f%% %10.1f %8llu %8llu %9llu %9llu %8llu\n", name,
+              100.0 * p.SuccessRate(), p.metrics.p99_micros(),
+              static_cast<unsigned long long>(p.metrics.retries),
+              static_cast<unsigned long long>(p.metrics.failovers),
+              static_cast<unsigned long long>(p.metrics.breaker_trips),
+              static_cast<unsigned long long>(p.metrics.degraded),
+              static_cast<unsigned long long>(p.failed));
+}
+
+void AddPhaseJson(BenchJson* json, const std::string& prefix,
+                  const ChaosPhase& p) {
+  json->Add(prefix + "_success_rate", p.SuccessRate());
+  json->Add(prefix + "_failed", p.failed);
+  json->Add(prefix + "_p99_us", p.metrics.p99_micros());
+  json->Add(prefix + "_retries", p.metrics.retries);
+  json->Add(prefix + "_failovers", p.metrics.failovers);
+  json->Add(prefix + "_breaker_trips", p.metrics.breaker_trips);
+  json->Add(prefix + "_degraded", p.metrics.degraded);
+}
+
+int Run() {
+  std::unique_ptr<ChaosFixture> fixture = ChaosFixture::Create();
+  ChaosFixture& f = *fixture;
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 150;
+  BenchJson json("failover");
+  json.Add("clients", static_cast<uint64_t>(kClients));
+  json.Add("queries_per_phase",
+           static_cast<uint64_t>(kClients * kPerClient));
+
+  // ---------------------------------------- transient-fault rate sweep --
+  std::printf("== transient faults: baseline vs fault-tolerant "
+              "(%d clients x %d queries) ==\n",
+              kClients, kPerClient);
+  std::printf("%-14s %9s %10s %8s %8s %9s %9s %8s\n", "phase", "success",
+              "p99(us)", "retries", "failover", "breaker", "degraded",
+              "failed");
+  double ft20_success = 0;
+  for (double rate : {0.0, 0.05, 0.20}) {
+    FaultPlan plan;
+    plan.transient_fault_rate = rate;
+    plan.latency_spike_rate = rate > 0 ? 0.02 : 0.0;
+    plan.latency_spike_micros = 300;
+    f.SetAllStores(plan);
+    const int pct = static_cast<int>(rate * 100);
+
+    {
+      QueryServer baseline(&f.m->sys, BaselineOptions());
+      ChaosPhase p = RunChaosLoop(&baseline, f.m->data, kClients, kPerClient);
+      std::string name = StrCat("baseline/", pct, "%");
+      PrintRow(name.c_str(), p);
+      AddPhaseJson(&json, StrCat("baseline", pct), p);
+    }
+    {
+      QueryServer ft(&f.m->sys, FaultTolerantOptions());
+      ChaosPhase p = RunChaosLoop(&ft, f.m->data, kClients, kPerClient);
+      std::string name = StrCat("ft/", pct, "%");
+      PrintRow(name.c_str(), p);
+      AddPhaseJson(&json, StrCat("ft", pct), p);
+      if (pct == 20) ft20_success = p.SuccessRate();
+    }
+  }
+  f.SetAllStores(FaultPlan{});  // Quiesce.
+
+  // ------------------------------------------------ hard store outage --
+  // postgres goes down completely. Every fragment has a non-postgres
+  // replica, so the breaker trips and answers keep flowing through the
+  // alternative rewritings — validated against staging ground truth.
+  std::printf("\n== hard outage: postgres down, replicas answer ==\n");
+  struct Shape {
+    const char* text;
+    std::map<std::string, Value> params;
+  };
+  std::vector<Shape> shapes;
+  for (int u = 0; u < 8; ++u) {
+    shapes.push_back({workload::MarketplaceQueries::OrdersOfUser(),
+                      {{"$uid", Value::Int(u)}}});
+    shapes.push_back({workload::MarketplaceQueries::UserCity(),
+                      {{"$uid", Value::Int(u)}}});
+    shapes.push_back({workload::MarketplaceQueries::CartByUser(),
+                      {{"$uid", Value::Int(u)}}});
+  }
+  std::vector<std::set<std::string>> truth;
+  for (const Shape& s : shapes) {
+    auto t = f.m->sys.EvaluateOverStaging(s.text, s.params);
+    BenchCheck(t.status(), "ground truth");
+    truth.push_back(Canon(*t));
+  }
+
+  QueryServer ft(&f.m->sys, FaultTolerantOptions());
+  f.injector.SetOutage("postgres", true);
+  uint64_t outage_ok = 0, outage_failed = 0, outage_mismatch = 0;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    auto r = ft.Query(shapes[i].text, shapes[i].params);
+    if (!r.ok()) {
+      ++outage_failed;
+      continue;
+    }
+    ++outage_ok;
+    if (Canon(r->rows) != truth[i]) ++outage_mismatch;
+  }
+  MetricsSnapshot om = ft.metrics();
+  std::printf("outage: %llu ok, %llu failed, %llu mismatches; "
+              "failovers=%llu breaker_trips=%llu degraded=%llu; "
+              "postgres breaker: %s\n",
+              static_cast<unsigned long long>(outage_ok),
+              static_cast<unsigned long long>(outage_failed),
+              static_cast<unsigned long long>(outage_mismatch),
+              static_cast<unsigned long long>(om.failovers),
+              static_cast<unsigned long long>(om.breaker_trips),
+              static_cast<unsigned long long>(om.degraded),
+              BreakerStateName(ft.health().state("postgres")));
+  json.Add("outage_ok", outage_ok);
+  json.Add("outage_failed", outage_failed);
+  json.Add("outage_mismatches", outage_mismatch);
+  json.Add("outage_failovers", om.failovers);
+  json.Add("outage_breaker_trips", om.breaker_trips);
+
+  // ------------------------------------------------------- recovery --
+  // The store comes back; after the cooldown a half-open probe closes
+  // the breaker and postgres plans are admitted again.
+  f.injector.SetOutage("postgres", false);
+  std::this_thread::sleep_for(std::chrono::microseconds(
+      FaultTolerantOptions().health.open_cooldown_micros * 2));
+  uint64_t recovered_ok = 0;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    auto r = ft.Query(shapes[i].text, shapes[i].params);
+    if (r.ok() && Canon(r->rows) == truth[i]) ++recovered_ok;
+  }
+  std::printf("recovery: %llu/%llu ok; postgres breaker: %s\n",
+              static_cast<unsigned long long>(recovered_ok),
+              static_cast<unsigned long long>(shapes.size()),
+              BreakerStateName(ft.health().state("postgres")));
+  json.Add("recovered_ok", recovered_ok);
+  json.Add("recovery_breaker_closed",
+           static_cast<uint64_t>(ft.health().state("postgres") ==
+                                 runtime::BreakerState::kClosed
+                             ? 1
+                             : 0));
+
+  json.Write();
+
+  // Acceptance: >=99% success at 20% fault rate, correct outage answers.
+  bool pass = ft20_success >= 0.99 && outage_failed == 0 &&
+              outage_mismatch == 0 && recovered_ok == shapes.size();
+  std::printf("\nacceptance: ft success @20%% = %.2f%% (>= 99%% required); "
+              "outage failures = %llu, mismatches = %llu -> %s\n",
+              100.0 * ft20_success,
+              static_cast<unsigned long long>(outage_failed),
+              static_cast<unsigned long long>(outage_mismatch),
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace estocada::bench
+
+int main() { return estocada::bench::Run(); }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repo checks: the tier-1 build + test suite, then a ThreadSanitizer build
 # of the concurrency-sensitive pieces (serving runtime + stores) and their
-# tests. Usage: scripts/check.sh [jobs]
+# tests, then an ASan+UBSan build of the failure/recovery paths. Every
+# step is fail-fast (set -e): the first broken check stops the run.
+# Usage: scripts/check.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,5 +22,13 @@ cmake --build build-tsan -j "$JOBS" --target runtime_test stores_test
 
 echo "== TSan: run =="
 (cd build-tsan/tests && ./runtime_test && ./stores_test)
+
+echo "== ASan+UBSan: build failure_test + runtime_test + stores_test =="
+cmake -B build-asan -S . -DESTOCADA_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" \
+  --target failure_test runtime_test stores_test
+
+echo "== ASan+UBSan: run =="
+(cd build-asan/tests && ./failure_test && ./runtime_test && ./stores_test)
 
 echo "== all checks passed =="

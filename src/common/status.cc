@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ChaseFailure";
     case StatusCode::kNoRewriting:
       return "NoRewriting";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kParseError,        ///< Malformed query / JSON / expression text.
   kChaseFailure,      ///< The chase failed (EGD equated distinct constants).
   kNoRewriting,       ///< No feasible rewriting exists for the query.
+  kUnavailable,       ///< Transient store/backend failure; retry may succeed.
   kInternal,          ///< Invariant violation; indicates a bug.
 };
 
@@ -64,6 +65,9 @@ class Status {
   }
   static Status NoRewriting(std::string msg) {
     return Status(StatusCode::kNoRewriting, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -428,21 +428,24 @@ Result<Estocada::QueryResult> Estocada::RunQuery(
 
 Result<rewriting::PlanSet> Estocada::PlanPrepared(
     const pivot::ConjunctiveQuery& query,
-    const std::map<std::string, Value>& parameters) const {
+    const std::map<std::string, Value>& parameters,
+    const rewriting::PlanConstraints& constraints) const {
   if (!rewriter_ready()) {
     return Status::Internal(
         "PlanPrepared called with a stale rewriter; run PrepareRewriter() "
         "after catalog changes");
   }
   rewriting::Planner planner(&catalog_, rewriter_.get());
-  return planner.PlanQuery(query, parameters);
+  return planner.PlanQuery(query, parameters, {}, constraints);
 }
 
 Result<rewriting::PlanSet> Estocada::PlanFromRewritings(
     pacb::RewritingResult rewritings,
-    const std::map<std::string, Value>& parameters) const {
+    const std::map<std::string, Value>& parameters,
+    const rewriting::PlanConstraints& constraints) const {
   rewriting::Planner planner(&catalog_, /*rewriter=*/nullptr);
-  return planner.PlanRewritings(std::move(rewritings), parameters);
+  return planner.PlanRewritings(std::move(rewritings), parameters,
+                                constraints);
 }
 
 Result<Estocada::QueryResult> Estocada::ExecutePlanned(
@@ -472,10 +475,16 @@ Result<Estocada::QueryResult> Estocada::ExecutePlanned(
 
 Result<std::vector<Row>> Estocada::EvaluateOverStaging(
     const std::string& query_text,
-    const std::map<std::string, Value>& parameters) {
+    const std::map<std::string, Value>& parameters) const {
   ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
                             pivot::ParseQuery(query_text));
   return rewriting::EvaluateCqOverStaging(q, staging_, parameters);
+}
+
+Result<std::vector<Row>> Estocada::EvaluateOverStagingPrepared(
+    const pivot::ConjunctiveQuery& query,
+    const std::map<std::string, Value>& parameters) const {
+  return rewriting::EvaluateCqOverStaging(query, staging_, parameters);
 }
 
 std::vector<advisor::Recommendation> Estocada::Advise(

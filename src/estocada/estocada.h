@@ -151,6 +151,15 @@ class Estocada {
     /// out of the stores into the engine vs. rows finally returned — the
     /// difference is joined/filtered/deduplicated by the engine.
     uint64_t rows_from_stores = 0;
+    /// Set by the fault-tolerant serving path when every fragment-based
+    /// rewriting was unavailable and the answer came from the staging
+    /// area (bottom rung of the degradation ladder — correct but slow).
+    bool degraded_to_staging = false;
+    /// Execution attempts the serving path spent on this query (1 = no
+    /// retry; only the fault-tolerant path sets anything higher).
+    int attempts = 1;
+    /// Stores that were open-circuit when this query was planned.
+    std::vector<std::string> excluded_stores;
 
     double simulated_cost() const {
       return runtime_stats.TotalSimulatedCost();
@@ -214,7 +223,14 @@ class Estocada {
   /// for tests and the vanilla baseline in benches).
   Result<std::vector<engine::Row>> EvaluateOverStaging(
       const std::string& query_text,
-      const std::map<std::string, engine::Value>& parameters = {});
+      const std::map<std::string, engine::Value>& parameters = {}) const;
+
+  /// Parsed-query variant for the serving runtime's degradation ladder:
+  /// when no rewriting survives the health exclusions, the server answers
+  /// from the staging area through this const path.
+  Result<std::vector<engine::Row>> EvaluateOverStagingPrepared(
+      const pivot::ConjunctiveQuery& query,
+      const std::map<std::string, engine::Value>& parameters = {}) const;
 
   // ----------------------------------------------------------- Serving --
   //
@@ -245,16 +261,20 @@ class Estocada {
 
   /// Plans a query without mutating the facade; requires rewriter_ready().
   /// Runs the full PACB rewrite + translation + cost-based choice.
+  /// `constraints` (from the runtime's circuit breakers) drops rewritings
+  /// over unavailable stores before the cost-based choice.
   Result<rewriting::PlanSet> PlanPrepared(
       const pivot::ConjunctiveQuery& query,
-      const std::map<std::string, engine::Value>& parameters = {}) const;
+      const std::map<std::string, engine::Value>& parameters = {},
+      const rewriting::PlanConstraints& constraints = {}) const;
 
   /// Translates previously computed PACB rewritings (e.g. a plan-cache
   /// hit) into executable plans for this call's parameters — the rewrite,
   /// the system's most expensive step, is skipped entirely.
   Result<rewriting::PlanSet> PlanFromRewritings(
       pacb::RewritingResult rewritings,
-      const std::map<std::string, engine::Value>& parameters = {}) const;
+      const std::map<std::string, engine::Value>& parameters = {},
+      const rewriting::PlanConstraints& constraints = {}) const;
 
   /// Executes the best plan of `plans` and assembles the QueryResult,
   /// recording `query` in the workload log (internally synchronized).

@@ -1,8 +1,29 @@
 #include "rewriting/planner.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace estocada::rewriting {
+
+bool PlanConstraints::Excludes(const std::string& store) const {
+  return std::find(excluded_stores.begin(), excluded_stores.end(), store) !=
+         excluded_stores.end();
+}
+
+std::vector<std::string> RewritingStores(
+    const catalog::Catalog& catalog,
+    const pivot::ConjunctiveQuery& rewriting) {
+  std::vector<std::string> out;
+  for (const pivot::Atom& atom : rewriting.body) {
+    auto fragment = catalog.GetFragment(atom.relation);
+    if (!fragment.ok()) continue;
+    out.push_back((*fragment)->store_name);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
 
 Planner::Planner(const catalog::Catalog* catalog,
                  const pacb::Rewriter* rewriter)
@@ -11,7 +32,8 @@ Planner::Planner(const catalog::Catalog* catalog,
 Result<PlanSet> Planner::PlanQuery(
     const pivot::ConjunctiveQuery& query,
     const std::map<std::string, engine::Value>& parameters,
-    const pacb::RewriterOptions& options) const {
+    const pacb::RewriterOptions& options,
+    const PlanConstraints& constraints) const {
   ESTOCADA_ASSIGN_OR_RETURN(pacb::RewritingResult rewriting_result,
                             rewriter_->Rewrite(query, options));
   if (rewriting_result.rewritings.empty()) {
@@ -19,17 +41,28 @@ Result<PlanSet> Planner::PlanQuery(
         StrCat("no rewriting over the registered fragments answers ",
                query.ToString()));
   }
-  return PlanRewritings(std::move(rewriting_result), parameters);
+  return PlanRewritings(std::move(rewriting_result), parameters, constraints);
 }
 
 Result<PlanSet> Planner::PlanRewritings(
     pacb::RewritingResult rewriting_result,
-    const std::map<std::string, engine::Value>& parameters) const {
+    const std::map<std::string, engine::Value>& parameters,
+    const PlanConstraints& constraints) const {
   PlanSet out;
   out.rewriting_result = std::move(rewriting_result);
   Translator translator(catalog_);
   Status last_error = Status::OK();
+  size_t excluded = 0;
   for (const pacb::Rewriting& rw : out.rewriting_result.rewritings) {
+    std::vector<std::string> used = RewritingStores(*catalog_, rw.query);
+    if (!constraints.excluded_stores.empty() &&
+        std::any_of(used.begin(), used.end(),
+                    [&](const std::string& s) {
+                      return constraints.Excludes(s);
+                    })) {
+      ++excluded;
+      continue;
+    }
     auto plan = translator.Plan(rw.query, parameters);
     if (!plan.ok()) {
       // An individual rewriting can be unplannable (e.g. unbound
@@ -37,9 +70,18 @@ Result<PlanSet> Planner::PlanRewritings(
       last_error = plan.status();
       continue;
     }
+    plan->stores_used = std::move(used);
     out.plans.push_back(std::move(*plan));
   }
   if (out.plans.empty()) {
+    if (excluded > 0) {
+      // Rewritings existed but every one touched an open-circuit store:
+      // distinct from kNoRewriting so callers fall back to the staging
+      // area instead of surfacing a planning error.
+      return Status::Unavailable(
+          StrCat("all ", excluded,
+                 " candidate rewriting(s) read from unavailable stores"));
+    }
     return last_error.ok()
                ? Status::NoRewriting("no executable plan for any rewriting")
                : last_error;

@@ -25,6 +25,21 @@ struct PlanSet {
   const PlannedQuery& best_plan() const { return plans[best]; }
 };
 
+/// Planning-time availability constraints: a rewriting whose fragments
+/// live (even partially) on an excluded store is dropped from the
+/// candidate set before translation. Fed by the runtime's circuit
+/// breakers — this is what turns rewriting multiplicity into failover.
+struct PlanConstraints {
+  std::vector<std::string> excluded_stores;
+
+  bool Excludes(const std::string& store) const;
+};
+
+/// Store names holding the fragments `rewriting` reads (sorted,
+/// deduplicated; atoms that are not registered fragments are ignored).
+std::vector<std::string> RewritingStores(
+    const catalog::Catalog& catalog, const pivot::ConjunctiveQuery& rewriting);
+
 /// The cost-based query evaluator: runs the PACB rewriter against the
 /// catalog's views, translates every rewriting to an executable plan, and
 /// picks the cheapest by estimated cost.
@@ -33,11 +48,13 @@ class Planner {
   Planner(const catalog::Catalog* catalog, const pacb::Rewriter* rewriter);
 
   /// Plans `query` (a CQ over dataset relations). Fails with kNoRewriting
-  /// when no executable rewriting exists.
+  /// when no executable rewriting exists, kUnavailable when rewritings
+  /// exist but every one touches an excluded store.
   Result<PlanSet> PlanQuery(
       const pivot::ConjunctiveQuery& query,
       const std::map<std::string, engine::Value>& parameters = {},
-      const pacb::RewriterOptions& options = {}) const;
+      const pacb::RewriterOptions& options = {},
+      const PlanConstraints& constraints = {}) const;
 
   /// Translation-only half of PlanQuery: turns already-computed PACB
   /// rewritings into executable plans for this call's parameters and picks
@@ -45,7 +62,8 @@ class Planner {
   /// rewrite on a hit. Does not touch the rewriter.
   Result<PlanSet> PlanRewritings(
       pacb::RewritingResult rewriting_result,
-      const std::map<std::string, engine::Value>& parameters = {}) const;
+      const std::map<std::string, engine::Value>& parameters = {},
+      const PlanConstraints& constraints = {}) const;
 
  private:
   const catalog::Catalog* catalog_;

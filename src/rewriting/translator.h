@@ -36,6 +36,10 @@ struct PlannedQuery {
   pivot::ConjunctiveQuery rewriting;
   /// Delegated native queries, one line each (SQL text, KV gets, ...).
   std::vector<std::string> delegated;
+  /// Names of the stores whose fragments this plan reads (sorted,
+  /// deduplicated). The serving runtime attributes execution failures and
+  /// targets circuit breakers using this list.
+  std::vector<std::string> stores_used;
 
   /// Operator tree rendering plus the delegation list.
   std::string ToString() const;

@@ -1,0 +1,86 @@
+#include "runtime/health.h"
+
+namespace estocada::runtime {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool HealthRegistry::ReportFailure(const std::string& store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = breakers_[store];
+  ++b.consecutive_failures;
+  switch (b.state) {
+    case BreakerState::kOpen:
+      return false;  // Already open; nothing new to report.
+    case BreakerState::kHalfOpen:
+      // The probe failed: straight back to open, restart the cooldown.
+      b.state = BreakerState::kOpen;
+      b.opened_at = Clock::now();
+      epoch_.fetch_add(1, std::memory_order_release);
+      return true;
+    case BreakerState::kClosed:
+      if (b.consecutive_failures < options_.failure_threshold) return false;
+      b.state = BreakerState::kOpen;
+      b.opened_at = Clock::now();
+      epoch_.fetch_add(1, std::memory_order_release);
+      return true;
+  }
+  return false;
+}
+
+void HealthRegistry::ReportSuccess(const std::string& store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(store);
+  if (it == breakers_.end()) return;  // Never failed: implicitly closed.
+  Breaker& b = it->second;
+  b.consecutive_failures = 0;
+  if (b.state == BreakerState::kClosed) return;
+  // A success while half-open (probe worked) — or while open, which can
+  // happen when an in-flight read raced the trip — closes the breaker.
+  b.state = BreakerState::kClosed;
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<std::string> HealthRegistry::ExcludedStores() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Clock::time_point now = Clock::now();
+  std::vector<std::string> out;
+  for (auto& [store, b] : breakers_) {
+    if (b.state != BreakerState::kOpen) continue;
+    const auto open_for =
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              b.opened_at);
+    if (open_for.count() >= 0 &&
+        static_cast<uint64_t>(open_for.count()) >=
+            options_.open_cooldown_micros) {
+      b.state = BreakerState::kHalfOpen;  // Cooldown over: admit a probe.
+      epoch_.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    out.push_back(store);
+  }
+  return out;
+}
+
+BreakerState HealthRegistry::state(const std::string& store) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(store);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+void HealthRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!breakers_.empty()) epoch_.fetch_add(1, std::memory_order_release);
+  breakers_.clear();
+}
+
+}  // namespace estocada::runtime

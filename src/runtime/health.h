@@ -1,0 +1,88 @@
+#ifndef ESTOCADA_RUNTIME_HEALTH_H_
+#define ESTOCADA_RUNTIME_HEALTH_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace estocada::runtime {
+
+/// Circuit-breaker state of one store, classic three-state machine:
+/// closed (healthy) → open after N consecutive failures (excluded from
+/// planning) → half-open once the cooldown elapses (probe traffic allowed)
+/// → closed on the first probe success, back to open on a probe failure.
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+struct HealthOptions {
+  /// Consecutive failures that trip a closed breaker open. Deliberately
+  /// below the serve loop's RetryPolicy::max_attempts so a hard outage
+  /// trips mid-query and the remaining attempts re-plan around it.
+  int failure_threshold = 3;
+  /// How long an open breaker stays open before admitting a half-open
+  /// probe. Tests use 0 for instant probes.
+  uint64_t open_cooldown_micros = 100'000;
+};
+
+/// Per-store circuit breakers shared by every serving thread. Execution
+/// outcomes feed ReportSuccess/ReportFailure; planners ask ExcludedStores
+/// for the set to avoid. Every change to that set bumps `health_epoch`,
+/// which versions the plan cache alongside the catalog epoch: plans
+/// referencing a store that just died are dropped, and re-admitted plans
+/// become stale again when the store recovers.
+class HealthRegistry {
+ public:
+  explicit HealthRegistry(HealthOptions options = {}) : options_(options) {}
+
+  HealthRegistry(const HealthRegistry&) = delete;
+  HealthRegistry& operator=(const HealthRegistry&) = delete;
+
+  /// Records a failed read against `store`. Returns true iff this report
+  /// tripped the breaker from closed/half-open to open (callers count
+  /// breaker trips in metrics).
+  bool ReportFailure(const std::string& store);
+
+  /// Records a successful read; closes a half-open breaker and zeroes the
+  /// consecutive-failure count.
+  void ReportSuccess(const std::string& store);
+
+  /// Stores the planner must avoid right now (breakers in kOpen). Also
+  /// performs due open → half-open transitions, so calling this is what
+  /// lets probe traffic resume after the cooldown.
+  std::vector<std::string> ExcludedStores();
+
+  /// Current state without side effects (no cooldown transition).
+  BreakerState state(const std::string& store) const;
+
+  /// Monotone version of the excluded-store set; bumped on every open,
+  /// half-open, and close transition.
+  uint64_t health_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Forgets all breaker state (between benchmark phases).
+  void Reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    Clock::time_point opened_at;
+  };
+
+  HealthOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Breaker> breakers_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace estocada::runtime
+
+#endif  // ESTOCADA_RUNTIME_HEALTH_H_

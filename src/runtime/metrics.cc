@@ -13,6 +13,10 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.cache_misses = cache_misses_.load(kRelaxed);
   s.rewrites = rewrites_.load(kRelaxed);
   s.errors = errors_.load(kRelaxed);
+  s.retries = retries_.load(kRelaxed);
+  s.breaker_trips = breaker_trips_.load(kRelaxed);
+  s.failovers = failovers_.load(kRelaxed);
+  s.degraded = degraded_.load(kRelaxed);
   s.latency = latency_.snapshot();
   return s;
 }
@@ -23,6 +27,10 @@ void ServerMetrics::Reset() {
   cache_misses_.store(0, kRelaxed);
   rewrites_.store(0, kRelaxed);
   errors_.store(0, kRelaxed);
+  retries_.store(0, kRelaxed);
+  breaker_trips_.store(0, kRelaxed);
+  failovers_.store(0, kRelaxed);
+  degraded_.store(0, kRelaxed);
   latency_.Reset();
 }
 
@@ -34,6 +42,9 @@ std::string MetricsSnapshot::ToString() const {
                 "plan cache:      ", cache_hits, " hit(s), ", cache_misses,
                 " miss(es) (", rate, " hit rate)\n",
                 "PACB rewrites:   ", rewrites, "\n",
+                "resilience:      ", retries, " retry(ies), ", breaker_trips,
+                " breaker trip(s), ", failovers, " failover(s), ", degraded,
+                " degraded\n",
                 "latency:         ", latency.ToString(), "\n");
 }
 

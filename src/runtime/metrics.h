@@ -17,6 +17,10 @@ struct MetricsSnapshot {
   uint64_t cache_misses = 0;     ///< Plan-cache misses.
   uint64_t rewrites = 0;         ///< Full PACB rewrites performed.
   uint64_t errors = 0;           ///< Queries that returned a non-OK status.
+  uint64_t retries = 0;          ///< Re-executions after a transient fault.
+  uint64_t breaker_trips = 0;    ///< Circuit breakers tripped open.
+  uint64_t failovers = 0;        ///< Re-plans that excluded unhealthy stores.
+  uint64_t degraded = 0;         ///< Answers served from the staging area.
   LatencyHistogram::Snapshot latency;
 
   double CacheHitRate() const {
@@ -40,6 +44,10 @@ class ServerMetrics {
   void RecordCacheHit() { cache_hits_.fetch_add(1, kRelaxed); }
   void RecordCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
   void RecordRewrite() { rewrites_.fetch_add(1, kRelaxed); }
+  void RecordRetry() { retries_.fetch_add(1, kRelaxed); }
+  void RecordBreakerTrip() { breaker_trips_.fetch_add(1, kRelaxed); }
+  void RecordFailover() { failovers_.fetch_add(1, kRelaxed); }
+  void RecordDegraded() { degraded_.fetch_add(1, kRelaxed); }
 
   /// Call once per finished query with its end-to-end latency.
   void RecordQuery(bool ok, double latency_micros) {
@@ -65,6 +73,10 @@ class ServerMetrics {
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> rewrites_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> breaker_trips_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> degraded_{0};
   LatencyHistogram latency_;
 };
 

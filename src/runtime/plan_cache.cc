@@ -20,7 +20,8 @@ PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
 }
 
 PlanCache::CachedRewritings PlanCache::Lookup(const std::string& key,
-                                              uint64_t epoch) {
+                                              uint64_t epoch,
+                                              uint64_t health_epoch) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -28,8 +29,9 @@ PlanCache::CachedRewritings PlanCache::Lookup(const std::string& key,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  if (it->second->epoch != epoch) {
-    // Computed against a fragment layout that no longer exists.
+  if (it->second->epoch != epoch || it->second->health_epoch != health_epoch) {
+    // Computed against a fragment layout or store-availability state that
+    // no longer exists.
     shard.lru.erase(it->second);
     shard.index.erase(it);
     invalidations_.fetch_add(1, std::memory_order_relaxed);
@@ -43,18 +45,19 @@ PlanCache::CachedRewritings PlanCache::Lookup(const std::string& key,
 }
 
 void PlanCache::Insert(const std::string& key, uint64_t epoch,
-                       CachedRewritings value) {
+                       CachedRewritings value, uint64_t health_epoch) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->epoch = epoch;
+    it->second->health_epoch = health_epoch;
     it->second->value = std::move(value);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     insertions_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  shard.lru.push_front(Entry{key, epoch, std::move(value)});
+  shard.lru.push_front(Entry{key, epoch, health_epoch, std::move(value)});
   shard.index.emplace(key, shard.lru.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
   while (shard.lru.size() > per_shard_capacity_) {

@@ -36,6 +36,12 @@ struct PlanCacheOptions {
 /// dropped on the spot. A plan computed before a fragment change can
 /// therefore never be served after it.
 ///
+/// Entries carry a second, independent version — the *health epoch* from
+/// the runtime's HealthRegistry. Store-availability changes bump it, so
+/// rewritings admitted while a store was dead are invalidated when it
+/// recovers (and vice versa) exactly like catalog changes invalidate
+/// layout-stale plans.
+///
 /// Thread-safe; each shard has its own mutex, so concurrent lookups of
 /// different queries rarely contend.
 class PlanCache {
@@ -55,13 +61,17 @@ class PlanCache {
   explicit PlanCache(Options options = Options());
 
   /// Returns the cached rewritings for `key` when present *and* computed
-  /// at `epoch`; nullptr otherwise. A present entry with a different epoch
-  /// is erased (the fragment layout it was computed against is gone).
-  CachedRewritings Lookup(const std::string& key, uint64_t epoch);
+  /// at (`epoch`, `health_epoch`); nullptr otherwise. A present entry with
+  /// a different epoch pair is erased (the fragment layout or store
+  /// availability it was computed against is gone).
+  CachedRewritings Lookup(const std::string& key, uint64_t epoch,
+                          uint64_t health_epoch = 0);
 
-  /// Inserts (or replaces) the entry for `key` at `epoch`, evicting the
-  /// least-recently-used entry of the shard when over budget.
-  void Insert(const std::string& key, uint64_t epoch, CachedRewritings value);
+  /// Inserts (or replaces) the entry for `key` at (`epoch`,
+  /// `health_epoch`), evicting the least-recently-used entry of the shard
+  /// when over budget.
+  void Insert(const std::string& key, uint64_t epoch, CachedRewritings value,
+              uint64_t health_epoch = 0);
 
   /// Drops every entry (benchmarks use this to re-measure cold caches).
   void Clear();
@@ -73,6 +83,7 @@ class PlanCache {
   struct Entry {
     std::string key;
     uint64_t epoch = 0;
+    uint64_t health_epoch = 0;
     CachedRewritings value;
   };
   struct Shard {

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <mutex>
+#include <thread>
 #include <utility>
 
+#include "common/strings.h"
 #include "pivot/parser.h"
 
 namespace estocada::runtime {
@@ -18,7 +20,10 @@ double ElapsedMicros(std::chrono::steady_clock::time_point start) {
 
 QueryServer::QueryServer(Estocada* system, ServerOptions options)
     : system_(system),
+      options_(options),
       cache_(options.cache),
+      health_(options.health),
+      rng_(options.backoff_jitter_seed),
       pool_(options.worker_threads == 0 ? 1 : options.worker_threads) {
   // Build the rewriter eagerly so the first queries take the fast path.
   std::unique_lock lock(mu_);
@@ -27,27 +32,105 @@ QueryServer::QueryServer(Estocada* system, ServerOptions options)
 
 QueryServer::~QueryServer() { pool_.WaitIdle(); }
 
+std::vector<std::string> QueryServer::AttributeFailure(
+    const Status& st, const std::vector<std::string>& plan_stores) const {
+  std::vector<std::string> out;
+  for (const std::string& store : plan_stores) {
+    if (st.message().find(StrCat("store '", store, "'")) !=
+        std::string::npos) {
+      out.push_back(store);
+    }
+  }
+  if (out.empty()) out = plan_stores;
+  return out;
+}
+
+Result<Estocada::QueryResult> QueryServer::ServeFromStaging(
+    const CanonicalQuery& canonical,
+    const std::map<std::string, engine::Value>& parameters,
+    std::vector<std::string> excluded, int attempt) {
+  metrics_.RecordDegraded();
+  Estocada::QueryResult result;
+  ESTOCADA_ASSIGN_OR_RETURN(
+      result.rows,
+      system_->EvaluateOverStagingPrepared(canonical.query, parameters));
+  result.degraded_to_staging = true;
+  result.attempts = attempt;
+  result.excluded_stores = std::move(excluded);
+  result.rewriting_text = "(staging fallback)";
+  result.plan_text = "(staging fallback: no rewriting survived the health "
+                     "exclusions)";
+  return result;
+}
+
 Result<Estocada::QueryResult> QueryServer::ServeLocked(
     const CanonicalQuery& canonical,
-    const std::map<std::string, engine::Value>& parameters) {
+    const std::map<std::string, engine::Value>& parameters, int attempt) {
   uint64_t epoch = system_->catalog_epoch();
-  PlanCache::CachedRewritings cached = cache_.Lookup(canonical.key, epoch);
-  rewriting::PlanSet plans;
-  if (cached != nullptr) {
-    metrics_.RecordCacheHit();
-    // Translation only — the PACB rewrite is skipped.
-    ESTOCADA_ASSIGN_OR_RETURN(plans,
-                              system_->PlanFromRewritings(*cached, parameters));
-  } else {
+  // ExcludedStores() first: it performs due open → half-open transitions,
+  // which bump the health epoch we key the cache on.
+  std::vector<std::string> excluded;
+  if (options_.fault_tolerant) excluded = health_.ExcludedStores();
+  uint64_t health_epoch = health_.health_epoch();
+  rewriting::PlanConstraints constraints{excluded};
+
+  // The cache holds the *complete* rewriting set of a query shape;
+  // exclusions are applied at translation time, so an entry stays correct
+  // for whatever breaker state holds at the moment it is used. Keying on
+  // the health epoch additionally drops entries across availability
+  // changes, re-admitting them against the new store set.
+  PlanCache::CachedRewritings cached =
+      cache_.Lookup(canonical.key, epoch, health_epoch);
+  Result<rewriting::PlanSet> planned = [&]() -> Result<rewriting::PlanSet> {
+    if (cached != nullptr) {
+      metrics_.RecordCacheHit();
+      // Translation only — the PACB rewrite is skipped.
+      return system_->PlanFromRewritings(*cached, parameters, constraints);
+    }
     metrics_.RecordCacheMiss();
     metrics_.RecordRewrite();
-    ESTOCADA_ASSIGN_OR_RETURN(plans,
-                              system_->PlanPrepared(canonical.query, parameters));
+    return system_->PlanPrepared(canonical.query, parameters, constraints);
+  }();
+  if (!planned.ok()) {
+    if (options_.fault_tolerant &&
+        planned.status().code() == StatusCode::kUnavailable) {
+      // Planning starved by the exclusions: no rewriting avoids every
+      // open-circuit store. Bottom of the ladder — answer from staging.
+      return ServeFromStaging(canonical, parameters, std::move(excluded),
+                              attempt);
+    }
+    return planned.status();
+  }
+  if (cached == nullptr) {
     cache_.Insert(canonical.key, epoch,
                   std::make_shared<const pacb::RewritingResult>(
-                      plans.rewriting_result));
+                      planned->rewriting_result),
+                  health_epoch);
   }
-  return system_->ExecutePlanned(std::move(plans), canonical.query);
+
+  std::vector<std::string> plan_stores = planned->best_plan().stores_used;
+  Result<Estocada::QueryResult> result =
+      system_->ExecutePlanned(std::move(*planned), canonical.query);
+  if (result.ok()) {
+    if (options_.fault_tolerant) {
+      for (const std::string& store : plan_stores) {
+        health_.ReportSuccess(store);
+      }
+      // Answered while avoiding an unhealthy store: a failover — the
+      // rewriting multiplicity carried the query around the outage.
+      if (!excluded.empty()) metrics_.RecordFailover();
+    }
+    result->attempts = attempt;
+    result->excluded_stores = std::move(excluded);
+    return result;
+  }
+  if (options_.fault_tolerant && RetryPolicy::IsRetryable(result.status())) {
+    for (const std::string& store :
+         AttributeFailure(result.status(), plan_stores)) {
+      if (health_.ReportFailure(store)) metrics_.RecordBreakerTrip();
+    }
+  }
+  return result;
 }
 
 Result<Estocada::QueryResult> QueryServer::ServeTimed(
@@ -59,19 +142,51 @@ Result<Estocada::QueryResult> QueryServer::ServeTimed(
   std::map<std::string, engine::Value> remapped =
       RemapParameters(canonical, parameters);
 
-  // The rewriter may be stale right after a catalog change; rebuilding
-  // needs the exclusive lock, serving only the shared one. Retry the
-  // upgrade a bounded number of times in case admin calls keep landing
-  // between the rebuild and the re-acquired read lock.
-  for (int attempt = 0; attempt < 64; ++attempt) {
+  const auto start = std::chrono::steady_clock::now();
+  Status last_error = Status::OK();
+  int attempt = 1;
+  // The loop serves two kinds of re-entry, neither holding the lock
+  // across iterations: rewriter upgrades (the rewriter may be stale right
+  // after a catalog change; rebuilding needs the exclusive lock, serving
+  // only the shared one) and retries of transient execution failures
+  // (backoff sleeps happen with no lock held). The spin bound is a
+  // backstop against admin calls perpetually racing the upgrade.
+  for (int spin = 0; spin < 64; ++spin) {
+    bool served = false;
     {
       std::shared_lock read_lock(mu_);
       if (system_->rewriter_ready()) {
-        return ServeLocked(canonical, remapped);
+        served = true;
+        Result<Estocada::QueryResult> result =
+            ServeLocked(canonical, remapped, attempt);
+        if (result.ok() || !options_.fault_tolerant ||
+            !RetryPolicy::IsRetryable(result.status())) {
+          return result;
+        }
+        last_error = result.status();
       }
     }
-    std::unique_lock write_lock(mu_);
-    ESTOCADA_RETURN_NOT_OK(system_->PrepareRewriter());
+    if (!served) {
+      std::unique_lock write_lock(mu_);
+      ESTOCADA_RETURN_NOT_OK(system_->PrepareRewriter());
+      continue;  // Upgrades do not consume retry attempts.
+    }
+    const RetryPolicy& retry = options_.retry;
+    if (attempt >= retry.max_attempts) return last_error;
+    if (retry.deadline_micros > 0 &&
+        ElapsedMicros(start) >= static_cast<double>(retry.deadline_micros)) {
+      return last_error;
+    }
+    metrics_.RecordRetry();
+    uint64_t wait_micros;
+    {
+      std::lock_guard<std::mutex> rng_lock(rng_mu_);
+      wait_micros = retry.BackoffMicros(attempt, rng_);
+    }
+    if (wait_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(wait_micros));
+    }
+    ++attempt;
   }
   return Status::Internal(
       "rewriter preparation kept racing catalog changes; giving up");

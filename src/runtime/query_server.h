@@ -8,11 +8,14 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "estocada/estocada.h"
 #include "runtime/canonical.h"
+#include "runtime/health.h"
 #include "runtime/metrics.h"
 #include "runtime/plan_cache.h"
+#include "runtime/retry.h"
 
 namespace estocada::runtime {
 
@@ -23,6 +26,14 @@ struct ServerOptions {
   /// callers.
   size_t worker_threads = 8;
   PlanCache::Options cache;
+  /// Master switch for the resilience ladder (retry → failover rewriting
+  /// → staging fallback). Off = PR-1 behavior: the first store error
+  /// kills the query. Benchmarks compare both.
+  bool fault_tolerant = true;
+  RetryPolicy retry;
+  HealthOptions health;
+  /// Seeds the backoff-jitter generator (deterministic chaos runs).
+  uint64_t backoff_jitter_seed = 0x5ca1ab1e;
 };
 
 /// The concurrent serving runtime wrapped around the Estocada facade —
@@ -39,7 +50,14 @@ struct ServerOptions {
 ///    of the query path — runs once per query shape per fragment layout
 ///    instead of once per call;
 ///  * the epoch versioning guarantees a plan cached before a fragment
-///    change is never served after it.
+///    change is never served after it;
+///  * store failures walk a degradation ladder instead of killing the
+///    query: transient errors are retried with jittered exponential
+///    backoff; repeated failures trip a per-store circuit breaker, after
+///    which planning excludes that store's fragments and the best
+///    *surviving* rewriting answers (the paper's rewriting multiplicity
+///    as availability); when no rewriting survives, the staging area
+///    answers — degraded but correct; only non-retryable errors surface.
 ///
 /// The wrapped Estocada must not be mutated behind the server's back while
 /// serving; route all catalog/data changes through the server.
@@ -91,6 +109,10 @@ class QueryServer {
   PlanCache::Stats cache_stats() const { return cache_.stats(); }
   size_t worker_threads() const { return pool_.num_threads(); }
 
+  /// The per-store circuit breakers (tests and benchmarks inspect states
+  /// and reset between phases; execution outcomes feed it automatically).
+  HealthRegistry& health() { return health_; }
+
   /// Drops every cached plan (benchmarks measuring cold caches).
   void ClearPlanCache() { cache_.Clear(); }
 
@@ -99,22 +121,42 @@ class QueryServer {
   void ResetMetrics() { metrics_.Reset(); }
 
  private:
-  /// Cache-lookup → (on miss) rewrite → translate → execute, under the
-  /// shared lock the caller already holds.
+  /// One execution attempt under the shared lock the caller already
+  /// holds: cache-lookup → (on miss) rewrite → translate with the current
+  /// breaker exclusions → execute, feeding breaker state with the
+  /// outcome. Falls back to the staging area when planning is starved by
+  /// the exclusions. `attempt` is 1-based and only labels the result.
   Result<Estocada::QueryResult> ServeLocked(
       const CanonicalQuery& canonical,
-      const std::map<std::string, engine::Value>& parameters);
+      const std::map<std::string, engine::Value>& parameters, int attempt);
+
+  /// Degradation-ladder bottom: answer from the staging area.
+  Result<Estocada::QueryResult> ServeFromStaging(
+      const CanonicalQuery& canonical,
+      const std::map<std::string, engine::Value>& parameters,
+      std::vector<std::string> excluded, int attempt);
+
+  /// Stores of `plan_stores` named in `st`'s message ("store '<id>'");
+  /// all of them when none is named (can't attribute — suspect every
+  /// store the plan read).
+  std::vector<std::string> AttributeFailure(
+      const Status& st, const std::vector<std::string>& plan_stores) const;
 
   Result<Estocada::QueryResult> ServeTimed(
       const std::string& query_text,
       const std::map<std::string, engine::Value>& parameters);
 
   Estocada* system_;
+  ServerOptions options_;
   /// Guards the Estocada facade: shared for the query path, exclusive for
   /// catalog/data changes and rewriter rebuilds.
   std::shared_mutex mu_;
   PlanCache cache_;
   ServerMetrics metrics_;
+  HealthRegistry health_;
+  /// Backoff-jitter draws (behind its own mutex; failures are rare).
+  std::mutex rng_mu_;
+  Rng rng_;
   ThreadPool pool_;
 };
 

@@ -1,0 +1,14 @@
+#include "runtime/retry.h"
+
+namespace estocada::runtime {
+
+uint64_t RetryPolicy::BackoffMicros(int attempt, Rng& rng) const {
+  if (attempt < 1) attempt = 1;
+  uint64_t cap = initial_backoff_micros;
+  for (int i = 1; i < attempt && cap < max_backoff_micros; ++i) cap *= 2;
+  if (cap > max_backoff_micros) cap = max_backoff_micros;
+  if (cap == 0) return 0;
+  return rng.Uniform(cap + 1);
+}
+
+}  // namespace estocada::runtime

@@ -1,0 +1,42 @@
+#ifndef ESTOCADA_RUNTIME_RETRY_H_
+#define ESTOCADA_RUNTIME_RETRY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace estocada::runtime {
+
+/// How the serving loop retries a query whose execution failed with a
+/// transient (kUnavailable) store error. Attempts are bounded, waits grow
+/// exponentially with full seeded jitter (wait = U[0, base * 2^attempt],
+/// capped), and an overall deadline bounds total time in the retry loop.
+struct RetryPolicy {
+  /// Total tries including the first. Chosen to exceed the breaker's
+  /// failure threshold so a hard outage trips the breaker *within* one
+  /// query's retry loop and the final attempts can re-plan around it.
+  int max_attempts = 4;
+  /// Base of the exponential backoff schedule.
+  uint64_t initial_backoff_micros = 50;
+  /// Upper bound on a single backoff wait.
+  uint64_t max_backoff_micros = 10'000;
+  /// Budget across all attempts and waits; 0 = unlimited. Once exceeded,
+  /// the loop stops retrying and reports the last error.
+  uint64_t deadline_micros = 1'000'000;
+
+  /// True if `s` is worth retrying under this policy (only transient
+  /// store unavailability is; planner/user errors never are).
+  static bool IsRetryable(const Status& s) {
+    return s.code() == StatusCode::kUnavailable;
+  }
+
+  /// Jittered wait before attempt `attempt` (1-based count of failures so
+  /// far): uniform in [0, min(initial * 2^(attempt-1), max)]. Full jitter
+  /// decorrelates concurrent clients hammering a recovering store.
+  uint64_t BackoffMicros(int attempt, Rng& rng) const;
+};
+
+}  // namespace estocada::runtime
+
+#endif  // ESTOCADA_RUNTIME_RETRY_H_

@@ -161,6 +161,7 @@ Result<std::string> DocumentStore::Insert(const std::string& collection,
 Result<JsonValue> DocumentStore::FindById(const std::string& collection,
                                           const std::string& id,
                                           StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
   Charge(stats, 1, 0, 1, 0);
   auto it = c->docs.find(id);
@@ -175,6 +176,7 @@ Result<JsonValue> DocumentStore::FindById(const std::string& collection,
 Result<std::vector<JsonValue>> DocumentStore::Find(
     const std::string& collection,
     const std::vector<PathPredicate>& predicates, StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
   uint64_t scanned = 0;
   uint64_t lookups = 0;

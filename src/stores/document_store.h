@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "json/json.h"
+#include "stores/fault.h"
 #include "stores/store_stats.h"
 
 namespace estocada::stores {
@@ -28,7 +29,7 @@ struct PathPredicate {
 /// dotted path predicates, optional per-path hash indexes — and *no*
 /// joins, the feature boundary the rewriting layer must respect when
 /// delegating (single-collection filters go down, joins stay up).
-class DocumentStore {
+class DocumentStore : public FaultInjectable {
  public:
   /// Default profile: BSON-protocol round trip + per-document match cost.
   explicit DocumentStore(CostProfile profile = {/*per_operation=*/12.0,

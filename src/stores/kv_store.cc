@@ -69,6 +69,7 @@ Status KeyValueStore::Put(const std::string& collection, const std::string& key,
 Result<std::string> KeyValueStore::Get(const std::string& collection,
                                        const std::string& key,
                                        StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
   Charge(stats, 1, 0, 1, 0);
   auto it = c->find(key);
@@ -83,6 +84,7 @@ Result<std::string> KeyValueStore::Get(const std::string& collection,
 Result<std::vector<std::optional<std::string>>> KeyValueStore::MGet(
     const std::string& collection, const std::vector<std::string>& keys,
     StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
   std::vector<std::optional<std::string>> out;
   out.reserve(keys.size());
@@ -117,6 +119,7 @@ Status KeyValueStore::Delete(const std::string& collection,
 
 Result<std::vector<std::pair<std::string, std::string>>> KeyValueStore::Scan(
     const std::string& collection, StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(c->size());

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "stores/fault.h"
 #include "stores/store_stats.h"
 
 namespace estocada::stores {
@@ -20,7 +21,7 @@ namespace estocada::stores {
 /// the pivot model encodes with an input-adorned key position. A full Scan
 /// exists (the stores are slave systems, ESTOCADA may bulk-load from them)
 /// but costs proportionally to the collection.
-class KeyValueStore {
+class KeyValueStore : public FaultInjectable {
  public:
   /// Default profile models a lightweight binary-protocol round trip —
   /// the cheap-lookup blueprint that motivates the §II migration.

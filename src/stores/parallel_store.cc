@@ -116,6 +116,7 @@ Result<std::vector<Row>> ParallelStore::ParallelScan(
     const std::string& relation,
     const std::function<bool(const Row&)>& predicate,
     const std::vector<size_t>& projection, StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Relation* r, GetRelation(relation));
   for (size_t col : projection) {
     if (col >= r->arity) {
@@ -190,6 +191,7 @@ Status ParallelStore::CreateIndex(const std::string& relation,
 Result<std::vector<Row>> ParallelStore::IndexLookup(
     const std::string& relation, const std::vector<size_t>& columns,
     const Row& key, StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Relation* r, GetRelation(relation));
   auto it = r->indexes.find(IndexKey(columns));
   if (it == r->indexes.end()) {

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "engine/value.h"
+#include "stores/fault.h"
 #include "stores/store_stats.h"
 
 namespace estocada::stores {
@@ -23,7 +24,7 @@ namespace estocada::stores {
 /// composite-key hash indexes provide the "(userID, product category)"
 /// access path. Per-job launch overhead is part of the cost profile:
 /// bulk work is cheap, point lookups through the job API are not.
-class ParallelStore {
+class ParallelStore : public FaultInjectable {
  public:
   /// `workers`: thread-pool size (the "cluster"). Default profile models
   /// job-launch latency + cheap per-row distributed scanning.

@@ -213,6 +213,7 @@ void RelationalStore::Charge(StoreStats* stats, uint64_t ops, uint64_t scanned,
 
 Result<std::vector<Row>> RelationalStore::Scan(const std::string& table,
                                                StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Table* t, GetTable(table));
   Charge(stats, 1, t->rows.size(), 0, t->rows.size());
   return t->rows;
@@ -232,6 +233,7 @@ Result<std::vector<Row>> RelationalStore::Lookup(const std::string& table,
 
 Result<std::vector<Row>> RelationalStore::Execute(const SpjQuery& query,
                                                   StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   if (query.from.empty()) {
     return Status::InvalidArgument("SPJ query needs at least one table");
   }

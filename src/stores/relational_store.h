@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "engine/value.h"
+#include "stores/fault.h"
 #include "stores/store_stats.h"
 
 namespace estocada::stores {
@@ -59,7 +60,7 @@ struct SpjQuery {
 /// executor with a greedy bound-first join order that exploits the
 /// indexes. Full SPJ support is the contract the rewriting layer relies
 /// on when delegating to this store.
-class RelationalStore {
+class RelationalStore : public FaultInjectable {
  public:
   /// Default cost profile models a client/server SQL round trip.
   explicit RelationalStore(CostProfile profile = {/*per_operation=*/25.0,

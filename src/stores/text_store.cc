@@ -101,6 +101,7 @@ Status TextStore::AddDocument(
 Result<std::vector<std::string>> TextStore::Search(
     const std::string& core, const std::vector<std::string>& terms,
     StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Core* c, GetCore(core));
   if (terms.empty()) {
     return Status::InvalidArgument("search needs at least one term");
@@ -140,6 +141,7 @@ Result<std::vector<std::string>> TextStore::Search(
 Result<std::map<std::string, std::string>> TextStore::GetDocument(
     const std::string& core, const std::string& doc_id,
     StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Core* c, GetCore(core));
   Charge(stats, 1, 0, 1, 0);
   auto it = c->docs.find(doc_id);

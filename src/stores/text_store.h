@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "stores/fault.h"
 #include "stores/store_stats.h"
 
 namespace estocada::stores {
@@ -17,7 +18,7 @@ namespace estocada::stores {
 /// core built at AddDocument time, and conjunctive term search with
 /// postings-intersection. Tokenization is lowercase alphanumeric-run
 /// splitting. This is the store the product-catalog fragment lives in.
-class TextStore {
+class TextStore : public FaultInjectable {
  public:
   explicit TextStore(CostProfile profile = {/*per_operation=*/10.0,
                                             /*per_row_scanned=*/0.03,

@@ -1,11 +1,23 @@
 /// Failure-injection tests: errors raised deep inside delegated store
 /// calls or engine operators must propagate as Status values — never
-/// crash, never silently truncate results.
+/// crash, never silently truncate results. The RecoveryTest half drives
+/// the fault-tolerant serving ladder end to end: transient faults are
+/// retried to success, a hard store outage fails over to an alternative
+/// rewriting (answers validated against staging ground truth), an outage
+/// with no alternative degrades to the staging area, and recovery closes
+/// the breaker and resumes plan caching.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
+
 #include "engine/operator.h"
 #include "estocada/estocada.h"
+#include "runtime/query_server.h"
+#include "stores/fault.h"
 
 namespace estocada {
 namespace {
@@ -157,6 +169,164 @@ TEST(FailureInjectionTest, CorruptKvPayloadReportedNotCrashed) {
   auto r = sys.Query("q(b) :- R($a, b)", {{"$a", Value::Int(1)}});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+// --------------------------------------------------------------------------
+// End-to-end recovery: the degradation ladder over a replicated layout.
+
+/// R is replicated on two stores (relational + document), so one store's
+/// outage leaves an alternative rewriting; S lives on the relational store
+/// alone, so its outage can only degrade to the staging area.
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pivot::Schema schema;
+    ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+    ASSERT_TRUE(schema.AddRelation("S", 2).ok());
+    ASSERT_TRUE(sys_.RegisterSchema(schema).ok());
+    ASSERT_TRUE(sys_.RegisterStore({"pg", catalog::StoreKind::kRelational,
+                                    &pg_, nullptr, nullptr, nullptr, nullptr})
+                    .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"doc", catalog::StoreKind::kDocument,
+                                    nullptr, nullptr, &doc_, nullptr,
+                                    nullptr})
+                    .ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          sys_.LoadRow("R", {Value::Int(i), Value::Int(i % 5)}).ok());
+      ASSERT_TRUE(
+          sys_.LoadRow("S", {Value::Int(i), Value::Int(i * 2)}).ok());
+    }
+    ASSERT_TRUE(
+        sys_.DefineFragment("F_rpg(a, b) :- R(a, b)", "pg", {}, {0}).ok());
+    ASSERT_TRUE(
+        sys_.DefineFragment("F_rdoc(a, b) :- R(a, b)", "doc", {}, {0}).ok());
+    ASSERT_TRUE(sys_.DefineFragment("F_spg(a, b) :- S(a, b)", "pg").ok());
+    pg_.AttachFaultInjector(&injector_, "pg");
+    doc_.AttachFaultInjector(&injector_, "doc");
+  }
+
+  /// Fast-retry options so the tests don't sleep for real.
+  static runtime::ServerOptions Options(uint64_t cooldown_micros = 200'000) {
+    runtime::ServerOptions options;
+    options.worker_threads = 1;
+    options.retry.max_attempts = 6;
+    options.retry.initial_backoff_micros = 1;
+    options.retry.max_backoff_micros = 20;
+    options.health.failure_threshold = 2;
+    options.health.open_cooldown_micros = cooldown_micros;
+    return options;
+  }
+
+  static std::multiset<std::string> Canon(const std::vector<Row>& rows) {
+    std::multiset<std::string> out;
+    for (const Row& r : rows) out.insert(engine::RowToString(r));
+    return out;
+  }
+
+  /// The store whose fragment the cost-based choice picked for `result` —
+  /// the outage tests knock out whichever one the planner prefers.
+  static std::string PrimaryStore(const Estocada::QueryResult& result) {
+    return result.rewriting_text.find("F_rpg") != std::string::npos ? "pg"
+                                                                    : "doc";
+  }
+
+  Estocada sys_;
+  stores::RelationalStore pg_;
+  stores::DocumentStore doc_;
+  stores::FaultInjector injector_{/*seed=*/42};
+};
+
+TEST_F(RecoveryTest, TransientFaultRetriedToSuccess) {
+  runtime::QueryServer server(&sys_, Options());
+  auto truth = sys_.EvaluateOverStaging("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(truth.ok());
+  auto warm = server.Query("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(warm.ok());
+
+  injector_.FailNextReads(PrimaryStore(*warm), 1);
+  auto r = server.Query("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->attempts, 2);
+  EXPECT_FALSE(r->degraded_to_staging);
+  EXPECT_EQ(Canon(r->rows), Canon(*truth));
+  EXPECT_GE(server.metrics().retries, 1u);
+  // One failure is under the breaker threshold: nothing tripped.
+  EXPECT_EQ(server.metrics().breaker_trips, 0u);
+}
+
+TEST_F(RecoveryTest, OutageFailsOverToReplicaRewriting) {
+  runtime::QueryServer server(&sys_, Options());
+  auto truth = sys_.EvaluateOverStaging("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(truth.ok());
+  auto warm = server.Query("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(warm.ok());
+  const std::string primary = PrimaryStore(*warm);
+
+  injector_.SetOutage(primary, true);
+  auto r = server.Query("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The replica rewriting answered — correct, not degraded.
+  EXPECT_FALSE(r->degraded_to_staging);
+  EXPECT_EQ(Canon(r->rows), Canon(*truth));
+  EXPECT_NE(r->rewriting_text.find(primary == "pg" ? "F_rdoc" : "F_rpg"),
+            std::string::npos);
+  // Two failures tripped the breaker; the next attempt planned around it.
+  EXPECT_GE(r->attempts, 3);
+  EXPECT_NE(std::find(r->excluded_stores.begin(), r->excluded_stores.end(),
+                      primary),
+            r->excluded_stores.end());
+  EXPECT_EQ(server.health().state(primary), runtime::BreakerState::kOpen);
+  EXPECT_GE(server.metrics().failovers, 1u);
+  EXPECT_EQ(server.metrics().breaker_trips, 1u);
+}
+
+TEST_F(RecoveryTest, OutageWithoutAlternativeFallsBackToStaging) {
+  runtime::QueryServer server(&sys_, Options());
+  auto truth = sys_.EvaluateOverStaging("q(a, b) :- S(a, b)");
+  ASSERT_TRUE(truth.ok());
+
+  injector_.SetOutage("pg", true);
+  auto r = server.Query("q(a, b) :- S(a, b)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // No rewriting survives the exclusion of pg — the staging area answers.
+  EXPECT_TRUE(r->degraded_to_staging);
+  EXPECT_EQ(Canon(r->rows), Canon(*truth));
+  EXPECT_NE(r->plan_text.find("staging"), std::string::npos);
+  EXPECT_GE(server.metrics().degraded, 1u);
+  EXPECT_EQ(server.health().state("pg"), runtime::BreakerState::kOpen);
+}
+
+TEST_F(RecoveryTest, RecoveryClosesBreakerAndReCaches) {
+  auto options = Options(/*cooldown_micros=*/500);
+  runtime::QueryServer server(&sys_, options);
+  auto truth = sys_.EvaluateOverStaging("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(truth.ok());
+  auto warm = server.Query("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(warm.ok());
+  const std::string primary = PrimaryStore(*warm);
+
+  injector_.SetOutage(primary, true);
+  auto during = server.Query("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(during.ok());
+  EXPECT_EQ(Canon(during->rows), Canon(*truth));
+
+  // The store comes back; after the cooldown the half-open probe admits it
+  // and the first success closes the breaker.
+  injector_.SetOutage(primary, false);
+  std::this_thread::sleep_for(std::chrono::microseconds(2000));
+  auto after = server.Query("q(a, b) :- R(a, b)");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after->degraded_to_staging);
+  EXPECT_EQ(Canon(after->rows), Canon(*truth));
+  EXPECT_TRUE(after->excluded_stores.empty());
+  EXPECT_EQ(server.health().state(primary), runtime::BreakerState::kClosed);
+
+  // Caching resumed under the settled health epoch: one re-plan, then hits.
+  uint64_t hits_before = server.metrics().cache_hits;
+  ASSERT_TRUE(server.Query("q(a, b) :- R(a, b)").ok());
+  ASSERT_TRUE(server.Query("q(a, b) :- R(a, b)").ok());
+  EXPECT_GT(server.metrics().cache_hits, hits_before);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 /// QueryServer correctness under concurrent clients (run under TSan via
 /// scripts/check.sh).
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <set>
@@ -484,6 +486,109 @@ TEST_F(QueryServerTest, ParseErrorsCountAsErrors) {
   auto r = server.Query("this is not a query");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(server.metrics().errors, 1u);
+}
+
+// ------------------------------------------------------------ RetryPolicy --
+
+TEST(RetryPolicyTest, OnlyUnavailableIsRetryable) {
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::Unavailable("blip")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::NotFound("gone")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Internal("bug")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::OK()));
+}
+
+TEST(RetryPolicyTest, BackoffIsFullJitterWithExponentialCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 100;
+  policy.max_backoff_micros = 400;
+  Rng rng(1);
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    uint64_t cap = std::min<uint64_t>(100u << (attempt - 1), 400);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_LE(policy.BackoffMicros(attempt, rng), cap);
+    }
+  }
+}
+
+TEST(RetryPolicyTest, ZeroBackoffStaysZero) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 0;
+  Rng rng(1);
+  EXPECT_EQ(policy.BackoffMicros(1, rng), 0u);
+  EXPECT_EQ(policy.BackoffMicros(5, rng), 0u);
+}
+
+// --------------------------------------------------------- HealthRegistry --
+
+TEST(HealthRegistryTest, TripsAfterConsecutiveFailures) {
+  HealthOptions options;
+  options.failure_threshold = 3;
+  HealthRegistry health(options);
+  EXPECT_EQ(health.state("pg"), BreakerState::kClosed);
+  EXPECT_FALSE(health.ReportFailure("pg"));
+  EXPECT_FALSE(health.ReportFailure("pg"));
+  EXPECT_TRUE(health.ReportFailure("pg"));  // Third strike trips it.
+  EXPECT_EQ(health.state("pg"), BreakerState::kOpen);
+  auto excluded = health.ExcludedStores();
+  ASSERT_EQ(excluded.size(), 1u);
+  EXPECT_EQ(excluded[0], "pg");
+}
+
+TEST(HealthRegistryTest, SuccessResetsTheFailureCount) {
+  HealthOptions options;
+  options.failure_threshold = 2;
+  HealthRegistry health(options);
+  EXPECT_FALSE(health.ReportFailure("pg"));
+  health.ReportSuccess("pg");  // Interleaved success: streak broken.
+  EXPECT_FALSE(health.ReportFailure("pg"));
+  EXPECT_EQ(health.state("pg"), BreakerState::kClosed);
+}
+
+TEST(HealthRegistryTest, HalfOpenProbeAfterCooldownThenCloseOrReopen) {
+  HealthOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_micros = 500;
+  HealthRegistry health(options);
+  EXPECT_TRUE(health.ReportFailure("pg"));
+  EXPECT_EQ(health.state("pg"), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::microseconds(2000));
+  // The cooldown expired: the exclusion check lets one probe through.
+  EXPECT_TRUE(health.ExcludedStores().empty());
+  EXPECT_EQ(health.state("pg"), BreakerState::kHalfOpen);
+  // A failed probe re-opens...
+  EXPECT_TRUE(health.ReportFailure("pg"));
+  EXPECT_EQ(health.state("pg"), BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::microseconds(2000));
+  EXPECT_TRUE(health.ExcludedStores().empty());
+  // ...and a successful one closes for good.
+  health.ReportSuccess("pg");
+  EXPECT_EQ(health.state("pg"), BreakerState::kClosed);
+}
+
+TEST(HealthRegistryTest, EpochBumpsOnEveryTransition) {
+  HealthOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_micros = 0;
+  HealthRegistry health(options);
+  uint64_t e0 = health.health_epoch();
+  EXPECT_TRUE(health.ReportFailure("pg"));  // closed → open
+  uint64_t e1 = health.health_epoch();
+  EXPECT_GT(e1, e0);
+  (void)health.ExcludedStores();  // open → half-open (cooldown 0)
+  uint64_t e2 = health.health_epoch();
+  EXPECT_GT(e2, e1);
+  health.ReportSuccess("pg");  // half-open → closed
+  EXPECT_GT(health.health_epoch(), e2);
+}
+
+TEST(HealthRegistryTest, StoresAreIndependent) {
+  HealthOptions options;
+  options.failure_threshold = 1;
+  HealthRegistry health(options);
+  EXPECT_TRUE(health.ReportFailure("pg"));
+  EXPECT_EQ(health.state("pg"), BreakerState::kOpen);
+  EXPECT_EQ(health.state("redis"), BreakerState::kClosed);
+  EXPECT_EQ(health.ExcludedStores().size(), 1u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include "common/strings.h"
 #include "engine/value.h"
 #include "stores/document_store.h"
+#include "stores/fault.h"
 #include "stores/kv_store.h"
 #include "stores/parallel_store.h"
 #include "stores/relational_store.h"
@@ -621,6 +622,137 @@ TEST_P(SpjProperty, MatchesReferenceEvaluation) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpjProperty,
                          ::testing::Values(7, 14, 21, 28, 35, 42));
+
+// -------------------------------------------------------- FaultInjector --
+
+TEST(FaultInjectorTest, NoPlanMeansNoFaults) {
+  FaultInjector injector(1);
+  KeyValueStore kv;
+  kv.AttachFaultInjector(&injector, "kv");
+  ASSERT_TRUE(kv.CreateCollection("c").ok());
+  ASSERT_TRUE(kv.Put("c", "k", "v").ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(kv.Get("c", "k").ok());
+  }
+  EXPECT_EQ(injector.counters().reads, 100u);
+  EXPECT_EQ(injector.counters().transient_faults, 0u);
+}
+
+TEST(FaultInjectorTest, OutageFailsEveryReadWithUnavailable) {
+  FaultInjector injector(1);
+  KeyValueStore kv;
+  kv.AttachFaultInjector(&injector, "redis");
+  ASSERT_TRUE(kv.CreateCollection("c").ok());
+  ASSERT_TRUE(kv.Put("c", "k", "v").ok());
+  injector.SetOutage("redis", true);
+  auto r = kv.Get("c", "k");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  // The store id is embedded so failures can be attributed to a store.
+  EXPECT_NE(r.status().message().find("store 'redis'"), std::string::npos);
+  injector.SetOutage("redis", false);
+  EXPECT_TRUE(kv.Get("c", "k").ok());
+}
+
+TEST(FaultInjectorTest, TransientRateIsRoughlyHonored) {
+  FaultInjector injector(7);
+  RelationalStore pg;
+  ASSERT_TRUE(pg.CreateTable("t", {{"a", ColumnType::kInt}}).ok());
+  ASSERT_TRUE(pg.Insert("t", {Value::Int(1)}).ok());
+  pg.AttachFaultInjector(&injector, "pg");
+  FaultPlan plan;
+  plan.transient_fault_rate = 0.25;
+  injector.SetPlan("pg", plan);
+  int failed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    auto r = pg.Scan("t");
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+      ++failed;
+    }
+  }
+  // Seeded generator: the rate lands near 25% deterministically.
+  EXPECT_GT(failed, 180);
+  EXPECT_LT(failed, 320);
+  EXPECT_EQ(injector.counters().transient_faults,
+            static_cast<uint64_t>(failed));
+}
+
+TEST(FaultInjectorTest, FailNextReadsIsExact) {
+  FaultInjector injector(1);
+  DocumentStore doc;
+  ASSERT_TRUE(doc.CreateCollection("c").ok());
+  ASSERT_TRUE(doc.Insert("c", *json::Parse(R"({"_id":"1","x":1})")).ok());
+  doc.AttachFaultInjector(&injector, "mongo");
+  injector.FailNextReads("mongo", 2);
+  EXPECT_EQ(doc.FindById("c", "1").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(doc.FindById("c", "1").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(doc.FindById("c", "1").ok());
+}
+
+TEST(FaultInjectorTest, PlansArePerStore) {
+  FaultInjector injector(1);
+  KeyValueStore a;
+  KeyValueStore b;
+  a.AttachFaultInjector(&injector, "a");
+  b.AttachFaultInjector(&injector, "b");
+  for (KeyValueStore* kv : {&a, &b}) {
+    ASSERT_TRUE(kv->CreateCollection("c").ok());
+    ASSERT_TRUE(kv->Put("c", "k", "v").ok());
+  }
+  injector.SetOutage("a", true);
+  EXPECT_FALSE(a.Get("c", "k").ok());
+  EXPECT_TRUE(b.Get("c", "k").ok());
+}
+
+// ------------------------------------------- StoreStats null-guard sweep --
+// Every read path must accept stats == nullptr (the engine passes real
+// pointers, but ad-hoc callers and tests do not).
+
+TEST(StoreStatsGuardTest, AllReadPathsAcceptNullStats) {
+  RelationalStore pg;
+  ASSERT_TRUE(pg.CreateTable("t", {{"a", ColumnType::kInt},
+                                   {"b", ColumnType::kInt}})
+                  .ok());
+  ASSERT_TRUE(pg.Insert("t", {Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_TRUE(pg.Scan("t", nullptr).ok());
+
+  KeyValueStore kv;
+  ASSERT_TRUE(kv.CreateCollection("c").ok());
+  ASSERT_TRUE(kv.Put("c", "k", "v").ok());
+  EXPECT_TRUE(kv.Get("c", "k", nullptr).ok());
+  EXPECT_TRUE(kv.MGet("c", {"k"}, nullptr).ok());
+  EXPECT_TRUE(kv.Scan("c", nullptr).ok());
+
+  DocumentStore doc;
+  ASSERT_TRUE(doc.CreateCollection("d").ok());
+  ASSERT_TRUE(doc.Insert("d", *json::Parse(R"({"_id":"1","x":1})")).ok());
+  EXPECT_TRUE(doc.FindById("d", "1", nullptr).ok());
+  EXPECT_TRUE(doc.Find("d", {}, nullptr).ok());
+
+  ParallelStore spark(2);
+  ASSERT_TRUE(spark.CreateRelation("p", 1, 2).ok());
+  ASSERT_TRUE(spark.Insert("p", {Value::Int(1)}).ok());
+  EXPECT_TRUE(spark.ParallelScan("p", nullptr, {}, nullptr).ok());
+
+  TextStore solr;
+  ASSERT_TRUE(solr.CreateCore("i").ok());
+  ASSERT_TRUE(solr.AddDocument("i", "1", {{"body", "hello world"}}).ok());
+  EXPECT_TRUE(solr.Search("i", {"hello"}, nullptr).ok());
+  EXPECT_TRUE(solr.GetDocument("i", "1", nullptr).ok());
+}
+
+TEST(StoreStatsGuardTest, StatsAreChargedWhenProvided) {
+  KeyValueStore kv;
+  ASSERT_TRUE(kv.CreateCollection("c").ok());
+  ASSERT_TRUE(kv.Put("c", "k", "v").ok());
+  StoreStats stats;
+  ASSERT_TRUE(kv.Get("c", "k", &stats).ok());
+  EXPECT_GT(stats.operations, 0u);
+  EXPECT_GT(stats.simulated_cost, 0.0);
+}
 
 }  // namespace
 }  // namespace estocada::stores
