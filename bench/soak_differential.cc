@@ -1,0 +1,132 @@
+/// Long-running randomized differential soak — the nightly-CI entry point
+/// of the src/testing fuzzer. Runs seed after seed through the full
+/// differential harness (staging oracle + the four metamorphic invariant
+/// families) until a time budget or scenario count runs out, printing a
+/// replayable report for every failure and dropping it as an artifact
+/// file.
+///
+///   soak_differential --minutes=10 --artifact-dir=soak-failures
+///   soak_differential --seed=123456        # replay one seed, verbose
+///
+/// Exit status: 0 = all scenarios passed, 1 = at least one failure.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+
+#include "testing/differential.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *value = arg + prefix.size();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using estocada::testing::HarnessOptions;
+  using estocada::testing::RunSeed;
+  using estocada::testing::ScenarioConfig;
+  using estocada::testing::SeedReport;
+
+  double minutes = 2.0;
+  uint64_t start_seed = std::random_device{}();
+  uint64_t max_scenarios = 0;  // 0 = until the deadline.
+  bool have_replay_seed = false;
+  uint64_t replay_seed = 0;
+  std::string artifact_dir = "soak-failures";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "minutes", &v)) {
+      minutes = std::stod(v);
+    } else if (ParseFlag(argv[i], "start-seed", &v)) {
+      start_seed = std::stoull(v);
+    } else if (ParseFlag(argv[i], "scenarios", &v)) {
+      max_scenarios = std::stoull(v);
+    } else if (ParseFlag(argv[i], "seed", &v)) {
+      have_replay_seed = true;
+      replay_seed = std::stoull(v);
+    } else if (ParseFlag(argv[i], "artifact-dir", &v)) {
+      artifact_dir = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--minutes=F] [--start-seed=N] [--scenarios=N]"
+                   " [--seed=N] [--artifact-dir=DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  ScenarioConfig config;
+  HarnessOptions options;
+
+  if (have_replay_seed) {
+    // Single-seed replay: print the scenario and the full outcome.
+    ScenarioConfig cfg = config;
+    cfg.seed = replay_seed;
+    auto scenario = estocada::testing::GenerateScenario(cfg);
+    if (scenario.ok()) {
+      std::printf("%s\n", scenario->ToString().c_str());
+    }
+    SeedReport rep = RunSeed(replay_seed, config, options);
+    if (rep.outcome.ok()) {
+      std::printf("seed %llu: OK (%zu queries, %zu rewritings, %zu naive, "
+                  "%zu chase, %zu chaos successes)\n",
+                  static_cast<unsigned long long>(replay_seed),
+                  rep.outcome.queries_checked,
+                  rep.outcome.rewritings_executed,
+                  rep.outcome.naive_comparisons, rep.outcome.chase_checks,
+                  rep.outcome.chaos_successes);
+      return 0;
+    }
+    std::printf("%s\n", rep.report.c_str());
+    return 1;
+  }
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::ratio<60>>(minutes));
+  std::printf("soak: start-seed=%llu minutes=%.1f artifact-dir=%s\n",
+              static_cast<unsigned long long>(start_seed), minutes,
+              artifact_dir.c_str());
+
+  size_t run = 0;
+  size_t failures = 0;
+  for (uint64_t seed = start_seed;; ++seed) {
+    if (max_scenarios != 0 && run >= max_scenarios) break;
+    if (max_scenarios == 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    SeedReport rep = RunSeed(seed, config, options);
+    ++run;
+    if (!rep.outcome.ok()) {
+      ++failures;
+      std::printf("%s\n", rep.report.c_str());
+      std::error_code ec;
+      std::filesystem::create_directories(artifact_dir, ec);
+      if (!ec) {
+        std::ofstream out(artifact_dir + "/seed-" + std::to_string(seed) +
+                          ".txt");
+        out << rep.report;
+      }
+    }
+    if (run % 25 == 0) {
+      std::printf("soak: %zu scenarios, %zu failures (last seed %llu)\n", run,
+                  failures, static_cast<unsigned long long>(seed));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("soak: done — %zu scenarios, %zu failures\n", run, failures);
+  return failures == 0 ? 0 : 1;
+}

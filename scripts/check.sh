@@ -3,11 +3,24 @@
 # of the concurrency-sensitive pieces (serving runtime + stores) and their
 # tests, then an ASan+UBSan build of the failure/recovery paths. Every
 # step is fail-fast (set -e): the first broken check stops the run.
-# Usage: scripts/check.sh [jobs]
+#
+# Usage: scripts/check.sh [--fuzz] [jobs]
+#   --fuzz   additionally run a 2-minute randomized differential soak
+#            (bench/soak_differential; see TESTING.md) with a fresh seed
+#            range. Failing seeds land in build/soak-failures/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${1:-$(nproc)}"
+
+FUZZ=0
+JOBS=""
+for arg in "$@"; do
+  case "$arg" in
+    --fuzz) FUZZ=1 ;;
+    *) JOBS="$arg" ;;
+  esac
+done
+JOBS="${JOBS:-$(nproc)}"
 
 echo "== tier-1: build =="
 cmake -B build -S . >/dev/null
@@ -30,5 +43,11 @@ cmake --build build-asan -j "$JOBS" \
 
 echo "== ASan+UBSan: run =="
 (cd build-asan/tests && ./failure_test && ./runtime_test && ./stores_test)
+
+if [[ "$FUZZ" == "1" ]]; then
+  echo "== fuzz: 2-minute differential soak =="
+  ./build/bench/soak_differential --minutes=2 \
+    --artifact-dir=build/soak-failures
+fi
 
 echo "== all checks passed =="

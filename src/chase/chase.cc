@@ -57,13 +57,18 @@ Result<bool> ChaseTgdRound(size_t dep_index, const Tgd& tgd, Instance* inst,
 
   for (const Match& trigger : triggers) {
     // Provenance of the trigger: conjunction over matched body atoms
-    // (re-resolved, as earlier merges may have rewritten them).
+    // (re-resolved, as earlier merges may have rewritten them). `base`
+    // is the same conjunction over the unconditioned base provenance —
+    // the optimistic support that ignores EGD merge conditioning.
     ProvFormula prov;
+    ProvFormula base;
     if (inst->track_provenance()) {
       prov = ProvFormula::True();
+      base = ProvFormula::True();
       for (size_t id : trigger.atom_ids) {
         auto live = inst->FindAtom(inst->atom(id));
         prov = prov.And(inst->provenance(live.value_or(id)));
+        base = base.And(inst->base_provenance(live.value_or(id)));
       }
     }
 
@@ -80,9 +85,13 @@ Result<bool> ChaseTgdRound(size_t dep_index, const Tgd& tgd, Instance* inst,
         // produced atom since, this derivation only reaches the current
         // form under those equalities — AND their conditioning in.
         for (size_t produced_id : it->second) {
-          auto r = inst->Insert(
-              inst->atom(produced_id),
-              prov.And(inst->merge_conditioning(produced_id)));
+          // The refreshed base is conditioned too: the trigger derives the
+          // atom's *original* form (tracked as a ghost), so reaching the
+          // current form still requires the merges that rewrote it. Only
+          // the parents' contribution stays unconditioned.
+          const ProvFormula& cond = inst->merge_conditioning(produced_id);
+          auto r = inst->InsertWithBase(inst->atom(produced_id),
+                                        prov.And(cond), base.And(cond));
           changed |= r.changed;
         }
         continue;
@@ -90,7 +99,7 @@ Result<bool> ChaseTgdRound(size_t dep_index, const Tgd& tgd, Instance* inst,
       for (const std::string& ev : existentials) sub[ev] = inst->FreshNull();
       std::vector<size_t> produced;
       for (const Atom& h : tgd.head) {
-        auto r = inst->Insert(ApplySubstitution(sub, h), prov);
+        auto r = inst->InsertWithBase(ApplySubstitution(sub, h), prov, base);
         changed |= r.changed;
         produced.push_back(r.id);
       }
@@ -119,11 +128,23 @@ Result<bool> ChaseTgdRound(size_t dep_index, const Tgd& tgd, Instance* inst,
 
 /// Fires one EGD over all current triggers; merges are applied after the
 /// enumeration so iteration sees a stable instance.
+///
+/// Triggers that equate the same pair of terms are grouped first and the
+/// merge is conditioned on the OR of their provenances: each group member
+/// is an independent derivation of the equality. Applying triggers one by
+/// one would condition the merge on whichever derivation happened to fire
+/// first (later ones become no-ops), losing alternative supports and
+/// making the PACB backchase miss minimal rewritings.
 Result<bool> ChaseEgdRound(const pivot::Egd& egd, Instance* inst,
                            ChaseStats* stats) {
   std::vector<Match> triggers = FindHomomorphisms(egd.body, *inst);
   stats->triggers_checked += triggers.size();
-  bool changed = false;
+  struct PendingMerge {
+    Term l, r;
+    ProvFormula prov;
+  };
+  std::vector<PendingMerge> pending;
+  std::unordered_map<std::string, size_t> groups;  // equality key -> index
   for (const Match& trigger : triggers) {
     Term l = ApplySubstitution(trigger.sub, egd.left);
     Term r = ApplySubstitution(trigger.sub, egd.right);
@@ -132,17 +153,31 @@ Result<bool> ChaseEgdRound(const pivot::Egd& egd, Instance* inst,
           StrCat("EGD '", egd.label,
                  "' equates a variable not bound by its body"));
     }
+    Term cl = inst->Canonical(l);
+    Term cr = inst->Canonical(r);
+    if (cl == cr) continue;  // Already equal: nothing to derive.
     ProvFormula prov = ProvFormula::True();
     if (inst->track_provenance()) {
-      // Re-resolve the matched atoms: earlier merges in this round may
-      // have rewritten them, and the *current* provenance is the sound
-      // one to condition the merge on.
       for (size_t id : trigger.atom_ids) {
         auto live = inst->FindAtom(inst->atom(id));
         prov = prov.And(inst->provenance(live.value_or(id)));
       }
     }
-    ESTOCADA_ASSIGN_OR_RETURN(bool merged, inst->MergeTerms(l, r, prov));
+    std::string sl = cl.ToString();
+    std::string sr = cr.ToString();
+    if (sr < sl) std::swap(sl, sr);
+    std::string key = StrCat(sl, "=", sr);
+    auto [it, inserted] = groups.emplace(key, pending.size());
+    if (inserted) {
+      pending.push_back({std::move(l), std::move(r), std::move(prov)});
+    } else if (inst->track_provenance()) {
+      pending[it->second].prov = pending[it->second].prov.Or(prov);
+    }
+  }
+  bool changed = false;
+  for (const PendingMerge& pm : pending) {
+    ESTOCADA_ASSIGN_OR_RETURN(bool merged,
+                              inst->MergeTerms(pm.l, pm.r, pm.prov));
     if (merged) {
       changed = true;
       ++stats->egd_merges;

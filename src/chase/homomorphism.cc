@@ -147,4 +147,29 @@ bool ExistsHomomorphism(const std::vector<Atom>& pattern, const Instance& inst,
   return found;
 }
 
+std::vector<Atom> LiveAtoms(const Instance& inst) {
+  std::vector<Atom> out;
+  out.reserve(inst.live_size());
+  for (size_t id = 0; id < inst.size(); ++id) {
+    if (inst.alive(id)) out.push_back(inst.atom(id));
+  }
+  return out;
+}
+
+std::vector<Atom> NullsToVariables(std::vector<Atom> atoms) {
+  for (Atom& a : atoms) {
+    for (Term& t : a.terms) {
+      if (t.is_labelled_null()) {
+        t = Term::Var("_n" + std::to_string(t.null_id()));
+      }
+    }
+  }
+  return atoms;
+}
+
+bool HomomorphicallyEquivalent(const Instance& a, const Instance& b) {
+  return ExistsHomomorphism(NullsToVariables(LiveAtoms(a)), b) &&
+         ExistsHomomorphism(NullsToVariables(LiveAtoms(b)), a);
+}
+
 }  // namespace estocada::chase

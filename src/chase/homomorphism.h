@@ -38,6 +38,20 @@ bool ExistsHomomorphism(const std::vector<pivot::Atom>& pattern,
                         const Instance& inst,
                         const pivot::Substitution& start = {});
 
+/// The live atoms of `inst` in stable id order (collapsed duplicates
+/// skipped) — the pattern-extraction step of instance-level checks.
+std::vector<pivot::Atom> LiveAtoms(const Instance& inst);
+
+/// Replaces every labelled null _N<k> with a variable "_n<k>", turning
+/// ground instance atoms into a homomorphism pattern: nulls may map to
+/// anything, constants must match exactly.
+std::vector<pivot::Atom> NullsToVariables(std::vector<pivot::Atom> atoms);
+
+/// True iff `a` and `b` map homomorphically into each other with nulls
+/// treated as variables — equivalence of chase results up to null renaming
+/// (what chase termination guarantees under dependency reordering).
+bool HomomorphicallyEquivalent(const Instance& a, const Instance& b);
+
 }  // namespace estocada::chase
 
 #endif  // ESTOCADA_CHASE_HOMOMORPHISM_H_

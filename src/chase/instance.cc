@@ -10,6 +10,12 @@ using pivot::Atom;
 using pivot::Term;
 
 Instance::InsertResult Instance::Insert(Atom atom, const ProvFormula& prov) {
+  return InsertWithBase(std::move(atom), prov, prov);
+}
+
+Instance::InsertResult Instance::InsertWithBase(Atom atom,
+                                                const ProvFormula& prov,
+                                                const ProvFormula& base) {
   // Canonicalize terms through the union-find before storing.
   for (Term& t : atom.terms) t = Canonical(t);
   for (const Term& t : atom.terms) {
@@ -21,9 +27,14 @@ Instance::InsertResult Instance::Insert(Atom atom, const ProvFormula& prov) {
   if (it != index_.end()) {
     size_t id = it->second;
     bool changed = false;
-    if (track_provenance_ && !prov_[id].Subsumes(prov)) {
-      prov_[id] = prov_[id].Or(prov);
-      changed = true;
+    if (track_provenance_) {
+      if (!prov_[id].Subsumes(prov)) {
+        prov_[id] = prov_[id].Or(prov);
+        changed = true;
+      }
+      if (!base_prov_[id].Subsumes(base)) {
+        base_prov_[id] = base_prov_[id].Or(base);
+      }
     }
     return {id, changed};
   }
@@ -32,6 +43,7 @@ Instance::InsertResult Instance::Insert(Atom atom, const ProvFormula& prov) {
   index_.emplace(atom, id);
   atoms_.push_back(std::move(atom));
   prov_.push_back(track_provenance_ ? prov : ProvFormula());
+  base_prov_.push_back(track_provenance_ ? base : ProvFormula());
   merge_cond_.push_back(ProvFormula::True());
   alive_.push_back(true);
   return {id, true};
@@ -106,6 +118,7 @@ void Instance::Recanonicalize(const ProvFormula& merge_prov) {
   for (size_t id = 0; id < atoms_.size(); ++id) {
     if (!alive_[id]) continue;
     Atom& atom = atoms_[id];
+    Atom before = track_provenance_ ? atom : Atom{};
     bool rewritten = false;
     for (Term& t : atom.terms) {
       Term c = Canonical(t);
@@ -118,14 +131,22 @@ void Instance::Recanonicalize(const ProvFormula& merge_prov) {
       // This atom's current form is only derivable given the equality that
       // caused the rewrite: condition its provenance on the merge's, and
       // remember the conditioning for future re-derivations of the atom.
+      // The pre-merge form lives on as a ghost with the base provenance it
+      // accumulated; the base of the new form starts from the conditioned
+      // provenance (nothing derives it unconditionally yet).
+      ghost_forms_.push_back({std::move(before), base_prov_[id]});
       prov_[id] = prov_[id].And(merge_prov);
       merge_cond_[id] = merge_cond_[id].And(merge_prov);
+      base_prov_[id] = prov_[id];
     }
     auto it = index_.find(atom);
     if (it != index_.end()) {
       // Collapsed onto an earlier atom: merge provenance, retire this id.
       size_t keep = it->second;
-      if (track_provenance_) prov_[keep] = prov_[keep].Or(prov_[id]);
+      if (track_provenance_) {
+        prov_[keep] = prov_[keep].Or(prov_[id]);
+        base_prov_[keep] = base_prov_[keep].Or(base_prov_[id]);
+      }
       alive_[id] = false;
       continue;
     }

@@ -35,6 +35,13 @@ class Instance {
   };
   InsertResult Insert(pivot::Atom atom, const ProvFormula& prov = {});
 
+  /// Like Insert, but records `base` (instead of `prov`) into the
+  /// unconditioned base provenance. The provenance-aware chase uses this
+  /// when re-firing a trigger whose produced atom was rewritten by EGD
+  /// merges: `prov` carries the merge conditioning, `base` does not.
+  InsertResult InsertWithBase(pivot::Atom atom, const ProvFormula& prov,
+                              const ProvFormula& base);
+
   /// True iff the exact atom is present (after canonicalization).
   bool Contains(const pivot::Atom& atom) const;
 
@@ -55,6 +62,29 @@ class Instance {
   const ProvFormula& merge_conditioning(size_t id) const {
     return merge_cond_[id];
   }
+
+  /// Best-known support of this atom's *current* form without assuming
+  /// merge conditioning beyond what producing that form required. Reset to
+  /// the conditioned provenance whenever a merge rewrites the atom (the
+  /// previously accumulated base belonged to the old form, which moves to
+  /// ghost_forms()); native re-derivations of the current form OR back in.
+  /// The PACB rewriter uses this, together with ghost forms, to generate
+  /// optimistic candidates that its chase-based verification then filters.
+  const ProvFormula& base_provenance(size_t id) const {
+    return base_prov_[id];
+  }
+
+  /// Pre-merge form of an atom rewritten by a conditioned EGD merge,
+  /// carrying the unconditioned base provenance it had at that moment. A
+  /// query match that lands on a pre-merge form does not depend on the
+  /// merge at all; without ghosts that smaller support is lost to
+  /// conditioning (and to provenance absorption downstream), making the
+  /// PACB backchase miss minimal rewritings.
+  struct GhostForm {
+    pivot::Atom form;
+    ProvFormula base;
+  };
+  const std::vector<GhostForm>& ghost_forms() const { return ghost_forms_; }
 
   /// Atom ids of a relation (empty list when none).
   const std::vector<size_t>& AtomsOf(const std::string& relation) const;
@@ -101,7 +131,9 @@ class Instance {
   bool track_provenance_ = false;
   std::vector<pivot::Atom> atoms_;
   std::vector<ProvFormula> prov_;
+  std::vector<ProvFormula> base_prov_;
   std::vector<ProvFormula> merge_cond_;
+  std::vector<GhostForm> ghost_forms_;
   /// Atom ids are stable; ids whose atom collapsed onto an earlier one
   /// during recanonicalization are marked dead and skipped by AtomsOf.
   std::vector<bool> alive_;

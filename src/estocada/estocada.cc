@@ -473,6 +473,18 @@ Result<Estocada::QueryResult> Estocada::ExecutePlanned(
   return result;
 }
 
+Result<Estocada::QueryResult> Estocada::ExecutePlanned(
+    rewriting::PlanSet plans, const pivot::ConjunctiveQuery& q,
+    size_t plan_index) const {
+  if (plan_index >= plans.plans.size()) {
+    return Status::InvalidArgument(
+        StrCat("plan index ", plan_index, " out of range (", plans.plans.size(),
+               " plans)"));
+  }
+  plans.best = plan_index;
+  return ExecutePlanned(std::move(plans), q);
+}
+
 Result<std::vector<Row>> Estocada::EvaluateOverStaging(
     const std::string& query_text,
     const std::map<std::string, Value>& parameters) const {

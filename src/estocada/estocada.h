@@ -283,6 +283,14 @@ class Estocada {
   Result<QueryResult> ExecutePlanned(rewriting::PlanSet plans,
                                      const pivot::ConjunctiveQuery& query) const;
 
+  /// Executes plan `plan_index` of `plans` instead of the cost-based
+  /// choice. Differential tests use this to run *every* rewriting of a
+  /// query and compare each answer against the staging oracle. Consumes
+  /// `plans` (operator trees are single-use).
+  Result<QueryResult> ExecutePlanned(rewriting::PlanSet plans,
+                                     const pivot::ConjunctiveQuery& query,
+                                     size_t plan_index) const;
+
   // ----------------------------------------------------------- Advisor --
 
   const advisor::WorkloadLog& workload_log() const { return workload_log_; }

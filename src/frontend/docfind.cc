@@ -44,10 +44,18 @@ Result<ConjunctiveQuery> DocFindToCq(const DocFindSpec& spec,
     return Status::OK();
   };
   for (const DocFindSpec::Filter& f : spec.filters) {
-    // Parse the literal via a throwaway atom ("X(<value>)").
+    // Parse the literal via a throwaway atom ("X(<value>)"). The value is
+    // interpolated into pivot syntax, so anything that does not parse back
+    // to exactly one single-term atom (empty string, "1), Y(2", ...) is
+    // rejected here rather than smuggled into the query body.
     ESTOCADA_ASSIGN_OR_RETURN(std::vector<Atom> parsed,
                               pivot::ParseAtomList(StrCat("X(", f.value,
                                                           ")")));
+    if (parsed.size() != 1 || parsed[0].terms.size() != 1) {
+      return Status::InvalidArgument(
+          StrCat("filter value '", f.value,
+                 "' must be a single literal or $parameter"));
+    }
     const Term& v = parsed[0].terms[0];
     if (v.is_variable() && v.var_name()[0] != '$') {
       return Status::InvalidArgument(

@@ -211,7 +211,8 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
     }
   }
 
-  ProvFormula combined;  // starts false
+  ProvFormula combined;    // starts false
+  ProvFormula optimistic;  // unconditioned supports; need verification
   constexpr size_t kMaxMatches = 4096;
   size_t match_count = 0;
   ForEachHomomorphism(query.body, back, required, [&](const Match& m) {
@@ -224,13 +225,45 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
     return match_count < kMaxMatches;
   });
   stats.query_matches = match_count;
-  if (match_count == 0) return result;
+
+  if (options.track_provenance && options.verify_candidates) {
+    // EGD merge conditioning is sound but over-conservative: a match that
+    // does not actually rely on an equality (the merged position maps to a
+    // don't-care variable, or the match lands on an atom's pre-merge ghost
+    // form) still holds under the atoms' unconditioned base provenance.
+    // Re-match against an augmented instance — every live atom under its
+    // base provenance plus every pre-merge ghost form — and collect those
+    // optimistic supports too. Candidates built from them go through the
+    // full chase verification, which rejects any that truly needed the
+    // equality; without this pass, absorption in `combined` can erase the
+    // only evidence of a minimal rewriting.
+    Instance aug;
+    aug.set_track_provenance(true);
+    for (size_t id = 0; id < back.size(); ++id) {
+      if (!back.alive(id)) continue;
+      aug.Insert(back.atom(id), back.base_provenance(id));
+    }
+    for (const Instance::GhostForm& g : back.ghost_forms()) {
+      aug.Insert(g.form, g.base);
+    }
+    size_t aug_matches = 0;
+    ForEachHomomorphism(query.body, aug, required, [&](const Match& m) {
+      ++aug_matches;
+      ProvFormula b = ProvFormula::True();
+      for (size_t id : m.atom_ids) b = b.And(aug.provenance(id));
+      optimistic = optimistic.Or(b);
+      return aug_matches < kMaxMatches;
+    });
+  }
+  if (match_count == 0 && optimistic.is_false()) return result;
 
   // ---- Candidate generation.
   std::vector<std::vector<uint32_t>> candidates;
   if (options.track_provenance) {
     candidates.assign(combined.disjuncts().begin(),
                       combined.disjuncts().end());
+    candidates.insert(candidates.end(), optimistic.disjuncts().begin(),
+                      optimistic.disjuncts().end());
   } else {
     // Ablation path: enumerate subsets of the universal plan by size.
     size_t n = canon_plan.view_atoms.size();
@@ -262,6 +295,8 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
               if (a.size() != b.size()) return a.size() < b.size();
               return a < b;
             });
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
   std::vector<std::vector<uint32_t>> accepted_sets;
   for (const auto& original_cand : candidates) {
     if (result.rewritings.size() >= options.max_rewritings) break;
@@ -329,6 +364,20 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
   }
   stats.rewritings_found = result.rewritings.size();
   return result;
+}
+
+std::string DescribeRewritingSet(const RewritingResult& result) {
+  std::vector<std::pair<size_t, std::string>> lines;
+  lines.reserve(result.rewritings.size());
+  for (const Rewriting& rw : result.rewritings) {
+    std::string line = StrCat("  ", rw.query.ToString());
+    if (!rw.feasible) line += "  [infeasible]";
+    lines.emplace_back(rw.query.body.size(), std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out = StrCat(result.rewritings.size(), " rewritings\n");
+  for (auto& [size, line] : lines) out += line + "\n";
+  return out;
 }
 
 }  // namespace estocada::pacb

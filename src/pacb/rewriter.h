@@ -59,6 +59,12 @@ struct RewritingResult {
   RewriterStats stats;
 };
 
+/// Stable multi-line rendering of a rewriting set: a count header followed
+/// by one "  <query text>[  [infeasible]]" line per rewriting, ordered by
+/// (body size, text) so the output is independent of tie-breaks inside the
+/// rewriter. Golden-file tests diff this against checked-in expectations.
+std::string DescribeRewritingSet(const RewritingResult& result);
+
 /// View-based query rewriting under constraints via the Provenance-Aware
 /// Chase & Backchase (PACB) of Ileana, Cautis, Deutsch & Katsis
 /// (SIGMOD'14), the engine at the heart of ESTOCADA:

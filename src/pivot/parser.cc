@@ -89,6 +89,12 @@ class PivotParser {
 
   size_t pos() const { return pos_; }
 
+  /// True when only whitespace remains.
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
  private:
   Status Fail(std::string_view what) {
     return Status::ParseError(StrCat("pivot parse error at offset ", pos_,
@@ -251,7 +257,12 @@ Result<std::vector<Dependency>> ParseDependencies(std::string_view text) {
 
 Result<std::vector<Atom>> ParseAtomList(std::string_view text) {
   PivotParser p(text);
-  return p.ParseAtoms();
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Atom> atoms, p.ParseAtoms());
+  if (!p.AtEnd()) {
+    return Status::ParseError(
+        StrCat("trailing input after atom list in \"", text, "\""));
+  }
+  return atoms;
 }
 
 }  // namespace estocada::pivot

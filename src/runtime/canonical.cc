@@ -115,4 +115,15 @@ std::map<std::string, engine::Value> RemapParameters(
   return out;
 }
 
+std::vector<std::string> RewritingSetKeys(const pacb::RewritingResult& result) {
+  std::vector<std::string> keys;
+  keys.reserve(result.rewritings.size());
+  for (const pacb::Rewriting& rw : result.rewritings) {
+    keys.push_back(Canonicalize(rw.query).key);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
 }  // namespace estocada::runtime

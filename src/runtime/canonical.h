@@ -3,8 +3,10 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "engine/value.h"
+#include "pacb/rewriter.h"
 #include "pivot/query.h"
 
 namespace estocada::runtime {
@@ -43,6 +45,12 @@ CanonicalQuery Canonicalize(const pivot::ConjunctiveQuery& q);
 std::map<std::string, engine::Value> RemapParameters(
     const CanonicalQuery& canonical,
     const std::map<std::string, engine::Value>& parameters);
+
+/// Sorted, deduplicated canonical keys of every rewriting in `result` — a
+/// fingerprint of a rewriting set that is invariant under variable naming
+/// and body-atom order. Differential tests compare the PACB and naive
+/// chase & backchase outputs through this.
+std::vector<std::string> RewritingSetKeys(const pacb::RewritingResult& result);
 
 }  // namespace estocada::runtime
 

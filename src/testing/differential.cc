@@ -1,0 +1,515 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "estocada/estocada.h"
+#include "pacb/naive.h"
+#include "pacb/rewriter.h"
+#include "pivot/parser.h"
+#include "runtime/canonical.h"
+#include "runtime/query_server.h"
+#include "stores/fault.h"
+
+namespace estocada::testing {
+
+namespace {
+
+using engine::Row;
+using pivot::ConjunctiveQuery;
+
+/// Order-insensitive canonical form of a result set.
+std::multiset<std::string> Canon(const std::vector<Row>& rows) {
+  std::multiset<std::string> out;
+  for (const Row& r : rows) out.insert(engine::RowToString(r));
+  return out;
+}
+
+/// Compact two-sided diff: counts plus up to three rows unique to each
+/// side (shrunk scenarios keep the full picture; mismatch details stay
+/// readable).
+std::string DiffRows(const std::multiset<std::string>& expected,
+                     const std::multiset<std::string>& actual) {
+  std::vector<std::string> missing, extra;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(missing));
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::back_inserter(extra));
+  auto head = [](const std::vector<std::string>& v) {
+    std::string out;
+    for (size_t i = 0; i < v.size() && i < 3; ++i) {
+      out += (i ? ", " : "") + v[i];
+    }
+    if (v.size() > 3) out += ", ...";
+    return out;
+  };
+  return StrCat("expected ", expected.size(), " rows, got ", actual.size(),
+                "; missing {", head(missing), "}; extra {", head(extra), "}");
+}
+
+/// One full five-store deployment of a scenario.
+struct Deployment {
+  stores::RelationalStore relational;
+  stores::KeyValueStore kv;
+  stores::DocumentStore document;
+  stores::ParallelStore parallel{2};
+  stores::TextStore text;
+  Estocada sys;
+
+  Status Build(const Scenario& s) {
+    ESTOCADA_RETURN_NOT_OK(sys.RegisterSchema(s.schema));
+    ESTOCADA_RETURN_NOT_OK(
+        sys.RegisterStore({kRelationalStore, catalog::StoreKind::kRelational,
+                           &relational, nullptr, nullptr, nullptr, nullptr}));
+    ESTOCADA_RETURN_NOT_OK(
+        sys.RegisterStore({kKeyValueStore, catalog::StoreKind::kKeyValue,
+                           nullptr, &kv, nullptr, nullptr, nullptr}));
+    ESTOCADA_RETURN_NOT_OK(
+        sys.RegisterStore({kDocumentStore, catalog::StoreKind::kDocument,
+                           nullptr, nullptr, &document, nullptr, nullptr}));
+    ESTOCADA_RETURN_NOT_OK(
+        sys.RegisterStore({kParallelStore, catalog::StoreKind::kParallel,
+                           nullptr, nullptr, nullptr, &parallel, nullptr}));
+    ESTOCADA_RETURN_NOT_OK(
+        sys.RegisterStore({kTextStore, catalog::StoreKind::kText, nullptr,
+                           nullptr, nullptr, nullptr, &text}));
+    ESTOCADA_RETURN_NOT_OK(sys.LoadStaging(s.staging));
+    for (const FragmentSpec& f : s.fragments) {
+      ESTOCADA_RETURN_NOT_OK(
+          sys.DefineFragment(f.view_text, f.store, f.adornments));
+    }
+    return sys.PrepareRewriter();
+  }
+
+  void AttachChaos(stores::FaultInjector* injector) {
+    relational.AttachFaultInjector(injector, kRelationalStore);
+    kv.AttachFaultInjector(injector, kKeyValueStore);
+    document.AttachFaultInjector(injector, kDocumentStore);
+    parallel.AttachFaultInjector(injector, kParallelStore);
+    text.AttachFaultInjector(injector, kTextStore);
+  }
+};
+
+/// Fisher–Yates permutation of the body driven by the scenario seed, plus
+/// a variable renaming — the metamorphic transformation of invariant (c).
+ConjunctiveQuery PermuteQuery(const ConjunctiveQuery& q, uint64_t seed) {
+  ConjunctiveQuery perm = q.RenameVariables("p_");
+  Rng rng(seed);
+  for (size_t i = perm.body.size(); i > 1; --i) {
+    std::swap(perm.body[i - 1], perm.body[rng.Uniform(i)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+ScenarioOutcome CheckScenario(const Scenario& s,
+                              const HarnessOptions& options) {
+  ScenarioOutcome out;
+  out.seed = s.seed;
+  auto fail = [&](std::string invariant, std::string detail) {
+    out.mismatches.push_back({std::move(invariant), std::move(detail)});
+  };
+
+  Deployment dep;
+  if (Status st = dep.Build(s); !st.ok()) {
+    fail("setup", st.ToString());
+    return out;
+  }
+
+  // View definitions for the rewriter-level invariants (b) and (c).
+  std::vector<pacb::ViewDefinition> views;
+  for (const FragmentSpec& f : s.fragments) {
+    auto vq = pivot::ParseQuery(f.view_text);
+    if (!vq.ok()) {
+      fail("setup", StrCat("view '", f.view_text,
+                           "' does not parse: ", vq.status().ToString()));
+      return out;
+    }
+    views.push_back({std::move(*vq), f.adornments});
+  }
+  std::optional<pacb::Rewriter> pacb_rewriter;
+  std::optional<pacb::NaiveChaseBackchase> naive;
+  if (options.check_naive) {
+    pacb_rewriter.emplace(s.schema, views);
+    naive.emplace(s.schema, views);
+    if (Status st = pacb_rewriter->Prepare(); !st.ok()) {
+      fail("setup", StrCat("rewriter prepare: ", st.ToString()));
+      return out;
+    }
+    if (Status st = naive->Prepare(); !st.ok()) {
+      fail("setup", StrCat("naive prepare: ", st.ToString()));
+      return out;
+    }
+  }
+  std::vector<pivot::Dependency> chase_deps;
+  if (options.check_chase) {
+    chase_deps = s.schema.dependencies();
+    auto fwd = pacb::CompileViewConstraints(
+        views, pacb::ViewConstraintDirection::kForward);
+    if (!fwd.ok()) {
+      fail("setup", StrCat("view constraints: ", fwd.status().ToString()));
+      return out;
+    }
+    chase_deps.insert(chase_deps.end(), fwd->begin(), fwd->end());
+  }
+
+  // Per-query staging oracles, kept for the chaos phase.
+  std::vector<std::optional<std::multiset<std::string>>> oracles(
+      s.queries.size());
+
+  for (size_t qi = 0; qi < s.queries.size(); ++qi) {
+    const QuerySpec& qs = s.queries[qi];
+    auto cq = pivot::ParseQuery(qs.text);
+    if (!cq.ok()) {
+      fail("generator",
+           StrCat("query '", qs.text, "': ", cq.status().ToString()));
+      continue;
+    }
+    auto oracle = dep.sys.EvaluateOverStaging(qs.text, qs.parameters);
+    if (!oracle.ok()) {
+      fail("oracle",
+           StrCat("query '", qs.text, "': ", oracle.status().ToString()));
+      continue;
+    }
+    std::multiset<std::string> expected = Canon(*oracle);
+    oracles[qi] = expected;
+    ++out.queries_checked;
+
+    // ---- (a) every PACB rewriting answers like the oracle. ----
+    if (options.check_rewritings) {
+      auto plans = dep.sys.PlanPrepared(*cq, qs.parameters);
+      if (!plans.ok()) {
+        if (plans.status().code() == StatusCode::kNoRewriting) {
+          ++out.skipped_unanswerable;
+        } else {
+          fail("plan",
+               StrCat("query '", qs.text, "': ", plans.status().ToString()));
+        }
+      } else {
+        size_t nplans = plans->plans.size();
+        for (size_t idx = 0; idx < nplans; ++idx) {
+          // Operator trees are single-use: re-translate the cached
+          // rewritings for every executed index.
+          auto replanned =
+              dep.sys.PlanFromRewritings(plans->rewriting_result,
+                                         qs.parameters);
+          if (!replanned.ok() || replanned->plans.size() != nplans) {
+            fail("plan", StrCat("query '", qs.text,
+                                "': replanning rewritings diverged"));
+            break;
+          }
+          auto res = dep.sys.ExecutePlanned(std::move(*replanned), *cq, idx);
+          if (!res.ok()) {
+            fail("rewriting-oracle",
+                 StrCat("query '", qs.text, "' rewriting #", idx,
+                        " failed to execute: ", res.status().ToString()));
+            continue;
+          }
+          ++out.rewritings_executed;
+          if (Canon(res->rows) != expected) {
+            fail("rewriting-oracle",
+                 StrCat("query '", qs.text, "' rewriting [",
+                        res->rewriting_text, "] via plan #", idx, ": ",
+                        DiffRows(expected, Canon(res->rows))));
+          }
+        }
+      }
+    }
+
+    // ---- (b) naive C&B agrees with PACB on small universal plans. ----
+    if (options.check_naive) {
+      pacb::RewriterOptions ropts;
+      ropts.max_rewritings = 128;
+      ropts.naive_max_subset = options.naive_max_subset;
+      auto a = pacb_rewriter->Rewrite(*cq, ropts);
+      if (a.ok() &&
+          a->stats.universal_plan_atoms <=
+              options.max_universal_plan_for_naive) {
+        auto b = naive->Rewrite(*cq, ropts);
+        if (!b.ok()) {
+          fail("naive-vs-pacb", StrCat("query '", qs.text, "': naive C&B: ",
+                                       b.status().ToString()));
+        } else {
+          size_t cap = options.naive_max_subset == 0
+                           ? a->stats.universal_plan_atoms
+                           : options.naive_max_subset;
+          pacb::RewritingResult small;
+          for (const pacb::Rewriting& rw : a->rewritings) {
+            if (rw.query.body.size() <= cap) small.rewritings.push_back(rw);
+          }
+          auto keys_pacb = runtime::RewritingSetKeys(small);
+          auto keys_naive = runtime::RewritingSetKeys(*b);
+          ++out.naive_comparisons;
+          if (keys_pacb != keys_naive) {
+            std::string listing = "pacb={";
+            for (const auto& k : keys_pacb) listing += k + "; ";
+            listing += "} naive={";
+            for (const auto& k : keys_naive) listing += k + "; ";
+            listing += "}";
+            fail("naive-vs-pacb",
+                 StrCat("query '", qs.text, "': rewriting sets differ: ",
+                        listing));
+          }
+        }
+      }
+    }
+
+    // ---- (c) chase idempotence + permutation invariance. ----
+    if (options.check_chase && out.chase_checks < options.max_chase_queries) {
+      chase::Instance inst;
+      pivot::FrozenBody frozen = pivot::FreezeBody(*cq);
+      Status st = inst.InsertAll(frozen.atoms);
+      chase::ChaseStats st1;
+      if (st.ok()) st = RunChase(chase_deps, &inst, {}, &st1);
+      if (!st.ok() || !st1.reached_fixpoint) {
+        fail("chase", StrCat("query '", qs.text, "': chase did not settle: ",
+                             st.ok() ? "no fixpoint" : st.ToString()));
+      } else {
+        ++out.chase_checks;
+        chase::ChaseStats st2;
+        Status again = RunChase(chase_deps, &inst, {}, &st2);
+        if (!again.ok() || st2.tgd_fires != 0 || st2.egd_merges != 0) {
+          fail("chase-idempotence",
+               StrCat("query '", qs.text, "': re-chase fired ", st2.tgd_fires,
+                      " TGDs / ", st2.egd_merges, " EGD merges"));
+        }
+        ConjunctiveQuery perm = PermuteQuery(*cq, s.seed + qi);
+        chase::Instance inst2;
+        pivot::FrozenBody frozen2 = pivot::FreezeBody(perm);
+        Status stp = inst2.InsertAll(frozen2.atoms);
+        chase::ChaseStats stp1;
+        if (stp.ok()) stp = RunChase(chase_deps, &inst2, {}, &stp1);
+        if (!stp.ok() || !stp1.reached_fixpoint) {
+          fail("chase", StrCat("query '", qs.text,
+                               "' (permuted): chase did not settle"));
+        } else if (!chase::HomomorphicallyEquivalent(inst, inst2)) {
+          fail("chase-permutation",
+               StrCat("query '", qs.text,
+                      "': chase results of the original and the permuted "
+                      "body are not homomorphically equivalent\noriginal:\n",
+                      inst.ToString(), "permuted:\n", inst2.ToString()));
+        }
+      }
+    }
+  }
+
+  // ---- (d) chaos: degradation ladder stays oracle-correct. ----
+  if (options.check_chaos) {
+    Deployment chaos;
+    if (Status st = chaos.Build(s); !st.ok()) {
+      fail("setup", StrCat("chaos deployment: ", st.ToString()));
+      return out;
+    }
+    stores::FaultInjector injector(s.seed ^ 0x9e3779b97f4a7c15ULL);
+    stores::FaultPlan plan;
+    plan.transient_fault_rate = options.chaos_fault_rate;
+    for (const char* store :
+         {kRelationalStore, kKeyValueStore, kDocumentStore, kParallelStore,
+          kTextStore}) {
+      injector.SetPlan(store, plan);
+    }
+    chaos.AttachChaos(&injector);
+    runtime::ServerOptions sopts;
+    sopts.worker_threads = 1;
+    sopts.fault_tolerant = true;
+    sopts.retry.max_attempts = 5;
+    sopts.retry.initial_backoff_micros = 1;
+    sopts.retry.max_backoff_micros = 16;
+    sopts.health.failure_threshold = 2;
+    sopts.health.open_cooldown_micros = 50;
+    sopts.backoff_jitter_seed = s.seed;
+    runtime::QueryServer server(&chaos.sys, sopts);
+    for (size_t qi = 0; qi < s.queries.size(); ++qi) {
+      if (!oracles[qi].has_value()) continue;
+      const QuerySpec& qs = s.queries[qi];
+      auto res = server.Query(qs.text, qs.parameters);
+      if (!res.ok()) {
+        // The ladder may legitimately give up (retry budget, no surviving
+        // rewriting mid-probe); invariant (d) only constrains successes.
+        ++out.chaos_errors;
+        continue;
+      }
+      ++out.chaos_successes;
+      if (Canon(res->rows) != *oracles[qi]) {
+        fail("chaos-correctness",
+             StrCat("query '", qs.text, "' (degraded_to_staging=",
+                    res->degraded_to_staging ? "yes" : "no", ", attempts=",
+                    res->attempts, "): ",
+                    DiffRows(*oracles[qi], Canon(res->rows))));
+      }
+    }
+  }
+
+  return out;
+}
+
+namespace {
+
+bool FailsWith(const Scenario& candidate, const std::string& invariant,
+               const HarnessOptions& options, size_t* evaluations) {
+  ++*evaluations;
+  ScenarioOutcome o = CheckScenario(candidate, options);
+  for (const Mismatch& m : o.mismatches) {
+    if (m.invariant == invariant) return true;
+  }
+  return false;
+}
+
+/// All one-step shrink candidates of `s`, cheapest-to-try first.
+std::vector<Scenario> ShrinkCandidates(const Scenario& s) {
+  std::vector<Scenario> out;
+  // Drop one query.
+  for (size_t i = 0; i < s.queries.size(); ++i) {
+    Scenario c = s;
+    c.queries.erase(c.queries.begin() + static_cast<ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  // Drop one fragment.
+  for (size_t i = 0; i < s.fragments.size(); ++i) {
+    Scenario c = s;
+    c.fragments.erase(c.fragments.begin() + static_cast<ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  // Drop one dependency (relations stay registered).
+  const auto& deps = s.schema.dependencies();
+  for (size_t i = 0; i < deps.size(); ++i) {
+    Scenario c = s;
+    pivot::Schema sch;
+    for (const auto& [name, sig] : s.schema.relations()) {
+      if (!sch.AddRelation(sig).ok()) return out;  // cannot happen
+    }
+    for (size_t j = 0; j < deps.size(); ++j) {
+      if (j != i) sch.AddDependency(deps[j]);
+    }
+    c.schema = std::move(sch);
+    out.push_back(std::move(c));
+  }
+  // Drop one body atom of one query (keeping the query safe).
+  for (size_t i = 0; i < s.queries.size(); ++i) {
+    auto cq = pivot::ParseQuery(s.queries[i].text);
+    if (!cq.ok() || cq->body.size() < 2) continue;
+    for (size_t a = 0; a < cq->body.size(); ++a) {
+      pivot::ConjunctiveQuery smaller = *cq;
+      smaller.body.erase(smaller.body.begin() + static_cast<ptrdiff_t>(a));
+      if (!smaller.Validate().ok()) continue;
+      Scenario c = s;
+      c.queries[i].text = smaller.ToString();
+      out.push_back(std::move(c));
+    }
+  }
+  // Halve one relation's rows.
+  for (const auto& [rel, data] : s.staging) {
+    if (data.rows.empty()) continue;
+    Scenario c = s;
+    auto& rows = c.staging[rel].rows;
+    rows.resize(rows.size() / 2);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkScenario(const Scenario& scenario,
+                            const std::string& invariant,
+                            const HarnessOptions& options) {
+  HarnessOptions opts = options;
+  opts.shrink = false;
+  ShrinkResult result;
+  result.scenario = scenario;
+  bool progress = true;
+  while (progress && result.evaluations < opts.shrink_budget) {
+    progress = false;
+    for (Scenario& candidate : ShrinkCandidates(result.scenario)) {
+      if (result.evaluations >= opts.shrink_budget) break;
+      if (FailsWith(candidate, invariant, opts, &result.evaluations)) {
+        result.scenario = std::move(candidate);
+        ++result.steps;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+SeedReport RunSeed(uint64_t seed, const ScenarioConfig& config,
+                   const HarnessOptions& options) {
+  SeedReport rep;
+  rep.seed = seed;
+  rep.outcome.seed = seed;
+  ScenarioConfig cfg = config;
+  cfg.seed = seed;
+  auto scenario = GenerateScenario(cfg);
+  if (!scenario.ok()) {
+    rep.outcome.mismatches.push_back(
+        {"generator", scenario.status().ToString()});
+    rep.report = StrCat("=== differential failure ===\nseed: ", seed,
+                        "\nscenario generation failed: ",
+                        scenario.status().ToString(), "\n");
+    return rep;
+  }
+  rep.outcome = CheckScenario(*scenario, options);
+  if (rep.outcome.ok()) return rep;
+
+  std::string report =
+      StrCat("=== differential failure ===\nseed: ", seed,
+             "\nreplay: bench/soak_differential --seed=", seed,
+             "  (or FUZZ_REPLAY_SEED=", seed, " ./tests/fuzz_differential)\n");
+  for (const Mismatch& m : rep.outcome.mismatches) {
+    report += StrCat("  [", m.invariant, "] ", m.detail, "\n");
+  }
+  if (options.shrink) {
+    ShrinkResult shrunk =
+        ShrinkScenario(*scenario, rep.outcome.mismatches[0].invariant,
+                       options);
+    report += StrCat("shrunk scenario (", shrunk.steps, " steps, ",
+                     shrunk.evaluations, " evaluations):\n",
+                     shrunk.scenario.ToString());
+  } else {
+    report += StrCat("scenario:\n", scenario->ToString());
+  }
+  rep.report = std::move(report);
+  return rep;
+}
+
+std::string SweepReport::Summary() const {
+  return StrCat(scenarios, " scenarios: ", failures, " failures, ", queries,
+                " queries, ", rewritings, " rewritings executed, ",
+                naive_comparisons, " naive-vs-PACB comparisons, ",
+                chase_checks, " chase checks, ", chaos_successes,
+                " chaos successes (", chaos_errors, " chaos errors)");
+}
+
+SweepReport RunSweep(uint64_t first_seed, size_t count,
+                     const ScenarioConfig& config,
+                     const HarnessOptions& options,
+                     size_t max_stored_failures) {
+  SweepReport sweep;
+  for (uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
+    SeedReport rep = RunSeed(seed, config, options);
+    ++sweep.scenarios;
+    sweep.queries += rep.outcome.queries_checked;
+    sweep.rewritings += rep.outcome.rewritings_executed;
+    sweep.naive_comparisons += rep.outcome.naive_comparisons;
+    sweep.chase_checks += rep.outcome.chase_checks;
+    sweep.chaos_successes += rep.outcome.chaos_successes;
+    sweep.chaos_errors += rep.outcome.chaos_errors;
+    if (!rep.outcome.ok()) {
+      ++sweep.failures;
+      if (sweep.failed.size() < max_stored_failures) {
+        sweep.failed.push_back(std::move(rep));
+      }
+    }
+  }
+  return sweep;
+}
+
+}  // namespace estocada::testing

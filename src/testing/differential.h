@@ -1,0 +1,122 @@
+#ifndef ESTOCADA_TESTING_DIFFERENTIAL_H_
+#define ESTOCADA_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/scenario.h"
+
+namespace estocada::testing {
+
+/// Knobs of the differential harness. The four booleans select the
+/// metamorphic invariant families of the fuzzer:
+///  (a) every PACB rewriting, executed through the runtime, returns the
+///      staging oracle's tuples;
+///  (b) the naive chase & backchase and the PACB rewriter agree on small
+///      instances;
+///  (c) the chase is idempotent and invariant (up to homomorphic
+///      equivalence) under atom/variable permutation of the query;
+///  (d) under fault-injector chaos, the serving runtime's degradation
+///      ladder returns oracle-correct answers whenever it reports success.
+struct HarnessOptions {
+  bool check_rewritings = true;  ///< Invariant family (a).
+  bool check_naive = true;       ///< Invariant family (b).
+  bool check_chase = true;       ///< Invariant family (c).
+  bool check_chaos = true;       ///< Invariant family (d).
+  /// (b) is exponential in the universal plan; skip it beyond this size.
+  size_t max_universal_plan_for_naive = 8;
+  /// Subset-size cap fed to the naive enumeration; PACB rewritings above
+  /// this body size are excluded from the comparison.
+  size_t naive_max_subset = 3;
+  /// (c) is checked on at most this many queries per scenario.
+  size_t max_chase_queries = 3;
+  /// Transient-fault probability per store read during the chaos phase.
+  double chaos_fault_rate = 0.2;
+  /// Auto-shrink failing scenarios before reporting.
+  bool shrink = true;
+  /// Maximum CheckScenario evaluations a shrink may spend.
+  size_t shrink_budget = 120;
+};
+
+/// One invariant violation. `invariant` is a stable family tag
+/// ("rewriting-oracle", "naive-vs-pacb", "chase-idempotence",
+/// "chase-permutation", "chaos-correctness", plus "setup" / "oracle" /
+/// "plan" / "generator" for harness-level breakage).
+struct Mismatch {
+  std::string invariant;
+  std::string detail;
+};
+
+/// What one scenario run checked and found.
+struct ScenarioOutcome {
+  uint64_t seed = 0;
+  size_t queries_checked = 0;
+  size_t rewritings_executed = 0;  ///< Invariant (a) executions.
+  size_t naive_comparisons = 0;    ///< Invariant (b) comparisons.
+  size_t chase_checks = 0;         ///< Invariant (c) query checks.
+  size_t chaos_successes = 0;      ///< Invariant (d) verified answers.
+  size_t chaos_errors = 0;         ///< Chaos queries that reported failure.
+  size_t skipped_unanswerable = 0; ///< Queries with no rewriting (skipped).
+  std::vector<Mismatch> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Deploys `scenario` on fresh in-process store stand-ins, computes the
+/// staging-oracle answer of every query, and checks the enabled invariant
+/// families. Never throws or aborts: every breakage is reported as a
+/// Mismatch.
+ScenarioOutcome CheckScenario(const Scenario& scenario,
+                              const HarnessOptions& options = {});
+
+/// Greedy fixpoint shrinker: repeatedly tries dropping a query, a
+/// fragment, a constraint, one query body atom, or half of one relation's
+/// rows, keeping any candidate that still violates `invariant`. Bounded
+/// by options.shrink_budget CheckScenario evaluations.
+struct ShrinkResult {
+  Scenario scenario;
+  size_t steps = 0;        ///< Accepted shrink transformations.
+  size_t evaluations = 0;  ///< CheckScenario calls spent.
+};
+ShrinkResult ShrinkScenario(const Scenario& scenario,
+                            const std::string& invariant,
+                            const HarnessOptions& options = {});
+
+/// Generates the scenario of `seed`, checks it, and on failure shrinks
+/// and renders a replayable report (seed, mismatches, shrunk scenario
+/// dump). `report` is empty when the scenario passed.
+struct SeedReport {
+  uint64_t seed = 0;
+  ScenarioOutcome outcome;
+  std::string report;
+};
+SeedReport RunSeed(uint64_t seed, const ScenarioConfig& config = {},
+                   const HarnessOptions& options = {});
+
+/// Runs seeds [first_seed, first_seed + count) and aggregates. At most
+/// `max_stored_failures` full failure reports are kept (all failures are
+/// counted).
+struct SweepReport {
+  size_t scenarios = 0;
+  size_t failures = 0;
+  size_t queries = 0;
+  size_t rewritings = 0;
+  size_t naive_comparisons = 0;
+  size_t chase_checks = 0;
+  size_t chaos_successes = 0;
+  size_t chaos_errors = 0;
+  std::vector<SeedReport> failed;
+
+  bool ok() const { return failures == 0; }
+  /// One-line coverage/result summary.
+  std::string Summary() const;
+};
+SweepReport RunSweep(uint64_t first_seed, size_t count,
+                     const ScenarioConfig& config = {},
+                     const HarnessOptions& options = {},
+                     size_t max_stored_failures = 5);
+
+}  // namespace estocada::testing
+
+#endif  // ESTOCADA_TESTING_DIFFERENTIAL_H_

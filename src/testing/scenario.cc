@@ -1,0 +1,412 @@
+#include "testing/scenario.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "pivot/parser.h"
+#include "pivot/query.h"
+
+namespace estocada::testing {
+
+namespace {
+
+using engine::Value;
+using pivot::Adornment;
+using pivot::Atom;
+using pivot::ConjunctiveQuery;
+using pivot::Term;
+
+enum class ColType { kInt, kStr };
+
+/// Structural plan of one relation, fixed before any rows are drawn.
+struct RelationPlan {
+  std::string name;
+  std::vector<ColType> types;  ///< types[0] is always the int key.
+  size_t rows = 0;
+  /// Foreign key: column `fk_col` references relation `fk_parent`'s key
+  /// (fk_col == 0 means no FK).
+  size_t fk_col = 0;
+  size_t fk_parent = 0;
+  bool has_key_egd = false;
+
+  size_t arity() const { return types.size(); }
+};
+
+std::vector<std::string> ColumnNames(size_t arity) {
+  std::vector<std::string> cols = {"k"};
+  for (size_t j = 1; j < arity; ++j) cols.push_back(StrCat("c", j));
+  return cols;
+}
+
+/// "fz.r1(k, x1, x2)" with per-position variable prefix.
+std::string AtomText(const RelationPlan& rel, const std::string& var_prefix) {
+  std::string out = StrCat(rel.name, "(", var_prefix, "0");
+  for (size_t j = 1; j < rel.arity(); ++j) {
+    out += StrCat(", ", var_prefix, j);
+  }
+  return out + ")";
+}
+
+Term ValueToTerm(const Value& v) {
+  if (v.is_int()) return Term::Int(v.int_value());
+  return Term::Str(v.string_value());
+}
+
+}  // namespace
+
+std::string Scenario::ToString() const {
+  std::string out = StrCat("scenario seed=", seed, "\n");
+  out += "schema:\n";
+  out += schema.ToString();
+  out += "staging:\n";
+  for (const auto& [rel, data] : staging) {
+    out += StrCat("  ", rel, " (", data.rows.size(), " rows)\n");
+    for (const engine::Row& r : data.rows) {
+      out += StrCat("    ", engine::RowToString(r), "\n");
+    }
+  }
+  out += "fragments:\n";
+  for (const FragmentSpec& f : fragments) {
+    std::string adorn;
+    for (Adornment a : f.adornments) {
+      adorn += a == Adornment::kInput ? 'i' : 'f';
+    }
+    out += StrCat("  ", f.view_text, " @ ", f.store,
+                  adorn.empty() ? "" : StrCat(" [", adorn, "]"), "\n");
+  }
+  out += "queries:\n";
+  for (const QuerySpec& q : queries) {
+    out += StrCat("  ", q.text, "\n");
+    for (const auto& [name, value] : q.parameters) {
+      out += StrCat("    ", name, " = ", value.ToString(), "\n");
+    }
+  }
+  return out;
+}
+
+Result<Scenario> GenerateScenario(const ScenarioConfig& config) {
+  Rng rng(config.seed);
+  Scenario s;
+  s.seed = config.seed;
+
+  // Shared string vocabulary (small, so string joins/selections hit).
+  std::vector<std::string> vocab;
+  for (size_t i = 0; i < std::max<size_t>(1, config.vocab_size); ++i) {
+    vocab.push_back(rng.AlphaString(4));
+  }
+
+  // ---- Structure: relations, arities, column types, FKs, keys. ----
+  size_t nrel = static_cast<size_t>(
+      rng.UniformRange(static_cast<int64_t>(config.min_relations),
+                       static_cast<int64_t>(config.max_relations)));
+  std::vector<RelationPlan> rels(nrel);
+  for (size_t i = 0; i < nrel; ++i) {
+    RelationPlan& rel = rels[i];
+    rel.name = StrCat("fz.r", i);
+    size_t arity = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(config.min_arity),
+                         static_cast<int64_t>(config.max_arity)));
+    rel.types.assign(arity, ColType::kInt);
+    for (size_t j = 1; j < arity; ++j) {
+      if (rng.Chance(0.4)) rel.types[j] = ColType::kStr;
+    }
+    rel.rows = static_cast<size_t>(
+        rng.UniformRange(static_cast<int64_t>(config.min_rows),
+                         static_cast<int64_t>(config.max_rows)));
+    rel.has_key_egd = rng.Chance(config.key_constraint_rate);
+    if (i > 0 && rng.Chance(config.fk_rate)) {
+      std::vector<size_t> int_cols;
+      for (size_t j = 1; j < arity; ++j) {
+        if (rel.types[j] == ColType::kInt) int_cols.push_back(j);
+      }
+      if (!int_cols.empty()) {
+        rel.fk_col = int_cols[rng.Uniform(int_cols.size())];
+        rel.fk_parent = rng.Uniform(i);
+      }
+    }
+  }
+
+  // ---- Schema: signatures + key EGDs + FK TGDs (weakly acyclic: FKs
+  // only point to earlier relations). ----
+  for (const RelationPlan& rel : rels) {
+    pivot::RelationSignature sig;
+    sig.name = rel.name;
+    sig.columns = ColumnNames(rel.arity());
+    sig.adornments.assign(rel.arity(), Adornment::kFree);
+    sig.key = {0};
+    ESTOCADA_RETURN_NOT_OK(s.schema.AddRelation(std::move(sig)));
+  }
+  for (const RelationPlan& rel : rels) {
+    if (rel.has_key_egd) {
+      for (size_t j = 1; j < rel.arity(); ++j) {
+        // Two atoms aligned on the key column, equality on position j.
+        std::string text = StrCat(rel.name, "(k");
+        for (size_t m = 1; m < rel.arity(); ++m) text += StrCat(", x", m);
+        text += StrCat("), ", rel.name, "(k");
+        for (size_t m = 1; m < rel.arity(); ++m) text += StrCat(", y", m);
+        text += StrCat(") -> x", j, " = y", j);
+        ESTOCADA_ASSIGN_OR_RETURN(
+            pivot::Dependency d,
+            pivot::ParseDependency(text, StrCat("key:", rel.name, ":", j)));
+        s.schema.AddDependency(std::move(d));
+      }
+    }
+    if (rel.fk_col != 0) {
+      const RelationPlan& parent = rels[rel.fk_parent];
+      std::string text = StrCat(AtomText(rel, "x"), " -> ", parent.name, "(x",
+                                rel.fk_col);
+      for (size_t m = 1; m < parent.arity(); ++m) text += StrCat(", w", m);
+      text += ")";
+      ESTOCADA_ASSIGN_OR_RETURN(
+          pivot::Dependency d,
+          pivot::ParseDependency(
+              text, StrCat("fk:", rel.name, ":", rel.fk_col)));
+      s.schema.AddDependency(std::move(d));
+    }
+  }
+
+  // ---- Data: distinct keys (so key EGDs hold), FK columns drawn from
+  // the parent's key range (so FK TGDs hold). ----
+  for (const RelationPlan& rel : rels) {
+    rewriting::StagingRelation data;
+    data.columns = ColumnNames(rel.arity());
+    for (size_t r = 0; r < rel.rows; ++r) {
+      engine::Row row;
+      row.push_back(Value::Int(static_cast<int64_t>(r)));
+      for (size_t j = 1; j < rel.arity(); ++j) {
+        if (j == rel.fk_col) {
+          row.push_back(Value::Int(static_cast<int64_t>(
+              rng.Uniform(std::max<size_t>(1, rels[rel.fk_parent].rows)))));
+        } else if (rel.types[j] == ColType::kInt) {
+          row.push_back(Value::Int(
+              static_cast<int64_t>(rng.Uniform(config.int_domain))));
+        } else {
+          row.push_back(Value::Str(rng.Pick(vocab)));
+        }
+      }
+      data.rows.push_back(std::move(row));
+    }
+    s.staging[rel.name] = std::move(data);
+  }
+
+  // ---- Fragments. Every relation gets an all-free identity fragment on
+  // a scan-capable store, which guarantees every generated query has at
+  // least one rewriting. Extras add binding patterns, replicas,
+  // projections, joins and text placements. ----
+  const std::vector<std::string> scan_stores = {
+      kRelationalStore, kDocumentStore, kParallelStore};
+  size_t frag_id = 0;
+  auto identity_view = [&](const RelationPlan& rel,
+                           const std::string& frag) {
+    std::string head = StrCat(frag, "(v0");
+    for (size_t j = 1; j < rel.arity(); ++j) head += StrCat(", v", j);
+    return StrCat(head, ") :- ", AtomText(rel, "v"));
+  };
+  for (const RelationPlan& rel : rels) {
+    FragmentSpec f;
+    std::string frag = StrCat("F", frag_id++);
+    f.view_text = identity_view(rel, frag);
+    f.store = rng.Pick(scan_stores);
+    s.fragments.push_back(std::move(f));
+  }
+  size_t extras = rng.Uniform(config.max_extra_fragments + 1);
+  for (size_t e = 0; e < extras; ++e) {
+    const RelationPlan& rel = rels[rng.Uniform(nrel)];
+    std::string frag = StrCat("F", frag_id++);
+    FragmentSpec f;
+    switch (rng.Uniform(5)) {
+      case 0: {  // Key-value placement: key column input-adorned.
+        f.view_text = identity_view(rel, frag);
+        f.store = kKeyValueStore;
+        f.adornments.assign(rel.arity(), Adornment::kFree);
+        f.adornments[0] = Adornment::kInput;
+        break;
+      }
+      case 1: {  // Replica of the identity fragment.
+        f.view_text = identity_view(rel, frag);
+        f.store = rng.Pick(scan_stores);
+        break;
+      }
+      case 2: {  // Projection to (key, one column).
+        if (rel.arity() < 2) continue;
+        size_t j = 1 + rng.Uniform(rel.arity() - 1);
+        f.view_text = StrCat(frag, "(v0, v", j, ") :- ", AtomText(rel, "v"));
+        f.store = rng.Pick(scan_stores);
+        break;
+      }
+      case 3: {  // Join fragment along an int column into another key.
+        std::vector<size_t> int_cols;
+        for (size_t j = 1; j < rel.arity(); ++j) {
+          if (rel.types[j] == ColType::kInt) int_cols.push_back(j);
+        }
+        if (int_cols.empty() || nrel < 2) continue;
+        size_t j = rel.fk_col != 0 ? rel.fk_col
+                                   : int_cols[rng.Uniform(int_cols.size())];
+        const RelationPlan& parent =
+            rel.fk_col != 0 ? rels[rel.fk_parent] : rels[rng.Uniform(nrel)];
+        std::string head = StrCat(frag, "(v0");
+        for (size_t m = 1; m < rel.arity(); ++m) head += StrCat(", v", m);
+        for (size_t m = 1; m < parent.arity(); ++m) head += StrCat(", w", m);
+        std::string body = StrCat(AtomText(rel, "v"), ", ", parent.name, "(v",
+                                  j);
+        for (size_t m = 1; m < parent.arity(); ++m) body += StrCat(", w", m);
+        f.view_text = StrCat(head, ") :- ", body, ")");
+        f.store = rng.Pick(scan_stores);
+        break;
+      }
+      case 4: {  // Text placement: (key, string column), term adorned.
+        std::vector<size_t> str_cols;
+        for (size_t j = 1; j < rel.arity(); ++j) {
+          if (rel.types[j] == ColType::kStr) str_cols.push_back(j);
+        }
+        if (str_cols.empty()) continue;
+        size_t j = str_cols[rng.Uniform(str_cols.size())];
+        f.view_text = StrCat(frag, "(v0, v", j, ") :- ", AtomText(rel, "v"));
+        f.store = kTextStore;
+        f.adornments = {Adornment::kFree, Adornment::kInput};
+        break;
+      }
+    }
+    if (f.view_text.empty()) continue;
+    s.fragments.push_back(std::move(f));
+  }
+
+  // ---- Queries. Query 0 is always a full scan; the rest are drawn from
+  // {scan, constant selection, $-parameter key lookup, key join,
+  // repeated-variable selection}. All are answerable via the identity
+  // fragments, and every text round-trips through the pivot parser. ----
+  size_t nq = static_cast<size_t>(
+      rng.UniformRange(static_cast<int64_t>(config.min_queries),
+                       static_cast<int64_t>(config.max_queries)));
+  auto scan_query = [&](const RelationPlan& rel) {
+    ConjunctiveQuery q;
+    q.name = "q";
+    std::vector<Term> vars;
+    for (size_t j = 0; j < rel.arity(); ++j) {
+      vars.push_back(Term::Var(StrCat("v", j)));
+    }
+    q.head = vars;
+    q.body.push_back(Atom(rel.name, vars));
+    return q;
+  };
+  for (size_t n = 0; n < nq; ++n) {
+    const RelationPlan& rel = rels[rng.Uniform(nrel)];
+    QuerySpec spec;
+    ConjunctiveQuery q;
+    switch (n == 0 ? 0 : rng.Uniform(5)) {
+      case 0: {  // Full scan.
+        q = scan_query(rel);
+        break;
+      }
+      case 1: {  // Constant selection on a non-key column.
+        if (rel.arity() < 2 || s.staging[rel.name].rows.empty()) {
+          q = scan_query(rel);
+          break;
+        }
+        size_t j = 1 + rng.Uniform(rel.arity() - 1);
+        const engine::Row& sample =
+            s.staging[rel.name].rows[rng.Uniform(
+                s.staging[rel.name].rows.size())];
+        q.name = "q";
+        std::vector<Term> terms;
+        for (size_t m = 0; m < rel.arity(); ++m) {
+          if (m == j) {
+            terms.push_back(ValueToTerm(sample[m]));
+          } else {
+            Term v = Term::Var(StrCat("v", m));
+            terms.push_back(v);
+            q.head.push_back(v);
+          }
+        }
+        q.body.push_back(Atom(rel.name, std::move(terms)));
+        break;
+      }
+      case 2: {  // $-parameter lookup on the key column.
+        q.name = "q";
+        std::vector<Term> terms = {Term::Var("$p0")};
+        for (size_t m = 1; m < rel.arity(); ++m) {
+          Term v = Term::Var(StrCat("v", m));
+          terms.push_back(v);
+          q.head.push_back(v);
+        }
+        if (q.head.empty()) q.head.push_back(Term::Var("$p0"));
+        q.body.push_back(Atom(rel.name, std::move(terms)));
+        // Mostly an existing key; sometimes a miss (empty answer).
+        int64_t key = rng.Chance(0.9)
+                          ? rng.UniformRange(
+                                0, static_cast<int64_t>(
+                                       std::max<size_t>(1, rel.rows)) -
+                                       1)
+                          : static_cast<int64_t>(rel.rows) + 7;
+        spec.parameters["$p0"] = Value::Int(key);
+        break;
+      }
+      case 3: {  // Join: rel's int column against another relation's key.
+        std::vector<size_t> int_cols;
+        for (size_t j = 1; j < rel.arity(); ++j) {
+          if (rel.types[j] == ColType::kInt) int_cols.push_back(j);
+        }
+        if (int_cols.empty() || nrel < 2) {
+          q = scan_query(rel);
+          break;
+        }
+        size_t j = rel.fk_col != 0 ? rel.fk_col
+                                   : int_cols[rng.Uniform(int_cols.size())];
+        const RelationPlan& other =
+            rel.fk_col != 0 ? rels[rel.fk_parent] : rels[rng.Uniform(nrel)];
+        q.name = "q";
+        std::vector<Term> left;
+        for (size_t m = 0; m < rel.arity(); ++m) {
+          left.push_back(Term::Var(StrCat("v", m)));
+        }
+        std::vector<Term> right = {Term::Var(StrCat("v", j))};
+        for (size_t m = 1; m < other.arity(); ++m) {
+          right.push_back(Term::Var(StrCat("w", m)));
+        }
+        q.head.push_back(left[0]);
+        q.head.push_back(left[j]);
+        if (other.arity() > 1) q.head.push_back(right[1]);
+        q.body.push_back(Atom(rel.name, std::move(left)));
+        q.body.push_back(Atom(other.name, std::move(right)));
+        break;
+      }
+      case 4: {  // Repeated variable across two same-typed columns.
+        std::vector<std::pair<size_t, size_t>> pairs;
+        for (size_t a = 1; a < rel.arity(); ++a) {
+          for (size_t b = a + 1; b < rel.arity(); ++b) {
+            if (rel.types[a] == rel.types[b]) pairs.emplace_back(a, b);
+          }
+        }
+        if (pairs.empty()) {
+          q = scan_query(rel);
+          break;
+        }
+        auto [a, b] = pairs[rng.Uniform(pairs.size())];
+        q.name = "q";
+        std::vector<Term> terms;
+        for (size_t m = 0; m < rel.arity(); ++m) {
+          if (m == b) {
+            terms.push_back(Term::Var(StrCat("v", a)));
+          } else {
+            terms.push_back(Term::Var(StrCat("v", m)));
+            q.head.push_back(terms.back());
+          }
+        }
+        q.body.push_back(Atom(rel.name, std::move(terms)));
+        break;
+      }
+    }
+    ESTOCADA_RETURN_NOT_OK(q.Validate());
+    spec.text = q.ToString();
+    // The text must replay through the parser (it is what the harness and
+    // the serving runtime consume).
+    ESTOCADA_RETURN_NOT_OK(pivot::ParseQuery(spec.text).status());
+    s.queries.push_back(std::move(spec));
+  }
+
+  ESTOCADA_RETURN_NOT_OK(s.schema.Validate());
+  return s;
+}
+
+}  // namespace estocada::testing

@@ -1,0 +1,89 @@
+#ifndef ESTOCADA_TESTING_SCENARIO_H_
+#define ESTOCADA_TESTING_SCENARIO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/value.h"
+#include "pivot/schema.h"
+#include "rewriting/cq_eval.h"
+
+namespace estocada::testing {
+
+/// Logical names of the five stores a generated scenario may place
+/// fragments on. The differential harness instantiates one store stand-in
+/// per name (matching the kind) when it deploys a scenario.
+inline constexpr const char* kRelationalStore = "pg";
+inline constexpr const char* kKeyValueStore = "redis";
+inline constexpr const char* kDocumentStore = "mongo";
+inline constexpr const char* kParallelStore = "spark";
+inline constexpr const char* kTextStore = "solr";
+
+/// Knobs of the random scenario generator. Defaults keep one scenario
+/// small enough that a few hundred of them fit in a tier-1 ctest budget.
+struct ScenarioConfig {
+  uint64_t seed = 1;
+  size_t min_relations = 2;
+  size_t max_relations = 4;
+  size_t min_arity = 2;
+  size_t max_arity = 4;
+  size_t min_rows = 3;
+  size_t max_rows = 12;
+  /// Extra fragments on top of the per-relation identity fragment that
+  /// guarantees every generated query is answerable.
+  size_t max_extra_fragments = 4;
+  size_t min_queries = 3;
+  size_t max_queries = 5;
+  /// Non-key integer values are drawn from [0, int_domain) so joins and
+  /// selections actually hit.
+  size_t int_domain = 6;
+  /// Size of the string vocabulary (shared across relations).
+  size_t vocab_size = 5;
+  /// Probability that a relation declares its key column as an EGD key
+  /// constraint (the data always keeps keys distinct, so the EGD holds).
+  double key_constraint_rate = 0.6;
+  /// Probability that a relation (other than the first) declares a
+  /// foreign-key TGD into an earlier relation. FK columns are then drawn
+  /// from the parent's key range, so the TGD holds on the data.
+  double fk_rate = 0.5;
+};
+
+/// One fragment placement: a LAV view in pivot syntax plus where it lives.
+struct FragmentSpec {
+  std::string view_text;
+  std::string store;  ///< One of the five store names above.
+  std::vector<pivot::Adornment> adornments;
+};
+
+/// One generated query: pivot CQ text plus its parameter bindings.
+struct QuerySpec {
+  std::string text;
+  std::map<std::string, engine::Value> parameters;
+};
+
+/// A complete generated test scenario: schema (with key/FK constraints),
+/// staged ground-truth data, a fragment layout across the stores, and
+/// conjunctive queries guaranteed answerable (every relation has an
+/// all-free identity fragment). Everything is derived deterministically
+/// from `seed`, so a failure replays from that one number.
+struct Scenario {
+  uint64_t seed = 0;
+  pivot::Schema schema;
+  rewriting::StagingData staging;
+  std::vector<FragmentSpec> fragments;
+  std::vector<QuerySpec> queries;
+
+  /// Replayable human-readable dump (schema, constraints, rows, fragment
+  /// layout, queries) — what a failing fuzz run prints after shrinking.
+  std::string ToString() const;
+};
+
+/// Generates the scenario determined by `config` (notably config.seed).
+Result<Scenario> GenerateScenario(const ScenarioConfig& config);
+
+}  // namespace estocada::testing
+
+#endif  // ESTOCADA_TESTING_SCENARIO_H_

@@ -1,0 +1,225 @@
+/// Error-path coverage for the native-language frontends (frontend/sql.cc
+/// and frontend/docfind.cc): a grammar-mutation corpus checks that every
+/// malformed input is rejected with a Status — parsers must never crash,
+/// hang, or let garbage through by silently ignoring trailing input.
+///
+/// The corpus is seeded and deterministic; MutateString applies random
+/// truncations, splices, and token/byte injections to valid base inputs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "encoding/encodings.h"
+#include "frontend/docfind.h"
+#include "frontend/sql.h"
+#include "pivot/parser.h"
+#include "pivot/schema.h"
+
+namespace estocada::frontend {
+namespace {
+
+using pivot::Schema;
+
+Schema ShopSchema() {
+  Schema s;
+  auto users = encoding::RelationalEncoding("shop", "users",
+                                            {"uid", "name", "city"}, {"uid"});
+  auto orders = encoding::RelationalEncoding("shop", "orders",
+                                             {"oid", "uid", "total"}, {"oid"});
+  EXPECT_TRUE(users.ok() && orders.ok());
+  EXPECT_TRUE(s.Merge(*users).ok());
+  EXPECT_TRUE(s.Merge(*orders).ok());
+  return s;
+}
+
+Schema CatalogDocSchema() {
+  Schema s;
+  auto enc = encoding::DocumentEncoding(
+      "mk", "products",
+      {{"pid", true}, {"name", true}, {"category", true}, {"tags", false}});
+  EXPECT_TRUE(enc.ok());
+  EXPECT_TRUE(s.Merge(*enc).ok());
+  return s;
+}
+
+/// Tokens the mutator splices in: grammar keywords, punctuation, pivot
+/// syntax that must not leak through string interpolation, and junk.
+const std::vector<std::string>& MutationTokens() {
+  static const std::vector<std::string> kTokens = {
+      "SELECT", "FROM",  "WHERE", "AND", ",", ".", "=", "(", ")",
+      "''",     "'",     "$",     "$p",  ";", " ", "x", "0", "-",
+      ":-",     "q(x)",  "\t",    "\n",  "\"", "*", "a.b", "_N3",
+  };
+  return kTokens;
+}
+
+std::string MutateString(const std::string& base, Rng& rng) {
+  std::string out = base;
+  size_t edits = 1 + rng.Uniform(4);
+  for (size_t e = 0; e < edits; ++e) {
+    switch (rng.Uniform(4)) {
+      case 0:  // Truncate at a random point.
+        if (!out.empty()) out.resize(rng.Uniform(out.size()));
+        break;
+      case 1: {  // Insert a token at a random position.
+        const auto& toks = MutationTokens();
+        size_t pos = out.empty() ? 0 : rng.Uniform(out.size() + 1);
+        out.insert(pos, toks[rng.Uniform(toks.size())]);
+        break;
+      }
+      case 2:  // Delete a random span.
+        if (!out.empty()) {
+          size_t pos = rng.Uniform(out.size());
+          out.erase(pos, 1 + rng.Uniform(3));
+        }
+        break;
+      case 3:  // Flip a byte to a printable character.
+        if (!out.empty()) {
+          out[rng.Uniform(out.size())] =
+              static_cast<char>(' ' + rng.Uniform(95));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- SQL --
+
+const std::vector<std::string>& SqlCorpus() {
+  static const std::vector<std::string> kCorpus = {
+      "SELECT u.name FROM shop.users u",
+      "SELECT u.uid, u.city FROM shop.users u WHERE u.city = 'paris'",
+      "SELECT u.name AS n, o.total FROM shop.users u, shop.orders o "
+      "WHERE u.uid = o.uid",
+      "SELECT o.total FROM shop.orders o WHERE o.uid = $id AND o.total = 5",
+  };
+  return kCorpus;
+}
+
+TEST(SqlFuzz, CorpusBaselineParses) {
+  Schema schema = ShopSchema();
+  for (const std::string& sql : SqlCorpus()) {
+    EXPECT_TRUE(SqlToCq(sql, schema).ok()) << sql;
+  }
+}
+
+TEST(SqlFuzz, MutatedInputsNeverCrash) {
+  Schema schema = ShopSchema();
+  Rng rng(0xf00dULL);
+  size_t rejected = 0, accepted = 0;
+  for (size_t i = 0; i < 3000; ++i) {
+    const std::string& base = SqlCorpus()[i % SqlCorpus().size()];
+    std::string mutated = MutateString(base, rng);
+    auto r = SqlToCq(mutated, schema);  // Must return, never crash.
+    if (r.ok()) {
+      ++accepted;
+      EXPECT_TRUE(r->Validate().ok())
+          << "accepted SQL produced invalid CQ: " << mutated;
+    } else {
+      ++rejected;
+      EXPECT_FALSE(r.status().message().empty()) << mutated;
+    }
+  }
+  // Sanity: the mutator actually produces broken inputs (and the
+  // occasional still-valid one).
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(accepted, 0u);
+}
+
+TEST(SqlFuzz, TargetedMalformedInputs) {
+  Schema schema = ShopSchema();
+  for (const char* sql : {
+           "",
+           "SELECT",
+           "SELECT FROM",
+           "SELECT u.name",
+           "SELECT u.name FROM",
+           "SELECT u.name FROM shop.users",         // missing alias
+           "SELECT u.name FROM shop.nosuch u",      // unknown table
+           "SELECT u.nocol FROM shop.users u",      // unknown column
+           "SELECT x.name FROM shop.users u",       // unknown alias
+           "SELECT * FROM shop.users u",            // star: unsupported
+           "SELECT u.name FROM shop.users u WHERE", // dangling WHERE
+           "SELECT u.name FROM shop.users u WHERE u.uid",
+           "SELECT u.name FROM shop.users u WHERE u.uid < 3",
+           "SELECT u.name FROM shop.users u WHERE u.uid = ",
+           "SELECT u.name FROM shop.users u WHERE u.uid = 'x' AND",
+           "SELECT u.name FROM shop.users u, FROM shop.orders o",
+           "SELECT u.name FROM (SELECT * FROM shop.users) u",
+       }) {
+    auto r = SqlToCq(sql, schema);
+    EXPECT_FALSE(r.ok()) << "accepted malformed SQL: " << sql;
+  }
+}
+
+// --------------------------------------------------------- DocFind --
+
+TEST(DocFindFuzz, MutatedSpecsNeverCrash) {
+  Schema schema = CatalogDocSchema();
+  Rng rng(0xbeefULL);
+  const std::vector<std::string> paths = {"pid", "name", "category", "tags"};
+  const std::vector<std::string> values = {"'home'", "42", "$p", "2.5",
+                                           "true", "null"};
+  size_t rejected = 0;
+  for (size_t i = 0; i < 3000; ++i) {
+    DocFindSpec spec;
+    spec.collection = MutateString("mk.products", rng);
+    size_t nf = rng.Uniform(3);
+    for (size_t f = 0; f < nf; ++f) {
+      spec.filters.push_back({MutateString(paths[rng.Uniform(paths.size())], rng),
+                              MutateString(values[rng.Uniform(values.size())], rng)});
+    }
+    size_t nr = rng.Uniform(3);
+    for (size_t r = 0; r < nr; ++r) {
+      spec.returns.push_back(MutateString(paths[rng.Uniform(paths.size())], rng));
+    }
+    spec.include_doc_id = rng.Chance(0.5);
+    auto r = DocFindToCq(spec, schema);  // Must return, never crash.
+    if (r.ok()) {
+      EXPECT_TRUE(r->Validate().ok()) << "accepted spec produced invalid CQ";
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+}
+
+/// Regression: an empty filter value made DocFindToCq index into an empty
+/// term list ("X()" parses as a zero-term atom) and crash. Any filter
+/// value that is not exactly one literal or parameter must be rejected.
+TEST(DocFindFuzz, EmptyAndCompositeFilterValuesAreRejected) {
+  Schema schema = CatalogDocSchema();
+  for (const char* value : {
+           "",            // zero terms — the original crash
+           " ",           //
+           "1, 2",        // two terms
+           "'a' junk",    // trailing garbage after a literal
+           "x",           // bare variable
+           "'a'), Y('b'", // atom-injection through interpolation
+           ")",           //
+       }) {
+    DocFindSpec spec;
+    spec.collection = "mk.products";
+    spec.filters = {{"category", value}};
+    spec.returns = {"pid"};
+    auto r = DocFindToCq(spec, schema);
+    EXPECT_FALSE(r.ok()) << "accepted filter value: '" << value << "'";
+  }
+}
+
+/// Regression: ParseAtomList silently ignored trailing input, which let
+/// interpolated strings smuggle extra atoms or junk past the parser.
+TEST(DocFindFuzz, PivotAtomListRejectsTrailingInput) {
+  EXPECT_TRUE(pivot::ParseAtomList("R(x), S(x, y)").ok());
+  for (const char* text : {"R(x) junk", "R(x), ", "R(x)) ", "R(x), S(x,"}) {
+    auto r = pivot::ParseAtomList(text);
+    EXPECT_FALSE(r.ok()) << "accepted trailing input: '" << text << "'";
+  }
+}
+
+}  // namespace
+}  // namespace estocada::frontend

@@ -1,0 +1,164 @@
+/// Golden-file tests of the PACB rewriter's output on three demo
+/// scenarios. The rewriting *set* for a fixed (schema, views, query)
+/// triple is part of the system's observable contract; these tests diff
+/// pacb::DescribeRewritingSet against checked-in expectations so any
+/// change — a lost rewriting, a new one, a different minimization — shows
+/// up as a reviewable textual diff.
+///
+/// To regenerate after an intentional change:
+///
+///   UPDATE_GOLDENS=1 ./tests/golden_rewritings
+///
+/// then review `git diff tests/golden/` before committing.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pacb/rewriter.h"
+#include "pacb/view.h"
+#include "pivot/parser.h"
+
+namespace estocada::pacb {
+namespace {
+
+using pivot::Adornment;
+using pivot::ConjunctiveQuery;
+using pivot::ParseQuery;
+using pivot::Schema;
+
+ConjunctiveQuery Q(std::string_view text) {
+  auto r = ParseQuery(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+ViewDefinition View(std::string_view text,
+                    std::vector<Adornment> adornments = {}) {
+  ViewDefinition v;
+  v.query = Q(text);
+  v.adornments = std::move(adornments);
+  return v;
+}
+
+Schema SchemaWith(std::initializer_list<std::pair<const char*, size_t>> rels,
+                  std::string_view deps_text = "") {
+  Schema s;
+  for (const auto& [name, arity] : rels) {
+    EXPECT_TRUE(s.AddRelation(name, arity).ok());
+  }
+  if (!deps_text.empty()) {
+    auto deps = pivot::ParseDependencies(deps_text);
+    EXPECT_TRUE(deps.ok()) << deps.status();
+    for (auto& d : *deps) s.AddDependency(std::move(d));
+  }
+  return s;
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+void CompareWithGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("UPDATE_GOLDENS") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " — run with UPDATE_GOLDENS=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), actual)
+      << "rewriting set for '" << name << "' changed; if intentional, "
+      << "regenerate with UPDATE_GOLDENS=1 and review the diff";
+}
+
+void RunGolden(const std::string& name, Schema schema,
+               std::vector<ViewDefinition> views,
+               std::initializer_list<const char*> queries) {
+  Rewriter rewriter(std::move(schema), std::move(views));
+  ASSERT_TRUE(rewriter.Prepare().ok());
+  std::string actual;
+  for (const char* qtext : queries) {
+    auto result = rewriter.Rewrite(Q(qtext));
+    ASSERT_TRUE(result.ok()) << qtext << ": " << result.status();
+    actual += "query: ";
+    actual += qtext;
+    actual += "\n";
+    actual += DescribeRewritingSet(*result);
+    actual += "\n";
+  }
+  CompareWithGolden(name, actual);
+}
+
+/// The paper's §II web-marketplace: users and carts split across a
+/// relational store (full users table), a key-value store (carts keyed by
+/// user, binding pattern on the key), and a document store holding a
+/// pre-joined user×cart fragment.
+TEST(GoldenRewritings, Marketplace) {
+  RunGolden(
+      "marketplace",
+      SchemaWith({{"mk.users", 3}, {"mk.carts", 2}},
+                 "mk.users(u, n1, c1), mk.users(u, n2, c2) -> n1 = n2; "
+                 "mk.users(u, n1, c1), mk.users(u, n2, c2) -> c1 = c2; "
+                 "mk.carts(u, p) -> mk.users(u, n, c)"),
+      {
+          View("F_users(u, n, c) :- mk.users(u, n, c)"),
+          View("F_cart(u, p) :- mk.carts(u, p)",
+               {Adornment::kInput, Adornment::kFree}),
+          View("F_cart_city(u, p, c) :- mk.carts(u, p), mk.users(u, n, c)"),
+          View("F_city(u, c) :- mk.users(u, n, c)"),
+      },
+      {
+          "q(p) :- mk.carts($uid, p)",
+          "q(u, p, c) :- mk.carts(u, p), mk.users(u, n, c)",
+          "q(n, c) :- mk.users($uid, n, c)",
+      });
+}
+
+/// A log-analytics layout: the full log lives on the parallel store, with
+/// narrow projections replicated for cheap host/message lookups.
+TEST(GoldenRewritings, Bigdata) {
+  RunGolden(
+      "bigdata",
+      SchemaWith({{"ds.logs", 3}},
+                 "ds.logs(i, h1, m1), ds.logs(i, h2, m2) -> h1 = h2; "
+                 "ds.logs(i, h1, m1), ds.logs(i, h2, m2) -> m1 = m2"),
+      {
+          View("F_logs(i, h, m) :- ds.logs(i, h, m)"),
+          View("F_host(i, h) :- ds.logs(i, h, m)"),
+          View("F_msg(i, m) :- ds.logs(i, h, m)"),
+      },
+      {
+          "q(i, h, m) :- ds.logs(i, h, m)",
+          "q(h) :- ds.logs($id, h, m)",
+          "q(i) :- ds.logs(i, 'web1', m)",
+      });
+}
+
+/// The classic R ⋈ S with R replicated on two stores plus a pre-joined
+/// fragment: the rewriter must report every combination (join view alone,
+/// and each replica joined with S).
+TEST(GoldenRewritings, ReplicatedJoin) {
+  RunGolden("replicated_rs", SchemaWith({{"R", 2}, {"S", 2}}),
+            {
+                View("V_r1(x, y) :- R(x, y)"),
+                View("V_r2(x, y) :- R(x, y)"),
+                View("V_s(y, z) :- S(y, z)"),
+                View("V_rs(x, z) :- R(x, y), S(y, z)"),
+            },
+            {
+                "q(x, z) :- R(x, y), S(y, z)",
+                "q(x, y) :- R(x, y)",
+            });
+}
+
+}  // namespace
+}  // namespace estocada::pacb

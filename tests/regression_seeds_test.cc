@@ -1,0 +1,53 @@
+/// Pinned fuzzer seeds. Every seed here once produced a differential
+/// mismatch (see TESTING.md for the replay workflow); the bugs are fixed,
+/// and these replays keep them fixed. When the fuzzer finds a new
+/// mismatch, fix the bug and append the seed.
+///
+/// The original findings, all in the provenance-aware PACB backchase
+/// (src/pacb/rewriter.cc + src/chase), surfaced as `naive-vs-pacb`
+/// mismatches — the naive chase & backchase found equivalence-preserving
+/// rewritings the provenance path missed:
+///
+///  * seed 105 — an EGD merge AND-ed its conditioning into an atom whose
+///    match did not rely on the equality (the merged position mapped to a
+///    don't-care variable); DNF absorption then erased the only support
+///    of a projection-fragment rewriting. Fixed by ghost forms + the
+///    optimistic candidate pass (verified by the chase) in the rewriter.
+///  * seed 149 — two EGD triggers derived the same equality from
+///    different atom pairs; only the first derivation conditioned the
+///    merge and the alternative support was lost. Fixed by grouping
+///    same-equality triggers per round and OR-ing their provenance.
+///  * seed 1360 — the semi-oblivious TGD refire OR-ed an *unconditioned*
+///    trigger base into a merged atom's current form, creating a bogus
+///    small disjunct that absorbed the genuine pre-merge-form support.
+///    Fixed by conditioning the refreshed base on the produced atom's
+///    merge conditioning.
+///
+/// The remaining seeds are further instances of the same three classes
+/// from the original 3000-scenario hunt.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "testing/differential.h"
+
+namespace estocada::testing {
+namespace {
+
+class RegressionSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegressionSeeds, Replay) {
+  SeedReport rep = RunSeed(GetParam());
+  EXPECT_TRUE(rep.outcome.ok()) << rep.report;
+  // The pinned scenarios exercise the rewriting path, not just setup.
+  EXPECT_GT(rep.outcome.queries_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PacbProvenanceCompleteness, RegressionSeeds,
+                         ::testing::Values<uint64_t>(105, 149, 323, 816, 932,
+                                                     1360, 1507, 1762, 2270,
+                                                     2661, 3050));
+
+}  // namespace
+}  // namespace estocada::testing
