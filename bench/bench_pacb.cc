@@ -11,9 +11,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
+#include "bench_common.h"
 #include "common/strings.h"
 #include "pacb/naive.h"
 #include "pacb/rewriter.h"
@@ -125,6 +128,50 @@ BENCHMARK(BM_NaiveRewrite)
     ->ArgsProduct({{2, 3, 4, 5, 6}, {0, 1}})
     ->Unit(benchmark::kMicrosecond);
 
+/// Perf-gate record: times the PACB rewriter on a fixed set of chain
+/// cases and writes BENCH_pacb.json. Each case reports the median of 5
+/// timed reps (every rep averages a small inner loop to smooth scheduler
+/// noise) plus the chase-verification and rewriting counts, so the CI
+/// perf gate (scripts/bench_compare.py vs bench/baselines/pacb.json) can
+/// flag both wall-time regressions and verification-count blowups.
+void WriteGateJson() {
+  struct GateCase { size_t n; int variant; };
+  const GateCase cases[] = {{4, 0}, {6, 1}, {8, 1}, {5, 2}};
+  constexpr int kReps = 5;
+  constexpr int kInner = 4;
+  BenchJson json("pacb");
+  json.Add("reps", static_cast<uint64_t>(kReps));
+  for (const GateCase& cs : cases) {
+    ChainCase c = MakeChain(cs.n, cs.variant);
+    Rewriter rw(c.schema, c.views);
+    BenchCheck(rw.Prepare(), "gate prepare");
+    size_t verified = 0;
+    size_t found = 0;
+    auto once = [&] {
+      auto r = rw.Rewrite(c.query);
+      BenchCheck(r.status(), "gate rewrite");
+      verified = r->stats.candidates_verified;
+      found = r->rewritings.size();
+    };
+    once();  // Warm the per-pattern matcher compilations.
+    double samples[kReps];
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kInner; ++i) once();
+      auto stop = std::chrono::steady_clock::now();
+      samples[rep] =
+          std::chrono::duration<double, std::micro>(stop - start).count() /
+          kInner;
+    }
+    std::sort(samples, samples + kReps);
+    const std::string prefix = StrCat("chain", cs.n, "_v", cs.variant);
+    json.Add(prefix + "_us", samples[kReps / 2]);
+    json.Add(prefix + "_verifications", static_cast<uint64_t>(verified));
+    json.Add(prefix + "_rewritings", static_cast<uint64_t>(found));
+  }
+  json.Write();
+}
+
 /// Ablation within PACB: provenance tracking + minimization off but
 /// candidate cap tight — isolates what the provenance bookkeeping buys.
 
@@ -186,6 +233,11 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  estocada::bench::PrintSummary();
+  estocada::bench::WriteGateJson();
+  // The perf-gate CI job only needs BENCH_pacb.json; the comparison table
+  // (which chase-verifies naive C&B on the large chains) is skipped there.
+  if (std::getenv("ESTOCADA_BENCH_GATE_ONLY") == nullptr) {
+    estocada::bench::PrintSummary();
+  }
   return 0;
 }

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare a benchmark JSON record against a committed baseline.
+
+The perf-gate CI job runs `bench_pacb` (which writes BENCH_pacb.json, the
+median of 5 timed reps per chain case plus chase-verification counts) and
+then this script against `bench/baselines/pacb.json`. Keys ending in
+`_us` are wall times: the gate fails when any regresses by more than the
+threshold (default 25%). Other numeric keys (verification and rewriting
+counts) are compared exactly and reported, but only count *increases*
+fail — fewer verifications for the same rewritings is an improvement.
+
+Usage:
+  scripts/bench_compare.py CURRENT BASELINE [--threshold 0.25]
+  scripts/bench_compare.py CURRENT BASELINE --update
+
+With --update the current record is copied over the baseline (after an
+intentional perf change; review `git diff bench/baselines/` before
+committing) and the comparison is skipped.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly produced BENCH_*.json")
+    ap.add_argument("baseline", help="committed bench/baselines/*.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional wall-time regression "
+                         "(default 0.25 = 25%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baseline with the current record")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline} <- {args.current}")
+        return 0
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    rows = []
+    for key, base in sorted(baseline.items()):
+        if key not in current:
+            failures.append(f"{key}: missing from {args.current}")
+            continue
+        cur = current[key]
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            continue
+        if key.endswith("_us"):
+            ratio = cur / base if base > 0 else float("inf")
+            verdict = "ok"
+            if ratio > 1 + args.threshold:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"{key}: {cur:.1f}us vs baseline {base:.1f}us "
+                    f"({(ratio - 1) * 100:+.1f}%, allowed "
+                    f"+{args.threshold * 100:.0f}%)")
+            elif ratio < 1 - args.threshold:
+                verdict = "improved"
+            rows.append(f"  {key:40s} {base:10.1f} -> {cur:10.1f}  "
+                        f"{(ratio - 1) * 100:+6.1f}%  {verdict}")
+        else:
+            if cur > base:
+                failures.append(f"{key}: {cur} vs baseline {base} (count "
+                                f"increased)")
+            if cur != base:
+                rows.append(f"  {key:40s} {base:10g} -> {cur:10g}  changed")
+
+    for key in sorted(set(current) - set(baseline)):
+        rows.append(f"  {key:40s} (new key, not in baseline)")
+
+    print(f"bench_compare: {args.current} vs {args.baseline} "
+          f"(threshold {args.threshold * 100:.0f}%)")
+    for row in rows:
+        print(row)
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("(intentional? refresh with scripts/bench_compare.py "
+              "CURRENT BASELINE --update)", file=sys.stderr)
+        return 1
+    print("PASS: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

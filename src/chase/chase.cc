@@ -1,36 +1,195 @@
 #include "chase/chase.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "chase/homomorphism.h"
 #include "common/strings.h"
+#include "pivot/symbol_table.h"
 
 namespace estocada::chase {
 
 using pivot::Atom;
 using pivot::Dependency;
-using pivot::Substitution;
+using pivot::SymbolId;
 using pivot::Term;
 using pivot::Tgd;
 
 namespace {
 
 /// Memo of fired TGD triggers for the provenance-aware (semi-oblivious)
-/// chase: key = dependency index + canonical frontier bindings; value =
-/// the ids of the head atoms that firing produced (so later rounds can OR
-/// refreshed trigger provenance into exactly those atoms, conditioned on
-/// any merges that have rewritten them since).
+/// chase: key = dependency index + canonical frontier bindings (packed
+/// value ids — see MemoKey); value = the ids of the head atoms that firing
+/// produced (so later rounds can OR refreshed trigger provenance into
+/// exactly those atoms, conditioned on any merges that have rewritten them
+/// since).
 using FiredMemo = std::unordered_map<std::string, std::vector<size_t>>;
 
-std::string TriggerKey(size_t dep_index, const Tgd& tgd,
-                       const Substitution& sub, const Instance& inst) {
-  std::string key = std::to_string(dep_index);
-  for (const std::string& v : tgd.FrontierVariables()) {
-    key += '|';
-    auto it = sub.find(v);
-    if (it != sub.end()) key += inst.Canonical(it->second).ToString();
-  }
+void AppendU32(std::string* key, uint32_t v) {
+  key->push_back(static_cast<char>(v));
+  key->push_back(static_cast<char>(v >> 8));
+  key->push_back(static_cast<char>(v >> 16));
+  key->push_back(static_cast<char>(v >> 24));
+}
+
+/// Packed trigger identity: dependency index plus the interned canonical
+/// value bound to each frontier variable at fire time. Value ids are
+/// stable for the lifetime of the instance and bijective with ground
+/// terms, so this distinguishes triggers exactly like the legacy
+/// canonical-term-string key did, without formatting anything.
+std::string MemoKey(size_t dep_index,
+                    const std::vector<uint32_t>& frontier_slots,
+                    const std::vector<SymbolId>& slots) {
+  std::string key;
+  key.reserve(4 + 4 * frontier_slots.size());
+  AppendU32(&key, static_cast<uint32_t>(dep_index));
+  for (uint32_t s : frontier_slots) AppendU32(&key, slots[s]);
   return key;
+}
+
+/// A materialized trigger: the body match as flat slot bindings plus the
+/// matched instance atom ids (original body-atom order).
+struct Trigger {
+  std::vector<SymbolId> slots;
+  std::vector<size_t> atom_ids;
+};
+
+/// A head term compiled against the body matcher's slots: a frontier
+/// variable (read the body slot), an existential (one fresh null per
+/// trigger), or a ground term.
+struct HeadTermRef {
+  enum Kind : uint8_t { kFrontierSlot, kExistential, kGround };
+  Kind kind;
+  uint32_t index = 0;        ///< Body slot / existential index.
+  const Term* ground = nullptr;
+};
+
+struct HeadAtomRef {
+  const Atom* atom;  ///< The head atom (relation name; terms via refs).
+  std::vector<HeadTermRef> terms;
+};
+
+/// How an EGD side maps to a trigger: a body slot or a ground term.
+struct EgdTermRef {
+  bool is_slot = false;
+  uint32_t slot = 0;
+  const Term* ground = nullptr;
+};
+
+}  // namespace
+
+/// Per-dependency state compiled once per engine and reused across runs
+/// and rounds: the body matcher (static join order + scratch buffers
+/// survive), the head satisfaction matcher (probed per trigger with
+/// pre-bound frontier slots instead of substituting and recompiling the
+/// head), the frontier/existential analysis, and the head atoms as slot
+/// references so firing never builds a Substitution. Head/EGD term refs
+/// point into the engine's own dependency vector.
+struct ChaseEngine::CompiledDependency {
+  explicit CompiledDependency(const Dependency& d)
+      : body(d.is_tgd() ? d.tgd.body : d.egd.body) {
+    if (d.is_tgd()) {
+      const Tgd& t = d.tgd;
+      head.emplace(t.head);
+      existentials = t.ExistentialVariables();
+      for (const std::string& v : t.FrontierVariables()) {
+        // Frontier variables occur in both body and head by definition.
+        frontier_slots.push_back(*body.SlotOf(v));
+        head_prebound_body_slots.push_back(*body.SlotOf(v));
+        head_prebound.emplace_back(*head->SlotOf(v), pivot::kNoSymbol);
+      }
+      head_refs.reserve(t.head.size());
+      for (const Atom& h : t.head) {
+        HeadAtomRef ref;
+        ref.atom = &h;
+        ref.terms.reserve(h.terms.size());
+        for (const Term& term : h.terms) {
+          HeadTermRef tr;
+          if (!term.is_variable()) {
+            tr.kind = HeadTermRef::kGround;
+            tr.ground = &term;
+          } else if (auto slot = body.SlotOf(term.var_name())) {
+            tr.kind = HeadTermRef::kFrontierSlot;
+            tr.index = *slot;
+          } else {
+            tr.kind = HeadTermRef::kExistential;
+            tr.index = static_cast<uint32_t>(
+                std::find(existentials.begin(), existentials.end(),
+                          term.var_name()) -
+                existentials.begin());
+          }
+          ref.terms.push_back(tr);
+        }
+        head_refs.push_back(std::move(ref));
+      }
+    } else {
+      left = CompileEgdTerm(d.egd.left);
+      right = CompileEgdTerm(d.egd.right);
+    }
+  }
+
+  EgdTermRef CompileEgdTerm(const Term& t) {
+    EgdTermRef ref;
+    if (t.is_variable()) {
+      if (auto slot = body.SlotOf(t.var_name())) {
+        ref.is_slot = true;
+        ref.slot = *slot;
+      } else {
+        // A head variable not bound by the body: an ill-formed EGD. The
+        // legacy code only reported this when a trigger actually fired, so
+        // the error stays lazy (see ChaseEgdRound).
+        egd_unbound_var = true;
+      }
+    } else {
+      ref.ground = &t;
+    }
+    return ref;
+  }
+
+  HomomorphismMatcher body;
+
+  // TGD only.
+  std::optional<HomomorphismMatcher> head;
+  std::vector<std::string> existentials;
+  std::vector<uint32_t> frontier_slots;  ///< FrontierVariables() order.
+  /// Scratch for the per-trigger satisfaction probe: head slot -> value,
+  /// values refreshed from the body slots listed in the parallel vector.
+  std::vector<std::pair<uint32_t, SymbolId>> head_prebound;
+  std::vector<uint32_t> head_prebound_body_slots;
+  std::vector<HeadAtomRef> head_refs;
+
+  // EGD only.
+  EgdTermRef left;
+  EgdTermRef right;
+  bool egd_unbound_var = false;
+
+  // Shared per-round scratch. `triggers` is a storage pool: only the first
+  // `num_triggers` entries are this round's matches; the rest keep their
+  // vectors' capacity for reuse by later rounds.
+  std::vector<Trigger> triggers;
+  size_t num_triggers = 0;
+  std::vector<Term> fresh;  ///< One fresh null per existential, per fire.
+};
+
+namespace {
+
+using CompiledDep = ChaseEngine::CompiledDependency;
+
+/// Materializes all matches of the dependency body into `dep->triggers`
+/// (insertions must not disturb the enumeration, so triggers are collected
+/// first).
+void CollectTriggers(CompiledDep* dep, const Instance& inst) {
+  size_t n = 0;
+  dep->body.ForEachBinding(
+      inst, [&](const std::vector<SymbolId>& slots,
+                const std::vector<size_t>& atom_ids) {
+        if (n == dep->triggers.size()) dep->triggers.emplace_back();
+        Trigger& t = dep->triggers[n++];
+        t.slots.assign(slots.begin(), slots.end());
+        t.atom_ids.assign(atom_ids.begin(), atom_ids.end());
+        return true;
+      });
+  dep->num_triggers = n;
 }
 
 /// Fires one TGD over all current triggers. Returns whether the instance
@@ -47,37 +206,54 @@ std::string TriggerKey(size_t dep_index, const Tgd& tgd,
 ///    produced. Satisfaction-based skipping would lose alternative
 ///    derivations that use the trigger's own existential witnesses, which
 ///    is exactly what PACB's backchase needs to enumerate rewritings.
-Result<bool> ChaseTgdRound(size_t dep_index, const Tgd& tgd, Instance* inst,
+Result<bool> ChaseTgdRound(size_t dep_index, CompiledDep* dep, Instance* inst,
                            const ChaseOptions& options, ChaseStats* stats,
                            FiredMemo* fired) {
-  std::vector<Match> triggers = FindHomomorphisms(tgd.body, *inst);
-  stats->triggers_checked += triggers.size();
+  CollectTriggers(dep, *inst);
+  stats->triggers_checked += dep->num_triggers;
   bool changed = false;
-  const std::vector<std::string> existentials = tgd.ExistentialVariables();
 
-  for (const Match& trigger : triggers) {
+  for (size_t ti = 0; ti < dep->num_triggers; ++ti) {
+    const Trigger& trigger = dep->triggers[ti];
     // Provenance of the trigger: conjunction over matched body atoms
-    // (re-resolved, as earlier merges may have rewritten them). `base`
-    // is the same conjunction over the unconditioned base provenance —
-    // the optimistic support that ignores EGD merge conditioning.
+    // (re-resolved through the collapse forwarding, as earlier merges may
+    // have rewritten them). `base` is the same conjunction over the
+    // unconditioned base provenance — the optimistic support that ignores
+    // EGD merge conditioning.
     ProvFormula prov;
     ProvFormula base;
     if (inst->track_provenance()) {
       prov = ProvFormula::True();
       base = ProvFormula::True();
       for (size_t id : trigger.atom_ids) {
-        auto live = inst->FindAtom(inst->atom(id));
-        prov = prov.And(inst->provenance(live.value_or(id)));
-        base = base.And(inst->base_provenance(live.value_or(id)));
+        size_t live = inst->LiveId(id);
+        prov = prov.And(inst->provenance(live));
+        base = base.And(inst->base_provenance(live));
       }
     }
 
-    // Canonicalize bindings (earlier merges in this round may apply).
-    Substitution sub;
-    for (const auto& [v, t] : trigger.sub) sub.emplace(v, inst->Canonical(t));
+    auto build_head = [&](const HeadAtomRef& ref) {
+      Atom a;
+      a.relation = ref.atom->relation;
+      a.terms.reserve(ref.terms.size());
+      for (const HeadTermRef& tr : ref.terms) {
+        switch (tr.kind) {
+          case HeadTermRef::kFrontierSlot:
+            a.terms.push_back(inst->ValueTerm(trigger.slots[tr.index]));
+            break;
+          case HeadTermRef::kExistential:
+            a.terms.push_back(dep->fresh[tr.index]);
+            break;
+          case HeadTermRef::kGround:
+            a.terms.push_back(*tr.ground);
+            break;
+        }
+      }
+      return a;
+    };
 
     if (inst->track_provenance()) {
-      std::string key = TriggerKey(dep_index, tgd, sub, *inst);
+      std::string key = MemoKey(dep_index, dep->frontier_slots, trigger.slots);
       auto it = fired->find(key);
       if (it != fired->end()) {
         // Refire virtually: OR the refreshed provenance into the atoms
@@ -96,23 +272,36 @@ Result<bool> ChaseTgdRound(size_t dep_index, const Tgd& tgd, Instance* inst,
         }
         continue;
       }
-      for (const std::string& ev : existentials) sub[ev] = inst->FreshNull();
+      dep->fresh.clear();
+      for (size_t i = 0; i < dep->existentials.size(); ++i) {
+        dep->fresh.push_back(inst->FreshNull());
+      }
       std::vector<size_t> produced;
-      for (const Atom& h : tgd.head) {
-        auto r = inst->InsertWithBase(ApplySubstitution(sub, h), prov, base);
+      for (const HeadAtomRef& ref : dep->head_refs) {
+        auto r = inst->InsertWithBase(build_head(ref), prov, base);
         changed |= r.changed;
         produced.push_back(r.id);
       }
       (*fired)[std::move(key)] = std::move(produced);
       ++stats->tgd_fires;
     } else {
-      // Head pattern with frontier variables substituted; existential
-      // variables stay free for the satisfaction check.
-      std::vector<Atom> head = ApplySubstitution(sub, tgd.head);
-      if (ExistsHomomorphism(head, *inst)) continue;
-      for (const std::string& ev : existentials) sub[ev] = inst->FreshNull();
-      for (const Atom& h : tgd.head) {
-        auto r = inst->Insert(ApplySubstitution(sub, h), prov);
+      // Probe the (unsubstituted) head pattern with the frontier bindings
+      // pre-bound; existential variables stay free for the satisfaction
+      // check. Equivalent to the legacy substitute-then-match, without
+      // building or compiling a fresh pattern per trigger.
+      for (size_t i = 0; i < dep->head_prebound.size(); ++i) {
+        dep->head_prebound[i].second =
+            trigger.slots[dep->head_prebound_body_slots[i]];
+      }
+      if (dep->head->ExistsWithBoundSlots(*inst, dep->head_prebound)) {
+        continue;
+      }
+      dep->fresh.clear();
+      for (size_t i = 0; i < dep->existentials.size(); ++i) {
+        dep->fresh.push_back(inst->FreshNull());
+      }
+      for (const HeadAtomRef& ref : dep->head_refs) {
+        auto r = inst->Insert(build_head(ref), prov);
         changed |= r.changed;
       }
       ++stats->tgd_fires;
@@ -135,38 +324,48 @@ Result<bool> ChaseTgdRound(size_t dep_index, const Tgd& tgd, Instance* inst,
 /// one would condition the merge on whichever derivation happened to fire
 /// first (later ones become no-ops), losing alternative supports and
 /// making the PACB backchase miss minimal rewritings.
-Result<bool> ChaseEgdRound(const pivot::Egd& egd, Instance* inst,
-                           ChaseStats* stats) {
-  std::vector<Match> triggers = FindHomomorphisms(egd.body, *inst);
-  stats->triggers_checked += triggers.size();
+Result<bool> ChaseEgdRound(const pivot::Egd& egd, CompiledDep* dep,
+                           Instance* inst, ChaseStats* stats) {
+  CollectTriggers(dep, *inst);
+  stats->triggers_checked += dep->num_triggers;
+  if (dep->num_triggers > 0 && dep->egd_unbound_var) {
+    return Status::InvalidArgument(
+        StrCat("EGD '", egd.label,
+               "' equates a variable not bound by its body"));
+  }
   struct PendingMerge {
     Term l, r;
     ProvFormula prov;
   };
   std::vector<PendingMerge> pending;
-  std::unordered_map<std::string, size_t> groups;  // equality key -> index
-  for (const Match& trigger : triggers) {
-    Term l = ApplySubstitution(trigger.sub, egd.left);
-    Term r = ApplySubstitution(trigger.sub, egd.right);
-    if (l.is_variable() || r.is_variable()) {
-      return Status::InvalidArgument(
-          StrCat("EGD '", egd.label,
-                 "' equates a variable not bound by its body"));
-    }
-    Term cl = inst->Canonical(l);
-    Term cr = inst->Canonical(r);
-    if (cl == cr) continue;  // Already equal: nothing to derive.
+  // Grouping key: both sides' canonical terms interned into a throwaway
+  // table (slot values are already instance value ids, but ground EGD
+  // sides may name constants the instance has never seen).
+  pivot::TermTable group_terms;
+  std::unordered_map<uint64_t, size_t> groups;  // equality key -> index
+  for (size_t ti = 0; ti < dep->num_triggers; ++ti) {
+    const Trigger& trigger = dep->triggers[ti];
+    // The matched slot values are canonical (merges of this round are all
+    // pending — the instance is stable during the enumeration).
+    Term l = dep->left.is_slot ? inst->ValueTerm(trigger.slots[dep->left.slot])
+                               : *dep->left.ground;
+    Term r = dep->right.is_slot
+                 ? inst->ValueTerm(trigger.slots[dep->right.slot])
+                 : *dep->right.ground;
+    SymbolId kl = group_terms.Intern(dep->left.is_slot ? l
+                                                       : inst->Canonical(l));
+    SymbolId kr = group_terms.Intern(dep->right.is_slot ? r
+                                                        : inst->Canonical(r));
+    if (kl == kr) continue;  // Already equal: nothing to derive.
     ProvFormula prov = ProvFormula::True();
     if (inst->track_provenance()) {
       for (size_t id : trigger.atom_ids) {
-        auto live = inst->FindAtom(inst->atom(id));
-        prov = prov.And(inst->provenance(live.value_or(id)));
+        prov = prov.And(inst->provenance(inst->LiveId(id)));
       }
     }
-    std::string sl = cl.ToString();
-    std::string sr = cr.ToString();
-    if (sr < sl) std::swap(sl, sr);
-    std::string key = StrCat(sl, "=", sr);
+    uint64_t key = kl < kr
+                       ? (static_cast<uint64_t>(kl) << 32) | kr
+                       : (static_cast<uint64_t>(kr) << 32) | kl;
     auto [it, inserted] = groups.emplace(key, pending.size());
     if (inserted) {
       pending.push_back({std::move(l), std::move(r), std::move(prov)});
@@ -188,23 +387,60 @@ Result<bool> ChaseEgdRound(const pivot::Egd& egd, Instance* inst,
 
 }  // namespace
 
-Status RunChase(const std::vector<Dependency>& deps, Instance* inst,
-                const ChaseOptions& options, ChaseStats* stats) {
+ChaseEngine::ChaseEngine(std::vector<Dependency> deps)
+    : ChaseEngine(std::make_shared<const std::vector<Dependency>>(
+          std::move(deps))) {}
+
+ChaseEngine::ChaseEngine(
+    std::shared_ptr<const std::vector<Dependency>> deps)
+    : deps_(std::move(deps)) {
+  compiled_.reserve(deps_->size());
+  for (const Dependency& d : *deps_) {
+    compiled_.push_back(std::make_unique<CompiledDependency>(d));
+  }
+}
+
+// Moves are safe: the compiled state points into the shared dependency
+// vector, whose storage is owned by deps_.
+ChaseEngine::~ChaseEngine() = default;
+ChaseEngine::ChaseEngine(ChaseEngine&&) noexcept = default;
+ChaseEngine& ChaseEngine::operator=(ChaseEngine&&) noexcept = default;
+
+Status ChaseEngine::Run(Instance* inst, const ChaseOptions& options,
+                        ChaseStats* stats) {
   ChaseStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   FiredMemo fired;
+  const std::vector<Dependency>& deps = *deps_;
+  // Fixpoint round-skipping. A dependency's round reads only the instance
+  // and its own memo entries, and a no-change round mutates neither (no
+  // atom, no provenance growth, no merge, no fresh null) — so it stays a
+  // no-op until some other round changes the instance. `version` counts
+  // instance-changing rounds; a dependency marked clean at the current
+  // version is skipped.
+  uint64_t version = 0;
+  constexpr uint64_t kDirty = ~uint64_t{0};
+  std::vector<uint64_t> clean_at(deps.size(), kDirty);
   for (size_t round = 0; round < options.max_rounds; ++round) {
     ++stats->rounds;
     bool changed = false;
     for (size_t di = 0; di < deps.size(); ++di) {
+      if (clean_at[di] == version) continue;
       const Dependency& d = deps[di];
+      bool c = false;
       if (d.is_tgd()) {
         ESTOCADA_ASSIGN_OR_RETURN(
-            bool c, ChaseTgdRound(di, d.tgd, inst, options, stats, &fired));
-        changed |= c;
+            c, ChaseTgdRound(di, compiled_[di].get(), inst, options, stats,
+                             &fired));
       } else {
-        ESTOCADA_ASSIGN_OR_RETURN(bool c, ChaseEgdRound(d.egd, inst, stats));
-        changed |= c;
+        ESTOCADA_ASSIGN_OR_RETURN(
+            c, ChaseEgdRound(d.egd, compiled_[di].get(), inst, stats));
+      }
+      if (c) {
+        ++version;
+        changed = true;
+      } else {
+        clean_at[di] = version;
       }
     }
     if (!changed) {
@@ -215,6 +451,12 @@ Status RunChase(const std::vector<Dependency>& deps, Instance* inst,
   return Status::ChaseFailure(
       StrCat("chase did not reach a fixpoint within ", options.max_rounds,
              " rounds"));
+}
+
+Status RunChase(const std::vector<Dependency>& deps, Instance* inst,
+                const ChaseOptions& options, ChaseStats* stats) {
+  ChaseEngine engine(deps);
+  return engine.Run(inst, options, stats);
 }
 
 }  // namespace estocada::chase

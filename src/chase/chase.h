@@ -1,6 +1,7 @@
 #ifndef ESTOCADA_CHASE_CHASE_H_
 #define ESTOCADA_CHASE_CHASE_H_
 
+#include <memory>
 #include <vector>
 
 #include "chase/instance.h"
@@ -28,12 +29,52 @@ struct ChaseStats {
   bool reached_fixpoint = false;
 };
 
+/// A dependency set compiled for repeated chasing. Construction analyzes
+/// every dependency once — body and head homomorphism matchers (static
+/// join orders, variable slot layouts), frontier/existential variable
+/// sets, and head atoms as slot references — so that each Run only pays
+/// for the chase itself. The PACB rewriter chases dozens of candidate
+/// verifications against the same constraint set; re-deriving all of this
+/// per run used to dominate its profile.
+///
+/// An engine holds mutable per-run scratch: it is NOT thread-safe and must
+/// not be shared across concurrent chases (parallel callers each hold
+/// their own engine; compilation is cheap relative to one chase).
+class ChaseEngine {
+ public:
+  explicit ChaseEngine(std::vector<pivot::Dependency> deps);
+  /// Shares an immutable dependency set instead of copying it — the cheap
+  /// way to stamp out one engine per worker over a common constraint set.
+  explicit ChaseEngine(
+      std::shared_ptr<const std::vector<pivot::Dependency>> deps);
+  ~ChaseEngine();
+  ChaseEngine(ChaseEngine&&) noexcept;
+  ChaseEngine& operator=(ChaseEngine&&) noexcept;
+
+  const std::vector<pivot::Dependency>& deps() const { return *deps_; }
+
+  /// Chases `inst` to fixpoint (or until a limit) — see RunChase for the
+  /// firing disciplines. May be called any number of times, on different
+  /// instances.
+  Status Run(Instance* inst, const ChaseOptions& options = {},
+             ChaseStats* stats = nullptr);
+
+  struct CompiledDependency;  // Implementation detail, defined in chase.cc.
+
+ private:
+  std::shared_ptr<const std::vector<pivot::Dependency>> deps_;
+  std::vector<std::unique_ptr<CompiledDependency>> compiled_;
+};
+
 /// Runs the standard chase of `inst` with `deps` to fixpoint (or until a
 /// limit). TGD steps fire only *active* triggers (no existing extension of
 /// the trigger satisfies the head); when the instance tracks provenance,
 /// satisfied triggers still OR the trigger's provenance into the head
 /// match's atoms — this is the provenance-aware chase of PACB. EGD steps
 /// merge terms and fail on constant clashes.
+///
+/// Convenience wrapper that compiles the dependency set per call; code
+/// that chases the same set repeatedly holds a ChaseEngine instead.
 Status RunChase(const std::vector<pivot::Dependency>& deps, Instance* inst,
                 const ChaseOptions& options = {}, ChaseStats* stats = nullptr);
 

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "chase/instance.h"
 #include "common/result.h"
 #include "pivot/dependency.h"
 #include "pivot/query.h"
@@ -19,6 +21,76 @@ Result<bool> IsContainedIn(const pivot::ConjunctiveQuery& q1,
                            const pivot::ConjunctiveQuery& q2,
                            const std::vector<pivot::Dependency>& deps,
                            const ChaseOptions& options = {});
+
+/// Same test against a pre-compiled dependency set. The hot form: callers
+/// checking many containments under one constraint set (the PACB
+/// candidate verifier) hold a ChaseEngine and skip recompiling it per
+/// check. The engine is mutated (per-run scratch) but its dependency set
+/// is not.
+Result<bool> IsContainedIn(const pivot::ConjunctiveQuery& q1,
+                           const pivot::ConjunctiveQuery& q2,
+                           ChaseEngine& engine,
+                           const ChaseOptions& options = {});
+
+/// Many-vs-one containment with a fixed right-hand side: decides
+/// `q ⊑ q2` for a stream of left queries. The q2 body matcher is compiled
+/// once at construction, so each Contains(q) pays only the freeze + chase
+/// of q. The PACB soundness check (every candidate against the one input
+/// query) runs through this.
+class FixedRightContainment {
+ public:
+  FixedRightContainment(pivot::ConjunctiveQuery q2, ChaseEngine& engine,
+                        const ChaseOptions& options = {});
+
+  /// `q1 ⊑ q2`.
+  Result<bool> Contains(const pivot::ConjunctiveQuery& q1);
+
+  /// `q1 ⊑ q2` for a left query given directly in frozen form: `atoms` are
+  /// its ground body atoms (labelled nulls standing for the variables) and
+  /// `head_terms` its head values over those atoms. Skips query
+  /// construction and freezing entirely — the PACB verifier streams
+  /// universal-plan atom subsets straight through here.
+  Result<bool> ContainsFrozen(const std::vector<const pivot::Atom*>& atoms,
+                              const std::vector<pivot::Term>& head_terms);
+
+ private:
+  /// Shared tail of Contains/ContainsFrozen: chases the loaded scratch_
+  /// and probes for a q2-homomorphism mapping q2's head onto the canonical
+  /// images of `head_terms`.
+  Result<bool> ChaseAndProbe(const std::vector<pivot::Term>& head_terms);
+
+  pivot::ConjunctiveQuery q2_;
+  ChaseEngine& engine_;
+  ChaseOptions options_;
+  HomomorphismMatcher matcher_;  ///< Over q2_.body.
+  Instance scratch_;             ///< Reset + reused per Contains call.
+};
+
+/// One-vs-many containment with a fixed left-hand side: decides `q1 ⊑ q`
+/// for a stream of right queries. q1 is frozen and chased once (lazily, on
+/// first use); each ContainedIn(q) is then a single homomorphism test into
+/// the cached chase result — no chase per check. The PACB exactness check
+/// (the one input query against every candidate) runs through this.
+class FixedLeftContainment {
+ public:
+  FixedLeftContainment(pivot::ConjunctiveQuery q1, ChaseEngine& engine,
+                       const ChaseOptions& options = {});
+
+  /// `q1 ⊑ q2`.
+  Result<bool> ContainedIn(const pivot::ConjunctiveQuery& q2);
+
+ private:
+  /// Freeze + chase q1_, once; records vacuity / failure.
+  Status Prepare();
+
+  pivot::ConjunctiveQuery q1_;
+  ChaseEngine& engine_;
+  ChaseOptions options_;
+  bool prepared_ = false;
+  bool vacuous_ = false;  ///< q1 unsatisfiable: contained in everything.
+  Instance inst_;
+  std::vector<pivot::Term> head_targets_;  ///< Canonical images of q1.head.
+};
 
 /// Both directions: q1 ≡ q2 under `deps`.
 Result<bool> AreEquivalent(const pivot::ConjunctiveQuery& q1,

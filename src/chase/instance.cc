@@ -1,13 +1,20 @@
 #include "chase/instance.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/strings.h"
 
 namespace estocada::chase {
 
 using pivot::Atom;
+using pivot::SymbolId;
 using pivot::Term;
+
+uint64_t Instance::NextEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Instance::InsertResult Instance::Insert(Atom atom, const ProvFormula& prov) {
   return InsertWithBase(std::move(atom), prov, prov);
@@ -23,9 +30,15 @@ Instance::InsertResult Instance::InsertWithBase(Atom atom,
       next_null_id_ = t.null_id() + 1;
     }
   }
-  auto it = index_.find(atom);
-  if (it != index_.end()) {
-    size_t id = it->second;
+  // Intern first and deduplicate on the interned row: canonical atoms are
+  // equal iff their relation ids and rows are.
+  SymbolId rid = relations_.Intern(atom.relation);
+  scratch_row_.clear();
+  for (const Term& t : atom.terms) scratch_row_.push_back(values_.Intern(t));
+  std::vector<size_t>& bucket =
+      TouchBucket(row_index_, RowHash(rid, scratch_row_));
+  for (size_t id : bucket) {
+    if (rel_ids_[id] != rid || rows_[id] != scratch_row_) continue;
     bool changed = false;
     if (track_provenance_) {
       if (!prov_[id].Subsumes(prov)) {
@@ -39,14 +52,46 @@ Instance::InsertResult Instance::InsertWithBase(Atom atom,
     return {id, changed};
   }
   size_t id = atoms_.size();
-  by_relation_[atom.relation].push_back(id);
-  index_.emplace(atom, id);
+  epoch_ = NextEpoch();
   atoms_.push_back(std::move(atom));
   prov_.push_back(track_provenance_ ? prov : ProvFormula());
   base_prov_.push_back(track_provenance_ ? base : ProvFormula());
-  merge_cond_.push_back(ProvFormula::True());
+  // An empty formula is wrong as merge conditioning (it means False), but
+  // merge_conditioning() is only meaningful on provenance-tracking
+  // instances, and tracking is enabled before any insert; skipping the
+  // True() allocation otherwise keeps plain chases allocation-light.
+  merge_cond_.push_back(track_provenance_ ? ProvFormula::True()
+                                          : ProvFormula());
   alive_.push_back(true);
+  forward_.push_back(id);
+  if (rel_ids_.size() <= id) {
+    rel_ids_.push_back(rid);
+    rows_.emplace_back();
+  }
+  rel_ids_[id] = rid;
+  rows_[id].assign(scratch_row_.begin(), scratch_row_.end());
+  IndexAtom(id, bucket);
   return {id, true};
+}
+
+uint64_t Instance::RowHash(SymbolId rel_id, const std::vector<SymbolId>& row) {
+  uint64_t h = 1469598103934665603ull ^ rel_id;  // FNV-1a over the ids.
+  for (SymbolId v : row) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void Instance::IndexAtom(size_t id, std::vector<size_t>& bucket) {
+  SymbolId rid = rel_ids_[id];
+  const std::vector<SymbolId>& row = rows_[id];
+  bucket.push_back(id);
+  if (rid >= by_relation_id_.size()) by_relation_id_.resize(rid + 1);
+  by_relation_id_[rid].push_back(id);
+  for (uint32_t pos = 0; pos < row.size(); ++pos) {
+    TouchBucket(pos_index_, PosKey(rid, pos, row[pos])).push_back(id);
+  }
 }
 
 size_t Instance::live_size() const {
@@ -58,15 +103,26 @@ size_t Instance::live_size() const {
 }
 
 bool Instance::Contains(const Atom& atom) const {
-  Atom canon = atom;
-  for (Term& t : canon.terms) t = Canonical(t);
-  return index_.count(canon) > 0;
+  return FindAtom(atom).has_value();
 }
 
 const std::vector<size_t>& Instance::AtomsOf(const std::string& relation) const {
   static const std::vector<size_t> kEmpty;
-  auto it = by_relation_.find(relation);
-  return it == by_relation_.end() ? kEmpty : it->second;
+  auto rid = relations_.Lookup(relation);
+  return rid.has_value() ? by_relation_id_[*rid] : kEmpty;
+}
+
+const std::vector<size_t>& Instance::AtomsOfRel(SymbolId rel_id) const {
+  static const std::vector<size_t> kEmpty;
+  return rel_id < by_relation_id_.size() ? by_relation_id_[rel_id] : kEmpty;
+}
+
+const std::vector<size_t>& Instance::CandidatesAt(SymbolId rel_id,
+                                                  uint32_t pos,
+                                                  SymbolId value) const {
+  static const std::vector<size_t> kEmpty;
+  const std::vector<size_t>* b = LiveBucket(pos_index_, PosKey(rel_id, pos, value));
+  return b == nullptr ? kEmpty : *b;
 }
 
 Term Instance::Canonical(const Term& t) const {
@@ -78,6 +134,11 @@ Term Instance::Canonical(const Term& t) const {
     if (it == redirect_.end()) return cur;
     cur = it->second;
   }
+}
+
+size_t Instance::LiveId(size_t id) const {
+  while (forward_[id] != id) id = forward_[id];
+  return id;
 }
 
 Result<bool> Instance::MergeTerms(const Term& a, const Term& b,
@@ -105,16 +166,31 @@ Result<bool> Instance::MergeTerms(const Term& a, const Term& b,
 }
 
 std::optional<size_t> Instance::FindAtom(const Atom& atom) const {
-  Atom canon = atom;
-  for (Term& t : canon.terms) t = Canonical(t);
-  auto it = index_.find(canon);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  auto rid = relations_.Lookup(atom.relation);
+  if (!rid.has_value()) return std::nullopt;
+  // An atom can only be present if every canonical term is interned.
+  std::vector<SymbolId> row;
+  row.reserve(atom.terms.size());
+  for (const Term& t : atom.terms) {
+    auto vid = values_.Lookup(Canonical(t));
+    if (!vid.has_value()) return std::nullopt;
+    row.push_back(*vid);
+  }
+  const std::vector<size_t>* bucket = LiveBucket(row_index_, RowHash(*rid, row));
+  if (bucket == nullptr) return std::nullopt;
+  for (size_t id : *bucket) {
+    if (rel_ids_[id] == *rid && rows_[id] == row) return id;
+  }
+  return std::nullopt;
 }
 
 void Instance::Recanonicalize(const ProvFormula& merge_prov) {
-  by_relation_.clear();
-  index_.clear();
+  epoch_ = NextEpoch();
+  intern_epoch_ = NextEpoch();
+  // Invalidate every pos_index_/row_index_ bucket at once; their storage
+  // is revived lazily as the rebuild below re-touches them.
+  ++index_gen_;
+  for (auto& ids : by_relation_id_) ids.clear();
   for (size_t id = 0; id < atoms_.size(); ++id) {
     if (!alive_[id]) continue;
     Atom& atom = atoms_[id];
@@ -139,20 +215,57 @@ void Instance::Recanonicalize(const ProvFormula& merge_prov) {
       merge_cond_[id] = merge_cond_[id].And(merge_prov);
       base_prov_[id] = prov_[id];
     }
-    auto it = index_.find(atom);
-    if (it != index_.end()) {
+    // Re-intern the rewritten row (the relation id is untouched by merges)
+    // and check whether this form collapsed onto an earlier atom.
+    SymbolId rid = rel_ids_[id];
+    scratch_row_.clear();
+    for (const Term& t : atom.terms) scratch_row_.push_back(values_.Intern(t));
+    std::vector<size_t>& bucket =
+        TouchBucket(row_index_, RowHash(rid, scratch_row_));
+    size_t keep = atoms_.size();
+    for (size_t other : bucket) {
+      if (rel_ids_[other] == rid && rows_[other] == scratch_row_) {
+        keep = other;
+        break;
+      }
+    }
+    if (keep != atoms_.size()) {
       // Collapsed onto an earlier atom: merge provenance, retire this id.
-      size_t keep = it->second;
       if (track_provenance_) {
         prov_[keep] = prov_[keep].Or(prov_[id]);
         base_prov_[keep] = base_prov_[keep].Or(base_prov_[id]);
       }
       alive_[id] = false;
+      forward_[id] = keep;
       continue;
     }
-    index_.emplace(atom, id);
-    by_relation_[atom.relation].push_back(id);
+    rows_[id].assign(scratch_row_.begin(), scratch_row_.end());
+    IndexAtom(id, bucket);
   }
+}
+
+void Instance::Reset() {
+  track_provenance_ = false;
+  atoms_.clear();
+  prov_.clear();
+  base_prov_.clear();
+  merge_cond_.clear();
+  ghost_forms_.clear();
+  alive_.clear();
+  forward_.clear();
+  redirect_.clear();
+  next_null_id_ = 0;
+  epoch_ = NextEpoch();
+  // The interning tables are deliberately NOT cleared and intern_epoch_ is
+  // NOT bumped: interning is append-only and constants never lose their
+  // canonical form (only nulls are ever redirected, and redirect_ is gone),
+  // so every (relation id, value id) resolution taken against this
+  // instance — in particular a matcher's compiled pattern — remains valid
+  // verbatim. The content itself is gone: all index buckets are stale.
+  // rel_ids_ and rows_ stay behind as capacity pools: every entry is stale
+  // (atoms_ is empty) and is overwritten before its id can be read again.
+  ++index_gen_;
+  for (auto& ids : by_relation_id_) ids.clear();
 }
 
 Status Instance::InsertAll(const std::vector<Atom>& atoms) {
@@ -166,6 +279,67 @@ Status Instance::InsertAll(const std::vector<Atom>& atoms) {
     Insert(a);
   }
   return Status::OK();
+}
+
+bool Instance::CheckIndexConsistency(std::string* error) const {
+  auto fail = [&](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  for (size_t id = 0; id < atoms_.size(); ++id) {
+    if (!alive_[id]) continue;
+    const Atom& atom = atoms_[id];
+    // The stored form of a live atom must be canonical.
+    for (const Term& t : atom.terms) {
+      if (!(Canonical(t) == t)) {
+        return fail(StrCat("live atom ", id, " (", atom.ToString(),
+                           ") holds non-canonical term ", t.ToString()));
+      }
+    }
+    auto rid = relations_.Lookup(atom.relation);
+    if (!rid.has_value() || rel_ids_[id] != *rid) {
+      return fail(StrCat("atom ", id, " has stale relation id"));
+    }
+    const std::vector<SymbolId>& row = rows_[id];
+    if (row.size() != atom.terms.size()) {
+      return fail(StrCat("atom ", id, " row/terms arity mismatch"));
+    }
+    const std::vector<size_t>& rel_ids = by_relation_id_[*rid];
+    if (std::find(rel_ids.begin(), rel_ids.end(), id) == rel_ids.end()) {
+      return fail(StrCat("atom ", id, " missing from its relation list"));
+    }
+    for (uint32_t pos = 0; pos < row.size(); ++pos) {
+      auto vid = values_.Lookup(atom.terms[pos]);
+      if (!vid.has_value() || row[pos] != *vid) {
+        return fail(StrCat("atom ", id, " pos ", pos,
+                           " row entry does not intern its term"));
+      }
+      const std::vector<size_t>& bucket = CandidatesAt(*rid, pos, row[pos]);
+      if (std::find(bucket.begin(), bucket.end(), id) == bucket.end()) {
+        return fail(StrCat("atom ", id, " pos ", pos,
+                           " missing from the position index"));
+      }
+    }
+  }
+  // Every current index entry must point at an atom that (while alive)
+  // actually carries the indexed value at the indexed position. Stale
+  // buckets (from before the last Reset/Recanonicalize) are unreadable by
+  // construction and skipped.
+  for (const auto& [key, bucket] : pos_index_) {
+    if (bucket.stamp != index_gen_) continue;
+    SymbolId rel = static_cast<SymbolId>(key >> 48);
+    uint32_t pos = static_cast<uint32_t>((key >> 32) & 0xFFFFu);
+    SymbolId value = static_cast<SymbolId>(key & 0xFFFFFFFFu);
+    for (size_t id : bucket.ids) {
+      if (!alive_[id]) continue;  // Stale dead entries are allowed.
+      if (rel_ids_[id] != rel || pos >= rows_[id].size() ||
+          rows_[id][pos] != value) {
+        return fail(StrCat("index entry (rel=", relations_.name(rel), ", pos=",
+                           pos, ") points at mismatched atom ", id));
+      }
+    }
+  }
+  return true;
 }
 
 std::string Instance::ToString() const {

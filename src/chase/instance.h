@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "pivot/atom.h"
 #include "pivot/query.h"
+#include "pivot/symbol_table.h"
 
 namespace estocada::chase {
 
@@ -19,6 +20,15 @@ namespace estocada::chase {
 ///  * per-relation access for the homomorphism matcher,
 ///  * EGD-style term merging with a union-find canonicalizer,
 ///  * fresh labelled-null allocation for TGD firing.
+///
+/// Internally every relation name and every ground term is interned to a
+/// dense pivot::SymbolId, each live atom keeps an interned row (the value
+/// ids of its canonical terms), and a per-(relation, position, value)
+/// inverted index maps bound values to the atom ids containing them. The
+/// index is maintained incrementally by Insert and rehomed wholesale when
+/// an EGD merge recanonicalizes the instance. The homomorphism matcher
+/// seeds its candidate scans from this index instead of scanning all atoms
+/// of a relation.
 class Instance {
  public:
   Instance() = default;
@@ -116,17 +126,144 @@ class Instance {
   /// Live id of an atom (after canonicalization), if present.
   std::optional<size_t> FindAtom(const pivot::Atom& atom) const;
 
+  /// Live representative of atom id `id`: `id` itself while alive, else
+  /// the id its form collapsed onto during recanonicalization (following
+  /// further collapses transitively). O(collapse chain), no hashing —
+  /// the fast path for re-resolving matched atom ids after EGD merges.
+  size_t LiveId(size_t id) const;
+
   /// Loads all atoms of `atoms` (must be ground).
   Status InsertAll(const std::vector<pivot::Atom>& atoms);
+
+  /// Empties the instance — no atoms, no merges, no provenance — while
+  /// retaining allocated capacity *and* the interning tables: relation and
+  /// value ids assigned so far stay valid (interning is append-only and
+  /// constants are never redirected, so no resolution can dangle), which
+  /// lets matchers keep their compiled patterns across resets. A fresh
+  /// epoch() is stamped; intern_epoch() is deliberately preserved for the
+  /// same reason. Callers running many small chases reuse one scratch
+  /// instance this way instead of paying construction/destruction and
+  /// recompilation per chase.
+  void Reset();
 
   /// Multi-line dump for debugging/tests.
   std::string ToString() const;
 
+  // --- Interned representation (homomorphism matcher fast path) ---
+
+  /// Dense id of `relation` if any atom of it was ever inserted.
+  std::optional<pivot::SymbolId> RelationIdOf(const std::string& rel) const {
+    return relations_.Lookup(rel);
+  }
+  /// Atom ids of an interned relation, in increasing id order.
+  const std::vector<size_t>& AtomsOfRel(pivot::SymbolId rel_id) const;
+  /// Interned relation of an atom.
+  pivot::SymbolId relation_id(size_t id) const { return rel_ids_[id]; }
+  /// Interned canonical terms of a live atom (parallel to atom(id).terms).
+  const std::vector<pivot::SymbolId>& Row(size_t id) const {
+    return rows_[id];
+  }
+  /// Value id of the canonical form of `t`, if it occurs in the instance.
+  std::optional<pivot::SymbolId> ValueIdOf(const pivot::Term& t) const {
+    return values_.Lookup(Canonical(t));
+  }
+  /// The ground term a value id stands for.
+  const pivot::Term& ValueTerm(pivot::SymbolId vid) const {
+    return values_.term(vid);
+  }
+  /// Atom ids of `rel_id` whose term at `pos` is `value` (superset: may
+  /// contain dead ids; callers filter with alive()). Increasing id order.
+  const std::vector<size_t>& CandidatesAt(pivot::SymbolId rel_id, uint32_t pos,
+                                          pivot::SymbolId value) const;
+
+  /// Full invariant check of the interned rows and the position index
+  /// against the stored atoms; returns false and fills `error` on the
+  /// first violation. Test-only (linear in index size).
+  bool CheckIndexConsistency(std::string* error = nullptr) const;
+
+  /// Mutation epoch: a globally unique stamp refreshed whenever the
+  /// instance's matchable content changes (a new atom, or an EGD merge
+  /// recanonicalization). Two reads observing the same epoch (on the same
+  /// address) are guaranteed to see identical atoms, interning tables and
+  /// canonicalizer state. Epochs are drawn from one process-wide counter,
+  /// so a stale (address, epoch) pair can never collide with a different
+  /// instance's state — caches keyed on (address, epoch) stay sound across
+  /// instance destruction and address reuse.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Like epoch(), but refreshed only when an EGD merge recanonicalizes
+  /// the instance — not on plain inserts. Interning is append-only, so a
+  /// successful pattern resolution (relation ids, ground-term value ids)
+  /// stays valid across inserts; only a merge can re-route Canonical() and
+  /// thus change what a pattern constant resolves to. The matcher reuses a
+  /// compiled join order across inserts by keying on this.
+  uint64_t intern_epoch() const { return intern_epoch_; }
+
+  /// Sizes of the interning tables. Together with intern_epoch() these
+  /// determine every RelationIdOf / ValueIdOf answer: lookups only change
+  /// when a table grows or a merge re-routes Canonical() (an intern_epoch
+  /// bump). The matcher keys failed pattern resolutions on them.
+  size_t relation_count() const { return relations_.size(); }
+  size_t value_count() const { return values_.size(); }
+
  private:
+  /// Next value of the process-wide epoch counter (thread-safe).
+  static uint64_t NextEpoch();
+
   /// Rewrites every atom through the canonicalizer, merging duplicates
   /// (provenance OR), AND-ing `merge_prov` into atoms whose form changed,
   /// and rebuilding indexes.
   void Recanonicalize(const ProvFormula& merge_prov);
+
+  /// Packed (relation, position, value) key of the inverted index.
+  /// Relation and position ids are far below their 16-bit fields in any
+  /// realistic schema (the parser/tests top out at a few hundred).
+  static uint64_t PosKey(pivot::SymbolId rel_id, uint32_t pos,
+                         pivot::SymbolId value) {
+    return (static_cast<uint64_t>(rel_id) << 48) |
+           (static_cast<uint64_t>(pos & 0xFFFFu) << 32) |
+           static_cast<uint64_t>(value);
+  }
+
+  /// Mixes an interned row into a 64-bit duplicate-detection hash.
+  /// Collisions are resolved by comparing rows, so quality only affects
+  /// bucket sizes.
+  static uint64_t RowHash(pivot::SymbolId rel_id,
+                          const std::vector<pivot::SymbolId>& row);
+
+  /// A lazily invalidated index chain: the ids are only meaningful while
+  /// `stamp` equals the instance's current index generation. Reset() and
+  /// Recanonicalize() invalidate every bucket of every index by bumping
+  /// the generation — O(1) instead of walking the maps — and stale buckets
+  /// (read as empty) have their storage reused on the next write.
+  struct IndexBucket {
+    uint64_t stamp = 0;  ///< index_gen_ starts at 1, so 0 is always stale.
+    std::vector<size_t> ids;
+  };
+  using IndexMap = std::unordered_map<uint64_t, IndexBucket>;
+
+  /// The bucket for `key`, revived (cleared + restamped) if stale.
+  std::vector<size_t>& TouchBucket(IndexMap& map, uint64_t key) {
+    IndexBucket& b = map[key];
+    if (b.stamp != index_gen_) {
+      b.ids.clear();
+      b.stamp = index_gen_;
+    }
+    return b.ids;
+  }
+
+  /// The bucket for `key` if present and current, else nullptr.
+  const std::vector<size_t>* LiveBucket(const IndexMap& map,
+                                        uint64_t key) const {
+    auto it = map.find(key);
+    if (it == map.end() || it->second.stamp != index_gen_) return nullptr;
+    return &it->second.ids;
+  }
+
+  /// Publishes atom id `id` — whose interned row is already in rel_ids_ and
+  /// rows_ — into by_relation_id_, the position index, and `bucket` (its
+  /// row_index_ chain).
+  void IndexAtom(size_t id, std::vector<size_t>& bucket);
 
   bool track_provenance_ = false;
   std::vector<pivot::Atom> atoms_;
@@ -137,10 +274,33 @@ class Instance {
   /// Atom ids are stable; ids whose atom collapsed onto an earlier one
   /// during recanonicalization are marked dead and skipped by AtomsOf.
   std::vector<bool> alive_;
-  std::unordered_map<pivot::Atom, size_t, pivot::AtomHash> index_;
-  std::unordered_map<std::string, std::vector<size_t>> by_relation_;
+  /// Collapse forwarding: forward_[id] == id while alive, else the id this
+  /// atom's form collapsed onto (possibly itself dead after later merges).
+  std::vector<size_t> forward_;
   std::unordered_map<pivot::Term, pivot::Term, pivot::TermHash> redirect_;
   uint64_t next_null_id_ = 0;
+  uint64_t epoch_ = NextEpoch();
+  uint64_t intern_epoch_ = NextEpoch();
+
+  // Interned representation. rel_ids_ and rows_ are parallel to atoms_ but
+  // may be longer: Reset() keeps them as capacity pools (entries at or past
+  // atoms_.size() are stale and overwritten when their id is reused). Rows
+  // of dead atoms are likewise stale and never read (alive() guards).
+  pivot::SymbolTable relations_;
+  pivot::TermTable values_;
+  std::vector<pivot::SymbolId> rel_ids_;
+  std::vector<std::vector<pivot::SymbolId>> rows_;
+  std::vector<std::vector<size_t>> by_relation_id_;
+  IndexMap pos_index_;
+  /// Duplicate detection over interned rows: RowHash(rel, row) → ids of the
+  /// live atoms whose row hashes there (collisions resolved by comparing
+  /// rows). Replaces hashing whole Atoms — no string hashing, no stored
+  /// Atom copy.
+  IndexMap row_index_;
+  /// Current generation of pos_index_/row_index_ buckets (see IndexBucket).
+  uint64_t index_gen_ = 1;
+  /// Scratch for the row being interned by an in-flight Insert.
+  std::vector<pivot::SymbolId> scratch_row_;
 };
 
 }  // namespace estocada::chase

@@ -1,11 +1,17 @@
 #include "pacb/rewriter.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
 #include <unordered_set>
 
 #include "chase/containment.h"
 #include "chase/homomorphism.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace estocada::pacb {
 
@@ -21,27 +27,31 @@ Rewriter::Rewriter(pivot::Schema schema, std::vector<ViewDefinition> views)
     : schema_(std::move(schema)), views_(std::move(views)) {}
 
 Status Rewriter::Prepare() {
-  forward_deps_ = schema_.dependencies();
-  backward_deps_ = schema_.dependencies();
+  std::vector<pivot::Dependency> forward = schema_.dependencies();
+  std::vector<pivot::Dependency> backward = schema_.dependencies();
   for (const ViewDefinition& v : views_) {
     ESTOCADA_ASSIGN_OR_RETURN(ViewConstraints vc, MakeViewConstraints(v));
-    forward_deps_.push_back(vc.forward);
-    backward_deps_.push_back(vc.backward);
+    forward.push_back(vc.forward);
+    backward.push_back(vc.backward);
     if (!v.adornments.empty()) {
       adornments_[v.name()] = v.adornments;
     }
   }
+  forward_deps_ = std::make_shared<const std::vector<pivot::Dependency>>(
+      std::move(forward));
+  backward_deps_ = std::make_shared<const std::vector<pivot::Dependency>>(
+      std::move(backward));
   prepared_ = true;
   return Status::OK();
 }
 
 Result<Rewriter::UniversalPlan> Rewriter::BuildUniversalPlan(
     const ConjunctiveQuery& q, const RewriterOptions& options,
-    RewriterStats* stats) const {
+    chase::ChaseEngine* forward, RewriterStats* stats) const {
   pivot::FrozenBody fb = pivot::FreezeBody(q);
   Instance inst;
   ESTOCADA_RETURN_NOT_OK(inst.InsertAll(fb.atoms));
-  ESTOCADA_RETURN_NOT_OK(RunChase(forward_deps_, &inst, options.chase));
+  ESTOCADA_RETURN_NOT_OK(forward->Run(&inst, options.chase));
   stats->forward_chase_atoms = inst.live_size();
 
   UniversalPlan plan;
@@ -75,6 +85,7 @@ Result<Rewriter::UniversalPlan> Rewriter::BuildUniversalPlan(
       plan.null_names[canon.null_id()] = var;
     }
   }
+  plan.instance = std::move(inst);
   return plan;
 }
 
@@ -86,6 +97,34 @@ std::string NullVarName(const std::map<uint64_t, std::string>& names,
   auto it = names.find(null_id);
   if (it != names.end()) return it->second;
   return StrCat("_x", null_id);
+}
+
+/// Whether the candidate exposes every head value: each labelled-null head
+/// target must occur in some candidate atom — CandidateToQuery fails on
+/// exactly these, but this id-level check lets doomed candidates skip both
+/// verification and query construction. Out-of-range atom ids read as not
+/// exposing (CandidateToQuery rejects those too).
+bool ExposesHead(const std::vector<Atom>& view_atoms,
+                 const std::vector<Term>& head_targets,
+                 const std::vector<uint32_t>& ids) {
+  for (uint32_t id : ids) {
+    if (id >= view_atoms.size()) return false;
+  }
+  for (const Term& target : head_targets) {
+    if (!target.is_labelled_null()) continue;
+    bool covered = false;
+    for (uint32_t id : ids) {
+      for (const Term& t : view_atoms[id].terms) {
+        if (t.is_labelled_null() && t.null_id() == target.null_id()) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) break;
+    }
+    if (!covered) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -128,22 +167,6 @@ Result<ConjunctiveQuery> Rewriter::CandidateToQuery(
   return out;
 }
 
-Result<bool> Rewriter::VerifyCandidate(const ConjunctiveQuery& candidate,
-                                       const ConjunctiveQuery& q,
-                                       const RewriterOptions& options) const {
-  // Soundness: candidate ⊑ q under schema + backward view constraints.
-  ESTOCADA_ASSIGN_OR_RETURN(
-      bool sound,
-      chase::IsContainedIn(candidate, q, backward_deps_, options.chase));
-  if (!sound) return false;
-  // Exactness: q ⊑ candidate under schema + forward view constraints. This
-  // holds by construction for candidates read off the forward chase, but
-  // backchase EGD merges can occasionally canonicalize a candidate more
-  // aggressively than the forward instance; the explicit check keeps the
-  // rewriting exact in those corner cases too.
-  return chase::IsContainedIn(q, candidate, forward_deps_, options.chase);
-}
-
 Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
                                           const RewriterOptions& options) const {
   if (!prepared_) {
@@ -154,8 +177,15 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
   RewritingResult result;
   RewriterStats& stats = result.stats;
 
-  ESTOCADA_ASSIGN_OR_RETURN(UniversalPlan plan,
-                            BuildUniversalPlan(query, options, &stats));
+  // One compiled engine per constraint set for this whole call: the
+  // forward chase, the backchase, and every candidate verification reuse
+  // the compiled matchers instead of re-deriving them per chase.
+  chase::ChaseEngine forward_engine(forward_deps_);
+  chase::ChaseEngine backward_engine(backward_deps_);
+
+  ESTOCADA_ASSIGN_OR_RETURN(
+      UniversalPlan plan,
+      BuildUniversalPlan(query, options, &forward_engine, &stats));
   if (plan.view_atoms.empty()) return result;  // No views apply: empty.
 
   // ---- Backchase: chase the universal plan with backward constraints,
@@ -169,7 +199,7 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
                            ProvFormula::Leaf(static_cast<uint32_t>(i)));
     plan_atom_ids.push_back(ins.id);
   }
-  ESTOCADA_RETURN_NOT_OK(RunChase(backward_deps_, &back, options.chase));
+  ESTOCADA_RETURN_NOT_OK(backward_engine.Run(&back, options.chase));
   stats.backchase_atoms = back.live_size();
 
   // Canonical name preference, recomputed under the backchase merges.
@@ -215,7 +245,8 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
   ProvFormula optimistic;  // unconditioned supports; need verification
   constexpr size_t kMaxMatches = 4096;
   size_t match_count = 0;
-  ForEachHomomorphism(query.body, back, required, [&](const Match& m) {
+  chase::HomomorphismMatcher query_matcher(query.body);
+  query_matcher.ForEach(back, required, [&](const Match& m) {
     ++match_count;
     if (options.track_provenance) {
       ProvFormula p = ProvFormula::True();
@@ -247,7 +278,7 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
       aug.Insert(g.form, g.base);
     }
     size_t aug_matches = 0;
-    ForEachHomomorphism(query.body, aug, required, [&](const Match& m) {
+    query_matcher.ForEach(aug, required, [&](const Match& m) {
       ++aug_matches;
       ProvFormula b = ProvFormula::True();
       for (size_t id : m.atom_ids) b = b.And(aug.provenance(id));
@@ -288,6 +319,232 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
     }
   }
 
+  // Per-run verification state: the soundness direction compiles the
+  // query-body matcher once for all candidates; the exactness direction
+  // freezes and chases the query once (lazily) instead of once per
+  // candidate — each check is then a single homomorphism test.
+  chase::FixedRightContainment sound_check(query, backward_engine,
+                                           options.chase);
+  chase::FixedLeftContainment exact_check(query, forward_engine,
+                                          options.chase);
+
+  // Exactness fast path. q ⊑ candidate is classically tested by chasing
+  // freeze(q) with the forward constraints and finding a homomorphism from
+  // the candidate body into the result — but that chase is exactly
+  // plan.instance, and the candidate body is canon_plan atoms with nulls
+  // read as variables. Mapping each null to itself is therefore a witness
+  // whenever (a) every candidate atom's canonical image is still an atom of
+  // plan.instance, and (b) each canonical head target maps back onto the
+  // required head image. Backchase EGD merges can break either condition
+  // (a null collapsed into a term the forward instance never produced);
+  // those candidates fall back to the full chase-based check below.
+  const Instance& uplan = plan.instance;
+  bool heads_identity = true;
+  for (size_t i = 0; i < canon_plan.head_targets.size(); ++i) {
+    if (!(uplan.Canonical(canon_plan.head_targets[i]) ==
+          plan.head_targets[i])) {
+      heads_identity = false;
+      break;
+    }
+  }
+  std::vector<char> atom_in_uplan(canon_plan.view_atoms.size(), 0);
+  if (heads_identity) {
+    for (size_t i = 0; i < canon_plan.view_atoms.size(); ++i) {
+      atom_in_uplan[i] = uplan.Contains(canon_plan.view_atoms[i]) ? 1 : 0;
+    }
+  }
+
+  // Relation-coverage pruning for the soundness direction. The soundness
+  // chase of a candidate only ever adds atoms whose relations are reachable
+  // from the candidate's relations through backward-TGD body→head edges
+  // (any body relation may enable the head — a deliberate
+  // over-approximation; EGDs merge terms but never introduce relations).
+  // So a candidate whose reachable-relation set misses some q-body
+  // relation has an empty match space and is unsound with no chase at all
+  // — which disposes of most greedy-minimization drop probes, since
+  // dropping an atom typically orphans one source relation. Disabled
+  // (empty atom_cover) when q touches more than 64 distinct relations.
+  std::unordered_map<std::string, uint64_t> qrel_bit;
+  uint64_t qrel_mask = 0;
+  for (const Atom& a : query.body) qrel_bit.emplace(a.relation, 0);
+  std::vector<uint64_t> atom_cover;
+  if (qrel_bit.size() <= 64) {
+    uint32_t next_bit = 0;
+    for (auto& [rel, bit] : qrel_bit) bit = 1ull << next_bit++;
+    for (const auto& [rel, bit] : qrel_bit) qrel_mask |= bit;
+    auto self_bit = [&](const std::string& rel) -> uint64_t {
+      auto it = qrel_bit.find(rel);
+      return it == qrel_bit.end() ? 0 : it->second;
+    };
+    std::vector<std::pair<const std::string*, const std::string*>> edges;
+    for (const pivot::Dependency& d : *backward_deps_) {
+      if (!d.is_tgd()) continue;
+      for (const Atom& b : d.tgd.body) {
+        for (const Atom& h : d.tgd.head) {
+          edges.emplace_back(&b.relation, &h.relation);
+        }
+      }
+    }
+    std::unordered_map<std::string, uint64_t> derivable;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const auto& [body_rel, head_rel] : edges) {
+        uint64_t add = derivable[*head_rel] | self_bit(*head_rel);
+        uint64_t& mask = derivable[*body_rel];
+        if ((mask | add) != mask) {
+          mask |= add;
+          grew = true;
+        }
+      }
+    }
+    atom_cover.reserve(canon_plan.view_atoms.size());
+    for (const Atom& a : canon_plan.view_atoms) {
+      auto it = derivable.find(a.relation);
+      atom_cover.push_back(self_bit(a.relation) |
+                           (it == derivable.end() ? 0 : it->second));
+    }
+  }
+
+  // The greedy minimization loop re-probes subsets that were already
+  // verified as candidates or as earlier drop probes; verification is
+  // deterministic, so outcomes are memoized per (sorted) atom-id set.
+  // candidates_verified counts actual chase checks, not memo hits or
+  // coverage-pruned rejections.
+  std::map<std::vector<uint32_t>, bool> verify_memo;
+  // Soundness fast path: disjuncts of the conditioned provenance formula
+  // are sound by the PACB provenance invariant — every disjunct of an
+  // atom's provenance is a sufficient support for deriving the atom's
+  // current canonical form, merge conditioning included, so the q-match
+  // the disjunct came from reappears in the candidate's own chase (this is
+  // the invariant the randomized differential suite pins against naive
+  // C&B). Optimistic supports and minimization drop probes carry no such
+  // guarantee and still go through the chase.
+  const std::set<std::vector<uint32_t>> provenance_sound(
+      combined.disjuncts().begin(), combined.disjuncts().end());
+
+  auto covers_query = [&](const std::vector<uint32_t>& ids) {
+    if (atom_cover.empty()) return true;
+    uint64_t got = 0;
+    for (uint32_t id : ids) got |= atom_cover[id];
+    return (got & qrel_mask) == qrel_mask;
+  };
+
+  // Chase-level verification of one candidate — the thread-safe core. All
+  // captured state is read-only here (canon_plan, the fast-path tables,
+  // the provenance-sound set); every mutable chase scratch comes in
+  // through the caller-supplied per-worker checkers.
+  std::atomic<size_t> chase_checks{0};
+  auto verify_chased = [&](const std::vector<uint32_t>& ids,
+                           chase::FixedRightContainment& sound,
+                           chase::FixedLeftContainment& exact,
+                           std::vector<const Atom*>& atoms) -> Result<bool> {
+    bool ok = provenance_sound.count(ids) > 0;
+    if (!ok) {
+      chase_checks.fetch_add(1, std::memory_order_relaxed);
+      // Soundness: candidate ⊑ q under schema + backward constraints. The
+      // candidate goes in as the raw plan-atom subset — its frozen form —
+      // so rejected candidates (the common case during minimization
+      // probes) never pay for query construction.
+      atoms.clear();
+      for (uint32_t id : ids) atoms.push_back(&canon_plan.view_atoms[id]);
+      ESTOCADA_ASSIGN_OR_RETURN(
+          ok, sound.ContainsFrozen(atoms, canon_plan.head_targets));
+    }
+    if (ok) {
+      // Exactness: q ⊑ candidate under schema + forward constraints. Try
+      // the identity-witness fast path first; only merge-mangled
+      // candidates pay for query construction and a homomorphism search.
+      bool identity = heads_identity;
+      for (size_t k = 0; identity && k < ids.size(); ++k) {
+        identity = atom_in_uplan[ids[k]] != 0;
+      }
+      if (!identity) {
+        ESTOCADA_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
+                                  CandidateToQuery(query, canon_plan, ids));
+        ESTOCADA_ASSIGN_OR_RETURN(ok, exact.ContainedIn(cq));
+      }
+    }
+    return ok;
+  };
+
+  std::vector<const Atom*> cand_atoms;  // reused scratch
+  auto verify = [&](const std::vector<uint32_t>& ids) -> Result<bool> {
+    auto it = verify_memo.find(ids);
+    if (it != verify_memo.end()) return it->second;
+    if (!covers_query(ids)) {
+      verify_memo.emplace(ids, false);
+      return false;
+    }
+    ESTOCADA_ASSIGN_OR_RETURN(
+        bool ok, verify_chased(ids, sound_check, exact_check, cand_atoms));
+    verify_memo.emplace(ids, ok);
+    return ok;
+  };
+
+  // Concurrent batch verification (see RewriterOptions::verify_pool).
+  // Outcomes land in the memo keyed by id set; the accept loop below then
+  // takes exactly the sequential decisions, so rewriting sets are
+  // byte-identical with and without a pool. Workers never touch WaitIdle —
+  // a per-batch countdown keeps a shared pool usable by other clients.
+  ThreadPool* pool =
+      options.track_provenance ? options.verify_pool : nullptr;
+  auto verify_batch = [&](std::vector<std::vector<uint32_t>> sets) -> Status {
+    std::sort(sets.begin(), sets.end());
+    sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+    std::vector<std::vector<uint32_t>> need;
+    for (auto& ids : sets) {
+      if (verify_memo.count(ids) > 0) continue;
+      if (!covers_query(ids)) {
+        verify_memo.emplace(std::move(ids), false);
+        continue;
+      }
+      need.push_back(std::move(ids));
+    }
+    if (pool == nullptr || need.size() < 2) {
+      for (auto& ids : need) {
+        ESTOCADA_ASSIGN_OR_RETURN(
+            bool ok, verify_chased(ids, sound_check, exact_check, cand_atoms));
+        verify_memo.emplace(std::move(ids), ok);
+      }
+      return Status::OK();
+    }
+    const size_t workers = std::min(pool->num_threads(), need.size());
+    std::vector<char> outcomes(need.size(), 0);
+    std::vector<Status> errors(workers, Status::OK());
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending = workers;
+    for (size_t w = 0; w < workers; ++w) {
+      pool->Submit([&, w] {
+        chase::ChaseEngine bwd(backward_deps_);
+        chase::ChaseEngine fwd(forward_deps_);
+        chase::FixedRightContainment sound(query, bwd, options.chase);
+        chase::FixedLeftContainment exact(query, fwd, options.chase);
+        std::vector<const Atom*> scratch;
+        for (size_t i = w; i < need.size(); i += workers) {
+          auto r = verify_chased(need[i], sound, exact, scratch);
+          if (!r.ok()) {
+            errors[w] = r.status();
+            break;
+          }
+          outcomes[i] = *r ? 1 : 0;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        if (--pending == 0) done_cv.notify_all();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      done_cv.wait(lock, [&] { return pending == 0; });
+    }
+    for (const Status& s : errors) ESTOCADA_RETURN_NOT_OK(s);
+    for (size_t i = 0; i < need.size(); ++i) {
+      verify_memo.emplace(std::move(need[i]), outcomes[i] != 0);
+    }
+    return Status::OK();
+  };
+
   // ---- Convert, verify, filter; smallest-first; skip supersets of
   // accepted rewritings (minimality).
   std::sort(candidates.begin(), candidates.end(),
@@ -297,6 +554,18 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
             });
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
+  if (options.verify_candidates && pool != nullptr) {
+    // Speculative top-level pass: chase-verify every exposed candidate up
+    // front, concurrently, so the accept loop below is pure memo lookups.
+    std::vector<std::vector<uint32_t>> batch;
+    batch.reserve(candidates.size());
+    for (const auto& c : candidates) {
+      if (ExposesHead(canon_plan.view_atoms, canon_plan.head_targets, c)) {
+        batch.push_back(c);
+      }
+    }
+    ESTOCADA_RETURN_NOT_OK(verify_batch(std::move(batch)));
+  }
   std::vector<std::vector<uint32_t>> accepted_sets;
   for (const auto& original_cand : candidates) {
     if (result.rewritings.size() >= options.max_rewritings) break;
@@ -310,12 +579,9 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
       }
     }
     if (superset) continue;
-    auto cq = CandidateToQuery(query, canon_plan, original_cand);
-    if (!cq.ok()) continue;  // Head not exposed: not a rewriting.
+    if (!ExposesHead(canon_plan.view_atoms, canon_plan.head_targets, original_cand)) continue;  // Not a rewriting.
     if (options.verify_candidates) {
-      ++stats.candidates_verified;
-      ESTOCADA_ASSIGN_OR_RETURN(bool sound,
-                                VerifyCandidate(*cq, query, options));
+      ESTOCADA_ASSIGN_OR_RETURN(bool sound, verify(original_cand));
       if (!sound) continue;
     }
     std::vector<uint32_t> cand = original_cand;
@@ -327,18 +593,29 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
       bool shrunk = true;
       while (shrunk && cand.size() > 1) {
         shrunk = false;
+        if (pool != nullptr) {
+          // Probe all of this round's drops concurrently; the scan below
+          // then picks the first success in drop order, exactly as the
+          // sequential path does.
+          std::vector<std::vector<uint32_t>> probes;
+          probes.reserve(cand.size());
+          for (size_t drop = 0; drop < cand.size(); ++drop) {
+            std::vector<uint32_t> smaller = cand;
+            smaller.erase(smaller.begin() + static_cast<long>(drop));
+            if (ExposesHead(canon_plan.view_atoms, canon_plan.head_targets,
+                            smaller)) {
+              probes.push_back(std::move(smaller));
+            }
+          }
+          ESTOCADA_RETURN_NOT_OK(verify_batch(std::move(probes)));
+        }
         for (size_t drop = 0; drop < cand.size(); ++drop) {
           std::vector<uint32_t> smaller = cand;
           smaller.erase(smaller.begin() + static_cast<long>(drop));
-          auto smaller_cq = CandidateToQuery(query, canon_plan, smaller);
-          if (!smaller_cq.ok()) continue;
-          ++stats.candidates_verified;
-          ESTOCADA_ASSIGN_OR_RETURN(
-              bool still_exact,
-              VerifyCandidate(*smaller_cq, query, options));
+          if (!ExposesHead(canon_plan.view_atoms, canon_plan.head_targets, smaller)) continue;
+          ESTOCADA_ASSIGN_OR_RETURN(bool still_exact, verify(smaller));
           if (still_exact) {
             cand = std::move(smaller);
-            cq = std::move(smaller_cq);
             shrunk = true;
             break;
           }
@@ -355,6 +632,8 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
       }
       if (dominated) continue;
     }
+    auto cq = CandidateToQuery(query, canon_plan, cand);
+    if (!cq.ok()) continue;  // Defensive: ExposesHead already vetted cand.
     Rewriting rw;
     rw.query = std::move(*cq);
     rw.feasible = IsFeasible(rw.query.body, adornments_);
@@ -362,6 +641,7 @@ Result<RewritingResult> Rewriter::Rewrite(const ConjunctiveQuery& query,
     accepted_sets.push_back(cand);
     result.rewritings.push_back(std::move(rw));
   }
+  stats.candidates_verified = chase_checks.load(std::memory_order_relaxed);
   stats.rewritings_found = result.rewritings.size();
   return result;
 }

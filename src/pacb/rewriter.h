@@ -2,15 +2,21 @@
 #define ESTOCADA_PACB_REWRITER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "chase/chase.h"
+#include "chase/containment.h"
 #include "common/result.h"
 #include "pacb/feasibility.h"
 #include "pacb/view.h"
 #include "pivot/query.h"
 #include "pivot/schema.h"
+
+namespace estocada {
+class ThreadPool;
+}
 
 namespace estocada::pacb {
 
@@ -24,6 +30,17 @@ struct RewriterOptions {
   /// candidate. Disable only in benchmarks measuring raw candidate
   /// generation.
   bool verify_candidates = true;
+  /// Optional worker pool for candidate verification. When set (and
+  /// provenance tracking is on), provenance-derived candidates and each
+  /// minimization round's drop probes are chase-verified concurrently —
+  /// one chase scratch per worker, shared state read-only. Results are
+  /// merged into the same memo the sequential path fills, and the accept
+  /// loop consumes them in the identical order, so the rewriting set is
+  /// byte-for-byte the same with and without a pool. The pool path
+  /// verifies speculatively (it does not early-stop at max_rewritings or
+  /// at the first successful drop), so `candidates_verified` may be
+  /// higher than in a sequential run. nullptr = sequential.
+  ThreadPool* verify_pool = nullptr;
   /// Drop rewritings that violate access-pattern feasibility.
   bool require_feasible = true;
   /// Ablation switch: when false, the backchase does not track provenance
@@ -110,12 +127,19 @@ class Rewriter {
     /// null id -> original query variable name (for readable rewritings
     /// and for preserving '$'-parameter names).
     std::map<uint64_t, std::string> null_names;
+    /// The forward-chase instance the plan was read off (the frozen query
+    /// body chased with schema + forward view constraints). Kept because it
+    /// doubles as the right-hand side of the exactness test q ⊑ candidate:
+    /// a candidate whose atoms all still denote atoms of this instance is
+    /// exact by the identity homomorphism, no chase needed.
+    chase::Instance instance;
   };
 
   /// Phase 1: forward chase. Fails with kNoRewriting if no view atom is
   /// derivable.
   Result<UniversalPlan> BuildUniversalPlan(const pivot::ConjunctiveQuery& q,
                                            const RewriterOptions& options,
+                                           chase::ChaseEngine* forward,
                                            RewriterStats* stats) const;
 
   /// Converts a subset of universal-plan atoms into a candidate CQ.
@@ -124,15 +148,15 @@ class Rewriter {
       const pivot::ConjunctiveQuery& q, const UniversalPlan& plan,
       const std::vector<uint32_t>& atom_ids) const;
 
-  /// Chase-based soundness check: candidate ⊑ q under schema+backward.
-  Result<bool> VerifyCandidate(const pivot::ConjunctiveQuery& candidate,
-                               const pivot::ConjunctiveQuery& q,
-                               const RewriterOptions& options) const;
 
   pivot::Schema schema_;
   std::vector<ViewDefinition> views_;
-  std::vector<pivot::Dependency> forward_deps_;   ///< schema + view fwd
-  std::vector<pivot::Dependency> backward_deps_;  ///< schema + view bwd
+  /// schema + view fwd / bwd constraints. Shared immutable vectors:
+  /// Rewrite() stamps out per-call ChaseEngines over them (Rewrite is
+  /// const and must stay safe for concurrent callers, so the engines —
+  /// which hold run scratch — cannot live here).
+  std::shared_ptr<const std::vector<pivot::Dependency>> forward_deps_;
+  std::shared_ptr<const std::vector<pivot::Dependency>> backward_deps_;
   AdornmentMap adornments_;
   bool prepared_ = false;
 

@@ -1,0 +1,35 @@
+#include "pivot/symbol_table.h"
+
+namespace estocada::pivot {
+
+SymbolId SymbolTable::Intern(const std::string& s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  ids_.emplace(s, id);
+  names_.push_back(s);
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::Lookup(const std::string& s) const {
+  auto it = ids_.find(s);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+SymbolId TermTable::Intern(const Term& t) {
+  auto it = ids_.find(t);
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(terms_.size());
+  ids_.emplace(t, id);
+  terms_.push_back(t);
+  return id;
+}
+
+std::optional<SymbolId> TermTable::Lookup(const Term& t) const {
+  auto it = ids_.find(t);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace estocada::pivot

@@ -1,0 +1,77 @@
+#ifndef ESTOCADA_PIVOT_SYMBOL_TABLE_H_
+#define ESTOCADA_PIVOT_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pivot/term.h"
+
+namespace estocada::pivot {
+
+/// Dense interned identifier. The chase kernel works on these instead of
+/// string-keyed maps: relation names, variable names and ground terms are
+/// interned once and compared / hashed as plain integers afterwards.
+using SymbolId = uint32_t;
+
+/// Sentinel for "not interned / unbound".
+inline constexpr SymbolId kNoSymbol = 0xFFFFFFFFu;
+
+/// Interns strings (relation names, variable names) to dense SymbolIds.
+/// Ids are assigned in first-intern order starting at 0 and are stable for
+/// the lifetime of the table; `name(id)` is the inverse.
+class SymbolTable {
+ public:
+  /// Returns the id of `s`, interning it if new.
+  SymbolId Intern(const std::string& s);
+
+  /// The id of `s` if already interned.
+  std::optional<SymbolId> Lookup(const std::string& s) const;
+
+  const std::string& name(SymbolId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+  /// Forgets every interned symbol (ids restart at 0). Bucket arrays and
+  /// vector capacity are retained, so a cleared table re-fills without
+  /// rehashing — scratch tables reset this way instead of being rebuilt.
+  void Clear() {
+    ids_.clear();
+    names_.clear();
+  }
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Interns ground terms (constants and labelled nulls) to dense SymbolIds.
+/// Two terms get the same id iff they compare equal; `term(id)` is the
+/// inverse. Variables must not be interned here — they live in flat slot
+/// vectors keyed by a SymbolTable of their names.
+class TermTable {
+ public:
+  /// Returns the id of `t`, interning it if new.
+  SymbolId Intern(const Term& t);
+
+  /// The id of `t` if already interned.
+  std::optional<SymbolId> Lookup(const Term& t) const;
+
+  const Term& term(SymbolId id) const { return terms_[id]; }
+  size_t size() const { return terms_.size(); }
+
+  /// See SymbolTable::Clear().
+  void Clear() {
+    ids_.clear();
+    terms_.clear();
+  }
+
+ private:
+  std::unordered_map<Term, SymbolId, TermHash> ids_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace estocada::pivot
+
+#endif  // ESTOCADA_PIVOT_SYMBOL_TABLE_H_

@@ -438,5 +438,168 @@ TEST_P(ContainmentSoundnessProperty, ContainmentImpliesAnswerInclusion) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentSoundnessProperty,
                          ::testing::Values(11, 22, 33, 44, 55));
 
+// ---- Interned-kernel contracts: FindHomomorphisms limit, index
+// maintenance under EGD merges, indexed matcher vs the scan oracle. ----
+
+TEST(HomomorphismTest, LimitZeroMeansUnlimited) {
+  Instance inst;
+  for (int i = 0; i < 10; ++i) {
+    inst.Insert(Atom("R", {Term::Int(i)}));
+  }
+  EXPECT_EQ(FindHomomorphisms(Atoms("R(x)"), inst, {}, 0).size(), 10u);
+  EXPECT_EQ(FindHomomorphisms(Atoms("R(x)"), inst).size(), 10u);
+  EXPECT_EQ(FindHomomorphisms(Atoms("R(x)"), inst, {}, 1).size(), 1u);
+  EXPECT_EQ(FindHomomorphisms(Atoms("R(x)"), inst, {}, 4).size(), 4u);
+  // A limit past the total is not an error: everything is returned.
+  EXPECT_EQ(FindHomomorphisms(Atoms("R(x)"), inst, {}, 99).size(), 10u);
+}
+
+TEST(HomomorphismTest, EarlyStopRestoresMatcherState) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("E(1, 2), E(2, 3), E(3, 4), E(1, 3)")).ok());
+  HomomorphismMatcher m(Atoms("E(x, y), E(y, z)"));
+  std::vector<std::vector<size_t>> full;
+  EXPECT_TRUE(m.ForEach(inst, {}, [&](const Match& mt) {
+    full.push_back(mt.atom_ids);
+    return true;
+  }));
+  ASSERT_FALSE(full.empty());
+  // Stop at the first match, then re-enumerate with the same matcher: the
+  // early stop must leave no residue (slot bindings unwound, scratch
+  // reset), so the second full pass reproduces the first exactly.
+  std::vector<size_t> first;
+  EXPECT_FALSE(m.ForEach(inst, {}, [&](const Match& mt) {
+    first = mt.atom_ids;
+    return false;
+  }));
+  EXPECT_EQ(first, full[0]);
+  std::vector<std::vector<size_t>> again;
+  EXPECT_TRUE(m.ForEach(inst, {}, [&](const Match& mt) {
+    again.push_back(mt.atom_ids);
+    return true;
+  }));
+  EXPECT_EQ(again, full);
+}
+
+TEST(InstanceTest, IndexConsistentAfterEgdMerges) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("R(1, 'a')")).ok());
+  Term n1 = inst.FreshNull();
+  Term n2 = inst.FreshNull();
+  inst.Insert(Atom("R", {Term::Int(1), n1}));
+  inst.Insert(Atom("R", {Term::Int(2), n1}));
+  inst.Insert(Atom("R", {Term::Int(2), n2}));
+  inst.Insert(Atom("S", {n2, n1}));
+  auto deps = ParseDependencies("R(x, y), R(x, z) -> y = z");
+  ASSERT_TRUE(deps.ok());
+  ChaseStats stats;
+  ASSERT_TRUE(RunChase(*deps, &inst, {}, &stats).ok());
+  ASSERT_GT(stats.egd_merges, 0u);
+  std::string err;
+  EXPECT_TRUE(inst.CheckIndexConsistency(&err)) << err;
+  // The key EGD chains both nulls into 'a'; lookups must resolve through
+  // the rebuilt (relation, position, value) and row indexes.
+  EXPECT_TRUE(inst.Contains(Atom("R", {Term::Int(1), Term::Str("a")})));
+  EXPECT_TRUE(inst.Contains(Atom("R", {Term::Int(1), n1})));
+  EXPECT_TRUE(inst.Contains(Atom("R", {Term::Int(2), n2})));
+  EXPECT_TRUE(inst.Contains(Atom("S", {Term::Str("a"), Term::Str("a")})));
+  EXPECT_FALSE(inst.Contains(Atom("S", {Term::Str("a"), Term::Int(1)})));
+  // R(1,_) and R(2,_) rows collapsed to R(1,'a') and R(2,'a'); S kept one.
+  EXPECT_EQ(inst.live_size(), 3u);
+}
+
+TEST(InstanceTest, ResetKeepsInterningButEmptiesAtoms) {
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(Atoms("R(1, 2), S(2, 3)")).ok());
+  HomomorphismMatcher m(Atoms("R(x, y), S(y, z)"));
+  size_t before = 0;
+  m.ForEach(inst, {}, [&](const Match&) {
+    ++before;
+    return true;
+  });
+  EXPECT_EQ(before, 1u);
+  inst.Reset();
+  EXPECT_EQ(inst.live_size(), 0u);
+  EXPECT_FALSE(inst.Contains(Atom("R", {Term::Int(1), Term::Int(2)})));
+  // Reset keeps the interning tables (the documented contract that lets
+  // matchers reuse compiled patterns across scratch resets); refilling the
+  // instance must behave exactly like a fresh one.
+  ASSERT_TRUE(inst.InsertAll(Atoms("R(1, 2), S(2, 3), S(2, 4)")).ok());
+  size_t after = 0;
+  m.ForEach(inst, {}, [&](const Match&) {
+    ++after;
+    return true;
+  });
+  EXPECT_EQ(after, 2u);
+  std::string err;
+  EXPECT_TRUE(inst.CheckIndexConsistency(&err)) << err;
+}
+
+/// 200-seed differential fuzz: the indexed matcher must enumerate exactly
+/// the same match sequence (order included) as the legacy scan oracle, over
+/// random instances with nulls and random patterns with shared variables
+/// and constants.
+class MatcherOracleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherOracleProperty, IndexedMatcherMatchesScanOracle) {
+  Rng rng(0x5eed0000 + GetParam());
+  Instance inst;
+  const std::vector<std::string> rels = {"R", "S", "T"};
+  const std::vector<size_t> arity = {2, 2, 3};
+  std::vector<Term> values;
+  for (int v = 0; v < 4; ++v) values.push_back(Term::Int(v));
+  values.push_back(inst.FreshNull());
+  values.push_back(inst.FreshNull());
+  const size_t num_atoms = 3 + rng.Uniform(12);
+  for (size_t i = 0; i < num_atoms; ++i) {
+    size_t r = rng.Uniform(rels.size());
+    std::vector<Term> terms;
+    for (size_t p = 0; p < arity[r]; ++p) terms.push_back(rng.Pick(values));
+    inst.Insert(Atom(rels[r], terms));
+  }
+  const std::vector<std::string> vars = {"x", "y", "z", "w"};
+  std::vector<Atom> pattern;
+  const size_t num_pattern = 1 + rng.Uniform(3);
+  for (size_t i = 0; i < num_pattern; ++i) {
+    size_t r = rng.Uniform(rels.size());
+    std::vector<Term> terms;
+    for (size_t p = 0; p < arity[r]; ++p) {
+      terms.push_back(rng.Chance(0.2)
+                          ? Term::Int(static_cast<int64_t>(rng.Uniform(4)))
+                          : Term::Var(rng.Pick(vars)));
+    }
+    pattern.push_back(Atom(rels[r], terms));
+  }
+  auto render = [](const Match& m) {
+    std::string out;
+    for (size_t id : m.atom_ids) out += std::to_string(id) + ",";
+    out += "|";
+    std::vector<std::pair<std::string, std::string>> sub;
+    sub.reserve(m.sub.size());
+    for (const auto& [var, term] : m.sub) {
+      sub.emplace_back(var, term.ToString());
+    }
+    std::sort(sub.begin(), sub.end());
+    for (const auto& [var, text] : sub) out += var + "=" + text + ";";
+    return out;
+  };
+  std::vector<std::string> indexed;
+  HomomorphismMatcher matcher(pattern);
+  matcher.ForEach(inst, {}, [&](const Match& m) {
+    indexed.push_back(render(m));
+    return true;
+  });
+  std::vector<std::string> scan;
+  internal::ForEachHomomorphismScan(pattern, inst, {},
+                                    [&](const Match& m) {
+                                      scan.push_back(render(m));
+                                      return true;
+                                    });
+  EXPECT_EQ(indexed, scan) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherOracleProperty,
+                         ::testing::Range<uint64_t>(0, 200));
+
 }  // namespace
 }  // namespace estocada::chase

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "pacb/rewriter.h"
 #include "pacb/view.h"
 #include "pivot/parser.h"
@@ -85,16 +86,32 @@ void RunGolden(const std::string& name, Schema schema,
                std::initializer_list<const char*> queries) {
   Rewriter rewriter(std::move(schema), std::move(views));
   ASSERT_TRUE(rewriter.Prepare().ok());
+  // Every scenario also runs with pool-parallel candidate verification:
+  // the RewriterOptions::verify_pool contract is that rewriting sets are
+  // byte-identical with and without a pool, so both renderings are diffed
+  // against the same golden.
+  ThreadPool pool(3);
+  RewriterOptions pooled;
+  pooled.verify_pool = &pool;
   std::string actual;
+  std::string pooled_actual;
   for (const char* qtext : queries) {
     auto result = rewriter.Rewrite(Q(qtext));
     ASSERT_TRUE(result.ok()) << qtext << ": " << result.status();
-    actual += "query: ";
-    actual += qtext;
-    actual += "\n";
+    auto pooled_result = rewriter.Rewrite(Q(qtext), pooled);
+    ASSERT_TRUE(pooled_result.ok()) << qtext << ": " << pooled_result.status();
+    for (std::string* out : {&actual, &pooled_actual}) {
+      out->append("query: ");
+      out->append(qtext);
+      out->append("\n");
+    }
     actual += DescribeRewritingSet(*result);
     actual += "\n";
+    pooled_actual += DescribeRewritingSet(*pooled_result);
+    pooled_actual += "\n";
   }
+  EXPECT_EQ(actual, pooled_actual)
+      << "pool-verified rewriting set diverged from the sequential one";
   CompareWithGolden(name, actual);
 }
 

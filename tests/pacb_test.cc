@@ -365,8 +365,11 @@ TEST_F(RewriterTest, NaiveAgreesWithPacb) {
   };
   EXPECT_EQ(canon(*pr), canon(*nr));
   EXPECT_GE(pr->rewritings.size(), 2u);  // VJ⋈V3 and V1⋈V2⋈V3.
-  // The naive algorithm verifies many more candidates.
-  EXPECT_GT(nr->stats.candidates_verified, pr->stats.candidates_verified);
+  // The naive algorithm examines many more candidate subqueries (memoized
+  // verification can collapse the actual chase-check counts, so compare
+  // the enumeration effort).
+  EXPECT_GT(nr->stats.candidates_considered, pr->stats.candidates_considered);
+  EXPECT_GE(nr->stats.candidates_verified, pr->stats.candidates_verified);
 }
 
 TEST_F(RewriterTest, DocumentTreeEncodingRewriting) {
