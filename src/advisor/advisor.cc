@@ -59,6 +59,45 @@ void WorkloadLog::Record(const ConjunctiveQuery& query, double cost,
   ++entry.count;
   entry.total_cost += cost;
   for (const std::string& f : fragments_used) ++entry.fragments_used[f];
+  if (capacity_ > 0 && entries_.size() > capacity_) EnforceCapacityLocked(key);
+}
+
+void WorkloadLog::EnforceCapacityLocked(const std::string& newcomer) {
+  // Exponential forgetting: halve every entry, dropping those that decay
+  // to nothing. Recurrent shapes survive many decays; one-off shapes (the
+  // usual cause of overflow) vanish after the first. The entry that just
+  // overflowed the log is exempt — halving it would erase the newest
+  // observation on every insert, so a newly hot shape could never enter
+  // a full log.
+  ++decays_;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first == newcomer) {
+      ++it;
+      continue;
+    }
+    WorkloadEntry& e = it->second;
+    e.count /= 2;
+    e.total_cost /= 2;
+    for (auto f = e.fragments_used.begin(); f != e.fragments_used.end();) {
+      f->second /= 2;
+      f = f->second == 0 ? e.fragments_used.erase(f) : std::next(f);
+    }
+    it = e.count == 0 ? entries_.erase(it) : std::next(it);
+  }
+  // Still full (every shape recurrent): evict the cheapest shapes — the
+  // advisor would never recommend for them anyway.
+  while (entries_.size() > capacity_) {
+    auto cheapest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.total_cost < cheapest->second.total_cost) cheapest = it;
+    }
+    entries_.erase(cheapest);
+  }
+}
+
+size_t WorkloadLog::decays() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decays_;
 }
 
 std::map<std::string, WorkloadEntry> WorkloadLog::Snapshot() const {

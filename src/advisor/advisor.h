@@ -35,10 +35,24 @@ struct WorkloadEntry {
 /// `Snapshot()` otherwise).
 class WorkloadLog {
  public:
+  /// `capacity` bounds the number of distinct query *shapes* retained, so
+  /// a long-running server's log cannot grow without bound under an
+  /// adversarially diverse workload. When an insert overflows it, every
+  /// entry first decays (counts and costs halve; emptied entries drop) —
+  /// an exponential forgetting of stale traffic that keeps the advisor
+  /// focused on *recent* heavy hitters — and if the log is still full,
+  /// the cheapest entries (smallest total cost) are evicted.
+  explicit WorkloadLog(size_t capacity = 1024) : capacity_(capacity) {}
+
   /// Records one execution: the query (parameters still symbolic), its
   /// simulated cost, and the fragments its chosen plan touched.
   void Record(const pivot::ConjunctiveQuery& query, double cost,
               const std::vector<std::string>& fragments_used);
+
+  size_t capacity() const { return capacity_; }
+
+  /// Times the decay-on-overflow pass has run.
+  size_t decays() const;
 
   const std::map<std::string, WorkloadEntry>& entries() const {
     return entries_;
@@ -57,8 +71,14 @@ class WorkloadLog {
   static std::string ShapeKey(const pivot::ConjunctiveQuery& query);
 
  private:
+  /// Decay (sparing `newcomer`, the entry that overflowed the log) then
+  /// evict down to capacity; mu_ held.
+  void EnforceCapacityLocked(const std::string& newcomer);
+
   mutable std::mutex mu_;
   std::map<std::string, WorkloadEntry> entries_;
+  size_t capacity_;
+  size_t decays_ = 0;
 };
 
 /// One piece of advice from the Storage Advisor.

@@ -128,7 +128,10 @@ Result<StorageDescriptor*> Catalog::GetMutableFragment(
 std::vector<pacb::ViewDefinition> Catalog::AllViews() const {
   std::vector<pacb::ViewDefinition> out;
   out.reserve(fragments_.size());
-  for (const auto& [name, desc] : fragments_) out.push_back(desc.view);
+  for (const auto& [name, desc] : fragments_) {
+    if (desc.is_shadow()) continue;
+    out.push_back(desc.view);
+  }
   return out;
 }
 
@@ -141,7 +144,8 @@ std::string Catalog::ToString() const {
   for (const auto& [name, desc] : fragments_) {
     out += StrCat("  ", desc.view.query.ToString(), "\n    @ ",
                   desc.store_name, "/", desc.container, ", ",
-                  desc.stats.row_count, " rows\n");
+                  desc.stats.row_count, " rows",
+                  desc.is_shadow() ? " [shadow]" : "", "\n");
   }
   return out;
 }

@@ -52,6 +52,18 @@ struct FragmentStatistics {
   double EqualitySelectivity(size_t position) const;
 };
 
+/// Visibility of a fragment to the planner. `kShadow` fragments are
+/// migration targets being backfilled: they have a container and a
+/// descriptor but are excluded from `AllViews()` (so the rewriter never
+/// uses them and no catalog-epoch bump is needed when they appear),
+/// from incremental maintenance (the migration engine owns their delta
+/// replay), and from the catalog JSON export. Cutover flips them to
+/// `kActive`, which *is* a catalog change.
+enum class FragmentLifecycle {
+  kActive,
+  kShadow,
+};
+
 /// A storage descriptor sd(Sk, Di/Fj) — the paper's §III artifact. The
 /// *what* is the LAV view definition (a CQ over the application dataset's
 /// pivot relations); the *where* names the store and the container inside
@@ -75,8 +87,11 @@ struct StorageDescriptor {
   /// each position gets its own index; for parallel fragments the set
   /// forms one composite index when no input adornments exist.
   std::vector<size_t> index_positions;
+  /// Planner visibility (see FragmentLifecycle).
+  FragmentLifecycle lifecycle = FragmentLifecycle::kActive;
 
   const std::string& name() const { return view.name(); }
+  bool is_shadow() const { return lifecycle == FragmentLifecycle::kShadow; }
 };
 
 /// The Storage Descriptor Manager: datasets (pivot schemas + constraints),
@@ -109,7 +124,9 @@ class Catalog {
   const std::map<std::string, StoreHandle>& stores() const { return stores_; }
   const pivot::Schema& dataset_schema() const { return dataset_schema_; }
 
-  /// All view definitions, for the rewriter.
+  /// All *active* view definitions, for the rewriter. Shadow fragments
+  /// (mid-migration backfill targets) are invisible to planning until
+  /// their cutover activates them.
   std::vector<pacb::ViewDefinition> AllViews() const;
 
   /// Human-readable inventory (demo step 1: "view their specification").

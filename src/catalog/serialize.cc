@@ -13,6 +13,9 @@ JsonValue CatalogToJson(const Catalog& catalog) {
   root.Set("version", JsonValue::Int(1));
   JsonValue fragments = JsonValue::MakeArray();
   for (const auto& [name, desc] : catalog.fragments()) {
+    // Shadow fragments are transient migration state, not layout: a
+    // checkpoint taken mid-migration must restore to the *old* layout.
+    if (desc.is_shadow()) continue;
     JsonValue f = JsonValue::MakeObject();
     f.Set("view", JsonValue::Str(desc.view.query.ToString()));
     JsonValue adorn = JsonValue::MakeArray();

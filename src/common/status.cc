@@ -24,6 +24,10 @@ const char* StatusCodeName(StatusCode code) {
       return "NoRewriting";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kAborted:
+      return "Aborted";
     case StatusCode::kInternal:
       return "Internal";
   }

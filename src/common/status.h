@@ -20,6 +20,8 @@ enum class StatusCode {
   kChaseFailure,      ///< The chase failed (EGD equated distinct constants).
   kNoRewriting,       ///< No feasible rewriting exists for the query.
   kUnavailable,       ///< Transient store/backend failure; retry may succeed.
+  kFailedPrecondition,  ///< System state does not admit the operation.
+  kAborted,           ///< Operation abandoned on request (not retryable).
   kInternal,          ///< Invariant violation; indicates a bug.
 };
 
@@ -68,6 +70,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

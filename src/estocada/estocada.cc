@@ -92,6 +92,90 @@ Status Estocada::DropFragment(const std::string& name) {
   return Status::OK();
 }
 
+Status Estocada::DefineShadowFragment(pacb::ViewDefinition view,
+                                      const std::string& store_name,
+                                      std::vector<size_t> index_positions) {
+  catalog::StorageDescriptor desc;
+  desc.view = std::move(view);
+  desc.store_name = store_name;
+  desc.index_positions = std::move(index_positions);
+  desc.lifecycle = catalog::FragmentLifecycle::kShadow;
+  std::string name = desc.name();
+  ESTOCADA_RETURN_NOT_OK(catalog_.RegisterFragment(std::move(desc)));
+  Status created = rewriting::CreateFragmentContainer(&catalog_, name);
+  if (!created.ok()) {
+    (void)catalog_.DropFragment(name);
+    return created;
+  }
+  // Shadow fragments are invisible to the planner: no epoch bump.
+  return Status::OK();
+}
+
+namespace {
+
+Status RequireShadow(const catalog::Catalog& catalog,
+                     const std::string& name) {
+  ESTOCADA_ASSIGN_OR_RETURN(const catalog::StorageDescriptor* desc,
+                            catalog.GetFragment(name));
+  if (!desc->is_shadow()) {
+    return Status::FailedPrecondition(
+        StrCat("fragment '", name, "' is active, not a shadow"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Estocada::AppendToShadowFragment(const std::string& name,
+                                        const std::vector<Row>& rows) {
+  ESTOCADA_RETURN_NOT_OK(RequireShadow(catalog_, name));
+  return rewriting::AppendToFragment(&catalog_, name, rows);
+}
+
+Status Estocada::MaintainShadowFragment(
+    const std::string& name,
+    const std::vector<std::pair<std::string, Row>>& deltas) {
+  ESTOCADA_RETURN_NOT_OK(RequireShadow(catalog_, name));
+  return rewriting::MaintainOneFragmentOnInsertBatch(staging_, &catalog_,
+                                                     name, deltas);
+}
+
+Status Estocada::RebuildShadowFragment(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(RequireShadow(catalog_, name));
+  ESTOCADA_RETURN_NOT_OK(rewriting::DematerializeFragment(&catalog_, name));
+  return rewriting::MaterializeFragment(staging_, &catalog_, name);
+}
+
+Status Estocada::ActivateShadowFragment(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(RequireShadow(catalog_, name));
+  ESTOCADA_ASSIGN_OR_RETURN(catalog::StorageDescriptor * desc,
+                            catalog_.GetMutableFragment(name));
+  desc->lifecycle = catalog::FragmentLifecycle::kActive;
+  MarkCatalogChanged();
+  return Status::OK();
+}
+
+Status Estocada::DropShadowFragment(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(RequireShadow(catalog_, name));
+  ESTOCADA_RETURN_NOT_OK(rewriting::DematerializeFragment(&catalog_, name));
+  // The planner never saw a shadow fragment: no epoch bump on rollback.
+  return catalog_.DropFragment(name);
+}
+
+Result<std::vector<Row>> Estocada::EvaluateFragmentView(
+    const std::string& name) const {
+  ESTOCADA_ASSIGN_OR_RETURN(const catalog::StorageDescriptor* desc,
+                            catalog_.GetFragment(name));
+  return rewriting::EvaluateCqOverStaging(desc->view.query, staging_, {},
+                                          /*distinct=*/true);
+}
+
+Status Estocada::VerifyFragment(const std::string& name) const {
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> expected,
+                            EvaluateFragmentView(name));
+  return rewriting::VerifyFragmentAgainstRows(catalog_, name, expected);
+}
+
 std::string Estocada::ExportCatalogJson() const {
   return catalog::CatalogToJson(catalog_).Pretty();
 }
@@ -206,8 +290,11 @@ Status Estocada::DeleteRow(const std::string& relation,
         StrCat("no staged tuple ", engine::RowToString(row), " in '",
                relation, "'"));
   }
-  // Rebuild every fragment whose view mentions the relation.
+  // Rebuild every fragment whose view mentions the relation. Shadow
+  // fragments stay out: the migration engine schedules their rebuild
+  // from its own delta log so a deletion cannot race the backfill.
   for (const auto& [name, desc] : catalog_.fragments()) {
+    if (desc.is_shadow()) continue;
     bool affected = false;
     for (const pivot::Atom& a : desc.view.query.body) {
       if (a.relation == relation) {

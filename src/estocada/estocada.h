@@ -124,6 +124,54 @@ class Estocada {
   /// Drops a fragment: removes the stored container and the descriptor.
   Status DropFragment(const std::string& name);
 
+  // ---------------------------------------------- Shadow fragments --
+  // Building blocks of the online migration engine (src/migration). A
+  // *shadow* fragment has a descriptor and a physical container but is
+  // invisible to the rewriter/planner, to incremental maintenance, and
+  // to catalog export, so it can be backfilled in batches while the old
+  // layout keeps serving — and abandoned without a trace on abort. None
+  // of these calls bumps the catalog epoch except
+  // ActivateShadowFragment, which is the migration's atomic cutover.
+
+  /// Registers a shadow fragment and creates its *empty* container (no
+  /// view evaluation, no epoch bump). On failure nothing is left behind.
+  Status DefineShadowFragment(pacb::ViewDefinition view,
+                              const std::string& store_name,
+                              std::vector<size_t> index_positions = {});
+
+  /// Appends backfill rows to a shadow fragment's container.
+  Status AppendToShadowFragment(const std::string& name,
+                                const std::vector<engine::Row>& rows);
+
+  /// Replays captured update deltas ((relation, row) pairs already in
+  /// staging) against one shadow fragment via the incremental-
+  /// maintenance delta rule.
+  Status MaintainShadowFragment(
+      const std::string& name,
+      const std::vector<std::pair<std::string, engine::Row>>& deltas);
+
+  /// Rebuilds a shadow fragment's container from the staging truth
+  /// (deletions have no append delta; text targets cannot append).
+  Status RebuildShadowFragment(const std::string& name);
+
+  /// Flips a shadow fragment to active — the migration cutover. This is
+  /// a catalog change: the rewriter is dirtied and the epoch bumps, so
+  /// every cached plan of the old layout is invalidated.
+  Status ActivateShadowFragment(const std::string& name);
+
+  /// Rollback: drops a shadow fragment's container and descriptor
+  /// without an epoch bump (the planner never saw it).
+  Status DropShadowFragment(const std::string& name);
+
+  /// The fragment's view evaluated over the staging area with set
+  /// semantics — the ground truth its container must hold.
+  Result<std::vector<engine::Row>> EvaluateFragmentView(
+      const std::string& name) const;
+
+  /// Set-compares a fragment's physical container against its view over
+  /// staging (shadow or active; all five store kinds). OK iff equal.
+  Status VerifyFragment(const std::string& name) const;
+
   const catalog::Catalog& catalog() const { return catalog_; }
 
   /// Checkpoints the fragment layout (storage descriptors) as JSON text.

@@ -1,0 +1,293 @@
+#ifndef ESTOCADA_MIGRATION_MIGRATION_H_
+#define ESTOCADA_MIGRATION_MIGRATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "common/result.h"
+#include "pacb/view.h"
+#include "runtime/query_server.h"
+
+namespace estocada::migration {
+
+/// The staged, resumable state machine of one online migration:
+///
+///   Planned → Backfilling → CatchingUp → Verifying → CutOver → Retired
+///
+/// with Aborted reachable from every pre-Retired stage. The value names
+/// the *current* stage: `kBackfilling` means the backfill is pending or
+/// in progress; `kCutOver` means the target fragment is live (epoch
+/// bumped) but the retired sources have not yet been dropped. Stages
+/// before kRetired are strictly ordered so RunUntil can compare them.
+enum class MigrationStage {
+  kPlanned = 0,
+  kBackfilling,
+  kCatchingUp,
+  kVerifying,
+  kCutOver,
+  kRetired,
+  kAborted,
+};
+
+const char* StageName(MigrationStage stage);
+
+/// Budgeted backfill: how much foreground latency a migration may steal.
+/// Each batch briefly takes the server's exclusive lock (that is what
+/// keeps the copy transactional against readers), so small batches and a
+/// rows/sec budget bound the stall the query path can observe.
+struct ThrottlePolicy {
+  /// Rows appended per exclusive-lock acquisition.
+  size_t batch_rows = 256;
+  /// Sustained copy-rate ceiling; 0 = unthrottled.
+  size_t max_rows_per_sec = 0;
+  /// Poll interval while paused on an open target-store breaker.
+  uint64_t pause_poll_micros = 200;
+};
+
+/// What to migrate: a target fragment to build (the view + store), and/or
+/// source fragments to retire at cutover. An empty view (`drop_only`)
+/// retires fragments without building anything — the advisor's
+/// kDropFragment advice.
+struct MigrationSpec {
+  pacb::ViewDefinition view;
+  std::string store_name;
+  std::vector<size_t> index_positions;
+  /// Fragments dropped at the Retired stage, after the target is live.
+  std::vector<std::string> retire;
+
+  bool drop_only() const { return view.query.name.empty(); }
+  std::string ToString() const;
+
+  /// Lifts one piece of advisor advice into a migration: kAddFragment
+  /// builds the recommended view (retiring nothing); kDropFragment is a
+  /// drop-only migration of that fragment.
+  static MigrationSpec FromRecommendation(const advisor::Recommendation& rec);
+};
+
+struct MigrationOptions {
+  ThrottlePolicy throttle;
+  /// Check the target container against the staging truth before cutover.
+  bool verify = true;
+  /// Retry budget for target-store operations that fail kUnavailable
+  /// (chaos/fault injection); each retry first waits out an open breaker.
+  int max_target_retries = 64;
+  /// Base backoff between those retries (grows linearly, capped at 8x).
+  uint64_t retry_backoff_micros = 100;
+  /// Catch-up rounds before the residual delta backlog is left to the
+  /// atomic cutover section.
+  size_t max_catchup_rounds = 16;
+};
+
+/// Counters of one migration (relaxed atomics, mirroring ServerMetrics).
+struct MigrationMetricsSnapshot {
+  uint64_t rows_copied = 0;      ///< Backfill rows appended to the target.
+  uint64_t batches = 0;          ///< Exclusive-lock append batches.
+  uint64_t throttle_stalls = 0;  ///< Sleeps forced by max_rows_per_sec.
+  uint64_t deltas_captured = 0;  ///< Update events logged for catch-up.
+  uint64_t deltas_replayed = 0;  ///< Deltas replayed into the target.
+  uint64_t catchup_rounds = 0;   ///< Catch-up iterations executed.
+  uint64_t rebuilds = 0;         ///< Full target rebuilds (deletes, text).
+  uint64_t target_retries = 0;   ///< kUnavailable retries against the target.
+  uint64_t breaker_pauses = 0;   ///< Pauses on an open target breaker.
+  uint64_t cutover_epoch = 0;    ///< Catalog epoch right after activation.
+  uint64_t catchup_lag = 0;      ///< Deltas currently pending replay.
+};
+
+/// Point-in-time public state of a migration.
+struct MigrationStatus {
+  MigrationStage stage = MigrationStage::kPlanned;
+  bool paused = false;  ///< Currently waiting out an open breaker.
+  Status error;         ///< Why the migration aborted (OK otherwise).
+  MigrationMetricsSnapshot metrics;
+
+  std::string ToString() const;
+};
+
+/// Executes one MigrationSpec against a serving QueryServer while the old
+/// layout keeps answering:
+///
+///  * Planned: validates the spec, registers the target as a *shadow*
+///    fragment (invisible to the planner — no epoch bump), creates its
+///    empty container, subscribes to the server's update events, and
+///    snapshots the target view over staging.
+///  * Backfilling: appends the snapshot in throttled batches, each under
+///    a short exclusive-lock window; pauses while the target store's
+///    circuit breaker is open and retries kUnavailable appends.
+///  * CatchingUp: replays update deltas that landed during the backfill
+///    through the incremental-maintenance delta rule (deletions and text
+///    targets schedule a full rebuild instead).
+///  * Verifying/CutOver: one exclusive-lock section replays the residual
+///    deltas, set-compares the target container against the staging
+///    truth, and activates the shadow — the catalog-epoch bump that
+///    atomically invalidates every cached plan of the old layout.
+///  * Retired: drops the retired source fragments (the exclusive-lock
+///    acquisition is the drain: in-flight readers finish first).
+///
+/// Abort() rolls back from any pre-Retired stage; the old layout is
+/// untouched until cutover, so rollback is dropping the shadow (or, from
+/// kCutOver, dropping the just-activated target — the sources still
+/// exist). Any non-retryable error during Run() triggers the same
+/// rollback. Thread-safe: Run/RunUntil on one thread, Abort/status from
+/// any other.
+class MigrationEngine {
+ public:
+  MigrationEngine(runtime::QueryServer* server, MigrationSpec spec,
+                  MigrationOptions options = {});
+  ~MigrationEngine();
+
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+
+  /// Drives the state machine to kRetired. Returns OK on success, the
+  /// triggering error after an automatic rollback, or kAborted when
+  /// Abort() interrupted the run.
+  Status Run();
+
+  /// Advances until `stage` is the current stage (deterministic test
+  /// hook: RunUntil(kCatchingUp) stops with the backfill done and the
+  /// catch-up pending). Fails if the migration terminates first.
+  Status RunUntil(MigrationStage stage);
+
+  /// Requests an abort and rolls back. Blocks until any in-flight stage
+  /// transition yields (batch boundaries poll the request). Idempotent;
+  /// fails with kFailedPrecondition once the migration retired.
+  Status Abort();
+
+  MigrationStatus status() const;
+  const MigrationSpec& spec() const { return spec_; }
+
+ private:
+  /// One stage transition; step_mu_ held.
+  Status StepLocked();
+  Status StepPlan();
+  Status StepBackfill();
+  Status StepCatchUp();
+  Status StepCutOver();
+  Status StepRetire();
+  /// Rollback + transition to kAborted; step_mu_ held.
+  void AbortLocked(Status cause);
+  void DetachListener();
+
+  /// Sleeps while the target store's breaker is open (counts one pause
+  /// per episode); returns early when an abort is requested.
+  void PauseWhileBreakerOpen();
+  /// Runs `op` with the kUnavailable retry/pause envelope, feeding the
+  /// target store's breaker with the outcomes.
+  Status RetryTargetOp(const std::function<Status()>& op);
+
+  /// Replays the frozen delta backlog (exclusive lock held via `sys`):
+  /// rebuild when flagged, delta-rule append otherwise. `max_rows` > 0
+  /// caps how many deltas one call replays — chunking bounds the fault
+  /// exposure of each attempt under chaos (an all-or-nothing replay of a
+  /// long backlog would never succeed at a 10% read-fault rate); 0 = all.
+  /// Idempotent under retries — the backlog is only consumed on success.
+  Status DrainDeltasLocked(Estocada* sys, size_t max_rows);
+
+  runtime::QueryServer* server_;
+  MigrationSpec spec_;
+  MigrationOptions options_;
+  std::string target_;  ///< Target fragment name; empty when drop-only.
+
+  /// Serializes stage transitions and rollback.
+  std::mutex step_mu_;
+  std::atomic<MigrationStage> stage_{MigrationStage::kPlanned};
+  std::atomic<bool> abort_requested_{false};
+  std::atomic<bool> paused_{false};
+  bool shadow_defined_ = false;  ///< step_mu_ held.
+  uint64_t listener_token_ = 0;  ///< step_mu_ held; 0 = detached.
+
+  /// Terminal error (step_mu_-independent so status() never blocks on a
+  /// long-running stage).
+  mutable std::mutex error_mu_;
+  Status error_;
+
+  /// Update-delta log fed by the server's update listener (which runs
+  /// under the server's exclusive lock). Lock order: server mu_ before
+  /// delta_mu_ — the engine only takes delta_mu_ inside WithAdminLock
+  /// sections or alone, never the other way around.
+  mutable std::mutex delta_mu_;
+  std::vector<std::pair<std::string, engine::Row>> deltas_;
+  bool needs_rebuild_ = false;
+
+  /// Relations of the target view (set before the listener attaches,
+  /// immutable afterwards).
+  std::set<std::string> view_relations_;
+
+  /// Backfill state (only touched by the Run thread).
+  std::vector<engine::Row> snapshot_;
+  size_t backfill_pos_ = 0;
+  std::chrono::steady_clock::time_point backfill_start_;
+
+  struct Metrics {
+    std::atomic<uint64_t> rows_copied{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> throttle_stalls{0};
+    std::atomic<uint64_t> deltas_captured{0};
+    std::atomic<uint64_t> deltas_replayed{0};
+    std::atomic<uint64_t> catchup_rounds{0};
+    std::atomic<uint64_t> rebuilds{0};
+    std::atomic<uint64_t> target_retries{0};
+    std::atomic<uint64_t> breaker_pauses{0};
+    std::atomic<uint64_t> cutover_epoch{0};
+  };
+  mutable Metrics metrics_;
+};
+
+/// Start/status/abort front of the migration engine for a QueryServer:
+/// each Start spawns a worker thread running a MigrationEngine, so the
+/// server keeps serving while layouts change underneath it.
+class MigrationManager {
+ public:
+  explicit MigrationManager(runtime::QueryServer* server);
+  /// Joins every worker (in-flight migrations are aborted).
+  ~MigrationManager();
+
+  MigrationManager(const MigrationManager&) = delete;
+  MigrationManager& operator=(const MigrationManager&) = delete;
+
+  /// Launches a migration; returns its id immediately.
+  Result<uint64_t> Start(MigrationSpec spec, MigrationOptions options = {});
+
+  /// Convenience: lifts advisor advice into a spec and starts it.
+  Result<uint64_t> StartRecommendation(const advisor::Recommendation& rec,
+                                       MigrationOptions options = {});
+
+  Result<MigrationStatus> GetStatus(uint64_t id) const;
+
+  /// Requests rollback of a running migration.
+  Status Abort(uint64_t id);
+
+  /// Blocks until the migration terminates; returns its final status.
+  Result<MigrationStatus> Wait(uint64_t id);
+
+  /// (id, status) of every migration ever started, in id order.
+  std::vector<std::pair<uint64_t, MigrationStatus>> List() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<MigrationEngine> engine;
+    std::thread worker;
+    std::atomic<bool> done{false};
+  };
+
+  Result<Entry*> Find(uint64_t id) const;
+
+  runtime::QueryServer* server_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::unique_ptr<Entry>> entries_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace estocada::migration
+
+#endif  // ESTOCADA_MIGRATION_MIGRATION_H_

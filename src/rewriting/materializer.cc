@@ -1,5 +1,6 @@
 #include "rewriting/materializer.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <unordered_set>
@@ -171,7 +172,43 @@ Status LoadText(stores::TextStore* store, const StorageDescriptor& desc,
   return Status::OK();
 }
 
+/// Dispatches a Load* call for the store kind (creation + bulk load +
+/// indexes). `rows` may be empty: the container is then created with
+/// open column types, ready for AppendToFragment.
+Status LoadFragment(const StoreHandle& store, const StorageDescriptor& desc,
+                    const std::vector<Row>& rows,
+                    const std::vector<std::string>& columns, size_t arity) {
+  switch (store.kind) {
+    case StoreKind::kRelational:
+      return LoadRelational(store.relational, desc, rows, columns);
+    case StoreKind::kKeyValue:
+      return LoadKeyValue(store.kv, desc, rows);
+    case StoreKind::kDocument:
+      return LoadDocument(store.document, desc, rows);
+    case StoreKind::kParallel:
+      return LoadParallel(store.parallel, desc, rows, arity);
+    case StoreKind::kText:
+      return LoadText(store.text, desc, rows, arity);
+  }
+  return Status::Internal("unknown store kind");
+}
+
 }  // namespace
+
+Status CreateFragmentContainer(Catalog* catalog,
+                               const std::string& fragment_name) {
+  ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
+                            catalog->GetMutableFragment(fragment_name));
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(desc->store_name));
+  const size_t arity = desc->view.arity();
+  std::vector<std::string> columns = catalog::FragmentColumnNames(desc->view);
+  ESTOCADA_RETURN_NOT_OK(LoadFragment(*store, *desc, {}, columns, arity));
+  desc->stats = FragmentStatistics{};
+  desc->stats.distinct.assign(arity, 0);
+  desc->list_column.assign(arity, false);
+  return Status::OK();
+}
 
 Status MaterializeFragment(const StagingData& staging, Catalog* catalog,
                            const std::string& fragment_name) {
@@ -186,26 +223,7 @@ Status MaterializeFragment(const StagingData& staging, Catalog* catalog,
       EvaluateCqOverStaging(desc->view.query, staging, {}, true));
   const size_t arity = desc->view.arity();
   std::vector<std::string> columns = catalog::FragmentColumnNames(desc->view);
-
-  switch (store->kind) {
-    case StoreKind::kRelational:
-      ESTOCADA_RETURN_NOT_OK(
-          LoadRelational(store->relational, *desc, rows, columns));
-      break;
-    case StoreKind::kKeyValue:
-      ESTOCADA_RETURN_NOT_OK(LoadKeyValue(store->kv, *desc, rows));
-      break;
-    case StoreKind::kDocument:
-      ESTOCADA_RETURN_NOT_OK(LoadDocument(store->document, *desc, rows));
-      break;
-    case StoreKind::kParallel:
-      ESTOCADA_RETURN_NOT_OK(LoadParallel(store->parallel, *desc, rows,
-                                          arity));
-      break;
-    case StoreKind::kText:
-      ESTOCADA_RETURN_NOT_OK(LoadText(store->text, *desc, rows, arity));
-      break;
-  }
+  ESTOCADA_RETURN_NOT_OK(LoadFragment(*store, *desc, rows, columns, arity));
   desc->stats = ComputeStatistics(rows, arity);
   desc->list_column.assign(arity, false);
   for (const Row& row : rows) {
@@ -285,12 +303,336 @@ Status AppendRowsToFragment(const StoreHandle& store,
 
 }  // namespace
 
+Status AppendToFragment(Catalog* catalog, const std::string& fragment_name,
+                        const std::vector<Row>& rows) {
+  if (rows.empty()) return Status::OK();
+  ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
+                            catalog->GetMutableFragment(fragment_name));
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(desc->store_name));
+  const size_t arity = desc->view.arity();
+  for (const Row& row : rows) {
+    if (row.size() != arity) {
+      return Status::InvalidArgument(
+          StrCat("fragment '", fragment_name, "' has arity ", arity,
+                 "; cannot append a row of ", row.size(), " values"));
+    }
+  }
+  if (desc->list_column.size() < arity) desc->list_column.resize(arity, false);
+  for (const Row& row : rows) {
+    for (size_t c = 0; c < arity; ++c) {
+      if (row[c].is_list()) desc->list_column[c] = true;
+    }
+  }
+  return AppendRowsToFragment(*store, desc, rows);
+}
+
+Result<std::vector<Row>> ReadFragmentRows(const Catalog& catalog,
+                                          const std::string& fragment_name) {
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog.GetFragment(fragment_name));
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog.GetStore(desc->store_name));
+  const size_t arity = desc->view.arity();
+  std::vector<Row> out;
+  switch (store->kind) {
+    case StoreKind::kRelational: {
+      ESTOCADA_ASSIGN_OR_RETURN(out, store->relational->Scan(desc->container));
+      // Undo the list-to-JSON-text flattening of the load layout.
+      for (Row& row : out) {
+        for (size_t c = 0; c < row.size() && c < desc->list_column.size();
+             ++c) {
+          if (!desc->list_column[c] || !row[c].is_string()) continue;
+          ESTOCADA_ASSIGN_OR_RETURN(json::JsonValue parsed,
+                                    json::Parse(row[c].string_value()));
+          row[c] = Value::FromJson(parsed);
+        }
+      }
+      return out;
+    }
+    case StoreKind::kKeyValue: {
+      ESTOCADA_ASSIGN_OR_RETURN(auto pairs, store->kv->Scan(desc->container));
+      for (const auto& [key, payload] : pairs) {
+        ESTOCADA_ASSIGN_OR_RETURN(json::JsonValue parsed,
+                                  json::Parse(payload));
+        Value rows_value = Value::FromJson(parsed);
+        if (!rows_value.is_list()) {
+          return Status::Internal("corrupt KV fragment payload");
+        }
+        for (const Value& row_value : rows_value.list()) {
+          if (!row_value.is_list() || row_value.list().size() != arity) {
+            return Status::Internal("corrupt KV fragment row");
+          }
+          out.emplace_back(row_value.list().begin(), row_value.list().end());
+        }
+      }
+      return out;
+    }
+    case StoreKind::kDocument: {
+      ESTOCADA_ASSIGN_OR_RETURN(auto docs,
+                                store->document->Find(desc->container, {}));
+      for (const json::JsonValue& doc : docs) {
+        Row row;
+        row.reserve(arity);
+        for (size_t c = 0; c < arity; ++c) {
+          const json::JsonValue* field = doc.Find(StrCat("f", c));
+          if (field == nullptr) {
+            return Status::Internal(
+                StrCat("document fragment '", fragment_name,
+                       "' misses field f", c));
+          }
+          row.push_back(Value::FromJson(*field));
+        }
+        out.push_back(std::move(row));
+      }
+      return out;
+    }
+    case StoreKind::kParallel:
+      return store->parallel->ParallelScan(desc->container, nullptr);
+    case StoreKind::kText:
+      return Status::Unsupported(
+          "text fragments fuse terms per document; row readback is lossy — "
+          "use VerifyFragmentAgainstRows");
+  }
+  return Status::Internal("unknown store kind");
+}
+
+namespace {
+
+/// JSON text round trip of a value — exactly what the kv/relational load
+/// layouts put a value through, so expected-side rows canonicalize to the
+/// representation a correct container reads back as.
+Result<Value> JsonTextRoundTrip(const Value& v) {
+  ESTOCADA_ASSIGN_OR_RETURN(json::JsonValue parsed,
+                            json::Parse(v.ToJson().Serialize()));
+  return Value::FromJson(parsed);
+}
+
+/// Canonicalizes one expected view row for set comparison against
+/// ReadFragmentRows output of a `kind` container.
+Result<Row> CanonRowForKind(StoreKind kind, const Row& row) {
+  switch (kind) {
+    case StoreKind::kRelational: {
+      // Only list columns go through JSON text (FlattenForRelational).
+      Row out;
+      out.reserve(row.size());
+      for (const Value& v : row) {
+        if (v.is_list()) {
+          ESTOCADA_ASSIGN_OR_RETURN(Value rt, JsonTextRoundTrip(v));
+          out.push_back(std::move(rt));
+        } else {
+          out.push_back(v);
+        }
+      }
+      return out;
+    }
+    case StoreKind::kKeyValue: {
+      ESTOCADA_ASSIGN_OR_RETURN(Value rt,
+                                JsonTextRoundTrip(Value::List(row)));
+      if (!rt.is_list()) return Status::Internal("row round trip lost shape");
+      return Row(rt.list().begin(), rt.list().end());
+    }
+    case StoreKind::kDocument: {
+      // The document store keeps JsonValues in memory (no text step).
+      Row out;
+      out.reserve(row.size());
+      for (const Value& v : row) out.push_back(Value::FromJson(v.ToJson()));
+      return out;
+    }
+    case StoreKind::kParallel:
+    case StoreKind::kText:
+      return row;
+  }
+  return Status::Internal("unknown store kind");
+}
+
+/// Text fragments verify in per-document token space: both sides reduce
+/// to {doc id -> sorted multiset of whitespace tokens}.
+Status VerifyTextFragment(const StoreHandle& store,
+                          const StorageDescriptor& desc,
+                          const std::vector<Row>& expected_rows) {
+  auto tokens_of = [](const std::string& text) {
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char ch : text) {
+      if (ch == ' ') {
+        if (!cur.empty()) toks.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur += ch;
+      }
+    }
+    if (!cur.empty()) toks.push_back(std::move(cur));
+    std::sort(toks.begin(), toks.end());
+    return toks;
+  };
+  // Expected side, via the same grouping the text load layout applies.
+  std::map<std::string, std::string> text_per_doc;
+  for (const Row& row : expected_rows) {
+    if (row.size() != 2) {
+      return Status::InvalidArgument("text fragment rows must be binary");
+    }
+    std::string id = row[0].ToJson().Serialize();
+    std::string term =
+        row[1].is_string() ? row[1].string_value() : row[1].ToString();
+    std::string& text = text_per_doc[id];
+    if (!text.empty()) text += ' ';
+    text += term;
+  }
+  ESTOCADA_ASSIGN_OR_RETURN(size_t count,
+                            store.text->DocumentCount(desc.container));
+  if (count != text_per_doc.size()) {
+    return Status::FailedPrecondition(
+        StrCat("text fragment '", desc.name(), "' holds ", count,
+               " documents, expected ", text_per_doc.size()));
+  }
+  for (const auto& [id, text] : text_per_doc) {
+    ESTOCADA_ASSIGN_OR_RETURN(auto fields,
+                              store.text->GetDocument(desc.container, id));
+    auto it = fields.find("text");
+    if (it == fields.end() || tokens_of(it->second) != tokens_of(text)) {
+      return Status::FailedPrecondition(
+          StrCat("text fragment '", desc.name(), "' document ", id,
+                 " diverges from the staging truth"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status VerifyFragmentAgainstRows(const Catalog& catalog,
+                                 const std::string& fragment_name,
+                                 const std::vector<Row>& expected_rows) {
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog.GetFragment(fragment_name));
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog.GetStore(desc->store_name));
+  if (store->kind == StoreKind::kText) {
+    return VerifyTextFragment(*store, *desc, expected_rows);
+  }
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> actual,
+                            ReadFragmentRows(catalog, fragment_name));
+  std::set<std::string> actual_set;
+  for (const Row& row : actual) actual_set.insert(engine::RowToString(row));
+  std::set<std::string> expected_set;
+  for (const Row& row : expected_rows) {
+    ESTOCADA_ASSIGN_OR_RETURN(Row canon, CanonRowForKind(store->kind, row));
+    expected_set.insert(engine::RowToString(canon));
+  }
+  for (const std::string& r : expected_set) {
+    if (!actual_set.count(r)) {
+      return Status::FailedPrecondition(
+          StrCat("fragment '", fragment_name, "' misses expected row ", r,
+                 " (", actual_set.size(), " stored vs ", expected_set.size(),
+                 " expected distinct rows)"));
+    }
+  }
+  for (const std::string& r : actual_set) {
+    if (!expected_set.count(r)) {
+      return Status::FailedPrecondition(
+          StrCat("fragment '", fragment_name, "' holds extra row ", r,
+                 " absent from the staging truth"));
+    }
+  }
+  return Status::OK();
+}
+
+Status MaintainOneFragmentOnInsertBatch(
+    const StagingData& staging, Catalog* catalog,
+    const std::string& fragment_name,
+    const std::vector<std::pair<std::string, Row>>& new_rows) {
+  ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
+                            catalog->GetMutableFragment(fragment_name));
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(desc->store_name));
+  bool affected = false;
+  for (const pivot::Atom& a : desc->view.query.body) {
+    for (const auto& [relation, row] : new_rows) {
+      if (a.relation == relation) {
+        affected = true;
+        break;
+      }
+    }
+    if (affected) break;
+  }
+  if (!affected) return Status::OK();
+  if (store->kind == StoreKind::kText) {
+    // Per-document postings are immutable in the text store: rebuild.
+    ESTOCADA_RETURN_NOT_OK(DematerializeFragment(catalog, fragment_name));
+    return MaterializeFragment(staging, catalog, fragment_name);
+  }
+  // Delta rule: for each new tuple and each occurrence of its relation
+  // in the view body, evaluate the view with that atom pinned to the
+  // tuple. Deduplicate across all pins of the batch: several staged
+  // rows of one logical update (e.g. one document's path facts) derive
+  // the same view row.
+  std::vector<Row> delta;
+  std::unordered_set<size_t> seen_hashes;
+  const pivot::ConjunctiveQuery& view = desc->view.query;
+  for (const auto& [relation, new_row] : new_rows) {
+    for (size_t occ = 0; occ < view.body.size(); ++occ) {
+      if (view.body[occ].relation != relation) continue;
+      // Unify the occurrence's terms with the new row.
+      pivot::Substitution pin;
+      bool consistent = true;
+      for (size_t i = 0; i < view.body[occ].terms.size() && consistent;
+           ++i) {
+        const pivot::Term& t = view.body[occ].terms[i];
+        if (new_row[i].is_list()) {
+          // Pivot constants are scalar: a list pinned as its JSON text
+          // would never match the staged list value, silently dropping
+          // the delta. Leave the position unpinned instead — the
+          // evaluation returns a superset of the delta, which is sound
+          // under set semantics (re-appending a stored row is a no-op
+          // for query answers).
+          if (t.is_constant()) consistent = false;
+          continue;
+        }
+        pivot::Term value = pivot::Term::Const(new_row[i].ToConstant());
+        if (t.is_constant()) {
+          consistent = (t == value);
+        } else if (t.is_variable()) {
+          auto [it, fresh] = pin.emplace(t.var_name(), value);
+          if (!fresh) consistent = (it->second == value);
+        }
+      }
+      if (!consistent) continue;
+      pivot::ConjunctiveQuery pinned;
+      pinned.name = view.name;
+      pinned.body = ApplySubstitution(pin, view.body);
+      for (const pivot::Term& h : view.head) {
+        pinned.head.push_back(ApplySubstitution(pin, h));
+      }
+      ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                                EvaluateCqOverStaging(pinned, staging));
+      for (Row& row : rows) {
+        if (seen_hashes.insert(engine::RowHash()(row)).second) {
+          delta.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  if (delta.empty()) return Status::OK();
+  for (size_t c = 0; c < desc->view.arity(); ++c) {
+    for (const Row& row : delta) {
+      if (row[c].is_list() && c < desc->list_column.size()) {
+        desc->list_column[c] = true;
+      }
+    }
+  }
+  return AppendRowsToFragment(*store, desc, delta);
+}
+
 Status MaintainFragmentsOnInsertBatch(
     const StagingData& staging, Catalog* catalog,
     const std::vector<std::pair<std::string, Row>>& new_rows) {
   // Collect affected fragment names first (iteration + mutation safety).
+  // Shadow fragments are excluded: their deltas are captured and replayed
+  // by the migration engine's catch-up stage.
   std::vector<std::string> affected;
   for (const auto& [name, desc] : catalog->fragments()) {
+    if (desc.is_shadow()) continue;
     bool hit = false;
     for (const pivot::Atom& a : desc.view.query.body) {
       for (const auto& [relation, row] : new_rows) {
@@ -304,66 +646,8 @@ Status MaintainFragmentsOnInsertBatch(
     if (hit) affected.push_back(name);
   }
   for (const std::string& name : affected) {
-    ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
-                              catalog->GetMutableFragment(name));
-    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                              catalog->GetStore(desc->store_name));
-    if (store->kind == StoreKind::kText) {
-      // Per-document postings are immutable in the text store: rebuild.
-      ESTOCADA_RETURN_NOT_OK(DematerializeFragment(catalog, name));
-      ESTOCADA_RETURN_NOT_OK(MaterializeFragment(staging, catalog, name));
-      continue;
-    }
-    // Delta rule: for each new tuple and each occurrence of its relation
-    // in the view body, evaluate the view with that atom pinned to the
-    // tuple. Deduplicate across all pins of the batch: several staged
-    // rows of one logical update (e.g. one document's path facts) derive
-    // the same view row.
-    std::vector<Row> delta;
-    std::unordered_set<size_t> seen_hashes;
-    const pivot::ConjunctiveQuery& view = desc->view.query;
-    for (const auto& [relation, new_row] : new_rows) {
-      for (size_t occ = 0; occ < view.body.size(); ++occ) {
-        if (view.body[occ].relation != relation) continue;
-        // Unify the occurrence's terms with the new row.
-        pivot::Substitution pin;
-        bool consistent = true;
-        for (size_t i = 0; i < view.body[occ].terms.size() && consistent;
-             ++i) {
-          const pivot::Term& t = view.body[occ].terms[i];
-          pivot::Term value = pivot::Term::Const(new_row[i].ToConstant());
-          if (t.is_constant()) {
-            consistent = (t == value);
-          } else if (t.is_variable()) {
-            auto [it, fresh] = pin.emplace(t.var_name(), value);
-            if (!fresh) consistent = (it->second == value);
-          }
-        }
-        if (!consistent) continue;
-        pivot::ConjunctiveQuery pinned;
-        pinned.name = view.name;
-        pinned.body = ApplySubstitution(pin, view.body);
-        for (const pivot::Term& h : view.head) {
-          pinned.head.push_back(ApplySubstitution(pin, h));
-        }
-        ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                                  EvaluateCqOverStaging(pinned, staging));
-        for (Row& row : rows) {
-          if (seen_hashes.insert(engine::RowHash()(row)).second) {
-            delta.push_back(std::move(row));
-          }
-        }
-      }
-    }
-    if (delta.empty()) continue;
-    for (size_t c = 0; c < desc->view.arity(); ++c) {
-      for (const Row& row : delta) {
-        if (row[c].is_list() && c < desc->list_column.size()) {
-          desc->list_column[c] = true;
-        }
-      }
-    }
-    ESTOCADA_RETURN_NOT_OK(AppendRowsToFragment(*store, desc, delta));
+    ESTOCADA_RETURN_NOT_OK(
+        MaintainOneFragmentOnInsertBatch(staging, catalog, name, new_rows));
   }
   return Status::OK();
 }

@@ -28,6 +28,43 @@ Status MaterializeFragment(const StagingData& staging,
                            catalog::Catalog* catalog,
                            const std::string& fragment_name);
 
+/// Creates the fragment's *empty* physical container (plus the indexes
+/// implied by its adornments and index_positions) without evaluating the
+/// view. The online-migration backfill uses this to open a shadow target
+/// it then fills in throttled batches via AppendToFragment. Column types
+/// stay open (kAny) until rows arrive.
+Status CreateFragmentContainer(catalog::Catalog* catalog,
+                               const std::string& fragment_name);
+
+/// Appends already-computed view rows to a fragment's physical container
+/// in the store's native layout, updating row-count statistics and list-
+/// column flags. Text fragments cannot be appended to (per-document
+/// postings are immutable): returns kUnsupported — rebuild instead.
+Status AppendToFragment(catalog::Catalog* catalog,
+                        const std::string& fragment_name,
+                        const std::vector<engine::Row>& rows);
+
+/// Reads a fragment's physical container back into pivot-space view rows
+/// (the inverse of the per-kind load layouts; relational list columns are
+/// parsed back from their JSON text). Order is unspecified and duplicates
+/// appended by incremental maintenance are preserved. Text fragments are
+/// not reconstructible row-by-row (terms are fused into per-document
+/// token streams): returns kUnsupported — use VerifyFragmentAgainstRows.
+Result<std::vector<engine::Row>> ReadFragmentRows(
+    const catalog::Catalog& catalog, const std::string& fragment_name);
+
+/// Set-compares a fragment's physical content against `expected_rows`
+/// (normally the fragment view evaluated over staging — the ground
+/// truth). Comparison happens after the store's own serialization round
+/// trip, so a correctly loaded fragment always verifies even for values
+/// that JSON canonicalizes. Duplicates on either side are ignored (set
+/// semantics). Works for all five store kinds, including text (compared
+/// in per-document token space). Returns OK iff they match; a
+/// kFailedPrecondition status describes the first divergence otherwise.
+Status VerifyFragmentAgainstRows(const catalog::Catalog& catalog,
+                                 const std::string& fragment_name,
+                                 const std::vector<engine::Row>& expected_rows);
+
 /// Drops the fragment's physical container from its store (inverse of
 /// materialization), leaving the descriptor in place; used by the advisor
 /// when re-organizing. DropFragment on the catalog removes the
@@ -53,8 +90,19 @@ Status MaintainFragmentsOnInsert(const StagingData& staging,
 /// Batch form: one logical update that staged several tuples (e.g. one
 /// document's path facts). Deltas are deduplicated across the batch so a
 /// view row derivable from several of the new tuples is appended once.
+/// Shadow fragments are skipped: the migration engine replays their
+/// deltas itself (via MaintainOneFragmentOnInsertBatch) during catch-up.
 Status MaintainFragmentsOnInsertBatch(
     const StagingData& staging, catalog::Catalog* catalog,
+    const std::vector<std::pair<std::string, engine::Row>>& new_rows);
+
+/// Per-fragment core of the batch maintenance: applies the delta rule for
+/// `new_rows` to exactly one fragment (rebuilding it when it lives in a
+/// text store). The migration engine's catch-up stage replays captured
+/// update deltas through this against its shadow target.
+Status MaintainOneFragmentOnInsertBatch(
+    const StagingData& staging, catalog::Catalog* catalog,
+    const std::string& fragment_name,
     const std::vector<std::pair<std::string, engine::Row>>& new_rows);
 
 }  // namespace estocada::rewriting

@@ -239,13 +239,56 @@ Status QueryServer::ApplyRecommendation(const advisor::Recommendation& rec) {
 
 Status QueryServer::InsertRow(const std::string& relation, engine::Row row) {
   std::unique_lock lock(mu_);
-  return system_->InsertRow(relation, std::move(row));
+  UpdateEvent event{UpdateEvent::Kind::kInsert, relation, row};
+  ESTOCADA_RETURN_NOT_OK(system_->InsertRow(relation, std::move(row)));
+  NotifyUpdate(event);
+  return Status::OK();
 }
 
 Status QueryServer::DeleteRow(const std::string& relation,
                               const engine::Row& row) {
   std::unique_lock lock(mu_);
-  return system_->DeleteRow(relation, row);
+  ESTOCADA_RETURN_NOT_OK(system_->DeleteRow(relation, row));
+  NotifyUpdate(UpdateEvent{UpdateEvent::Kind::kDelete, relation, row});
+  return Status::OK();
+}
+
+Status QueryServer::WithAdminLock(
+    const std::function<Status(Estocada*)>& fn) {
+  std::unique_lock lock(mu_);
+  ESTOCADA_RETURN_NOT_OK(fn(system_));
+  // Cheap no-op unless fn dirtied the rewriter (e.g. a cutover).
+  return system_->PrepareRewriter();
+}
+
+Status QueryServer::WithReadLock(
+    const std::function<Status(const Estocada&)>& fn) {
+  std::shared_lock lock(mu_);
+  return fn(*system_);
+}
+
+uint64_t QueryServer::AddUpdateListener(UpdateListener listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  uint64_t token = next_listener_token_++;
+  listeners_.emplace(token, std::move(listener));
+  return token;
+}
+
+void QueryServer::RemoveUpdateListener(uint64_t token) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  listeners_.erase(token);
+}
+
+void QueryServer::NotifyUpdate(const UpdateEvent& event) {
+  std::vector<UpdateListener> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
+    snapshot.reserve(listeners_.size());
+    for (const auto& [token, listener] : listeners_) {
+      snapshot.push_back(listener);
+    }
+  }
+  for (const UpdateListener& listener : snapshot) listener(event);
 }
 
 std::vector<advisor::Recommendation> QueryServer::Advise(

@@ -1,6 +1,8 @@
 #ifndef ESTOCADA_RUNTIME_QUERY_SERVER_H_
 #define ESTOCADA_RUNTIME_QUERY_SERVER_H_
 
+#include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -103,6 +105,37 @@ class QueryServer {
   std::vector<advisor::Recommendation> Advise(
       const advisor::AdvisorOptions& options = {});
 
+  /// Runs `fn` against the wrapped facade under the exclusive lock, then
+  /// rebuilds the rewriter if `fn` dirtied it. The online migration
+  /// engine stages its shadow-fragment work through this: acquiring the
+  /// exclusive lock *is* the drain — every in-flight shared-lock query
+  /// completes first, and queries admitted afterwards observe whatever
+  /// epoch `fn` left behind. Keep `fn` short; the read path is stalled.
+  Status WithAdminLock(const std::function<Status(Estocada*)>& fn);
+
+  /// Runs `fn` under the shared lock, concurrently with the query path
+  /// (const access only — safe against everything but admin calls).
+  Status WithReadLock(const std::function<Status(const Estocada&)>& fn);
+
+  // --------------------------------------------------- Update events --
+  // Data updates routed through the server can be observed by listeners
+  // (the migration engine captures them as catch-up deltas for its
+  // shadow target). Listeners run under the exclusive lock, after the
+  // update succeeded and in registration order; they must be fast and
+  // must not call back into the server.
+
+  struct UpdateEvent {
+    enum class Kind { kInsert, kDelete };
+    Kind kind = Kind::kInsert;
+    std::string relation;
+    engine::Row row;
+  };
+  using UpdateListener = std::function<void(const UpdateEvent&)>;
+
+  /// Registers a listener; returns a token for RemoveUpdateListener.
+  uint64_t AddUpdateListener(UpdateListener listener);
+  void RemoveUpdateListener(uint64_t token);
+
   // ------------------------------------------------------ Introspection --
 
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
@@ -146,8 +179,16 @@ class QueryServer {
       const std::string& query_text,
       const std::map<std::string, engine::Value>& parameters);
 
+  /// Fires `event` at every registered listener (exclusive lock held).
+  void NotifyUpdate(const UpdateEvent& event);
+
   Estocada* system_;
   ServerOptions options_;
+  /// Update listeners (guarded by their own mutex: registration may race
+  /// the admin path).
+  std::mutex listeners_mu_;
+  std::map<uint64_t, UpdateListener> listeners_;
+  uint64_t next_listener_token_ = 1;
   /// Guards the Estocada facade: shared for the query path, exclusive for
   /// catalog/data changes and rewriter rebuilds.
   std::shared_mutex mu_;

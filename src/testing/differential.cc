@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "estocada/estocada.h"
+#include "migration/migration.h"
 #include "pacb/naive.h"
 #include "pacb/rewriter.h"
 #include "pivot/parser.h"
@@ -347,6 +348,90 @@ ScenarioOutcome CheckScenario(const Scenario& s,
     }
   }
 
+  // ---- (e) migration: answers invariant across live re-fragmentation. ----
+  if (options.check_migration) {
+    // Migration target: an identity view of one seed-chosen base relation
+    // (skipping access-pattern relations, whose free identity view cannot
+    // be snapshotted), built as a fresh relational fragment retiring
+    // nothing — semantics must be unchanged at every stage.
+    std::vector<const pivot::RelationSignature*> candidates;
+    for (const auto& [name, sig] : s.schema.relations()) {
+      if (!sig.HasAccessPattern() && sig.arity() > 0) {
+        candidates.push_back(&sig);
+      }
+    }
+    if (!candidates.empty()) {
+      const pivot::RelationSignature& rel =
+          *candidates[s.seed % candidates.size()];
+      std::string head, body;
+      for (size_t i = 0; i < rel.arity(); ++i) {
+        head += (i ? ", v" : "v") + std::to_string(i);
+      }
+      std::string view_text =
+          StrCat("F_mig(", head, ") :- ", rel.name, "(", head, ")");
+
+      Deployment mig;
+      if (Status st = mig.Build(s); !st.ok()) {
+        fail("setup", StrCat("migration deployment: ", st.ToString()));
+        return out;
+      }
+      runtime::ServerOptions sopts;
+      sopts.worker_threads = 1;
+      runtime::QueryServer server(&mig.sys, sopts);
+
+      auto check_all = [&](const char* when) {
+        for (size_t qi = 0; qi < s.queries.size(); ++qi) {
+          if (!oracles[qi].has_value()) continue;
+          const QuerySpec& qs = s.queries[qi];
+          auto res = server.Query(qs.text, qs.parameters);
+          if (!res.ok()) {
+            fail("migration-invariance",
+                 StrCat("query '", qs.text, "' ", when, " migration of ",
+                        rel.name, ": ", res.status().ToString()));
+            continue;
+          }
+          ++out.migration_checks;
+          if (Canon(res->rows) != *oracles[qi]) {
+            fail("migration-invariance",
+                 StrCat("query '", qs.text, "' ", when, " migration of ",
+                        rel.name, ": ",
+                        DiffRows(*oracles[qi], Canon(res->rows))));
+          }
+        }
+      };
+
+      auto vq = pivot::ParseQuery(view_text);
+      if (!vq.ok()) {
+        fail("setup", StrCat("migration view '", view_text,
+                             "': ", vq.status().ToString()));
+        return out;
+      }
+      migration::MigrationSpec spec;
+      spec.view.query = std::move(*vq);
+      spec.store_name = kRelationalStore;
+      migration::MigrationOptions mopts;
+      mopts.throttle.batch_rows = 3;  // Several backfill batches per run.
+      migration::MigrationEngine engine(&server, spec, mopts);
+
+      check_all("before");
+      if (Status st = engine.RunUntil(migration::MigrationStage::kCatchingUp);
+          !st.ok()) {
+        fail("migration-invariance",
+             StrCat("migration of ", rel.name,
+                    " failed to backfill: ", st.ToString()));
+      } else {
+        check_all("during");
+        if (Status st2 = engine.Run(); !st2.ok()) {
+          fail("migration-invariance",
+               StrCat("migration of ", rel.name,
+                      " failed to cut over: ", st2.ToString()));
+        } else {
+          check_all("after");
+        }
+      }
+    }
+  }
+
   return out;
 }
 
@@ -485,7 +570,8 @@ std::string SweepReport::Summary() const {
                 " queries, ", rewritings, " rewritings executed, ",
                 naive_comparisons, " naive-vs-PACB comparisons, ",
                 chase_checks, " chase checks, ", chaos_successes,
-                " chaos successes (", chaos_errors, " chaos errors)");
+                " chaos successes (", chaos_errors, " chaos errors), ",
+                migration_checks, " migration checks");
 }
 
 SweepReport RunSweep(uint64_t first_seed, size_t count,
@@ -502,6 +588,7 @@ SweepReport RunSweep(uint64_t first_seed, size_t count,
     sweep.chase_checks += rep.outcome.chase_checks;
     sweep.chaos_successes += rep.outcome.chaos_successes;
     sweep.chaos_errors += rep.outcome.chaos_errors;
+    sweep.migration_checks += rep.outcome.migration_checks;
     if (!rep.outcome.ok()) {
       ++sweep.failures;
       if (sweep.failed.size() < max_stored_failures) {

@@ -18,12 +18,16 @@ namespace estocada::testing {
 ///  (c) the chase is idempotent and invariant (up to homomorphic
 ///      equivalence) under atom/variable permutation of the query;
 ///  (d) under fault-injector chaos, the serving runtime's degradation
-///      ladder returns oracle-correct answers whenever it reports success.
+///      ladder returns oracle-correct answers whenever it reports success;
+///  (e) query answers are invariant before, during (backfilled shadow,
+///      pre-cutover), and after a seeded online migration — live
+///      re-fragmentation must be invisible to readers.
 struct HarnessOptions {
   bool check_rewritings = true;  ///< Invariant family (a).
   bool check_naive = true;       ///< Invariant family (b).
   bool check_chase = true;       ///< Invariant family (c).
   bool check_chaos = true;       ///< Invariant family (d).
+  bool check_migration = true;   ///< Invariant family (e).
   /// (b) is exponential in the universal plan; skip it beyond this size.
   size_t max_universal_plan_for_naive = 8;
   /// Subset-size cap fed to the naive enumeration; PACB rewritings above
@@ -41,8 +45,8 @@ struct HarnessOptions {
 
 /// One invariant violation. `invariant` is a stable family tag
 /// ("rewriting-oracle", "naive-vs-pacb", "chase-idempotence",
-/// "chase-permutation", "chaos-correctness", plus "setup" / "oracle" /
-/// "plan" / "generator" for harness-level breakage).
+/// "chase-permutation", "chaos-correctness", "migration-invariance", plus
+/// "setup" / "oracle" / "plan" / "generator" for harness-level breakage).
 struct Mismatch {
   std::string invariant;
   std::string detail;
@@ -57,6 +61,7 @@ struct ScenarioOutcome {
   size_t chase_checks = 0;         ///< Invariant (c) query checks.
   size_t chaos_successes = 0;      ///< Invariant (d) verified answers.
   size_t chaos_errors = 0;         ///< Chaos queries that reported failure.
+  size_t migration_checks = 0;     ///< Invariant (e) verified answers.
   size_t skipped_unanswerable = 0; ///< Queries with no rewriting (skipped).
   std::vector<Mismatch> mismatches;
 
@@ -106,6 +111,7 @@ struct SweepReport {
   size_t chase_checks = 0;
   size_t chaos_successes = 0;
   size_t chaos_errors = 0;
+  size_t migration_checks = 0;
   std::vector<SeedReport> failed;
 
   bool ok() const { return failures == 0; }

@@ -1,0 +1,101 @@
+/// Tests of the Storage Advisor's workload log: shape aggregation and the
+/// capacity cap with decay-on-evict (a long-running server must not grow
+/// the log without bound under a diverse workload).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "pivot/parser.h"
+
+namespace estocada::advisor {
+namespace {
+
+pivot::ConjunctiveQuery Q(const std::string& text) {
+  auto q = pivot::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status();
+  return *q;
+}
+
+pivot::ConjunctiveQuery Shape(int i) {
+  return Q("q(x) :- R" + std::to_string(i) + "(x, y)");
+}
+
+TEST(WorkloadLogTest, AggregatesByShapeUnderCapacity) {
+  WorkloadLog log(/*capacity=*/8);
+  log.Record(Q("q(x) :- R(x, $p)"), 10.0, {"F_a"});
+  log.Record(Q("out(u) :- R(u, $uid)"), 30.0, {"F_a", "F_b"});
+  auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 1u);  // Same shape up to renaming.
+  const WorkloadEntry& e = entries.begin()->second;
+  EXPECT_EQ(e.count, 2u);
+  EXPECT_DOUBLE_EQ(e.total_cost, 40.0);
+  EXPECT_EQ(log.FragmentUses("F_a"), 2u);
+  EXPECT_EQ(log.FragmentUses("F_b"), 1u);
+  EXPECT_EQ(log.decays(), 0u);
+}
+
+TEST(WorkloadLogTest, OverflowDecaysAndDropsOneOffShapes) {
+  WorkloadLog log(/*capacity=*/4);
+  // Two recurrent shapes...
+  for (int i = 0; i < 8; ++i) log.Record(Shape(0), 100.0, {"F_hot"});
+  for (int i = 0; i < 4; ++i) log.Record(Shape(1), 50.0, {});
+  // ... plus one-off shapes that push the log over capacity.
+  log.Record(Shape(2), 1.0, {});
+  log.Record(Shape(3), 1.0, {});
+  log.Record(Shape(4), 1.0, {});  // 5th distinct shape: overflow.
+  EXPECT_GE(log.decays(), 1u);
+  auto entries = log.Snapshot();
+  EXPECT_LE(entries.size(), 4u);
+  // The recurrent shapes survived the halving, the one-offs vanished.
+  std::string hot_key = WorkloadLog::ShapeKey(Shape(0));
+  ASSERT_EQ(entries.count(hot_key), 1u);
+  EXPECT_EQ(entries.at(hot_key).count, 4u);          // 8 / 2.
+  EXPECT_DOUBLE_EQ(entries.at(hot_key).total_cost, 400.0);  // 800 / 2.
+  // Earlier one-offs vanished; the newcomer itself is exempt from the
+  // decay that its own insert triggered, so it survives to accumulate.
+  EXPECT_EQ(entries.count(WorkloadLog::ShapeKey(Shape(2))), 0u);
+  EXPECT_EQ(entries.count(WorkloadLog::ShapeKey(Shape(3))), 0u);
+  ASSERT_EQ(entries.count(WorkloadLog::ShapeKey(Shape(4))), 1u);
+  EXPECT_EQ(entries.at(WorkloadLog::ShapeKey(Shape(4))).count, 1u);
+  // Mean cost is decay-invariant: the advisor's thresholds still apply.
+  EXPECT_DOUBLE_EQ(entries.at(hot_key).MeanCost(), 100.0);
+  EXPECT_EQ(log.FragmentUses("F_hot"), 4u);  // Halved with its entry.
+}
+
+TEST(WorkloadLogTest, RecurrentOverflowEvictsCheapestShapes) {
+  WorkloadLog log(/*capacity=*/2);
+  // Both resident shapes are recurrent enough to survive the halving, so
+  // capacity must be enforced by evicting the cheapest (by total cost).
+  for (int i = 0; i < 8; ++i) log.Record(Shape(0), 100.0, {});
+  for (int i = 0; i < 8; ++i) log.Record(Shape(1), 5.0, {});
+  log.Record(Shape(2), 50.0, {});  // Overflow: decay leaves 3 entries.
+  auto entries = log.Snapshot();
+  EXPECT_EQ(log.decays(), 1u);
+  ASSERT_EQ(entries.size(), 2u);
+  // Shape 1 (total cost 8*5/2 = 20) was the cheapest and got evicted;
+  // the expensive resident and the newcomer both survive.
+  EXPECT_EQ(entries.count(WorkloadLog::ShapeKey(Shape(0))), 1u);
+  EXPECT_EQ(entries.count(WorkloadLog::ShapeKey(Shape(1))), 0u);
+  EXPECT_EQ(entries.count(WorkloadLog::ShapeKey(Shape(2))), 1u);
+}
+
+TEST(WorkloadLogTest, ZeroCapacityDisablesTheCap) {
+  WorkloadLog log(/*capacity=*/0);
+  for (int i = 0; i < 64; ++i) log.Record(Shape(i), 1.0, {});
+  EXPECT_EQ(log.Snapshot().size(), 64u);
+  EXPECT_EQ(log.decays(), 0u);
+}
+
+TEST(WorkloadLogTest, ClearResetsEntries) {
+  WorkloadLog log;
+  log.Record(Shape(0), 1.0, {"F"});
+  log.Clear();
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.FragmentUses("F"), 0u);
+}
+
+}  // namespace
+}  // namespace estocada::advisor

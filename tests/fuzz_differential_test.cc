@@ -1,6 +1,6 @@
 /// Tier-1 entry point of the randomized differential-testing subsystem
 /// (src/testing): sweeps a few hundred generated scenarios through the
-/// staging oracle and the four metamorphic invariant families, plus unit
+/// staging oracle and the five metamorphic invariant families, plus unit
 /// tests of the scenario generator and the failure shrinker.
 ///
 /// Replay a failing seed directly:
@@ -34,12 +34,13 @@ void ExpectSweepClean(uint64_t first_seed) {
   EXPECT_EQ(sweep.failures, 0u) << sweep.Summary();
   EXPECT_EQ(sweep.scenarios, kSeedsPerShard);
   // Coverage: a sweep that silently skipped an invariant family would
-  // still "pass"; the counters prove all four families actually ran.
+  // still "pass"; the counters prove all five families actually ran.
   EXPECT_GT(sweep.queries, 0u);
   EXPECT_GT(sweep.rewritings, 0u) << "invariant (a) never executed";
   EXPECT_GT(sweep.naive_comparisons, 0u) << "invariant (b) never compared";
   EXPECT_GT(sweep.chase_checks, 0u) << "invariant (c) never checked";
   EXPECT_GT(sweep.chaos_successes, 0u) << "invariant (d) never succeeded";
+  EXPECT_GT(sweep.migration_checks, 0u) << "invariant (e) never checked";
 }
 
 TEST(FuzzDifferential, SweepShard1) { ExpectSweepClean(1); }
@@ -153,6 +154,7 @@ TEST(HarnessApi, OutcomeCountsAllFamilies) {
   EXPECT_GT(outcome.queries_checked, 0u);
   EXPECT_GT(outcome.rewritings_executed, 0u);
   EXPECT_GT(outcome.chase_checks, 0u);
+  EXPECT_GT(outcome.migration_checks, 0u);
 }
 
 TEST(HarnessApi, FamiliesCanBeDisabled) {
@@ -165,12 +167,14 @@ TEST(HarnessApi, FamiliesCanBeDisabled) {
   opts.check_naive = false;
   opts.check_chase = false;
   opts.check_chaos = false;
+  opts.check_migration = false;
   ScenarioOutcome outcome = CheckScenario(*s, opts);
   EXPECT_TRUE(outcome.ok());
   EXPECT_EQ(outcome.rewritings_executed, 0u);
   EXPECT_EQ(outcome.naive_comparisons, 0u);
   EXPECT_EQ(outcome.chase_checks, 0u);
   EXPECT_EQ(outcome.chaos_successes + outcome.chaos_errors, 0u);
+  EXPECT_EQ(outcome.migration_checks, 0u);
 }
 
 }  // namespace

@@ -461,6 +461,72 @@ TEST_F(QueryServerTest, ConcurrentQueriesAndCatalogChanges) {
   EXPECT_EQ(bad.load(), 0);
 }
 
+TEST_F(QueryServerTest, DropFragmentRacesCachedPlansWithoutWrongAnswers) {
+  QueryServer server(&sys_);
+  const char* text = workload::MarketplaceQueries::OrdersOfUser();
+  std::map<std::string, Value> params{{"$uid", Value::Int(2)}};
+  auto truth = sys_.EvaluateOverStaging(text, params);
+  ASSERT_TRUE(truth.ok());
+  std::set<std::string> expected = Canon(*truth);
+
+  // A redundant orders fragment keeps the query answerable once F_orders
+  // goes away mid-flight.
+  ASSERT_TRUE(server
+                  .DefineFragment(
+                      "F_orders_by_user(u, o, p, t) :- mk.orders(o, u, p, t)",
+                      "spark", {}, {0})
+                  .ok());
+  // Warm the cache: concurrent clients below start from a cached plan
+  // whose fragment the admin thread is about to drop.
+  ASSERT_TRUE(server.Query(text, params).ok());
+
+  std::atomic<int> bad{0};
+  std::atomic<bool> dropped{false};
+  std::atomic<int> used_dropped_after{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 30; ++i) {
+        // Sample the flag *before* issuing the query: an answer that was
+        // already in flight when the drop committed may legally carry the
+        // old plan, but a query issued after it must not.
+        bool after_drop = dropped.load(std::memory_order_acquire);
+        auto r = server.Query(text, params);
+        if (!r.ok() || Canon(r->rows) != expected) {
+          ++bad;
+          continue;
+        }
+        if (after_drop &&
+            r->rewriting_text.find("F_orders(") != std::string::npos) {
+          ++used_dropped_after;
+        }
+        // Brief think time so the admin's exclusive lock is not starved
+        // by the platform's reader-preferring rwlock.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    });
+  }
+  std::thread admin([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    EXPECT_TRUE(server.DropFragment("F_orders").ok());
+    dropped.store(true, std::memory_order_release);
+  });
+  for (auto& t : clients) t.join();
+  admin.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(used_dropped_after.load(), 0);
+  // The drop bumped the epoch, so the warmed entry was invalidated (or
+  // evicted wholesale) rather than served stale.
+  EXPECT_GE(server.cache_stats().invalidations +
+                server.metrics().cache_misses,
+            2u);
+  auto after = server.Query(text, params);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->rewriting_text.find("F_orders("), std::string::npos);
+  EXPECT_EQ(Canon(after->rows), expected);
+}
+
 TEST_F(QueryServerTest, SubmitRunsOnWorkerPool) {
   ServerOptions options;
   options.worker_threads = 4;
