@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "advisor/cost_model.h"
 #include "estocada/estocada.h"
 #include "workload/bigdata.h"
 #include "workload/marketplace.h"
@@ -22,13 +24,24 @@ struct MarketplaceSystem {
   stores::RelationalStore postgres;
   stores::KeyValueStore redis;
   stores::DocumentStore mongodb;
-  stores::ParallelStore spark{4};
+  stores::ParallelStore spark;
   stores::TextStore solr;
   Estocada sys;
 
+  /// `spark_profile` overrides the parallel store's cost profile — the
+  /// Autopilot bench's "cost model lies" leg deploys a spark that is far
+  /// more expensive than the advisor's blueprint believes.
+  explicit MarketplaceSystem(
+      stores::CostProfile spark_profile = advisor::CostModel::BlueprintProfile(
+          catalog::StoreKind::kParallel))
+      : spark(4, spark_profile) {}
+
   static std::unique_ptr<MarketplaceSystem> Create(
-      const workload::MarketplaceConfig& cfg) {
-    auto out = std::make_unique<MarketplaceSystem>();
+      const workload::MarketplaceConfig& cfg,
+      std::optional<stores::CostProfile> spark_profile = std::nullopt) {
+    auto out = spark_profile
+                   ? std::make_unique<MarketplaceSystem>(*spark_profile)
+                   : std::make_unique<MarketplaceSystem>();
     auto data = workload::GenerateMarketplace(cfg);
     if (!data.ok()) return nullptr;
     out->data = std::move(*data);
@@ -67,24 +80,48 @@ inline void BenchCheck(Status st, const char* what) {
   }
 }
 
-/// Runs `n` draws of the workload and returns the total simulated cost.
+/// Draws `n` queries of the workload mix as deterministic cost probes
+/// (same seed, same draws — the probe list is reproducible).
+inline std::vector<advisor::CostProbe> DrawWorkloadProbes(
+    const workload::MarketplaceData& data, const workload::WorkloadMix& mix,
+    int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<advisor::CostProbe> probes;
+  probes.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto q = workload::DrawQuery(data, mix, &rng);
+    probes.push_back({q.text, q.parameters});
+  }
+  return probes;
+}
+
+/// CostModel runner that executes against a bare Estocada facade and
+/// prices a probe at its simulated cost.
+inline advisor::CostModel::QueryRunner SimulatedCostRunner(Estocada* sys) {
+  return [sys](const std::string& text,
+               const std::map<std::string, engine::Value>& parameters)
+             -> Result<double> {
+    ESTOCADA_ASSIGN_OR_RETURN(Estocada::QueryResult r,
+                              sys->Query(text, parameters));
+    return r.simulated_cost();
+  };
+}
+
+/// Runs `n` draws of the workload and returns the total simulated cost
+/// (the measured half of advisor::CostModel, summed in draw order).
 inline double RunWorkloadCost(Estocada* sys,
                               const workload::MarketplaceData& data,
                               const workload::WorkloadMix& mix, int n,
                               uint64_t seed) {
-  Rng rng(seed);
-  double total = 0;
-  for (int i = 0; i < n; ++i) {
-    auto q = workload::DrawQuery(data, mix, &rng);
-    auto r = sys->Query(q.text, q.parameters);
-    if (!r.ok()) {
-      std::fprintf(stderr, "workload query failed: %s: %s\n", q.text.c_str(),
-                   r.status().ToString().c_str());
-      std::abort();
-    }
-    total += r->simulated_cost();
+  advisor::CostModel model(SimulatedCostRunner(sys));
+  Result<double> total =
+      model.TotalCost(DrawWorkloadProbes(data, mix, n, seed));
+  if (!total.ok()) {
+    std::fprintf(stderr, "workload probe failed: %s\n",
+                 total.status().ToString().c_str());
+    std::abort();
   }
-  return total;
+  return *total;
 }
 
 /// Accumulates key→value pairs and writes them as one flat JSON object to

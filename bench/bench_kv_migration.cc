@@ -117,15 +117,15 @@ BENCHMARK(BM_CartLookup)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 /// (deterministic, unlike the Zipf-sampled BM_CartLookup above).
 double CartLookupCost(MarketplaceSystem* m) {
   constexpr int kUids = 32;
-  double cost = 0;
+  std::vector<advisor::CostProbe> probes;
   for (int uid = 0; uid < kUids; ++uid) {
-    auto r = m->sys.Query(
-        workload::MarketplaceQueries::CartByUser(),
-        {{"$uid", engine::Value::Int(uid)}});
-    BenchCheck(r.ok() ? Status::OK() : r.status(), "cart lookup");
-    cost += r->simulated_cost();
+    probes.push_back({workload::MarketplaceQueries::CartByUser(),
+                      {{"$uid", engine::Value::Int(uid)}}});
   }
-  return cost / kUids;
+  advisor::CostModel model(SimulatedCostRunner(&m->sys));
+  Result<double> mean = model.MeanCost(probes);
+  BenchCheck(mean.ok() ? Status::OK() : mean.status(), "cart lookup");
+  return *mean;
 }
 
 void PrintSummary() {

@@ -51,14 +51,29 @@ std::string WorkloadLog::ShapeKey(const ConjunctiveQuery& query) {
 }
 
 void WorkloadLog::Record(const ConjunctiveQuery& query, double cost,
-                         const std::vector<std::string>& fragments_used) {
+                         const std::vector<std::string>& fragments_used,
+                         const std::map<std::string, engine::Value>& parameters,
+                         size_t rows_returned) {
   std::string key = ShapeKey(query);
   std::lock_guard<std::mutex> lock(mu_);
   WorkloadEntry& entry = entries_[key];
   if (entry.count == 0) entry.example = query;
   ++entry.count;
   entry.total_cost += cost;
+  entry.total_rows += static_cast<double>(rows_returned);
   for (const std::string& f : fragments_used) ++entry.fragments_used[f];
+  if (!parameters.empty()) {
+    // Bounded ring of recent bindings: the newest observation overwrites
+    // the oldest, so probes track workload drift.
+    if (entry.parameter_samples.size() < WorkloadEntry::kMaxParameterSamples) {
+      entry.parameter_samples.push_back(parameters);
+    } else {
+      entry.parameter_samples[entry.sample_cursor %
+                              WorkloadEntry::kMaxParameterSamples] =
+          parameters;
+    }
+    ++entry.sample_cursor;
+  }
   if (capacity_ > 0 && entries_.size() > capacity_) EnforceCapacityLocked(key);
 }
 
@@ -78,6 +93,7 @@ void WorkloadLog::EnforceCapacityLocked(const std::string& newcomer) {
     WorkloadEntry& e = it->second;
     e.count /= 2;
     e.total_cost /= 2;
+    e.total_rows /= 2;
     for (auto f = e.fragments_used.begin(); f != e.fragments_used.end();) {
       f->second /= 2;
       f = f->second == 0 ? e.fragments_used.erase(f) : std::next(f);
@@ -129,6 +145,78 @@ std::string Recommendation::ToString() const {
 }
 
 StorageAdvisor::StorageAdvisor(AdvisorOptions options) : options_(options) {}
+
+const char* PatternName(WorkloadPattern pattern) {
+  switch (pattern) {
+    case WorkloadPattern::kInsufficient: return "insufficient";
+    case WorkloadPattern::kLookupHeavy: return "lookup-heavy";
+    case WorkloadPattern::kJoinHeavy: return "join-heavy";
+    case WorkloadPattern::kMixed: return "mixed";
+  }
+  return "unknown";
+}
+
+std::string PatternSummary::ToString() const {
+  return StrCat(PatternName(pattern), " (lookup ",
+                static_cast<int>(lookup_cost_share * 100), "%, join ",
+                static_cast<int>(join_cost_share * 100), "% of cost over ",
+                total_count, " executions)");
+}
+
+namespace {
+
+/// Number of parameter positions in the body of `q`.
+size_t CountParams(const pivot::ConjunctiveQuery& q) {
+  size_t params = 0;
+  for (const pivot::Atom& a : q.body) {
+    for (const pivot::Term& t : a.terms) {
+      if (t.is_variable() && pacb::IsParameterVariable(t.var_name())) {
+        ++params;
+      }
+    }
+  }
+  return params;
+}
+
+bool IsLookupShape(const pivot::ConjunctiveQuery& q) {
+  return q.body.size() == 1 && CountParams(q) >= 1;
+}
+
+bool IsJoinShape(const pivot::ConjunctiveQuery& q) {
+  return q.body.size() >= 2;
+}
+
+}  // namespace
+
+PatternSummary ClassifyWorkload(
+    const std::map<std::string, WorkloadEntry>& entries,
+    const AdvisorOptions& options) {
+  PatternSummary out;
+  double total_cost = 0, lookup_cost = 0, join_cost = 0;
+  for (const auto& [key, entry] : entries) {
+    out.total_count += entry.count;
+    total_cost += entry.total_cost;
+    if (IsLookupShape(entry.example)) {
+      lookup_cost += entry.total_cost;
+    } else if (IsJoinShape(entry.example)) {
+      join_cost += entry.total_cost;
+    }
+  }
+  if (out.total_count < options.min_count || total_cost <= 0) {
+    out.pattern = WorkloadPattern::kInsufficient;
+    return out;
+  }
+  out.lookup_cost_share = lookup_cost / total_cost;
+  out.join_cost_share = join_cost / total_cost;
+  if (out.lookup_cost_share >= options.pattern_dominance) {
+    out.pattern = WorkloadPattern::kLookupHeavy;
+  } else if (out.join_cost_share >= options.pattern_dominance) {
+    out.pattern = WorkloadPattern::kJoinHeavy;
+  } else {
+    out.pattern = WorkloadPattern::kMixed;
+  }
+  return out;
+}
 
 namespace {
 
@@ -211,37 +299,80 @@ bool EquivalentFragmentExists(const catalog::Catalog& catalog,
 
 }  // namespace
 
-std::vector<Recommendation> StorageAdvisor::Recommend(
-    const catalog::Catalog& catalog, const WorkloadLog& log) const {
-  std::vector<Recommendation> out;
+namespace {
+
+/// Total uses of `fragment` across a log snapshot.
+size_t UsesInSnapshot(const std::map<std::string, WorkloadEntry>& entries,
+                      const std::string& fragment) {
+  size_t uses = 0;
+  for (const auto& [key, entry] : entries) {
+    auto it = entry.fragments_used.find(fragment);
+    if (it != entry.fragments_used.end()) uses += it->second;
+  }
+  return uses;
+}
+
+/// Replayable probes of one shape: the representative query text with
+/// each recorded parameter binding.
+std::vector<CostProbe> ProbesFor(const WorkloadEntry& entry) {
+  std::vector<CostProbe> probes;
+  std::string text = entry.example.ToString();
+  for (const auto& params : entry.parameter_samples) {
+    probes.push_back({text, params});
+  }
+  return probes;
+}
+
+}  // namespace
+
+std::vector<ScoredCandidate> StorageAdvisor::Candidates(
+    const catalog::Catalog& catalog,
+    const std::map<std::string, WorkloadEntry>& entries) const {
+  std::vector<ScoredCandidate> out;
+
+  // Dominance gating: with require_dominant_pattern, an ambiguous or
+  // under-observed mix yields *no* recommendation (the advisor must not
+  // coin-flip), and a dominant pattern restricts add candidates to its
+  // own family.
+  PatternSummary pattern = ClassifyWorkload(entries, options_);
+  if (options_.require_dominant_pattern &&
+      (pattern.pattern == WorkloadPattern::kMixed ||
+       pattern.pattern == WorkloadPattern::kInsufficient)) {
+    return out;
+  }
+  const bool allow_lookup =
+      !options_.require_dominant_pattern ||
+      pattern.pattern == WorkloadPattern::kLookupHeavy;
+  const bool allow_join = !options_.require_dominant_pattern ||
+                          pattern.pattern == WorkloadPattern::kJoinHeavy;
 
   // Heavy hitters, most expensive aggregate first.
-  std::vector<const WorkloadEntry*> heavy;
-  for (const auto& [key, entry] : log.entries()) {
+  std::vector<std::pair<const std::string*, const WorkloadEntry*>> heavy;
+  for (const auto& [key, entry] : entries) {
     if (entry.count >= options_.min_count &&
         entry.MeanCost() >= options_.min_mean_cost) {
-      heavy.push_back(&entry);
+      heavy.emplace_back(&key, &entry);
     }
   }
   std::sort(heavy.begin(), heavy.end(),
-            [](const WorkloadEntry* a, const WorkloadEntry* b) {
-              return a->total_cost > b->total_cost;
+            [](const auto& a, const auto& b) {
+              return a.second->total_cost > b.second->total_cost;
             });
 
+  auto evidence = [](ScoredCandidate* c, const std::string& key,
+                     const WorkloadEntry& entry) {
+    c->shape_key = key;
+    c->count = entry.count;
+    c->observed_mean_cost = entry.MeanCost();
+    c->observed_mean_rows = entry.MeanRows();
+    c->probes = ProbesFor(entry);
+  };
+
   size_t fresh_id = 0;
-  for (const WorkloadEntry* entry : heavy) {
+  for (const auto& [key, entry] : heavy) {
     if (out.size() >= options_.max_recommendations) break;
     const ConjunctiveQuery& q = entry->example;
-    // Count parameter positions.
-    size_t params = 0;
-    for (const Atom& a : q.body) {
-      for (const Term& t : a.terms) {
-        if (t.is_variable() && pacb::IsParameterVariable(t.var_name())) {
-          ++params;
-        }
-      }
-    }
-    if (q.body.size() == 1 && params >= 1) {
+    if (IsLookupShape(q) && allow_lookup) {
       // Key-lookup shape -> key-value fragment.
       auto store = FindStoreOfKind(catalog, catalog::StoreKind::kKeyValue);
       if (!store) continue;
@@ -251,15 +382,17 @@ std::vector<Recommendation> StorageAdvisor::Recommend(
                                    catalog::StoreKind::kKeyValue)) {
         continue;
       }
-      Recommendation rec;
-      rec.action = Recommendation::Action::kAddFragment;
-      rec.view = std::move(view);
-      rec.store_name = *store;
-      rec.rationale =
+      ScoredCandidate c;
+      c.rec.action = Recommendation::Action::kAddFragment;
+      c.rec.view = std::move(view);
+      c.rec.store_name = *store;
+      c.rec.rationale =
           StrCat("key-lookup shape, ", entry->count, " calls, mean cost ",
                  entry->MeanCost());
-      out.push_back(std::move(rec));
-    } else if (q.body.size() >= 2) {
+      c.store_kind = catalog::StoreKind::kKeyValue;
+      evidence(&c, *key, *entry);
+      out.push_back(std::move(c));
+    } else if (IsJoinShape(q) && allow_join) {
       // Join shape -> materialized join in a parallel store (fall back to
       // a relational store when no parallel store is registered).
       auto store = FindStoreOfKind(catalog, catalog::StoreKind::kParallel);
@@ -277,13 +410,16 @@ std::vector<Recommendation> StorageAdvisor::Recommend(
                                        : catalog::StoreKind::kRelational)) {
         continue;
       }
-      Recommendation rec;
-      rec.action = Recommendation::Action::kAddFragment;
-      rec.view = std::move(view);
-      rec.store_name = *store;
-      rec.rationale = StrCat("heavy join shape, ", entry->count,
-                             " calls, mean cost ", entry->MeanCost());
-      out.push_back(std::move(rec));
+      ScoredCandidate c;
+      c.rec.action = Recommendation::Action::kAddFragment;
+      c.rec.view = std::move(view);
+      c.rec.store_name = *store;
+      c.rec.rationale = StrCat("heavy join shape, ", entry->count,
+                               " calls, mean cost ", entry->MeanCost());
+      c.store_kind = parallel ? catalog::StoreKind::kParallel
+                              : catalog::StoreKind::kRelational;
+      evidence(&c, *key, *entry);
+      out.push_back(std::move(c));
     }
   }
 
@@ -292,10 +428,10 @@ std::vector<Recommendation> StorageAdvisor::Recommend(
   // still covered by some other fragment, so no query becomes
   // unanswerable). The redundancy check keeps the advisor from cutting
   // off future workload drift.
-  if (!log.entries().empty()) {
+  if (!entries.empty()) {
     for (const auto& [name, desc] : catalog.fragments()) {
       if (out.size() >= options_.max_recommendations) break;
-      if (log.FragmentUses(name) != 0) continue;
+      if (UsesInSnapshot(entries, name) != 0) continue;
       bool redundant = true;
       for (const Atom& a : desc.view.query.body) {
         bool covered_elsewhere = false;
@@ -315,12 +451,21 @@ std::vector<Recommendation> StorageAdvisor::Recommend(
         }
       }
       if (!redundant) continue;
-      Recommendation rec;
-      rec.action = Recommendation::Action::kDropFragment;
-      rec.fragment_name = name;
-      rec.rationale = "unused by every logged query plan, and redundant";
-      out.push_back(std::move(rec));
+      ScoredCandidate c;
+      c.rec.action = Recommendation::Action::kDropFragment;
+      c.rec.fragment_name = name;
+      c.rec.rationale = "unused by every logged query plan, and redundant";
+      out.push_back(std::move(c));
     }
+  }
+  return out;
+}
+
+std::vector<Recommendation> StorageAdvisor::Recommend(
+    const catalog::Catalog& catalog, const WorkloadLog& log) const {
+  std::vector<Recommendation> out;
+  for (ScoredCandidate& c : Candidates(catalog, log.entries())) {
+    out.push_back(std::move(c.rec));
   }
   return out;
 }

@@ -6,8 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "advisor/cost_model.h"
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "engine/value.h"
 #include "pacb/view.h"
 #include "pivot/query.h"
 
@@ -19,10 +21,21 @@ struct WorkloadEntry {
   pivot::ConjunctiveQuery example;       ///< Representative query.
   size_t count = 0;                      ///< Executions observed.
   double total_cost = 0;                 ///< Summed simulated cost.
+  double total_rows = 0;                 ///< Summed result-row counts.
   std::map<std::string, size_t> fragments_used;  ///< By the chosen plans.
+  /// Up to kMaxParameterSamples observed parameter bindings, kept in a
+  /// ring so recent traffic wins — they make the shape *replayable* (the
+  /// tuner re-executes the shape as deterministic cost probes).
+  std::vector<std::map<std::string, engine::Value>> parameter_samples;
+  size_t sample_cursor = 0;  ///< Next ring slot to overwrite.
+
+  static constexpr size_t kMaxParameterSamples = 4;
 
   double MeanCost() const {
     return count == 0 ? 0 : total_cost / static_cast<double>(count);
+  }
+  double MeanRows() const {
+    return count == 0 ? 0 : total_rows / static_cast<double>(count);
   }
 };
 
@@ -45,9 +58,13 @@ class WorkloadLog {
   explicit WorkloadLog(size_t capacity = 1024) : capacity_(capacity) {}
 
   /// Records one execution: the query (parameters still symbolic), its
-  /// simulated cost, and the fragments its chosen plan touched.
+  /// simulated cost, the fragments its chosen plan touched, and — when
+  /// the caller has them — the concrete parameter bindings and the result
+  /// row count (both feed the tuner's cost probes).
   void Record(const pivot::ConjunctiveQuery& query, double cost,
-              const std::vector<std::string>& fragments_used);
+              const std::vector<std::string>& fragments_used,
+              const std::map<std::string, engine::Value>& parameters = {},
+              size_t rows_returned = 0);
 
   size_t capacity() const { return capacity_; }
 
@@ -101,6 +118,56 @@ struct AdvisorOptions {
   size_t min_count = 8;          ///< Shape must repeat this often.
   double min_mean_cost = 30.0;   ///< ... and be at least this expensive.
   size_t max_recommendations = 8;
+  /// A pattern (key-lookup vs join) dominates when its shapes carry at
+  /// least this share of the logged total cost.
+  double pattern_dominance = 0.6;
+  /// When set, Recommend/Candidates return nothing unless one pattern
+  /// dominates (ClassifyWorkload below), and then only that pattern's add
+  /// candidates — the advisor refuses to coin-flip on an ambiguous mix.
+  /// The Autopilot runs with this on; offline advice defaults to off.
+  bool require_dominant_pattern = false;
+};
+
+/// Coarse classification of the logged workload, by cost share.
+enum class WorkloadPattern {
+  kInsufficient,  ///< Too little evidence (empty or decayed-away log).
+  kLookupHeavy,   ///< Key-lookup shapes dominate.
+  kJoinHeavy,     ///< Join shapes dominate.
+  kMixed,         ///< No pattern reaches the dominance threshold.
+};
+
+const char* PatternName(WorkloadPattern pattern);
+
+struct PatternSummary {
+  WorkloadPattern pattern = WorkloadPattern::kInsufficient;
+  double lookup_cost_share = 0;  ///< Cost share of key-lookup shapes.
+  double join_cost_share = 0;    ///< Cost share of join shapes.
+  size_t total_count = 0;        ///< Executions across all shapes.
+
+  std::string ToString() const;
+};
+
+/// Classifies a workload-log snapshot: fewer than options.min_count total
+/// executions (or zero cost) is kInsufficient; otherwise the pattern whose
+/// shapes carry >= options.pattern_dominance of the total cost wins, and
+/// kMixed when neither does.
+PatternSummary ClassifyWorkload(
+    const std::map<std::string, WorkloadEntry>& entries,
+    const AdvisorOptions& options = {});
+
+/// One enumerated candidate with the workload evidence behind it — the
+/// decision-loop currency of the Autopilot: the recommendation itself,
+/// where it came from, what the shape costs today, and deterministic
+/// probes (recorded bindings) to re-measure it with.
+struct ScoredCandidate {
+  Recommendation rec;
+  std::string shape_key;           ///< Source shape ("" for drop advice).
+  catalog::StoreKind store_kind =  ///< Kind of the recommended store.
+      catalog::StoreKind::kRelational;
+  size_t count = 0;                ///< Executions of the source shape.
+  double observed_mean_cost = 0;   ///< Mean simulated cost in the log.
+  double observed_mean_rows = 0;   ///< Mean result rows in the log.
+  std::vector<CostProbe> probes;   ///< Replayable recorded bindings.
 };
 
 /// The paper's Storage Advisor (§III): "recommends dropping redundant
@@ -119,6 +186,14 @@ class StorageAdvisor {
 
   std::vector<Recommendation> Recommend(const catalog::Catalog& catalog,
                                         const WorkloadLog& log) const;
+
+  /// Candidate enumeration over an explicit log *snapshot* (safe to call
+  /// with concurrent Record traffic — take WorkloadLog::Snapshot first),
+  /// returning each recommendation with its evidence. Recommend() is this
+  /// with the evidence stripped.
+  std::vector<ScoredCandidate> Candidates(
+      const catalog::Catalog& catalog,
+      const std::map<std::string, WorkloadEntry>& entries) const;
 
  private:
   AdvisorOptions options_;

@@ -1,0 +1,48 @@
+#include "advisor/cost_model.h"
+
+namespace estocada::advisor {
+
+Result<double> CostModel::TotalCost(
+    const std::vector<CostProbe>& probes) const {
+  double total = 0;
+  for (const CostProbe& p : probes) {
+    ESTOCADA_ASSIGN_OR_RETURN(double cost, runner_(p.text, p.parameters));
+    total += cost;
+  }
+  return total;
+}
+
+Result<double> CostModel::MeanCost(const std::vector<CostProbe>& probes) const {
+  if (probes.empty()) return 0.0;
+  ESTOCADA_ASSIGN_OR_RETURN(double total, TotalCost(probes));
+  return total / static_cast<double>(probes.size());
+}
+
+stores::CostProfile CostModel::BlueprintProfile(catalog::StoreKind kind) {
+  switch (kind) {
+    case catalog::StoreKind::kKeyValue:
+      return {/*per_operation=*/4.0, /*per_row_scanned=*/0.02,
+              /*per_index_lookup=*/0.3, /*per_row_returned=*/0.05};
+    case catalog::StoreKind::kDocument:
+      return {/*per_operation=*/12.0, /*per_row_scanned=*/0.12,
+              /*per_index_lookup=*/0.5, /*per_row_returned=*/0.15};
+    case catalog::StoreKind::kText:
+      return {/*per_operation=*/10.0, /*per_row_scanned=*/0.03,
+              /*per_index_lookup=*/0.4, /*per_row_returned=*/0.1};
+    case catalog::StoreKind::kParallel:
+      return {/*per_operation=*/60.0, /*per_row_scanned=*/0.01,
+              /*per_index_lookup=*/0.6, /*per_row_returned=*/0.05};
+    case catalog::StoreKind::kRelational:
+    default:
+      return {/*per_operation=*/25.0, /*per_row_scanned=*/0.05,
+              /*per_index_lookup=*/0.8, /*per_row_returned=*/0.05};
+  }
+}
+
+double CostModel::PredictProbeCost(catalog::StoreKind kind, double mean_rows) {
+  stores::CostProfile p = BlueprintProfile(kind);
+  return p.per_operation + p.per_index_lookup +
+         mean_rows * p.per_row_returned;
+}
+
+}  // namespace estocada::advisor

@@ -471,7 +471,7 @@ Result<Estocada::QueryResult> Estocada::QueryProgram(
     for (const pivot::Atom& a : best.rewriting.body) {
       fragments_used.push_back(a.relation);
     }
-    workload_log_.Record(q, best.estimated_cost, fragments_used);
+    workload_log_.Record(q, best.estimated_cost, fragments_used, parameters);
   }
   engine::OperatorPtr root =
       branches.size() == 1
@@ -510,7 +510,7 @@ Result<Estocada::QueryResult> Estocada::RunQuery(
     const std::map<std::string, Value>& parameters) {
   ESTOCADA_ASSIGN_OR_RETURN(rewriting::PlanSet plans,
                             PlanBest(q, parameters));
-  return ExecutePlanned(std::move(plans), q);
+  return ExecutePlanned(std::move(plans), q, parameters);
 }
 
 Result<rewriting::PlanSet> Estocada::PlanPrepared(
@@ -536,7 +536,8 @@ Result<rewriting::PlanSet> Estocada::PlanFromRewritings(
 }
 
 Result<Estocada::QueryResult> Estocada::ExecutePlanned(
-    rewriting::PlanSet plans, const pivot::ConjunctiveQuery& q) const {
+    rewriting::PlanSet plans, const pivot::ConjunctiveQuery& q,
+    const std::map<std::string, Value>& parameters) const {
   rewriting::PlannedQuery& best = plans.best_plan();
 
   QueryResult result;
@@ -556,7 +557,8 @@ Result<Estocada::QueryResult> Estocada::ExecutePlanned(
   for (const pivot::Atom& a : best.rewriting.body) {
     fragments_used.push_back(a.relation);
   }
-  workload_log_.Record(q, result.simulated_cost(), fragments_used);
+  workload_log_.Record(q, result.simulated_cost(), fragments_used, parameters,
+                       result.rows.size());
   return result;
 }
 

@@ -326,10 +326,13 @@ class Estocada {
 
   /// Executes the best plan of `plans` and assembles the QueryResult,
   /// recording `query` in the workload log (internally synchronized).
+  /// Callers that have the concrete parameter bindings pass them so the
+  /// log retains replayable samples for the Autopilot's cost probes.
   /// Const: safe to run from many threads as long as no catalog or data
   /// mutation runs concurrently.
-  Result<QueryResult> ExecutePlanned(rewriting::PlanSet plans,
-                                     const pivot::ConjunctiveQuery& query) const;
+  Result<QueryResult> ExecutePlanned(
+      rewriting::PlanSet plans, const pivot::ConjunctiveQuery& query,
+      const std::map<std::string, engine::Value>& parameters = {}) const;
 
   /// Executes plan `plan_index` of `plans` instead of the cost-based
   /// choice. Differential tests use this to run *every* rewriting of a

@@ -502,7 +502,8 @@ MigrationManager::~MigrationManager() {
 }
 
 Result<uint64_t> MigrationManager::Start(MigrationSpec spec,
-                                         MigrationOptions options) {
+                                         MigrationOptions options,
+                                         CompletionCallback on_complete) {
   if (spec.drop_only() && spec.retire.empty()) {
     return Status::InvalidArgument(
         "migration spec has neither a target view nor fragments to retire");
@@ -513,8 +514,11 @@ Result<uint64_t> MigrationManager::Start(MigrationSpec spec,
   entry->engine = std::make_unique<MigrationEngine>(server_, std::move(spec),
                                                     options);
   Entry* raw = entry.get();
-  entry->worker = std::thread([raw] {
+  entry->worker = std::thread([raw, id, cb = std::move(on_complete)] {
     (void)raw->engine->Run();
+    // Callback before the done flip: a Wait/WaitFor that returned implies
+    // the callback already finished.
+    if (cb) cb(id, raw->engine->status());
     raw->done.store(true, std::memory_order_release);
   });
   entries_.emplace(id, std::move(entry));
@@ -522,8 +526,10 @@ Result<uint64_t> MigrationManager::Start(MigrationSpec spec,
 }
 
 Result<uint64_t> MigrationManager::StartRecommendation(
-    const advisor::Recommendation& rec, MigrationOptions options) {
-  return Start(MigrationSpec::FromRecommendation(rec), options);
+    const advisor::Recommendation& rec, MigrationOptions options,
+    CompletionCallback on_complete) {
+  return Start(MigrationSpec::FromRecommendation(rec), options,
+               std::move(on_complete));
 }
 
 Result<MigrationManager::Entry*> MigrationManager::Find(uint64_t id) const {
@@ -548,6 +554,26 @@ Status MigrationManager::Abort(uint64_t id) {
 Result<MigrationStatus> MigrationManager::Wait(uint64_t id) {
   ESTOCADA_ASSIGN_OR_RETURN(Entry * entry, Find(id));
   while (!entry->done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->worker.joinable()) entry->worker.join();
+  }
+  return entry->engine->status();
+}
+
+Result<MigrationStatus> MigrationManager::WaitFor(uint64_t id,
+                                                  uint64_t timeout_micros) {
+  ESTOCADA_ASSIGN_OR_RETURN(Entry * entry, Find(id));
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(timeout_micros);
+  while (!entry->done.load(std::memory_order_acquire)) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable(
+          StrCat("migration ", id, " still running after ", timeout_micros,
+                 "us"));
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   {

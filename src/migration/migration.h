@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -255,12 +256,24 @@ class MigrationManager {
   MigrationManager(const MigrationManager&) = delete;
   MigrationManager& operator=(const MigrationManager&) = delete;
 
+  /// Invoked on the worker thread when its migration terminates — fires
+  /// for kRetired *and* kAborted alike (an aborted migration completed,
+  /// unsuccessfully), and strictly before Wait/WaitFor can observe the
+  /// completion, so a returned Wait implies the callback already ran.
+  /// Must not call Wait/WaitFor on the same id from inside (the worker
+  /// would wait on itself); nudging a condition variable or queueing work
+  /// is the intended use (the Autopilot's daemon loop does the former).
+  using CompletionCallback =
+      std::function<void(uint64_t id, const MigrationStatus& status)>;
+
   /// Launches a migration; returns its id immediately.
-  Result<uint64_t> Start(MigrationSpec spec, MigrationOptions options = {});
+  Result<uint64_t> Start(MigrationSpec spec, MigrationOptions options = {},
+                         CompletionCallback on_complete = nullptr);
 
   /// Convenience: lifts advisor advice into a spec and starts it.
   Result<uint64_t> StartRecommendation(const advisor::Recommendation& rec,
-                                       MigrationOptions options = {});
+                                       MigrationOptions options = {},
+                                       CompletionCallback on_complete = nullptr);
 
   Result<MigrationStatus> GetStatus(uint64_t id) const;
 
@@ -269,6 +282,12 @@ class MigrationManager {
 
   /// Blocks until the migration terminates; returns its final status.
   Result<MigrationStatus> Wait(uint64_t id);
+
+  /// Bounded Wait: blocks at most `timeout_micros` microseconds. Returns
+  /// the final status if the migration terminated in time, and
+  /// kUnavailable when it is still running at the deadline (the migration
+  /// itself is untouched — callers can retry, Abort, or keep polling).
+  Result<MigrationStatus> WaitFor(uint64_t id, uint64_t timeout_micros);
 
   /// (id, status) of every migration ever started, in id order.
   std::vector<std::pair<uint64_t, MigrationStatus>> List() const;

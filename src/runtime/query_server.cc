@@ -110,7 +110,7 @@ Result<Estocada::QueryResult> QueryServer::ServeLocked(
 
   std::vector<std::string> plan_stores = planned->best_plan().stores_used;
   Result<Estocada::QueryResult> result =
-      system_->ExecutePlanned(std::move(*planned), canonical.query);
+      system_->ExecutePlanned(std::move(*planned), canonical.query, parameters);
   if (result.ok()) {
     if (options_.fault_tolerant) {
       for (const std::string& store : plan_stores) {
@@ -297,6 +297,24 @@ std::vector<advisor::Recommendation> QueryServer::Advise(
   // advisor reads a consistent view.
   std::unique_lock lock(mu_);
   return system_->Advise(options);
+}
+
+std::vector<advisor::ScoredCandidate> QueryServer::AdviseCandidates(
+    const advisor::AdvisorOptions& options) {
+  // Shared: the log snapshot is internally synchronized, and the catalog
+  // only changes under the exclusive lock — so candidate enumeration can
+  // run beside the query path without stalling it.
+  std::shared_lock lock(mu_);
+  advisor::StorageAdvisor adv(options);
+  return adv.Candidates(system_->catalog(),
+                        system_->workload_log().Snapshot());
+}
+
+advisor::PatternSummary QueryServer::ClassifyWorkload(
+    const advisor::AdvisorOptions& options) {
+  std::shared_lock lock(mu_);
+  return advisor::ClassifyWorkload(system_->workload_log().Snapshot(),
+                                   options);
 }
 
 }  // namespace estocada::runtime

@@ -105,6 +105,19 @@ class QueryServer {
   std::vector<advisor::Recommendation> Advise(
       const advisor::AdvisorOptions& options = {});
 
+  /// Shared-lock advisor entry points for the Autopilot: they snapshot
+  /// the workload log (internally consistent) and run concurrently with
+  /// the query path instead of quiescing it — a tuner tick must not stall
+  /// serving. AdviseCandidates returns each recommendation with its
+  /// workload evidence (shape, observed cost/rows, replayable probes).
+  std::vector<advisor::ScoredCandidate> AdviseCandidates(
+      const advisor::AdvisorOptions& options = {});
+
+  /// Classifies the current workload (lookup-heavy / join-heavy / mixed /
+  /// insufficient) from a log snapshot, under the shared lock.
+  advisor::PatternSummary ClassifyWorkload(
+      const advisor::AdvisorOptions& options = {});
+
   /// Runs `fn` against the wrapped facade under the exclusive lock, then
   /// rebuilds the rewriter if `fn` dirtied it. The online migration
   /// engine stages its shadow-fragment work through this: acquiring the

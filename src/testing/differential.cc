@@ -1,8 +1,10 @@
 #include "testing/differential.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "chase/chase.h"
@@ -17,6 +19,7 @@
 #include "runtime/canonical.h"
 #include "runtime/query_server.h"
 #include "stores/fault.h"
+#include "tuner/tuner.h"
 
 namespace estocada::testing {
 
@@ -432,6 +435,92 @@ ScenarioOutcome CheckScenario(const Scenario& s,
     }
   }
 
+  // ---- (f) autopilot: autonomous tuning is invisible to readers. ----
+  if (options.check_autopilot) {
+    Deployment autop;
+    if (Status st = autop.Build(s); !st.ok()) {
+      fail("setup", StrCat("autopilot deployment: ", st.ToString()));
+      return out;
+    }
+    runtime::ServerOptions sopts;
+    sopts.worker_threads = 1;
+    runtime::QueryServer server(&autop.sys, sopts);
+    migration::MigrationManager manager(&server);
+    tuner::AutopilotOptions topts;
+    // The most aggressive configuration the knobs allow: act on a single
+    // observation of any shape, skip the dominance gate, and bias the
+    // prediction to zero so every enumerable candidate clears the
+    // improvement threshold. Most of those cutovers then fail the
+    // post-cutover measurement and get reverted — exactly the machinery
+    // this family stresses. A tuner-disabled twin would serve the
+    // staging oracle's answers, so checking against the oracle IS the
+    // tuned-vs-untuned comparison.
+    topts.advisor.min_count = 1;
+    topts.advisor.min_mean_cost = 0.0;
+    topts.advisor.require_dominant_pattern = false;
+    topts.min_cost_improvement = 0.0;
+    topts.cost_model_bias = 0.0;
+    topts.cooldown_ticks = 0;
+    topts.max_concurrent_migrations = 2;
+    topts.migration.throttle.batch_rows = 3;
+    tuner::Autopilot pilot(&server, &manager, topts);
+
+    // Pass 1 feeds the workload log and records which queries the
+    // serving path could answer before any tuning.
+    std::vector<bool> answerable(s.queries.size(), false);
+    auto check_pass = [&](const char* when, bool before) {
+      for (size_t qi = 0; qi < s.queries.size(); ++qi) {
+        if (!oracles[qi].has_value()) continue;
+        const QuerySpec& qs = s.queries[qi];
+        auto res = server.Query(qs.text, qs.parameters);
+        if (!res.ok()) {
+          // Unanswerable before tuning is the scenario's problem, not the
+          // tuner's; becoming unanswerable *because of* tuning is a bug.
+          if (!before && answerable[qi]) {
+            fail("autopilot-equivalence",
+                 StrCat("query '", qs.text, "' became unanswerable ", when,
+                        " tuning: ", res.status().ToString()));
+          }
+          continue;
+        }
+        if (before) answerable[qi] = true;
+        ++out.autopilot_checks;
+        if (Canon(res->rows) != *oracles[qi]) {
+          fail("autopilot-equivalence",
+               StrCat("query '", qs.text, "' ", when, " tuning: ",
+                      DiffRows(*oracles[qi], Canon(res->rows))));
+        }
+      }
+    };
+    check_pass("before", /*before=*/true);
+    // Tick until quiescent: nothing in flight and a full pass that
+    // launched nothing. Bounded — guardrails failing to converge is
+    // itself a finding.
+    uint64_t prev_launches = ~uint64_t{0};
+    bool quiesced = false;
+    for (int i = 0; i < 200; ++i) {
+      if (Status st = pilot.TickOnce(); !st.ok()) {
+        fail("autopilot-equivalence", StrCat("tick: ", st.ToString()));
+        break;
+      }
+      uint64_t launches = pilot.metrics().launches;
+      if (pilot.in_flight() == 0 && launches == prev_launches) {
+        quiesced = true;
+        break;
+      }
+      prev_launches = launches;
+      if (pilot.in_flight() > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (!quiesced) {
+      fail("autopilot-equivalence",
+           StrCat("no quiescence after 200 ticks: ",
+                  pilot.metrics().ToString()));
+    }
+    check_pass("after", /*before=*/false);
+  }
+
   return out;
 }
 
@@ -571,7 +660,8 @@ std::string SweepReport::Summary() const {
                 naive_comparisons, " naive-vs-PACB comparisons, ",
                 chase_checks, " chase checks, ", chaos_successes,
                 " chaos successes (", chaos_errors, " chaos errors), ",
-                migration_checks, " migration checks");
+                migration_checks, " migration checks, ", autopilot_checks,
+                " autopilot checks");
 }
 
 SweepReport RunSweep(uint64_t first_seed, size_t count,
@@ -589,6 +679,7 @@ SweepReport RunSweep(uint64_t first_seed, size_t count,
     sweep.chaos_successes += rep.outcome.chaos_successes;
     sweep.chaos_errors += rep.outcome.chaos_errors;
     sweep.migration_checks += rep.outcome.migration_checks;
+    sweep.autopilot_checks += rep.outcome.autopilot_checks;
     if (!rep.outcome.ok()) {
       ++sweep.failures;
       if (sweep.failed.size() < max_stored_failures) {

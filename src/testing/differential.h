@@ -21,13 +21,19 @@ namespace estocada::testing {
 ///      ladder returns oracle-correct answers whenever it reports success;
 ///  (e) query answers are invariant before, during (backfilled shadow,
 ///      pre-cutover), and after a seeded online migration — live
-///      re-fragmentation must be invisible to readers.
+///      re-fragmentation must be invisible to readers;
+///  (f) an Autopilot running at its most aggressive setting (act on a
+///      single observation, no dominance gate, trust the cost model
+///      blindly) launches, completes, reverts, and blacklists however it
+///      likes — and every answer still matches the staging oracle, and no
+///      query answerable before tuning becomes unanswerable after.
 struct HarnessOptions {
   bool check_rewritings = true;  ///< Invariant family (a).
   bool check_naive = true;       ///< Invariant family (b).
   bool check_chase = true;       ///< Invariant family (c).
   bool check_chaos = true;       ///< Invariant family (d).
   bool check_migration = true;   ///< Invariant family (e).
+  bool check_autopilot = true;   ///< Invariant family (f).
   /// (b) is exponential in the universal plan; skip it beyond this size.
   size_t max_universal_plan_for_naive = 8;
   /// Subset-size cap fed to the naive enumeration; PACB rewritings above
@@ -45,8 +51,9 @@ struct HarnessOptions {
 
 /// One invariant violation. `invariant` is a stable family tag
 /// ("rewriting-oracle", "naive-vs-pacb", "chase-idempotence",
-/// "chase-permutation", "chaos-correctness", "migration-invariance", plus
-/// "setup" / "oracle" / "plan" / "generator" for harness-level breakage).
+/// "chase-permutation", "chaos-correctness", "migration-invariance",
+/// "autopilot-equivalence", plus "setup" / "oracle" / "plan" /
+/// "generator" for harness-level breakage).
 struct Mismatch {
   std::string invariant;
   std::string detail;
@@ -62,6 +69,7 @@ struct ScenarioOutcome {
   size_t chaos_successes = 0;      ///< Invariant (d) verified answers.
   size_t chaos_errors = 0;         ///< Chaos queries that reported failure.
   size_t migration_checks = 0;     ///< Invariant (e) verified answers.
+  size_t autopilot_checks = 0;     ///< Invariant (f) verified answers.
   size_t skipped_unanswerable = 0; ///< Queries with no rewriting (skipped).
   std::vector<Mismatch> mismatches;
 
@@ -112,6 +120,7 @@ struct SweepReport {
   size_t chaos_successes = 0;
   size_t chaos_errors = 0;
   size_t migration_checks = 0;
+  size_t autopilot_checks = 0;
   std::vector<SeedReport> failed;
 
   bool ok() const { return failures == 0; }

@@ -1,0 +1,310 @@
+#include "tuner/tuner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+
+namespace estocada::tuner {
+
+using advisor::CostModel;
+using advisor::CostProbe;
+using advisor::ScoredCandidate;
+using advisor::WorkloadPattern;
+using migration::MigrationSpec;
+using migration::MigrationStage;
+using migration::MigrationStatus;
+
+std::string AutopilotMetricsSnapshot::ToString() const {
+  return StrCat("autopilot: ", ticks, " tick(s), ", evaluations,
+                " evaluation(s), ", launches, " launch(es), ", completions,
+                " completion(s), ", aborts, " abort(s), ", regressions,
+                " regression(s), ", reverts, " revert(s), skipped ",
+                skipped_ambiguous, " ambiguous / ", skipped_blacklist,
+                " blacklist / ", skipped_cooldown, " cooldown / ",
+                skipped_concurrency, " concurrency / ", skipped_threshold,
+                " threshold, blacklist size ", blacklist_size);
+}
+
+std::string Decision::ToString() const {
+  std::string out = StrCat("[tick ", tick, "] ", action);
+  if (!shape_key.empty()) out = StrCat(out, " shape=", shape_key);
+  if (!detail.empty()) out = StrCat(out, "  # ", detail);
+  return out;
+}
+
+Autopilot::Autopilot(runtime::QueryServer* server,
+                     migration::MigrationManager* manager,
+                     AutopilotOptions options)
+    : server_(server), manager_(manager), options_(std::move(options)) {}
+
+Autopilot::~Autopilot() { Stop(); }
+
+void Autopilot::LogDecision(uint64_t tick, std::string action,
+                            std::string shape_key, std::string detail) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  decisions_.push_back(Decision{tick, std::move(action), std::move(shape_key),
+                                std::move(detail)});
+  while (decisions_.size() > options_.decision_log_capacity) {
+    decisions_.pop_front();
+  }
+}
+
+Result<double> Autopilot::MeasureProbes(
+    const std::vector<CostProbe>& probes) {
+  CostModel model(
+      [this](const std::string& text,
+             const std::map<std::string, engine::Value>& parameters)
+          -> Result<double> {
+        ESTOCADA_ASSIGN_OR_RETURN(Estocada::QueryResult r,
+                                  server_->Query(text, parameters));
+        return r.simulated_cost();
+      });
+  return model.MeanCost(probes);
+}
+
+void Autopilot::RevertLocked(const InFlight& flight, uint64_t tick,
+                             double measured) {
+  blacklist_.insert(flight.shape_key);
+  MigrationSpec spec;
+  spec.retire = {flight.fragment_name};
+  auto id = manager_->Start(std::move(spec), options_.migration);
+  if (!id.ok()) {
+    LogDecision(tick, "error", flight.shape_key,
+                StrCat("revert of ", flight.fragment_name,
+                       " failed to start: ", id.status().ToString()));
+    return;
+  }
+  metrics_.reverts.fetch_add(1, std::memory_order_relaxed);
+  // Drop-only migrations are quick (no backfill); waiting keeps the tick
+  // deterministic and guarantees the bad fragment is gone before the
+  // next evaluation round sees the catalog.
+  auto final_status = manager_->Wait(*id);
+  LogDecision(
+      tick, "revert", flight.shape_key,
+      StrCat("measured ", measured, " vs observed ", flight.observed_mean_cost,
+             " (predicted ", flight.predicted_cost, "): dropped ",
+             flight.fragment_name, ", blacklisted",
+             final_status.ok() ? "" : " (revert migration itself failed)"));
+}
+
+void Autopilot::HarvestCompletionsLocked(uint64_t tick) {
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    auto status = manager_->GetStatus(it->migration_id);
+    if (!status.ok()) {
+      LogDecision(tick, "error", it->shape_key,
+                  StrCat("lost migration ", it->migration_id, ": ",
+                         status.status().ToString()));
+      it = in_flight_.erase(it);
+      continue;
+    }
+    if (status->stage != MigrationStage::kRetired &&
+        status->stage != MigrationStage::kAborted) {
+      ++it;
+      continue;
+    }
+    cooldown_until_[it->shape_key] = tick + options_.cooldown_ticks;
+    if (status->stage == MigrationStage::kAborted) {
+      // The migration machinery itself gave up (fault storm, verify
+      // failure): blacklist the shape so the loop does not relaunch a
+      // migration that just proved unviable.
+      metrics_.aborts.fetch_add(1, std::memory_order_relaxed);
+      blacklist_.insert(it->shape_key);
+      LogDecision(tick, "abort", it->shape_key,
+                  StrCat("migration ", it->migration_id, " aborted: ",
+                         status->error.ToString(), "; blacklisted"));
+    } else if (it->probes.empty()) {
+      // No recorded bindings to re-measure with; accept the cutover.
+      metrics_.completions.fetch_add(1, std::memory_order_relaxed);
+      LogDecision(tick, "complete", it->shape_key,
+                  "retired (no probes to verify the gain)");
+    } else {
+      auto measured = MeasureProbes(it->probes);
+      if (!measured.ok()) {
+        metrics_.completions.fetch_add(1, std::memory_order_relaxed);
+        LogDecision(tick, "complete", it->shape_key,
+                    StrCat("retired; post-cutover measurement failed: ",
+                           measured.status().ToString()));
+      } else if (*measured >=
+                 it->observed_mean_cost *
+                     (1.0 - options_.min_realized_improvement)) {
+        // The cost model lied: serving got no better (or worse). Undo.
+        metrics_.regressions.fetch_add(1, std::memory_order_relaxed);
+        RevertLocked(*it, tick, *measured);
+      } else {
+        metrics_.completions.fetch_add(1, std::memory_order_relaxed);
+        LogDecision(tick, "complete", it->shape_key,
+                    StrCat("realized ", *measured, " vs observed ",
+                           it->observed_mean_cost, " (predicted ",
+                           it->predicted_cost, ")"));
+      }
+    }
+    it = in_flight_.erase(it);
+  }
+}
+
+Status Autopilot::TickOnce() {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  uint64_t tick = metrics_.ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  HarvestCompletionsLocked(tick);
+
+  advisor::PatternSummary pattern =
+      server_->ClassifyWorkload(options_.advisor);
+  if (pattern.pattern == WorkloadPattern::kInsufficient) {
+    return Status::OK();  // Nothing observed yet; try again later.
+  }
+  if (options_.advisor.require_dominant_pattern &&
+      pattern.pattern == WorkloadPattern::kMixed) {
+    metrics_.skipped_ambiguous.fetch_add(1, std::memory_order_relaxed);
+    LogDecision(tick, "skip-ambiguous", "", pattern.ToString());
+    return Status::OK();
+  }
+
+  std::vector<ScoredCandidate> candidates =
+      server_->AdviseCandidates(options_.advisor);
+  for (ScoredCandidate& c : candidates) {
+    metrics_.evaluations.fetch_add(1, std::memory_order_relaxed);
+    if (c.rec.action == advisor::Recommendation::Action::kDropFragment) {
+      // Drop advice stays advisory: autonomously deleting fragments is a
+      // sharper knife than adding them, and the add path never needs it.
+      LogDecision(tick, "skip-drop", "", c.rec.ToString());
+      continue;
+    }
+    if (blacklist_.count(c.shape_key) != 0) {
+      metrics_.skipped_blacklist.fetch_add(1, std::memory_order_relaxed);
+      LogDecision(tick, "skip-blacklist", c.shape_key, "shape blacklisted");
+      continue;
+    }
+    bool already_migrating =
+        std::any_of(in_flight_.begin(), in_flight_.end(),
+                    [&](const InFlight& f) {
+                      return f.shape_key == c.shape_key;
+                    });
+    auto cooldown = cooldown_until_.find(c.shape_key);
+    if (already_migrating ||
+        (cooldown != cooldown_until_.end() && cooldown->second > tick)) {
+      metrics_.skipped_cooldown.fetch_add(1, std::memory_order_relaxed);
+      LogDecision(tick, "skip-cooldown", c.shape_key,
+                  already_migrating ? "migration already in flight"
+                                    : StrCat("cooling down until tick ",
+                                             cooldown->second));
+      continue;
+    }
+    if (in_flight_.size() >= options_.max_concurrent_migrations) {
+      metrics_.skipped_concurrency.fetch_add(1, std::memory_order_relaxed);
+      LogDecision(tick, "skip-concurrency", c.shape_key,
+                  StrCat(in_flight_.size(), " migration(s) in flight"));
+      continue;
+    }
+    double predicted =
+        CostModel::PredictProbeCost(c.store_kind, c.observed_mean_rows) *
+        options_.cost_model_bias;
+    double required =
+        c.observed_mean_cost * (1.0 - options_.min_cost_improvement);
+    if (predicted > required) {
+      metrics_.skipped_threshold.fetch_add(1, std::memory_order_relaxed);
+      LogDecision(tick, "skip-threshold", c.shape_key,
+                  StrCat("predicted ", predicted, " vs required <= ",
+                         required, " (observed ", c.observed_mean_cost, ")"));
+      continue;
+    }
+    // Launch. The advisor's fresh names restart at 0 every call, so the
+    // tuner renames the target with its own monotonic counter — two ticks
+    // must never produce colliding fragment names.
+    std::string fragment = StrCat("F_auto_", launch_counter_++);
+    c.rec.view.query.name = fragment;
+    std::shared_ptr<WakeSignal> wake = wake_;
+    auto id = manager_->StartRecommendation(
+        c.rec, options_.migration,
+        [wake](uint64_t, const MigrationStatus&) {
+          std::lock_guard<std::mutex> wlock(wake->mu);
+          wake->nudged = true;
+          wake->cv.notify_all();
+        });
+    if (!id.ok()) {
+      LogDecision(tick, "error", c.shape_key,
+                  StrCat("launch failed: ", id.status().ToString()));
+      continue;
+    }
+    metrics_.launches.fetch_add(1, std::memory_order_relaxed);
+    LogDecision(tick, "launch", c.shape_key,
+                StrCat("migration ", *id, " -> ", fragment, " @ ",
+                       c.rec.store_name, ": predicted ", predicted,
+                       " vs observed ", c.observed_mean_cost, " over ",
+                       c.count, " call(s)"));
+    in_flight_.push_back(InFlight{*id, c.shape_key, std::move(fragment),
+                                  c.observed_mean_cost, predicted,
+                                  std::move(c.probes)});
+  }
+  return Status::OK();
+}
+
+void Autopilot::DaemonLoop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    (void)TickOnce();
+    std::unique_lock<std::mutex> lock(wake_->mu);
+    wake_->cv.wait_for(
+        lock, std::chrono::microseconds(options_.tick_period_micros), [&] {
+          return stop_requested_.load(std::memory_order_acquire) ||
+                 wake_->nudged;
+        });
+    wake_->nudged = false;
+  }
+}
+
+void Autopilot::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_requested_.store(false, std::memory_order_release);
+  daemon_ = std::thread([this] { DaemonLoop(); });
+}
+
+void Autopilot::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(wake_->mu);
+    wake_->cv.notify_all();
+  }
+  if (daemon_.joinable()) daemon_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+AutopilotMetricsSnapshot Autopilot::metrics() const {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  AutopilotMetricsSnapshot s;
+  s.ticks = metrics_.ticks.load(kRelaxed);
+  s.evaluations = metrics_.evaluations.load(kRelaxed);
+  s.launches = metrics_.launches.load(kRelaxed);
+  s.completions = metrics_.completions.load(kRelaxed);
+  s.aborts = metrics_.aborts.load(kRelaxed);
+  s.regressions = metrics_.regressions.load(kRelaxed);
+  s.reverts = metrics_.reverts.load(kRelaxed);
+  s.skipped_ambiguous = metrics_.skipped_ambiguous.load(kRelaxed);
+  s.skipped_blacklist = metrics_.skipped_blacklist.load(kRelaxed);
+  s.skipped_cooldown = metrics_.skipped_cooldown.load(kRelaxed);
+  s.skipped_concurrency = metrics_.skipped_concurrency.load(kRelaxed);
+  s.skipped_threshold = metrics_.skipped_threshold.load(kRelaxed);
+  {
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    s.blacklist_size = blacklist_.size();
+  }
+  return s;
+}
+
+std::vector<Decision> Autopilot::decision_log() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return {decisions_.begin(), decisions_.end()};
+}
+
+std::vector<std::string> Autopilot::blacklist() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return {blacklist_.begin(), blacklist_.end()};
+}
+
+size_t Autopilot::in_flight() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return in_flight_.size();
+}
+
+}  // namespace estocada::tuner

@@ -1,0 +1,225 @@
+#ifndef ESTOCADA_TUNER_TUNER_H_
+#define ESTOCADA_TUNER_TUNER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/cost_model.h"
+#include "migration/migration.h"
+#include "runtime/query_server.h"
+
+namespace estocada::tuner {
+
+/// Tuning knobs of the Autopilot decision loop (DESIGN.md "Autopilot").
+struct AutopilotOptions {
+  /// Advisor configuration for candidate enumeration. Defaults to the
+  /// cautious profile: with require_dominant_pattern on, an ambiguous
+  /// 50/50 workload yields *no* candidates — an autonomous tuner must
+  /// never migrate on a coin-flip.
+  advisor::AdvisorOptions advisor = [] {
+    advisor::AdvisorOptions o;
+    o.require_dominant_pattern = true;
+    return o;
+  }();
+
+  /// A candidate launches only when its predicted per-probe cost beats
+  /// the observed mean by at least this fraction (0.2 = predicted cost
+  /// must be <= 80% of observed).
+  double min_cost_improvement = 0.2;
+
+  /// Concurrent-migration cap: launches beyond it wait for a later tick.
+  size_t max_concurrent_migrations = 1;
+
+  /// Ticks a shape stays off-limits after its migration terminates
+  /// (success or abort) — back-to-back re-tuning of one shape is churn.
+  size_t cooldown_ticks = 4;
+
+  /// After cutover the realized probe cost must be strictly below
+  /// observed * (1 - min_realized_improvement), or the Autopilot reverts
+  /// the migration and blacklists the shape. 0 = any non-improvement
+  /// (measured >= observed) is a regression.
+  double min_realized_improvement = 0.0;
+
+  /// Multiplies the blueprint prediction before the threshold check.
+  /// 1.0 = trust the model. The "cost model lies" bench leg sets it low
+  /// to force launches the post-cutover measurement must then catch.
+  double cost_model_bias = 1.0;
+
+  /// Bounded structured decision log (oldest entries evicted).
+  size_t decision_log_capacity = 256;
+
+  /// Daemon mode: sleep between ticks (a completion callback wakes the
+  /// loop early so terminal migrations are handled promptly).
+  uint64_t tick_period_micros = 50'000;
+
+  /// Options for the migrations the Autopilot launches.
+  migration::MigrationOptions migration;
+};
+
+/// Counter snapshot of the decision loop (relaxed atomics underneath,
+/// mirroring ServerMetrics).
+struct AutopilotMetricsSnapshot {
+  uint64_t ticks = 0;                ///< TickOnce passes.
+  uint64_t evaluations = 0;          ///< Candidates scored.
+  uint64_t launches = 0;             ///< Migrations started.
+  uint64_t completions = 0;          ///< Migrations retired successfully.
+  uint64_t aborts = 0;               ///< Migrations that ended kAborted.
+  uint64_t regressions = 0;          ///< Post-cutover cost regressions.
+  uint64_t reverts = 0;              ///< Revert migrations launched.
+  uint64_t skipped_ambiguous = 0;    ///< Ticks skipped on a mixed pattern.
+  uint64_t skipped_blacklist = 0;    ///< Candidates skipped: blacklisted.
+  uint64_t skipped_cooldown = 0;     ///< Candidates skipped: cooling down.
+  uint64_t skipped_concurrency = 0;  ///< Candidates skipped: cap reached.
+  uint64_t skipped_threshold = 0;    ///< Candidates skipped: gain too small.
+  uint64_t blacklist_size = 0;       ///< Shapes currently blacklisted.
+
+  std::string ToString() const;
+};
+
+/// One structured entry of the Autopilot's decision log.
+struct Decision {
+  uint64_t tick = 0;
+  /// "launch", "complete", "revert", "abort", "skip-blacklist",
+  /// "skip-cooldown", "skip-concurrency", "skip-threshold",
+  /// "skip-ambiguous", "skip-drop", "error".
+  std::string action;
+  std::string shape_key;  ///< Source shape ("" for tick-level entries).
+  std::string detail;     ///< Human-readable rationale with the numbers.
+
+  std::string ToString() const;
+};
+
+/// The Autopilot: an autonomous self-tuning daemon that closes the
+/// advisor -> migration loop. Each tick it
+///
+///  1. harvests terminal migrations it launched: a retired migration is
+///     re-measured with the shape's recorded probes, and when the
+///     realized cost regressed instead of improved (the cost model
+///     lied), the new fragment is reverted (drop-only migration) and the
+///     shape blacklisted;
+///  2. classifies the live workload under the server's shared lock and
+///     refuses to act on an ambiguous mix;
+///  3. scores each advisor candidate — blueprint-predicted cost vs the
+///     observed mean from the workload log — and launches a migration
+///     through the MigrationManager when the prediction clears the
+///     improvement threshold and every guardrail (blacklist, cooldown,
+///     concurrency cap) passes.
+///
+/// TickOnce() is the deterministic entry (tests and benches drive it
+/// directly); Start()/Stop() wrap it in a background daemon thread.
+/// Thread-safe; faults on the query path surface as skipped probes, not
+/// crashes (the HealthRegistry keeps serving degraded underneath).
+class Autopilot {
+ public:
+  Autopilot(runtime::QueryServer* server,
+            migration::MigrationManager* manager,
+            AutopilotOptions options = {});
+  ~Autopilot();
+
+  Autopilot(const Autopilot&) = delete;
+  Autopilot& operator=(const Autopilot&) = delete;
+
+  /// One deterministic decision-loop pass (see class comment). Safe to
+  /// call concurrently with serving traffic; not reentrant with itself
+  /// (an internal mutex serializes ticks).
+  Status TickOnce();
+
+  /// Starts the daemon thread (idempotent).
+  void Start();
+  /// Stops and joins the daemon thread; in-flight migrations keep
+  /// running (the MigrationManager owns them).
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  AutopilotMetricsSnapshot metrics() const;
+
+  /// Copy of the bounded decision log, oldest first.
+  std::vector<Decision> decision_log() const;
+
+  /// Currently blacklisted shape keys.
+  std::vector<std::string> blacklist() const;
+
+  /// Migrations launched and not yet harvested by a tick.
+  size_t in_flight() const;
+
+ private:
+  /// A migration the Autopilot launched, awaiting harvest.
+  struct InFlight {
+    uint64_t migration_id = 0;
+    std::string shape_key;
+    std::string fragment_name;         ///< The F_auto_<n> target.
+    double observed_mean_cost = 0;     ///< Pre-migration baseline.
+    double predicted_cost = 0;         ///< What the model promised.
+    std::vector<advisor::CostProbe> probes;
+  };
+
+  /// Harvests terminal migrations; tick_mu_ held.
+  void HarvestCompletionsLocked(uint64_t tick);
+  /// Mean simulated probe cost against the live server layout.
+  Result<double> MeasureProbes(const std::vector<advisor::CostProbe>& probes);
+  /// Reverts a regressed migration (drop-only) and blacklists its shape;
+  /// tick_mu_ held.
+  void RevertLocked(const InFlight& flight, uint64_t tick, double measured);
+  void LogDecision(uint64_t tick, std::string action, std::string shape_key,
+                   std::string detail);
+  void DaemonLoop();
+
+  runtime::QueryServer* server_;
+  migration::MigrationManager* manager_;
+  AutopilotOptions options_;
+
+  /// Serializes ticks and guards the decision state below. Completion
+  /// callbacks never take it — they only nudge wake_cv_ — so a worker
+  /// thread finishing mid-tick cannot deadlock with the tick.
+  mutable std::mutex tick_mu_;
+  std::vector<InFlight> in_flight_;
+  std::set<std::string> blacklist_;
+  std::map<std::string, uint64_t> cooldown_until_;  ///< shape -> tick.
+  uint64_t launch_counter_ = 0;  ///< Names fragments F_auto_<n>.
+
+  mutable std::mutex log_mu_;
+  std::deque<Decision> decisions_;
+
+  struct Metrics {
+    std::atomic<uint64_t> ticks{0};
+    std::atomic<uint64_t> evaluations{0};
+    std::atomic<uint64_t> launches{0};
+    std::atomic<uint64_t> completions{0};
+    std::atomic<uint64_t> aborts{0};
+    std::atomic<uint64_t> regressions{0};
+    std::atomic<uint64_t> reverts{0};
+    std::atomic<uint64_t> skipped_ambiguous{0};
+    std::atomic<uint64_t> skipped_blacklist{0};
+    std::atomic<uint64_t> skipped_cooldown{0};
+    std::atomic<uint64_t> skipped_concurrency{0};
+    std::atomic<uint64_t> skipped_threshold{0};
+  };
+  mutable Metrics metrics_;
+
+  /// Daemon wake signal. Shared-ptr-owned so completion callbacks (which
+  /// run on MigrationManager worker threads and may outlive this object)
+  /// capture the signal, never `this`.
+  struct WakeSignal {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool nudged = false;  ///< A completion wants a prompt tick.
+  };
+  std::shared_ptr<WakeSignal> wake_ = std::make_shared<WakeSignal>();
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread daemon_;
+};
+
+}  // namespace estocada::tuner
+
+#endif  // ESTOCADA_TUNER_TUNER_H_

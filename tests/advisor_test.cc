@@ -97,5 +97,143 @@ TEST(WorkloadLogTest, ClearResetsEntries) {
   EXPECT_EQ(log.FragmentUses("F"), 0u);
 }
 
+TEST(WorkloadLogTest, ParameterSamplesAreABoundedRing) {
+  WorkloadLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.Record(Q("q(c) :- R($uid, c)"), 10.0, {},
+               {{"$uid", engine::Value::Int(i)}}, /*rows_returned=*/2);
+  }
+  auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  const WorkloadEntry& e = entries.begin()->second;
+  ASSERT_EQ(e.parameter_samples.size(), WorkloadEntry::kMaxParameterSamples);
+  // Newest observations overwrite the oldest ring slots: 10 records into
+  // 4 slots leaves {8, 9, 6, 7}.
+  EXPECT_EQ(e.parameter_samples[0].at("$uid").int_value(), 8);
+  EXPECT_EQ(e.parameter_samples[1].at("$uid").int_value(), 9);
+  EXPECT_DOUBLE_EQ(e.MeanRows(), 2.0);
+}
+
+// -------------------------------------------- Pattern classification --
+
+constexpr char kLookup[] = "q(c) :- mk.carts($uid, c)";
+constexpr char kJoin[] =
+    "q(o, p) :- mk.orders(o, $uid, p, t), mk.visits($uid, p, d)";
+
+TEST(ClassifyWorkloadTest, EmptyLogIsInsufficient) {
+  WorkloadLog log;
+  PatternSummary s = ClassifyWorkload(log.Snapshot());
+  EXPECT_EQ(s.pattern, WorkloadPattern::kInsufficient);
+  EXPECT_EQ(s.total_count, 0u);
+}
+
+TEST(ClassifyWorkloadTest, DecayedAwayLogIsInsufficient) {
+  // A burst of one-off shapes through a tiny log: every insert decays the
+  // residents away, so what survives carries almost no evidence.
+  WorkloadLog log(/*capacity=*/2);
+  for (int i = 0; i < 32; ++i) log.Record(Shape(i), 40.0, {});
+  auto entries = log.Snapshot();
+  size_t total = 0;
+  for (const auto& [key, e] : entries) total += e.count;
+  ASSERT_LT(total, AdvisorOptions{}.min_count);
+  EXPECT_EQ(ClassifyWorkload(entries).pattern,
+            WorkloadPattern::kInsufficient);
+}
+
+TEST(ClassifyWorkloadTest, FiftyFiftyMixIsMixedAndDominanceIsDetected) {
+  WorkloadLog log;
+  for (int i = 0; i < 10; ++i) log.Record(Q(kLookup), 40.0, {});
+  for (int i = 0; i < 10; ++i) log.Record(Q(kJoin), 40.0, {});
+  PatternSummary s = ClassifyWorkload(log.Snapshot());
+  EXPECT_EQ(s.pattern, WorkloadPattern::kMixed) << s.ToString();
+  EXPECT_DOUBLE_EQ(s.lookup_cost_share, 0.5);
+  EXPECT_DOUBLE_EQ(s.join_cost_share, 0.5);
+
+  // Tip the cost balance to 80/20: lookup-heavy. Then the other way.
+  for (int i = 0; i < 30; ++i) log.Record(Q(kLookup), 40.0, {});
+  EXPECT_EQ(ClassifyWorkload(log.Snapshot()).pattern,
+            WorkloadPattern::kLookupHeavy);
+  for (int i = 0; i < 120; ++i) log.Record(Q(kJoin), 40.0, {});
+  EXPECT_EQ(ClassifyWorkload(log.Snapshot()).pattern,
+            WorkloadPattern::kJoinHeavy);
+}
+
+// ------------------------------------------------ Boundary behavior --
+
+/// Catalog with one store of every kind the advisor targets.
+class AdvisorBoundaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .RegisterStore({"redis", catalog::StoreKind::kKeyValue,
+                                    nullptr, &kv_, nullptr, nullptr, nullptr})
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .RegisterStore({"spark", catalog::StoreKind::kParallel,
+                                    nullptr, nullptr, nullptr, &parallel_,
+                                    nullptr})
+                    .ok());
+  }
+
+  catalog::Catalog catalog_;
+  stores::KeyValueStore kv_;
+  stores::ParallelStore parallel_{1};
+};
+
+TEST_F(AdvisorBoundaryTest, EmptyLogYieldsNoRecommendation) {
+  WorkloadLog log;
+  StorageAdvisor advisor;
+  EXPECT_TRUE(advisor.Recommend(catalog_, log).empty());
+  AdvisorOptions strict;
+  strict.require_dominant_pattern = true;
+  EXPECT_TRUE(
+      StorageAdvisor(strict).Candidates(catalog_, log.Snapshot()).empty());
+}
+
+TEST_F(AdvisorBoundaryTest,
+       FiftyFiftyMixYieldsNoRecommendationWhenDominanceRequired) {
+  WorkloadLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.Record(Q(kLookup), 40.0, {}, {{"$uid", engine::Value::Int(i)}}, 1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    log.Record(Q(kJoin), 40.0, {}, {{"$uid", engine::Value::Int(i)}}, 3);
+  }
+  AdvisorOptions strict;
+  strict.require_dominant_pattern = true;
+  // The ambiguous mix yields *nothing* — no coin-flip between the KV and
+  // the join placement.
+  EXPECT_TRUE(
+      StorageAdvisor(strict).Candidates(catalog_, log.Snapshot()).empty());
+  // Sanity: the restraint comes from the gating, not from the shapes
+  // being unrecommendable — the permissive advisor recommends both.
+  auto permissive = StorageAdvisor().Candidates(catalog_, log.Snapshot());
+  EXPECT_EQ(permissive.size(), 2u);
+}
+
+TEST_F(AdvisorBoundaryTest, DominantPatternRestrictsToItsOwnFamily) {
+  WorkloadLog log;
+  for (int i = 0; i < 40; ++i) {
+    log.Record(Q(kLookup), 40.0, {}, {{"$uid", engine::Value::Int(i)}}, 1);
+  }
+  for (int i = 0; i < 8; ++i) {
+    log.Record(Q(kJoin), 40.0, {}, {{"$uid", engine::Value::Int(i)}}, 3);
+  }
+  AdvisorOptions strict;
+  strict.require_dominant_pattern = true;
+  auto candidates =
+      StorageAdvisor(strict).Candidates(catalog_, log.Snapshot());
+  // Lookup-heavy: only the KV candidate, evidence attached.
+  ASSERT_EQ(candidates.size(), 1u);
+  const ScoredCandidate& c = candidates[0];
+  EXPECT_EQ(c.store_kind, catalog::StoreKind::kKeyValue);
+  EXPECT_EQ(c.rec.action, Recommendation::Action::kAddFragment);
+  EXPECT_EQ(c.count, 40u);
+  EXPECT_DOUBLE_EQ(c.observed_mean_cost, 40.0);
+  EXPECT_DOUBLE_EQ(c.observed_mean_rows, 1.0);
+  EXPECT_EQ(c.probes.size(), WorkloadEntry::kMaxParameterSamples);
+  EXPECT_EQ(c.shape_key, WorkloadLog::ShapeKey(Q(kLookup)));
+}
+
 }  // namespace
 }  // namespace estocada::advisor

@@ -478,6 +478,77 @@ TEST_F(MigrationTest, ManagerAbortInterruptsThrottledBackfill) {
   ExpectServesTruth(&server, kOrdersQuery);
 }
 
+TEST_F(MigrationTest, WaitForTimesOutWithoutDisturbingTheMigration) {
+  QueryServer server(&sys_);
+  MigrationOptions options;
+  options.throttle.batch_rows = 8;
+  options.throttle.max_rows_per_sec = 300;  // ~0.8s of backfill runway.
+  MigrationManager manager(&server);
+  auto id = manager.Start(SpecFor(kOrdersView, "spark", {}, {"F_orders"}),
+                          options);
+  ASSERT_TRUE(id.ok());
+  // Far shorter than the throttled backfill: the deadline must expire.
+  auto timed_out = manager.WaitFor(*id, /*timeout_micros=*/1000);
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kUnavailable);
+  // The timeout left the migration running; a full Wait still retires it.
+  auto final_status = manager.Wait(*id);
+  ASSERT_TRUE(final_status.ok());
+  EXPECT_EQ(final_status->stage, MigrationStage::kRetired)
+      << final_status->ToString();
+  // Terminated migrations resolve within any bound.
+  auto again = manager.WaitFor(*id, /*timeout_micros=*/1000);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->stage, MigrationStage::kRetired);
+  EXPECT_EQ(manager.WaitFor(999, 1000).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MigrationTest, CompletionCallbackFiresOnAbortBeforeWaitReturns) {
+  QueryServer server(&sys_);
+  MigrationOptions options;
+  options.throttle.batch_rows = 8;
+  options.throttle.max_rows_per_sec = 300;
+  MigrationManager manager(&server);
+  std::atomic<int> calls{0};
+  uint64_t seen_id = 0;
+  MigrationStatus seen_status;
+  auto id = manager.Start(
+      SpecFor(kOrdersView, "spark", {}, {"F_orders"}), options,
+      [&](uint64_t done_id, const MigrationStatus& status) {
+        seen_id = done_id;
+        seen_status = status;
+        calls.fetch_add(1, std::memory_order_release);
+      });
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager.Abort(*id).ok());
+  auto final_status = manager.Wait(*id);
+  ASSERT_TRUE(final_status.ok());
+  EXPECT_EQ(final_status->stage, MigrationStage::kAborted);
+  // Wait returned, so the callback must already have run, exactly once,
+  // with the terminal (aborted) status.
+  EXPECT_EQ(calls.load(std::memory_order_acquire), 1);
+  EXPECT_EQ(seen_id, *id);
+  EXPECT_EQ(seen_status.stage, MigrationStage::kAborted);
+}
+
+TEST_F(MigrationTest, CompletionCallbackFiresOnSuccess) {
+  QueryServer server(&sys_);
+  MigrationManager manager(&server);
+  std::atomic<int> calls{0};
+  MigrationStatus seen_status;
+  auto id = manager.Start(
+      SpecFor(kOrdersView, "spark", {}, {"F_orders"}), {},
+      [&](uint64_t, const MigrationStatus& status) {
+        seen_status = status;
+        calls.fetch_add(1, std::memory_order_release);
+      });
+  ASSERT_TRUE(id.ok());
+  auto final_status = manager.Wait(*id);
+  ASSERT_TRUE(final_status.ok());
+  EXPECT_EQ(final_status->stage, MigrationStage::kRetired);
+  EXPECT_EQ(calls.load(std::memory_order_acquire), 1);
+  EXPECT_EQ(seen_status.stage, MigrationStage::kRetired);
+}
+
 TEST_F(MigrationTest, QueriesKeepAnsweringCorrectlyThroughoutMigration) {
   QueryServer server(&sys_);
   MigrationOptions options;
