@@ -96,6 +96,24 @@ Status Catalog::RegisterFragment(StorageDescriptor descriptor) {
     }
   }
   if (descriptor.container.empty()) descriptor.container = name;
+  // Normalize the replica set: replicas[0] mirrors the legacy
+  // store_name/container pair, sibling containers default to a
+  // "#r<i>" suffix so same-store siblings never collide.
+  if (descriptor.replicas.empty()) {
+    descriptor.replicas.push_back(
+        {descriptor.store_name, descriptor.container, descriptor.write_epoch,
+         /*rebuilding=*/false});
+  } else {
+    descriptor.replicas[0].store_name = descriptor.store_name;
+    descriptor.replicas[0].container = descriptor.container;
+    for (size_t i = 1; i < descriptor.replicas.size(); ++i) {
+      ReplicaPlacement& r = descriptor.replicas[i];
+      ESTOCADA_RETURN_NOT_OK(GetStore(r.store_name).status());
+      if (r.container.empty()) {
+        r.container = StrCat(name, "#r", i);
+      }
+    }
+  }
   fragments_.emplace(name, std::move(descriptor));
   return Status::OK();
 }
@@ -146,6 +164,14 @@ std::string Catalog::ToString() const {
                   desc.store_name, "/", desc.container, ", ",
                   desc.stats.row_count, " rows",
                   desc.is_shadow() ? " [shadow]" : "", "\n");
+    if (desc.replicas.size() > 1) {
+      for (size_t i = 1; i < desc.replicas.size(); ++i) {
+        const ReplicaPlacement& r = desc.replicas[i];
+        out += StrCat("    + replica ", i, " @ ", r.store_name, "/",
+                      r.container, r.rebuilding ? " [rebuilding]" : "",
+                      r.fresh(desc.write_epoch) ? "" : " [stale]", "\n");
+      }
+    }
   }
   return out;
 }

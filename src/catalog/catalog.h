@@ -64,6 +64,22 @@ enum class FragmentLifecycle {
   kShadow,
 };
 
+/// One physical copy of a fragment: a store instance, the container
+/// inside it, and a freshness epoch. A replica is fresh when its epoch
+/// equals the descriptor's write_epoch — every logical mutation of the
+/// fragment bumps write_epoch, and each replica's epoch advances only
+/// when the mutation landed on that copy. `rebuilding` marks a replica
+/// the ReplicaRepairer owns: routing and write fan-out skip it until
+/// re-admission.
+struct ReplicaPlacement {
+  std::string store_name;
+  std::string container;
+  uint64_t epoch = 0;
+  bool rebuilding = false;
+
+  bool fresh(uint64_t write_epoch) const { return epoch == write_epoch; }
+};
+
 /// A storage descriptor sd(Sk, Di/Fj) — the paper's §III artifact. The
 /// *what* is the LAV view definition (a CQ over the application dataset's
 /// pivot relations); the *where* names the store and the container inside
@@ -72,11 +88,19 @@ enum class FragmentLifecycle {
 struct StorageDescriptor {
   /// Fragment name == view head relation name (e.g. "F_cart_by_user").
   pacb::ViewDefinition view;
-  /// Which registered store holds this fragment.
+  /// Which registered store holds this fragment (the *primary* replica;
+  /// kept mirrored with replicas[0] so single-copy code keeps working).
   std::string store_name;
   /// Container within the store: table / collection / relation / core
   /// name. Defaults to the fragment name at registration.
   std::string container;
+  /// The fragment's replica set (K placements). RegisterFragment
+  /// normalizes it so replicas[0] always mirrors store_name/container;
+  /// an empty vector on input means "unreplicated" (K=1).
+  std::vector<ReplicaPlacement> replicas;
+  /// Bumped once per logical mutation of the fragment's contents;
+  /// replicas whose epoch lags are stale and excluded from routing.
+  uint64_t write_epoch = 0;
   FragmentStatistics stats;
   /// Positions whose values are nested lists (set at materialization).
   /// Stores without a native collection type (relational, text keys)
@@ -92,6 +116,19 @@ struct StorageDescriptor {
 
   const std::string& name() const { return view.name(); }
   bool is_shadow() const { return lifecycle == FragmentLifecycle::kShadow; }
+
+  /// Replica count (1 for a legacy unreplicated descriptor).
+  size_t replica_count() const {
+    return replicas.empty() ? 1 : replicas.size();
+  }
+  /// True when `idx` names a replica that routing may serve from: not
+  /// mid-rebuild and caught up with the write epoch.
+  bool replica_available(size_t idx) const {
+    if (replicas.empty()) return idx == 0;
+    if (idx >= replicas.size()) return false;
+    const ReplicaPlacement& r = replicas[idx];
+    return !r.rebuilding && r.fresh(write_epoch);
+  }
 };
 
 /// The Storage Descriptor Manager: datasets (pivot schemas + constraints),

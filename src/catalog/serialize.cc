@@ -26,6 +26,27 @@ JsonValue CatalogToJson(const Catalog& catalog) {
     f.Set("adornments", adorn);
     f.Set("store", JsonValue::Str(desc.store_name));
     f.Set("container", JsonValue::Str(desc.container));
+    // Replica siblings (index >= 1; the primary is store/container above).
+    // Epochs are restored verbatim so a checkpoint taken with a stale
+    // replica restores stale — the repairer, not the import, heals it.
+    if (desc.replicas.size() > 1) {
+      JsonValue reps = JsonValue::MakeArray();
+      for (size_t i = 0; i < desc.replicas.size(); ++i) {
+        const ReplicaPlacement& r = desc.replicas[i];
+        JsonValue rep = JsonValue::MakeObject();
+        rep.Set("store", JsonValue::Str(r.store_name));
+        rep.Set("container", JsonValue::Str(r.container));
+        rep.Set("epoch", JsonValue::Int(static_cast<int64_t>(r.epoch)));
+        // A checkpoint taken mid-rebuild must restore mid-rebuild: the
+        // container is unverified, so routing may not see it until a
+        // repairer finishes the job.
+        if (r.rebuilding) rep.Set("rebuilding", JsonValue::Bool(true));
+        reps.Append(std::move(rep));
+      }
+      f.Set("replicas", reps);
+      f.Set("write_epoch",
+            JsonValue::Int(static_cast<int64_t>(desc.write_epoch)));
+    }
     JsonValue idx = JsonValue::MakeArray();
     for (size_t p : desc.index_positions) {
       idx.Append(JsonValue::Int(static_cast<int64_t>(p)));
@@ -83,6 +104,37 @@ Status FragmentsFromJson(const JsonValue& doc, Catalog* catalog) {
     if (const JsonValue* container = f.Find("container");
         container != nullptr && container->is_string()) {
       desc.container = container->string_value();
+    }
+    if (const JsonValue* we = f.Find("write_epoch");
+        we != nullptr && we->is_int()) {
+      desc.write_epoch = static_cast<uint64_t>(we->int_value());
+    }
+    if (const JsonValue* reps = f.Find("replicas");
+        reps != nullptr && reps->is_array()) {
+      // The array carries every placement including the primary (slot 0);
+      // RegisterFragment re-normalizes slot 0's store/container from the
+      // legacy fields but leaves its epoch as restored here.
+      for (const JsonValue& rep : reps->array()) {
+        const JsonValue* rstore = rep.Find("store");
+        if (rstore == nullptr || !rstore->is_string()) {
+          return Status::InvalidArgument("replica entry needs a 'store'");
+        }
+        ReplicaPlacement r;
+        r.store_name = rstore->string_value();
+        if (const JsonValue* rc = rep.Find("container");
+            rc != nullptr && rc->is_string()) {
+          r.container = rc->string_value();
+        }
+        if (const JsonValue* re = rep.Find("epoch");
+            re != nullptr && re->is_int()) {
+          r.epoch = static_cast<uint64_t>(re->int_value());
+        }
+        if (const JsonValue* rb = rep.Find("rebuilding");
+            rb != nullptr && rb->is_bool()) {
+          r.rebuilding = rb->bool_value();
+        }
+        desc.replicas.push_back(std::move(r));
+      }
     }
     if (const JsonValue* idx = f.Find("index_positions");
         idx != nullptr && idx->is_array()) {

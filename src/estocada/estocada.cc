@@ -92,6 +92,134 @@ Status Estocada::DropFragment(const std::string& name) {
   return Status::OK();
 }
 
+Status Estocada::DefineReplicatedFragment(
+    const std::string& view_text,
+    const std::vector<std::string>& replica_stores,
+    std::vector<pivot::Adornment> adornments,
+    std::vector<size_t> index_positions) {
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                            pivot::ParseQuery(view_text));
+  pacb::ViewDefinition view;
+  view.query = std::move(q);
+  view.adornments = std::move(adornments);
+  return DefineReplicatedFragment(std::move(view), replica_stores,
+                                  std::move(index_positions));
+}
+
+Status Estocada::DefineReplicatedFragment(
+    pacb::ViewDefinition view, const std::vector<std::string>& replica_stores,
+    std::vector<size_t> index_positions) {
+  if (replica_stores.empty()) {
+    return Status::InvalidArgument(
+        "a replicated fragment needs at least one store");
+  }
+  catalog::StorageDescriptor desc;
+  desc.view = std::move(view);
+  desc.store_name = replica_stores.front();
+  desc.index_positions = std::move(index_positions);
+  for (const std::string& store : replica_stores) {
+    catalog::ReplicaPlacement placement;
+    placement.store_name = store;
+    desc.replicas.push_back(std::move(placement));
+  }
+  std::string name = desc.name();
+  ESTOCADA_RETURN_NOT_OK(catalog_.RegisterFragment(std::move(desc)));
+  Status materialized =
+      rewriting::MaterializeFragment(staging_, &catalog_, name);
+  if (!materialized.ok()) {
+    (void)catalog_.DropFragment(name);
+    return materialized;
+  }
+  MarkCatalogChanged();
+  return Status::OK();
+}
+
+Status Estocada::BeginReplicaRebuild(const std::string& name,
+                                     size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(catalog::StorageDescriptor * desc,
+                            catalog_.GetMutableFragment(name));
+  if (replica >= desc->replica_count()) {
+    return Status::OutOfRange(StrCat("fragment '", name, "' has ",
+                                     desc->replica_count(),
+                                     " replica(s), asked for #", replica));
+  }
+  if (desc->replica_count() <= 1) {
+    return Status::FailedPrecondition(
+        StrCat("fragment '", name,
+               "' has a single replica; rebuilding it would leave nothing "
+               "to serve reads"));
+  }
+  // Flag first: incremental maintenance and routing must stop touching
+  // the container before it is torn down.
+  desc->replicas[replica].rebuilding = true;
+  Status dropped = rewriting::DropReplicaContainer(&catalog_, name, replica);
+  if (!dropped.ok() && dropped.code() != StatusCode::kNotFound) {
+    return dropped;
+  }
+  return rewriting::CreateReplicaContainer(&catalog_, name, replica);
+}
+
+Status Estocada::AppendToReplicaRows(const std::string& name, size_t replica,
+                                     const std::vector<Row>& rows) {
+  ESTOCADA_ASSIGN_OR_RETURN(const catalog::StorageDescriptor* desc,
+                            catalog_.GetFragment(name));
+  if (replica >= desc->replica_count()) {
+    return Status::OutOfRange(StrCat("fragment '", name, "' has ",
+                                     desc->replica_count(),
+                                     " replica(s), asked for #", replica));
+  }
+  if (desc->replicas.empty() || !desc->replicas[replica].rebuilding) {
+    return Status::FailedPrecondition(
+        StrCat("replica #", replica, " of '", name,
+               "' is live; writes reach it through the fan-out"));
+  }
+  return rewriting::AppendToReplica(&catalog_, name, replica, rows);
+}
+
+Status Estocada::RebuildReplicaFromStaging(const std::string& name,
+                                           size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(const catalog::StorageDescriptor* desc,
+                            catalog_.GetFragment(name));
+  if (desc->replicas.empty() || replica >= desc->replicas.size() ||
+      !desc->replicas[replica].rebuilding) {
+    return Status::FailedPrecondition(
+        StrCat("replica #", replica, " of '", name,
+               "' is not rebuilding; use BeginReplicaRebuild first"));
+  }
+  return rewriting::MaterializeReplica(staging_, &catalog_, name, replica);
+}
+
+Status Estocada::AdmitReplica(const std::string& name, size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(catalog::StorageDescriptor * desc,
+                            catalog_.GetMutableFragment(name));
+  if (desc->replicas.empty() || replica >= desc->replicas.size()) {
+    return Status::OutOfRange(
+        StrCat("fragment '", name, "' has no replica #", replica));
+  }
+  if (!desc->replicas[replica].rebuilding) {
+    return Status::FailedPrecondition(
+        StrCat("replica #", replica, " of '", name, "' is not rebuilding"));
+  }
+  desc->replicas[replica].epoch = desc->write_epoch;
+  desc->replicas[replica].rebuilding = false;
+  // No catalog-epoch bump: replica routing happens per translation, so
+  // cached rewritings pick the re-admitted placement up immediately.
+  return Status::OK();
+}
+
+Status Estocada::VerifyReplica(const std::string& name,
+                               size_t replica) const {
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> expected,
+                            EvaluateFragmentView(name));
+  return rewriting::VerifyReplicaAgainstRows(catalog_, name, replica,
+                                             expected);
+}
+
+Result<uint64_t> Estocada::ReplicaDigest(const std::string& name,
+                                         size_t replica) const {
+  return rewriting::FragmentReplicaDigest(catalog_, name, replica);
+}
+
 Status Estocada::DefineShadowFragment(pacb::ViewDefinition view,
                                       const std::string& store_name,
                                       std::vector<size_t> index_positions) {

@@ -124,6 +124,65 @@ class Estocada {
   /// Drops a fragment: removes the stored container and the descriptor.
   Status DropFragment(const std::string& name);
 
+  // -------------------------------------------------- Replication --
+  // K-way fragment replication (robustness): a replicated fragment keeps
+  // one placement per store in its replica set, each with its own
+  // container and freshness epoch. Reads route to one healthy fresh
+  // replica (rewriting/translator.cc); writes fan out to every fresh one
+  // (rewriting/materializer.cc). The per-replica calls below are the
+  // ReplicaRepairer's building blocks — like the shadow-fragment calls
+  // they never bump the catalog epoch, because replica routing happens
+  // per translation against the live placement bits, not in cached plans.
+
+  /// Declares a fragment replicated across `replica_stores` (K = size;
+  /// the first store is the primary and keeps the legacy store_name/
+  /// container fields) and materializes every replica. Sibling containers
+  /// default to "<fragment>#r<i>".
+  Status DefineReplicatedFragment(
+      const std::string& view_text,
+      const std::vector<std::string>& replica_stores,
+      std::vector<pivot::Adornment> adornments = {},
+      std::vector<size_t> index_positions = {});
+
+  /// Structured variant.
+  Status DefineReplicatedFragment(
+      pacb::ViewDefinition view,
+      const std::vector<std::string>& replica_stores,
+      std::vector<size_t> index_positions = {});
+
+  /// Starts a rebuild of one replica: flags the placement `rebuilding`
+  /// (routing skips it, write fan-out stops touching its container) and
+  /// re-creates its container empty. Re-entrant — retrying an aborted
+  /// rebuild restarts from a clean container. Refuses to rebuild the only
+  /// replica of a fragment (nothing would be left to serve reads).
+  Status BeginReplicaRebuild(const std::string& name, size_t replica);
+
+  /// Appends backfill/catch-up rows to a rebuilding replica's container.
+  /// Refused for live replicas — those are written by the fan-out only.
+  Status AppendToReplicaRows(const std::string& name, size_t replica,
+                             const std::vector<engine::Row>& rows);
+
+  /// One-shot rebuild of a rebuilding replica's container from the
+  /// staging truth (drop + re-evaluate + native load). The repair path
+  /// for text placements, which cannot take appends; valid for any kind.
+  Status RebuildReplicaFromStaging(const std::string& name, size_t replica);
+
+  /// Re-admits a rebuilt replica: stamps it with the fragment's current
+  /// write epoch and clears `rebuilding`, so routing and the write
+  /// fan-out see it again. Call only after the container verified against
+  /// the staging truth (VerifyReplica) — admission itself does not check.
+  Status AdmitReplica(const std::string& name, size_t replica);
+
+  /// Set-compares one replica's container against the fragment view over
+  /// staging (the ground truth). OK iff equal.
+  Status VerifyReplica(const std::string& name, size_t replica) const;
+
+  /// Order-independent content digest of one replica (anti-entropy:
+  /// same-kind siblings must digest equal). Text placements return
+  /// kUnsupported — scrub those with VerifyReplica.
+  Result<uint64_t> ReplicaDigest(const std::string& name,
+                                 size_t replica) const;
+
   // ---------------------------------------------- Shadow fragments --
   // Building blocks of the online migration engine (src/migration). A
   // *shadow* fragment has a descriptor and a physical container but is
@@ -206,6 +265,11 @@ class Estocada {
     /// Execution attempts the serving path spent on this query (1 = no
     /// retry; only the fault-tolerant path sets anything higher).
     int attempts = 1;
+    /// Immediate re-plans after a circuit breaker tripped mid-attempt:
+    /// routing then sees a different replica set, so the serving path
+    /// re-plans onto sibling replicas without consuming a retry attempt
+    /// or sleeping a backoff.
+    int reroutes = 0;
     /// Stores that were open-circuit when this query was planned.
     std::vector<std::string> excluded_stores;
 

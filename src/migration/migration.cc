@@ -211,7 +211,11 @@ Status MigrationEngine::DrainDeltasLocked(Estocada* sys, size_t max_rows) {
 
 Status MigrationEngine::StepPlan() {
   bool target_is_text = false;
-  ESTOCADA_RETURN_NOT_OK(server_->WithAdminLock([&](Estocada* sys) {
+  // The retry envelope covers shadow-container creation too: the target
+  // store rejects writes during a hard outage, and DefineShadowFragment
+  // leaves nothing behind on failure, so re-running it is safe.
+  ESTOCADA_RETURN_NOT_OK(RetryTargetOp([&] {
+    return server_->WithAdminLock([&](Estocada* sys) {
     for (const std::string& name : spec_.retire) {
       auto frag = sys->catalog().GetFragment(name);
       if (!frag.ok()) return frag.status();
@@ -220,14 +224,15 @@ Status MigrationEngine::StepPlan() {
             StrCat("cannot retire '", name, "': it is a shadow fragment"));
       }
     }
-    if (spec_.drop_only()) return Status::OK();
-    ESTOCADA_RETURN_NOT_OK(sys->DefineShadowFragment(
-        spec_.view, spec_.store_name, spec_.index_positions));
-    shadow_defined_ = true;
-    auto store = sys->catalog().GetStore(spec_.store_name);
-    if (!store.ok()) return store.status();
-    target_is_text = (*store)->kind == catalog::StoreKind::kText;
-    return Status::OK();
+      if (spec_.drop_only()) return Status::OK();
+      ESTOCADA_RETURN_NOT_OK(sys->DefineShadowFragment(
+          spec_.view, spec_.store_name, spec_.index_positions));
+      shadow_defined_ = true;
+      auto store = sys->catalog().GetStore(spec_.store_name);
+      if (!store.ok()) return store.status();
+      target_is_text = (*store)->kind == catalog::StoreKind::kText;
+      return Status::OK();
+    });
   }));
   if (!spec_.drop_only()) {
     // Listener before snapshot: an update in the gap is both captured as

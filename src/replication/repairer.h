@@ -1,0 +1,171 @@
+#ifndef ESTOCADA_REPLICATION_REPAIRER_H_
+#define ESTOCADA_REPLICATION_REPAIRER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/query_server.h"
+
+namespace estocada::replication {
+
+/// Stages of one replica rebuild, in order:
+///
+///   Idle → Backfilling → CatchingUp → Verifying → Admitted
+///
+/// with Aborted reachable from every pre-Admitted stage. An aborted
+/// rebuild leaves the placement flagged `rebuilding` — out of routing and
+/// out of the write fan-out — so a later repair restarts from a clean
+/// container and serving correctness never depends on a rebuild
+/// finishing.
+enum class RepairStage {
+  kIdle = 0,
+  kBackfilling,
+  kCatchingUp,
+  kVerifying,
+  kAdmitted,
+  kAborted,
+};
+
+const char* RepairStageName(RepairStage stage);
+
+struct RepairOptions {
+  /// Rows appended per exclusive-lock acquisition during backfill.
+  size_t batch_rows = 256;
+  /// Retry budget for placement-store operations failing kUnavailable.
+  int max_store_retries = 64;
+  /// Base backoff between those retries (grows linearly, capped at 8x).
+  uint64_t retry_backoff_micros = 100;
+  /// Poll interval while paused on the placement store's open breaker.
+  uint64_t pause_poll_micros = 200;
+  /// Catch-up rounds before the residual backlog is left to the atomic
+  /// admission section.
+  size_t max_catchup_rounds = 16;
+  /// Full restarts allowed when a deletion (or a verify mismatch)
+  /// invalidates an in-flight rebuild — deletions have no append delta,
+  /// so the only correct answer is starting over from the new truth.
+  size_t max_restarts = 4;
+  /// Set-compare the rebuilt container against the staging truth before
+  /// admission.
+  bool verify = true;
+  /// Additionally require digest equality with a healthy same-kind
+  /// sibling before admission (skipped for text placements and when no
+  /// comparable sibling is live).
+  bool digest_check = true;
+  /// Test hook, fired at every stage entry; a non-OK return aborts the
+  /// rebuild right there (deterministic abort-at-stage tests).
+  std::function<Status(RepairStage)> stage_hook;
+};
+
+/// Outcome and counters of one replica rebuild.
+struct RepairReport {
+  std::string fragment;
+  size_t replica = 0;
+  RepairStage stage = RepairStage::kIdle;  ///< Final stage reached.
+  Status error;                            ///< Why it aborted (OK otherwise).
+  uint64_t rows_copied = 0;     ///< Backfill + catch-up rows appended.
+  uint64_t batches = 0;         ///< Exclusive-lock append batches.
+  uint64_t catchup_rounds = 0;  ///< Catch-up iterations executed.
+  uint64_t store_retries = 0;   ///< kUnavailable retries against the store.
+  uint64_t breaker_pauses = 0;  ///< Pauses on the open placement breaker.
+  uint64_t restarts = 0;        ///< Full restarts (deletes / verify misses).
+  bool digest_checked = false;  ///< Sibling digest equality was enforced.
+
+  bool admitted() const { return stage == RepairStage::kAdmitted; }
+  std::string ToString() const;
+};
+
+/// Self-healing for K-way replicated fragments: detects dead or stale
+/// replicas, rebuilds them from the staging truth while their siblings
+/// keep serving, verifies the rebuilt container, and atomically re-admits
+/// it into routing and the write fan-out.
+///
+/// A rebuild mirrors the online-migration engine's shape:
+///
+///  * Backfilling — the placement is flagged `rebuilding` (routing and
+///    the maintenance fan-out stop touching it), its container is
+///    re-created empty, an update listener attaches, the fragment view is
+///    snapshot over staging, and the snapshot is appended in throttled
+///    batches, each under a short exclusive-lock window; store failures
+///    walk the same retry/pause/breaker envelope migrations use.
+///  * CatchingUp — inserts that landed during the backfill are drained by
+///    set difference against the already-appended rows (set semantics
+///    make re-appends benign); a deletion restarts the rebuild, since
+///    deletes have no append delta.
+///  * Verifying — one exclusive-lock section drains the residual rows,
+///    set-compares the container against the staging truth, checks digest
+///    equality with a healthy same-kind sibling, and admits the replica
+///    (epoch stamped to the fragment's write epoch, `rebuilding`
+///    cleared). No catalog-epoch bump: routing is per-translation, so
+///    cached plans pick the replica up immediately.
+///
+/// Text placements cannot take appends; their rebuild is a one-shot
+/// rematerialization from staging inside the same envelope.
+///
+/// Thread-safe against the serving path (every catalog touch goes through
+/// the server's locks). Run one repairer instance; repairs are
+/// sequential. The Autopilot checks repair_in_progress() before launching
+/// migrations so a layout change never races a rebuild.
+class ReplicaRepairer {
+ public:
+  explicit ReplicaRepairer(runtime::QueryServer* server,
+                           RepairOptions options = {});
+
+  ReplicaRepairer(const ReplicaRepairer&) = delete;
+  ReplicaRepairer& operator=(const ReplicaRepairer&) = delete;
+
+  /// Rebuilds one replica synchronously. The report carries the outcome:
+  /// report.error is OK iff the replica was admitted. (Failure leaves the
+  /// placement `rebuilding`; a later call — or Tick() — retries.)
+  RepairReport RepairReplica(const std::string& fragment, size_t replica);
+
+  /// One repair pass: scans the catalog for replicas that are stale
+  /// (epoch behind the fragment's write epoch — they missed writes while
+  /// their store was down) or stuck mid-rebuild, skips those whose store
+  /// breaker is still open (the store is not back yet), and rebuilds the
+  /// rest. Returns the number of replicas admitted; failures stay flagged
+  /// for the next tick.
+  Result<size_t> Tick();
+
+  /// Anti-entropy pass over *live* replicas: same-kind sibling groups are
+  /// digest-compared, and a disagreeing group (or any replica digests
+  /// cannot cover — text, singletons-of-kind) is set-verified against the
+  /// staging truth; corrupt replicas are rebuilt. A group that is
+  /// identically corrupt escapes the digest screen — the bench's chaos
+  /// does not produce that, and truth-verification of every replica every
+  /// pass would defeat the point of cheap digests. Returns the number of
+  /// replicas repaired.
+  Result<size_t> Scrub();
+
+  /// True while RepairReplica/Tick/Scrub is rebuilding something. The
+  /// Autopilot's hold guard reads this.
+  bool repair_in_progress() const {
+    return active_.load(std::memory_order_acquire) > 0;
+  }
+
+  /// Reports of every rebuild attempted, in order (test introspection).
+  std::vector<RepairReport> history() const;
+
+ private:
+  /// One full rebuild attempt (all stages); restarts handled inside.
+  void RunRebuild(RepairReport* report);
+
+  /// Runs `op` with the kUnavailable retry/pause envelope against
+  /// `store`, feeding its breaker with the outcomes.
+  Status RetryStoreOp(const std::string& store, RepairReport* report,
+                      const std::function<Status()>& op);
+  void PauseWhileBreakerOpen(const std::string& store, RepairReport* report);
+
+  runtime::QueryServer* server_;
+  RepairOptions options_;
+  std::atomic<int> active_{0};
+  mutable std::mutex history_mu_;
+  std::vector<RepairReport> history_;
+};
+
+}  // namespace estocada::replication
+
+#endif  // ESTOCADA_REPLICATION_REPAIRER_H_

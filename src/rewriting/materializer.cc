@@ -1,6 +1,7 @@
 #include "rewriting/materializer.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 #include <unordered_set>
@@ -73,30 +74,30 @@ std::vector<size_t> IndexPositions(const StorageDescriptor& desc) {
 
 Status LoadRelational(stores::RelationalStore* store,
                       const StorageDescriptor& desc,
+                      const std::string& container,
                       const std::vector<Row>& rows,
                       const std::vector<std::string>& columns) {
   std::vector<stores::ColumnDef> defs;
   for (size_t c = 0; c < columns.size(); ++c) {
     defs.push_back({columns[c], InferColumnType(rows, c)});
   }
-  ESTOCADA_RETURN_NOT_OK(store->CreateTable(desc.container, defs));
+  ESTOCADA_RETURN_NOT_OK(store->CreateTable(container, defs));
   for (const Row& row : rows) {
     Row flat;
     flat.reserve(row.size());
     for (const Value& v : row) flat.push_back(FlattenForRelational(v));
-    ESTOCADA_RETURN_NOT_OK(store->Insert(desc.container, std::move(flat)));
+    ESTOCADA_RETURN_NOT_OK(store->Insert(container, std::move(flat)));
   }
   // Index the declared fast access paths.
   for (size_t pos : IndexPositions(desc)) {
-    ESTOCADA_RETURN_NOT_OK(store->CreateIndex(desc.container, columns[pos]));
+    ESTOCADA_RETURN_NOT_OK(store->CreateIndex(container, columns[pos]));
   }
   return Status::OK();
 }
 
-Status LoadKeyValue(stores::KeyValueStore* store,
-                    const StorageDescriptor& desc,
+Status LoadKeyValue(stores::KeyValueStore* store, const std::string& container,
                     const std::vector<Row>& rows) {
-  ESTOCADA_RETURN_NOT_OK(store->CreateCollection(desc.container));
+  ESTOCADA_RETURN_NOT_OK(store->CreateCollection(container));
   // The payload under each key is the JSON *list of rows* sharing that
   // key (a key position need not be unique — e.g. an advisor-made
   // fragment keyed by product category).
@@ -108,15 +109,16 @@ Status LoadKeyValue(stores::KeyValueStore* store,
   }
   for (const auto& [key, payload] : grouped) {
     ESTOCADA_RETURN_NOT_OK(
-        store->Put(desc.container, key, payload.ToJson().Serialize()));
+        store->Put(container, key, payload.ToJson().Serialize()));
   }
   return Status::OK();
 }
 
 Status LoadDocument(stores::DocumentStore* store,
                     const StorageDescriptor& desc,
+                    const std::string& container,
                     const std::vector<Row>& rows) {
-  ESTOCADA_RETURN_NOT_OK(store->CreateCollection(desc.container));
+  ESTOCADA_RETURN_NOT_OK(store->CreateCollection(container));
   size_t n = 0;
   for (const Row& row : rows) {
     json::JsonValue doc = json::JsonValue::MakeObject();
@@ -124,37 +126,39 @@ Status LoadDocument(stores::DocumentStore* store,
     for (size_t c = 0; c < row.size(); ++c) {
       doc.Set(StrCat("f", c), row[c].ToJson());
     }
-    ESTOCADA_RETURN_NOT_OK(store->Insert(desc.container, doc).status());
+    ESTOCADA_RETURN_NOT_OK(store->Insert(container, doc).status());
   }
   // Path indexes on the declared fast access paths.
   for (size_t pos : IndexPositions(desc)) {
     ESTOCADA_RETURN_NOT_OK(
-        store->CreatePathIndex(desc.container, StrCat("f", pos)));
+        store->CreatePathIndex(container, StrCat("f", pos)));
   }
   return Status::OK();
 }
 
 Status LoadParallel(stores::ParallelStore* store,
                     const StorageDescriptor& desc,
+                    const std::string& container,
                     const std::vector<Row>& rows, size_t arity) {
-  ESTOCADA_RETURN_NOT_OK(store->CreateRelation(desc.container, arity));
-  ESTOCADA_RETURN_NOT_OK(store->InsertBatch(desc.container, rows));
+  ESTOCADA_RETURN_NOT_OK(store->CreateRelation(container, arity));
+  ESTOCADA_RETURN_NOT_OK(store->InsertBatch(container, rows));
   std::vector<size_t> inputs = InputPositions(desc.view);
   if (inputs.empty()) inputs = desc.index_positions;
   if (!inputs.empty()) {
-    ESTOCADA_RETURN_NOT_OK(store->CreateIndex(desc.container, inputs));
+    ESTOCADA_RETURN_NOT_OK(store->CreateIndex(container, inputs));
   }
   return Status::OK();
 }
 
 Status LoadText(stores::TextStore* store, const StorageDescriptor& desc,
-                const std::vector<Row>& rows, size_t arity) {
+                const std::string& container, const std::vector<Row>& rows,
+                size_t arity) {
   if (arity != 2) {
     return Status::InvalidArgument(
         StrCat("text fragment '", desc.name(),
                "' must have arity 2 (docID, term), got ", arity));
   }
-  ESTOCADA_RETURN_NOT_OK(store->CreateCore(desc.container));
+  ESTOCADA_RETURN_NOT_OK(store->CreateCore(container));
   // Group terms per document id.
   std::map<std::string, std::string> text_per_doc;
   for (const Row& row : rows) {
@@ -166,29 +170,54 @@ Status LoadText(stores::TextStore* store, const StorageDescriptor& desc,
     text += term;
   }
   for (const auto& [id, text] : text_per_doc) {
-    ESTOCADA_RETURN_NOT_OK(store->AddDocument(desc.container, id,
-                                              {{"text", text}}));
+    ESTOCADA_RETURN_NOT_OK(store->AddDocument(container, id, {{"text", text}}));
   }
   return Status::OK();
 }
 
 /// Dispatches a Load* call for the store kind (creation + bulk load +
-/// indexes). `rows` may be empty: the container is then created with
-/// open column types, ready for AppendToFragment.
+/// indexes) into one replica's container. `rows` may be empty: the
+/// container is then created with open column types, ready for appends.
 Status LoadFragment(const StoreHandle& store, const StorageDescriptor& desc,
-                    const std::vector<Row>& rows,
+                    const std::string& container, const std::vector<Row>& rows,
                     const std::vector<std::string>& columns, size_t arity) {
   switch (store.kind) {
     case StoreKind::kRelational:
-      return LoadRelational(store.relational, desc, rows, columns);
+      return LoadRelational(store.relational, desc, container, rows, columns);
     case StoreKind::kKeyValue:
-      return LoadKeyValue(store.kv, desc, rows);
+      return LoadKeyValue(store.kv, container, rows);
     case StoreKind::kDocument:
-      return LoadDocument(store.document, desc, rows);
+      return LoadDocument(store.document, desc, container, rows);
     case StoreKind::kParallel:
-      return LoadParallel(store.parallel, desc, rows, arity);
+      return LoadParallel(store.parallel, desc, container, rows, arity);
     case StoreKind::kText:
-      return LoadText(store.text, desc, rows, arity);
+      return LoadText(store.text, desc, container, rows, arity);
+  }
+  return Status::Internal("unknown store kind");
+}
+
+/// The placement of replica `idx` — synthesized from the legacy fields
+/// for descriptors that predate replica normalization.
+catalog::ReplicaPlacement PlacementOf(const StorageDescriptor& desc,
+                                      size_t idx) {
+  if (desc.replicas.empty()) {
+    return {desc.store_name, desc.container, desc.write_epoch, false};
+  }
+  return desc.replicas[idx];
+}
+
+Status DropContainer(const StoreHandle& store, const std::string& container) {
+  switch (store.kind) {
+    case StoreKind::kRelational:
+      return store.relational->DropTable(container);
+    case StoreKind::kKeyValue:
+      return store.kv->DropCollection(container);
+    case StoreKind::kDocument:
+      return store.document->DropCollection(container);
+    case StoreKind::kParallel:
+      return store.parallel->DropRelation(container);
+    case StoreKind::kText:
+      return store.text->DropCore(container);
   }
   return Status::Internal("unknown store kind");
 }
@@ -199,11 +228,15 @@ Status CreateFragmentContainer(Catalog* catalog,
                                const std::string& fragment_name) {
   ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
                             catalog->GetMutableFragment(fragment_name));
-  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                            catalog->GetStore(desc->store_name));
   const size_t arity = desc->view.arity();
   std::vector<std::string> columns = catalog::FragmentColumnNames(desc->view);
-  ESTOCADA_RETURN_NOT_OK(LoadFragment(*store, *desc, {}, columns, arity));
+  for (size_t i = 0; i < desc->replica_count(); ++i) {
+    catalog::ReplicaPlacement p = PlacementOf(*desc, i);
+    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                              catalog->GetStore(p.store_name));
+    ESTOCADA_RETURN_NOT_OK(
+        LoadFragment(*store, *desc, p.container, {}, columns, arity));
+  }
   desc->stats = FragmentStatistics{};
   desc->stats.distinct.assign(arity, 0);
   desc->list_column.assign(arity, false);
@@ -214,8 +247,6 @@ Status MaterializeFragment(const StagingData& staging, Catalog* catalog,
                            const std::string& fragment_name) {
   ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
                             catalog->GetMutableFragment(fragment_name));
-  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                            catalog->GetStore(desc->store_name));
   // Evaluate the view over the staged dataset (set semantics: a
   // materialized view holds each tuple once).
   ESTOCADA_ASSIGN_OR_RETURN(
@@ -223,7 +254,22 @@ Status MaterializeFragment(const StagingData& staging, Catalog* catalog,
       EvaluateCqOverStaging(desc->view.query, staging, {}, true));
   const size_t arity = desc->view.arity();
   std::vector<std::string> columns = catalog::FragmentColumnNames(desc->view);
-  ESTOCADA_RETURN_NOT_OK(LoadFragment(*store, *desc, rows, columns, arity));
+  // The load is strict: every replica must materialize (unlike the
+  // append fan-out, which tolerates stale minorities). Replicas marked
+  // rebuilding are skipped — the ReplicaRepairer owns their containers
+  // (this path doubles as the full-rebuild step of text maintenance).
+  for (size_t i = 0; i < desc->replica_count(); ++i) {
+    catalog::ReplicaPlacement p = PlacementOf(*desc, i);
+    if (p.rebuilding) continue;
+    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                              catalog->GetStore(p.store_name));
+    ESTOCADA_RETURN_NOT_OK(
+        LoadFragment(*store, *desc, p.container, rows, columns, arity));
+  }
+  for (auto& r : desc->replicas) {
+    if (r.rebuilding) continue;
+    r.epoch = desc->write_epoch;
+  }
   desc->stats = ComputeStatistics(rows, arity);
   desc->list_column.assign(arity, false);
   for (const Row& row : rows) {
@@ -236,10 +282,13 @@ Status MaterializeFragment(const StagingData& staging, Catalog* catalog,
 
 namespace {
 
-/// Appends freshly derived view rows to a fragment's physical container.
-Status AppendRowsToFragment(const StoreHandle& store,
-                            StorageDescriptor* desc,
-                            const std::vector<Row>& rows) {
+/// Appends freshly derived view rows to one replica container. Leaves the
+/// descriptor's statistics untouched — callers account a logical append
+/// exactly once, however many replicas received it. `doc_id_base` seeds
+/// the synthetic _id counter of document containers.
+Status AppendRowsToContainer(const StoreHandle& store,
+                             const std::string& container, size_t doc_id_base,
+                             const std::vector<Row>& rows) {
   switch (store.kind) {
     case StoreKind::kRelational:
       for (const Row& row : rows) {
@@ -247,7 +296,7 @@ Status AppendRowsToFragment(const StoreHandle& store,
         flat.reserve(row.size());
         for (const Value& v : row) flat.push_back(FlattenForRelational(v));
         ESTOCADA_RETURN_NOT_OK(
-            store.relational->Insert(desc->container, std::move(flat)));
+            store.relational->Insert(container, std::move(flat)));
       }
       break;
     case StoreKind::kKeyValue: {
@@ -258,7 +307,7 @@ Status AppendRowsToFragment(const StoreHandle& store,
       }
       for (const auto& [key, new_rows] : by_key) {
         Value payload = Value::List({});
-        auto existing = store.kv->Get(desc->container, key);
+        auto existing = store.kv->Get(container, key);
         if (existing.ok()) {
           ESTOCADA_ASSIGN_OR_RETURN(json::JsonValue parsed,
                                     json::Parse(*existing));
@@ -272,30 +321,75 @@ Status AppendRowsToFragment(const StoreHandle& store,
         for (const Row& row : new_rows) {
           payload.mutable_list().push_back(Value::List(row));
         }
-        ESTOCADA_RETURN_NOT_OK(store.kv->Put(
-            desc->container, key, payload.ToJson().Serialize()));
+        ESTOCADA_RETURN_NOT_OK(
+            store.kv->Put(container, key, payload.ToJson().Serialize()));
       }
       break;
     }
     case StoreKind::kDocument: {
-      size_t n = desc->stats.row_count;
+      size_t n = doc_id_base;
       for (const Row& row : rows) {
         json::JsonValue doc = json::JsonValue::MakeObject();
         doc.Set("_id", json::JsonValue::Str(StrCat("r", n++)));
         for (size_t c = 0; c < row.size(); ++c) {
           doc.Set(StrCat("f", c), row[c].ToJson());
         }
-        ESTOCADA_RETURN_NOT_OK(
-            store.document->Insert(desc->container, doc).status());
+        ESTOCADA_RETURN_NOT_OK(store.document->Insert(container, doc).status());
       }
       break;
     }
     case StoreKind::kParallel:
-      ESTOCADA_RETURN_NOT_OK(
-          store.parallel->InsertBatch(desc->container, rows));
+      ESTOCADA_RETURN_NOT_OK(store.parallel->InsertBatch(container, rows));
       break;
     case StoreKind::kText:
       return Status::Unsupported("text fragments are rebuilt, not appended");
+  }
+  return Status::OK();
+}
+
+/// The write fan-out: appends `rows` to every replica that is fresh and
+/// not mid-rebuild, bumping the write epoch once for the logical
+/// mutation. Replicas that take the write advance to the new epoch;
+/// replicas that fail (dead store) are left behind — stale, excluded
+/// from routing, queued for the repairer. When *no* replica takes the
+/// write the epoch bump is rolled back and the first error surfaces, so
+/// an unreplicated fragment behaves exactly as before.
+Status FanOutAppend(Catalog* catalog, StorageDescriptor* desc,
+                    const std::vector<Row>& rows) {
+  const uint64_t old_epoch = desc->write_epoch;
+  const uint64_t new_epoch = old_epoch + 1;
+  // Snapshot placements before the bump: PlacementOf synthesizes the
+  // primary's epoch from write_epoch when the replica vector is empty.
+  std::vector<catalog::ReplicaPlacement> placements;
+  placements.reserve(desc->replica_count());
+  for (size_t i = 0; i < desc->replica_count(); ++i) {
+    placements.push_back(PlacementOf(*desc, i));
+  }
+  desc->write_epoch = new_epoch;
+  size_t successes = 0;
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < placements.size(); ++i) {
+    const catalog::ReplicaPlacement& p = placements[i];
+    if (p.rebuilding || p.epoch != old_epoch) continue;
+    auto store = catalog->GetStore(p.store_name);
+    Status st = store.ok() ? AppendRowsToContainer(**store, p.container,
+                                                   desc->stats.row_count, rows)
+                           : store.status();
+    if (st.ok()) {
+      if (!desc->replicas.empty()) desc->replicas[i].epoch = new_epoch;
+      ++successes;
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  }
+  if (successes == 0) {
+    desc->write_epoch = old_epoch;
+    return first_error.ok()
+               ? Status::Unavailable(
+                     StrCat("fragment '", desc->name(),
+                            "' has no writable replica (all rebuilding or "
+                            "stale)"))
+               : first_error;
   }
   desc->stats.row_count += rows.size();
   return Status::OK();
@@ -308,8 +402,6 @@ Status AppendToFragment(Catalog* catalog, const std::string& fragment_name,
   if (rows.empty()) return Status::OK();
   ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
                             catalog->GetMutableFragment(fragment_name));
-  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                            catalog->GetStore(desc->store_name));
   const size_t arity = desc->view.arity();
   for (const Row& row : rows) {
     if (row.size() != arity) {
@@ -324,25 +416,26 @@ Status AppendToFragment(Catalog* catalog, const std::string& fragment_name,
       if (row[c].is_list()) desc->list_column[c] = true;
     }
   }
-  return AppendRowsToFragment(*store, desc, rows);
+  return FanOutAppend(catalog, desc, rows);
 }
 
-Result<std::vector<Row>> ReadFragmentRows(const Catalog& catalog,
-                                          const std::string& fragment_name) {
-  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
-                            catalog.GetFragment(fragment_name));
-  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                            catalog.GetStore(desc->store_name));
-  const size_t arity = desc->view.arity();
+namespace {
+
+/// Reads a fragment's rows back out of one replica's container.
+Result<std::vector<Row>> ReadContainerRows(const StoreHandle& store,
+                                           const StorageDescriptor& desc,
+                                           const std::string& container) {
+  const std::string& fragment_name = desc.name();
+  const size_t arity = desc.view.arity();
   std::vector<Row> out;
-  switch (store->kind) {
+  switch (store.kind) {
     case StoreKind::kRelational: {
-      ESTOCADA_ASSIGN_OR_RETURN(out, store->relational->Scan(desc->container));
+      ESTOCADA_ASSIGN_OR_RETURN(out, store.relational->Scan(container));
       // Undo the list-to-JSON-text flattening of the load layout.
       for (Row& row : out) {
-        for (size_t c = 0; c < row.size() && c < desc->list_column.size();
+        for (size_t c = 0; c < row.size() && c < desc.list_column.size();
              ++c) {
-          if (!desc->list_column[c] || !row[c].is_string()) continue;
+          if (!desc.list_column[c] || !row[c].is_string()) continue;
           ESTOCADA_ASSIGN_OR_RETURN(json::JsonValue parsed,
                                     json::Parse(row[c].string_value()));
           row[c] = Value::FromJson(parsed);
@@ -351,7 +444,7 @@ Result<std::vector<Row>> ReadFragmentRows(const Catalog& catalog,
       return out;
     }
     case StoreKind::kKeyValue: {
-      ESTOCADA_ASSIGN_OR_RETURN(auto pairs, store->kv->Scan(desc->container));
+      ESTOCADA_ASSIGN_OR_RETURN(auto pairs, store.kv->Scan(container));
       for (const auto& [key, payload] : pairs) {
         ESTOCADA_ASSIGN_OR_RETURN(json::JsonValue parsed,
                                   json::Parse(payload));
@@ -369,8 +462,7 @@ Result<std::vector<Row>> ReadFragmentRows(const Catalog& catalog,
       return out;
     }
     case StoreKind::kDocument: {
-      ESTOCADA_ASSIGN_OR_RETURN(auto docs,
-                                store->document->Find(desc->container, {}));
+      ESTOCADA_ASSIGN_OR_RETURN(auto docs, store.document->Find(container, {}));
       for (const json::JsonValue& doc : docs) {
         Row row;
         row.reserve(arity);
@@ -388,13 +480,36 @@ Result<std::vector<Row>> ReadFragmentRows(const Catalog& catalog,
       return out;
     }
     case StoreKind::kParallel:
-      return store->parallel->ParallelScan(desc->container, nullptr);
+      return store.parallel->ParallelScan(container, nullptr);
     case StoreKind::kText:
       return Status::Unsupported(
           "text fragments fuse terms per document; row readback is lossy — "
           "use VerifyFragmentAgainstRows");
   }
   return Status::Internal("unknown store kind");
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ReadReplicaRows(const Catalog& catalog,
+                                         const std::string& fragment_name,
+                                         size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog.GetFragment(fragment_name));
+  if (replica >= desc->replica_count()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
+                                     desc->replica_count(),
+                                     " replicas; no replica ", replica));
+  }
+  catalog::ReplicaPlacement p = PlacementOf(*desc, replica);
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog.GetStore(p.store_name));
+  return ReadContainerRows(*store, *desc, p.container);
+}
+
+Result<std::vector<Row>> ReadFragmentRows(const Catalog& catalog,
+                                          const std::string& fragment_name) {
+  return ReadReplicaRows(catalog, fragment_name, 0);
 }
 
 namespace {
@@ -450,6 +565,7 @@ Result<Row> CanonRowForKind(StoreKind kind, const Row& row) {
 /// to {doc id -> sorted multiset of whitespace tokens}.
 Status VerifyTextFragment(const StoreHandle& store,
                           const StorageDescriptor& desc,
+                          const std::string& container,
                           const std::vector<Row>& expected_rows) {
   auto tokens_of = [](const std::string& text) {
     std::vector<std::string> toks;
@@ -479,8 +595,7 @@ Status VerifyTextFragment(const StoreHandle& store,
     if (!text.empty()) text += ' ';
     text += term;
   }
-  ESTOCADA_ASSIGN_OR_RETURN(size_t count,
-                            store.text->DocumentCount(desc.container));
+  ESTOCADA_ASSIGN_OR_RETURN(size_t count, store.text->DocumentCount(container));
   if (count != text_per_doc.size()) {
     return Status::FailedPrecondition(
         StrCat("text fragment '", desc.name(), "' holds ", count,
@@ -488,7 +603,7 @@ Status VerifyTextFragment(const StoreHandle& store,
   }
   for (const auto& [id, text] : text_per_doc) {
     ESTOCADA_ASSIGN_OR_RETURN(auto fields,
-                              store.text->GetDocument(desc.container, id));
+                              store.text->GetDocument(container, id));
     auto it = fields.find("text");
     if (it == fields.end() || tokens_of(it->second) != tokens_of(text)) {
       return Status::FailedPrecondition(
@@ -501,18 +616,25 @@ Status VerifyTextFragment(const StoreHandle& store,
 
 }  // namespace
 
-Status VerifyFragmentAgainstRows(const Catalog& catalog,
-                                 const std::string& fragment_name,
-                                 const std::vector<Row>& expected_rows) {
+Status VerifyReplicaAgainstRows(const Catalog& catalog,
+                                const std::string& fragment_name,
+                                size_t replica,
+                                const std::vector<Row>& expected_rows) {
   ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
                             catalog.GetFragment(fragment_name));
+  if (replica >= desc->replica_count()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
+                                     desc->replica_count(),
+                                     " replicas; no replica ", replica));
+  }
+  catalog::ReplicaPlacement p = PlacementOf(*desc, replica);
   ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                            catalog.GetStore(desc->store_name));
+                            catalog.GetStore(p.store_name));
   if (store->kind == StoreKind::kText) {
-    return VerifyTextFragment(*store, *desc, expected_rows);
+    return VerifyTextFragment(*store, *desc, p.container, expected_rows);
   }
   ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> actual,
-                            ReadFragmentRows(catalog, fragment_name));
+                            ReadReplicaRows(catalog, fragment_name, replica));
   std::set<std::string> actual_set;
   for (const Row& row : actual) actual_set.insert(engine::RowToString(row));
   std::set<std::string> expected_set;
@@ -538,14 +660,18 @@ Status VerifyFragmentAgainstRows(const Catalog& catalog,
   return Status::OK();
 }
 
+Status VerifyFragmentAgainstRows(const Catalog& catalog,
+                                 const std::string& fragment_name,
+                                 const std::vector<Row>& expected_rows) {
+  return VerifyReplicaAgainstRows(catalog, fragment_name, 0, expected_rows);
+}
+
 Status MaintainOneFragmentOnInsertBatch(
     const StagingData& staging, Catalog* catalog,
     const std::string& fragment_name,
     const std::vector<std::pair<std::string, Row>>& new_rows) {
   ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
                             catalog->GetMutableFragment(fragment_name));
-  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                            catalog->GetStore(desc->store_name));
   bool affected = false;
   for (const pivot::Atom& a : desc->view.query.body) {
     for (const auto& [relation, row] : new_rows) {
@@ -557,8 +683,18 @@ Status MaintainOneFragmentOnInsertBatch(
     if (affected) break;
   }
   if (!affected) return Status::OK();
-  if (store->kind == StoreKind::kText) {
-    // Per-document postings are immutable in the text store: rebuild.
+  // Per-document postings are immutable in the text store: a placement
+  // there forces the rebuild path for the whole replica set (the rebuild
+  // leaves every serving replica fresh, so no epoch bump is needed).
+  bool any_text = false;
+  for (size_t i = 0; i < desc->replica_count(); ++i) {
+    catalog::ReplicaPlacement p = PlacementOf(*desc, i);
+    if (p.rebuilding) continue;
+    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* s,
+                              catalog->GetStore(p.store_name));
+    if (s->kind == StoreKind::kText) any_text = true;
+  }
+  if (any_text) {
     ESTOCADA_RETURN_NOT_OK(DematerializeFragment(catalog, fragment_name));
     return MaterializeFragment(staging, catalog, fragment_name);
   }
@@ -621,7 +757,7 @@ Status MaintainOneFragmentOnInsertBatch(
       }
     }
   }
-  return AppendRowsToFragment(*store, desc, delta);
+  return FanOutAppend(catalog, desc, delta);
 }
 
 Status MaintainFragmentsOnInsertBatch(
@@ -664,21 +800,125 @@ Status DematerializeFragment(Catalog* catalog,
                              const std::string& fragment_name) {
   ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
                             catalog->GetFragment(fragment_name));
-  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                            catalog->GetStore(desc->store_name));
-  switch (store->kind) {
-    case StoreKind::kRelational:
-      return store->relational->DropTable(desc->container);
-    case StoreKind::kKeyValue:
-      return store->kv->DropCollection(desc->container);
-    case StoreKind::kDocument:
-      return store->document->DropCollection(desc->container);
-    case StoreKind::kParallel:
-      return store->parallel->DropRelation(desc->container);
-    case StoreKind::kText:
-      return store->text->DropCore(desc->container);
+  // Replicas mid-rebuild are skipped: the repairer owns those containers
+  // and drops them itself when its rebuild aborts.
+  for (size_t i = 0; i < desc->replica_count(); ++i) {
+    catalog::ReplicaPlacement p = PlacementOf(*desc, i);
+    if (p.rebuilding) continue;
+    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                              catalog->GetStore(p.store_name));
+    ESTOCADA_RETURN_NOT_OK(DropContainer(*store, p.container));
   }
-  return Status::Internal("unknown store kind");
+  return Status::OK();
+}
+
+Status CreateReplicaContainer(Catalog* catalog,
+                              const std::string& fragment_name,
+                              size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
+                            catalog->GetMutableFragment(fragment_name));
+  if (replica >= desc->replica_count()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
+                                     desc->replica_count(),
+                                     " replicas; no replica ", replica));
+  }
+  catalog::ReplicaPlacement p = PlacementOf(*desc, replica);
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(p.store_name));
+  std::vector<std::string> columns = catalog::FragmentColumnNames(desc->view);
+  return LoadFragment(*store, *desc, p.container, {}, columns,
+                      desc->view.arity());
+}
+
+Status MaterializeReplica(const StagingData& staging, Catalog* catalog,
+                          const std::string& fragment_name, size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog->GetFragment(fragment_name));
+  if (replica >= desc->replica_count()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
+                                     desc->replica_count(),
+                                     " replica(s), asked for #", replica));
+  }
+  catalog::ReplicaPlacement p = PlacementOf(*desc, replica);
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(p.store_name));
+  ESTOCADA_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      EvaluateCqOverStaging(desc->view.query, staging, {}, true));
+  Status dropped = DropContainer(*store, p.container);
+  if (!dropped.ok() && dropped.code() != StatusCode::kNotFound) {
+    return dropped;
+  }
+  std::vector<std::string> columns = catalog::FragmentColumnNames(desc->view);
+  return LoadFragment(*store, *desc, p.container, rows, columns,
+                      desc->view.arity());
+}
+
+Status DropReplicaContainer(Catalog* catalog, const std::string& fragment_name,
+                            size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog->GetFragment(fragment_name));
+  if (replica >= desc->replica_count()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
+                                     desc->replica_count(),
+                                     " replicas; no replica ", replica));
+  }
+  catalog::ReplicaPlacement p = PlacementOf(*desc, replica);
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(p.store_name));
+  return DropContainer(*store, p.container);
+}
+
+Status AppendToReplica(Catalog* catalog, const std::string& fragment_name,
+                       size_t replica, const std::vector<Row>& rows) {
+  if (rows.empty()) return Status::OK();
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog->GetFragment(fragment_name));
+  if (replica >= desc->replica_count()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
+                                     desc->replica_count(),
+                                     " replicas; no replica ", replica));
+  }
+  catalog::ReplicaPlacement p = PlacementOf(*desc, replica);
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(p.store_name));
+  // Repair-path appends seed the synthetic document _id counter from the
+  // target container itself (ids only need to be container-unique; row
+  // readback ignores them), so a rebuild restarted mid-way never collides
+  // with its own earlier batches.
+  size_t doc_id_base = 0;
+  if (store->kind == StoreKind::kDocument) {
+    ESTOCADA_ASSIGN_OR_RETURN(doc_id_base,
+                              store->document->Count(p.container));
+  }
+  return AppendRowsToContainer(*store, p.container, doc_id_base, rows);
+}
+
+Result<uint64_t> FragmentReplicaDigest(const Catalog& catalog,
+                                       const std::string& fragment_name,
+                                       size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                            ReadReplicaRows(catalog, fragment_name, replica));
+  // Set-semantics digest: order-independent over the distinct canonical
+  // row serializations, so equal replica contents always digest equal and
+  // single-row divergence is overwhelmingly likely to show. Only
+  // meaningful between placements of the same store kind — kinds differ
+  // in value round-trips (anti-entropy falls back to staging-truth
+  // verification across kinds and for text, which has no row readback).
+  std::set<std::string> distinct;
+  for (const Row& row : rows) distinct.insert(engine::RowToString(row));
+  uint64_t sum = 0;
+  uint64_t xored = 0;
+  for (const std::string& s : distinct) {
+    uint64_t h = std::hash<std::string>{}(s);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    sum += h;
+    xored ^= h;
+  }
+  return sum ^ (xored * 0x9e3779b97f4a7c15ULL) ^
+         static_cast<uint64_t>(distinct.size());
 }
 
 }  // namespace estocada::rewriting

@@ -40,6 +40,14 @@ Status CreateFragmentContainer(catalog::Catalog* catalog,
 /// in the store's native layout, updating row-count statistics and list-
 /// column flags. Text fragments cannot be appended to (per-document
 /// postings are immutable): returns kUnsupported — rebuild instead.
+///
+/// Replicated fragments fan the append out: the write epoch advances by
+/// one, every fresh non-rebuilding replica receives the rows, and each
+/// replica that takes them moves to the new epoch. A replica whose store
+/// is down stays at its old epoch — stale, out of the routing set, queued
+/// for the repairer. The call succeeds while at least one replica takes
+/// the write; with none, the epoch bump is rolled back and the first
+/// store error surfaces (identical to the unreplicated behavior).
 Status AppendToFragment(catalog::Catalog* catalog,
                         const std::string& fragment_name,
                         const std::vector<engine::Row>& rows);
@@ -65,12 +73,69 @@ Status VerifyFragmentAgainstRows(const catalog::Catalog& catalog,
                                  const std::string& fragment_name,
                                  const std::vector<engine::Row>& expected_rows);
 
-/// Drops the fragment's physical container from its store (inverse of
-/// materialization), leaving the descriptor in place; used by the advisor
-/// when re-organizing. DropFragment on the catalog removes the
-/// descriptor.
+/// Drops the fragment's physical containers from their stores (inverse of
+/// materialization, all replicas), leaving the descriptor in place; used
+/// by the advisor when re-organizing. Containers of replicas mid-rebuild
+/// are left alone — the repairer owns and cleans those up. DropFragment
+/// on the catalog removes the descriptor.
 Status DematerializeFragment(catalog::Catalog* catalog,
                              const std::string& fragment_name);
+
+/// --- Per-replica primitives (replica repair and anti-entropy) ---------
+///
+/// The replica-indexed variants below operate on exactly one placement of
+/// a replicated fragment and never touch the descriptor's epochs or
+/// statistics; the ReplicaRepairer sequences them into a rebuild
+/// (drop → create → backfill batches → verify) and flips the epoch /
+/// rebuilding bits itself under the server's admin lock.
+
+/// Creates replica `replica`'s *empty* container (with the fragment's
+/// indexes) in its placement store.
+Status CreateReplicaContainer(catalog::Catalog* catalog,
+                              const std::string& fragment_name,
+                              size_t replica);
+
+/// Drops replica `replica`'s container from its placement store.
+Status DropReplicaContainer(catalog::Catalog* catalog,
+                            const std::string& fragment_name, size_t replica);
+
+/// Rebuilds replica `replica`'s container in one shot from the staging
+/// truth: drops it (tolerating absence), re-evaluates the view, and loads
+/// the rows in the store's native layout. Works for every store kind —
+/// the only rebuild path for text placements, which cannot be appended
+/// to. Epochs and statistics are untouched.
+Status MaterializeReplica(const StagingData& staging,
+                          catalog::Catalog* catalog,
+                          const std::string& fragment_name, size_t replica);
+
+/// Appends already-computed view rows to replica `replica`'s container
+/// only. Statistics and epochs are untouched; document _ids are seeded
+/// from the container's own count, so restarted rebuilds never collide.
+Status AppendToReplica(catalog::Catalog* catalog,
+                       const std::string& fragment_name, size_t replica,
+                       const std::vector<engine::Row>& rows);
+
+/// Reads replica `replica`'s container back into pivot-space view rows
+/// (same contract as ReadFragmentRows, which is the replica-0 case).
+Result<std::vector<engine::Row>> ReadReplicaRows(
+    const catalog::Catalog& catalog, const std::string& fragment_name,
+    size_t replica);
+
+/// Set-compares replica `replica`'s content against `expected_rows`
+/// (same contract as VerifyFragmentAgainstRows, the replica-0 case).
+Status VerifyReplicaAgainstRows(const catalog::Catalog& catalog,
+                                const std::string& fragment_name,
+                                size_t replica,
+                                const std::vector<engine::Row>& expected_rows);
+
+/// Order-independent digest over the distinct rows stored in replica
+/// `replica` — byte-equal replica contents digest equal. Comparable only
+/// between placements of the same store kind (kinds round-trip values
+/// differently); text placements return kUnsupported (no row readback) —
+/// anti-entropy verifies those against the staging truth instead.
+Result<uint64_t> FragmentReplicaDigest(const catalog::Catalog& catalog,
+                                       const std::string& fragment_name,
+                                       size_t replica);
 
 /// Incremental view maintenance: given one tuple freshly appended to
 /// dataset relation `relation` (already present in `staging`), computes

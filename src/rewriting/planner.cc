@@ -6,11 +6,6 @@
 
 namespace estocada::rewriting {
 
-bool PlanConstraints::Excludes(const std::string& store) const {
-  return std::find(excluded_stores.begin(), excluded_stores.end(), store) !=
-         excluded_stores.end();
-}
-
 std::vector<std::string> RewritingStores(
     const catalog::Catalog& catalog,
     const pivot::ConjunctiveQuery& rewriting) {
@@ -18,7 +13,13 @@ std::vector<std::string> RewritingStores(
   for (const pivot::Atom& atom : rewriting.body) {
     auto fragment = catalog.GetFragment(atom.relation);
     if (!fragment.ok()) continue;
-    out.push_back((*fragment)->store_name);
+    if ((*fragment)->replicas.empty()) {
+      out.push_back((*fragment)->store_name);
+    } else {
+      for (const catalog::ReplicaPlacement& r : (*fragment)->replicas) {
+        out.push_back(r.store_name);
+      }
+    }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -54,23 +55,21 @@ Result<PlanSet> Planner::PlanRewritings(
   Status last_error = Status::OK();
   size_t excluded = 0;
   for (const pacb::Rewriting& rw : out.rewriting_result.rewritings) {
-    std::vector<std::string> used = RewritingStores(*catalog_, rw.query);
-    if (!constraints.excluded_stores.empty() &&
-        std::any_of(used.begin(), used.end(),
-                    [&](const std::string& s) {
-                      return constraints.Excludes(s);
-                    })) {
-      ++excluded;
-      continue;
-    }
-    auto plan = translator.Plan(rw.query, parameters);
+    // Exclusions are applied by routing inside the translator, per
+    // fragment: a fragment on an excluded store survives whenever a
+    // sibling replica can serve it. Only a rewriting with some fragment
+    // left placement-less drops out (kUnavailable).
+    auto plan = translator.Plan(rw.query, parameters, constraints);
     if (!plan.ok()) {
+      if (plan.status().code() == StatusCode::kUnavailable) {
+        ++excluded;
+        continue;
+      }
       // An individual rewriting can be unplannable (e.g. unbound
       // parameter for this call); remember and try the others.
       last_error = plan.status();
       continue;
     }
-    plan->stores_used = std::move(used);
     out.plans.push_back(std::move(*plan));
   }
   if (out.plans.empty()) {

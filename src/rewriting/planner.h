@@ -25,18 +25,11 @@ struct PlanSet {
   const PlannedQuery& best_plan() const { return plans[best]; }
 };
 
-/// Planning-time availability constraints: a rewriting whose fragments
-/// live (even partially) on an excluded store is dropped from the
-/// candidate set before translation. Fed by the runtime's circuit
-/// breakers — this is what turns rewriting multiplicity into failover.
-struct PlanConstraints {
-  std::vector<std::string> excluded_stores;
-
-  bool Excludes(const std::string& store) const;
-};
-
-/// Store names holding the fragments `rewriting` reads (sorted,
-/// deduplicated; atoms that are not registered fragments are ignored).
+/// Store names holding the fragments `rewriting` reads — every replica
+/// placement, primaries first (sorted, deduplicated; atoms that are not
+/// registered fragments are ignored). Note a plan built from the
+/// rewriting reads only one routed placement per fragment: see
+/// PlannedQuery::stores_used for the stores a plan actually touches.
 std::vector<std::string> RewritingStores(
     const catalog::Catalog& catalog, const pivot::ConjunctiveQuery& rewriting);
 

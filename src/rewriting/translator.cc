@@ -36,6 +36,16 @@ std::string RuntimeStats::ToString() const {
   return out;
 }
 
+bool PlanConstraints::Excludes(const std::string& store) const {
+  return std::find(excluded_stores.begin(), excluded_stores.end(), store) !=
+         excluded_stores.end();
+}
+
+bool PlanConstraints::OnProbation(const std::string& store) const {
+  return std::find(probation_stores.begin(), probation_stores.end(), store) !=
+         probation_stores.end();
+}
+
 std::string PlannedQuery::ToString() const {
   std::string out = StrCat("rewriting: ", rewriting.ToString(), "\n",
                            "estimated cost: ", estimated_cost,
@@ -53,12 +63,44 @@ namespace {
 struct AtomInfo {
   const Atom* atom;
   const StorageDescriptor* fragment;
+  /// The routed replica placement: the store/container this plan reads
+  /// the fragment from (the primary unless routing moved it).
   const StoreHandle* store;
+  std::string store_name;
+  std::string container;
   /// Plan-time ground value per position (constant or parameter).
   std::vector<std::optional<Value>> ground;
   /// Variable name per position ("" when ground).
   std::vector<std::string> var;
 };
+
+/// Picks the replica placement an atom reads from: the first one (the
+/// primary preferred) that is fresh, not mid-rebuild, and whose store is
+/// not excluded. Two passes: replicas on probation stores (half-open
+/// breakers) are skipped while any fully-healthy replica qualifies, and
+/// admitted as probe traffic only when nothing healthy can serve.
+/// kUnavailable when no placement qualifies at all — the planner then
+/// drops every rewriting using this fragment, and the server falls back
+/// to staging only once *all* rewritings are gone.
+Result<catalog::ReplicaPlacement> RouteFragment(
+    const StorageDescriptor& frag, const PlanConstraints& constraints) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < frag.replica_count(); ++i) {
+      catalog::ReplicaPlacement p =
+          frag.replicas.empty()
+              ? catalog::ReplicaPlacement{frag.store_name, frag.container,
+                                          frag.write_epoch, false}
+              : frag.replicas[i];
+      if (p.rebuilding || !p.fresh(frag.write_epoch)) continue;
+      if (constraints.Excludes(p.store_name)) continue;
+      if (pass == 0 && constraints.OnProbation(p.store_name)) continue;
+      return p;
+    }
+  }
+  return Status::Unavailable(
+      StrCat("fragment '", frag.name(),
+             "' has no available replica (excluded, stale, or rebuilding)"));
+}
 
 /// A group of atoms reformulated as a single native store access.
 struct CompiledGroup {
@@ -136,11 +178,13 @@ Translator::Translator(const catalog::Catalog* catalog) : catalog_(catalog) {}
 
 Result<PlannedQuery> Translator::Plan(
     const ConjunctiveQuery& rewriting,
-    const std::map<std::string, Value>& parameters) const {
+    const std::map<std::string, Value>& parameters,
+    const PlanConstraints& constraints) const {
   ESTOCADA_RETURN_NOT_OK(rewriting.Validate());
   auto runtime = std::make_shared<RuntimeStats>();
 
-  // ---- Resolve atoms against the catalog.
+  // ---- Resolve atoms against the catalog, routing each fragment read
+  // to one available replica placement.
   std::vector<AtomInfo> infos;
   for (const Atom& atom : rewriting.body) {
     ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* frag,
@@ -150,12 +194,16 @@ Result<PlannedQuery> Translator::Plan(
           StrCat("atom ", atom.ToString(), " does not match fragment arity ",
                  frag->view.arity()));
     }
+    ESTOCADA_ASSIGN_OR_RETURN(catalog::ReplicaPlacement placement,
+                              RouteFragment(*frag, constraints));
     ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                              catalog_->GetStore(frag->store_name));
+                              catalog_->GetStore(placement.store_name));
     AtomInfo info;
     info.atom = &atom;
     info.fragment = frag;
     info.store = store;
+    info.store_name = std::move(placement.store_name);
+    info.container = std::move(placement.container);
     for (const Term& t : atom.terms) {
       if (t.is_constant()) {
         info.ground.emplace_back(Value::FromConstant(t.constant()));
@@ -203,12 +251,12 @@ Result<PlannedQuery> Translator::Plan(
   for (size_t idx : order) {
     const AtomInfo& info = infos[idx];
     if (info.store->kind == StoreKind::kRelational) {
-      auto it = rel_group_of_store.find(info.fragment->store_name);
+      auto it = rel_group_of_store.find(info.store_name);
       if (it != rel_group_of_store.end()) {
         groups[it->second].push_back(idx);
         continue;
       }
-      rel_group_of_store.emplace(info.fragment->store_name, groups.size());
+      rel_group_of_store.emplace(info.store_name, groups.size());
     }
     groups.push_back({idx});
   }
@@ -217,6 +265,11 @@ Result<PlannedQuery> Translator::Plan(
   PlannedQuery plan;
   plan.rewriting = rewriting;
   plan.runtime_stats = runtime;
+  for (const AtomInfo& info : infos) plan.stores_used.push_back(info.store_name);
+  std::sort(plan.stores_used.begin(), plan.stores_used.end());
+  plan.stores_used.erase(
+      std::unique(plan.stores_used.begin(), plan.stores_used.end()),
+      plan.stores_used.end());
 
   std::vector<CompiledGroup> compiled;
   for (const std::vector<size_t>& group : groups) {
@@ -224,7 +277,7 @@ Result<PlannedQuery> Translator::Plan(
     const AtomInfo& head_info = infos[group[0]];
     const StoreKind kind = head_info.store->kind;
     const CostConstants cost = CostModel(kind);
-    const std::string store_name = head_info.fragment->store_name;
+    const std::string store_name = head_info.store_name;
 
     if (kind == StoreKind::kRelational) {
       // -- Largest delegatable subquery: one SPJ over all group atoms.
@@ -244,7 +297,7 @@ Result<PlannedQuery> Translator::Plan(
       for (size_t gi = 0; gi < group.size(); ++gi) {
         const AtomInfo& info = infos[group[gi]];
         std::string alias = StrCat("a", gi);
-        q.from.push_back({info.fragment->container, alias});
+        q.from.push_back({info.container, alias});
         std::vector<std::string> cols =
             catalog::FragmentColumnNames(info.fragment->view);
         const double atom_rows = std::max<double>(
@@ -370,7 +423,7 @@ Result<PlannedQuery> Translator::Plan(
     switch (kind) {
       case StoreKind::kKeyValue: {
         stores::KeyValueStore* store = info.store->kv;
-        const std::string container = info.fragment->container;
+        const std::string container = info.container;
         // Key is position 0 (materializer layout).
         bool key_needed = !needed_positions.empty() &&
                           needed_positions[0] == 0;
@@ -449,7 +502,7 @@ Result<PlannedQuery> Translator::Plan(
       }
       case StoreKind::kDocument: {
         stores::DocumentStore* store = info.store->document;
-        const std::string container = info.fragment->container;
+        const std::string container = info.container;
         cg.access_cost = cost.per_op + cost.per_row * rows_total * 0.5 +
                          cost.per_ret * cg.est_out_rows;
         std::vector<std::string> pred_bits;
@@ -498,7 +551,7 @@ Result<PlannedQuery> Translator::Plan(
       }
       case StoreKind::kParallel: {
         stores::ParallelStore* store = info.store->parallel;
-        const std::string container = info.fragment->container;
+        const std::string container = info.container;
         // Index over the input-adorned positions exists iff there are any
         // (materializer contract). Use it when every indexed position is
         // ground or needed.
@@ -564,7 +617,7 @@ Result<PlannedQuery> Translator::Plan(
       }
       case StoreKind::kText: {
         stores::TextStore* store = info.store->text;
-        const std::string container = info.fragment->container;
+        const std::string container = info.container;
         cg.access_cost = cost.per_op + cost.per_lookup +
                          cost.per_ret * cg.est_out_rows;
         cg.desc = StrCat(

@@ -23,6 +23,28 @@ struct RuntimeStats {
   std::string ToString() const;
 };
 
+/// Planning-time availability constraints: fragment reads route around
+/// the excluded stores — each atom resolves to its first replica
+/// placement that is fresh, not mid-rebuild, and not excluded. A
+/// rewriting with some fragment left placement-less is dropped from the
+/// candidate set. Fed by the runtime's circuit breakers — this is what
+/// turns rewriting multiplicity *and* replica multiplicity into
+/// failover. Exclusions are per store instance: an open breaker on one
+/// instance never affects fragments held by other instances of the same
+/// kind.
+struct PlanConstraints {
+  std::vector<std::string> excluded_stores;
+  /// Stores on probation (half-open circuit breakers): still routable, but
+  /// a fragment read prefers any replica on a fully-healthy store. Probe
+  /// traffic reaches a recovering store only when no healthy replica can
+  /// serve instead — a flapping dead replica earlier in placement order
+  /// must never shadow a live sibling behind it.
+  std::vector<std::string> probation_stores;
+
+  bool Excludes(const std::string& store) const;
+  bool OnProbation(const std::string& store) const;
+};
+
 /// An executable plan for one rewriting: an engine operator tree whose
 /// leaves call into the underlying stores (delegated subqueries, point
 /// lookups, searches), plus cost estimates and a printable description.
@@ -36,9 +58,10 @@ struct PlannedQuery {
   pivot::ConjunctiveQuery rewriting;
   /// Delegated native queries, one line each (SQL text, KV gets, ...).
   std::vector<std::string> delegated;
-  /// Names of the stores whose fragments this plan reads (sorted,
-  /// deduplicated). The serving runtime attributes execution failures and
-  /// targets circuit breakers using this list.
+  /// Names of the stores this plan actually reads — the *routed* replica
+  /// placements, not the fragments' primaries (sorted, deduplicated).
+  /// The serving runtime attributes execution failures and targets
+  /// circuit breakers using this list.
   std::vector<std::string> stores_used;
 
   /// Operator tree rendering plus the delegation list.
@@ -56,10 +79,14 @@ class Translator {
   explicit Translator(const catalog::Catalog* catalog);
 
   /// Builds the executable plan of `rewriting`. `parameters` supplies
-  /// values for '$'-prefixed variables.
+  /// values for '$'-prefixed variables. Each fragment atom is routed to
+  /// one available replica placement under `constraints`; with no
+  /// constraints and fresh primaries this is always the primary. Fails
+  /// kUnavailable when some fragment has no available placement.
   Result<PlannedQuery> Plan(
       const pivot::ConjunctiveQuery& rewriting,
-      const std::map<std::string, engine::Value>& parameters = {}) const;
+      const std::map<std::string, engine::Value>& parameters = {},
+      const PlanConstraints& constraints = {}) const;
 
  private:
   const catalog::Catalog* catalog_;

@@ -1,5 +1,7 @@
 #include "runtime/health.h"
 
+#include <algorithm>
+
 namespace estocada::runtime {
 
 const char* BreakerStateName(BreakerState state) {
@@ -22,14 +24,17 @@ bool HealthRegistry::ReportFailure(const std::string& store) {
     case BreakerState::kOpen:
       return false;  // Already open; nothing new to report.
     case BreakerState::kHalfOpen:
-      // The probe failed: straight back to open, restart the cooldown.
+      // The probe failed: straight back to open, restart the cooldown
+      // (longer each consecutive trip — the store is flapping).
       b.state = BreakerState::kOpen;
+      ++b.consecutive_trips;
       b.opened_at = Clock::now();
       epoch_.fetch_add(1, std::memory_order_release);
       return true;
     case BreakerState::kClosed:
       if (b.consecutive_failures < options_.failure_threshold) return false;
       b.state = BreakerState::kOpen;
+      ++b.consecutive_trips;
       b.opened_at = Clock::now();
       epoch_.fetch_add(1, std::memory_order_release);
       return true;
@@ -43,6 +48,7 @@ void HealthRegistry::ReportSuccess(const std::string& store) {
   if (it == breakers_.end()) return;  // Never failed: implicitly closed.
   Breaker& b = it->second;
   b.consecutive_failures = 0;
+  b.consecutive_trips = 0;
   if (b.state == BreakerState::kClosed) return;
   // A success while half-open (probe worked) — or while open, which can
   // happen when an in-flight read raced the trip — closes the breaker.
@@ -59,14 +65,28 @@ std::vector<std::string> HealthRegistry::ExcludedStores() {
     const auto open_for =
         std::chrono::duration_cast<std::chrono::microseconds>(now -
                                                               b.opened_at);
+    // Exponential backoff on consecutive trips: 1x, 2x, 4x, ... capped.
+    const uint64_t cap = static_cast<uint64_t>(
+        std::max(1, options_.max_cooldown_multiplier));
+    const uint64_t multiplier = std::min(
+        cap, uint64_t{1} << std::min(std::max(b.consecutive_trips - 1, 0), 30));
     if (open_for.count() >= 0 &&
         static_cast<uint64_t>(open_for.count()) >=
-            options_.open_cooldown_micros) {
+            options_.open_cooldown_micros * multiplier) {
       b.state = BreakerState::kHalfOpen;  // Cooldown over: admit a probe.
       epoch_.fetch_add(1, std::memory_order_release);
       continue;
     }
     out.push_back(store);
+  }
+  return out;
+}
+
+std::vector<std::string> HealthRegistry::ProbationStores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [store, b] : breakers_) {
+    if (b.state == BreakerState::kHalfOpen) out.push_back(store);
   }
   return out;
 }

@@ -27,6 +27,11 @@ struct HealthOptions {
   /// How long an open breaker stays open before admitting a half-open
   /// probe. Tests use 0 for instant probes.
   uint64_t open_cooldown_micros = 100'000;
+  /// Every consecutive re-trip (open → half-open → failed probe → open,
+  /// with no success in between) doubles the effective cooldown, capped at
+  /// base * this multiplier. A hard-down store flaps slower and slower
+  /// instead of re-entering every plan as soon as one cooldown elapses.
+  int max_cooldown_multiplier = 64;
 };
 
 /// Per-store circuit breakers shared by every serving thread. Execution
@@ -56,6 +61,11 @@ class HealthRegistry {
   /// lets probe traffic resume after the cooldown.
   std::vector<std::string> ExcludedStores();
 
+  /// Stores whose breaker is half-open right now: routable, but only as a
+  /// probe — planners prefer replicas on fully-closed stores and fall back
+  /// to these when nothing healthy can serve. No side effects.
+  std::vector<std::string> ProbationStores() const;
+
   /// Current state without side effects (no cooldown transition).
   BreakerState state(const std::string& store) const;
 
@@ -74,6 +84,8 @@ class HealthRegistry {
   struct Breaker {
     BreakerState state = BreakerState::kClosed;
     int consecutive_failures = 0;
+    /// Opens since the last success; scales the cooldown exponentially.
+    int consecutive_trips = 0;
     Clock::time_point opened_at;
   };
 

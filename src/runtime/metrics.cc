@@ -15,8 +15,10 @@ MetricsSnapshot ServerMetrics::snapshot() const {
   s.errors = errors_.load(kRelaxed);
   s.retries = retries_.load(kRelaxed);
   s.breaker_trips = breaker_trips_.load(kRelaxed);
+  s.reroutes = reroutes_.load(kRelaxed);
   s.failovers = failovers_.load(kRelaxed);
   s.degraded = degraded_.load(kRelaxed);
+  s.replica_rebuilds = replica_rebuilds_.load(kRelaxed);
   s.latency = latency_.snapshot();
   return s;
 }
@@ -29,8 +31,10 @@ void ServerMetrics::Reset() {
   errors_.store(0, kRelaxed);
   retries_.store(0, kRelaxed);
   breaker_trips_.store(0, kRelaxed);
+  reroutes_.store(0, kRelaxed);
   failovers_.store(0, kRelaxed);
   degraded_.store(0, kRelaxed);
+  replica_rebuilds_.store(0, kRelaxed);
   latency_.Reset();
 }
 
@@ -43,8 +47,9 @@ std::string MetricsSnapshot::ToString() const {
                 " miss(es) (", rate, " hit rate)\n",
                 "PACB rewrites:   ", rewrites, "\n",
                 "resilience:      ", retries, " retry(ies), ", breaker_trips,
-                " breaker trip(s), ", failovers, " failover(s), ", degraded,
-                " degraded\n",
+                " breaker trip(s), ", reroutes, " reroute(s), ", failovers,
+                " failover(s), ", degraded, " degraded, ", replica_rebuilds,
+                " replica rebuild(s)\n",
                 "latency:         ", latency.ToString(), "\n");
 }
 

@@ -19,8 +19,10 @@ struct MetricsSnapshot {
   uint64_t errors = 0;           ///< Queries that returned a non-OK status.
   uint64_t retries = 0;          ///< Re-executions after a transient fault.
   uint64_t breaker_trips = 0;    ///< Circuit breakers tripped open.
+  uint64_t reroutes = 0;         ///< Immediate sibling-replica re-routes.
   uint64_t failovers = 0;        ///< Re-plans that excluded unhealthy stores.
   uint64_t degraded = 0;         ///< Answers served from the staging area.
+  uint64_t replica_rebuilds = 0; ///< Replicas rebuilt and re-admitted.
   LatencyHistogram::Snapshot latency;
 
   double CacheHitRate() const {
@@ -46,8 +48,10 @@ class ServerMetrics {
   void RecordRewrite() { rewrites_.fetch_add(1, kRelaxed); }
   void RecordRetry() { retries_.fetch_add(1, kRelaxed); }
   void RecordBreakerTrip() { breaker_trips_.fetch_add(1, kRelaxed); }
+  void RecordReroute() { reroutes_.fetch_add(1, kRelaxed); }
   void RecordFailover() { failovers_.fetch_add(1, kRelaxed); }
   void RecordDegraded() { degraded_.fetch_add(1, kRelaxed); }
+  void RecordReplicaRebuild() { replica_rebuilds_.fetch_add(1, kRelaxed); }
 
   /// Call once per finished query with its end-to-end latency.
   void RecordQuery(bool ok, double latency_micros) {
@@ -75,8 +79,10 @@ class ServerMetrics {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> breaker_trips_{0};
+  std::atomic<uint64_t> reroutes_{0};
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> replica_rebuilds_{0};
   LatencyHistogram latency_;
 };
 

@@ -65,14 +65,20 @@ Result<Estocada::QueryResult> QueryServer::ServeFromStaging(
 
 Result<Estocada::QueryResult> QueryServer::ServeLocked(
     const CanonicalQuery& canonical,
-    const std::map<std::string, engine::Value>& parameters, int attempt) {
+    const std::map<std::string, engine::Value>& parameters, int attempt,
+    uint64_t* planned_health_epoch) {
   uint64_t epoch = system_->catalog_epoch();
   // ExcludedStores() first: it performs due open → half-open transitions,
   // which bump the health epoch we key the cache on.
   std::vector<std::string> excluded;
-  if (options_.fault_tolerant) excluded = health_.ExcludedStores();
+  std::vector<std::string> probation;
+  if (options_.fault_tolerant) {
+    excluded = health_.ExcludedStores();
+    probation = health_.ProbationStores();
+  }
   uint64_t health_epoch = health_.health_epoch();
-  rewriting::PlanConstraints constraints{excluded};
+  if (planned_health_epoch != nullptr) *planned_health_epoch = health_epoch;
+  rewriting::PlanConstraints constraints{excluded, probation};
 
   // The cache holds the *complete* rewriting set of a query shape;
   // exclusions are applied at translation time, so an entry stays correct
@@ -151,16 +157,19 @@ Result<Estocada::QueryResult> QueryServer::ServeTimed(
   // only the shared one) and retries of transient execution failures
   // (backoff sleeps happen with no lock held). The spin bound is a
   // backstop against admin calls perpetually racing the upgrade.
+  int reroutes = 0;
   for (int spin = 0; spin < 64; ++spin) {
     bool served = false;
+    uint64_t planned_health_epoch = 0;
     {
       std::shared_lock read_lock(mu_);
       if (system_->rewriter_ready()) {
         served = true;
         Result<Estocada::QueryResult> result =
-            ServeLocked(canonical, remapped, attempt);
+            ServeLocked(canonical, remapped, attempt, &planned_health_epoch);
         if (result.ok() || !options_.fault_tolerant ||
             !RetryPolicy::IsRetryable(result.status())) {
+          if (result.ok()) result->reroutes = reroutes;
           return result;
         }
         last_error = result.status();
@@ -170,6 +179,18 @@ Result<Estocada::QueryResult> QueryServer::ServeTimed(
       std::unique_lock write_lock(mu_);
       ESTOCADA_RETURN_NOT_OK(system_->PrepareRewriter());
       continue;  // Upgrades do not consume retry attempts.
+    }
+    // Re-route rung, above retry: the attempt's failure moved the health
+    // epoch (its own breaker trip, or a concurrent one), so planning now
+    // routes around the tripped instance — replicated fragments land on a
+    // sibling replica. Re-plan immediately: no backoff, no attempt
+    // consumed; waiting would buy nothing because the outage is already
+    // circuit-broken out of the plan.
+    if (reroutes < options_.max_reroutes &&
+        health_.health_epoch() != planned_health_epoch) {
+      metrics_.RecordReroute();
+      ++reroutes;
+      continue;
     }
     const RetryPolicy& retry = options_.retry;
     if (attempt >= retry.max_attempts) return last_error;
@@ -222,6 +243,18 @@ Status QueryServer::DefineFragment(const std::string& view_text,
   std::unique_lock lock(mu_);
   ESTOCADA_RETURN_NOT_OK(system_->DefineFragment(
       view_text, store_name, std::move(adornments), std::move(index_positions)));
+  return system_->PrepareRewriter();
+}
+
+Status QueryServer::DefineReplicatedFragment(
+    const std::string& view_text,
+    const std::vector<std::string>& replica_stores,
+    std::vector<pivot::Adornment> adornments,
+    std::vector<size_t> index_positions) {
+  std::unique_lock lock(mu_);
+  ESTOCADA_RETURN_NOT_OK(system_->DefineReplicatedFragment(
+      view_text, replica_stores, std::move(adornments),
+      std::move(index_positions)));
   return system_->PrepareRewriter();
 }
 

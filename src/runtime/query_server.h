@@ -33,6 +33,13 @@ struct ServerOptions {
   /// kills the query. Benchmarks compare both.
   bool fault_tolerant = true;
   RetryPolicy retry;
+  /// Bound on immediate sibling re-routes per query. When an attempt
+  /// fails *and* the health epoch moved during it (a breaker tripped or
+  /// re-opened), routing now sees a different replica set — the server
+  /// re-plans right away, without a backoff sleep and without consuming
+  /// a retry attempt, so a replica's death costs one failed read, not a
+  /// retry ladder. The bound stops a flapping store from spinning.
+  int max_reroutes = 8;
   HealthOptions health;
   /// Seeds the backoff-jitter generator (deterministic chaos runs).
   uint64_t backoff_jitter_seed = 0x5ca1ab1e;
@@ -54,11 +61,14 @@ struct ServerOptions {
 ///  * the epoch versioning guarantees a plan cached before a fragment
 ///    change is never served after it;
 ///  * store failures walk a degradation ladder instead of killing the
-///    query: transient errors are retried with jittered exponential
-///    backoff; repeated failures trip a per-store circuit breaker, after
-///    which planning excludes that store's fragments and the best
-///    *surviving* rewriting answers (the paper's rewriting multiplicity
-///    as availability); when no rewriting survives, the staging area
+///    query: when a breaker trips mid-attempt the query *re-routes*
+///    immediately — replicated fragments re-plan onto sibling replicas
+///    with no backoff and no attempt consumed; otherwise transient
+///    errors are retried with jittered exponential backoff; repeated
+///    failures trip a per-store-instance circuit breaker, after which
+///    routing avoids that instance's placements and the best *surviving*
+///    rewriting answers (the paper's rewriting multiplicity as
+///    availability); when no rewriting survives, the staging area
 ///    answers — degraded but correct; only non-retryable errors surface.
 ///
 /// The wrapped Estocada must not be mutated behind the server's back while
@@ -96,6 +106,12 @@ class QueryServer {
                         const std::string& store_name,
                         std::vector<pivot::Adornment> adornments = {},
                         std::vector<size_t> index_positions = {});
+  /// Replicated variant: K placements, one per store in `replica_stores`.
+  Status DefineReplicatedFragment(
+      const std::string& view_text,
+      const std::vector<std::string>& replica_stores,
+      std::vector<pivot::Adornment> adornments = {},
+      std::vector<size_t> index_positions = {});
   Status DropFragment(const std::string& name);
   Status ApplyRecommendation(const advisor::Recommendation& rec);
   Status InsertRow(const std::string& relation, engine::Row row);
@@ -152,6 +168,9 @@ class QueryServer {
   // ------------------------------------------------------ Introspection --
 
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  /// The live counters (thread-safe): the ReplicaRepairer records
+  /// rebuilds here; metrics() above is the snapshot read path.
+  ServerMetrics& server_metrics() { return metrics_; }
   PlanCache::Stats cache_stats() const { return cache_.stats(); }
   size_t worker_threads() const { return pool_.num_threads(); }
 
@@ -172,9 +191,13 @@ class QueryServer {
   /// breaker exclusions → execute, feeding breaker state with the
   /// outcome. Falls back to the staging area when planning is starved by
   /// the exclusions. `attempt` is 1-based and only labels the result.
+  /// `planned_health_epoch` (optional) receives the health epoch the
+  /// attempt planned against, so the caller can tell whether a failure
+  /// changed the routing landscape (breaker trip → immediate re-route).
   Result<Estocada::QueryResult> ServeLocked(
       const CanonicalQuery& canonical,
-      const std::map<std::string, engine::Value>& parameters, int attempt);
+      const std::map<std::string, engine::Value>& parameters, int attempt,
+      uint64_t* planned_health_epoch = nullptr);
 
   /// Degradation-ladder bottom: answer from the staging area.
   Result<Estocada::QueryResult> ServeFromStaging(

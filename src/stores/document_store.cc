@@ -55,6 +55,7 @@ bool MatchesPredicate(const JsonValue& doc, const PathPredicate& pred) {
 DocumentStore::DocumentStore(CostProfile profile) : profile_(profile) {}
 
 Status DocumentStore::CreateCollection(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (collections_.count(name)) {
     return Status::AlreadyExists(
         StrCat("collection '", name, "' already exists"));
@@ -64,6 +65,7 @@ Status DocumentStore::CreateCollection(const std::string& name) {
 }
 
 Status DocumentStore::DropCollection(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (collections_.erase(name) == 0) {
     return Status::NotFound(StrCat("collection '", name, "' does not exist"));
   }
@@ -132,6 +134,7 @@ std::vector<std::string> IndexKeysFor(const JsonValue& doc,
 
 Result<std::string> DocumentStore::Insert(const std::string& collection,
                                           JsonValue document) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   ESTOCADA_ASSIGN_OR_RETURN(Collection * c, GetMutableCollection(collection));
   std::string id;
   if (const JsonValue* idv = document.Find("_id");

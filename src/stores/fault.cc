@@ -67,6 +67,18 @@ Status FaultInjector::OnRead(const std::string& store) {
   return Status::OK();
 }
 
+Status FaultInjector::OnWrite(const std::string& store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.writes;
+  auto it = plans_.find(store);
+  if (it != plans_.end() && it->second.outage) {
+    ++counters_.write_faults;
+    return Status::Unavailable(
+        StrCat("store '", store, "' unavailable (injected outage)"));
+  }
+  return Status::OK();
+}
+
 FaultInjector::Counters FaultInjector::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;

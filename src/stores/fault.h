@@ -56,11 +56,20 @@ class FaultInjector {
   /// The hook stores call at the top of every read. OK = proceed.
   Status OnRead(const std::string& store);
 
+  /// The hook stores call at the top of every mutation. Only a hard
+  /// outage fails writes — transient rates and latency spikes stay a
+  /// read-path phenomenon (the chaos semantics PR 2/PR 5 calibrated
+  /// against), while a killed store must reject writes too, or a dead
+  /// replica would never go stale and the repair story would be vacuous.
+  Status OnWrite(const std::string& store);
+
   struct Counters {
     uint64_t reads = 0;            ///< Reads that consulted the injector.
     uint64_t transient_faults = 0; ///< Random + fail-next kUnavailable.
     uint64_t outage_faults = 0;    ///< Reads rejected by a hard outage.
     uint64_t latency_spikes = 0;   ///< Reads delayed before succeeding.
+    uint64_t writes = 0;           ///< Writes that consulted the injector.
+    uint64_t write_faults = 0;     ///< Writes rejected by a hard outage.
   };
   Counters counters() const;
   void ResetCounters();
@@ -91,6 +100,11 @@ class FaultInjectable {
   Status InjectReadFault() const {
     if (fault_injector_ == nullptr) return Status::OK();
     return fault_injector_->OnRead(fault_store_id_);
+  }
+
+  Status InjectWriteFault() const {
+    if (fault_injector_ == nullptr) return Status::OK();
+    return fault_injector_->OnWrite(fault_store_id_);
   }
 
  private:

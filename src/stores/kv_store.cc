@@ -7,6 +7,7 @@ namespace estocada::stores {
 KeyValueStore::KeyValueStore(CostProfile profile) : profile_(profile) {}
 
 Status KeyValueStore::CreateCollection(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (collections_.count(name)) {
     return Status::AlreadyExists(
         StrCat("collection '", name, "' already exists"));
@@ -16,6 +17,7 @@ Status KeyValueStore::CreateCollection(const std::string& name) {
 }
 
 Status KeyValueStore::DropCollection(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (collections_.erase(name) == 0) {
     return Status::NotFound(StrCat("collection '", name, "' does not exist"));
   }
@@ -56,6 +58,7 @@ void KeyValueStore::Charge(StoreStats* stats, uint64_t ops, uint64_t scanned,
 
 Status KeyValueStore::Put(const std::string& collection, const std::string& key,
                           std::string value) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   auto it = collections_.find(collection);
   if (it == collections_.end()) {
     return Status::NotFound(
@@ -104,6 +107,7 @@ Result<std::vector<std::optional<std::string>>> KeyValueStore::MGet(
 
 Status KeyValueStore::Delete(const std::string& collection,
                              const std::string& key) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   auto it = collections_.find(collection);
   if (it == collections_.end()) {
     return Status::NotFound(

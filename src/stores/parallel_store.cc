@@ -14,6 +14,7 @@ ParallelStore::ParallelStore(size_t workers, CostProfile profile)
 
 Status ParallelStore::CreateRelation(const std::string& name, size_t arity,
                                      size_t partitions) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (relations_.count(name)) {
     return Status::AlreadyExists(
         StrCat("relation '", name, "' already exists"));
@@ -30,6 +31,7 @@ Status ParallelStore::CreateRelation(const std::string& name, size_t arity,
 }
 
 Status ParallelStore::DropRelation(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (relations_.erase(name) == 0) {
     return Status::NotFound(StrCat("relation '", name, "' does not exist"));
   }
@@ -83,6 +85,7 @@ std::string ParallelStore::IndexKey(const std::vector<size_t>& columns) {
 }
 
 Status ParallelStore::Insert(const std::string& relation, Row row) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   ESTOCADA_ASSIGN_OR_RETURN(Relation * r, GetMutableRelation(relation));
   if (row.size() != r->arity) {
     return Status::InvalidArgument(

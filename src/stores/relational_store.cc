@@ -71,6 +71,7 @@ RelationalStore::RelationalStore(CostProfile profile) : profile_(profile) {}
 Status RelationalStore::CreateTable(const std::string& name,
                                     std::vector<ColumnDef> columns,
                                     std::vector<std::string> primary_key) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (tables_.count(name)) {
     return Status::AlreadyExists(StrCat("table '", name, "' already exists"));
   }
@@ -99,6 +100,7 @@ Status RelationalStore::CreateTable(const std::string& name,
 }
 
 Status RelationalStore::DropTable(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (tables_.erase(name) == 0) {
     return Status::NotFound(StrCat("table '", name, "' does not exist"));
   }
@@ -128,6 +130,7 @@ Result<RelationalStore::Table*> RelationalStore::GetMutableTable(
 }
 
 Status RelationalStore::Insert(const std::string& table, Row row) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   ESTOCADA_ASSIGN_OR_RETURN(Table * t, GetMutableTable(table));
   if (row.size() != t->columns.size()) {
     return Status::InvalidArgument(

@@ -26,6 +26,7 @@ std::vector<std::string> TextStore::Tokenize(const std::string& text) {
 }
 
 Status TextStore::CreateCore(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (cores_.count(name)) {
     return Status::AlreadyExists(StrCat("core '", name, "' already exists"));
   }
@@ -34,6 +35,7 @@ Status TextStore::CreateCore(const std::string& name) {
 }
 
 Status TextStore::DropCore(const std::string& name) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   if (cores_.erase(name) == 0) {
     return Status::NotFound(StrCat("core '", name, "' does not exist"));
   }
@@ -75,6 +77,7 @@ void TextStore::Charge(StoreStats* stats, uint64_t ops, uint64_t scanned,
 Status TextStore::AddDocument(
     const std::string& core, const std::string& doc_id,
     const std::map<std::string, std::string>& fields) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
   auto it = cores_.find(core);
   if (it == cores_.end()) {
     return Status::NotFound(StrCat("core '", core, "' does not exist"));

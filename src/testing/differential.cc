@@ -16,6 +16,7 @@
 #include "pacb/naive.h"
 #include "pacb/rewriter.h"
 #include "pivot/parser.h"
+#include "replication/repairer.h"
 #include "runtime/canonical.h"
 #include "runtime/query_server.h"
 #include "stores/fault.h"
@@ -521,6 +522,208 @@ ScenarioOutcome CheckScenario(const Scenario& s,
     check_pass("after", /*before=*/false);
   }
 
+  // ---- (g) replication: the serving replica is invisible to readers. ----
+  if (options.check_replication) {
+    // Replicate the identity view of one seed-chosen base relation across
+    // three dedicated same-kind store instances, after removing every
+    // scenario fragment whose view mentions the relation — the replica set
+    // is then the *only* source for it, so killing replicas genuinely
+    // forces which instance serves. Answers must stay byte-identical to
+    // the staging oracle through every kill, through a write taken while
+    // one replica is down, and after the self-healing rebuild that
+    // follows — with no staging fallback while a replica is healthy.
+    std::vector<const pivot::RelationSignature*> candidates;
+    for (const auto& [name, sig] : s.schema.relations()) {
+      if (!sig.HasAccessPattern() && sig.arity() > 0) {
+        candidates.push_back(&sig);
+      }
+    }
+    if (!candidates.empty()) {
+      const pivot::RelationSignature& rel =
+          *candidates[(s.seed / 3) % candidates.size()];
+      Scenario rs = s;
+      rs.fragments.clear();
+      for (const FragmentSpec& f : s.fragments) {
+        auto vq = pivot::ParseQuery(f.view_text);
+        bool mentions = false;
+        if (vq.ok()) {
+          for (const pivot::Atom& a : vq->body) {
+            if (a.relation == rel.name) {
+              mentions = true;
+              break;
+            }
+          }
+        }
+        if (!mentions) rs.fragments.push_back(f);
+      }
+
+      Deployment rep;
+      if (Status st = rep.Build(rs); !st.ok()) {
+        fail("setup", StrCat("replication deployment: ", st.ToString()));
+        return out;
+      }
+      const char* kReplicas[3] = {"rep_a", "rep_b", "rep_c"};
+      stores::RelationalStore backends[3];
+      stores::FaultInjector injector(s.seed ^ 0xc2b2ae3d27d4eb4fULL);
+      for (int i = 0; i < 3; ++i) {
+        if (Status st = rep.sys.RegisterStore(
+                {kReplicas[i], catalog::StoreKind::kRelational, &backends[i],
+                 nullptr, nullptr, nullptr, nullptr});
+            !st.ok()) {
+          fail("setup",
+               StrCat("replica store ", kReplicas[i], ": ", st.ToString()));
+          return out;
+        }
+        backends[i].AttachFaultInjector(&injector, kReplicas[i]);
+      }
+
+      std::string head;
+      for (size_t i = 0; i < rel.arity(); ++i) {
+        head += (i ? ", v" : "v") + std::to_string(i);
+      }
+      std::string view_text =
+          StrCat("F_rep(", head, ") :- ", rel.name, "(", head, ")");
+      std::string probe_text =
+          StrCat("QRep(", head, ") :- ", rel.name, "(", head, ")");
+
+      runtime::ServerOptions sopts;
+      sopts.worker_threads = 1;
+      sopts.fault_tolerant = true;
+      sopts.retry.max_attempts = 8;
+      sopts.retry.initial_backoff_micros = 1;
+      sopts.retry.max_backoff_micros = 16;
+      sopts.health.failure_threshold = 2;
+      sopts.health.open_cooldown_micros = 100;
+      sopts.backoff_jitter_seed = s.seed;
+      runtime::QueryServer server(&rep.sys, sopts);
+      if (Status st = server.DefineReplicatedFragment(
+              view_text, {kReplicas[0], kReplicas[1], kReplicas[2]});
+          !st.ok()) {
+        fail("setup", StrCat("replicated fragment: ", st.ToString()));
+        return out;
+      }
+      auto probe_oracle = rep.sys.EvaluateOverStaging(probe_text, {});
+      if (!probe_oracle.ok()) {
+        fail("oracle", StrCat("replication probe: ",
+                              probe_oracle.status().ToString()));
+        return out;
+      }
+      std::multiset<std::string> expected_probe = Canon(*probe_oracle);
+
+      // `forced` names the only replica allowed to serve (its siblings are
+      // down); `fast_path` additionally forbids the staging fallback —
+      // asserted only for the probe, whose replicated fragment always has
+      // a live placement in these phases.
+      auto check = [&](const std::string& text,
+                       const std::map<std::string, engine::Value>& params,
+                       const std::multiset<std::string>& expected,
+                       const std::string& when, const char* forced,
+                       bool fast_path) {
+        auto res = server.Query(text, params);
+        if (!res.ok()) {
+          fail("replication-invariance", StrCat("query '", text, "' ", when,
+                                                ": ",
+                                                res.status().ToString()));
+          return;
+        }
+        ++out.replication_checks;
+        if (Canon(res->rows) != expected) {
+          fail("replication-invariance",
+               StrCat("query '", text, "' ", when, ": ",
+                      DiffRows(expected, Canon(res->rows))));
+        }
+        if (fast_path && res->degraded_to_staging) {
+          fail("replication-invariance",
+               StrCat("query '", text, "' ", when,
+                      " fell back to staging with a healthy replica live"));
+        }
+        if (forced != nullptr) {
+          for (const char* r : kReplicas) {
+            if (r != forced && res->runtime_stats.per_store.count(r) > 0) {
+              fail("replication-invariance",
+                   StrCat("query '", text, "' ", when, ": dead replica ", r,
+                          " served rows"));
+            }
+          }
+        }
+      };
+
+      check(probe_text, {}, expected_probe, "with all replicas healthy",
+            nullptr, /*fast_path=*/true);
+
+      // Force each replica in turn by killing its two siblings: the
+      // survivor must serve every answer, byte-identically.
+      for (int keep = 0; keep < 3; ++keep) {
+        for (int i = 0; i < 3; ++i) {
+          injector.SetOutage(kReplicas[i], i != keep);
+        }
+        std::string when = StrCat("with only ", kReplicas[keep], " alive");
+        check(probe_text, {}, expected_probe, when, kReplicas[keep],
+              /*fast_path=*/true);
+        for (size_t qi = 0; qi < s.queries.size(); ++qi) {
+          if (!oracles[qi].has_value()) continue;
+          check(s.queries[qi].text, s.queries[qi].parameters, *oracles[qi],
+                when, kReplicas[keep], /*fast_path=*/false);
+        }
+      }
+      for (int i = 0; i < 3; ++i) injector.SetOutage(kReplicas[i], false);
+
+      // Kill one replica, take a write while it is down, revive it, and
+      // let the repairer's scan rebuild it (backfill, digest verify,
+      // atomic re-admission). The rebuilt replica must then serve the
+      // post-write truth on its own.
+      auto staged = rs.staging.find(rel.name);
+      if (staged != rs.staging.end() && !staged->second.rows.empty()) {
+        injector.SetOutage(kReplicas[0], true);
+        engine::Row fresh = staged->second.rows.front();
+        fresh[0] = engine::Value::Int(
+            static_cast<int64_t>(1'000'000 + s.seed % 1000));
+        if (Status st = server.InsertRow(rel.name, fresh); !st.ok()) {
+          fail("replication-invariance",
+               StrCat("insert into ", rel.name, " with ", kReplicas[0],
+                      " down: ", st.ToString()));
+        } else if (auto fo = rep.sys.EvaluateOverStaging(probe_text, {});
+                   !fo.ok()) {
+          fail("oracle",
+               StrCat("probe after insert: ", fo.status().ToString()));
+        } else {
+          expected_probe = Canon(*fo);
+          check(probe_text, {}, expected_probe,
+                StrCat("after a write with ", kReplicas[0], " down"), nullptr,
+                /*fast_path=*/true);
+          injector.SetOutage(kReplicas[0], false);
+          replication::ReplicaRepairer repairer(&server);
+          size_t repaired = 0;
+          bool tick_failed = false;
+          for (int t = 0; t < 50 && repaired == 0; ++t) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            auto fixed = repairer.Tick();
+            if (!fixed.ok()) {
+              fail("replication-invariance",
+                   StrCat("repair tick: ", fixed.status().ToString()));
+              tick_failed = true;
+              break;
+            }
+            repaired = *fixed;
+          }
+          if (!tick_failed && repaired == 0) {
+            fail("replication-invariance",
+                 StrCat("stale replica ", kReplicas[0],
+                        " was never repaired after reviving"));
+          } else if (repaired > 0) {
+            injector.SetOutage(kReplicas[1], true);
+            injector.SetOutage(kReplicas[2], true);
+            check(probe_text, {}, expected_probe,
+                  "served alone by the rebuilt replica", kReplicas[0],
+                  /*fast_path=*/true);
+            injector.SetOutage(kReplicas[1], false);
+            injector.SetOutage(kReplicas[2], false);
+          }
+        }
+      }
+    }
+  }
+
   return out;
 }
 
@@ -661,7 +864,8 @@ std::string SweepReport::Summary() const {
                 chase_checks, " chase checks, ", chaos_successes,
                 " chaos successes (", chaos_errors, " chaos errors), ",
                 migration_checks, " migration checks, ", autopilot_checks,
-                " autopilot checks");
+                " autopilot checks, ", replication_checks,
+                " replication checks");
 }
 
 SweepReport RunSweep(uint64_t first_seed, size_t count,
@@ -680,6 +884,7 @@ SweepReport RunSweep(uint64_t first_seed, size_t count,
     sweep.chaos_errors += rep.outcome.chaos_errors;
     sweep.migration_checks += rep.outcome.migration_checks;
     sweep.autopilot_checks += rep.outcome.autopilot_checks;
+    sweep.replication_checks += rep.outcome.replication_checks;
     if (!rep.outcome.ok()) {
       ++sweep.failures;
       if (sweep.failed.size() < max_stored_failures) {

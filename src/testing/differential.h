@@ -26,14 +26,22 @@ namespace estocada::testing {
 ///      single observation, no dominance gate, trust the cost model
 ///      blindly) launches, completes, reverts, and blacklists however it
 ///      likes — and every answer still matches the staging oracle, and no
-///      query answerable before tuning becomes unanswerable after.
+///      query answerable before tuning becomes unanswerable after;
+///  (g) a fragment replicated K=3 ways across same-kind store instances
+///      answers byte-identically to the oracle no matter which replica
+///      serves: each replica is forced in turn by killing its siblings, a
+///      write is taken while one replica is down, and the self-healed
+///      (rebuilt, digest-verified, re-admitted) replica must then serve
+///      the post-write truth alone — all without staging fallback while
+///      at least one replica is healthy.
 struct HarnessOptions {
-  bool check_rewritings = true;  ///< Invariant family (a).
-  bool check_naive = true;       ///< Invariant family (b).
-  bool check_chase = true;       ///< Invariant family (c).
-  bool check_chaos = true;       ///< Invariant family (d).
-  bool check_migration = true;   ///< Invariant family (e).
-  bool check_autopilot = true;   ///< Invariant family (f).
+  bool check_rewritings = true;   ///< Invariant family (a).
+  bool check_naive = true;        ///< Invariant family (b).
+  bool check_chase = true;        ///< Invariant family (c).
+  bool check_chaos = true;        ///< Invariant family (d).
+  bool check_migration = true;    ///< Invariant family (e).
+  bool check_autopilot = true;    ///< Invariant family (f).
+  bool check_replication = true;  ///< Invariant family (g).
   /// (b) is exponential in the universal plan; skip it beyond this size.
   size_t max_universal_plan_for_naive = 8;
   /// Subset-size cap fed to the naive enumeration; PACB rewritings above
@@ -52,8 +60,8 @@ struct HarnessOptions {
 /// One invariant violation. `invariant` is a stable family tag
 /// ("rewriting-oracle", "naive-vs-pacb", "chase-idempotence",
 /// "chase-permutation", "chaos-correctness", "migration-invariance",
-/// "autopilot-equivalence", plus "setup" / "oracle" / "plan" /
-/// "generator" for harness-level breakage).
+/// "autopilot-equivalence", "replication-invariance", plus "setup" /
+/// "oracle" / "plan" / "generator" for harness-level breakage).
 struct Mismatch {
   std::string invariant;
   std::string detail;
@@ -70,6 +78,7 @@ struct ScenarioOutcome {
   size_t chaos_errors = 0;         ///< Chaos queries that reported failure.
   size_t migration_checks = 0;     ///< Invariant (e) verified answers.
   size_t autopilot_checks = 0;     ///< Invariant (f) verified answers.
+  size_t replication_checks = 0;   ///< Invariant (g) verified answers.
   size_t skipped_unanswerable = 0; ///< Queries with no rewriting (skipped).
   std::vector<Mismatch> mismatches;
 
@@ -121,6 +130,7 @@ struct SweepReport {
   size_t chaos_errors = 0;
   size_t migration_checks = 0;
   size_t autopilot_checks = 0;
+  size_t replication_checks = 0;
   std::vector<SeedReport> failed;
 
   bool ok() const { return failures == 0; }

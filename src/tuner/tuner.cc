@@ -23,7 +23,8 @@ std::string AutopilotMetricsSnapshot::ToString() const {
                 skipped_ambiguous, " ambiguous / ", skipped_blacklist,
                 " blacklist / ", skipped_cooldown, " cooldown / ",
                 skipped_concurrency, " concurrency / ", skipped_threshold,
-                " threshold, blacklist size ", blacklist_size);
+                " threshold / ", skipped_hold, " hold, blacklist size ",
+                blacklist_size);
 }
 
 std::string Decision::ToString() const {
@@ -148,6 +149,15 @@ Status Autopilot::TickOnce() {
   uint64_t tick = metrics_.ticks.fetch_add(1, std::memory_order_relaxed) + 1;
 
   HarvestCompletionsLocked(tick);
+
+  // External hold (e.g. a replica rebuild in flight): harvesting above is
+  // safe — those migrations already ran — but launching a layout change
+  // now would race whoever raised the hold.
+  if (options_.hold && options_.hold()) {
+    metrics_.skipped_hold.fetch_add(1, std::memory_order_relaxed);
+    LogDecision(tick, "skip-hold", "", "external hold raised");
+    return Status::OK();
+  }
 
   advisor::PatternSummary pattern =
       server_->ClassifyWorkload(options_.advisor);
@@ -285,6 +295,7 @@ AutopilotMetricsSnapshot Autopilot::metrics() const {
   s.skipped_cooldown = metrics_.skipped_cooldown.load(kRelaxed);
   s.skipped_concurrency = metrics_.skipped_concurrency.load(kRelaxed);
   s.skipped_threshold = metrics_.skipped_threshold.load(kRelaxed);
+  s.skipped_hold = metrics_.skipped_hold.load(kRelaxed);
   {
     std::lock_guard<std::mutex> lock(tick_mu_);
     s.blacklist_size = blacklist_.size();

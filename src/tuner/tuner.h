@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -64,6 +65,12 @@ struct AutopilotOptions {
 
   /// Options for the migrations the Autopilot launches.
   migration::MigrationOptions migration;
+
+  /// External hold: while set and returning true, a tick still harvests
+  /// terminal migrations but launches nothing new. The replication layer
+  /// wires the ReplicaRepairer's repair_in_progress() in here so an
+  /// autonomous layout change never races a replica rebuild.
+  std::function<bool()> hold;
 };
 
 /// Counter snapshot of the decision loop (relaxed atomics underneath,
@@ -81,6 +88,7 @@ struct AutopilotMetricsSnapshot {
   uint64_t skipped_cooldown = 0;     ///< Candidates skipped: cooling down.
   uint64_t skipped_concurrency = 0;  ///< Candidates skipped: cap reached.
   uint64_t skipped_threshold = 0;    ///< Candidates skipped: gain too small.
+  uint64_t skipped_hold = 0;         ///< Ticks skipped: external hold up.
   uint64_t blacklist_size = 0;       ///< Shapes currently blacklisted.
 
   std::string ToString() const;
@@ -91,7 +99,7 @@ struct Decision {
   uint64_t tick = 0;
   /// "launch", "complete", "revert", "abort", "skip-blacklist",
   /// "skip-cooldown", "skip-concurrency", "skip-threshold",
-  /// "skip-ambiguous", "skip-drop", "error".
+  /// "skip-ambiguous", "skip-drop", "skip-hold", "error".
   std::string action;
   std::string shape_key;  ///< Source shape ("" for tick-level entries).
   std::string detail;     ///< Human-readable rationale with the numbers.
@@ -203,6 +211,7 @@ class Autopilot {
     std::atomic<uint64_t> skipped_cooldown{0};
     std::atomic<uint64_t> skipped_concurrency{0};
     std::atomic<uint64_t> skipped_threshold{0};
+    std::atomic<uint64_t> skipped_hold{0};
   };
   mutable Metrics metrics_;
 
