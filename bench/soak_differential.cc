@@ -1,6 +1,6 @@
 /// Long-running randomized differential soak — the nightly-CI entry point
 /// of the src/testing fuzzer. Runs seed after seed through the full
-/// differential harness (staging oracle + the four metamorphic invariant
+/// differential harness (staging oracle + the eight metamorphic invariant
 /// families) until a time budget or scenario count runs out, printing a
 /// replayable report for every failure and dropping it as an artifact
 /// file.
@@ -82,12 +82,16 @@ int main(int argc, char** argv) {
     SeedReport rep = RunSeed(replay_seed, config, options);
     if (rep.outcome.ok()) {
       std::printf("seed %llu: OK (%zu queries, %zu rewritings, %zu naive, "
-                  "%zu chase, %zu chaos successes)\n",
+                  "%zu chase, %zu chaos successes, %zu migration, "
+                  "%zu autopilot, %zu replication, %zu partition)\n",
                   static_cast<unsigned long long>(replay_seed),
                   rep.outcome.queries_checked,
                   rep.outcome.rewritings_executed,
                   rep.outcome.naive_comparisons, rep.outcome.chase_checks,
-                  rep.outcome.chaos_successes);
+                  rep.outcome.chaos_successes, rep.outcome.migration_checks,
+                  rep.outcome.autopilot_checks,
+                  rep.outcome.replication_checks,
+                  rep.outcome.partition_checks);
       return 0;
     }
     std::printf("%s\n", rep.report.c_str());

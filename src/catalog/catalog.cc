@@ -30,6 +30,15 @@ double FragmentStatistics::EqualitySelectivity(size_t position) const {
   return 0.1;
 }
 
+size_t PartitionSpec::ShardOf(const engine::Value& v) const {
+  if (shards <= 1) return 0;
+  if (kind == Kind::kHash) return v.Hash() % shards;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (engine::Value::Compare(v, bounds[i]) < 0) return i;
+  }
+  return shards - 1;
+}
+
 Status Catalog::RegisterDatasetSchema(const pivot::Schema& schema) {
   return dataset_schema_.Merge(schema);
 }
@@ -96,6 +105,67 @@ Status Catalog::RegisterFragment(StorageDescriptor descriptor) {
     }
   }
   if (descriptor.container.empty()) descriptor.container = name;
+  if (descriptor.partitioned()) {
+    const PartitionSpec& spec = descriptor.partition;
+    if (spec.key_position >= descriptor.view.query.head.size()) {
+      return Status::InvalidArgument(
+          StrCat("fragment '", name, "': partition key position ",
+                 spec.key_position, " out of range for arity ",
+                 descriptor.view.query.head.size()));
+    }
+    if (spec.kind == PartitionSpec::Kind::kRange) {
+      if (spec.bounds.size() + 1 != spec.shards) {
+        return Status::InvalidArgument(
+            StrCat("fragment '", name, "': range partitioning over ",
+                   spec.shards, " shards needs ", spec.shards - 1,
+                   " split points, got ", spec.bounds.size()));
+      }
+      for (size_t i = 1; i < spec.bounds.size(); ++i) {
+        if (!(spec.bounds[i - 1] < spec.bounds[i])) {
+          return Status::InvalidArgument(
+              StrCat("fragment '", name,
+                     "': range split points must be strictly ascending"));
+        }
+      }
+    } else if (!spec.bounds.empty()) {
+      return Status::InvalidArgument(
+          StrCat("fragment '", name, "': hash partitioning takes no bounds"));
+    }
+    // Normalize per-shard placements. An empty shard vector means "every
+    // shard primary on the descriptor's store"; otherwise one ShardState
+    // per shard, each normalized like a replica set with shard-scoped
+    // default containers so same-store shards never collide.
+    if (descriptor.shards.empty()) {
+      descriptor.shards.resize(spec.shards);
+    } else if (descriptor.shards.size() != spec.shards) {
+      return Status::InvalidArgument(
+          StrCat("fragment '", name, "': ", spec.shards, " shards but ",
+                 descriptor.shards.size(), " shard states"));
+    }
+    for (size_t s = 0; s < descriptor.shards.size(); ++s) {
+      ShardState& shard = descriptor.shards[s];
+      if (shard.replicas.empty()) {
+        shard.replicas.push_back({descriptor.store_name, "",
+                                  shard.write_epoch, /*rebuilding=*/false});
+      }
+      for (size_t i = 0; i < shard.replicas.size(); ++i) {
+        ReplicaPlacement& r = shard.replicas[i];
+        ESTOCADA_RETURN_NOT_OK(GetStore(r.store_name).status());
+        if (r.container.empty()) {
+          r.container = i == 0 ? StrCat(name, "#p", s)
+                               : StrCat(name, "#p", s, "#r", i);
+        }
+      }
+    }
+    // The legacy whole-fragment fields stay as an inert single-placement
+    // mirror; nothing routes through them for a partitioned fragment.
+    descriptor.replicas.clear();
+    descriptor.replicas.push_back({descriptor.store_name, descriptor.container,
+                                   descriptor.write_epoch,
+                                   /*rebuilding=*/false});
+    fragments_.emplace(name, std::move(descriptor));
+    return Status::OK();
+  }
   // Normalize the replica set: replicas[0] mirrors the legacy
   // store_name/container pair, sibling containers default to a
   // "#r<i>" suffix so same-store siblings never collide.
@@ -170,6 +240,24 @@ std::string Catalog::ToString() const {
         out += StrCat("    + replica ", i, " @ ", r.store_name, "/",
                       r.container, r.rebuilding ? " [rebuilding]" : "",
                       r.fresh(desc.write_epoch) ? "" : " [stale]", "\n");
+      }
+    }
+    if (desc.partitioned()) {
+      out += StrCat("    partitioned ",
+                    desc.partition.kind == PartitionSpec::Kind::kHash
+                        ? "hash"
+                        : "range",
+                    "(pos ", desc.partition.key_position, ") x ",
+                    desc.partition.shards, "\n");
+      for (size_t s = 0; s < desc.shards.size(); ++s) {
+        const ShardState& shard = desc.shards[s];
+        for (size_t i = 0; i < shard.replicas.size(); ++i) {
+          const ReplicaPlacement& r = shard.replicas[i];
+          out += StrCat("      shard ", s, i == 0 ? "" : StrCat(".r", i),
+                        " @ ", r.store_name, "/", r.container,
+                        r.rebuilding ? " [rebuilding]" : "",
+                        r.fresh(shard.write_epoch) ? "" : " [stale]", "\n");
+        }
       }
     }
   }

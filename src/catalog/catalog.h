@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/value.h"
 #include "pacb/view.h"
 #include "pivot/schema.h"
 #include "stores/document_store.h"
@@ -80,6 +81,45 @@ struct ReplicaPlacement {
   bool fresh(uint64_t write_epoch) const { return epoch == write_epoch; }
 };
 
+/// How a fragment's rows are divided across shard containers. Partitioning
+/// is part of the LAV view description's *where*: the view itself is
+/// unchanged (the PACB rewriter still sees one fragment), but the physical
+/// extent is split across `shards` containers by the value of one head
+/// attribute, so the translator must scatter-gather (or prune to one shard
+/// when the key is bound).
+struct PartitionSpec {
+  enum class Kind { kHash, kRange };
+  Kind kind = Kind::kHash;
+  /// View-head position of the partition key (resolved from the attribute
+  /// name at definition time).
+  size_t key_position = 0;
+  size_t shards = 1;
+  /// kRange only: `shards - 1` strictly ascending upper-exclusive split
+  /// points. Shard i serves bounds[i-1] <= v < bounds[i]; shard 0 takes
+  /// everything below bounds[0], the last shard everything from
+  /// bounds[shards-2] up.
+  std::vector<engine::Value> bounds;
+
+  bool partitioned() const { return shards > 1; }
+  /// Which shard owns a partition-key value.
+  size_t ShardOf(const engine::Value& v) const;
+};
+
+/// Per-shard placement state: the shard's replica set plus its own write
+/// epoch. Epochs are per shard so a write routed to one shard cannot make
+/// replicas of untouched shards look stale.
+struct ShardState {
+  std::vector<ReplicaPlacement> replicas;
+  uint64_t write_epoch = 0;
+
+  size_t replica_count() const { return replicas.empty() ? 1 : replicas.size(); }
+  bool replica_available(size_t idx) const {
+    if (idx >= replicas.size()) return false;
+    const ReplicaPlacement& r = replicas[idx];
+    return !r.rebuilding && r.fresh(write_epoch);
+  }
+};
+
 /// A storage descriptor sd(Sk, Di/Fj) — the paper's §III artifact. The
 /// *what* is the LAV view definition (a CQ over the application dataset's
 /// pivot relations); the *where* names the store and the container inside
@@ -113,9 +153,20 @@ struct StorageDescriptor {
   std::vector<size_t> index_positions;
   /// Planner visibility (see FragmentLifecycle).
   FragmentLifecycle lifecycle = FragmentLifecycle::kActive;
+  /// Partitioning layout. `partition.shards == 1` (the default) means the
+  /// fragment lives whole in `replicas` above and `shards` stays empty.
+  /// When partitioned, `shards` holds one ShardState per shard
+  /// (RegisterFragment normalizes containers to "<frag>#p<i>", replicated
+  /// shard siblings to "<frag>#p<i>#r<j>") and the legacy
+  /// store_name/container/replicas/write_epoch fields are inert
+  /// placeholders kept only so single-copy code paths stay type-safe.
+  PartitionSpec partition;
+  std::vector<ShardState> shards;
 
   const std::string& name() const { return view.name(); }
   bool is_shadow() const { return lifecycle == FragmentLifecycle::kShadow; }
+  bool partitioned() const { return partition.partitioned(); }
+  size_t shard_count() const { return partitioned() ? partition.shards : 1; }
 
   /// Replica count (1 for a legacy unreplicated descriptor).
   size_t replica_count() const {

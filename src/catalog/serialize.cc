@@ -47,6 +47,45 @@ JsonValue CatalogToJson(const Catalog& catalog) {
       f.Set("write_epoch",
             JsonValue::Int(static_cast<int64_t>(desc.write_epoch)));
     }
+    // Partition layout: spec plus per-shard replica sets and write
+    // epochs, restored verbatim (stale shard replicas restore stale).
+    if (desc.partitioned()) {
+      JsonValue part = JsonValue::MakeObject();
+      part.Set("kind",
+               JsonValue::Str(desc.partition.kind == PartitionSpec::Kind::kHash
+                                  ? "hash"
+                                  : "range"));
+      part.Set("key_position",
+               JsonValue::Int(static_cast<int64_t>(desc.partition.key_position)));
+      part.Set("shards",
+               JsonValue::Int(static_cast<int64_t>(desc.partition.shards)));
+      if (!desc.partition.bounds.empty()) {
+        JsonValue bounds = JsonValue::MakeArray();
+        for (const engine::Value& b : desc.partition.bounds) {
+          bounds.Append(b.ToJson());
+        }
+        part.Set("bounds", std::move(bounds));
+      }
+      f.Set("partition", std::move(part));
+      JsonValue shards = JsonValue::MakeArray();
+      for (const ShardState& shard : desc.shards) {
+        JsonValue sh = JsonValue::MakeObject();
+        sh.Set("write_epoch",
+               JsonValue::Int(static_cast<int64_t>(shard.write_epoch)));
+        JsonValue reps = JsonValue::MakeArray();
+        for (const ReplicaPlacement& r : shard.replicas) {
+          JsonValue rep = JsonValue::MakeObject();
+          rep.Set("store", JsonValue::Str(r.store_name));
+          rep.Set("container", JsonValue::Str(r.container));
+          rep.Set("epoch", JsonValue::Int(static_cast<int64_t>(r.epoch)));
+          if (r.rebuilding) rep.Set("rebuilding", JsonValue::Bool(true));
+          reps.Append(std::move(rep));
+        }
+        sh.Set("replicas", std::move(reps));
+        shards.Append(std::move(sh));
+      }
+      f.Set("shards", std::move(shards));
+    }
     JsonValue idx = JsonValue::MakeArray();
     for (size_t p : desc.index_positions) {
       idx.Append(JsonValue::Int(static_cast<int64_t>(p)));
@@ -134,6 +173,67 @@ Status FragmentsFromJson(const JsonValue& doc, Catalog* catalog) {
           r.rebuilding = rb->bool_value();
         }
         desc.replicas.push_back(std::move(r));
+      }
+    }
+    if (const JsonValue* part = f.Find("partition");
+        part != nullptr && part->is_object()) {
+      if (const JsonValue* kind = part->Find("kind");
+          kind != nullptr && kind->is_string()) {
+        desc.partition.kind = kind->string_value() == "range"
+                                  ? PartitionSpec::Kind::kRange
+                                  : PartitionSpec::Kind::kHash;
+      }
+      if (const JsonValue* kp = part->Find("key_position");
+          kp != nullptr && kp->is_int()) {
+        desc.partition.key_position = static_cast<size_t>(kp->int_value());
+      }
+      if (const JsonValue* sh = part->Find("shards");
+          sh != nullptr && sh->is_int()) {
+        desc.partition.shards = static_cast<size_t>(sh->int_value());
+      }
+      if (const JsonValue* bounds = part->Find("bounds");
+          bounds != nullptr && bounds->is_array()) {
+        for (const JsonValue& b : bounds->array()) {
+          desc.partition.bounds.push_back(engine::Value::FromJson(b));
+        }
+      }
+      const JsonValue* shards = f.Find("shards");
+      if (shards == nullptr || !shards->is_array()) {
+        return Status::InvalidArgument(
+            "partitioned fragment entry needs a 'shards' array");
+      }
+      for (const JsonValue& sh : shards->array()) {
+        ShardState shard;
+        if (const JsonValue* we = sh.Find("write_epoch");
+            we != nullptr && we->is_int()) {
+          shard.write_epoch = static_cast<uint64_t>(we->int_value());
+        }
+        if (const JsonValue* reps = sh.Find("replicas");
+            reps != nullptr && reps->is_array()) {
+          for (const JsonValue& rep : reps->array()) {
+            const JsonValue* rstore = rep.Find("store");
+            if (rstore == nullptr || !rstore->is_string()) {
+              return Status::InvalidArgument(
+                  "shard replica entry needs a 'store'");
+            }
+            ReplicaPlacement r;
+            r.store_name = rstore->string_value();
+            if (const JsonValue* rc = rep.Find("container");
+                rc != nullptr && rc->is_string()) {
+              r.container = rc->string_value();
+            }
+            if (const JsonValue* re = rep.Find("epoch");
+                re != nullptr && re->is_int()) {
+              r.epoch = static_cast<uint64_t>(re->int_value());
+            }
+            if (const JsonValue* rb = rep.Find("rebuilding");
+                rb != nullptr && rb->is_bool()) {
+              r.rebuilding = rb->bool_value();
+            }
+            shard.replicas.push_back(std::move(r));
+          }
+        }
+        desc.shards.push_back(std::move(shard));
       }
     }
     if (const JsonValue* idx = f.Find("index_positions");

@@ -67,6 +67,98 @@ Result<std::optional<Row>> CallbackScanOperator::Next() {
   return std::optional<Row>(rows_[pos_++]);
 }
 
+ScatterGatherOperator::ScatterGatherOperator(std::vector<std::string> columns,
+                                             std::vector<Fetch> shard_fetches,
+                                             std::vector<std::string> shard_keys,
+                                             std::string label,
+                                             ThreadPool* pool)
+    : columns_(std::move(columns)),
+      fetches_(std::move(shard_fetches)),
+      shard_keys_(std::move(shard_keys)),
+      label_(std::move(label)),
+      pool_(pool) {}
+
+Status ScatterGatherOperator::Open() {
+  rows_.clear();
+  pos_ = 0;
+  const size_t n = fetches_.size();
+  std::vector<std::vector<Row>> parts(n);
+  std::vector<Status> statuses(n, Status::OK());
+  auto run_one = [&](size_t i) {
+    Result<std::vector<Row>> r = fetches_[i]();
+    if (r.ok()) {
+      parts[i] = std::move(*r);
+    } else {
+      statuses[i] = r.status();
+    }
+  };
+  if (pool_ == nullptr || n <= 1) {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    // One task per backing instance: shard fetches that share a store run
+    // back to back inside it, so no store-side statistics sink is ever
+    // written concurrently.
+    std::map<std::string, std::vector<size_t>> by_key;
+    for (size_t i = 0; i < n; ++i) {
+      by_key[i < shard_keys_.size() ? shard_keys_[i] : StrCat("#", i)]
+          .push_back(i);
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;
+    const size_t tasks = by_key.size();
+    for (const auto& [key, idxs] : by_key) {
+      std::vector<size_t> mine = idxs;
+      pool_->Submit([&run_one, &mu, &cv, &done, mine]() {
+        for (size_t i : mine) run_one(i);
+        // Notify while holding the lock: Open's stack frame (and with it
+        // `cv`) may unwind the moment the waiter sees done == tasks, so an
+        // unlocked notify_one could signal a destroyed condvar.
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+        cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == tasks; });
+  }
+  // Aggregate every failing shard into one status (first shard's code):
+  // a partitioned read cannot answer soundly with any shard missing, and
+  // keeping every failing store's name in the message lets the caller's
+  // failure attribution mark all of them down in a single attempt instead
+  // of rediscovering them one retry at a time.
+  size_t failed = 0;
+  std::string combined;
+  StatusCode code = StatusCode::kOk;
+  for (size_t i = 0; i < n; ++i) {
+    if (statuses[i].ok()) continue;
+    if (failed == 0) code = statuses[i].code();
+    combined += (failed ? "; " : "") + statuses[i].message();
+    ++failed;
+  }
+  if (failed > 0) {
+    if (failed == 1) return Status(code, std::move(combined));
+    return Status(code, StrCat(failed, " shards failed: ", combined));
+  }
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  rows_.reserve(total);
+  for (auto& p : parts) {
+    rows_.insert(rows_.end(), std::make_move_iterator(p.begin()),
+                 std::make_move_iterator(p.end()));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Row>> ScatterGatherOperator::Next() {
+  if (pos_ >= rows_.size()) return std::optional<Row>();
+  return std::optional<Row>(rows_[pos_++]);
+}
+
+std::string ScatterGatherOperator::label() const {
+  return StrCat(label_, " [", fetches_.size(), " shards]");
+}
+
 // ------------------------------------------------------- Unary operators --
 
 FilterOperator::FilterOperator(OperatorPtr input, ExprPtr predicate)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "engine/expr.h"
 #include "engine/value.h"
 
@@ -80,6 +81,37 @@ class CallbackScanOperator final : public Operator {
   std::vector<std::string> columns_;
   Fetch fetch_;
   std::string label_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Scatter-gather source over a partitioned fragment: one fetch closure
+/// per shard, all invoked at Open. With a `pool`, fetches fan out as
+/// concurrent tasks — fetches sharing a `shard_key` (the backing store
+/// instance) run sequentially inside one task, so a store's statistics
+/// sink is never written from two threads at once; with a null pool all
+/// fetches run inline. Results are concatenated in shard order, so the
+/// output is deterministic regardless of completion order, and the first
+/// failing shard (lowest index) fails the Open — a partitioned read
+/// cannot answer soundly with a shard missing.
+class ScatterGatherOperator final : public Operator {
+ public:
+  using Fetch = std::function<Result<std::vector<Row>>()>;
+  ScatterGatherOperator(std::vector<std::string> columns,
+                        std::vector<Fetch> shard_fetches,
+                        std::vector<std::string> shard_keys, std::string label,
+                        ThreadPool* pool);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  std::vector<std::string> columns() const override { return columns_; }
+  std::string label() const override;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Fetch> fetches_;
+  std::vector<std::string> shard_keys_;
+  std::string label_;
+  ThreadPool* pool_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
 };

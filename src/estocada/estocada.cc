@@ -134,6 +134,68 @@ Status Estocada::DefineReplicatedFragment(
   return Status::OK();
 }
 
+Status Estocada::DefinePartitionedFragment(
+    const std::string& view_text, catalog::PartitionSpec::Kind kind,
+    size_t key_position, const std::vector<std::string>& shard_stores,
+    std::vector<engine::Value> bounds,
+    std::vector<pivot::Adornment> adornments,
+    std::vector<size_t> index_positions) {
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                            pivot::ParseQuery(view_text));
+  pacb::ViewDefinition view;
+  view.query = std::move(q);
+  view.adornments = std::move(adornments);
+  std::vector<std::vector<std::string>> shard_replica_stores;
+  shard_replica_stores.reserve(shard_stores.size());
+  for (const std::string& store : shard_stores) {
+    shard_replica_stores.push_back({store});
+  }
+  return DefinePartitionedFragment(std::move(view), kind, key_position,
+                                   shard_replica_stores, std::move(bounds),
+                                   std::move(index_positions));
+}
+
+Status Estocada::DefinePartitionedFragment(
+    pacb::ViewDefinition view, catalog::PartitionSpec::Kind kind,
+    size_t key_position,
+    const std::vector<std::vector<std::string>>& shard_replica_stores,
+    std::vector<engine::Value> bounds, std::vector<size_t> index_positions) {
+  if (shard_replica_stores.size() < 2) {
+    return Status::InvalidArgument(
+        "a partitioned fragment needs at least 2 shards");
+  }
+  catalog::StorageDescriptor desc;
+  desc.view = std::move(view);
+  desc.index_positions = std::move(index_positions);
+  desc.partition.kind = kind;
+  desc.partition.key_position = key_position;
+  desc.partition.shards = shard_replica_stores.size();
+  desc.partition.bounds = std::move(bounds);
+  for (const std::vector<std::string>& replica_stores : shard_replica_stores) {
+    if (replica_stores.empty()) {
+      return Status::InvalidArgument("every shard needs at least one store");
+    }
+    catalog::ShardState shard;
+    for (const std::string& store : replica_stores) {
+      catalog::ReplicaPlacement placement;
+      placement.store_name = store;
+      shard.replicas.push_back(std::move(placement));
+    }
+    desc.shards.push_back(std::move(shard));
+  }
+  desc.store_name = shard_replica_stores.front().front();
+  std::string name = desc.name();
+  ESTOCADA_RETURN_NOT_OK(catalog_.RegisterFragment(std::move(desc)));
+  Status materialized =
+      rewriting::MaterializeFragment(staging_, &catalog_, name);
+  if (!materialized.ok()) {
+    (void)catalog_.DropFragment(name);
+    return materialized;
+  }
+  MarkCatalogChanged();
+  return Status::OK();
+}
+
 Status Estocada::BeginReplicaRebuild(const std::string& name,
                                      size_t replica) {
   ESTOCADA_ASSIGN_OR_RETURN(catalog::StorageDescriptor * desc,
@@ -218,6 +280,12 @@ Status Estocada::VerifyReplica(const std::string& name,
 Result<uint64_t> Estocada::ReplicaDigest(const std::string& name,
                                          size_t replica) const {
   return rewriting::FragmentReplicaDigest(catalog_, name, replica);
+}
+
+Status Estocada::RebuildShardReplicaFromStaging(const std::string& name,
+                                                size_t shard, size_t replica) {
+  return rewriting::MaterializeShardReplica(staging_, &catalog_, name, shard,
+                                            replica);
 }
 
 Status Estocada::DefineShadowFragment(pacb::ViewDefinition view,

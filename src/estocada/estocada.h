@@ -150,6 +150,36 @@ class Estocada {
       const std::vector<std::string>& replica_stores,
       std::vector<size_t> index_positions = {});
 
+  // -------------------------------------------------- Partitioning --
+  // Sharded fragments (scale-out): a partitioned fragment splits its view
+  // rows across N shard containers ("<fragment>#p<i>") by hash or range
+  // on one head position. Reads with the key bound route to the single
+  // owning shard; unbound reads scatter over every shard and gather in
+  // shard order (rewriting/translator.cc); writes split the delta and fan
+  // each bucket to its shard (rewriting/materializer.cc). Each shard may
+  // itself be K-replicated — the two mechanisms compose.
+
+  /// Declares a fragment partitioned across `shard_stores` (one store per
+  /// shard, N = size >= 2) by `kind` on head position `key_position`, and
+  /// materializes every shard. Range partitioning takes `bounds` — N-1
+  /// strictly ascending upper-exclusive split values; hash takes none.
+  Status DefinePartitionedFragment(
+      const std::string& view_text, catalog::PartitionSpec::Kind kind,
+      size_t key_position, const std::vector<std::string>& shard_stores,
+      std::vector<engine::Value> bounds = {},
+      std::vector<pivot::Adornment> adornments = {},
+      std::vector<size_t> index_positions = {});
+
+  /// Structured variant; `shard_replica_stores[s]` lists shard s's
+  /// replica stores (first = primary, siblings "<fragment>#p<s>#r<i>"),
+  /// so a shard can be replicated for fault tolerance.
+  Status DefinePartitionedFragment(
+      pacb::ViewDefinition view, catalog::PartitionSpec::Kind kind,
+      size_t key_position,
+      const std::vector<std::vector<std::string>>& shard_replica_stores,
+      std::vector<engine::Value> bounds = {},
+      std::vector<size_t> index_positions = {});
+
   /// Starts a rebuild of one replica: flags the placement `rebuilding`
   /// (routing skips it, write fan-out stops touching its container) and
   /// re-creates its container empty. Re-entrant — retrying an aborted
@@ -182,6 +212,13 @@ class Estocada {
   /// kUnsupported — scrub those with VerifyReplica.
   Result<uint64_t> ReplicaDigest(const std::string& name,
                                  size_t replica) const;
+
+  /// One-shot rebuild of one shard replica of a *partitioned* fragment
+  /// from the staging truth (drop + re-evaluate + keep the shard's bucket
+  /// + native load), stamping it fresh on success — the repair path for a
+  /// shard replica that missed writes while its store was down.
+  Status RebuildShardReplicaFromStaging(const std::string& name, size_t shard,
+                                        size_t replica);
 
   // ---------------------------------------------- Shadow fragments --
   // Building blocks of the online migration engine (src/migration). A

@@ -426,7 +426,11 @@ Result<size_t> ReplicaRepairer::Tick() {
   std::vector<Candidate> candidates;
   ESTOCADA_RETURN_NOT_OK(server_->WithReadLock([&](const Estocada& sys) {
     for (const auto& [name, desc] : sys.catalog().fragments()) {
-      if (desc.is_shadow() || desc.replicas.size() <= 1) continue;
+      // Partitioned fragments repair per shard via MaterializeShardReplica
+      // (their legacy replica list is a single inert mirror anyway).
+      if (desc.is_shadow() || desc.partitioned() || desc.replicas.size() <= 1) {
+        continue;
+      }
       for (size_t i = 0; i < desc.replicas.size(); ++i) {
         const catalog::ReplicaPlacement& p = desc.replicas[i];
         // Stale (missed writes while its store was down) or stuck
@@ -466,7 +470,9 @@ Result<size_t> ReplicaRepairer::Scrub() {
   std::vector<Scan> scans;
   ESTOCADA_RETURN_NOT_OK(server_->WithReadLock([&](const Estocada& sys) {
     for (const auto& [name, desc] : sys.catalog().fragments()) {
-      if (desc.is_shadow() || desc.replicas.size() <= 1) continue;
+      if (desc.is_shadow() || desc.partitioned() || desc.replicas.size() <= 1) {
+        continue;
+      }
       Scan scan;
       scan.fragment = name;
       for (size_t i = 0; i < desc.replicas.size(); ++i) {

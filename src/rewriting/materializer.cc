@@ -206,6 +206,17 @@ catalog::ReplicaPlacement PlacementOf(const StorageDescriptor& desc,
   return desc.replicas[idx];
 }
 
+/// Splits evaluated view rows into per-shard buckets by the partition key.
+std::vector<std::vector<Row>> SplitByShard(const StorageDescriptor& desc,
+                                           const std::vector<Row>& rows) {
+  std::vector<std::vector<Row>> buckets(desc.partition.shards);
+  for (const Row& row : rows) {
+    buckets[desc.partition.ShardOf(row[desc.partition.key_position])]
+        .push_back(row);
+  }
+  return buckets;
+}
+
 Status DropContainer(const StoreHandle& store, const std::string& container) {
   switch (store.kind) {
     case StoreKind::kRelational:
@@ -230,12 +241,23 @@ Status CreateFragmentContainer(Catalog* catalog,
                             catalog->GetMutableFragment(fragment_name));
   const size_t arity = desc->view.arity();
   std::vector<std::string> columns = catalog::FragmentColumnNames(desc->view);
-  for (size_t i = 0; i < desc->replica_count(); ++i) {
-    catalog::ReplicaPlacement p = PlacementOf(*desc, i);
-    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                              catalog->GetStore(p.store_name));
-    ESTOCADA_RETURN_NOT_OK(
-        LoadFragment(*store, *desc, p.container, {}, columns, arity));
+  if (desc->partitioned()) {
+    for (const catalog::ShardState& shard : desc->shards) {
+      for (const catalog::ReplicaPlacement& p : shard.replicas) {
+        ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                                  catalog->GetStore(p.store_name));
+        ESTOCADA_RETURN_NOT_OK(
+            LoadFragment(*store, *desc, p.container, {}, columns, arity));
+      }
+    }
+  } else {
+    for (size_t i = 0; i < desc->replica_count(); ++i) {
+      catalog::ReplicaPlacement p = PlacementOf(*desc, i);
+      ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                                catalog->GetStore(p.store_name));
+      ESTOCADA_RETURN_NOT_OK(
+          LoadFragment(*store, *desc, p.container, {}, columns, arity));
+    }
   }
   desc->stats = FragmentStatistics{};
   desc->stats.distinct.assign(arity, 0);
@@ -258,17 +280,37 @@ Status MaterializeFragment(const StagingData& staging, Catalog* catalog,
   // append fan-out, which tolerates stale minorities). Replicas marked
   // rebuilding are skipped — the ReplicaRepairer owns their containers
   // (this path doubles as the full-rebuild step of text maintenance).
-  for (size_t i = 0; i < desc->replica_count(); ++i) {
-    catalog::ReplicaPlacement p = PlacementOf(*desc, i);
-    if (p.rebuilding) continue;
-    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
-                              catalog->GetStore(p.store_name));
-    ESTOCADA_RETURN_NOT_OK(
-        LoadFragment(*store, *desc, p.container, rows, columns, arity));
-  }
-  for (auto& r : desc->replicas) {
-    if (r.rebuilding) continue;
-    r.epoch = desc->write_epoch;
+  if (desc->partitioned()) {
+    // Partitioned layout: each shard container receives exactly its
+    // bucket of the view extent, every replica of the shard gets the
+    // same bucket, and each shard's replica epochs snap to that shard's
+    // write epoch.
+    std::vector<std::vector<Row>> buckets = SplitByShard(*desc, rows);
+    for (size_t s = 0; s < desc->shards.size(); ++s) {
+      catalog::ShardState& shard = desc->shards[s];
+      for (catalog::ReplicaPlacement& r : shard.replicas) {
+        if (r.rebuilding) continue;
+        ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                                  catalog->GetStore(r.store_name));
+        ESTOCADA_RETURN_NOT_OK(
+            LoadFragment(*store, *desc, r.container, buckets[s], columns,
+                         arity));
+        r.epoch = shard.write_epoch;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < desc->replica_count(); ++i) {
+      catalog::ReplicaPlacement p = PlacementOf(*desc, i);
+      if (p.rebuilding) continue;
+      ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                                catalog->GetStore(p.store_name));
+      ESTOCADA_RETURN_NOT_OK(
+          LoadFragment(*store, *desc, p.container, rows, columns, arity));
+    }
+    for (auto& r : desc->replicas) {
+      if (r.rebuilding) continue;
+      r.epoch = desc->write_epoch;
+    }
   }
   desc->stats = ComputeStatistics(rows, arity);
   desc->list_column.assign(arity, false);
@@ -354,8 +396,59 @@ Status AppendRowsToContainer(const StoreHandle& store,
 /// from routing, queued for the repairer. When *no* replica takes the
 /// write the epoch bump is rolled back and the first error surfaces, so
 /// an unreplicated fragment behaves exactly as before.
+/// One shard's write fan-out: same contract as the whole-fragment
+/// FanOutAppend below, but against the shard's own replica set and write
+/// epoch (epochs are per shard so untouched shards never look stale).
+Status FanOutAppendShard(Catalog* catalog, StorageDescriptor* desc,
+                         size_t shard_idx, const std::vector<Row>& rows) {
+  catalog::ShardState& shard = desc->shards[shard_idx];
+  const uint64_t old_epoch = shard.write_epoch;
+  const uint64_t new_epoch = old_epoch + 1;
+  shard.write_epoch = new_epoch;
+  size_t successes = 0;
+  Status first_error = Status::OK();
+  for (catalog::ReplicaPlacement& r : shard.replicas) {
+    if (r.rebuilding || r.epoch != old_epoch) continue;
+    auto store = catalog->GetStore(r.store_name);
+    Status st = store.ok() ? AppendRowsToContainer(**store, r.container,
+                                                   desc->stats.row_count, rows)
+                           : store.status();
+    if (st.ok()) {
+      r.epoch = new_epoch;
+      ++successes;
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  }
+  if (successes == 0) {
+    shard.write_epoch = old_epoch;
+    return first_error.ok()
+               ? Status::Unavailable(
+                     StrCat("fragment '", desc->name(), "' shard ", shard_idx,
+                            " has no writable replica (all rebuilding or "
+                            "stale)"))
+               : first_error;
+  }
+  return Status::OK();
+}
+
 Status FanOutAppend(Catalog* catalog, StorageDescriptor* desc,
                     const std::vector<Row>& rows) {
+  if (desc->partitioned()) {
+    // Partition-aware write routing: each row lands only on the shard
+    // owning its partition-key value. A shard whose entire replica set
+    // rejects the write fails the call; shards that already took their
+    // buckets keep them (their epochs advanced consistently), which is
+    // sound under set semantics — re-running the append is a no-op for
+    // query answers.
+    std::vector<std::vector<Row>> buckets = SplitByShard(*desc, rows);
+    for (size_t s = 0; s < buckets.size(); ++s) {
+      if (buckets[s].empty()) continue;
+      ESTOCADA_RETURN_NOT_OK(FanOutAppendShard(catalog, desc, s, buckets[s]));
+    }
+    desc->stats.row_count += rows.size();
+    return Status::OK();
+  }
   const uint64_t old_epoch = desc->write_epoch;
   const uint64_t new_epoch = old_epoch + 1;
   // Snapshot placements before the bump: PlacementOf synthesizes the
@@ -491,11 +584,55 @@ Result<std::vector<Row>> ReadContainerRows(const StoreHandle& store,
 
 }  // namespace
 
+Result<std::vector<Row>> ReadShardRows(const Catalog& catalog,
+                                       const std::string& fragment_name,
+                                       size_t shard, size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog.GetFragment(fragment_name));
+  if (!desc->partitioned()) {
+    return Status::InvalidArgument(
+        StrCat("fragment '", fragment_name, "' is not partitioned"));
+  }
+  if (shard >= desc->shards.size()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
+                                     desc->shards.size(), " shards; no shard ",
+                                     shard));
+  }
+  const catalog::ShardState& ss = desc->shards[shard];
+  if (replica >= ss.replicas.size()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' shard ",
+                                     shard, " has ", ss.replicas.size(),
+                                     " replicas; no replica ", replica));
+  }
+  const catalog::ReplicaPlacement& p = ss.replicas[replica];
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog.GetStore(p.store_name));
+  return ReadContainerRows(*store, *desc, p.container);
+}
+
 Result<std::vector<Row>> ReadReplicaRows(const Catalog& catalog,
                                          const std::string& fragment_name,
                                          size_t replica) {
   ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
                             catalog.GetFragment(fragment_name));
+  if (desc->partitioned()) {
+    // The whole-fragment extent is the union of the shard containers;
+    // a replica index only makes sense per shard, so the whole read is
+    // served from each shard's primary copy.
+    if (replica != 0) {
+      return Status::InvalidArgument(
+          StrCat("fragment '", fragment_name,
+                 "' is partitioned; read replicas per shard"));
+    }
+    std::vector<Row> out;
+    for (size_t s = 0; s < desc->shards.size(); ++s) {
+      ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                                ReadShardRows(catalog, fragment_name, s, 0));
+      out.insert(out.end(), std::make_move_iterator(rows.begin()),
+                 std::make_move_iterator(rows.end()));
+    }
+    return out;
+  }
   if (replica >= desc->replica_count()) {
     return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
                                      desc->replica_count(),
@@ -616,25 +753,22 @@ Status VerifyTextFragment(const StoreHandle& store,
 
 }  // namespace
 
-Status VerifyReplicaAgainstRows(const Catalog& catalog,
-                                const std::string& fragment_name,
-                                size_t replica,
-                                const std::vector<Row>& expected_rows) {
-  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
-                            catalog.GetFragment(fragment_name));
-  if (replica >= desc->replica_count()) {
-    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
-                                     desc->replica_count(),
-                                     " replicas; no replica ", replica));
-  }
-  catalog::ReplicaPlacement p = PlacementOf(*desc, replica);
+namespace {
+
+/// Set-compares one placement's container against `expected_rows` (the
+/// shared core of the replica- and shard-level verifies).
+Status VerifyPlacementAgainstRows(const Catalog& catalog,
+                                  const StorageDescriptor& desc,
+                                  const catalog::ReplicaPlacement& p,
+                                  const std::vector<Row>& expected_rows) {
   ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
                             catalog.GetStore(p.store_name));
   if (store->kind == StoreKind::kText) {
-    return VerifyTextFragment(*store, *desc, p.container, expected_rows);
+    return VerifyTextFragment(*store, desc, p.container, expected_rows);
   }
   ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> actual,
-                            ReadReplicaRows(catalog, fragment_name, replica));
+                            ReadContainerRows(*store, desc, p.container));
+  const std::string& fragment_name = desc.name();
   std::set<std::string> actual_set;
   for (const Row& row : actual) actual_set.insert(engine::RowToString(row));
   std::set<std::string> expected_set;
@@ -660,9 +794,52 @@ Status VerifyReplicaAgainstRows(const Catalog& catalog,
   return Status::OK();
 }
 
+}  // namespace
+
+Status VerifyReplicaAgainstRows(const Catalog& catalog,
+                                const std::string& fragment_name,
+                                size_t replica,
+                                const std::vector<Row>& expected_rows) {
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog.GetFragment(fragment_name));
+  if (desc->partitioned()) {
+    return Status::InvalidArgument(
+        StrCat("fragment '", fragment_name,
+               "' is partitioned; use VerifyFragmentAgainstRows"));
+  }
+  if (replica >= desc->replica_count()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
+                                     desc->replica_count(),
+                                     " replicas; no replica ", replica));
+  }
+  catalog::ReplicaPlacement p = PlacementOf(*desc, replica);
+  return VerifyPlacementAgainstRows(catalog, *desc, p, expected_rows);
+}
+
 Status VerifyFragmentAgainstRows(const Catalog& catalog,
                                  const std::string& fragment_name,
                                  const std::vector<Row>& expected_rows) {
+  ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
+                            catalog.GetFragment(fragment_name));
+  if (desc->partitioned()) {
+    // Partition-level check: every fresh, non-rebuilding replica of each
+    // shard must hold exactly the shard's bucket of the expected extent —
+    // misplaced rows (wrong shard) fail as both a miss and an extra.
+    std::vector<std::vector<Row>> buckets = SplitByShard(*desc, expected_rows);
+    for (size_t s = 0; s < desc->shards.size(); ++s) {
+      const catalog::ShardState& shard = desc->shards[s];
+      for (const catalog::ReplicaPlacement& r : shard.replicas) {
+        if (r.rebuilding || !r.fresh(shard.write_epoch)) continue;
+        Status st = VerifyPlacementAgainstRows(catalog, *desc, r, buckets[s]);
+        if (!st.ok()) {
+          return Status::FailedPrecondition(StrCat(
+              "shard ", s, " @ ", r.store_name, "/", r.container, ": ",
+              st.message()));
+        }
+      }
+    }
+    return Status::OK();
+  }
   return VerifyReplicaAgainstRows(catalog, fragment_name, 0, expected_rows);
 }
 
@@ -687,12 +864,23 @@ Status MaintainOneFragmentOnInsertBatch(
   // there forces the rebuild path for the whole replica set (the rebuild
   // leaves every serving replica fresh, so no epoch bump is needed).
   bool any_text = false;
-  for (size_t i = 0; i < desc->replica_count(); ++i) {
-    catalog::ReplicaPlacement p = PlacementOf(*desc, i);
-    if (p.rebuilding) continue;
-    ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* s,
-                              catalog->GetStore(p.store_name));
-    if (s->kind == StoreKind::kText) any_text = true;
+  if (desc->partitioned()) {
+    for (const catalog::ShardState& shard : desc->shards) {
+      for (const catalog::ReplicaPlacement& p : shard.replicas) {
+        if (p.rebuilding) continue;
+        ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* s,
+                                  catalog->GetStore(p.store_name));
+        if (s->kind == StoreKind::kText) any_text = true;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < desc->replica_count(); ++i) {
+      catalog::ReplicaPlacement p = PlacementOf(*desc, i);
+      if (p.rebuilding) continue;
+      ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* s,
+                                catalog->GetStore(p.store_name));
+      if (s->kind == StoreKind::kText) any_text = true;
+    }
   }
   if (any_text) {
     ESTOCADA_RETURN_NOT_OK(DematerializeFragment(catalog, fragment_name));
@@ -800,6 +988,17 @@ Status DematerializeFragment(Catalog* catalog,
                              const std::string& fragment_name) {
   ESTOCADA_ASSIGN_OR_RETURN(const StorageDescriptor* desc,
                             catalog->GetFragment(fragment_name));
+  if (desc->partitioned()) {
+    for (const catalog::ShardState& shard : desc->shards) {
+      for (const catalog::ReplicaPlacement& r : shard.replicas) {
+        if (r.rebuilding) continue;
+        ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                                  catalog->GetStore(r.store_name));
+        ESTOCADA_RETURN_NOT_OK(DropContainer(*store, r.container));
+      }
+    }
+    return Status::OK();
+  }
   // Replicas mid-rebuild are skipped: the repairer owns those containers
   // and drops them itself when its rebuild aborts.
   for (size_t i = 0; i < desc->replica_count(); ++i) {
@@ -892,6 +1091,47 @@ Status AppendToReplica(Catalog* catalog, const std::string& fragment_name,
                               store->document->Count(p.container));
   }
   return AppendRowsToContainer(*store, p.container, doc_id_base, rows);
+}
+
+Status MaterializeShardReplica(const StagingData& staging, Catalog* catalog,
+                               const std::string& fragment_name, size_t shard,
+                               size_t replica) {
+  ESTOCADA_ASSIGN_OR_RETURN(StorageDescriptor * desc,
+                            catalog->GetMutableFragment(fragment_name));
+  if (!desc->partitioned()) {
+    return Status::InvalidArgument(
+        StrCat("fragment '", fragment_name, "' is not partitioned"));
+  }
+  if (shard >= desc->shards.size()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' has ",
+                                     desc->shards.size(), " shards; no shard ",
+                                     shard));
+  }
+  catalog::ShardState& ss = desc->shards[shard];
+  if (replica >= ss.replicas.size()) {
+    return Status::OutOfRange(StrCat("fragment '", fragment_name, "' shard ",
+                                     shard, " has ", ss.replicas.size(),
+                                     " replicas; no replica ", replica));
+  }
+  catalog::ReplicaPlacement& p = ss.replicas[replica];
+  ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
+                            catalog->GetStore(p.store_name));
+  ESTOCADA_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      EvaluateCqOverStaging(desc->view.query, staging, {}, true));
+  std::vector<std::vector<Row>> buckets = SplitByShard(*desc, rows);
+  Status dropped = DropContainer(*store, p.container);
+  if (!dropped.ok() && dropped.code() != StatusCode::kNotFound) {
+    return dropped;
+  }
+  std::vector<std::string> columns = catalog::FragmentColumnNames(desc->view);
+  ESTOCADA_RETURN_NOT_OK(LoadFragment(*store, *desc, p.container,
+                                      buckets[shard], columns,
+                                      desc->view.arity()));
+  // A one-shot rebuild from the staging truth is current by definition.
+  p.epoch = ss.write_epoch;
+  p.rebuilding = false;
+  return Status::OK();
 }
 
 Result<uint64_t> FragmentReplicaDigest(const Catalog& catalog,

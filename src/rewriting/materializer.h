@@ -137,6 +137,26 @@ Result<uint64_t> FragmentReplicaDigest(const catalog::Catalog& catalog,
                                        const std::string& fragment_name,
                                        size_t replica);
 
+/// --- Per-shard primitives (partitioned fragments) ---------------------
+
+/// Reads one shard replica's container back into view rows (same contract
+/// as ReadReplicaRows). For partitioned fragments ReadFragmentRows returns
+/// the concatenation of every shard's primary copy.
+Result<std::vector<engine::Row>> ReadShardRows(const catalog::Catalog& catalog,
+                                               const std::string& fragment_name,
+                                               size_t shard, size_t replica);
+
+/// Rebuilds one shard replica's container in one shot from the staging
+/// truth: re-evaluates the view, keeps only the shard's bucket, and
+/// reloads the container. Unlike MaterializeReplica this *does* stamp the
+/// replica current (epoch = the shard's write epoch, rebuilding cleared):
+/// a full rebuild from staging is fresh by definition, and shard repair
+/// has no separate repairer sequencing the admission.
+Status MaterializeShardReplica(const StagingData& staging,
+                               catalog::Catalog* catalog,
+                               const std::string& fragment_name, size_t shard,
+                               size_t replica);
+
 /// Incremental view maintenance: given one tuple freshly appended to
 /// dataset relation `relation` (already present in `staging`), computes
 /// each affected fragment's delta with the standard delta rule — for every

@@ -72,7 +72,24 @@ struct AtomInfo {
   std::vector<std::optional<Value>> ground;
   /// Variable name per position ("" when ground).
   std::vector<std::string> var;
+  /// Partitioned fragment whose partition key is not ground at plan time:
+  /// the read must scatter over every shard (or dispatch per binding when
+  /// the key arrives through a BindJoin). `store`/`store_name`/`container`
+  /// then mirror shard 0's routed placement for kind checks only.
+  bool scatter = false;
+  /// One routed placement (and its store) per shard when `scatter`.
+  std::vector<catalog::ReplicaPlacement> shard_placements;
+  std::vector<const StoreHandle*> shard_stores;
 };
+
+/// The scatter fan-out pool: dedicated (never the QueryServer's worker
+/// pool — a query waiting for its own shard tasks behind other queued
+/// queries would deadlock) and safe to share process-wide because shard
+/// fetches never submit further tasks.
+ThreadPool* ScatterPool() {
+  static ThreadPool pool(std::max(8u, std::thread::hardware_concurrency()));
+  return &pool;
+}
 
 /// Picks the replica placement an atom reads from: the first one (the
 /// primary preferred) that is fresh, not mid-rebuild, and whose store is
@@ -102,6 +119,28 @@ Result<catalog::ReplicaPlacement> RouteFragment(
              "' has no available replica (excluded, stale, or rebuilding)"));
 }
 
+/// RouteFragment for one shard of a partitioned fragment: same two-pass
+/// probation logic over the shard's own replica set and write epoch. A
+/// dead shard replica drops out here exactly like a dead whole-fragment
+/// replica, so shard reads compose with the HealthRegistry re-route rung
+/// and the degradation ladder unchanged.
+Result<catalog::ReplicaPlacement> RouteShard(const StorageDescriptor& frag,
+                                             size_t shard_idx,
+                                             const PlanConstraints& constraints) {
+  const catalog::ShardState& shard = frag.shards[shard_idx];
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const catalog::ReplicaPlacement& p : shard.replicas) {
+      if (p.rebuilding || !p.fresh(shard.write_epoch)) continue;
+      if (constraints.Excludes(p.store_name)) continue;
+      if (pass == 0 && constraints.OnProbation(p.store_name)) continue;
+      return p;
+    }
+  }
+  return Status::Unavailable(
+      StrCat("fragment '", frag.name(), "' shard ", shard_idx,
+             " has no available replica (excluded, stale, or rebuilding)"));
+}
+
 /// A group of atoms reformulated as a single native store access.
 struct CompiledGroup {
   /// Output column variable names ("" for columns not bound to a var).
@@ -115,6 +154,12 @@ struct CompiledGroup {
   double est_out_rows = 1;  ///< Expected rows per fetch call.
   double access_cost = 1;   ///< Simulated cost per fetch call.
   std::string desc;
+  /// Scatter groups (partitioned fragment, key unbound): one fetch per
+  /// shard plus its backing store instance name; `fetch` above remains
+  /// valid (per-binding dispatch or sequential concat) for BindJoin use,
+  /// while source positions upgrade to a ScatterGatherOperator.
+  std::vector<engine::BindJoinOperator::Fetch> shard_fetches;
+  std::vector<std::string> shard_keys;
 };
 
 /// Mirrors the default store cost profiles for *estimation* (the stores
@@ -172,6 +217,329 @@ std::vector<std::optional<Value>> BindGround(
   return ground;
 }
 
+/// One compiled native access to a single placement (store + container).
+struct SingleAtomAccess {
+  engine::BindJoinOperator::Fetch fetch;
+  double access_cost = 1;
+  std::string desc;
+};
+
+/// Compiles a single-atom group against the placement named by
+/// `info.store`/`info.store_name`/`info.container`. Shared between the
+/// ordinary one-placement path and the scatter path, which calls it once
+/// per shard with shard-routed placements. `rows_total` is the expected
+/// stored row count of the placement (the whole fragment, or one shard's
+/// bucket) and `est_out_rows` the expected rows per fetch call.
+Result<SingleAtomAccess> CompileSingleAtomAccess(
+    const AtomInfo& info, const std::vector<size_t>& needed_positions,
+    const std::vector<std::string>& needed_vars, double rows_total,
+    double est_out_rows, const std::shared_ptr<RuntimeStats>& runtime) {
+  SingleAtomAccess out;
+  const StoreKind kind = info.store->kind;
+  const CostConstants cost = CostModel(kind);
+  const std::string store_name = info.store_name;
+  const size_t arity = info.atom->arity();
+  const auto& adorn = info.fragment->view.adornments;
+  const AtomInfo info_copy = info;
+
+  switch (kind) {
+    case StoreKind::kRelational: {
+      // Single-table SPJ over one shard container (the fused multi-atom
+      // SPJ path never routes here — scattered atoms do not fuse).
+      // Filters are built at fetch time so outer bindings push down;
+      // list-typed values stay post-checks (they persist as JSON text).
+      stores::RelationalStore* store = info.store->relational;
+      const std::string container = info.container;
+      std::vector<std::string> cols =
+          catalog::FragmentColumnNames(info.fragment->view);
+      std::vector<size_t> list_cols;
+      for (size_t i = 0; i < arity; ++i) {
+        if (i < info.fragment->list_column.size() &&
+            info.fragment->list_column[i]) {
+          list_cols.push_back(i);
+        }
+      }
+      out.access_cost = cost.per_op + cost.per_row * rows_total +
+                        cost.per_ret * est_out_rows;
+      out.desc = StrCat(store_name, ": SELECT * FROM ", container);
+      std::vector<size_t> np = needed_positions;
+      out.fetch = [store, container, cols, info_copy, np, list_cols, runtime,
+                   store_name](const Row& binding)
+          -> Result<std::vector<Row>> {
+        auto ground = BindGround(info_copy, np, binding);
+        stores::SpjQuery q;
+        q.from.push_back({container, "a0"});
+        std::unordered_set<size_t> listed(list_cols.begin(), list_cols.end());
+        for (size_t i = 0; i < cols.size(); ++i) {
+          stores::SpjQuery::ColumnRef ref{"a0", cols[i]};
+          q.select.push_back(ref);
+          if (ground[i].has_value() && !ground[i]->is_list() &&
+              !listed.count(i)) {
+            q.filters.push_back({ref, *ground[i]});
+          }
+        }
+        ESTOCADA_ASSIGN_OR_RETURN(
+            std::vector<Row> rows,
+            store->Execute(q, &runtime->per_store[store_name]));
+        AtomInfo check = info_copy;
+        for (size_t i = 0; i < np.size(); ++i) {
+          check.ground[np[i]] = binding[i];
+        }
+        std::vector<Row> out_rows;
+        for (Row& row : rows) {
+          for (size_t c : list_cols) {
+            if (row[c].is_string()) {
+              ESTOCADA_ASSIGN_OR_RETURN(
+                  Value parsed, ParseStoredJson(row[c].string_value()));
+              row[c] = std::move(parsed);
+            }
+          }
+          if (RowSatisfiesAtom(row, check)) out_rows.push_back(std::move(row));
+        }
+        return out_rows;
+      };
+      break;
+    }
+    case StoreKind::kKeyValue: {
+      stores::KeyValueStore* store = info.store->kv;
+      const std::string container = info.container;
+      // Key is position 0 (materializer layout).
+      bool key_needed = !needed_positions.empty() &&
+                        needed_positions[0] == 0;
+      bool key_ground = info.ground[0].has_value();
+      if (key_ground || key_needed) {
+        out.access_cost = cost.per_op + cost.per_lookup;
+        out.desc = StrCat(store_name, ": GET ", container, "[",
+                          key_ground ? info.ground[0]->ToString()
+                                     : StrCat("?", needed_vars[0]),
+                          "]");
+        std::vector<size_t> np = needed_positions;
+        out.fetch = [store, container, info_copy, np, runtime,
+                     store_name](const Row& binding)
+            -> Result<std::vector<Row>> {
+          auto ground = BindGround(info_copy, np, binding);
+          auto got = store->Get(container, ground[0]->ToJson().Serialize(),
+                                &runtime->per_store[store_name]);
+          if (!got.ok()) {
+            if (got.status().code() == StatusCode::kNotFound) {
+              return std::vector<Row>{};
+            }
+            return got.status();
+          }
+          ESTOCADA_ASSIGN_OR_RETURN(Value v, ParseStoredJson(*got));
+          if (!v.is_list()) {
+            return Status::Internal("corrupt KV fragment payload");
+          }
+          AtomInfo check = info_copy;
+          for (size_t i = 0; i < np.size(); ++i) {
+            check.ground[np[i]] = binding[i];
+          }
+          // Payload = list of rows sharing this key.
+          std::vector<Row> out_rows;
+          for (const Value& row_value : v.list()) {
+            if (!row_value.is_list()) {
+              return Status::Internal("corrupt KV fragment payload row");
+            }
+            Row row = row_value.list();
+            if (RowSatisfiesAtom(row, check)) out_rows.push_back(std::move(row));
+          }
+          return out_rows;
+        };
+      } else {
+        // Free access: full collection scan (allowed but costly). Any
+        // outer bindings on non-key input positions become post-checks.
+        out.access_cost = cost.per_op + cost.per_row * rows_total +
+                          cost.per_ret * est_out_rows;
+        out.desc = StrCat(store_name, ": SCAN ", container);
+        std::vector<size_t> np = needed_positions;
+        out.fetch = [store, container, info_copy, np, runtime,
+                     store_name](const Row& binding)
+            -> Result<std::vector<Row>> {
+          AtomInfo check = info_copy;
+          for (size_t i = 0; i < np.size(); ++i) {
+            check.ground[np[i]] = binding[i];
+          }
+          ESTOCADA_ASSIGN_OR_RETURN(
+              auto pairs,
+              store->Scan(container, &runtime->per_store[store_name]));
+          std::vector<Row> out_rows;
+          for (const auto& [k, v] : pairs) {
+            ESTOCADA_ASSIGN_OR_RETURN(Value parsed, ParseStoredJson(v));
+            if (!parsed.is_list()) continue;
+            for (const Value& row_value : parsed.list()) {
+              if (!row_value.is_list()) continue;
+              Row row = row_value.list();
+              if (RowSatisfiesAtom(row, check)) {
+                out_rows.push_back(std::move(row));
+              }
+            }
+          }
+          return out_rows;
+        };
+      }
+      break;
+    }
+    case StoreKind::kDocument: {
+      stores::DocumentStore* store = info.store->document;
+      const std::string container = info.container;
+      out.access_cost = cost.per_op + cost.per_row * rows_total * 0.5 +
+                        cost.per_ret * est_out_rows;
+      std::vector<std::string> pred_bits;
+      for (size_t i = 0; i < arity; ++i) {
+        if (info.ground[i].has_value()) {
+          pred_bits.push_back(
+              StrCat("f", i, "=", info.ground[i]->ToString()));
+        }
+      }
+      out.desc = StrCat(store_name, ": FIND ", container, " {",
+                        StrJoin(pred_bits, ", "), "}");
+      std::vector<size_t> np = needed_positions;
+      out.fetch = [store, container, info_copy, np, arity, runtime,
+                   store_name](const Row& binding)
+          -> Result<std::vector<Row>> {
+        auto ground = BindGround(info_copy, np, binding);
+        std::vector<stores::PathPredicate> preds;
+        for (size_t i = 0; i < arity; ++i) {
+          if (ground[i].has_value()) {
+            preds.push_back({StrCat("f", i), stores::DocOp::kEq,
+                             ground[i]->ToJson()});
+          }
+        }
+        ESTOCADA_ASSIGN_OR_RETURN(
+            std::vector<json::JsonValue> docs,
+            store->Find(container, preds,
+                        &runtime->per_store[store_name]));
+        AtomInfo check = info_copy;
+        for (size_t i = 0; i < np.size(); ++i) {
+          check.ground[np[i]] = binding[i];
+        }
+        std::vector<Row> out_rows;
+        for (const json::JsonValue& doc : docs) {
+          Row row;
+          row.reserve(arity);
+          for (size_t i = 0; i < arity; ++i) {
+            const json::JsonValue* f = doc.Find(StrCat("f", i));
+            row.push_back(f == nullptr ? Value::Null()
+                                       : Value::FromJson(*f));
+          }
+          if (RowSatisfiesAtom(row, check)) out_rows.push_back(std::move(row));
+        }
+        return out_rows;
+      };
+      break;
+    }
+    case StoreKind::kParallel: {
+      stores::ParallelStore* store = info.store->parallel;
+      const std::string container = info.container;
+      // Index over the input-adorned positions exists iff there are any
+      // (materializer contract). Use it when every indexed position is
+      // ground or needed.
+      std::vector<size_t> index_positions;
+      for (size_t i = 0; i < adorn.size(); ++i) {
+        if (adorn[i] == Adornment::kInput) index_positions.push_back(i);
+      }
+      bool index_usable = !index_positions.empty();
+      for (size_t p : index_positions) {
+        bool is_needed = std::find(needed_positions.begin(),
+                                   needed_positions.end(),
+                                   p) != needed_positions.end();
+        if (!info.ground[p].has_value() && !is_needed) {
+          index_usable = false;
+        }
+      }
+      std::vector<size_t> np = needed_positions;
+      if (index_usable) {
+        out.access_cost = cost.per_op + cost.per_lookup +
+                          cost.per_ret * est_out_rows;
+        out.desc = StrCat(store_name, ": INDEX-LOOKUP ", container, " (",
+                          StrJoin(index_positions, ","), ")");
+        out.fetch = [store, container, info_copy, np, index_positions,
+                     runtime, store_name](const Row& binding)
+            -> Result<std::vector<Row>> {
+          auto ground = BindGround(info_copy, np, binding);
+          Row key;
+          for (size_t p : index_positions) key.push_back(*ground[p]);
+          ESTOCADA_ASSIGN_OR_RETURN(
+              std::vector<Row> rows,
+              store->IndexLookup(container, index_positions, key,
+                                 &runtime->per_store[store_name]));
+          AtomInfo check = info_copy;
+          for (size_t i = 0; i < np.size(); ++i) {
+            check.ground[np[i]] = binding[i];
+          }
+          std::vector<Row> out_rows;
+          for (Row& row : rows) {
+            if (RowSatisfiesAtom(row, check)) out_rows.push_back(std::move(row));
+          }
+          return out_rows;
+        };
+      } else {
+        out.access_cost = cost.per_op + cost.per_row * rows_total +
+                          cost.per_ret * est_out_rows;
+        out.desc = StrCat(store_name, ": PARALLEL-SCAN ", container);
+        out.fetch = [store, container, info_copy, np, runtime,
+                     store_name](const Row& binding)
+            -> Result<std::vector<Row>> {
+          AtomInfo check = info_copy;
+          for (size_t i = 0; i < np.size(); ++i) {
+            check.ground[np[i]] = binding[i];
+          }
+          return store->ParallelScan(
+              container,
+              [check](const Row& row) {
+                return RowSatisfiesAtom(row, check);
+              },
+              {}, &runtime->per_store[store_name]);
+        };
+      }
+      break;
+    }
+    case StoreKind::kText: {
+      stores::TextStore* store = info.store->text;
+      const std::string container = info.container;
+      out.access_cost = cost.per_op + cost.per_lookup +
+                        cost.per_ret * est_out_rows;
+      out.desc = StrCat(
+          store_name, ": SEARCH ", container, " [",
+          info.ground[1].has_value() ? info.ground[1]->ToString() : "?",
+          "]");
+      std::vector<size_t> np = needed_positions;
+      out.fetch = [store, container, info_copy, np, runtime,
+                   store_name](const Row& binding)
+          -> Result<std::vector<Row>> {
+        auto ground = BindGround(info_copy, np, binding);
+        if (!ground[1].has_value()) {
+          return Status::NoRewriting(
+              "text search requires a bound term");
+        }
+        std::string term = ground[1]->is_string()
+                               ? ground[1]->string_value()
+                               : ground[1]->ToString();
+        ESTOCADA_ASSIGN_OR_RETURN(
+            std::vector<std::string> ids,
+            store->Search(container, {term},
+                          &runtime->per_store[store_name]));
+        AtomInfo check = info_copy;
+        for (size_t i = 0; i < np.size(); ++i) {
+          check.ground[np[i]] = binding[i];
+        }
+        std::vector<Row> out_rows;
+        for (const std::string& id : ids) {
+          ESTOCADA_ASSIGN_OR_RETURN(Value doc_id, ParseStoredJson(id));
+          Row row{doc_id, *ground[1]};
+          if (RowSatisfiesAtom(row, check)) out_rows.push_back(std::move(row));
+        }
+        return out_rows;
+      };
+      break;
+    }
+  }
+  if (!out.fetch) {
+    return Status::Internal("unhandled store kind in translator");
+  }
+  return out;
+}
+
 }  // namespace
 
 Translator::Translator(const catalog::Catalog* catalog) : catalog_(catalog) {}
@@ -194,11 +562,45 @@ Result<PlannedQuery> Translator::Plan(
           StrCat("atom ", atom.ToString(), " does not match fragment arity ",
                  frag->view.arity()));
     }
-    ESTOCADA_ASSIGN_OR_RETURN(catalog::ReplicaPlacement placement,
-                              RouteFragment(*frag, constraints));
+    AtomInfo info;
+    catalog::ReplicaPlacement placement;
+    if (frag->partitioned()) {
+      // Shard pruning: when the partition key is ground at plan time
+      // (a constant or a supplied parameter), the whole read collapses
+      // to the one shard owning that value — routed like any replica
+      // set. Otherwise every shard must be routable and the access
+      // becomes a scatter (or a per-binding dispatch downstream).
+      const catalog::PartitionSpec& spec = frag->partition;
+      const Term& key_term = atom.terms[spec.key_position];
+      std::optional<Value> key;
+      if (key_term.is_constant()) {
+        key = Value::FromConstant(key_term.constant());
+      } else if (key_term.is_variable() &&
+                 pacb::IsParameterVariable(key_term.var_name())) {
+        auto it = parameters.find(key_term.var_name());
+        if (it != parameters.end()) key = it->second;
+      }
+      if (key.has_value()) {
+        ESTOCADA_ASSIGN_OR_RETURN(
+            placement, RouteShard(*frag, spec.ShardOf(*key), constraints));
+      } else {
+        info.scatter = true;
+        for (size_t s = 0; s < spec.shards; ++s) {
+          ESTOCADA_ASSIGN_OR_RETURN(catalog::ReplicaPlacement p,
+                                    RouteShard(*frag, s, constraints));
+          ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* sh,
+                                    catalog_->GetStore(p.store_name));
+          info.shard_placements.push_back(std::move(p));
+          info.shard_stores.push_back(sh);
+        }
+        placement = info.shard_placements[0];
+      }
+    } else {
+      ESTOCADA_ASSIGN_OR_RETURN(placement,
+                                RouteFragment(*frag, constraints));
+    }
     ESTOCADA_ASSIGN_OR_RETURN(const StoreHandle* store,
                               catalog_->GetStore(placement.store_name));
-    AtomInfo info;
     info.atom = &atom;
     info.fragment = frag;
     info.store = store;
@@ -250,7 +652,9 @@ Result<PlannedQuery> Translator::Plan(
   std::map<std::string, size_t> rel_group_of_store;
   for (size_t idx : order) {
     const AtomInfo& info = infos[idx];
-    if (info.store->kind == StoreKind::kRelational) {
+    // A scattered atom never fuses: each shard holds only part of its
+    // extent, so it cannot join inside one delegated SPJ.
+    if (info.store->kind == StoreKind::kRelational && !info.scatter) {
       auto it = rel_group_of_store.find(info.store_name);
       if (it != rel_group_of_store.end()) {
         groups[it->second].push_back(idx);
@@ -265,7 +669,15 @@ Result<PlannedQuery> Translator::Plan(
   PlannedQuery plan;
   plan.rewriting = rewriting;
   plan.runtime_stats = runtime;
-  for (const AtomInfo& info : infos) plan.stores_used.push_back(info.store_name);
+  for (const AtomInfo& info : infos) {
+    if (info.scatter) {
+      for (const catalog::ReplicaPlacement& p : info.shard_placements) {
+        plan.stores_used.push_back(p.store_name);
+      }
+    } else {
+      plan.stores_used.push_back(info.store_name);
+    }
+  }
   std::sort(plan.stores_used.begin(), plan.stores_used.end());
   plan.stores_used.erase(
       std::unique(plan.stores_used.begin(), plan.stores_used.end()),
@@ -279,7 +691,7 @@ Result<PlannedQuery> Translator::Plan(
     const CostConstants cost = CostModel(kind);
     const std::string store_name = head_info.store_name;
 
-    if (kind == StoreKind::kRelational) {
+    if (kind == StoreKind::kRelational && !head_info.scatter) {
       // -- Largest delegatable subquery: one SPJ over all group atoms.
       stores::SpjQuery q;
       std::unordered_map<std::string,
@@ -418,244 +830,72 @@ Result<PlannedQuery> Translator::Plan(
     const double rows_total =
         static_cast<double>(info.fragment->stats.row_count);
     cg.est_out_rows = std::max(rows_total * sel, 0.0);
-    const AtomInfo info_copy = info;  // Captured by the closures below.
-
-    switch (kind) {
-      case StoreKind::kKeyValue: {
-        stores::KeyValueStore* store = info.store->kv;
-        const std::string container = info.container;
-        // Key is position 0 (materializer layout).
-        bool key_needed = !needed_positions.empty() &&
-                          needed_positions[0] == 0;
-        bool key_ground = info.ground[0].has_value();
-        if (key_ground || key_needed) {
-          cg.access_cost = cost.per_op + cost.per_lookup;
-          cg.desc = StrCat(store_name, ": GET ", container, "[",
-                           key_ground ? info.ground[0]->ToString()
-                                      : StrCat("?", cg.needed_vars[0]),
-                           "]");
-          std::vector<size_t> np = needed_positions;
-          cg.fetch = [store, container, info_copy, np, runtime,
-                      store_name](const Row& binding)
-              -> Result<std::vector<Row>> {
-            auto ground = BindGround(info_copy, np, binding);
-            auto got = store->Get(container, ground[0]->ToJson().Serialize(),
-                                  &runtime->per_store[store_name]);
-            if (!got.ok()) {
-              if (got.status().code() == StatusCode::kNotFound) {
-                return std::vector<Row>{};
-              }
-              return got.status();
-            }
-            ESTOCADA_ASSIGN_OR_RETURN(Value v, ParseStoredJson(*got));
-            if (!v.is_list()) {
-              return Status::Internal("corrupt KV fragment payload");
-            }
-            AtomInfo check = info_copy;
-            for (size_t i = 0; i < np.size(); ++i) {
-              check.ground[np[i]] = binding[i];
-            }
-            // Payload = list of rows sharing this key.
-            std::vector<Row> out;
-            for (const Value& row_value : v.list()) {
-              if (!row_value.is_list()) {
-                return Status::Internal("corrupt KV fragment payload row");
-              }
-              Row row = row_value.list();
-              if (RowSatisfiesAtom(row, check)) out.push_back(std::move(row));
-            }
-            return out;
-          };
-        } else {
-          // Free access: full collection scan (allowed but costly). Any
-          // outer bindings on non-key input positions become post-checks.
-          cg.access_cost = cost.per_op + cost.per_row * rows_total +
-                           cost.per_ret * cg.est_out_rows;
-          cg.desc = StrCat(store_name, ": SCAN ", container);
-          std::vector<size_t> np = needed_positions;
-          cg.fetch = [store, container, info_copy, np, runtime,
-                      store_name](const Row& binding)
-              -> Result<std::vector<Row>> {
-            AtomInfo check = info_copy;
-            for (size_t i = 0; i < np.size(); ++i) {
-              check.ground[np[i]] = binding[i];
-            }
-            ESTOCADA_ASSIGN_OR_RETURN(
-                auto pairs,
-                store->Scan(container, &runtime->per_store[store_name]));
-            std::vector<Row> out;
-            for (const auto& [k, v] : pairs) {
-              ESTOCADA_ASSIGN_OR_RETURN(Value parsed, ParseStoredJson(v));
-              if (!parsed.is_list()) continue;
-              for (const Value& row_value : parsed.list()) {
-                if (!row_value.is_list()) continue;
-                Row row = row_value.list();
-                if (RowSatisfiesAtom(row, check)) {
-                  out.push_back(std::move(row));
-                }
-              }
-            }
-            return out;
-          };
+    if (!info.scatter) {
+      ESTOCADA_ASSIGN_OR_RETURN(
+          SingleAtomAccess access,
+          CompileSingleAtomAccess(info, needed_positions, cg.needed_vars,
+                                  rows_total, cg.est_out_rows, runtime));
+      cg.fetch = std::move(access.fetch);
+      cg.access_cost = access.access_cost;
+      cg.desc = std::move(access.desc);
+    } else {
+      // Scatter: compile one access per shard against its routed replica.
+      const catalog::PartitionSpec& spec = info.fragment->partition;
+      const double shard_div = static_cast<double>(spec.shards);
+      double total_cost = 0;
+      for (size_t s = 0; s < spec.shards; ++s) {
+        AtomInfo si = info;
+        si.store = info.shard_stores[s];
+        si.store_name = info.shard_placements[s].store_name;
+        si.container = info.shard_placements[s].container;
+        // Pre-insert the per-store stats slot now: concurrent shard
+        // fetches then only ever *find* entries, never grow the map.
+        runtime->per_store[si.store_name];
+        ESTOCADA_ASSIGN_OR_RETURN(
+            SingleAtomAccess access,
+            CompileSingleAtomAccess(
+                si, needed_positions, cg.needed_vars,
+                std::max(rows_total / shard_div, 1.0),
+                std::max(cg.est_out_rows / shard_div, 0.0), runtime));
+        total_cost += access.access_cost;
+        if (s == 0) {
+          cg.desc = StrCat("scatter[", spec.shards, " shards] ", access.desc);
         }
-        break;
+        cg.shard_fetches.push_back(std::move(access.fetch));
+        cg.shard_keys.push_back(si.store_name);
       }
-      case StoreKind::kDocument: {
-        stores::DocumentStore* store = info.store->document;
-        const std::string container = info.container;
-        cg.access_cost = cost.per_op + cost.per_row * rows_total * 0.5 +
-                         cost.per_ret * cg.est_out_rows;
-        std::vector<std::string> pred_bits;
-        for (size_t i = 0; i < arity; ++i) {
-          if (info.ground[i].has_value()) {
-            pred_bits.push_back(
-                StrCat("f", i, "=", info.ground[i]->ToString()));
-          }
+      cg.access_cost = total_cost;
+      // When the partition key arrives as a BindJoin binding, every call
+      // routes to exactly one shard (dynamic pruning).
+      int key_idx = -1;
+      for (size_t i = 0; i < needed_positions.size(); ++i) {
+        if (needed_positions[i] == spec.key_position) {
+          key_idx = static_cast<int>(i);
         }
-        cg.desc = StrCat(store_name, ": FIND ", container, " {",
-                         StrJoin(pred_bits, ", "), "}");
-        std::vector<size_t> np = needed_positions;
-        cg.fetch = [store, container, info_copy, np, arity, runtime,
-                    store_name](const Row& binding)
+      }
+      std::vector<engine::BindJoinOperator::Fetch> fetches = cg.shard_fetches;
+      if (key_idx >= 0) {
+        const catalog::PartitionSpec spec_copy = spec;
+        const size_t ki = static_cast<size_t>(key_idx);
+        cg.fetch = [fetches, spec_copy, ki](const Row& binding)
             -> Result<std::vector<Row>> {
-          auto ground = BindGround(info_copy, np, binding);
-          std::vector<stores::PathPredicate> preds;
-          for (size_t i = 0; i < arity; ++i) {
-            if (ground[i].has_value()) {
-              preds.push_back({StrCat("f", i), stores::DocOp::kEq,
-                               ground[i]->ToJson()});
-            }
-          }
-          ESTOCADA_ASSIGN_OR_RETURN(
-              std::vector<json::JsonValue> docs,
-              store->Find(container, preds,
-                          &runtime->per_store[store_name]));
-          AtomInfo check = info_copy;
-          for (size_t i = 0; i < np.size(); ++i) {
-            check.ground[np[i]] = binding[i];
-          }
-          std::vector<Row> out;
-          for (const json::JsonValue& doc : docs) {
-            Row row;
-            row.reserve(arity);
-            for (size_t i = 0; i < arity; ++i) {
-              const json::JsonValue* f = doc.Find(StrCat("f", i));
-              row.push_back(f == nullptr ? Value::Null()
-                                         : Value::FromJson(*f));
-            }
-            if (RowSatisfiesAtom(row, check)) out.push_back(std::move(row));
-          }
-          return out;
+          return fetches[spec_copy.ShardOf(binding[ki])](binding);
         };
-        break;
-      }
-      case StoreKind::kParallel: {
-        stores::ParallelStore* store = info.store->parallel;
-        const std::string container = info.container;
-        // Index over the input-adorned positions exists iff there are any
-        // (materializer contract). Use it when every indexed position is
-        // ground or needed.
-        std::vector<size_t> index_positions;
-        for (size_t i = 0; i < adorn.size(); ++i) {
-          if (adorn[i] == Adornment::kInput) index_positions.push_back(i);
-        }
-        bool index_usable = !index_positions.empty();
-        for (size_t p : index_positions) {
-          bool is_needed = std::find(needed_positions.begin(),
-                                     needed_positions.end(),
-                                     p) != needed_positions.end();
-          if (!info.ground[p].has_value() && !is_needed) {
-            index_usable = false;
+        // A bound key prunes to one shard, so charge one shard's access.
+        cg.access_cost = total_cost / shard_div;
+      } else {
+        // No key in the binding: each call must consult every shard
+        // (sequential here; standalone sources get ScatterGatherOperator).
+        cg.fetch = [fetches](const Row& binding) -> Result<std::vector<Row>> {
+          std::vector<Row> all;
+          for (const auto& f : fetches) {
+            ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> part, f(binding));
+            all.insert(all.end(), std::make_move_iterator(part.begin()),
+                       std::make_move_iterator(part.end()));
           }
-        }
-        std::vector<size_t> np = needed_positions;
-        if (index_usable) {
-          cg.access_cost = cost.per_op + cost.per_lookup +
-                           cost.per_ret * cg.est_out_rows;
-          cg.desc = StrCat(store_name, ": INDEX-LOOKUP ", container, " (",
-                           StrJoin(index_positions, ","), ")");
-          cg.fetch = [store, container, info_copy, np, index_positions,
-                      runtime, store_name](const Row& binding)
-              -> Result<std::vector<Row>> {
-            auto ground = BindGround(info_copy, np, binding);
-            Row key;
-            for (size_t p : index_positions) key.push_back(*ground[p]);
-            ESTOCADA_ASSIGN_OR_RETURN(
-                std::vector<Row> rows,
-                store->IndexLookup(container, index_positions, key,
-                                   &runtime->per_store[store_name]));
-            AtomInfo check = info_copy;
-            for (size_t i = 0; i < np.size(); ++i) {
-              check.ground[np[i]] = binding[i];
-            }
-            std::vector<Row> out;
-            for (Row& row : rows) {
-              if (RowSatisfiesAtom(row, check)) out.push_back(std::move(row));
-            }
-            return out;
-          };
-        } else {
-          cg.access_cost = cost.per_op + cost.per_row * rows_total +
-                           cost.per_ret * cg.est_out_rows;
-          cg.desc = StrCat(store_name, ": PARALLEL-SCAN ", container);
-          cg.fetch = [store, container, info_copy, np, runtime,
-                      store_name](const Row& binding)
-              -> Result<std::vector<Row>> {
-            AtomInfo check = info_copy;
-            for (size_t i = 0; i < np.size(); ++i) {
-              check.ground[np[i]] = binding[i];
-            }
-            return store->ParallelScan(
-                container,
-                [check](const Row& row) {
-                  return RowSatisfiesAtom(row, check);
-                },
-                {}, &runtime->per_store[store_name]);
-          };
-        }
-        break;
-      }
-      case StoreKind::kText: {
-        stores::TextStore* store = info.store->text;
-        const std::string container = info.container;
-        cg.access_cost = cost.per_op + cost.per_lookup +
-                         cost.per_ret * cg.est_out_rows;
-        cg.desc = StrCat(
-            store_name, ": SEARCH ", container, " [",
-            info.ground[1].has_value() ? info.ground[1]->ToString() : "?",
-            "]");
-        std::vector<size_t> np = needed_positions;
-        cg.fetch = [store, container, info_copy, np, runtime,
-                    store_name](const Row& binding)
-            -> Result<std::vector<Row>> {
-          auto ground = BindGround(info_copy, np, binding);
-          if (!ground[1].has_value()) {
-            return Status::NoRewriting(
-                "text search requires a bound term");
-          }
-          std::string term = ground[1]->is_string()
-                                 ? ground[1]->string_value()
-                                 : ground[1]->ToString();
-          ESTOCADA_ASSIGN_OR_RETURN(
-              std::vector<std::string> ids,
-              store->Search(container, {term},
-                            &runtime->per_store[store_name]));
-          AtomInfo check = info_copy;
-          for (size_t i = 0; i < np.size(); ++i) {
-            check.ground[np[i]] = binding[i];
-          }
-          std::vector<Row> out;
-          for (const std::string& id : ids) {
-            ESTOCADA_ASSIGN_OR_RETURN(Value doc_id, ParseStoredJson(id));
-            Row row{doc_id, *ground[1]};
-            if (RowSatisfiesAtom(row, check)) out.push_back(std::move(row));
-          }
-          return out;
+          return all;
         };
-        break;
       }
-      default:
-        return Status::Internal("unhandled store kind in translator");
     }
     compiled.push_back(std::move(cg));
   }
@@ -669,6 +909,25 @@ Result<PlannedQuery> Translator::Plan(
 
   for (CompiledGroup& cg : compiled) {
     plan.delegated.push_back(cg.desc);
+    // Builds the source operator for a group that takes no outer bindings:
+    // scatter groups fan their per-shard fetches out over the scatter pool
+    // (gathered in shard order — deterministic); everything else is a
+    // plain lazy callback scan.
+    auto make_source = [&cg]() -> OperatorPtr {
+      if (cg.shard_fetches.size() > 1) {
+        std::vector<engine::ScatterGatherOperator::Fetch> shard_runs;
+        shard_runs.reserve(cg.shard_fetches.size());
+        for (const auto& f : cg.shard_fetches) {
+          shard_runs.push_back([f]() { return f(Row{}); });
+        }
+        return std::make_unique<engine::ScatterGatherOperator>(
+            cg.out_names, std::move(shard_runs), cg.shard_keys, cg.desc,
+            ScatterPool());
+      }
+      auto fetch = cg.fetch;
+      return std::make_unique<engine::CallbackScanOperator>(
+          cg.out_names, [fetch]() { return fetch(Row{}); }, cg.desc);
+    };
     // Join selectivity for shared output variables (not used as binding).
     auto shared_selectivity = [&]() {
       double sel = 1;
@@ -692,9 +951,7 @@ Result<PlannedQuery> Translator::Plan(
             StrCat("first group of plan needs outer bindings (",
                    StrJoin(cg.needed_vars, ", "), ")"));
       }
-      auto fetch = cg.fetch;
-      tree = std::make_unique<engine::CallbackScanOperator>(
-          cg.out_names, [fetch]() { return fetch(Row{}); }, cg.desc);
+      tree = make_source();
       est_cost += cg.access_cost;
       est_rows = cg.est_out_rows;
     } else if (!cg.needed_vars.empty()) {
@@ -732,9 +989,7 @@ Result<PlannedQuery> Translator::Plan(
       est_rows = est_rows * cg.est_out_rows * shared_selectivity();
     } else {
       // Self-contained group: hash join on shared variables.
-      auto fetch = cg.fetch;
-      OperatorPtr source = std::make_unique<engine::CallbackScanOperator>(
-          cg.out_names, [fetch]() { return fetch(Row{}); }, cg.desc);
+      OperatorPtr source = make_source();
       std::vector<std::pair<size_t, size_t>> keys;
       std::unordered_set<std::string> keyed;
       for (size_t i = 0; i < cg.out_vars.size(); ++i) {

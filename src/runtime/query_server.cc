@@ -258,6 +258,24 @@ Status QueryServer::DefineReplicatedFragment(
   return system_->PrepareRewriter();
 }
 
+Status QueryServer::DefinePartitionedFragment(
+    const std::string& view_text, catalog::PartitionSpec::Kind kind,
+    size_t key_position,
+    const std::vector<std::vector<std::string>>& shard_replica_stores,
+    std::vector<engine::Value> bounds, std::vector<pivot::Adornment> adornments,
+    std::vector<size_t> index_positions) {
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                            pivot::ParseQuery(view_text));
+  pacb::ViewDefinition view;
+  view.query = std::move(q);
+  view.adornments = std::move(adornments);
+  std::unique_lock lock(mu_);
+  ESTOCADA_RETURN_NOT_OK(system_->DefinePartitionedFragment(
+      std::move(view), kind, key_position, shard_replica_stores,
+      std::move(bounds), std::move(index_positions)));
+  return system_->PrepareRewriter();
+}
+
 Status QueryServer::DropFragment(const std::string& name) {
   std::unique_lock lock(mu_);
   ESTOCADA_RETURN_NOT_OK(system_->DropFragment(name));

@@ -112,6 +112,15 @@ class QueryServer {
       const std::vector<std::string>& replica_stores,
       std::vector<pivot::Adornment> adornments = {},
       std::vector<size_t> index_positions = {});
+  /// Partitioned variant: N shards, each with its own replica store list
+  /// (single-element lists = unreplicated shards).
+  Status DefinePartitionedFragment(
+      const std::string& view_text, catalog::PartitionSpec::Kind kind,
+      size_t key_position,
+      const std::vector<std::vector<std::string>>& shard_replica_stores,
+      std::vector<engine::Value> bounds = {},
+      std::vector<pivot::Adornment> adornments = {},
+      std::vector<size_t> index_positions = {});
   Status DropFragment(const std::string& name);
   Status ApplyRecommendation(const advisor::Recommendation& rec);
   Status InsertRow(const std::string& relation, engine::Row row);

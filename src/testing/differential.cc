@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <optional>
 #include <set>
 #include <thread>
@@ -724,6 +725,322 @@ ScenarioOutcome CheckScenario(const Scenario& s,
     }
   }
 
+  // ---- (h) partitioning: the shard layout is invisible to readers. ----
+  if (options.check_partition) {
+    // Re-home 1–3 seed-chosen base relations onto partitioned identity
+    // fragments (hash and range, N ∈ {2, 4, 8}) across dedicated store
+    // instances, after removing every scenario fragment that mentions
+    // them — the shard set is then the *only* source for those relations,
+    // so answers genuinely exercise scatter-gather (and single-shard
+    // pruning when the key is bound). Fragment 0 additionally replicates
+    // every shard 2-way for the chaos leg: killing one store per shard
+    // must be invisible (the sibling serves), a write taken while a shard
+    // replica is down leaves that replica stale, and the per-shard
+    // rebuild must heal it to serve the post-write truth alone.
+    std::vector<const pivot::RelationSignature*> candidates;
+    for (const auto& [name, sig] : s.schema.relations()) {
+      if (!sig.HasAccessPattern() && sig.arity() > 0) {
+        candidates.push_back(&sig);
+      }
+    }
+    if (!candidates.empty()) {
+      // Seed divisors differ from (g)'s to decorrelate the choices.
+      const size_t n_part =
+          1 + (s.seed / 11) % std::min<size_t>(3, candidates.size());
+      std::vector<const pivot::RelationSignature*> chosen;
+      const size_t start = (s.seed / 5) % candidates.size();
+      for (size_t k = 0; k < n_part; ++k) {
+        chosen.push_back(candidates[(start + k) % candidates.size()]);
+      }
+
+      Scenario ps = s;
+      ps.fragments.clear();
+      for (const FragmentSpec& f : s.fragments) {
+        auto vq = pivot::ParseQuery(f.view_text);
+        bool mentions = false;
+        if (vq.ok()) {
+          for (const pivot::Atom& a : vq->body) {
+            for (const pivot::RelationSignature* rel : chosen) {
+              if (a.relation == rel->name) mentions = true;
+            }
+          }
+        }
+        if (!mentions) ps.fragments.push_back(f);
+      }
+
+      Deployment part;
+      if (Status st = part.Build(ps); !st.ok()) {
+        fail("setup", StrCat("partition deployment: ", st.ToString()));
+        return out;
+      }
+      // Dedicated shard backends (stable addresses; up to 8 shards x 2
+      // replicas per fragment).
+      std::deque<stores::RelationalStore> backends;
+      stores::FaultInjector injector(s.seed ^ 0x9e3779b97f4a7c15ULL);
+      struct PartFragment {
+        std::string probe_text;
+        size_t arity = 0;
+        std::string relation;
+        size_t shards = 0;
+        size_t replicas_per_shard = 1;
+        /// Store names, [shard][replica].
+        std::vector<std::vector<std::string>> stores;
+      };
+      std::vector<PartFragment> frags;
+      bool setup_failed = false;
+      for (size_t k = 0; k < chosen.size() && !setup_failed; ++k) {
+        const pivot::RelationSignature& rel = *chosen[k];
+        const size_t shard_counts[3] = {2, 4, 8};
+        PartFragment pf;
+        pf.relation = rel.name;
+        pf.arity = rel.arity();
+        pf.shards = shard_counts[(s.seed / (7 + 3 * k)) % 3];
+        pf.replicas_per_shard = (k == 0) ? 2 : 1;
+        for (size_t sh = 0; sh < pf.shards; ++sh) {
+          std::vector<std::string> replica_stores;
+          for (size_t r = 0; r < pf.replicas_per_shard; ++r) {
+            std::string store_name = StrCat("part", k, "_s", sh, "_r", r);
+            backends.emplace_back();
+            if (Status st = part.sys.RegisterStore(
+                    {store_name, catalog::StoreKind::kRelational,
+                     &backends.back(), nullptr, nullptr, nullptr, nullptr});
+                !st.ok()) {
+              fail("setup",
+                   StrCat("shard store ", store_name, ": ", st.ToString()));
+              setup_failed = true;
+              break;
+            }
+            backends.back().AttachFaultInjector(&injector, store_name);
+            replica_stores.push_back(std::move(store_name));
+          }
+          if (setup_failed) break;
+          pf.stores.push_back(std::move(replica_stores));
+        }
+        if (setup_failed) break;
+        std::string head;
+        for (size_t i = 0; i < rel.arity(); ++i) {
+          head += (i ? ", v" : "v") + std::to_string(i);
+        }
+        pf.probe_text =
+            StrCat("QPart", k, "(", head, ") :- ", rel.name, "(", head, ")");
+        frags.push_back(std::move(pf));
+      }
+      if (setup_failed) return out;
+
+      runtime::ServerOptions sopts;
+      sopts.worker_threads = 1;
+      sopts.fault_tolerant = true;
+      sopts.retry.max_attempts = 8;
+      sopts.retry.initial_backoff_micros = 1;
+      sopts.retry.max_backoff_micros = 16;
+      sopts.health.failure_threshold = 2;
+      sopts.health.open_cooldown_micros = 100;
+      sopts.backoff_jitter_seed = s.seed;
+      runtime::QueryServer server(&part.sys, sopts);
+      for (size_t k = 0; k < frags.size(); ++k) {
+        const PartFragment& pf = frags[k];
+        std::string head;
+        for (size_t i = 0; i < pf.arity; ++i) {
+          head += (i ? ", v" : "v") + std::to_string(i);
+        }
+        std::string view_text = StrCat("F_part", k, "(", head, ") :- ",
+                                       pf.relation, "(", head, ")");
+        // Range partitioning needs N-1 strictly ascending split points;
+        // quantiles of the distinct staged key values provide them when
+        // the domain is large enough, else the fragment falls back to
+        // hash. The k + seed parity mixes both kinds across fragments.
+        std::vector<engine::Value> bounds;
+        auto kind = catalog::PartitionSpec::Kind::kHash;
+        auto staged = ps.staging.find(pf.relation);
+        if ((k + s.seed / 13) % 2 == 1 && staged != ps.staging.end()) {
+          std::vector<engine::Value> keys;
+          for (const Row& r : staged->second.rows) keys.push_back(r[0]);
+          std::sort(keys.begin(), keys.end());
+          keys.erase(std::unique(keys.begin(), keys.end(),
+                                 [](const engine::Value& a,
+                                    const engine::Value& b) {
+                                   return engine::Value::Compare(a, b) == 0;
+                                 }),
+                     keys.end());
+          if (keys.size() >= pf.shards) {
+            for (size_t b = 1; b < pf.shards; ++b) {
+              bounds.push_back(keys[b * keys.size() / pf.shards]);
+            }
+            kind = catalog::PartitionSpec::Kind::kRange;
+          }
+        }
+        if (Status st = server.DefinePartitionedFragment(
+                view_text, kind, /*key_position=*/0, pf.stores,
+                std::move(bounds));
+            !st.ok()) {
+          fail("setup", StrCat("partitioned fragment F_part", k, ": ",
+                               st.ToString()));
+          return out;
+        }
+      }
+
+      // Oracle answers for the probes (and a key-bound pruning probe for
+      // fragment 0 when its relation is wide enough).
+      std::vector<std::multiset<std::string>> expected(frags.size());
+      for (size_t k = 0; k < frags.size(); ++k) {
+        auto o = part.sys.EvaluateOverStaging(frags[k].probe_text, {});
+        if (!o.ok()) {
+          fail("oracle",
+               StrCat("partition probe ", k, ": ", o.status().ToString()));
+          return out;
+        }
+        expected[k] = Canon(*o);
+      }
+
+      // `dead` lists store instances that must not serve; `fast_path`
+      // forbids the staging fallback (asserted for probes, whose
+      // partitioned fragment always has a routable layout here).
+      auto check = [&](const std::string& text,
+                       const std::map<std::string, engine::Value>& params,
+                       const std::multiset<std::string>& want,
+                       const std::string& when,
+                       const std::vector<std::string>& dead, bool fast_path) {
+        auto res = server.Query(text, params);
+        if (!res.ok()) {
+          fail("partition-invariance",
+               StrCat("query '", text, "' ", when, ": ",
+                      res.status().ToString()));
+          return;
+        }
+        ++out.partition_checks;
+        if (Canon(res->rows) != want) {
+          fail("partition-invariance",
+               StrCat("query '", text, "' ", when, ": ",
+                      DiffRows(want, Canon(res->rows))));
+        }
+        if (fast_path && res->degraded_to_staging) {
+          fail("partition-invariance",
+               StrCat("query '", text, "' ", when,
+                      " fell back to staging with every shard routable"));
+        }
+        for (const std::string& d : dead) {
+          auto it = res->runtime_stats.per_store.find(d);
+          if (it != res->runtime_stats.per_store.end() &&
+              it->second.operations > 0) {
+            fail("partition-invariance",
+                 StrCat("query '", text, "' ", when, ": dead shard store ",
+                        d, " served rows"));
+          }
+        }
+      };
+
+      // All shards healthy: every probe and every scenario query must
+      // match the unpartitioned oracle (the probes without touching
+      // staging).
+      for (size_t k = 0; k < frags.size(); ++k) {
+        check(frags[k].probe_text, {}, expected[k], "over healthy shards",
+              {}, /*fast_path=*/true);
+      }
+      for (size_t qi = 0; qi < s.queries.size(); ++qi) {
+        if (!oracles[qi].has_value()) continue;
+        check(s.queries[qi].text, s.queries[qi].parameters, *oracles[qi],
+              "over healthy shards", {}, /*fast_path=*/false);
+      }
+
+      // Key-bound probe: binding the partition key to a staged value must
+      // prune to the owning shard and still answer identically.
+      {
+        const PartFragment& pf = frags[0];
+        auto staged = ps.staging.find(pf.relation);
+        if (pf.arity >= 2 && staged != ps.staging.end() &&
+            !staged->second.rows.empty()) {
+          const engine::Value key = staged->second.rows.front()[0];
+          std::string rest;
+          for (size_t i = 1; i < pf.arity; ++i) {
+            rest += (i > 1 ? ", v" : "v") + std::to_string(i);
+          }
+          std::string text = StrCat("QPartKey(", rest, ") :- ", pf.relation,
+                                    "($key, ", rest, ")");
+          auto o = part.sys.EvaluateOverStaging(text, {{"$key", key}});
+          if (!o.ok()) {
+            fail("oracle", StrCat("key-bound partition probe: ",
+                                  o.status().ToString()));
+          } else {
+            check(text, {{"$key", key}}, Canon(*o),
+                  "with the partition key bound", {}, /*fast_path=*/true);
+          }
+        }
+      }
+
+      // Chaos leg on fragment 0 (2 replicas per shard): kill each replica
+      // rank in turn across every shard — the sibling rank must serve
+      // every answer, and no dead store may be touched.
+      const PartFragment& pf0 = frags[0];
+      for (size_t kill = 0; kill < pf0.replicas_per_shard; ++kill) {
+        std::vector<std::string> dead;
+        for (size_t sh = 0; sh < pf0.shards; ++sh) {
+          injector.SetOutage(pf0.stores[sh][kill], true);
+          dead.push_back(pf0.stores[sh][kill]);
+        }
+        check(pf0.probe_text, {}, expected[0],
+              StrCat("with shard replica rank ", kill, " dead"), dead,
+              /*fast_path=*/true);
+        for (size_t sh = 0; sh < pf0.shards; ++sh) {
+          injector.SetOutage(pf0.stores[sh][kill], false);
+        }
+      }
+
+      // Write taken while every shard's replica 1 is down: replica 1 of
+      // the written shard goes stale; the per-shard rebuild heals all of
+      // them, after which rank 1 must serve the post-write truth alone.
+      auto staged0 = ps.staging.find(pf0.relation);
+      if (staged0 != ps.staging.end() && !staged0->second.rows.empty()) {
+        for (size_t sh = 0; sh < pf0.shards; ++sh) {
+          injector.SetOutage(pf0.stores[sh][1], true);
+        }
+        engine::Row fresh = staged0->second.rows.front();
+        fresh[0] = engine::Value::Int(
+            static_cast<int64_t>(2'000'000 + s.seed % 1000));
+        if (Status st = server.InsertRow(pf0.relation, fresh); !st.ok()) {
+          fail("partition-invariance",
+               StrCat("insert into ", pf0.relation,
+                      " with shard replica rank 1 down: ", st.ToString()));
+        } else if (auto fo =
+                       part.sys.EvaluateOverStaging(pf0.probe_text, {});
+                   !fo.ok()) {
+          fail("oracle",
+               StrCat("probe after insert: ", fo.status().ToString()));
+        } else {
+          expected[0] = Canon(*fo);
+          for (size_t sh = 0; sh < pf0.shards; ++sh) {
+            injector.SetOutage(pf0.stores[sh][1], false);
+          }
+          check(pf0.probe_text, {}, expected[0],
+                "after a write with shard replica rank 1 down", {},
+                /*fast_path=*/true);
+          Status heal = server.WithAdminLock([&](Estocada* sys) {
+            for (size_t sh = 0; sh < pf0.shards; ++sh) {
+              ESTOCADA_RETURN_NOT_OK(sys->RebuildShardReplicaFromStaging(
+                  StrCat("F_part", 0), sh, 1));
+            }
+            return Status::OK();
+          });
+          if (!heal.ok()) {
+            fail("partition-invariance",
+                 StrCat("shard replica rebuild: ", heal.ToString()));
+          } else {
+            std::vector<std::string> dead;
+            for (size_t sh = 0; sh < pf0.shards; ++sh) {
+              injector.SetOutage(pf0.stores[sh][0], true);
+              dead.push_back(pf0.stores[sh][0]);
+            }
+            check(pf0.probe_text, {}, expected[0],
+                  "served alone by the healed shard replicas", dead,
+                  /*fast_path=*/true);
+            for (size_t sh = 0; sh < pf0.shards; ++sh) {
+              injector.SetOutage(pf0.stores[sh][0], false);
+            }
+          }
+        }
+      }
+    }
+  }
+
   return out;
 }
 
@@ -865,7 +1182,8 @@ std::string SweepReport::Summary() const {
                 " chaos successes (", chaos_errors, " chaos errors), ",
                 migration_checks, " migration checks, ", autopilot_checks,
                 " autopilot checks, ", replication_checks,
-                " replication checks");
+                " replication checks, ", partition_checks,
+                " partition checks");
 }
 
 SweepReport RunSweep(uint64_t first_seed, size_t count,
@@ -885,6 +1203,7 @@ SweepReport RunSweep(uint64_t first_seed, size_t count,
     sweep.migration_checks += rep.outcome.migration_checks;
     sweep.autopilot_checks += rep.outcome.autopilot_checks;
     sweep.replication_checks += rep.outcome.replication_checks;
+    sweep.partition_checks += rep.outcome.partition_checks;
     if (!rep.outcome.ok()) {
       ++sweep.failures;
       if (sweep.failed.size() < max_stored_failures) {

@@ -33,7 +33,17 @@ namespace estocada::testing {
 ///      write is taken while one replica is down, and the self-healed
 ///      (rebuilt, digest-verified, re-admitted) replica must then serve
 ///      the post-write truth alone — all without staging fallback while
-///      at least one replica is healthy.
+///      at least one replica is healthy;
+///  (h) 1–3 base relations re-homed onto *partitioned* identity fragments
+///      (hash and range, N in {2, 4, 8} seed-chosen shards across
+///      dedicated store instances) answer byte-identically to the
+///      unpartitioned staging oracle: through scatter-gather reads,
+///      through key-bound reads that prune to one shard, through
+///      shard-kill chaos on a shard-replicated layout (the sibling
+///      replica must serve, the dead store must not), and through a write
+///      taken while a shard replica is down followed by its per-shard
+///      rebuild — the healed replica set must then serve the post-write
+///      truth alone.
 struct HarnessOptions {
   bool check_rewritings = true;   ///< Invariant family (a).
   bool check_naive = true;        ///< Invariant family (b).
@@ -42,6 +52,7 @@ struct HarnessOptions {
   bool check_migration = true;    ///< Invariant family (e).
   bool check_autopilot = true;    ///< Invariant family (f).
   bool check_replication = true;  ///< Invariant family (g).
+  bool check_partition = true;    ///< Invariant family (h).
   /// (b) is exponential in the universal plan; skip it beyond this size.
   size_t max_universal_plan_for_naive = 8;
   /// Subset-size cap fed to the naive enumeration; PACB rewritings above
@@ -60,8 +71,9 @@ struct HarnessOptions {
 /// One invariant violation. `invariant` is a stable family tag
 /// ("rewriting-oracle", "naive-vs-pacb", "chase-idempotence",
 /// "chase-permutation", "chaos-correctness", "migration-invariance",
-/// "autopilot-equivalence", "replication-invariance", plus "setup" /
-/// "oracle" / "plan" / "generator" for harness-level breakage).
+/// "autopilot-equivalence", "replication-invariance",
+/// "partition-invariance", plus "setup" / "oracle" / "plan" / "generator"
+/// for harness-level breakage).
 struct Mismatch {
   std::string invariant;
   std::string detail;
@@ -79,6 +91,7 @@ struct ScenarioOutcome {
   size_t migration_checks = 0;     ///< Invariant (e) verified answers.
   size_t autopilot_checks = 0;     ///< Invariant (f) verified answers.
   size_t replication_checks = 0;   ///< Invariant (g) verified answers.
+  size_t partition_checks = 0;     ///< Invariant (h) verified answers.
   size_t skipped_unanswerable = 0; ///< Queries with no rewriting (skipped).
   std::vector<Mismatch> mismatches;
 
@@ -131,6 +144,7 @@ struct SweepReport {
   size_t migration_checks = 0;
   size_t autopilot_checks = 0;
   size_t replication_checks = 0;
+  size_t partition_checks = 0;
   std::vector<SeedReport> failed;
 
   bool ok() const { return failures == 0; }

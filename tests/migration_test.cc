@@ -53,6 +53,11 @@ class MigrationTest : public ::testing::Test {
                                     &relational_, nullptr, nullptr, nullptr,
                                     nullptr})
                     .ok());
+    ASSERT_TRUE(sys_.RegisterStore({"postgres2",
+                                    catalog::StoreKind::kRelational,
+                                    &relational2_, nullptr, nullptr, nullptr,
+                                    nullptr})
+                    .ok());
     ASSERT_TRUE(sys_.RegisterStore({"redis", catalog::StoreKind::kKeyValue,
                                     nullptr, &kv_, nullptr, nullptr, nullptr})
                     .ok());
@@ -116,6 +121,7 @@ class MigrationTest : public ::testing::Test {
   workload::MarketplaceData data_;
   stores::FaultInjector injector_{/*seed=*/42};
   stores::RelationalStore relational_;
+  stores::RelationalStore relational2_;
   stores::KeyValueStore kv_;
   stores::DocumentStore doc_;
   stores::ParallelStore parallel_{2};
@@ -581,6 +587,84 @@ TEST_F(MigrationTest, QueriesKeepAnsweringCorrectlyThroughoutMigration) {
   ASSERT_TRUE(final_status.ok());
   EXPECT_EQ(final_status->stage, MigrationStage::kRetired)
       << final_status->ToString();
+}
+
+// ------------------------------------------- Partitioned source layouts --
+
+TEST_F(MigrationTest, RefragmentsPartitionedFragmentUnderTraffic) {
+  // Re-home F_users onto a hash-partitioned two-shard layout, then migrate
+  // it back into a single document-store fragment while reads hammer the
+  // scatter path: every answer before, during, and after the cutover must
+  // equal the staging truth, and retirement must tear down every shard
+  // container.
+  ASSERT_TRUE(sys_.DropFragment("F_users").ok());
+  ASSERT_TRUE(sys_.DefinePartitionedFragment(
+                      "F_users(u, n, c) :- mk.users(u, n, c)",
+                      catalog::PartitionSpec::Kind::kHash, 0,
+                      {"postgres", "postgres2"})
+                  .ok());
+  QueryServer server(&sys_);
+  constexpr char kUsersQuery[] = "q(u, n, c) :- mk.users(u, n, c)";
+  auto truth = sys_.EvaluateOverStaging(kUsersQuery);
+  ASSERT_TRUE(truth.ok());
+  const std::set<std::string> expected = Canon(*truth);
+  {
+    auto served = server.Query(kUsersQuery);
+    ASSERT_TRUE(served.ok()) << served.status();
+    EXPECT_NE(served->plan_text.find("scatter"), std::string::npos)
+        << served->plan_text;
+  }
+
+  MigrationOptions options;
+  options.throttle.batch_rows = 8;
+  options.throttle.max_rows_per_sec = 1500;
+  MigrationManager manager(&server);
+  auto id = manager.Start(
+      SpecFor("F_mig(u, n, c) :- mk.users(u, n, c)", "mongo", {},
+              {"F_users"}),
+      options);
+  ASSERT_TRUE(id.ok()) << id.status();
+  size_t checks = 0;
+  while (true) {
+    auto served = server.Query(kUsersQuery);
+    ASSERT_TRUE(served.ok()) << served.status();
+    EXPECT_EQ(Canon(served->rows), expected);
+    ++checks;
+    auto status = manager.GetStatus(*id);
+    ASSERT_TRUE(status.ok());
+    if (status->stage == MigrationStage::kRetired ||
+        status->stage == MigrationStage::kAborted) {
+      break;
+    }
+  }
+  EXPECT_GT(checks, 1u);
+  auto final_status = manager.Wait(*id);
+  ASSERT_TRUE(final_status.ok());
+  EXPECT_EQ(final_status->stage, MigrationStage::kRetired)
+      << final_status->ToString();
+
+  // The partitioned layout is fully gone — descriptor and both shard
+  // containers — and the new fragment serves without scattering.
+  EXPECT_FALSE(sys_.catalog().GetFragment("F_users").ok());
+  EXPECT_FALSE(relational_.HasTable("F_users#p0"));
+  EXPECT_FALSE(relational2_.HasTable("F_users#p1"));
+  auto served = server.Query(kUsersQuery);
+  ASSERT_TRUE(served.ok()) << served.status();
+  EXPECT_EQ(Canon(served->rows), expected);
+  EXPECT_EQ(served->plan_text.find("scatter"), std::string::npos)
+      << served->plan_text;
+
+  // Post-cutover writes maintain the migrated fragment, not ghosts of the
+  // retired shards.
+  ASSERT_TRUE(sys_.InsertRow("mk.users", {Value::Int(100000),
+                                          Value::Str("nu"),
+                                          Value::Str("nc")})
+                  .ok());
+  auto after = server.Query(kUsersQuery);
+  ASSERT_TRUE(after.ok()) << after.status();
+  auto new_truth = sys_.EvaluateOverStaging(kUsersQuery);
+  ASSERT_TRUE(new_truth.ok());
+  EXPECT_EQ(Canon(after->rows), Canon(*new_truth));
 }
 
 }  // namespace

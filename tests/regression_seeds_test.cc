@@ -25,6 +25,21 @@
 ///
 /// The remaining seeds are further instances of the same three classes
 /// from the original 3000-scenario hunt.
+///
+/// Family (h) `partition-invariance` findings, both in the scatter-gather
+/// execution path (src/rewriting/translator.cc + src/engine/operator.cc):
+///
+///  * seed 1 (and every partitioned seed) — the translator's fused
+///    single-store SPJ fast path matched a scatter atom by store kind and
+///    compiled the whole read against shard 0's container, silently
+///    dropping every other shard's rows. Fixed by excluding scatter atoms
+///    from the fused branch.
+///  * seed 7 (4-shard layouts and up) — ScatterGatherOperator reported
+///    only the *first* dead shard's store per attempt, so the serving
+///    ladder re-discovered N dead stores one retry at a time and ran out
+///    of attempts before the re-route rung could exclude them all. Fixed
+///    by aggregating every failing shard into one status naming each
+///    store. Seed 20 pins the same fix on an 8-shard layout.
 
 #include <gtest/gtest.h>
 
@@ -48,6 +63,9 @@ INSTANTIATE_TEST_SUITE_P(PacbProvenanceCompleteness, RegressionSeeds,
                          ::testing::Values<uint64_t>(105, 149, 323, 816, 932,
                                                      1360, 1507, 1762, 2270,
                                                      2661, 3050));
+
+INSTANTIATE_TEST_SUITE_P(PartitionInvariance, RegressionSeeds,
+                         ::testing::Values<uint64_t>(1, 7, 20));
 
 }  // namespace
 }  // namespace estocada::testing
