@@ -1,0 +1,236 @@
+/// Engine micro-benchmark behind the perf-gate CI job: warm p50/p95 per
+/// operator class over the batch execution path (Scan, Filter, Project,
+/// HashJoin, BindJoin), plus the end-to-end serving warm p50 over the
+/// tuned hybrid marketplace placement (the number the batch-engine
+/// refactor is accountable for). Writes BENCH_engine.json; CI compares
+/// it against bench/baselines/engine.json via scripts/bench_compare.py
+/// alongside the pacb and kv_migration gates.
+///
+/// Each operator class is measured end-to-end — build the tree, Open,
+/// drain through Collect (the batch interface) — because that is the
+/// unit the translator deploys: per-batch savings that get eaten by
+/// setup cost should not count.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "engine/operator.h"
+#include "runtime/query_server.h"
+
+namespace estocada::bench {
+namespace {
+
+using ::estocada::StrCat;
+using engine::Expr;
+using engine::ExprPtr;
+using engine::Operator;
+using engine::OperatorPtr;
+using engine::Row;
+using engine::Value;
+using pivot::Adornment;
+using runtime::QueryServer;
+
+constexpr size_t kRows = 20000;
+constexpr int kWarmup = 3;
+constexpr int kReps = 31;
+
+/// Deterministic 4-column table: (id, group, payload, flag).
+std::vector<Row> MakeRows(size_t n) {
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Int(static_cast<int64_t>(i % 100)),
+                    Value::Int(static_cast<int64_t>(i * 7 % 1000)),
+                    Value::Int(static_cast<int64_t>(i % 2))});
+  }
+  return rows;
+}
+
+OperatorPtr Scan(const std::vector<Row>& rows) {
+  return std::make_unique<engine::RowsOperator>(
+      std::vector<std::string>{"id", "grp", "pay", "flag"}, rows, "bench");
+}
+
+void DrainOrDie(Operator* op) {
+  auto rows = engine::Collect(op);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "engine bench drain failed: %s\n",
+                 rows.status().ToString().c_str());
+    std::abort();
+  }
+  benchmark::DoNotOptimize(rows->size());
+}
+
+/// Times `make_tree` + Collect over kWarmup + kReps runs and records
+/// "<name>_p50_us"/"<name>_p95_us" from the measured reps.
+template <typename MakeTree>
+void MeasureOperator(BenchJson* json, const char* name, MakeTree make_tree) {
+  std::vector<double> samples;
+  samples.reserve(kReps);
+  for (int rep = 0; rep < kWarmup + kReps; ++rep) {
+    OperatorPtr tree = make_tree();
+    auto start = std::chrono::steady_clock::now();
+    DrainOrDie(tree.get());
+    double us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    if (rep >= kWarmup) samples.push_back(us);
+  }
+  std::sort(samples.begin(), samples.end());
+  double p50 = samples[samples.size() / 2];
+  double p95 = samples[samples.size() * 95 / 100];
+  std::printf("%-12s p50=%9.1fus p95=%9.1fus\n", name, p50, p95);
+  json->Add(StrCat(name, "_p50_us"), p50);
+  json->Add(StrCat(name, "_p95_us"), p95);
+}
+
+void MeasureOperatorClasses(BenchJson* json) {
+  const std::vector<Row> rows = MakeRows(kRows);
+  const std::vector<Row> dims = MakeRows(100);
+
+  std::printf("== operator classes (%zu rows, %d reps) ==\n", kRows, kReps);
+  MeasureOperator(json, "scan", [&] { return Scan(rows); });
+  // ~1% selectivity comparison the vectorized FilterBatch fast path hits.
+  MeasureOperator(json, "filter", [&] {
+    return std::make_unique<engine::FilterOperator>(
+        Scan(rows), Expr::Binary(Expr::Op::kLt, Expr::Column(1),
+                                 Expr::Const(Value::Int(1))));
+  });
+  MeasureOperator(json, "project", [&] {
+    std::vector<ExprPtr> exprs;
+    exprs.push_back(Expr::Column(0));
+    exprs.push_back(Expr::Column(2));
+    return std::make_unique<engine::ProjectOperator>(
+        Scan(rows), std::vector<std::string>{"id", "pay"}, std::move(exprs));
+  });
+  // 100-row build side joined into the 20k-row probe on the group key.
+  MeasureOperator(json, "hash_join", [&] {
+    return std::make_unique<engine::HashJoinOperator>(
+        Scan(dims), Scan(rows),
+        std::vector<std::pair<size_t, size_t>>{{1, 1}});
+  });
+  // BindJoin over the 100 distinct group keys: the memoized batch path
+  // fetches each binding once and replays the cache for the rest.
+  MeasureOperator(json, "bind_join", [&] {
+    engine::BindJoinOperator::Fetch fetch =
+        [](const Row& binding) -> Result<std::vector<Row>> {
+      return std::vector<Row>{{binding[0], Value::Str("payload")}};
+    };
+    return std::make_unique<engine::BindJoinOperator>(
+        Scan(rows), std::vector<size_t>{1},
+        std::vector<std::string>{"k", "v"}, std::move(fetch), "kv");
+  });
+}
+
+// ------------------------------------------------ end-to-end serving --
+
+workload::MarketplaceConfig Config() {
+  workload::MarketplaceConfig cfg;
+  cfg.num_users = 800;
+  cfg.num_products = 200;
+  cfg.num_orders = 3000;
+  cfg.num_visits = 8000;
+  return cfg;
+}
+
+/// The tuned hybrid placement of bench_serving (kept in lockstep so the
+/// serving number here tracks the same deployment the serving bench
+/// reports on).
+void DefineHybrid(MarketplaceSystem* m) {
+  BenchCheck(m->sys.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                                   "postgres", {}, {0}),
+             "users");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_orders(o, u, p, t) :- mk.orders(o, u, p, t)", "postgres",
+                 {}, {1, 2}),
+             "orders");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_prod(p, n, cat, pr) :- mk.products(p, n, cat, pr)",
+                 "mongodb", {}, {0, 2}),
+             "products");
+  BenchCheck(m->sys.DefineFragment("F_carts(u, c) :- mk.carts(u, c)", "redis",
+                                   {Adornment::kInput, Adornment::kFree}),
+             "carts");
+  BenchCheck(m->sys.DefineFragment("F_profile(u, n, c) :- mk.users(u, n, c)",
+                                   "redis",
+                                   {Adornment::kInput, Adornment::kFree,
+                                    Adornment::kFree}),
+             "profile");
+  BenchCheck(m->sys.DefineFragment("F_visits(u, p, d) :- mk.visits(u, p, d)",
+                                   "spark"),
+             "visits");
+  BenchCheck(m->sys.DefineFragment("F_terms(p, w) :- mk.prodterms(p, w)",
+                                   "solr",
+                                   {Adornment::kFree, Adornment::kInput}),
+             "terms");
+  BenchCheck(m->sys.DefineFragment(
+                 "F_pjoin(u, cat, p, n) :- mk.orders(o, u, p, t), "
+                 "mk.visits(u, p, d), mk.products(p, n, cat, pr)",
+                 "spark",
+                 {Adornment::kInput, Adornment::kInput, Adornment::kFree,
+                  Adornment::kFree}),
+             "pjoin");
+}
+
+/// Repeated personalized_search (the paper's §II bottleneck query) with a
+/// warm plan cache: p50 of the server's latency histogram is the
+/// end-to-end number the batch engine is gated on.
+void MeasureServingWarm(BenchJson* json) {
+  auto m = MarketplaceSystem::Create(Config());
+  if (m == nullptr) {
+    std::fprintf(stderr, "marketplace setup failed\n");
+    std::abort();
+  }
+  DefineHybrid(m.get());
+  QueryServer server(&m->sys);
+
+  const std::string text = workload::MarketplaceQueries::PersonalizedSearch();
+  const std::map<std::string, engine::Value> params = {
+      {"$uid", engine::Value::Int(1)}, {"$cat", engine::Value::Str("cat0")}};
+  constexpr int kQueries = 400;
+  // Warm the plan cache, then measure.
+  for (int i = 0; i < 10; ++i) {
+    auto r = server.Query(text, params);
+    BenchCheck(r.ok() ? Status::OK() : r.status(), "serving warmup");
+  }
+  server.ResetMetrics();
+  for (int i = 0; i < kQueries; ++i) {
+    auto r = server.Query(text, params);
+    BenchCheck(r.ok() ? Status::OK() : r.status(), "serving query");
+  }
+  auto metrics = server.metrics();
+  double p50 = std::max(metrics.p50_micros(), 0.001);
+  double p95 = std::max(metrics.p95_micros(), 0.001);
+  std::printf("\n== end-to-end serving (personalized_search x%d, warm) ==\n",
+              kQueries);
+  std::printf("%-12s p50=%9.1fus p95=%9.1fus\n", "serving_warm", p50, p95);
+  json->Add("serving_warm_p50_us", p50);
+  json->Add("serving_warm_p95_us", p95);
+}
+
+void RunAll() {
+  BenchJson json("engine");
+  json.Add("rows", static_cast<uint64_t>(kRows));
+  json.Add("reps", static_cast<uint64_t>(kReps));
+  MeasureOperatorClasses(&json);
+  MeasureServingWarm(&json);
+  json.Write();
+}
+
+}  // namespace
+}  // namespace estocada::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  estocada::bench::RunAll();
+  return 0;
+}

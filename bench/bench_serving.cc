@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -208,10 +209,16 @@ void PrintSummary() {
                 p.metrics.p99_micros(), p.Qps(),
                 100.0 * p.metrics.CacheHitRate());
   };
-  auto speedup_of = [](const Phase& cold, const Phase& warm) {
-    return warm.metrics.p50_micros() > 0
-               ? cold.metrics.p50_micros() / warm.metrics.p50_micros()
-               : 0;
+  // Speedups ratio nanosecond-scale values: at microsecond granularity a
+  // fast warm phase can round its p50 to 0 and the ratio degenerates (a
+  // silent 0x "speedup"). One nanosecond is the floor; JSON percentiles
+  // are clamped the same way so baseline ratio checks never divide by 0.
+  auto p50_nanos = [](const Phase& p) {
+    return std::max(p.metrics.p50_micros() * 1000.0, 1.0);
+  };
+  auto clamp_us = [](double micros) { return std::max(micros, 0.001); };
+  auto speedup_of = [&](const Phase& cold, const Phase& warm) {
+    return p50_nanos(cold) / p50_nanos(warm);
   };
 
   // Repeated-query phase: the paper's bottleneck query (§II personalized
@@ -266,24 +273,26 @@ void PrintSummary() {
               "p95(us)", "p99(us)", "qps", "hit rate");
   BenchJson json("serving");
   json.Add("workload_queries", static_cast<uint64_t>(kQueries));
-  json.AddLatencyPercentiles("repeated_cold", rep_cold.metrics.p50_micros(),
-                             rep_cold.metrics.p95_micros(),
-                             rep_cold.metrics.p99_micros());
-  json.AddLatencyPercentiles("repeated_warm", rep_warm.metrics.p50_micros(),
-                             rep_warm.metrics.p95_micros(),
-                             rep_warm.metrics.p99_micros());
+  json.AddLatencyPercentiles("repeated_cold",
+                             clamp_us(rep_cold.metrics.p50_micros()),
+                             clamp_us(rep_cold.metrics.p95_micros()),
+                             clamp_us(rep_cold.metrics.p99_micros()));
+  json.AddLatencyPercentiles("repeated_warm",
+                             clamp_us(rep_warm.metrics.p50_micros()),
+                             clamp_us(rep_warm.metrics.p95_micros()),
+                             clamp_us(rep_warm.metrics.p99_micros()));
   json.AddCacheStats("repeated_warm", rep_warm.metrics.cache_hits,
                      rep_warm.metrics.cache_misses);
   json.Add("repeated_warm_p50_speedup", rep_speedup);
-  json.AddLatencyPercentiles("cold", cold.metrics.p50_micros(),
-                             cold.metrics.p95_micros(),
-                             cold.metrics.p99_micros());
+  json.AddLatencyPercentiles("cold", clamp_us(cold.metrics.p50_micros()),
+                             clamp_us(cold.metrics.p95_micros()),
+                             clamp_us(cold.metrics.p99_micros()));
   json.AddCacheStats("cold", cold.metrics.cache_hits,
                      cold.metrics.cache_misses);
   json.Add("cold_qps", cold.Qps());
-  json.AddLatencyPercentiles("warm", warm.metrics.p50_micros(),
-                             warm.metrics.p95_micros(),
-                             warm.metrics.p99_micros());
+  json.AddLatencyPercentiles("warm", clamp_us(warm.metrics.p50_micros()),
+                             clamp_us(warm.metrics.p95_micros()),
+                             clamp_us(warm.metrics.p99_micros()));
   json.AddCacheStats("warm", warm.metrics.cache_hits,
                      warm.metrics.cache_misses);
   json.Add("warm_qps", warm.Qps());
@@ -296,8 +305,9 @@ void PrintSummary() {
                 p.metrics.p99_micros(), p.Qps(),
                 100.0 * p.metrics.CacheHitRate());
     std::string prefix = StrCat("clients", clients);
-    json.AddLatencyPercentiles(prefix, p.metrics.p50_micros(),
-                               p.metrics.p95_micros(), p.metrics.p99_micros());
+    json.AddLatencyPercentiles(prefix, clamp_us(p.metrics.p50_micros()),
+                               clamp_us(p.metrics.p95_micros()),
+                               clamp_us(p.metrics.p99_micros()));
     json.AddCacheStats(prefix, p.metrics.cache_hits, p.metrics.cache_misses);
     json.Add(prefix + "_qps", p.Qps());
   }

@@ -12,14 +12,21 @@ fail — fewer verifications for the same rewritings is an improvement.
 Usage:
   scripts/bench_compare.py CURRENT BASELINE [--threshold 0.25]
   scripts/bench_compare.py CURRENT BASELINE --update
+  scripts/bench_compare.py CURRENT BASELINE --github-summary
 
 With --update the current record is copied over the baseline (after an
 intentional perf change; review `git diff bench/baselines/` before
 committing) and the comparison is skipped.
+
+With --github-summary the per-metric delta table is also appended as
+markdown to the file named by $GITHUB_STEP_SUMMARY (when set), so CI
+regressions are readable from the run page without downloading the
+bench-records artifact.
 """
 
 import argparse
 import json
+import os
 import shutil
 import sys
 
@@ -41,6 +48,9 @@ def main():
                          "(default 0.25 = 25%%)")
     ap.add_argument("--update", action="store_true",
                     help="overwrite the baseline with the current record")
+    ap.add_argument("--github-summary", action="store_true",
+                    help="append a markdown delta table to "
+                         "$GITHUB_STEP_SUMMARY (no-op when unset)")
     args = ap.parse_args()
 
     if args.update:
@@ -52,10 +62,12 @@ def main():
     baseline = load(args.baseline)
 
     failures = []
-    rows = []
+    rows = []       # plain-text report lines
+    md_rows = []    # (key, base, current, delta, verdict) for markdown
     for key, base in sorted(baseline.items()):
         if key not in current:
             failures.append(f"{key}: missing from {args.current}")
+            md_rows.append((key, f"{base}", "missing", "", "MISSING"))
             continue
         cur = current[key]
         if not isinstance(base, (int, float)) or isinstance(base, bool):
@@ -73,20 +85,45 @@ def main():
                 verdict = "improved"
             rows.append(f"  {key:40s} {base:10.1f} -> {cur:10.1f}  "
                         f"{(ratio - 1) * 100:+6.1f}%  {verdict}")
+            md_rows.append((key, f"{base:.1f}us", f"{cur:.1f}us",
+                            f"{(ratio - 1) * 100:+.1f}%", verdict))
         else:
             if cur > base:
                 failures.append(f"{key}: {cur} vs baseline {base} (count "
                                 f"increased)")
             if cur != base:
                 rows.append(f"  {key:40s} {base:10g} -> {cur:10g}  changed")
+                md_rows.append((key, f"{base:g}", f"{cur:g}", "",
+                                "REGRESSED" if cur > base else "changed"))
+            else:
+                md_rows.append((key, f"{base:g}", f"{cur:g}", "", "ok"))
 
     for key in sorted(set(current) - set(baseline)):
         rows.append(f"  {key:40s} (new key, not in baseline)")
+        md_rows.append((key, "—", f"{current[key]}", "", "new"))
 
     print(f"bench_compare: {args.current} vs {args.baseline} "
           f"(threshold {args.threshold * 100:.0f}%)")
     for row in rows:
         print(row)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if args.github_summary and summary_path:
+        with open(summary_path, "a") as f:
+            verdict_line = (f"**FAIL** — {len(failures)} regression(s)"
+                            if failures else "**PASS** — within threshold")
+            f.write(f"### {os.path.basename(args.current)} vs "
+                    f"{os.path.basename(args.baseline)}\n\n"
+                    f"{verdict_line} "
+                    f"(threshold {args.threshold * 100:.0f}%)\n\n")
+            f.write("| metric | baseline | current | delta | verdict |\n")
+            f.write("|---|---:|---:|---:|---|\n")
+            for key, base, cur, delta, verdict in md_rows:
+                mark = "🔴 " if verdict in ("REGRESSED", "MISSING") else ""
+                f.write(f"| `{key}` | {base} | {cur} | {delta} "
+                        f"| {mark}{verdict} |\n")
+            f.write("\n")
+
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
         for f in failures:

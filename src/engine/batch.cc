@@ -1,0 +1,60 @@
+#include "engine/batch.h"
+
+#include <utility>
+
+namespace estocada::engine {
+
+void RowBatch::Reset(size_t arity) {
+  columns_.resize(arity);
+  for (std::vector<Value>& c : columns_) c.clear();
+  physical_rows_ = 0;
+  sel_.clear();
+  has_sel_ = false;
+}
+
+void RowBatch::AppendRow(const Row& row) {
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].push_back(row[c]);
+  ++physical_rows_;
+}
+
+void RowBatch::AppendRow(Row&& row) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].push_back(std::move(row[c]));
+  }
+  ++physical_rows_;
+}
+
+Row RowBatch::MaterializeRow(size_t i) const {
+  const uint32_t p = ActiveIndex(i);
+  Row out;
+  out.reserve(columns_.size());
+  for (const std::vector<Value>& c : columns_) out.push_back(c[p]);
+  return out;
+}
+
+void RowBatch::AppendRowsTo(std::vector<Row>* out) const {
+  const size_t n = size();
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = ActiveIndex(i);
+    Row row;
+    row.reserve(columns_.size());
+    for (const std::vector<Value>& c : columns_) row.push_back(c[p]);
+    out->push_back(std::move(row));
+  }
+}
+
+void RowBatch::Compact() {
+  if (!has_sel_) return;
+  for (std::vector<Value>& col : columns_) {
+    std::vector<Value> packed;
+    packed.reserve(sel_.size());
+    for (uint32_t p : sel_) packed.push_back(std::move(col[p]));
+    col = std::move(packed);
+  }
+  physical_rows_ = sel_.size();
+  sel_.clear();
+  has_sel_ = false;
+}
+
+}  // namespace estocada::engine

@@ -1,0 +1,118 @@
+#include "engine/compiled.h"
+
+namespace estocada::engine {
+
+namespace {
+
+inline uint64_t MixHash(uint64_t seed, uint64_t h) {
+  // boost::hash_combine-style mixing, matching RowHash's shape so compiled
+  // and tuple paths agree on distribution (not on exact values — only the
+  // compiled path consumes these hashes).
+  return seed ^ (h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Arity-templated kernel: the loop unrolls at compile time for the small
+/// arities every translator-produced join uses (1 and 2 cover the
+/// marketplace and generated workloads; 3 and 4 exist for headroom).
+template <size_t A>
+struct FixedKeyOps {
+  static uint64_t Hash(const RowBatch& batch, const uint32_t* cols,
+                       size_t /*arity*/, uint32_t row) {
+    uint64_t h = 0;
+    for (size_t k = 0; k < A; ++k) {
+      h = MixHash(h, batch.column(cols[k])[row].Hash());
+    }
+    return h;
+  }
+  static bool Equals(const RowBatch& a, const uint32_t* a_cols, uint32_t a_row,
+                     const RowBatch& b, const uint32_t* b_cols,
+                     size_t /*arity*/, uint32_t b_row) {
+    for (size_t k = 0; k < A; ++k) {
+      if (Value::Compare(a.column(a_cols[k])[a_row],
+                         b.column(b_cols[k])[b_row]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+struct GenericKeyOps {
+  static uint64_t Hash(const RowBatch& batch, const uint32_t* cols,
+                       size_t arity, uint32_t row) {
+    uint64_t h = 0;
+    for (size_t k = 0; k < arity; ++k) {
+      h = MixHash(h, batch.column(cols[k])[row].Hash());
+    }
+    return h;
+  }
+  static bool Equals(const RowBatch& a, const uint32_t* a_cols, uint32_t a_row,
+                     const RowBatch& b, const uint32_t* b_cols, size_t arity,
+                     uint32_t b_row) {
+    for (size_t k = 0; k < arity; ++k) {
+      if (Value::Compare(a.column(a_cols[k])[a_row],
+                         b.column(b_cols[k])[b_row]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+const KeyOps& CompiledKeyOps(size_t arity) {
+  static const KeyOps kTable[] = {
+      {&GenericKeyOps::Hash, &GenericKeyOps::Equals},  // arity 0 (degenerate)
+      {&FixedKeyOps<1>::Hash, &FixedKeyOps<1>::Equals},
+      {&FixedKeyOps<2>::Hash, &FixedKeyOps<2>::Equals},
+      {&FixedKeyOps<3>::Hash, &FixedKeyOps<3>::Equals},
+      {&FixedKeyOps<4>::Hash, &FixedKeyOps<4>::Equals},
+  };
+  static const KeyOps kGeneric = {&GenericKeyOps::Hash, &GenericKeyOps::Equals};
+  return arity < sizeof(kTable) / sizeof(kTable[0]) ? kTable[arity] : kGeneric;
+}
+
+void FlatJoinTable::Reset(size_t n) {
+  size_t buckets = 16;
+  while (buckets * 7 < n * 10) buckets <<= 1;  // keep load factor ≤ 0.7
+  slots_.assign(buckets, Slot{});
+  next_.clear();
+  mask_ = buckets - 1;
+  entries_ = 0;
+}
+
+void FlatJoinTable::Insert(uint64_t hash, uint32_t row_index) {
+  if (next_.size() <= row_index) next_.resize(row_index + 1, kNone);
+  next_[row_index] = kNone;
+  size_t i = static_cast<size_t>(hash) & mask_;
+  for (;;) {
+    Slot& s = slots_[i];
+    if (s.head == kNone) {
+      s.hash = hash;
+      s.head = s.tail = row_index;
+      ++entries_;
+      return;
+    }
+    if (s.hash == hash) {
+      next_[s.tail] = row_index;
+      s.tail = row_index;
+      ++entries_;
+      return;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+uint32_t FlatJoinTable::Head(uint64_t hash) const {
+  if (slots_.empty()) return kNone;
+  size_t i = static_cast<size_t>(hash) & mask_;
+  for (;;) {
+    const Slot& s = slots_[i];
+    if (s.head == kNone) return kNone;
+    if (s.hash == hash) return s.head;
+    i = (i + 1) & mask_;
+  }
+}
+
+}  // namespace estocada::engine

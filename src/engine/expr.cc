@@ -137,6 +137,119 @@ Result<bool> Expr::EvalBool(const Row& row) const {
   return true;  // Non-null non-bool is truthy.
 }
 
+namespace {
+
+/// Materializes physical row `p` of `batch` into `scratch` (reused across
+/// the fallback loop so the allocation amortizes).
+void GatherRow(const RowBatch& batch, uint32_t p, Row* scratch) {
+  scratch->clear();
+  for (size_t c = 0; c < batch.arity(); ++c) {
+    scratch->push_back(batch.column(c)[p]);
+  }
+}
+
+bool CompareKeeps(Expr::Op op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return false;
+  int c = Value::Compare(l, r);
+  switch (op) {
+    case Expr::Op::kEq: return c == 0;
+    case Expr::Op::kNe: return c != 0;
+    case Expr::Op::kLt: return c < 0;
+    case Expr::Op::kLe: return c <= 0;
+    case Expr::Op::kGt: return c > 0;
+    default: return c >= 0;
+  }
+}
+
+}  // namespace
+
+Status Expr::FilterBatch(const RowBatch& batch,
+                         std::vector<uint32_t>* sel) const {
+  if (sel->empty()) return Status::OK();
+  switch (op_) {
+    case Op::kAnd: {
+      ESTOCADA_RETURN_NOT_OK(left_->FilterBatch(batch, sel));
+      return right_->FilterBatch(batch, sel);
+    }
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      const bool l_col = left_->op_ == Op::kColumn;
+      const bool r_col = right_->op_ == Op::kColumn;
+      const bool l_const = left_->op_ == Op::kConst;
+      const bool r_const = right_->op_ == Op::kConst;
+      if ((l_col || l_const) && (r_col || r_const)) {
+        if ((l_col && left_->column_ >= batch.arity()) ||
+            (r_col && right_->column_ >= batch.arity())) {
+          return Status::OutOfRange(
+              StrCat("column out of range in predicate ", ToString()));
+        }
+        const std::vector<Value>* lc =
+            l_col ? &batch.column(left_->column_) : nullptr;
+        const std::vector<Value>* rc =
+            r_col ? &batch.column(right_->column_) : nullptr;
+        size_t kept = 0;
+        for (uint32_t p : *sel) {
+          const Value& l = lc ? (*lc)[p] : left_->value_;
+          const Value& r = rc ? (*rc)[p] : right_->value_;
+          if (CompareKeeps(op_, l, r)) (*sel)[kept++] = p;
+        }
+        sel->resize(kept);
+        return Status::OK();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  // Fallback: identical semantics to the tuple path, row at a time.
+  Row scratch;
+  scratch.reserve(batch.arity());
+  size_t kept = 0;
+  for (uint32_t p : *sel) {
+    GatherRow(batch, p, &scratch);
+    ESTOCADA_ASSIGN_OR_RETURN(bool keep, EvalBool(scratch));
+    if (keep) (*sel)[kept++] = p;
+  }
+  sel->resize(kept);
+  return Status::OK();
+}
+
+Status Expr::EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                       std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(sel.size());
+  switch (op_) {
+    case Op::kColumn: {
+      if (column_ >= batch.arity()) {
+        return Status::OutOfRange(StrCat("column ", column_,
+                                         " out of range (batch has ",
+                                         batch.arity(), ")"));
+      }
+      const std::vector<Value>& col = batch.column(column_);
+      for (uint32_t p : sel) out->push_back(col[p]);
+      return Status::OK();
+    }
+    case Op::kConst: {
+      for (size_t i = 0; i < sel.size(); ++i) out->push_back(value_);
+      return Status::OK();
+    }
+    default:
+      break;
+  }
+  Row scratch;
+  scratch.reserve(batch.arity());
+  for (uint32_t p : sel) {
+    GatherRow(batch, p, &scratch);
+    ESTOCADA_ASSIGN_OR_RETURN(Value v, Eval(scratch));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
 std::string Expr::ToString() const {
   switch (op_) {
     case Op::kColumn:

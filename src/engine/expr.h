@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "engine/batch.h"
 #include "engine/value.h"
 
 namespace estocada::engine {
@@ -35,6 +36,19 @@ class Expr {
 
   /// Evaluates and coerces to bool (null/absent → false).
   Result<bool> EvalBool(const Row& row) const;
+
+  /// Vectorized predicate: narrows `sel` (ascending physical row indices
+  /// into `batch`) to the rows where this expression is truthy. The common
+  /// translator shapes — comparisons between columns and constants, and
+  /// conjunctions of them — run as tight loops over the column vectors;
+  /// anything else falls back to per-row Eval with identical semantics.
+  Status FilterBatch(const RowBatch& batch, std::vector<uint32_t>* sel) const;
+
+  /// Vectorized evaluation: one output value per index in `sel`. Column
+  /// references copy straight out of the batch column; constants
+  /// broadcast; compound expressions fall back to per-row Eval.
+  Status EvalBatch(const RowBatch& batch, const std::vector<uint32_t>& sel,
+                   std::vector<Value>* out) const;
 
   Op op() const { return op_; }
   size_t column_index() const { return column_; }

@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_set>
 
 #include "common/strings.h"
 
 namespace estocada::engine {
 
 Result<std::vector<Row>> Collect(Operator* op) {
+  ESTOCADA_RETURN_NOT_OK(op->Open());
+  std::vector<Row> out;
+  RowBatch batch;
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(bool more, op->NextBatch(&batch));
+    if (!more) break;
+    batch.AppendRowsTo(&out);
+  }
+  return out;
+}
+
+Result<std::vector<Row>> CollectTuples(Operator* op) {
   ESTOCADA_RETURN_NOT_OK(op->Open());
   std::vector<Row> out;
   for (;;) {
@@ -17,6 +30,57 @@ Result<std::vector<Row>> Collect(Operator* op) {
   }
   return out;
 }
+
+Result<bool> Operator::NextBatch(RowBatch* out) {
+  // Compatibility adapter: chunk the tuple stream of an unconverted
+  // operator. The first row decides the arity (some legacy operators
+  // report columns() lazily or loosely).
+  out->Reset(columns().size());
+  for (size_t i = 0; i < RowBatch::kDefaultRows; ++i) {
+    ESTOCADA_ASSIGN_OR_RETURN(std::optional<Row> row, Next());
+    if (!row.has_value()) break;
+    if (out->physical_rows() == 0 && row->size() != out->arity()) {
+      out->Reset(row->size());
+    }
+    out->AppendRow(std::move(*row));
+  }
+  return !out->empty();
+}
+
+namespace {
+
+/// Emits rows [*pos, *pos + kDefaultRows) of `rows` as one column-major
+/// chunk; advances *pos. The shared source loop of the materialized-input
+/// operators. `may_move` moves values out of `rows` (safe when Open
+/// refetches them).
+bool EmitSlice(std::vector<Row>& rows, size_t* pos, size_t fallback_arity,
+               bool may_move, RowBatch* out) {
+  if (*pos >= rows.size()) {
+    out->Reset(fallback_arity);
+    return false;
+  }
+  const size_t end = std::min(rows.size(), *pos + RowBatch::kDefaultRows);
+  const size_t arity = rows[*pos].size();
+  out->Reset(arity);
+  for (size_t c = 0; c < arity; ++c) {
+    out->column(c).reserve(end - *pos);
+  }
+  for (size_t i = *pos; i < end; ++i) {
+    Row& row = rows[i];
+    for (size_t c = 0; c < arity; ++c) {
+      if (may_move) {
+        out->column(c).push_back(std::move(row[c]));
+      } else {
+        out->column(c).push_back(row[c]);
+      }
+    }
+  }
+  out->SetPhysicalRows(end - *pos);
+  *pos = end;
+  return true;
+}
+
+}  // namespace
 
 std::string PlanToString(const Operator& op, int indent) {
   std::string out(static_cast<size_t>(indent) * 2, ' ');
@@ -46,6 +110,11 @@ Result<std::optional<Row>> RowsOperator::Next() {
   return std::optional<Row>(rows_[pos_++]);
 }
 
+Result<bool> RowsOperator::NextBatch(RowBatch* out) {
+  // Copy, not move: RowsOperator re-serves the same rows after re-Open.
+  return EmitSlice(rows_, &pos_, columns_.size(), /*may_move=*/false, out);
+}
+
 std::string RowsOperator::label() const {
   return StrCat(label_, " [", rows_.size(), " rows]");
 }
@@ -65,6 +134,11 @@ Status CallbackScanOperator::Open() {
 Result<std::optional<Row>> CallbackScanOperator::Next() {
   if (pos_ >= rows_.size()) return std::optional<Row>();
   return std::optional<Row>(rows_[pos_++]);
+}
+
+Result<bool> CallbackScanOperator::NextBatch(RowBatch* out) {
+  // Open refetches, so the fetched rows can be moved out.
+  return EmitSlice(rows_, &pos_, columns_.size(), /*may_move=*/true, out);
 }
 
 ScatterGatherOperator::ScatterGatherOperator(std::vector<std::string> columns,
@@ -155,6 +229,11 @@ Result<std::optional<Row>> ScatterGatherOperator::Next() {
   return std::optional<Row>(rows_[pos_++]);
 }
 
+Result<bool> ScatterGatherOperator::NextBatch(RowBatch* out) {
+  // Open re-runs the shard fetches, so the gathered rows can be moved.
+  return EmitSlice(rows_, &pos_, columns_.size(), /*may_move=*/true, out);
+}
+
 std::string ScatterGatherOperator::label() const {
   return StrCat(label_, " [", fetches_.size(), " shards]");
 }
@@ -172,6 +251,30 @@ Result<std::optional<Row>> FilterOperator::Next() {
     if (!row.has_value()) return std::optional<Row>();
     ESTOCADA_ASSIGN_OR_RETURN(bool keep, predicate_->EvalBool(*row));
     if (keep) return row;
+  }
+}
+
+Result<bool> FilterOperator::NextBatch(RowBatch* out) {
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&in_));
+    if (!more) {
+      out->Reset(in_.arity());
+      return false;
+    }
+    std::vector<uint32_t> sel;
+    if (in_.has_selection()) {
+      sel = in_.selection();
+    } else {
+      sel.reserve(in_.physical_rows());
+      for (size_t i = 0; i < in_.physical_rows(); ++i) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    ESTOCADA_RETURN_NOT_OK(predicate_->FilterBatch(in_, &sel));
+    if (sel.empty()) continue;  // whole chunk dropped; pull the next one
+    *out = std::move(in_);
+    out->SetSelection(std::move(sel));
+    return true;
   }
 }
 
@@ -205,6 +308,30 @@ Result<std::optional<Row>> ProjectOperator::Next() {
   return std::optional<Row>(std::move(out));
 }
 
+Result<bool> ProjectOperator::NextBatch(RowBatch* out) {
+  ESTOCADA_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&in_));
+  if (!more) {
+    out->Reset(exprs_.size());
+    return false;
+  }
+  sel_scratch_.clear();
+  if (in_.has_selection()) {
+    sel_scratch_ = in_.selection();
+  } else {
+    sel_scratch_.reserve(in_.physical_rows());
+    for (size_t i = 0; i < in_.physical_rows(); ++i) {
+      sel_scratch_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  out->Reset(exprs_.size());
+  for (size_t c = 0; c < exprs_.size(); ++c) {
+    ESTOCADA_RETURN_NOT_OK(
+        exprs_[c]->EvalBatch(in_, sel_scratch_, &out->column(c)));
+  }
+  out->SetPhysicalRows(sel_scratch_.size());
+  return true;
+}
+
 std::string ProjectOperator::label() const {
   return StrCat("Project [", StrJoin(names_, ", "), "]");
 }
@@ -224,6 +351,28 @@ Result<std::optional<Row>> LimitOperator::Next() {
   return row;
 }
 
+Result<bool> LimitOperator::NextBatch(RowBatch* out) {
+  if (produced_ >= limit_) {
+    out->Reset(0);
+    return false;
+  }
+  ESTOCADA_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&in_));
+  if (!more) {
+    out->Reset(in_.arity());
+    return false;
+  }
+  const size_t want = limit_ - produced_;
+  if (in_.size() > want) {
+    std::vector<uint32_t> sel;
+    sel.reserve(want);
+    for (size_t i = 0; i < want; ++i) sel.push_back(in_.ActiveIndex(i));
+    in_.SetSelection(std::move(sel));
+  }
+  produced_ += in_.size();
+  *out = std::move(in_);
+  return true;
+}
+
 std::string LimitOperator::label() const { return StrCat("Limit ", limit_); }
 
 DistinctOperator::DistinctOperator(OperatorPtr input)
@@ -239,6 +388,27 @@ Result<std::optional<Row>> DistinctOperator::Next() {
     ESTOCADA_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
     if (!row.has_value()) return std::optional<Row>();
     if (seen_.emplace(*row, true).second) return row;
+  }
+}
+
+Result<bool> DistinctOperator::NextBatch(RowBatch* out) {
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&in_));
+    if (!more) {
+      out->Reset(in_.arity());
+      return false;
+    }
+    std::vector<uint32_t> keep;
+    const size_t n = in_.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (seen_.emplace(in_.MaterializeRow(i), true).second) {
+        keep.push_back(in_.ActiveIndex(i));
+      }
+    }
+    if (keep.empty()) continue;  // all duplicates; pull the next chunk
+    *out = std::move(in_);
+    out->SetSelection(std::move(keep));
+    return true;
   }
 }
 
@@ -294,21 +464,55 @@ std::string HashJoinOperator::label() const {
 
 Status HashJoinOperator::Open() {
   build_.clear();
+  map_built_ = false;
+  table_built_ = false;
   current_probe_.reset();
   current_matches_ = nullptr;
   match_pos_ = 0;
-  // Build on the left input.
-  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> left_rows, Collect(left_.get()));
-  for (Row& row : left_rows) {
+  // Drain the build (left) input once; the structure over it — Row-keyed
+  // map for the tuple path, columnar batch + compiled flat table for the
+  // batch path — materializes lazily on first Next()/NextBatch().
+  ESTOCADA_ASSIGN_OR_RETURN(build_rows_, Collect(left_.get()));
+  return right_->Open();
+}
+
+void HashJoinOperator::BuildTupleMap() {
+  map_built_ = true;
+  for (Row& row : build_rows_) {
     Row key;
     key.reserve(key_pairs_.size());
     for (const auto& [l, r] : key_pairs_) key.push_back(row[l]);
     build_[std::move(key)].push_back(std::move(row));
   }
-  return right_->Open();
+  build_rows_.clear();
+}
+
+void HashJoinOperator::BuildBatchTable() {
+  table_built_ = true;
+  build_key_cols_.clear();
+  probe_key_cols_.clear();
+  for (const auto& [l, r] : key_pairs_) {
+    build_key_cols_.push_back(static_cast<uint32_t>(l));
+    probe_key_cols_.push_back(static_cast<uint32_t>(r));
+  }
+  // Resolve the compiled kernel for this key arity once per Open.
+  key_ops_ = &CompiledKeyOps(key_pairs_.size());
+  const size_t arity =
+      build_rows_.empty() ? left_->columns().size() : build_rows_[0].size();
+  build_batch_.Reset(arity);
+  for (Row& row : build_rows_) build_batch_.AppendRow(std::move(row));
+  build_rows_.clear();
+  table_.Reset(build_batch_.physical_rows());
+  for (size_t i = 0; i < build_batch_.physical_rows(); ++i) {
+    table_.Insert(key_ops_->hash(build_batch_, build_key_cols_.data(),
+                                 build_key_cols_.size(),
+                                 static_cast<uint32_t>(i)),
+                  static_cast<uint32_t>(i));
+  }
 }
 
 Result<std::optional<Row>> HashJoinOperator::Next() {
+  if (!map_built_) BuildTupleMap();
   for (;;) {
     if (current_matches_ != nullptr && match_pos_ < current_matches_->size()) {
       Row out = (*current_matches_)[match_pos_++];
@@ -323,6 +527,45 @@ Result<std::optional<Row>> HashJoinOperator::Next() {
     auto it = build_.find(key);
     current_matches_ = it == build_.end() ? nullptr : &it->second;
     match_pos_ = 0;
+  }
+}
+
+Result<bool> HashJoinOperator::NextBatch(RowBatch* out) {
+  if (!table_built_) BuildBatchTable();
+  const size_t left_arity = build_batch_.arity();
+  const size_t key_arity = build_key_cols_.size();
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(bool more, right_->NextBatch(&probe_));
+    if (!more) {
+      out->Reset(left_arity);
+      return false;
+    }
+    const size_t right_arity = probe_.arity();
+    out->Reset(left_arity + right_arity);
+    size_t emitted = 0;
+    const size_t n = probe_.size();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t p = probe_.ActiveIndex(i);
+      const uint64_t h =
+          key_ops_->hash(probe_, probe_key_cols_.data(), key_arity, p);
+      for (uint32_t m = table_.Head(h); m != FlatJoinTable::kNone;
+           m = table_.Next(m)) {
+        if (!key_ops_->equals(build_batch_, build_key_cols_.data(), m, probe_,
+                              probe_key_cols_.data(), key_arity, p)) {
+          continue;
+        }
+        for (size_t c = 0; c < left_arity; ++c) {
+          out->column(c).push_back(build_batch_.column(c)[m]);
+        }
+        for (size_t c = 0; c < right_arity; ++c) {
+          out->column(left_arity + c).push_back(probe_.column(c)[p]);
+        }
+        ++emitted;
+      }
+    }
+    if (emitted == 0) continue;  // no matches in this probe chunk
+    out->SetPhysicalRows(emitted);
+    return true;
   }
 }
 
@@ -386,6 +629,77 @@ Result<std::optional<Row>> BindJoinOperator::Next() {
   }
 }
 
+Result<bool> BindJoinOperator::NextBatch(RowBatch* out) {
+  const size_t in_arity = input_->columns().size();
+  const size_t out_arity = in_arity + fetched_columns_.size();
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(bool more, input_->NextBatch(&in_));
+    if (!more) {
+      out->Reset(out_arity);
+      return false;
+    }
+    const size_t n = in_.size();
+    // Materialize the binding key per logical row, then fetch the distinct
+    // uncached bindings — in one batched call when the target supports it
+    // and more than one is missing, else one fetch_ per binding.
+    std::vector<Row> bindings(n);
+    std::vector<Row> missing;
+    std::unordered_set<Row, RowHash> missing_set;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t p = in_.ActiveIndex(i);
+      Row& binding = bindings[i];
+      binding.reserve(bind_columns_.size());
+      for (size_t c : bind_columns_) {
+        if (c >= in_.arity()) {
+          return Status::OutOfRange(
+              StrCat("BindJoin: bind column ", c, " out of range"));
+        }
+        binding.push_back(in_.column(c)[p]);
+      }
+      if (cache_.count(binding) == 0 && missing_set.insert(binding).second) {
+        missing.push_back(binding);
+      }
+    }
+    if (batch_fetch_ && missing.size() > 1) {
+      fetch_calls_ += missing.size();
+      ESTOCADA_ASSIGN_OR_RETURN(std::vector<std::vector<Row>> fetched,
+                                batch_fetch_(missing));
+      if (fetched.size() != missing.size()) {
+        return Status::Internal(
+            StrCat("BindJoin: batched fetch returned ", fetched.size(),
+                   " result sets for ", missing.size(), " bindings"));
+      }
+      for (size_t i = 0; i < missing.size(); ++i) {
+        cache_.emplace(std::move(missing[i]), std::move(fetched[i]));
+      }
+    } else {
+      for (Row& binding : missing) {
+        ++fetch_calls_;
+        ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> fetched, fetch_(binding));
+        cache_.emplace(std::move(binding), std::move(fetched));
+      }
+    }
+    out->Reset(out_arity);
+    size_t emitted = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t p = in_.ActiveIndex(i);
+      const std::vector<Row>& matches = cache_.at(bindings[i]);
+      for (const Row& fetched : matches) {
+        for (size_t c = 0; c < in_arity; ++c) {
+          out->column(c).push_back(in_.column(c)[p]);
+        }
+        for (size_t c = 0; c < fetched.size(); ++c) {
+          out->column(in_arity + c).push_back(fetched[c]);
+        }
+        ++emitted;
+      }
+    }
+    if (emitted == 0) continue;  // every binding in this chunk had no matches
+    out->SetPhysicalRows(emitted);
+    return true;
+  }
+}
+
 UnionAllOperator::UnionAllOperator(std::vector<OperatorPtr> inputs)
     : inputs_(std::move(inputs)) {}
 
@@ -414,6 +728,15 @@ Result<std::optional<Row>> UnionAllOperator::Next() {
                               inputs_[current_]->Next());
     if (row.has_value()) return row;
     if (++current_ >= inputs_.size()) return std::optional<Row>();
+    ESTOCADA_RETURN_NOT_OK(inputs_[current_]->Open());
+  }
+}
+
+Result<bool> UnionAllOperator::NextBatch(RowBatch* out) {
+  for (;;) {
+    ESTOCADA_ASSIGN_OR_RETURN(bool more, inputs_[current_]->NextBatch(out));
+    if (more) return true;
+    if (++current_ >= inputs_.size()) return false;
     ESTOCADA_RETURN_NOT_OK(inputs_[current_]->Open());
   }
 }

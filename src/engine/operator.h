@@ -10,15 +10,30 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "engine/batch.h"
+#include "engine/compiled.h"
 #include "engine/expr.h"
 #include "engine/value.h"
 
 namespace estocada::engine {
 
-/// Pull-based physical operator of ESTOCADA's lightweight execution engine
-/// (the paper's "Runtime Execution Engine" evaluating the non-delegated
-/// operations over a nested relational model). Usage: Open(), then Next()
-/// until it yields nullopt.
+/// Physical operator of ESTOCADA's lightweight execution engine (the
+/// paper's "Runtime Execution Engine" evaluating the non-delegated
+/// operations over a nested relational model). Two pull interfaces share
+/// one Open():
+///
+///  * Batch-at-a-time (the production path): Open(), then NextBatch()
+///    until it returns false. Each true return delivers at least one row.
+///  * Tuple-at-a-time (the original Volcano-style path, kept as the
+///    internal debug oracle — see CollectTuples): Open(), then Next()
+///    until nullopt.
+///
+/// The base-class NextBatch is a compatibility adapter that pulls rows
+/// from Next(), so unconverted operators compose transparently with batch
+/// parents; converted operators override it with vectorized loops and
+/// keep their Next() implementation intact. One execution must drive an
+/// operator through a single interface (both share Open-reset state), but
+/// a batch parent over a tuple child — and vice versa — is fine.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -26,6 +41,12 @@ class Operator {
   virtual Status Open() = 0;
   /// Next output row, or nullopt at end of stream.
   virtual Result<std::optional<Row>> Next() = 0;
+
+  /// Next chunk of output rows: fills `out` (resetting it first) and
+  /// returns true, or returns false at end of stream. A true return
+  /// carries at least one logical row. Default implementation adapts
+  /// Next() — override for a vectorized path.
+  virtual Result<bool> NextBatch(RowBatch* out);
 
   /// Column names of the output (for plan display and name resolution).
   virtual std::vector<std::string> columns() const = 0;
@@ -39,8 +60,13 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Drains `op` into a vector (Open + Next*).
+/// Drains `op` into a vector via the batch interface (Open + NextBatch*).
 Result<std::vector<Row>> Collect(Operator* op);
+
+/// Drains `op` tuple-at-a-time (Open + Next*). The old execution funnel,
+/// kept as the oracle for the batch-vs-tuple differential (TESTING.md) —
+/// the engine analogue of the chase kernel's ForEachHomomorphismScan.
+Result<std::vector<Row>> CollectTuples(Operator* op);
 
 /// Indented multi-line rendering of an operator tree.
 std::string PlanToString(const Operator& op, int indent = 0);
@@ -55,6 +81,7 @@ class RowsOperator final : public Operator {
                std::string label = "rows");
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override { return columns_; }
   std::string label() const override;
 
@@ -74,6 +101,7 @@ class CallbackScanOperator final : public Operator {
                        std::string label);
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override { return columns_; }
   std::string label() const override { return label_; }
 
@@ -103,6 +131,7 @@ class ScatterGatherOperator final : public Operator {
                         ThreadPool* pool);
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override { return columns_; }
   std::string label() const override;
 
@@ -123,6 +152,7 @@ class FilterOperator final : public Operator {
   FilterOperator(OperatorPtr input, ExprPtr predicate);
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override {
     return input_->columns();
   }
@@ -134,6 +164,7 @@ class FilterOperator final : public Operator {
  private:
   OperatorPtr input_;
   ExprPtr predicate_;
+  RowBatch in_;
 };
 
 /// Projects/computes output columns from expressions.
@@ -143,6 +174,7 @@ class ProjectOperator final : public Operator {
                   std::vector<ExprPtr> exprs);
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override { return names_; }
   std::string label() const override;
   std::vector<const Operator*> children() const override {
@@ -153,6 +185,8 @@ class ProjectOperator final : public Operator {
   OperatorPtr input_;
   std::vector<std::string> names_;
   std::vector<ExprPtr> exprs_;
+  RowBatch in_;
+  std::vector<uint32_t> sel_scratch_;
 };
 
 class LimitOperator final : public Operator {
@@ -160,6 +194,7 @@ class LimitOperator final : public Operator {
   LimitOperator(OperatorPtr input, size_t limit);
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override {
     return input_->columns();
   }
@@ -172,6 +207,7 @@ class LimitOperator final : public Operator {
   OperatorPtr input_;
   size_t limit_;
   size_t produced_ = 0;
+  RowBatch in_;
 };
 
 class DistinctOperator final : public Operator {
@@ -179,6 +215,7 @@ class DistinctOperator final : public Operator {
   explicit DistinctOperator(OperatorPtr input);
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override {
     return input_->columns();
   }
@@ -190,6 +227,7 @@ class DistinctOperator final : public Operator {
  private:
   OperatorPtr input_;
   std::unordered_map<Row, bool, RowHash> seen_;
+  RowBatch in_;
 };
 
 /// Sorts by the given column positions (ascending; stable).
@@ -223,6 +261,7 @@ class HashJoinOperator final : public Operator {
                    std::vector<std::pair<size_t, size_t>> key_pairs);
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override;
   std::string label() const override;
   std::vector<const Operator*> children() const override {
@@ -230,13 +269,31 @@ class HashJoinOperator final : public Operator {
   }
 
  private:
+  /// Tuple path: materializes `build_` from the drained build rows.
+  void BuildTupleMap();
+  /// Batch path: materializes the columnar build side + flat hash table,
+  /// resolving the compiled per-arity key kernel.
+  void BuildBatchTable();
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<std::pair<size_t, size_t>> key_pairs_;
+  /// Build side as drained at Open; consumed by whichever path runs.
+  std::vector<Row> build_rows_;
+  // Tuple-path state.
+  bool map_built_ = false;
   std::unordered_map<Row, std::vector<Row>, RowHash> build_;
   std::optional<Row> current_probe_;
   const std::vector<Row>* current_matches_ = nullptr;
   size_t match_pos_ = 0;
+  // Batch-path state (compiled loop).
+  bool table_built_ = false;
+  RowBatch build_batch_;
+  FlatJoinTable table_;
+  std::vector<uint32_t> build_key_cols_;
+  std::vector<uint32_t> probe_key_cols_;
+  const KeyOps* key_ops_ = nullptr;
+  RowBatch probe_;
 };
 
 /// The BindJoin of the paper: for each input row, extracts the values at
@@ -247,18 +304,31 @@ class HashJoinOperator final : public Operator {
 class BindJoinOperator final : public Operator {
  public:
   using Fetch = std::function<Result<std::vector<Row>>(const Row& binding)>;
+  /// Batched fetch: one call covering several distinct bindings (a store
+  /// MGet-style round trip); results are positional with `bindings`.
+  using BatchFetch = std::function<Result<std::vector<std::vector<Row>>>(
+      const std::vector<Row>& bindings)>;
   BindJoinOperator(OperatorPtr input, std::vector<size_t> bind_columns,
                    std::vector<std::string> fetched_columns, Fetch fetch,
                    std::string target_label);
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override;
   std::string label() const override;
   std::vector<const Operator*> children() const override {
     return {input_.get()};
   }
 
-  /// Number of times `fetch` was actually invoked (cache misses).
+  /// Installs a batched fetch used by the batch path when an input chunk
+  /// carries more than one distinct uncached binding. Optional — without
+  /// it the batch path falls back to per-binding `fetch` calls.
+  void set_batch_fetch(BatchFetch batch_fetch) {
+    batch_fetch_ = std::move(batch_fetch);
+  }
+
+  /// Number of bindings actually fetched from the target (cache misses);
+  /// a batched fetch covering k bindings counts k.
   size_t fetch_calls() const { return fetch_calls_; }
 
  private:
@@ -266,12 +336,14 @@ class BindJoinOperator final : public Operator {
   std::vector<size_t> bind_columns_;
   std::vector<std::string> fetched_columns_;
   Fetch fetch_;
+  BatchFetch batch_fetch_;
   std::string target_label_;
   std::unordered_map<Row, std::vector<Row>, RowHash> cache_;
   std::optional<Row> current_input_;
   const std::vector<Row>* current_matches_ = nullptr;
   size_t match_pos_ = 0;
   size_t fetch_calls_ = 0;
+  RowBatch in_;
 };
 
 /// Bag union of inputs with identical arity.
@@ -280,6 +352,7 @@ class UnionAllOperator final : public Operator {
   explicit UnionAllOperator(std::vector<OperatorPtr> inputs);
   Status Open() override;
   Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
   std::vector<std::string> columns() const override;
   std::string label() const override { return "UnionAll"; }
   std::vector<const Operator*> children() const override;

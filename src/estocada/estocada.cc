@@ -735,6 +735,15 @@ Result<Estocada::QueryResult> Estocada::ExecutePlanned(
     rewriting::PlanSet plans, const pivot::ConjunctiveQuery& q,
     const std::map<std::string, Value>& parameters) const {
   rewriting::PlannedQuery& best = plans.best_plan();
+  if (best.root == nullptr) {
+    // Cost-only estimate (a non-winner plan, or a PlanSet assembled by a
+    // caller that overrode `best`): materialize the operator tree now
+    // with the arguments it was estimated under.
+    rewriting::Translator translator(&catalog_);
+    ESTOCADA_ASSIGN_OR_RETURN(
+        best, translator.Plan(best.rewriting, plans.parameters,
+                              plans.constraints));
+  }
 
   QueryResult result;
   ESTOCADA_ASSIGN_OR_RETURN(result.rows, engine::Collect(best.root.get()));

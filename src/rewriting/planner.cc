@@ -51,15 +51,24 @@ Result<PlanSet> Planner::PlanRewritings(
     const PlanConstraints& constraints) const {
   PlanSet out;
   out.rewriting_result = std::move(rewriting_result);
+  out.parameters = parameters;
+  out.constraints = constraints;
   Translator translator(catalog_);
   Status last_error = Status::OK();
   size_t excluded = 0;
+  // A lone candidate is the winner by definition: build it directly
+  // instead of estimating first (one translator walk, not two).
+  const bool single = out.rewriting_result.rewritings.size() == 1;
   for (const pacb::Rewriting& rw : out.rewriting_result.rewritings) {
     // Exclusions are applied by routing inside the translator, per
     // fragment: a fragment on an excluded store survives whenever a
     // sibling replica can serve it. Only a rewriting with some fragment
-    // left placement-less drops out (kUnavailable).
-    auto plan = translator.Plan(rw.query, parameters, constraints);
+    // left placement-less drops out (kUnavailable). Candidates are
+    // *estimated* only — a full operator tree is built just for the
+    // winner below.
+    auto plan = single ? translator.Plan(rw.query, parameters, constraints)
+                       : translator.Estimate(rw.query, parameters,
+                                             constraints);
     if (!plan.ok()) {
       if (plan.status().code() == StatusCode::kUnavailable) {
         ++excluded;
@@ -91,6 +100,14 @@ Result<PlanSet> Planner::PlanRewritings(
         out.plans[out.best].estimated_cost) {
       out.best = i;
     }
+  }
+  // Build the winner for real. Estimate and Plan share one code path, so
+  // a rewriting that estimated cleanly cannot fail to build.
+  if (!single) {
+    ESTOCADA_ASSIGN_OR_RETURN(
+        out.plans[out.best],
+        translator.Plan(out.plans[out.best].rewriting, parameters,
+                        constraints));
   }
   return out;
 }

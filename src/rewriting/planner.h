@@ -18,8 +18,17 @@ namespace estocada::rewriting {
 /// output, the translated form and the executable plan") reads this.
 struct PlanSet {
   pacb::RewritingResult rewriting_result;
-  std::vector<PlannedQuery> plans;  ///< Parallel to rewritings.
-  size_t best = 0;                  ///< Index of the chosen plan.
+  /// Parallel to rewritings. Only the best plan carries an operator tree
+  /// (`root`); the others are cost-only estimates. Re-Plan a rewriting
+  /// through a Translator (with `parameters`/`constraints` below) to
+  /// materialize any of the others — Estocada::ExecutePlanned does this
+  /// when asked for a non-best plan index.
+  std::vector<PlannedQuery> plans;
+  size_t best = 0;  ///< Index of the chosen plan.
+  /// The planning inputs, kept so a cost-only plan can be materialized
+  /// later with the exact arguments it was estimated under.
+  std::map<std::string, engine::Value> parameters;
+  PlanConstraints constraints;
 
   PlannedQuery& best_plan() { return plans[best]; }
   const PlannedQuery& best_plan() const { return plans[best]; }

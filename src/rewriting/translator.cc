@@ -151,6 +151,9 @@ struct CompiledGroup {
   /// Outer variables that must be supplied per call (BindJoin bindings).
   std::vector<std::string> needed_vars;
   engine::BindJoinOperator::Fetch fetch;
+  /// Batched fetch covering several bindings in one round trip, when the
+  /// access supports one (KV point get via MGet). Installed on BindJoins.
+  engine::BindJoinOperator::BatchFetch batch_fetch;
   double est_out_rows = 1;  ///< Expected rows per fetch call.
   double access_cost = 1;   ///< Simulated cost per fetch call.
   std::string desc;
@@ -220,6 +223,10 @@ std::vector<std::optional<Value>> BindGround(
 /// One compiled native access to a single placement (store + container).
 struct SingleAtomAccess {
   engine::BindJoinOperator::Fetch fetch;
+  /// Batched variant covering several bindings in one store round trip
+  /// (currently the KV point-get case, backed by MGet). Null when the
+  /// access has no batched form.
+  engine::BindJoinOperator::BatchFetch batch_fetch;
   double access_cost = 1;
   std::string desc;
 };
@@ -233,7 +240,8 @@ struct SingleAtomAccess {
 Result<SingleAtomAccess> CompileSingleAtomAccess(
     const AtomInfo& info, const std::vector<size_t>& needed_positions,
     const std::vector<std::string>& needed_vars, double rows_total,
-    double est_out_rows, const std::shared_ptr<RuntimeStats>& runtime) {
+    double est_out_rows, const std::shared_ptr<RuntimeStats>& runtime,
+    bool build) {
   SingleAtomAccess out;
   const StoreKind kind = info.store->kind;
   const CostConstants cost = CostModel(kind);
@@ -261,6 +269,7 @@ Result<SingleAtomAccess> CompileSingleAtomAccess(
       }
       out.access_cost = cost.per_op + cost.per_row * rows_total +
                         cost.per_ret * est_out_rows;
+      if (!build) break;
       out.desc = StrCat(store_name, ": SELECT * FROM ", container);
       std::vector<size_t> np = needed_positions;
       out.fetch = [store, container, cols, info_copy, np, list_cols, runtime,
@@ -309,6 +318,7 @@ Result<SingleAtomAccess> CompileSingleAtomAccess(
       bool key_ground = info.ground[0].has_value();
       if (key_ground || key_needed) {
         out.access_cost = cost.per_op + cost.per_lookup;
+        if (!build) break;
         out.desc = StrCat(store_name, ": GET ", container, "[",
                           key_ground ? info.ground[0]->ToString()
                                      : StrCat("?", needed_vars[0]),
@@ -345,11 +355,48 @@ Result<SingleAtomAccess> CompileSingleAtomAccess(
           }
           return out_rows;
         };
+        // Batched form: k uncached bindings become one MGet round trip.
+        out.batch_fetch = [store, container, info_copy, np, runtime,
+                           store_name](const std::vector<Row>& bindings)
+            -> Result<std::vector<std::vector<Row>>> {
+          std::vector<std::string> keys;
+          keys.reserve(bindings.size());
+          for (const Row& binding : bindings) {
+            auto ground = BindGround(info_copy, np, binding);
+            keys.push_back(ground[0]->ToJson().Serialize());
+          }
+          ESTOCADA_ASSIGN_OR_RETURN(
+              std::vector<std::optional<std::string>> payloads,
+              store->MGet(container, keys, &runtime->per_store[store_name]));
+          std::vector<std::vector<Row>> out_sets(bindings.size());
+          for (size_t b = 0; b < bindings.size(); ++b) {
+            if (!payloads[b].has_value()) continue;
+            ESTOCADA_ASSIGN_OR_RETURN(Value v, ParseStoredJson(*payloads[b]));
+            if (!v.is_list()) {
+              return Status::Internal("corrupt KV fragment payload");
+            }
+            AtomInfo check = info_copy;
+            for (size_t i = 0; i < np.size(); ++i) {
+              check.ground[np[i]] = bindings[b][i];
+            }
+            for (const Value& row_value : v.list()) {
+              if (!row_value.is_list()) {
+                return Status::Internal("corrupt KV fragment payload row");
+              }
+              Row row = row_value.list();
+              if (RowSatisfiesAtom(row, check)) {
+                out_sets[b].push_back(std::move(row));
+              }
+            }
+          }
+          return out_sets;
+        };
       } else {
         // Free access: full collection scan (allowed but costly). Any
         // outer bindings on non-key input positions become post-checks.
         out.access_cost = cost.per_op + cost.per_row * rows_total +
                           cost.per_ret * est_out_rows;
+        if (!build) break;
         out.desc = StrCat(store_name, ": SCAN ", container);
         std::vector<size_t> np = needed_positions;
         out.fetch = [store, container, info_copy, np, runtime,
@@ -384,6 +431,7 @@ Result<SingleAtomAccess> CompileSingleAtomAccess(
       const std::string container = info.container;
       out.access_cost = cost.per_op + cost.per_row * rows_total * 0.5 +
                         cost.per_ret * est_out_rows;
+      if (!build) break;
       std::vector<std::string> pred_bits;
       for (size_t i = 0; i < arity; ++i) {
         if (info.ground[i].has_value()) {
@@ -451,6 +499,7 @@ Result<SingleAtomAccess> CompileSingleAtomAccess(
       if (index_usable) {
         out.access_cost = cost.per_op + cost.per_lookup +
                           cost.per_ret * est_out_rows;
+        if (!build) break;
         out.desc = StrCat(store_name, ": INDEX-LOOKUP ", container, " (",
                           StrJoin(index_positions, ","), ")");
         out.fetch = [store, container, info_copy, np, index_positions,
@@ -476,6 +525,7 @@ Result<SingleAtomAccess> CompileSingleAtomAccess(
       } else {
         out.access_cost = cost.per_op + cost.per_row * rows_total +
                           cost.per_ret * est_out_rows;
+        if (!build) break;
         out.desc = StrCat(store_name, ": PARALLEL-SCAN ", container);
         out.fetch = [store, container, info_copy, np, runtime,
                      store_name](const Row& binding)
@@ -499,6 +549,7 @@ Result<SingleAtomAccess> CompileSingleAtomAccess(
       const std::string container = info.container;
       out.access_cost = cost.per_op + cost.per_lookup +
                         cost.per_ret * est_out_rows;
+      if (!build) break;
       out.desc = StrCat(
           store_name, ": SEARCH ", container, " [",
           info.ground[1].has_value() ? info.ground[1]->ToString() : "?",
@@ -534,7 +585,7 @@ Result<SingleAtomAccess> CompileSingleAtomAccess(
       break;
     }
   }
-  if (!out.fetch) {
+  if (build && !out.fetch) {
     return Status::Internal("unhandled store kind in translator");
   }
   return out;
@@ -548,6 +599,20 @@ Result<PlannedQuery> Translator::Plan(
     const ConjunctiveQuery& rewriting,
     const std::map<std::string, Value>& parameters,
     const PlanConstraints& constraints) const {
+  return PlanInternal(rewriting, parameters, constraints, /*build=*/true);
+}
+
+Result<PlannedQuery> Translator::Estimate(
+    const ConjunctiveQuery& rewriting,
+    const std::map<std::string, Value>& parameters,
+    const PlanConstraints& constraints) const {
+  return PlanInternal(rewriting, parameters, constraints, /*build=*/false);
+}
+
+Result<PlannedQuery> Translator::PlanInternal(
+    const ConjunctiveQuery& rewriting,
+    const std::map<std::string, Value>& parameters,
+    const PlanConstraints& constraints, bool build) const {
   ESTOCADA_RETURN_NOT_OK(rewriting.Validate());
   auto runtime = std::make_shared<RuntimeStats>();
 
@@ -753,6 +818,10 @@ Result<PlannedQuery> Translator::Plan(
       cg.est_out_rows = std::max(est, 0.0);
       cg.access_cost = cost.per_op + cost.per_row * scanned +
                        cost.per_ret * cg.est_out_rows;
+      if (!build) {
+        compiled.push_back(std::move(cg));
+        continue;
+      }
       cg.desc = StrCat(store_name, ": ", q.ToString());
       stores::RelationalStore* store = head_info.store->relational;
       // Relational columns that persist nested lists as JSON text and
@@ -834,8 +903,10 @@ Result<PlannedQuery> Translator::Plan(
       ESTOCADA_ASSIGN_OR_RETURN(
           SingleAtomAccess access,
           CompileSingleAtomAccess(info, needed_positions, cg.needed_vars,
-                                  rows_total, cg.est_out_rows, runtime));
+                                  rows_total, cg.est_out_rows, runtime,
+                                  build));
       cg.fetch = std::move(access.fetch);
+      cg.batch_fetch = std::move(access.batch_fetch);
       cg.access_cost = access.access_cost;
       cg.desc = std::move(access.desc);
     } else {
@@ -856,9 +927,9 @@ Result<PlannedQuery> Translator::Plan(
             CompileSingleAtomAccess(
                 si, needed_positions, cg.needed_vars,
                 std::max(rows_total / shard_div, 1.0),
-                std::max(cg.est_out_rows / shard_div, 0.0), runtime));
+                std::max(cg.est_out_rows / shard_div, 0.0), runtime, build));
         total_cost += access.access_cost;
-        if (s == 0) {
+        if (s == 0 && build) {
           cg.desc = StrCat("scatter[", spec.shards, " shards] ", access.desc);
         }
         cg.shard_fetches.push_back(std::move(access.fetch));
@@ -873,17 +944,20 @@ Result<PlannedQuery> Translator::Plan(
           key_idx = static_cast<int>(i);
         }
       }
-      std::vector<engine::BindJoinOperator::Fetch> fetches = cg.shard_fetches;
+      std::vector<engine::BindJoinOperator::Fetch> fetches;
+      if (build) fetches = cg.shard_fetches;
       if (key_idx >= 0) {
-        const catalog::PartitionSpec spec_copy = spec;
-        const size_t ki = static_cast<size_t>(key_idx);
-        cg.fetch = [fetches, spec_copy, ki](const Row& binding)
-            -> Result<std::vector<Row>> {
-          return fetches[spec_copy.ShardOf(binding[ki])](binding);
-        };
+        if (build) {
+          const catalog::PartitionSpec spec_copy = spec;
+          const size_t ki = static_cast<size_t>(key_idx);
+          cg.fetch = [fetches, spec_copy, ki](const Row& binding)
+              -> Result<std::vector<Row>> {
+            return fetches[spec_copy.ShardOf(binding[ki])](binding);
+          };
+        }
         // A bound key prunes to one shard, so charge one shard's access.
         cg.access_cost = total_cost / shard_div;
-      } else {
+      } else if (build) {
         // No key in the binding: each call must consult every shard
         // (sequential here; standalone sources get ScatterGatherOperator).
         cg.fetch = [fetches](const Row& binding) -> Result<std::vector<Row>> {
@@ -900,8 +974,11 @@ Result<PlannedQuery> Translator::Plan(
     compiled.push_back(std::move(cg));
   }
 
-  // ---- Stitch groups with hash joins / bind joins.
+  // ---- Stitch groups with hash joins / bind joins. In estimate mode
+  // the same walk runs — scope/width bookkeeping, NoRewriting checks and
+  // cost arithmetic are all shared — but no operators are constructed.
   OperatorPtr tree;
+  bool first_group = true;
   std::unordered_map<std::string, size_t> scope;  // var -> column index
   size_t width = 0;
   double est_rows = 1;
@@ -945,13 +1022,13 @@ Result<PlannedQuery> Translator::Plan(
       return sel;
     };
 
-    if (!tree) {
+    if (first_group) {
       if (!cg.needed_vars.empty()) {
         return Status::NoRewriting(
             StrCat("first group of plan needs outer bindings (",
                    StrJoin(cg.needed_vars, ", "), ")"));
       }
-      tree = make_source();
+      if (build) tree = make_source();
       est_cost += cg.access_cost;
       est_rows = cg.est_out_rows;
     } else if (!cg.needed_vars.empty()) {
@@ -965,45 +1042,54 @@ Result<PlannedQuery> Translator::Plan(
         }
         bind_cols.push_back(it->second);
       }
-      tree = std::make_unique<engine::BindJoinOperator>(
-          std::move(tree), bind_cols, cg.out_names, cg.fetch, cg.desc);
-      // Equality post-filters for shared vars that are plain outputs.
-      ExprPtr post;
-      for (size_t i = 0; i < cg.out_vars.size(); ++i) {
-        const std::string& v = cg.out_vars[i];
-        if (v.empty() || !scope.count(v)) continue;
-        if (std::find(cg.needed_vars.begin(), cg.needed_vars.end(), v) !=
-            cg.needed_vars.end()) {
-          continue;
-        }
-        ExprPtr clause = Expr::Binary(Expr::Op::kEq,
-                                      Expr::Column(scope[v]),
-                                      Expr::Column(width + i));
-        post = post ? Expr::Binary(Expr::Op::kAnd, post, clause) : clause;
+      if (build) {
+        auto bind_join = std::make_unique<engine::BindJoinOperator>(
+            std::move(tree), bind_cols, cg.out_names, cg.fetch, cg.desc);
+        if (cg.batch_fetch) bind_join->set_batch_fetch(cg.batch_fetch);
+        tree = std::move(bind_join);
       }
-      if (post) {
-        tree = std::make_unique<engine::FilterOperator>(std::move(tree),
-                                                        post);
+      // Equality post-filters for shared vars that are plain outputs.
+      if (build) {
+        ExprPtr post;
+        for (size_t i = 0; i < cg.out_vars.size(); ++i) {
+          const std::string& v = cg.out_vars[i];
+          if (v.empty() || !scope.count(v)) continue;
+          if (std::find(cg.needed_vars.begin(), cg.needed_vars.end(), v) !=
+              cg.needed_vars.end()) {
+            continue;
+          }
+          ExprPtr clause = Expr::Binary(Expr::Op::kEq,
+                                        Expr::Column(scope[v]),
+                                        Expr::Column(width + i));
+          post = post ? Expr::Binary(Expr::Op::kAnd, post, clause) : clause;
+        }
+        if (post) {
+          tree = std::make_unique<engine::FilterOperator>(std::move(tree),
+                                                          post);
+        }
       }
       est_cost += est_rows * cg.access_cost;
       est_rows = est_rows * cg.est_out_rows * shared_selectivity();
     } else {
       // Self-contained group: hash join on shared variables.
-      OperatorPtr source = make_source();
-      std::vector<std::pair<size_t, size_t>> keys;
-      std::unordered_set<std::string> keyed;
-      for (size_t i = 0; i < cg.out_vars.size(); ++i) {
-        const std::string& v = cg.out_vars[i];
-        if (v.empty() || !scope.count(v)) continue;
-        if (!keyed.insert(v).second) continue;
-        keys.emplace_back(scope[v], i);
+      if (build) {
+        OperatorPtr source = make_source();
+        std::vector<std::pair<size_t, size_t>> keys;
+        std::unordered_set<std::string> keyed;
+        for (size_t i = 0; i < cg.out_vars.size(); ++i) {
+          const std::string& v = cg.out_vars[i];
+          if (v.empty() || !scope.count(v)) continue;
+          if (!keyed.insert(v).second) continue;
+          keys.emplace_back(scope[v], i);
+        }
+        tree = std::make_unique<engine::HashJoinOperator>(std::move(tree),
+                                                          std::move(source),
+                                                          keys);
       }
-      tree = std::make_unique<engine::HashJoinOperator>(std::move(tree),
-                                                        std::move(source),
-                                                        keys);
       est_cost += cg.access_cost;
       est_rows = est_rows * cg.est_out_rows * shared_selectivity();
     }
+    first_group = false;
     // Extend the variable scope with this group's fresh outputs.
     for (size_t i = 0; i < cg.out_vars.size(); ++i) {
       const std::string& v = cg.out_vars[i];
@@ -1041,11 +1127,12 @@ Result<PlannedQuery> Translator::Plan(
       return Status::InvalidArgument("unsupported rewriting head term");
     }
   }
-  tree = std::make_unique<engine::ProjectOperator>(std::move(tree), names,
-                                                   exprs);
-  tree = std::make_unique<engine::DistinctOperator>(std::move(tree));
-
-  plan.root = std::move(tree);
+  if (build) {
+    tree = std::make_unique<engine::ProjectOperator>(std::move(tree), names,
+                                                     exprs);
+    tree = std::make_unique<engine::DistinctOperator>(std::move(tree));
+    plan.root = std::move(tree);
+  }
   plan.estimated_cost = est_cost;
   plan.estimated_rows = est_rows;
   return plan;

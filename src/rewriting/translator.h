@@ -88,7 +88,23 @@ class Translator {
       const std::map<std::string, engine::Value>& parameters = {},
       const PlanConstraints& constraints = {}) const;
 
+  /// Cost-only variant of Plan: identical routing, feasibility checks,
+  /// error surface and cost arithmetic (one shared code path — the two
+  /// modes cannot disagree on a plan's estimated cost), but fetch
+  /// closures and the operator tree are never built: `root` is null.
+  /// The planner estimates every candidate this way and fully Plan()s
+  /// only the winner.
+  Result<PlannedQuery> Estimate(
+      const pivot::ConjunctiveQuery& rewriting,
+      const std::map<std::string, engine::Value>& parameters = {},
+      const PlanConstraints& constraints = {}) const;
+
  private:
+  Result<PlannedQuery> PlanInternal(
+      const pivot::ConjunctiveQuery& rewriting,
+      const std::map<std::string, engine::Value>& parameters,
+      const PlanConstraints& constraints, bool build) const;
+
   const catalog::Catalog* catalog_;
 };
 

@@ -139,12 +139,30 @@ Result<Estocada::QueryResult> QueryServer::ServeLocked(
   return result;
 }
 
+Result<std::shared_ptr<const CanonicalQuery>> QueryServer::CanonicalizeCached(
+    const std::string& query_text) {
+  {
+    std::lock_guard<std::mutex> lock(canon_mu_);
+    auto it = canon_cache_.find(query_text);
+    if (it != canon_cache_.end()) return it->second;
+  }
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
+                            pivot::ParseQuery(query_text));
+  auto canonical = std::make_shared<const CanonicalQuery>(Canonicalize(q));
+  {
+    std::lock_guard<std::mutex> lock(canon_mu_);
+    if (canon_cache_.size() >= kCanonCacheCap) canon_cache_.clear();
+    canon_cache_.emplace(query_text, canonical);
+  }
+  return canonical;
+}
+
 Result<Estocada::QueryResult> QueryServer::ServeTimed(
     const std::string& query_text,
     const std::map<std::string, engine::Value>& parameters) {
-  ESTOCADA_ASSIGN_OR_RETURN(pivot::ConjunctiveQuery q,
-                            pivot::ParseQuery(query_text));
-  CanonicalQuery canonical = Canonicalize(q);
+  ESTOCADA_ASSIGN_OR_RETURN(std::shared_ptr<const CanonicalQuery> canon,
+                            CanonicalizeCached(query_text));
+  const CanonicalQuery& canonical = *canon;
   std::map<std::string, engine::Value> remapped =
       RemapParameters(canonical, parameters);
 

@@ -8,6 +8,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -224,6 +225,12 @@ class QueryServer {
       const std::string& query_text,
       const std::map<std::string, engine::Value>& parameters);
 
+  /// Parse + canonicalize `query_text`, memoized. Canonicalization is a
+  /// pure function of the text (no catalog input), so entries never need
+  /// invalidation — the cache is merely size-bounded.
+  Result<std::shared_ptr<const CanonicalQuery>> CanonicalizeCached(
+      const std::string& query_text);
+
   /// Fires `event` at every registered listener (exclusive lock held).
   void NotifyUpdate(const UpdateEvent& event);
 
@@ -238,6 +245,13 @@ class QueryServer {
   /// catalog/data changes and rewriter rebuilds.
   std::shared_mutex mu_;
   PlanCache cache_;
+  /// Raw query text → canonical form (guarded by canon_mu_; dropped
+  /// wholesale when it hits kCanonCacheCap — repeated serving texts
+  /// re-warm it in one query each).
+  std::mutex canon_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const CanonicalQuery>>
+      canon_cache_;
+  static constexpr size_t kCanonCacheCap = 4096;
   ServerMetrics metrics_;
   HealthRegistry health_;
   /// Backoff-jitter draws (behind its own mutex; failures are rare).

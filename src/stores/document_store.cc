@@ -176,6 +176,27 @@ Result<JsonValue> DocumentStore::FindById(const std::string& collection,
   return it->second;
 }
 
+Result<std::vector<std::optional<JsonValue>>> DocumentStore::FindByIdMany(
+    const std::string& collection, const std::vector<std::string>& ids,
+    StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
+  ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
+  std::vector<std::optional<JsonValue>> out;
+  out.reserve(ids.size());
+  uint64_t returned = 0;
+  for (const std::string& id : ids) {
+    auto it = c->docs.find(id);
+    if (it == c->docs.end()) {
+      out.emplace_back(std::nullopt);
+    } else {
+      out.emplace_back(it->second);
+      ++returned;
+    }
+  }
+  Charge(stats, 1, 0, ids.size(), returned);
+  return out;
+}
+
 Result<std::vector<JsonValue>> DocumentStore::Find(
     const std::string& collection,
     const std::vector<PathPredicate>& predicates, StoreStats* stats) const {

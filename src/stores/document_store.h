@@ -3,6 +3,7 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +52,13 @@ class DocumentStore : public FaultInjectable {
   Result<json::JsonValue> FindById(const std::string& collection,
                                    const std::string& id,
                                    StoreStats* stats = nullptr) const;
+
+  /// Batched point lookup: one round trip covering all `ids`, missing ids
+  /// yield nullopt at their position (mirrors KeyValueStore::MGet). Charged
+  /// as one operation plus one index touch per id.
+  Result<std::vector<std::optional<json::JsonValue>>> FindByIdMany(
+      const std::string& collection, const std::vector<std::string>& ids,
+      StoreStats* stats = nullptr) const;
 
   /// Conjunctive find: all documents satisfying every predicate. Equality
   /// predicates on indexed paths use the index; everything else scans.

@@ -65,8 +65,23 @@ Status KeyValueStore::Put(const std::string& collection, const std::string& key,
         StrCat("collection '", collection, "' does not exist"));
   }
   Charge(nullptr, 1, 0, 1, 0);
-  it->second[key] = std::move(value);
+  it->second.Put(key, std::move(value));
   return Status::OK();
+}
+
+Status KeyValueStore::BulkLoad(
+    const std::string& collection,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  ESTOCADA_RETURN_NOT_OK(InjectWriteFault());
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) {
+    return Status::NotFound(
+        StrCat("collection '", collection, "' does not exist"));
+  }
+  // Cost parity with entries.size() individual Puts.
+  Charge(nullptr, entries.size(), 0, entries.size(), 0);
+  it->second.BulkLoad(entries);
+  return it->second.Verify();
 }
 
 Result<std::string> KeyValueStore::Get(const std::string& collection,
@@ -75,13 +90,13 @@ Result<std::string> KeyValueStore::Get(const std::string& collection,
   ESTOCADA_RETURN_NOT_OK(InjectReadFault());
   ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
   Charge(stats, 1, 0, 1, 0);
-  auto it = c->find(key);
-  if (it == c->end()) {
+  const std::string* v = c->Find(key);
+  if (v == nullptr) {
     return Status::NotFound(
         StrCat("key '", key, "' not in collection '", collection, "'"));
   }
   Charge(stats, 0, 0, 0, 1);
-  return it->second;
+  return *v;
 }
 
 Result<std::vector<std::optional<std::string>>> KeyValueStore::MGet(
@@ -93,11 +108,11 @@ Result<std::vector<std::optional<std::string>>> KeyValueStore::MGet(
   out.reserve(keys.size());
   uint64_t returned = 0;
   for (const std::string& k : keys) {
-    auto it = c->find(k);
-    if (it == c->end()) {
+    const std::string* v = c->Find(k);
+    if (v == nullptr) {
       out.emplace_back(std::nullopt);
     } else {
-      out.emplace_back(it->second);
+      out.emplace_back(*v);
       ++returned;
     }
   }
@@ -114,7 +129,7 @@ Status KeyValueStore::Delete(const std::string& collection,
         StrCat("collection '", collection, "' does not exist"));
   }
   Charge(nullptr, 1, 0, 1, 0);
-  if (it->second.erase(key) == 0) {
+  if (!it->second.Erase(key)) {
     return Status::NotFound(
         StrCat("key '", key, "' not in collection '", collection, "'"));
   }
@@ -127,7 +142,9 @@ Result<std::vector<std::pair<std::string, std::string>>> KeyValueStore::Scan(
   ESTOCADA_ASSIGN_OR_RETURN(const Collection* c, GetCollection(collection));
   std::vector<std::pair<std::string, std::string>> out;
   out.reserve(c->size());
-  for (const auto& [k, v] : *c) out.emplace_back(k, v);
+  c->ForEach([&out](const std::string& k, const std::string& v) {
+    out.emplace_back(k, v);
+  });
   Charge(stats, 1, c->size(), 0, c->size());
   return out;
 }

@@ -5,11 +5,12 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "stores/fault.h"
+#include "stores/open_hash.h"
 #include "stores/store_stats.h"
 
 namespace estocada::stores {
@@ -38,6 +39,14 @@ class KeyValueStore : public FaultInjectable {
   Status Put(const std::string& collection, const std::string& key,
              std::string value);
 
+  /// Bulk-loads `entries` into `collection` in one call: the table is
+  /// pre-sized for the whole batch (no mid-load rehash) and every loaded
+  /// key is re-probed afterwards (Verify). Charges exactly what the same
+  /// entries written through per-key Put would — one operation and one
+  /// index touch per entry — so migration cost accounting is unchanged.
+  Status BulkLoad(const std::string& collection,
+                  const std::vector<std::pair<std::string, std::string>>& entries);
+
   /// Point lookup; kNotFound when absent.
   Result<std::string> Get(const std::string& collection, const std::string& key,
                           StoreStats* stats = nullptr) const;
@@ -64,7 +73,9 @@ class KeyValueStore : public FaultInjectable {
   }
 
  private:
-  using Collection = std::unordered_map<std::string, std::string>;
+  /// Flat open-addressing table (see open_hash.h) — the per-key hot path
+  /// behind Get/MGet is a contiguous linear probe, not a bucket-list chase.
+  using Collection = OpenHashMap;
 
   Result<const Collection*> GetCollection(const std::string& name) const;
 

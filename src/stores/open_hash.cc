@@ -1,0 +1,135 @@
+#include "stores/open_hash.h"
+
+#include "common/strings.h"
+
+namespace estocada::stores {
+
+namespace {
+constexpr size_t kInitialSlots = 16;
+}  // namespace
+
+OpenHashMap::OpenHashMap() : slots_(kInitialSlots), mask_(kInitialSlots - 1) {}
+
+uint64_t OpenHashMap::HashKey(const std::string& key) {
+  // FNV-1a: cheap, decent distribution for the short keys the translator
+  // produces (serialized JSON scalars).
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+size_t OpenHashMap::Probe(uint64_t hash, const std::string& key,
+                          bool* found) const {
+  size_t i = static_cast<size_t>(hash) & mask_;
+  size_t first_tombstone = SIZE_MAX;
+  for (;;) {
+    const Slot& s = slots_[i];
+    if (s.state == State::kEmpty) {
+      *found = false;
+      return first_tombstone != SIZE_MAX ? first_tombstone : i;
+    }
+    if (s.state == State::kTombstone) {
+      if (first_tombstone == SIZE_MAX) first_tombstone = i;
+    } else if (s.hash == hash && s.key == key) {
+      *found = true;
+      return i;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void OpenHashMap::Grow(size_t min_live) {
+  size_t buckets = kInitialSlots;
+  // Size so min_live keys sit under 70% load with headroom for one more
+  // doubling's worth of inserts before the next rehash.
+  while (buckets * 7 < min_live * 10) buckets <<= 1;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(buckets, Slot{});
+  mask_ = buckets - 1;
+  used_ = live_;
+  for (Slot& s : old) {
+    if (s.state != State::kLive) continue;
+    size_t i = static_cast<size_t>(s.hash) & mask_;
+    while (slots_[i].state == State::kLive) i = (i + 1) & mask_;
+    slots_[i] = std::move(s);
+  }
+}
+
+bool OpenHashMap::Put(const std::string& key, std::string value) {
+  if ((used_ + 1) * 10 >= slots_.size() * 7) Grow((live_ + 1) * 2);
+  const uint64_t hash = HashKey(key);
+  bool found = false;
+  size_t i = Probe(hash, key, &found);
+  Slot& s = slots_[i];
+  if (found) {
+    s.value = std::move(value);
+    return false;
+  }
+  if (s.state == State::kEmpty) ++used_;
+  s.hash = hash;
+  s.state = State::kLive;
+  s.key = key;
+  s.value = std::move(value);
+  ++live_;
+  return true;
+}
+
+const std::string* OpenHashMap::Find(const std::string& key) const {
+  bool found = false;
+  size_t i = Probe(HashKey(key), key, &found);
+  return found ? &slots_[i].value : nullptr;
+}
+
+bool OpenHashMap::Erase(const std::string& key) {
+  bool found = false;
+  size_t i = Probe(HashKey(key), key, &found);
+  if (!found) return false;
+  Slot& s = slots_[i];
+  s.state = State::kTombstone;
+  s.key.clear();
+  s.value.clear();
+  --live_;
+  return true;
+}
+
+void OpenHashMap::Reserve(size_t n) {
+  if (n * 10 >= slots_.size() * 7) Grow(n);
+}
+
+size_t OpenHashMap::BulkLoad(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  Reserve(live_ + entries.size());
+  size_t inserted = 0;
+  for (const auto& [k, v] : entries) {
+    if (Put(k, v)) ++inserted;
+  }
+  return inserted;
+}
+
+Status OpenHashMap::Verify() const {
+  size_t seen = 0;
+  for (const Slot& s : slots_) {
+    if (s.state != State::kLive) continue;
+    ++seen;
+    const std::string* v = Find(s.key);
+    if (v == nullptr) {
+      return Status::Internal(
+          StrCat("open-hash verify: key '", s.key, "' unreachable by probe"));
+    }
+    if (v != &s.value) {
+      return Status::Internal(
+          StrCat("open-hash verify: key '", s.key, "' resolves to a ",
+                 "different slot"));
+    }
+  }
+  if (seen != live_) {
+    return Status::Internal(StrCat("open-hash verify: ", seen,
+                                   " live slots found, size() says ", live_));
+  }
+  return Status::OK();
+}
+
+}  // namespace estocada::stores

@@ -1,0 +1,85 @@
+#ifndef ESTOCADA_STORES_OPEN_HASH_H_
+#define ESTOCADA_STORES_OPEN_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace estocada::stores {
+
+/// Open-addressing string → string hash table backing the key-value
+/// stand-in's collections. Replaces std::unordered_map for the point-lookup
+/// hot path: one flat slot array (linear probing, power-of-two capacity,
+/// ≤ 70% load including tombstones), so a Get is a hash, a strided scan of
+/// a contiguous array, and no per-node pointer chase. Sized for millions of
+/// keys: BulkLoad pre-reserves for the full batch and Verify re-probes
+/// every loaded key so migrations can prove the table round-trips.
+class OpenHashMap {
+ public:
+  OpenHashMap();
+
+  /// Upserts. Returns true if the key was newly inserted.
+  bool Put(const std::string& key, std::string value);
+
+  /// Points at the stored value, or nullptr when absent. Stable until the
+  /// next mutation.
+  const std::string* Find(const std::string& key) const;
+
+  /// Returns true if the key existed and was removed (tombstoned).
+  bool Erase(const std::string& key);
+
+  /// Pre-sizes the slot array for `n` live keys so a bulk load never
+  /// rehashes mid-flight.
+  void Reserve(size_t n);
+
+  /// Inserts every entry (upserting duplicates, last one wins) after a
+  /// single Reserve for the whole batch. Returns the number of newly
+  /// inserted (non-duplicate) keys.
+  size_t BulkLoad(const std::vector<std::pair<std::string, std::string>>& entries);
+
+  /// Probes every live slot back through the public lookup path; fails if
+  /// any stored key does not resolve to its own slot (i.e. the probe
+  /// sequence is corrupt). Cheap insurance after BulkLoad.
+  Status Verify() const;
+
+  size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  /// Calls fn(key, value) for every live entry, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.state == State::kLive) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  enum class State : uint8_t { kEmpty, kLive, kTombstone };
+
+  struct Slot {
+    uint64_t hash = 0;
+    State state = State::kEmpty;
+    std::string key;
+    std::string value;
+  };
+
+  static uint64_t HashKey(const std::string& key);
+
+  /// Index of the slot holding `key`, or the first insertable slot
+  /// (tombstone-aware) when absent. `found` reports which.
+  size_t Probe(uint64_t hash, const std::string& key, bool* found) const;
+
+  void Grow(size_t min_live);
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t live_ = 0;
+  size_t used_ = 0;  ///< live + tombstones — drives the load-factor check
+};
+
+}  // namespace estocada::stores
+
+#endif  // ESTOCADA_STORES_OPEN_HASH_H_

@@ -213,6 +213,34 @@ Result<std::vector<Row>> ParallelStore::IndexLookup(
   return out;
 }
 
+Result<std::vector<std::vector<Row>>> ParallelStore::IndexLookupMany(
+    const std::string& relation, const std::vector<size_t>& columns,
+    const std::vector<Row>& keys, StoreStats* stats) const {
+  ESTOCADA_RETURN_NOT_OK(InjectReadFault());
+  ESTOCADA_ASSIGN_OR_RETURN(const Relation* r, GetRelation(relation));
+  auto it = r->indexes.find(IndexKey(columns));
+  if (it == r->indexes.end()) {
+    return Status::NotFound(
+        StrCat("no index (", IndexKey(columns), ") on '", relation, "'"));
+  }
+  std::vector<std::vector<Row>> out;
+  out.reserve(keys.size());
+  uint64_t returned = 0;
+  for (const Row& key : keys) {
+    std::vector<Row>& matches = out.emplace_back();
+    auto hit = it->second.find(key);
+    if (hit != it->second.end()) {
+      matches.reserve(hit->second.size());
+      for (const auto& [p, o] : hit->second) {
+        matches.push_back(r->partitions[p][o]);
+      }
+      returned += matches.size();
+    }
+  }
+  Charge(stats, 1, 0, keys.size(), returned);
+  return out;
+}
+
 Result<size_t> ParallelStore::RowCount(const std::string& relation) const {
   ESTOCADA_ASSIGN_OR_RETURN(const Relation* r, GetRelation(relation));
   return r->row_count;

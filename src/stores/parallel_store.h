@@ -65,6 +65,13 @@ class ParallelStore : public FaultInjectable {
       const std::string& relation, const std::vector<size_t>& columns,
       const engine::Row& key, StoreStats* stats = nullptr) const;
 
+  /// Batched index lookup: one round trip resolving the index once and
+  /// probing every key; result i holds the matches for keys[i]. Charged as
+  /// one operation plus one index probe per key.
+  Result<std::vector<std::vector<engine::Row>>> IndexLookupMany(
+      const std::string& relation, const std::vector<size_t>& columns,
+      const std::vector<engine::Row>& keys, StoreStats* stats = nullptr) const;
+
   Result<size_t> RowCount(const std::string& relation) const;
   Result<size_t> Arity(const std::string& relation) const;
 

@@ -234,6 +234,19 @@ Result<std::vector<Row>> RelationalStore::Lookup(const std::string& table,
   return Execute(q, stats);
 }
 
+Result<std::vector<std::vector<Row>>> RelationalStore::LookupMany(
+    const std::string& table, const std::string& column,
+    const std::vector<engine::Value>& values, StoreStats* stats) const {
+  std::vector<std::vector<Row>> out;
+  out.reserve(values.size());
+  for (const engine::Value& v : values) {
+    ESTOCADA_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              Lookup(table, column, v, stats));
+    out.push_back(std::move(rows));
+  }
+  return out;
+}
+
 Result<std::vector<Row>> RelationalStore::Execute(const SpjQuery& query,
                                                   StoreStats* stats) const {
   ESTOCADA_RETURN_NOT_OK(InjectReadFault());

@@ -96,6 +96,14 @@ class RelationalStore : public FaultInjectable {
                                           const engine::Value& value,
                                           StoreStats* stats = nullptr) const;
 
+  /// Batched point lookup: result i holds Lookup(table, column, values[i]).
+  /// One client round trip; each value executes (and is charged) as its
+  /// own server-side SPJ, like a rewritten `IN`-list.
+  Result<std::vector<std::vector<engine::Row>>> LookupMany(
+      const std::string& table, const std::string& column,
+      const std::vector<engine::Value>& values,
+      StoreStats* stats = nullptr) const;
+
   /// Full scan of a table.
   Result<std::vector<engine::Row>> Scan(const std::string& table,
                                         StoreStats* stats = nullptr) const;

@@ -141,6 +141,20 @@ Result<std::vector<std::string>> TextStore::Search(
   return result;
 }
 
+Result<std::vector<std::vector<std::string>>> TextStore::SearchMany(
+    const std::string& core,
+    const std::vector<std::vector<std::string>>& queries,
+    StoreStats* stats) const {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(queries.size());
+  for (const std::vector<std::string>& terms : queries) {
+    ESTOCADA_ASSIGN_OR_RETURN(std::vector<std::string> ids,
+                              Search(core, terms, stats));
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
 Result<std::map<std::string, std::string>> TextStore::GetDocument(
     const std::string& core, const std::string& doc_id,
     StoreStats* stats) const {

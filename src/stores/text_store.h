@@ -41,6 +41,14 @@ class TextStore : public FaultInjectable {
                                           const std::vector<std::string>& terms,
                                           StoreStats* stats = nullptr) const;
 
+  /// Batched search: result i holds Search(core, queries[i]). One client
+  /// round trip; each query is still charged exactly like a standalone
+  /// Search (the inverted-index work is per query, not amortizable).
+  Result<std::vector<std::vector<std::string>>> SearchMany(
+      const std::string& core,
+      const std::vector<std::vector<std::string>>& queries,
+      StoreStats* stats = nullptr) const;
+
   /// Stored field retrieval.
   Result<std::map<std::string, std::string>> GetDocument(
       const std::string& core, const std::string& doc_id,

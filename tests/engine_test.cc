@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
+#include "common/rng.h"
+#include "engine/batch.h"
 #include "engine/expr.h"
 #include "engine/operator.h"
 #include "engine/value.h"
@@ -330,6 +333,215 @@ TEST(OperatorTest, ComposedPipeline) {
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0][0], Value::Str("ada"));
   EXPECT_EQ(rows[0][1], Value::List({Value::Int(10)}));
+}
+
+// -------------------------------------------------- Batch boundaries --
+// The batch path chunks streams at RowBatch::kDefaultRows (1024); these
+// pin the edges: single-row streams, exactly one chunk, one chunk plus a
+// spill row, empty relations, and predicates that wipe out whole chunks.
+
+std::vector<Row> IntRows(int64_t n) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < n; ++i) rows.push_back({Value::Int(i)});
+  return rows;
+}
+
+/// Both drains — batch (Collect) and tuple oracle (CollectTuples) — must
+/// agree; trees are re-Opened between the two runs.
+void ExpectBothPathsYield(Operator* op, size_t expected_rows) {
+  auto batch = Collect(op);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_EQ(batch->size(), expected_rows);
+  auto tuple = CollectTuples(op);
+  ASSERT_TRUE(tuple.ok()) << tuple.status();
+  EXPECT_EQ(*batch, *tuple);
+}
+
+TEST(BatchBoundaryTest, SingleRowStream) {
+  auto op = Rows({"a"}, IntRows(1));
+  ExpectBothPathsYield(op.get(), 1);
+}
+
+TEST(BatchBoundaryTest, ExactlyOneBatch) {
+  auto op = Rows({"a"}, IntRows(RowBatch::kDefaultRows));
+  ExpectBothPathsYield(op.get(), RowBatch::kDefaultRows);
+}
+
+TEST(BatchBoundaryTest, OneBatchPlusOne) {
+  auto op = Rows({"a"}, IntRows(RowBatch::kDefaultRows + 1));
+  ExpectBothPathsYield(op.get(), RowBatch::kDefaultRows + 1);
+}
+
+TEST(BatchBoundaryTest, EmptyRelation) {
+  auto op = Rows({"a"}, {});
+  ExpectBothPathsYield(op.get(), 0);
+  RowBatch batch;
+  ASSERT_TRUE(op->Open().ok());
+  auto more = op->NextBatch(&batch);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(BatchBoundaryTest, EmptyRelationThroughJoinAndFilter) {
+  auto join = std::make_unique<HashJoinOperator>(
+      Rows({"a"}, {}), Rows({"b"}, IntRows(10)),
+      std::vector<std::pair<size_t, size_t>>{{0, 0}});
+  ExpectBothPathsYield(join.get(), 0);
+  auto filter = std::make_unique<FilterOperator>(
+      Rows({"a"}, {}),
+      Expr::Binary(Expr::Op::kEq, Expr::Column(0), Expr::Const(Value::Int(1))));
+  ExpectBothPathsYield(filter.get(), 0);
+}
+
+TEST(BatchBoundaryTest, SelectionDropsWholeBatches) {
+  // 3 chunks of input; only the last row of the last chunk survives. A
+  // true NextBatch return must carry >= 1 row, so the filter has to loop
+  // past the all-dropped chunks instead of surfacing empty batches.
+  const int64_t n = 3 * static_cast<int64_t>(RowBatch::kDefaultRows);
+  auto filter = std::make_unique<FilterOperator>(
+      Rows({"a"}, IntRows(n)),
+      Expr::Binary(Expr::Op::kEq, Expr::Column(0),
+                   Expr::Const(Value::Int(n - 1))));
+  ASSERT_TRUE(filter->Open().ok());
+  RowBatch batch;
+  size_t rows = 0;
+  while (true) {
+    auto more = filter->NextBatch(&batch);
+    ASSERT_TRUE(more.ok()) << more.status();
+    if (!*more) break;
+    EXPECT_GE(batch.size(), 1u) << "true NextBatch return with 0 rows";
+    rows += batch.size();
+  }
+  EXPECT_EQ(rows, 1u);
+  ExpectBothPathsYield(filter.get(), 1);
+}
+
+TEST(BatchBoundaryTest, SelectionDropsEverything) {
+  const int64_t n = 2 * static_cast<int64_t>(RowBatch::kDefaultRows);
+  auto filter = std::make_unique<FilterOperator>(
+      Rows({"a"}, IntRows(n)),
+      Expr::Binary(Expr::Op::kLt, Expr::Column(0),
+                   Expr::Const(Value::Int(0))));
+  ExpectBothPathsYield(filter.get(), 0);
+}
+
+TEST(BatchBoundaryTest, JoinAcrossChunkBoundary) {
+  // Probe side spans two chunks; every probe row matches one build row.
+  const int64_t n = static_cast<int64_t>(RowBatch::kDefaultRows) + 7;
+  std::vector<Row> probe;
+  for (int64_t i = 0; i < n; ++i) {
+    probe.push_back({Value::Int(i % 50), Value::Int(i)});
+  }
+  auto join = std::make_unique<HashJoinOperator>(
+      Rows({"k"}, IntRows(50)), Rows({"k2", "v2"}, probe),
+      std::vector<std::pair<size_t, size_t>>{{0, 0}});
+  ExpectBothPathsYield(join.get(), static_cast<size_t>(n));
+}
+
+// ---------------------------------------- Batch-vs-tuple differential --
+// Seeded generator: random small tables composed under random operator
+// trees, every plan executed through both drains. The tuple path is the
+// oracle (the engine analogue of the chase kernel's
+// ForEachHomomorphismScan differential in TESTING.md).
+
+OperatorPtr RandomSource(Rng* rng, size_t* arity) {
+  *arity = 1 + rng->Uniform(3);
+  const size_t n = rng->Uniform(60);  // includes empty relations
+  std::vector<std::string> cols;
+  for (size_t c = 0; c < *arity; ++c) cols.push_back("c" + std::to_string(c));
+  std::vector<Row> rows;
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    for (size_t c = 0; c < *arity; ++c) {
+      // Small domain so joins and filters actually hit.
+      row.push_back(Value::Int(static_cast<int64_t>(rng->Uniform(8))));
+    }
+    rows.push_back(std::move(row));
+  }
+  return Rows(cols, rows);
+}
+
+OperatorPtr RandomTree(Rng* rng, int depth, size_t* arity) {
+  if (depth == 0) return RandomSource(rng, arity);
+  switch (rng->Uniform(6)) {
+    case 0: {  // Filter: random comparison against a small constant.
+      OperatorPtr in = RandomTree(rng, depth - 1, arity);
+      Expr::Op cmp = rng->Chance(0.5) ? Expr::Op::kEq : Expr::Op::kLt;
+      auto pred = Expr::Binary(
+          cmp, Expr::Column(rng->Uniform(*arity)),
+          Expr::Const(Value::Int(static_cast<int64_t>(rng->Uniform(8)))));
+      return std::make_unique<FilterOperator>(std::move(in), std::move(pred));
+    }
+    case 1: {  // Project: random column picks (possibly duplicated).
+      OperatorPtr in = RandomTree(rng, depth - 1, arity);
+      size_t out_arity = 1 + rng->Uniform(*arity);
+      std::vector<std::string> names;
+      std::vector<ExprPtr> exprs;
+      for (size_t c = 0; c < out_arity; ++c) {
+        names.push_back("p" + std::to_string(c));
+        exprs.push_back(Expr::Column(rng->Uniform(*arity)));
+      }
+      *arity = out_arity;
+      return std::make_unique<ProjectOperator>(std::move(in),
+                                               std::move(names),
+                                               std::move(exprs));
+    }
+    case 2: {  // HashJoin on one random key pair per side.
+      size_t la = 0, ra = 0;
+      OperatorPtr l = RandomTree(rng, depth - 1, &la);
+      OperatorPtr r = RandomTree(rng, depth - 1, &ra);
+      std::vector<std::pair<size_t, size_t>> keys{
+          {rng->Uniform(la), rng->Uniform(ra)}};
+      *arity = la + ra;
+      return std::make_unique<HashJoinOperator>(std::move(l), std::move(r),
+                                                std::move(keys));
+    }
+    case 3: {  // BindJoin against a deterministic synthetic target.
+      OperatorPtr in = RandomTree(rng, depth - 1, arity);
+      size_t bind_col = rng->Uniform(*arity);
+      BindJoinOperator::Fetch fetch =
+          [](const Row& binding) -> Result<std::vector<Row>> {
+        // 0 rows for odd keys, 2 rows for even: exercises both the
+        // no-match drop and the fan-out.
+        int64_t k = binding[0].int_value();
+        if (k % 2 == 1) return std::vector<Row>{};
+        return std::vector<Row>{{Value::Int(k * 10)}, {Value::Int(k * 10 + 1)}};
+      };
+      *arity += 1;
+      return std::make_unique<BindJoinOperator>(
+          std::move(in), std::vector<size_t>{bind_col},
+          std::vector<std::string>{"f"}, std::move(fetch), "synthetic");
+    }
+    case 4: {  // Distinct.
+      OperatorPtr in = RandomTree(rng, depth - 1, arity);
+      return std::make_unique<DistinctOperator>(std::move(in));
+    }
+    default: {  // Limit at a boundary-ish cut.
+      OperatorPtr in = RandomTree(rng, depth - 1, arity);
+      return std::make_unique<LimitOperator>(std::move(in),
+                                             rng->Uniform(40));
+    }
+  }
+}
+
+TEST(BatchDifferentialTest, TwoHundredSeededPlans) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    // Same seed -> same tree, built twice so each drain gets a fresh
+    // operator state even if an operator misbehaves across re-Opens.
+    size_t arity = 0;
+    Rng rng_a(seed);
+    OperatorPtr batch_tree = RandomTree(&rng_a, 1 + seed % 3, &arity);
+    Rng rng_b(seed);
+    OperatorPtr tuple_tree = RandomTree(&rng_b, 1 + seed % 3, &arity);
+
+    auto batch = Collect(batch_tree.get());
+    auto tuple = CollectTuples(tuple_tree.get());
+    ASSERT_EQ(batch.ok(), tuple.ok()) << "seed " << seed;
+    if (!batch.ok()) continue;
+    ASSERT_EQ(*batch, *tuple)
+        << "seed " << seed << ": batch path returned " << batch->size()
+        << " row(s), tuple oracle " << tuple->size();
+  }
 }
 
 TEST(OperatorTest, PlanToStringShowsTree) {

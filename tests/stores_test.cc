@@ -6,6 +6,7 @@
 #include "stores/document_store.h"
 #include "stores/fault.h"
 #include "stores/kv_store.h"
+#include "stores/open_hash.h"
 #include "stores/parallel_store.h"
 #include "stores/relational_store.h"
 #include "stores/text_store.h"
@@ -752,6 +753,123 @@ TEST(StoreStatsGuardTest, StatsAreChargedWhenProvided) {
   ASSERT_TRUE(kv.Get("c", "k", &stats).ok());
   EXPECT_GT(stats.operations, 0u);
   EXPECT_GT(stats.simulated_cost, 0.0);
+}
+
+// ----------------------------------------------------------- OpenHashMap --
+
+TEST(OpenHashMapTest, PutFindEraseRoundTrip) {
+  OpenHashMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_TRUE(map.Put("a", "1"));
+  EXPECT_FALSE(map.Put("a", "2"));  // upsert, not a new key
+  ASSERT_NE(map.Find("a"), nullptr);
+  EXPECT_EQ(*map.Find("a"), "2");
+  EXPECT_EQ(map.Find("missing"), nullptr);
+  EXPECT_TRUE(map.Erase("a"));
+  EXPECT_FALSE(map.Erase("a"));
+  EXPECT_EQ(map.Find("a"), nullptr);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(OpenHashMapTest, TombstoneSlotIsReused) {
+  OpenHashMap map;
+  map.Put("k", "v1");
+  map.Erase("k");
+  // Re-inserting after the erase must land through the tombstone and the
+  // lookup must find the live slot again.
+  EXPECT_TRUE(map.Put("k", "v2"));
+  ASSERT_NE(map.Find("k"), nullptr);
+  EXPECT_EQ(*map.Find("k"), "v2");
+  EXPECT_TRUE(map.Verify().ok());
+}
+
+TEST(OpenHashMapTest, GrowthPreservesAllKeys) {
+  OpenHashMap map;
+  constexpr int kN = 5000;  // forces several rehashes from the default size
+  for (int i = 0; i < kN; ++i) {
+    map.Put(StrCat("key", i), StrCat("val", i));
+  }
+  EXPECT_EQ(map.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    const std::string* v = map.Find(StrCat("key", i));
+    ASSERT_NE(v, nullptr) << "key" << i;
+    EXPECT_EQ(*v, StrCat("val", i));
+  }
+  EXPECT_TRUE(map.Verify().ok());
+}
+
+TEST(OpenHashMapTest, BulkLoadInsertsAndVerifies) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 2000; ++i) {
+    entries.emplace_back(StrCat("k", i), StrCat("v", i));
+  }
+  // Duplicate key: last one wins, not counted as a new insert.
+  entries.emplace_back("k0", "overwritten");
+  OpenHashMap map;
+  EXPECT_EQ(map.BulkLoad(entries), 2000u);
+  EXPECT_EQ(map.size(), 2000u);
+  ASSERT_NE(map.Find("k0"), nullptr);
+  EXPECT_EQ(*map.Find("k0"), "overwritten");
+  EXPECT_TRUE(map.Verify().ok());
+}
+
+TEST(OpenHashMapTest, ForEachVisitsEveryLiveEntry) {
+  OpenHashMap map;
+  for (int i = 0; i < 100; ++i) map.Put(StrCat("k", i), "v");
+  for (int i = 0; i < 100; i += 2) map.Erase(StrCat("k", i));
+  size_t seen = 0;
+  map.ForEach([&](const std::string& key, const std::string&) {
+    ++seen;
+    EXPECT_EQ(map.Find(key) != nullptr, true);
+  });
+  EXPECT_EQ(seen, 50u);
+}
+
+TEST(OpenHashMapTest, ChurnKeepsProbeSequencesSound) {
+  // Interleaved insert/erase churn accumulates tombstones; Verify must
+  // stay green through growth triggered by used (live + tombstone) load.
+  OpenHashMap map;
+  Rng rng(7);
+  std::map<std::string, std::string> model;
+  for (int step = 0; step < 20000; ++step) {
+    std::string key = StrCat("k", rng.Uniform(500));
+    if (rng.Chance(0.4)) {
+      map.Erase(key);
+      model.erase(key);
+    } else {
+      std::string val = StrCat("v", step);
+      map.Put(key, val);
+      model[key] = val;
+    }
+  }
+  EXPECT_EQ(map.size(), model.size());
+  for (const auto& [key, val] : model) {
+    const std::string* got = map.Find(key);
+    ASSERT_NE(got, nullptr) << key;
+    EXPECT_EQ(*got, val);
+  }
+  EXPECT_TRUE(map.Verify().ok());
+}
+
+TEST(KeyValueStoreTest, BulkLoadMatchesPutCharges) {
+  // BulkLoad must charge exactly what k singleton Puts charge, so cost
+  // gates watching simulated cost cannot drift when loaders switch over.
+  KeyValueStore a, b;
+  ASSERT_TRUE(a.CreateCollection("c").ok());
+  ASSERT_TRUE(b.CreateCollection("c").ok());
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 50; ++i) entries.emplace_back(StrCat("k", i), "v");
+  ASSERT_TRUE(a.BulkLoad("c", entries).ok());
+  for (const auto& [k, v] : entries) ASSERT_TRUE(b.Put("c", k, v).ok());
+  // One batched charge vs 50 incremental ones: identical up to FP
+  // accumulation order.
+  EXPECT_NEAR(a.lifetime_stats().simulated_cost,
+              b.lifetime_stats().simulated_cost, 1e-9);
+  for (const auto& [k, v] : entries) {
+    auto got = a.Get("c", k);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
 }
 
 }  // namespace
