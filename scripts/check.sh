@@ -29,16 +29,16 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "$JOBS")
 
-echo "== TSan: build engine_test + runtime_test + stores_test + migration_test + tuner_test + replication_test + scaleout_test =="
+echo "== TSan: build engine_test + runtime_test + stores_test + migration_test + tuner_test + replication_test + scaleout_test + graph_test =="
 cmake -B build-tsan -S . -DESTOCADA_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target engine_test runtime_test stores_test migration_test tuner_test \
-  replication_test scaleout_test
+  replication_test scaleout_test graph_test
 
 echo "== TSan: run =="
 (cd build-tsan/tests && ./engine_test && ./runtime_test && ./stores_test \
   && ./migration_test && ./tuner_test && ./replication_test \
-  && ./scaleout_test)
+  && ./scaleout_test && ./graph_test)
 
 echo "== ASan+UBSan: build failure_test + runtime_test + stores_test =="
 cmake -B build-asan -S . -DESTOCADA_SANITIZE=address >/dev/null

@@ -32,11 +32,15 @@ stores::CostProfile CostModel::BlueprintProfile(catalog::StoreKind kind) {
     case catalog::StoreKind::kParallel:
       return {/*per_operation=*/60.0, /*per_row_scanned=*/0.01,
               /*per_index_lookup=*/0.6, /*per_row_returned=*/0.05};
+    case catalog::StoreKind::kGraph:
+      return {/*per_operation=*/6.0, /*per_row_scanned=*/0.04,
+              /*per_index_lookup=*/0.2, /*per_row_returned=*/0.06};
     case catalog::StoreKind::kRelational:
-    default:
       return {/*per_operation=*/25.0, /*per_row_scanned=*/0.05,
               /*per_index_lookup=*/0.8, /*per_row_returned=*/0.05};
   }
+  return {/*per_operation=*/25.0, /*per_row_scanned=*/0.05,
+          /*per_index_lookup=*/0.8, /*per_row_returned=*/0.05};
 }
 
 double CostModel::PredictProbeCost(catalog::StoreKind kind, double mean_rows) {

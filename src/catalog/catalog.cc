@@ -18,6 +18,8 @@ const char* StoreKindName(StoreKind kind) {
       return "parallel";
     case StoreKind::kText:
       return "text";
+    case StoreKind::kGraph:
+      return "graph";
   }
   return "?";
 }
@@ -49,7 +51,7 @@ Status Catalog::RegisterStore(StoreHandle handle) {
   }
   int set = (handle.relational != nullptr) + (handle.kv != nullptr) +
             (handle.document != nullptr) + (handle.parallel != nullptr) +
-            (handle.text != nullptr);
+            (handle.text != nullptr) + (handle.graph != nullptr);
   if (set != 1) {
     return Status::InvalidArgument(
         StrCat("store '", handle.name,
@@ -63,7 +65,8 @@ Status Catalog::RegisterStore(StoreHandle handle) {
                   handle.document != nullptr) ||
                  (handle.kind == StoreKind::kParallel &&
                   handle.parallel != nullptr) ||
-                 (handle.kind == StoreKind::kText && handle.text != nullptr);
+                 (handle.kind == StoreKind::kText && handle.text != nullptr) ||
+                 (handle.kind == StoreKind::kGraph && handle.graph != nullptr);
   if (!matches) {
     return Status::InvalidArgument(
         StrCat("store '", handle.name, "': pointer does not match kind ",

@@ -11,6 +11,7 @@
 #include "pacb/view.h"
 #include "pivot/schema.h"
 #include "stores/document_store.h"
+#include "stores/graph_store.h"
 #include "stores/kv_store.h"
 #include "stores/parallel_store.h"
 #include "stores/relational_store.h"
@@ -25,6 +26,14 @@ enum class StoreKind {
   kDocument,
   kParallel,
   kText,
+  kGraph,
+};
+
+/// Every StoreKind value, for code that must cover all kinds (tests,
+/// sweeps). Kept in enum order.
+inline constexpr StoreKind kAllStoreKinds[] = {
+    StoreKind::kRelational, StoreKind::kKeyValue, StoreKind::kDocument,
+    StoreKind::kParallel,   StoreKind::kText,     StoreKind::kGraph,
 };
 
 const char* StoreKindName(StoreKind kind);
@@ -39,6 +48,8 @@ struct StoreHandle {
   stores::DocumentStore* document = nullptr;
   stores::ParallelStore* parallel = nullptr;
   stores::TextStore* text = nullptr;
+  /// Appended last so existing five-pointer braced initializers stay valid.
+  stores::GraphStore* graph = nullptr;
 };
 
 /// Per-fragment statistics driving the cost model ("statistics it gathers

@@ -257,6 +257,74 @@ Result<Schema> NestedEncoding(const std::string& dataset,
   return s;
 }
 
+Result<Schema> GraphEncoding(const std::string& dataset, size_t max_hops) {
+  if (max_hops < 1) {
+    return Status::InvalidArgument("graph encoding needs max_hops >= 1");
+  }
+  Schema s;
+  auto rel = [&dataset](const std::string& r) {
+    return StrCat(dataset, ".", r);
+  };
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(RelationSignature{
+      rel("Node"), {"id", "label"}, {}, {0}}));
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(RelationSignature{
+      rel("Edge"), {"src", "label", "dst"}, {}, {}}));
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(RelationSignature{
+      rel("NodeProp"), {"id", "key", "value"}, {}, {0, 1}}));
+  ESTOCADA_RETURN_NOT_OK(s.AddRelation(RelationSignature{
+      rel("EdgeProp"), {"src", "label", "dst", "key", "value"}, {}, {}}));
+  for (size_t j = 1; j <= max_hops; ++j) {
+    ESTOCADA_RETURN_NOT_OK(s.AddRelation(RelationSignature{
+        rel(StrCat("Reach", j)), {"src", "dst"}, {}, {}}));
+  }
+  // Bounded-reachability axioms: one stratum per hop count, so the
+  // "closure" is a finite TGD chain, not a recursive rule — weakly
+  // acyclic, hence chase-terminating.
+  std::string axioms =
+      StrCat(rel("Edge"), "(s, l, d) -> ", rel("Reach1"), "(s, d)\n");
+  for (size_t j = 1; j < max_hops; ++j) {
+    axioms += StrCat(rel(StrCat("Reach", j)), "(a, b), ", rel("Edge"),
+                     "(b, l, c) -> ", rel(StrCat("Reach", j + 1)), "(a, c)\n");
+    axioms += StrCat(rel(StrCat("Reach", j)), "(a, b) -> ",
+                     rel(StrCat("Reach", j + 1)), "(a, b)\n");
+  }
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Dependency> deps,
+                            pivot::ParseDependencies(axioms));
+  for (Dependency& d : deps) s.AddDependency(std::move(d));
+  // Key EGDs.
+  AddFunctionalEgd(&s, rel("Node"), 2, {0}, 1, StrCat(rel("Node"), ":label"));
+  AddFunctionalEgd(&s, rel("NodeProp"), 3, {0, 1}, 2,
+                   StrCat(rel("NodeProp"), ":value"));
+  AddFunctionalEgd(&s, rel("EdgeProp"), 5, {0, 1, 2, 3}, 4,
+                   StrCat(rel("EdgeProp"), ":value"));
+  return s;
+}
+
+std::vector<Atom> ShredGraph(const std::string& dataset,
+                             const GraphData& graph) {
+  std::vector<Atom> out;
+  auto rel = [&dataset](const char* r) { return StrCat(dataset, ".", r); };
+  for (const GraphData::Node& n : graph.nodes) {
+    out.push_back(
+        Atom(rel("Node"), {Term::Str(n.id), Term::Str(n.label)}));
+    for (const auto& [key, value] : n.props) {
+      out.push_back(Atom(rel("NodeProp"), {Term::Str(n.id), Term::Str(key),
+                                           Term::Const(value)}));
+    }
+  }
+  for (const GraphData::Edge& e : graph.edges) {
+    out.push_back(Atom(rel("Edge"), {Term::Str(e.src), Term::Str(e.label),
+                                     Term::Str(e.dst)}));
+    for (const auto& [key, value] : e.props) {
+      out.push_back(Atom(rel("EdgeProp"),
+                         {Term::Str(e.src), Term::Str(e.label),
+                          Term::Str(e.dst), Term::Str(key),
+                          Term::Const(value)}));
+    }
+  }
+  return out;
+}
+
 Result<Schema> TextEncoding(const std::string& dataset,
                             const std::string& core) {
   Schema s;

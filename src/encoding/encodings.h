@@ -73,6 +73,49 @@ Result<pivot::Schema> NestedEncoding(const std::string& dataset,
 Result<pivot::Schema> TextEncoding(const std::string& dataset,
                                    const std::string& core);
 
+/// Property-graph model: pivot relations
+///   "<dataset>.Node"(id, label)
+///   "<dataset>.Edge"(src, label, dst)
+///   "<dataset>.NodeProp"(id, key, value)
+///   "<dataset>.EdgeProp"(src, label, dst, key, value)
+/// plus bounded-reachability relations "<dataset>.Reach<j>"(src, dst) for
+/// j = 1..max_hops with the axioms
+///   Edge(s,l,d) → Reach1(s,d)
+///   Reach_j(a,b), Edge(b,l,c) → Reach_{j+1}(a,c)
+///   Reach_j(a,b) → Reach_{j+1}(a,b)
+/// so Reach_j means "reachable in at most j hops". The fixed hop bound
+/// stratifies what would otherwise be a recursive transitive closure:
+/// the TGD set is weakly acyclic and the chase terminates under the
+/// existing bound. Key EGDs: a node has one label; NodeProp values are
+/// functional in (id, key); EdgeProp values in (src, label, dst, key).
+Result<pivot::Schema> GraphEncoding(const std::string& dataset,
+                                    size_t max_hops);
+
+/// A property graph to shred: labeled nodes and edges, each with an
+/// optional property map.
+struct GraphData {
+  struct Node {
+    std::string id;
+    std::string label;
+    std::vector<std::pair<std::string, pivot::Constant>> props;
+  };
+  struct Edge {
+    std::string src;
+    std::string label;
+    std::string dst;
+    std::vector<std::pair<std::string, pivot::Constant>> props;
+  };
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+};
+
+/// Shreds a property graph into pivot facts (Node, Edge, NodeProp,
+/// EdgeProp) for `GraphEncoding`. Reach facts are *not* emitted (they
+/// follow from the axioms via the chase); callers chase — or
+/// BFS-complete — when they need them.
+std::vector<pivot::Atom> ShredGraph(const std::string& dataset,
+                                    const GraphData& graph);
+
 }  // namespace estocada::encoding
 
 #endif  // ESTOCADA_ENCODING_ENCODINGS_H_

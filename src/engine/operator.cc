@@ -141,6 +141,43 @@ Result<bool> CallbackScanOperator::NextBatch(RowBatch* out) {
   return EmitSlice(rows_, &pos_, columns_.size(), /*may_move=*/true, out);
 }
 
+GraphFetchOperator::GraphFetchOperator(std::vector<std::string> columns,
+                                       ChunkReset reset, ChunkFetch fetch,
+                                       std::string label)
+    : columns_(std::move(columns)),
+      reset_(std::move(reset)),
+      fetch_(std::move(fetch)),
+      label_(std::move(label)) {}
+
+Status GraphFetchOperator::Open() {
+  buffer_.clear();
+  pos_ = 0;
+  done_ = false;
+  return reset_();
+}
+
+Status GraphFetchOperator::Refill() {
+  while (!done_ && pos_ >= buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+    ESTOCADA_ASSIGN_OR_RETURN(bool more, fetch_(&buffer_));
+    if (!more) done_ = true;
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Row>> GraphFetchOperator::Next() {
+  ESTOCADA_RETURN_NOT_OK(Refill());
+  if (pos_ >= buffer_.size()) return std::optional<Row>();
+  return std::optional<Row>(buffer_[pos_++]);
+}
+
+Result<bool> GraphFetchOperator::NextBatch(RowBatch* out) {
+  ESTOCADA_RETURN_NOT_OK(Refill());
+  // One store page per batch; rows can be moved (Open resets the cursor).
+  return EmitSlice(buffer_, &pos_, columns_.size(), /*may_move=*/true, out);
+}
+
 ScatterGatherOperator::ScatterGatherOperator(std::vector<std::string> columns,
                                              std::vector<Fetch> shard_fetches,
                                              std::vector<std::string> shard_keys,

@@ -113,6 +113,43 @@ class CallbackScanOperator final : public Operator {
   size_t pos_ = 0;
 };
 
+/// Streaming source for graph-store accesses: every NextBatch pulls one
+/// page of rows from the store through `fetch` (paged neighbor expansion
+/// / pattern match via GraphStore::MatchPage), so a large expansion is
+/// never materialized inside the operator — the plan consumes it
+/// batch-at-a-time straight off the adjacency indexes. The engine stays
+/// store-agnostic: `fetch`/`reset` are closures the translator builds.
+class GraphFetchOperator final : public Operator {
+ public:
+  /// Appends the next page of rows to `out` (already cleared); returns
+  /// true while more pages may remain. A true return may carry zero rows
+  /// (residual filtering ate the whole page) — the operator keeps
+  /// pulling until rows arrive or the stream ends.
+  using ChunkFetch = std::function<Result<bool>(std::vector<Row>* out)>;
+  /// Restarts the store-side cursor; called by every Open.
+  using ChunkReset = std::function<Status()>;
+
+  GraphFetchOperator(std::vector<std::string> columns, ChunkReset reset,
+                     ChunkFetch fetch, std::string label);
+  Status Open() override;
+  Result<std::optional<Row>> Next() override;
+  Result<bool> NextBatch(RowBatch* out) override;
+  std::vector<std::string> columns() const override { return columns_; }
+  std::string label() const override { return label_; }
+
+ private:
+  /// Pulls pages until the buffer holds unserved rows or the stream ends.
+  Status Refill();
+
+  std::vector<std::string> columns_;
+  ChunkReset reset_;
+  ChunkFetch fetch_;
+  std::string label_;
+  std::vector<Row> buffer_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
 /// Scatter-gather source over a partitioned fragment: one fetch closure
 /// per shard, all invoked at Open. With a `pool`, fetches fan out as
 /// concurrent tasks — fetches sharing a `shard_key` (the backing store

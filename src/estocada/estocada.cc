@@ -561,6 +561,76 @@ Status Estocada::LoadTreeDocument(const std::string& dataset,
   return Status::OK();
 }
 
+Status Estocada::RegisterGraphDataset(const std::string& dataset,
+                                      size_t max_hops) {
+  if (graph_hop_bounds_.count(dataset)) {
+    return Status::AlreadyExists(
+        StrCat("graph dataset '", dataset, "' already registered"));
+  }
+  ESTOCADA_ASSIGN_OR_RETURN(pivot::Schema schema,
+                            encoding::GraphEncoding(dataset, max_hops));
+  ESTOCADA_RETURN_NOT_OK(RegisterSchema(schema));
+  graph_hop_bounds_[dataset] = max_hops;
+  return Status::OK();
+}
+
+Status Estocada::LoadGraph(const std::string& dataset,
+                           const encoding::GraphData& graph) {
+  auto bound_it = graph_hop_bounds_.find(dataset);
+  if (bound_it == graph_hop_bounds_.end()) {
+    return Status::NotFound(
+        StrCat("'", dataset, "' is not a registered graph dataset"));
+  }
+  const size_t max_hops = bound_it->second;
+  for (const pivot::Atom& a : encoding::ShredGraph(dataset, graph)) {
+    Row row;
+    row.reserve(a.terms.size());
+    for (const pivot::Term& t : a.terms) {
+      row.push_back(Value::FromConstant(t.constant()));
+    }
+    staging_[a.relation].rows.push_back(std::move(row));
+  }
+  // Recompute Reach1..ReachK over the full staged edge set (LoadGraph may
+  // be called repeatedly, and later loads can shorten paths between nodes
+  // staged earlier). The graph axioms would derive the same facts by
+  // chasing; staging them directly makes bounded paths first-class
+  // queryable relations — the same trick LoadTreeDocument plays for Desc.
+  std::map<Value, std::vector<Value>> adjacency;
+  for (const Row& edge : staging_[StrCat(dataset, ".Edge")].rows) {
+    adjacency[edge[0]].push_back(edge[2]);
+  }
+  for (size_t j = 1; j <= max_hops; ++j) {
+    staging_[StrCat(dataset, ".Reach", j)].rows.clear();
+  }
+  for (const auto& [src, direct] : adjacency) {
+    // Bounded BFS: dist[n] = fewest hops from src (1..max_hops).
+    std::map<Value, size_t> dist;
+    std::vector<Value> frontier;
+    for (const Value& n : direct) {
+      if (dist.emplace(n, 1).second) frontier.push_back(n);
+    }
+    for (size_t hops = 2; hops <= max_hops && !frontier.empty(); ++hops) {
+      std::vector<Value> next;
+      for (const Value& n : frontier) {
+        auto it = adjacency.find(n);
+        if (it == adjacency.end()) continue;
+        for (const Value& m : it->second) {
+          if (dist.emplace(m, hops).second) next.push_back(m);
+        }
+      }
+      frontier = std::move(next);
+    }
+    // Reach_j means "reachable in at most j hops": a node first seen at
+    // distance d appears in every Reach_j with j >= d.
+    for (const auto& [dst, d] : dist) {
+      for (size_t j = d; j <= max_hops; ++j) {
+        staging_[StrCat(dataset, ".Reach", j)].rows.push_back({src, dst});
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status Estocada::InsertRow(const std::string& relation, Row row) {
   ESTOCADA_RETURN_NOT_OK(LoadRow(relation, row));
   return rewriting::MaintainFragmentsOnInsert(staging_, &catalog_, relation,
@@ -614,6 +684,15 @@ Result<Estocada::QueryResult> Estocada::QueryDocFind(
   ESTOCADA_ASSIGN_OR_RETURN(
       pivot::ConjunctiveQuery q,
       frontend::DocFindToCq(spec, catalog_.dataset_schema()));
+  return RunQuery(q, parameters);
+}
+
+Result<Estocada::QueryResult> Estocada::QueryGraphMatch(
+    const frontend::GraphMatchSpec& spec,
+    const std::map<std::string, Value>& parameters) {
+  ESTOCADA_ASSIGN_OR_RETURN(
+      pivot::ConjunctiveQuery q,
+      frontend::GraphMatchToCq(spec, catalog_.dataset_schema()));
   return RunQuery(q, parameters);
 }
 

@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "encoding/encodings.h"
 #include "frontend/docfind.h"
+#include "frontend/gmatch.h"
 #include "frontend/sql.h"
 #include "json/json.h"
 #include "pacb/rewriter.h"
@@ -81,6 +82,22 @@ class Estocada {
   Status LoadTreeDocument(const std::string& dataset,
                           const std::string& doc_id,
                           const json::JsonValue& document);
+
+  /// Registers a dataset in the property-graph encoding (§III applied to
+  /// graphs): relations <dataset>.Node/Edge/NodeProp/EdgeProp plus the
+  /// bounded-reachability relations Reach1..Reach<max_hops> and their
+  /// axioms. The hop bound is remembered so LoadGraph can complete the
+  /// Reach relations at load time.
+  Status RegisterGraphDataset(const std::string& dataset, size_t max_hops);
+
+  /// Shreds a property graph into pivot facts and stages them. Reach
+  /// facts are completed up to the dataset's hop bound (a bounded BFS
+  /// over the full staged edge set), so bounded-path queries are
+  /// answerable through fragments without chasing at runtime — the same
+  /// trick LoadTreeDocument plays for Desc. May be called several times
+  /// per dataset; Reach is recomputed over all staged edges each call.
+  Status LoadGraph(const std::string& dataset,
+                   const encoding::GraphData& graph);
 
   // ------------------------------------------------ Incremental updates --
 
@@ -338,6 +355,10 @@ class Estocada {
   /// Key-based access for key-value-shaped relations:
   Result<QueryResult> QueryKeyLookup(const std::string& relation,
                                      const engine::Value& key);
+  /// Graph pattern matching (MATCH-style) for property-graph datasets:
+  Result<QueryResult> QueryGraphMatch(
+      const frontend::GraphMatchSpec& spec,
+      const std::map<std::string, engine::Value>& parameters = {});
 
   /// Post-combination operations of the (optional) GAV layer the paper
   /// sketches: algebraic operators applied *on top of* individually
@@ -487,6 +508,8 @@ class Estocada {
   mutable advisor::WorkloadLog workload_log_;
   /// Registered document collections: "<dataset>.<collection>" -> paths.
   std::map<std::string, std::vector<encoding::DocumentPath>> doc_collections_;
+  /// Registered graph datasets: dataset -> the encoding's hop bound.
+  std::map<std::string, size_t> graph_hop_bounds_;
   uint64_t next_doc_id_ = 0;
 };
 

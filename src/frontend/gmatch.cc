@@ -1,0 +1,148 @@
+#include "frontend/gmatch.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "pivot/parser.h"
+
+namespace estocada::frontend {
+
+using pivot::Atom;
+using pivot::ConjunctiveQuery;
+using pivot::Term;
+
+namespace {
+
+/// Parses a property value in pivot literal syntax (or a $parameter) via
+/// a throwaway atom — the same guard docfind uses, so malformed values
+/// are rejected instead of smuggled into the query body.
+Result<Term> ParseLiteral(const std::string& value) {
+  ESTOCADA_ASSIGN_OR_RETURN(std::vector<Atom> parsed,
+                            pivot::ParseAtomList(StrCat("X(", value, ")")));
+  if (parsed.size() != 1 || parsed[0].terms.size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("property value '", value,
+               "' must be a single literal or $parameter"));
+  }
+  const Term& v = parsed[0].terms[0];
+  if (v.is_variable() && v.var_name()[0] != '$') {
+    return Status::InvalidArgument(
+        StrCat("property value '", value,
+               "' must be a literal or a $parameter"));
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> GraphMatchToCq(const GraphMatchSpec& spec,
+                                        const pivot::Schema& schema,
+                                        std::string query_name) {
+  if (spec.dataset.empty()) {
+    return Status::InvalidArgument("GraphMatchSpec needs a dataset");
+  }
+  auto rel = [&spec](const std::string& r) {
+    return StrCat(spec.dataset, ".", r);
+  };
+  if (!schema.HasRelation(rel("Node"))) {
+    return Status::NotFound(
+        StrCat("'", spec.dataset, "' is not a registered graph dataset (no ",
+               rel("Node"), " relation)"));
+  }
+  ConjunctiveQuery q;
+  q.name = std::move(query_name);
+
+  size_t fresh = 0;
+  auto fresh_var = [&fresh]() { return Term::Var(StrCat("_g", fresh++)); };
+
+  // One Node atom per declared pattern; the binding variable is the id.
+  std::set<std::string> declared;
+  // "var.key" -> value variable, shared between repeated returns. Filter
+  // constants are NOT shared in: a returned property always gets its own
+  // value variable and NodeProp atom (the key EGD keeps them consistent).
+  std::map<std::string, Term> prop_value;
+  for (const GraphMatchSpec::NodePattern& n : spec.nodes) {
+    if (n.var.empty()) {
+      return Status::InvalidArgument("node pattern needs a variable name");
+    }
+    if (!declared.insert(n.var).second) {
+      return Status::InvalidArgument(
+          StrCat("node variable '", n.var, "' declared twice"));
+    }
+    Term id = Term::Var(n.var);
+    Term label = n.label.empty() ? fresh_var() : Term::Str(n.label);
+    q.body.push_back(Atom(rel("Node"), {id, label}));
+    for (const auto& [key, value] : n.props) {
+      ESTOCADA_ASSIGN_OR_RETURN(Term v, ParseLiteral(value));
+      q.body.push_back(Atom(rel("NodeProp"), {id, Term::Str(key), v}));
+    }
+  }
+
+  for (const GraphMatchSpec::EdgePattern& e : spec.edges) {
+    if (!declared.count(e.src_var) || !declared.count(e.dst_var)) {
+      return Status::InvalidArgument(
+          StrCat("edge ", e.src_var, " -> ", e.dst_var,
+                 " references an undeclared node variable"));
+    }
+    Term src = Term::Var(e.src_var);
+    Term dst = Term::Var(e.dst_var);
+    if (e.max_hops == 1) {
+      Term label = e.label.empty() ? fresh_var() : Term::Str(e.label);
+      q.body.push_back(Atom(rel("Edge"), {src, label, dst}));
+      for (const auto& [key, value] : e.props) {
+        ESTOCADA_ASSIGN_OR_RETURN(Term v, ParseLiteral(value));
+        q.body.push_back(
+            Atom(rel("EdgeProp"), {src, label, dst, Term::Str(key), v}));
+      }
+    } else {
+      if (!e.label.empty() || !e.props.empty()) {
+        return Status::InvalidArgument(
+            StrCat("bounded path ", e.src_var, " -*1..", e.max_hops, "-> ",
+                   e.dst_var,
+                   " cannot carry a label or properties (the encoding's "
+                   "reachability is label-agnostic)"));
+      }
+      std::string reach = rel(StrCat("Reach", e.max_hops));
+      if (!schema.HasRelation(reach)) {
+        return Status::NotFound(
+            StrCat("bounded path needs ", reach,
+                   "; the dataset's graph encoding was registered with a "
+                   "smaller hop bound"));
+      }
+      q.body.push_back(Atom(reach, {src, dst}));
+    }
+  }
+
+  for (const std::string& ret : spec.returns) {
+    size_t dot = ret.find('.');
+    if (dot == std::string::npos) {
+      if (!declared.count(ret)) {
+        return Status::InvalidArgument(
+            StrCat("return '", ret, "' is not a declared node variable"));
+      }
+      q.head.push_back(Term::Var(ret));
+      continue;
+    }
+    std::string var = ret.substr(0, dot);
+    std::string key = ret.substr(dot + 1);
+    if (!declared.count(var)) {
+      return Status::InvalidArgument(
+          StrCat("return '", ret, "' is not a declared node variable"));
+    }
+    auto [it, inserted] =
+        prop_value.emplace(ret, Term::Var(StrCat("v_", var, "_", key)));
+    if (inserted) {
+      q.body.push_back(Atom(
+          rel("NodeProp"), {Term::Var(var), Term::Str(key), it->second}));
+    }
+    q.head.push_back(it->second);
+  }
+  if (q.head.empty()) {
+    return Status::InvalidArgument("GraphMatchSpec needs at least one return");
+  }
+  ESTOCADA_RETURN_NOT_OK(q.Validate());
+  return q;
+}
+
+}  // namespace estocada::frontend

@@ -1,0 +1,63 @@
+#ifndef ESTOCADA_FRONTEND_GMATCH_H_
+#define ESTOCADA_FRONTEND_GMATCH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "pivot/query.h"
+#include "pivot/schema.h"
+
+namespace estocada::frontend {
+
+/// The graph-native query API (a small Cypher-flavoured MATCH): node
+/// patterns with labels and property equality, labeled edge patterns,
+/// and `*1..k` bounded-length paths. Translates to a pivot CQ over the
+/// dataset's encoding::GraphEncoding relations — one Node atom per
+/// declared node, NodeProp/EdgeProp atoms per property filter, an Edge
+/// atom per single-hop edge, and a Reach<k> atom per bounded path.
+///
+///   GraphMatchSpec spec;
+///   spec.dataset = "soc";
+///   spec.nodes = {{"a", "User", {{"country", "'fr'"}}},
+///                 {"b", "User", {}}};
+///   spec.edges = {{"a", "follows", "b", {}, 1}};     // a -[follows]-> b
+///   spec.edges.push_back({"b", "", "c", {}, 3});     // b -*1..3-> c
+///   spec.returns = {"b", "b.name"};
+///
+/// Property values use pivot literal syntax ('str', 42, 2.5, true, null)
+/// or a $parameter. `returns` entries are node variables (their ids) or
+/// "var.key" (a node property value). The head lists them in order.
+struct GraphMatchSpec {
+  std::string dataset;
+  struct NodePattern {
+    std::string var;    ///< Binding name; shared across patterns.
+    std::string label;  ///< Required label; "" matches any.
+    /// Property equality filters: key = pivot literal or $param.
+    std::vector<std::pair<std::string, std::string>> props;
+  };
+  struct EdgePattern {
+    std::string src_var;
+    std::string label;  ///< Edge label; "" matches any. Single-hop only.
+    std::string dst_var;
+    /// Edge property equality filters (single-hop only).
+    std::vector<std::pair<std::string, std::string>> props;
+    /// 1 = a direct Edge atom; k > 1 = a bounded path of at most k hops
+    /// (a Reach<k> atom — label/props must then be empty, the encoding's
+    /// reachability is label-agnostic). k must not exceed the max_hops
+    /// the dataset's GraphEncoding registered.
+    size_t max_hops = 1;
+  };
+  std::vector<NodePattern> nodes;
+  std::vector<EdgePattern> edges;
+  std::vector<std::string> returns;
+};
+
+Result<pivot::ConjunctiveQuery> GraphMatchToCq(const GraphMatchSpec& spec,
+                                               const pivot::Schema& schema,
+                                               std::string query_name = "q");
+
+}  // namespace estocada::frontend
+
+#endif  // ESTOCADA_FRONTEND_GMATCH_H_

@@ -179,6 +179,14 @@ Status LoadText(stores::TextStore* store, const StorageDescriptor& desc,
   return Status::OK();
 }
 
+Status LoadGraph(stores::GraphStore* store, const std::string& container,
+                 const std::vector<Row>& rows, size_t arity) {
+  // Adjacency indexes (first/last position, labeled composites) are
+  // built-in; declared index_positions need no extra work.
+  ESTOCADA_RETURN_NOT_OK(store->CreateGraph(container, arity));
+  return store->InsertBatch(container, rows);
+}
+
 /// Dispatches a Load* call for the store kind (creation + bulk load +
 /// indexes) into one replica's container. `rows` may be empty: the
 /// container is then created with open column types, ready for appends.
@@ -196,6 +204,8 @@ Status LoadFragment(const StoreHandle& store, const StorageDescriptor& desc,
       return LoadParallel(store.parallel, desc, container, rows, arity);
     case StoreKind::kText:
       return LoadText(store.text, desc, container, rows, arity);
+    case StoreKind::kGraph:
+      return LoadGraph(store.graph, container, rows, arity);
   }
   return Status::Internal("unknown store kind");
 }
@@ -233,6 +243,8 @@ Status DropContainer(const StoreHandle& store, const std::string& container) {
       return store.parallel->DropRelation(container);
     case StoreKind::kText:
       return store.text->DropCore(container);
+    case StoreKind::kGraph:
+      return store.graph->DropGraph(container);
   }
   return Status::Internal("unknown store kind");
 }
@@ -389,6 +401,9 @@ Status AppendRowsToContainer(const StoreHandle& store,
       break;
     case StoreKind::kText:
       return Status::Unsupported("text fragments are rebuilt, not appended");
+    case StoreKind::kGraph:
+      ESTOCADA_RETURN_NOT_OK(store.graph->InsertBatch(container, rows));
+      break;
   }
   return Status::OK();
 }
@@ -582,6 +597,8 @@ Result<std::vector<Row>> ReadContainerRows(const StoreHandle& store,
       return Status::Unsupported(
           "text fragments fuse terms per document; row readback is lossy — "
           "use VerifyFragmentAgainstRows");
+    case StoreKind::kGraph:
+      return store.graph->Scan(container);
   }
   return Status::Internal("unknown store kind");
 }
@@ -697,6 +714,8 @@ Result<Row> CanonRowForKind(StoreKind kind, const Row& row) {
     }
     case StoreKind::kParallel:
     case StoreKind::kText:
+    case StoreKind::kGraph:
+      // Values live in memory as engine::Values — no serialization step.
       return row;
   }
   return Status::Internal("unknown store kind");

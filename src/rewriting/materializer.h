@@ -24,6 +24,9 @@ namespace estocada::rewriting {
 ///    a composite index over the input-adorned positions when present.
 ///  * text:       one core document per distinct head-0 value; terms =
 ///    all head-1 values of that key ("contains" layout).
+///  * graph:      named graph of the view arity holding the rows as
+///    engine::Values; adjacency indexes on the first/last positions (and
+///    the labeled composites) are built-in, so index_positions are moot.
 Status MaterializeFragment(const StagingData& staging,
                            catalog::Catalog* catalog,
                            const std::string& fragment_name);

@@ -154,6 +154,11 @@ struct CompiledGroup {
   /// Batched fetch covering several bindings in one round trip, when the
   /// access supports one (KV point get via MGet). Installed on BindJoins.
   engine::BindJoinOperator::BatchFetch batch_fetch;
+  /// Streaming source form (graph accesses): source positions become a
+  /// GraphFetchOperator pulling one store page per NextBatch instead of a
+  /// materializing callback scan. Null for every other kind.
+  engine::GraphFetchOperator::ChunkFetch graph_stream;
+  engine::GraphFetchOperator::ChunkReset graph_reset;
   double est_out_rows = 1;  ///< Expected rows per fetch call.
   double access_cost = 1;   ///< Simulated cost per fetch call.
   std::string desc;
@@ -182,6 +187,8 @@ CostConstants CostModel(StoreKind kind) {
       return {60.0, 0.0025, 0.6, 0.05};  // per-row cost amortized over workers
     case StoreKind::kText:
       return {10.0, 0.03, 0.4, 0.1};
+    case StoreKind::kGraph:
+      return {6.0, 0.04, 0.2, 0.06};  // cheap anchored bucket probes
   }
   return {10, 0.1, 0.5, 0.1};
 }
@@ -227,6 +234,9 @@ struct SingleAtomAccess {
   /// (currently the KV point-get case, backed by MGet). Null when the
   /// access has no batched form.
   engine::BindJoinOperator::BatchFetch batch_fetch;
+  /// Streaming source form (graph accesses only; see CompiledGroup).
+  engine::GraphFetchOperator::ChunkFetch graph_stream;
+  engine::GraphFetchOperator::ChunkReset graph_reset;
   double access_cost = 1;
   std::string desc;
 };
@@ -584,6 +594,79 @@ Result<SingleAtomAccess> CompileSingleAtomAccess(
       };
       break;
     }
+    case StoreKind::kGraph: {
+      stores::GraphStore* store = info.store->graph;
+      const std::string container = info.container;
+      const size_t last = arity - 1;
+      // Anchored access: the first or last position is ground at plan
+      // time or arrives per binding — one adjacency bucket probe. The
+      // label position sharpens it to the labeled composite at match
+      // time; everything else is a residual filter inside the store.
+      auto pos_bound = [&](size_t p) {
+        return info.ground[p].has_value() ||
+               std::find(needed_positions.begin(), needed_positions.end(),
+                         p) != needed_positions.end();
+      };
+      const bool anchored = pos_bound(0) || pos_bound(last);
+      if (anchored) {
+        out.access_cost =
+            cost.per_op + cost.per_lookup + cost.per_ret * est_out_rows;
+      } else {
+        out.access_cost = cost.per_op + cost.per_row * rows_total +
+                          cost.per_ret * est_out_rows;
+      }
+      if (!build) break;
+      const bool labeled = arity >= 3 && info.ground[1].has_value();
+      out.desc =
+          anchored
+              ? StrCat(store_name, ": EXPAND ", container,
+                       pos_bound(0) ? " out" : " in",
+                       labeled
+                           ? StrCat(" [", info.ground[1]->ToString(), "]")
+                           : "")
+              : StrCat(store_name, ": GRAPH-SCAN ", container);
+      std::vector<size_t> np = needed_positions;
+      out.fetch = [store, container, info_copy, np, runtime,
+                   store_name](const Row& binding)
+          -> Result<std::vector<Row>> {
+        auto ground = BindGround(info_copy, np, binding);
+        ESTOCADA_ASSIGN_OR_RETURN(
+            std::vector<Row> rows,
+            store->Match(container, ground,
+                         &runtime->per_store[store_name]));
+        AtomInfo check = info_copy;
+        for (size_t i = 0; i < np.size(); ++i) {
+          check.ground[np[i]] = binding[i];
+        }
+        std::vector<Row> out_rows;
+        for (Row& row : rows) {
+          if (RowSatisfiesAtom(row, check)) out_rows.push_back(std::move(row));
+        }
+        return out_rows;
+      };
+      // Streaming source form: a GraphFetchOperator pulls one MatchPage
+      // per NextBatch, so source-position expansions never materialize.
+      auto cursor = std::make_shared<size_t>(0);
+      out.graph_reset = [cursor]() {
+        *cursor = 0;
+        return Status::OK();
+      };
+      out.graph_stream = [store, container, info_copy, cursor, runtime,
+                          store_name](std::vector<Row>* rows)
+          -> Result<bool> {
+        std::vector<Row> page;
+        ESTOCADA_ASSIGN_OR_RETURN(
+            bool more,
+            store->MatchPage(container, info_copy.ground,
+                             engine::RowBatch::kDefaultRows, cursor.get(),
+                             &page, &runtime->per_store[store_name]));
+        for (Row& row : page) {
+          if (RowSatisfiesAtom(row, info_copy)) rows->push_back(std::move(row));
+        }
+        return more;
+      };
+      break;
+    }
   }
   if (build && !out.fetch) {
     return Status::Internal("unhandled store kind in translator");
@@ -907,6 +990,8 @@ Result<PlannedQuery> Translator::PlanInternal(
                                   build));
       cg.fetch = std::move(access.fetch);
       cg.batch_fetch = std::move(access.batch_fetch);
+      cg.graph_stream = std::move(access.graph_stream);
+      cg.graph_reset = std::move(access.graph_reset);
       cg.access_cost = access.access_cost;
       cg.desc = std::move(access.desc);
     } else {
@@ -1000,6 +1085,10 @@ Result<PlannedQuery> Translator::PlanInternal(
         return std::make_unique<engine::ScatterGatherOperator>(
             cg.out_names, std::move(shard_runs), cg.shard_keys, cg.desc,
             ScatterPool());
+      }
+      if (cg.graph_stream) {
+        return std::make_unique<engine::GraphFetchOperator>(
+            cg.out_names, cg.graph_reset, cg.graph_stream, cg.desc);
       }
       auto fetch = cg.fetch;
       return std::make_unique<engine::CallbackScanOperator>(

@@ -59,13 +59,14 @@ std::string DiffRows(const std::multiset<std::string>& expected,
                 "; missing {", head(missing), "}; extra {", head(extra), "}");
 }
 
-/// One full five-store deployment of a scenario.
+/// One full six-store deployment of a scenario.
 struct Deployment {
   stores::RelationalStore relational;
   stores::KeyValueStore kv;
   stores::DocumentStore document;
   stores::ParallelStore parallel{2};
   stores::TextStore text;
+  stores::GraphStore graph;
   Estocada sys;
 
   Status Build(const Scenario& s) {
@@ -85,6 +86,9 @@ struct Deployment {
     ESTOCADA_RETURN_NOT_OK(
         sys.RegisterStore({kTextStore, catalog::StoreKind::kText, nullptr,
                            nullptr, nullptr, nullptr, &text}));
+    ESTOCADA_RETURN_NOT_OK(
+        sys.RegisterStore({kGraphStore, catalog::StoreKind::kGraph, nullptr,
+                           nullptr, nullptr, nullptr, nullptr, &graph}));
     ESTOCADA_RETURN_NOT_OK(sys.LoadStaging(s.staging));
     for (const FragmentSpec& f : s.fragments) {
       ESTOCADA_RETURN_NOT_OK(
@@ -99,6 +103,7 @@ struct Deployment {
     document.AttachFaultInjector(injector, kDocumentStore);
     parallel.AttachFaultInjector(injector, kParallelStore);
     text.AttachFaultInjector(injector, kTextStore);
+    graph.AttachFaultInjector(injector, kGraphStore);
   }
 };
 
@@ -1041,6 +1046,225 @@ ScenarioOutcome CheckScenario(const Scenario& s,
     }
   }
 
+  // ---- (i) graph: the property-graph island is invisible to readers. ----
+  if (options.check_graph) {
+    // A seed-generated property graph shredded through the graph encoding
+    // onto the native graph store, its encoding relations placed there as
+    // identity fragments — the graph store is then the only fragment
+    // source, so answers genuinely exercise EXPAND/GRAPH-SCAN delegation.
+    // Three legs: the shred/encode round trip preserves exact fact counts
+    // and the Reach containment chain; expansion, scan, reachability,
+    // property-join, and gmatch-lowered queries served by the graph store
+    // match the staging oracle; and with the graph store killed the
+    // degradation ladder still answers oracle-correctly from staging.
+    Rng grng(s.seed ^ 0xa5a5a5a5deadbeefULL);
+    const size_t n_nodes = 4 + grng.Uniform(7);
+    constexpr size_t kGraphHops = 3;
+    encoding::GraphData g;
+    const char* node_labels[2] = {"User", "Item"};
+    for (size_t i = 0; i < n_nodes; ++i) {
+      encoding::GraphData::Node n;
+      n.id = StrCat("n", i);
+      n.label = node_labels[grng.Uniform(2)];
+      n.props = {{"name", pivot::Constant::Str(grng.AlphaString(4))}};
+      g.nodes.push_back(std::move(n));
+    }
+    const char* edge_labels[2] = {"follows", "likes"};
+    const size_t n_edges = n_nodes + grng.Uniform(n_nodes + 1);
+    for (size_t i = 0; i < n_edges; ++i) {
+      encoding::GraphData::Edge e;
+      e.src = StrCat("n", grng.Uniform(n_nodes));
+      e.label = edge_labels[grng.Uniform(2)];
+      e.dst = StrCat("n", grng.Uniform(n_nodes));
+      g.edges.push_back(std::move(e));
+    }
+
+    // Shred round trip: one Node atom per node, one Edge atom per edge
+    // (duplicates included — staging is a bag), one NodeProp per property.
+    size_t nodes_shredded = 0, edges_shredded = 0, props_shredded = 0;
+    for (const pivot::Atom& a : encoding::ShredGraph("g", g)) {
+      if (a.relation == "g.Node") ++nodes_shredded;
+      if (a.relation == "g.Edge") ++edges_shredded;
+      if (a.relation == "g.NodeProp") ++props_shredded;
+    }
+    ++out.graph_checks;
+    if (nodes_shredded != g.nodes.size() ||
+        edges_shredded != g.edges.size() || props_shredded != g.nodes.size()) {
+      fail("graph-invariance",
+           StrCat("shred round trip lost facts: ", nodes_shredded, "/",
+                  g.nodes.size(), " nodes, ", edges_shredded, "/",
+                  g.edges.size(), " edges, ", props_shredded, "/",
+                  g.nodes.size(), " node props"));
+    }
+
+    stores::GraphStore gstore;
+    Estocada gsys;
+    auto build_graph = [&]() -> Status {
+      ESTOCADA_RETURN_NOT_OK(gsys.RegisterGraphDataset("g", kGraphHops));
+      ESTOCADA_RETURN_NOT_OK(
+          gsys.RegisterStore({kGraphStore, catalog::StoreKind::kGraph,
+                              nullptr, nullptr, nullptr, nullptr, nullptr,
+                              &gstore}));
+      ESTOCADA_RETURN_NOT_OK(gsys.LoadGraph("g", g));
+      ESTOCADA_RETURN_NOT_OK(
+          gsys.DefineFragment("F_gnode(n, l) :- g.Node(n, l)", kGraphStore));
+      ESTOCADA_RETURN_NOT_OK(gsys.DefineFragment(
+          "F_gedge(s, l, d) :- g.Edge(s, l, d)", kGraphStore));
+      ESTOCADA_RETURN_NOT_OK(gsys.DefineFragment(
+          "F_gprop(n, k, v) :- g.NodeProp(n, k, v)", kGraphStore));
+      for (size_t j = 1; j <= kGraphHops; ++j) {
+        ESTOCADA_RETURN_NOT_OK(gsys.DefineFragment(
+            StrCat("F_greach", j, "(s, d) :- g.Reach", j, "(s, d)"),
+            kGraphStore));
+      }
+      return gsys.PrepareRewriter();
+    };
+    if (Status st = build_graph(); !st.ok()) {
+      fail("setup", StrCat("graph deployment: ", st.ToString()));
+      return out;
+    }
+
+    // Reach semantics over the staged facts: Reach1 is exactly the edge
+    // projection, and Reach_j ⊆ Reach_{j+1} (at-most-j-hops containment).
+    auto oracle_set =
+        [&](const std::string& text) -> std::optional<std::set<std::string>> {
+      auto rows = gsys.EvaluateOverStaging(text);
+      if (!rows.ok()) {
+        fail("oracle", StrCat("graph probe '", text,
+                              "': ", rows.status().ToString()));
+        return std::nullopt;
+      }
+      std::set<std::string> canon;
+      for (const Row& r : *rows) canon.insert(engine::RowToString(r));
+      return canon;
+    };
+    auto edge_proj = oracle_set("Qe(s, d) :- g.Edge(s, l, d)");
+    std::vector<std::optional<std::set<std::string>>> reach(kGraphHops + 1);
+    for (size_t j = 1; j <= kGraphHops; ++j) {
+      reach[j] = oracle_set(StrCat("Qr(s, d) :- g.Reach", j, "(s, d)"));
+    }
+    if (edge_proj && reach[1]) {
+      ++out.graph_checks;
+      if (*edge_proj != *reach[1]) {
+        fail("graph-invariance",
+             StrCat("Reach1 differs from the edge projection: ",
+                    edge_proj->size(), " edges vs ", reach[1]->size(),
+                    " Reach1 facts"));
+      }
+    }
+    for (size_t j = 1; j < kGraphHops; ++j) {
+      if (!reach[j] || !reach[j + 1]) continue;
+      ++out.graph_checks;
+      if (!std::includes(reach[j + 1]->begin(), reach[j + 1]->end(),
+                         reach[j]->begin(), reach[j]->end())) {
+        fail("graph-invariance",
+             StrCat("Reach", j, " ⊄ Reach", j + 1,
+                    ": the at-most-j-hops chain is broken"));
+      }
+    }
+
+    // The query battery: graph-served answers must equal the oracle.
+    const std::string src = StrCat("n", grng.Uniform(n_nodes));
+    const std::map<std::string, engine::Value> gparams = {
+        {"$src", engine::Value::Str(src)}};
+    const std::vector<std::string> gqueries = {
+        "Qg0(s, l, d) :- g.Edge(s, l, d)",
+        "Qg1(d) :- g.Edge($src, l, d)",
+        StrCat("Qg2(d) :- g.Reach", kGraphHops, "($src, d)"),
+        "Qg3(v) :- g.Edge($src, l, d), g.NodeProp(d, 'name', v)",
+        "Qg4(n, v) :- g.Node(n, 'User'), g.NodeProp(n, 'name', v)",
+    };
+    std::vector<std::optional<std::multiset<std::string>>> gexpected(
+        gqueries.size());
+    for (size_t qi = 0; qi < gqueries.size(); ++qi) {
+      auto o = gsys.EvaluateOverStaging(gqueries[qi], gparams);
+      if (!o.ok()) {
+        fail("oracle", StrCat("graph query '", gqueries[qi],
+                              "': ", o.status().ToString()));
+        continue;
+      }
+      gexpected[qi] = Canon(*o);
+      auto res = gsys.Query(gqueries[qi], gparams);
+      if (!res.ok()) {
+        fail("graph-invariance",
+             StrCat("query '", gqueries[qi],
+                    "' over the graph store: ", res.status().ToString()));
+        continue;
+      }
+      ++out.graph_checks;
+      if (Canon(res->rows) != *gexpected[qi]) {
+        fail("graph-invariance",
+             StrCat("query '", gqueries[qi], "' over the graph store: ",
+                    DiffRows(*gexpected[qi], Canon(res->rows))));
+      }
+    }
+
+    // A gmatch-lowered MATCH pattern (single-hop or bounded path by seed
+    // parity) must agree with the oracle on its own lowered CQ.
+    frontend::GraphMatchSpec spec;
+    spec.dataset = "g";
+    spec.nodes = {{"a", "", {}}, {"b", "", {}}};
+    spec.edges = {{"a", "", "b", {}, (s.seed % 2) ? kGraphHops : 1}};
+    spec.returns = {"b", "b.name"};
+    auto gm = frontend::GraphMatchToCq(spec, gsys.catalog().dataset_schema());
+    if (!gm.ok()) {
+      fail("graph-invariance",
+           StrCat("gmatch lowering: ", gm.status().ToString()));
+    } else if (auto o = gsys.EvaluateOverStagingPrepared(*gm); !o.ok()) {
+      fail("oracle", StrCat("gmatch oracle: ", o.status().ToString()));
+    } else {
+      auto res = gsys.QueryGraphMatch(spec);
+      if (!res.ok()) {
+        fail("graph-invariance",
+             StrCat("gmatch query: ", res.status().ToString()));
+      } else {
+        ++out.graph_checks;
+        if (Canon(res->rows) != Canon(*o)) {
+          fail("graph-invariance",
+               StrCat("gmatch query: ", DiffRows(Canon(*o),
+                                                 Canon(res->rows))));
+        }
+      }
+    }
+
+    // Chaos: with the graph store dead, every fragment-based rewriting is
+    // unavailable, so the fault-tolerant ladder must degrade to staging —
+    // deterministically, since a full outage needs no retry luck — and
+    // the degraded answers must still match the oracle.
+    stores::FaultInjector ginjector(s.seed ^ 0x5bd1e9955bd1e995ULL);
+    gstore.AttachFaultInjector(&ginjector, kGraphStore);
+    runtime::ServerOptions gsopts;
+    gsopts.worker_threads = 1;
+    gsopts.fault_tolerant = true;
+    gsopts.retry.max_attempts = 4;
+    gsopts.retry.initial_backoff_micros = 1;
+    gsopts.retry.max_backoff_micros = 16;
+    gsopts.health.failure_threshold = 2;
+    gsopts.health.open_cooldown_micros = 100;
+    gsopts.backoff_jitter_seed = s.seed;
+    runtime::QueryServer gserver(&gsys, gsopts);
+    ginjector.SetOutage(kGraphStore, true);
+    for (size_t qi = 0; qi < gqueries.size(); ++qi) {
+      if (!gexpected[qi].has_value()) continue;
+      auto res = gserver.Query(gqueries[qi], gparams);
+      if (!res.ok()) {
+        fail("graph-invariance",
+             StrCat("query '", gqueries[qi], "' with the graph store dead: ",
+                    res.status().ToString()));
+        continue;
+      }
+      ++out.graph_checks;
+      if (Canon(res->rows) != *gexpected[qi]) {
+        fail("graph-invariance",
+             StrCat("query '", gqueries[qi], "' with the graph store dead",
+                    " (degraded_to_staging=",
+                    res->degraded_to_staging ? "yes" : "no", "): ",
+                    DiffRows(*gexpected[qi], Canon(res->rows))));
+      }
+    }
+    ginjector.SetOutage(kGraphStore, false);
+  }
+
   return out;
 }
 
@@ -1183,7 +1407,7 @@ std::string SweepReport::Summary() const {
                 migration_checks, " migration checks, ", autopilot_checks,
                 " autopilot checks, ", replication_checks,
                 " replication checks, ", partition_checks,
-                " partition checks");
+                " partition checks, ", graph_checks, " graph checks");
 }
 
 SweepReport RunSweep(uint64_t first_seed, size_t count,
@@ -1204,6 +1428,7 @@ SweepReport RunSweep(uint64_t first_seed, size_t count,
     sweep.autopilot_checks += rep.outcome.autopilot_checks;
     sweep.replication_checks += rep.outcome.replication_checks;
     sweep.partition_checks += rep.outcome.partition_checks;
+    sweep.graph_checks += rep.outcome.graph_checks;
     if (!rep.outcome.ok()) {
       ++sweep.failures;
       if (sweep.failed.size() < max_stored_failures) {

@@ -43,7 +43,15 @@ namespace estocada::testing {
 ///      replica must serve, the dead store must not), and through a write
 ///      taken while a shard replica is down followed by its per-shard
 ///      rebuild — the healed replica set must then serve the post-write
-///      truth alone.
+///      truth alone;
+///  (i) a seed-generated property graph, shredded through the graph
+///      encoding onto a native graph store, answers byte-identically to
+///      the staging oracle: the shred/encode round trip preserves exact
+///      fact counts and the Reach1 ⊆ ... ⊆ ReachK containment chain;
+///      expansion, scan, bounded-reachability, property-join, and
+///      gmatch-lowered queries served by the graph store match the
+///      oracle; and with the graph store killed the degradation ladder
+///      still returns oracle-correct answers whenever it reports success.
 struct HarnessOptions {
   bool check_rewritings = true;   ///< Invariant family (a).
   bool check_naive = true;        ///< Invariant family (b).
@@ -53,6 +61,7 @@ struct HarnessOptions {
   bool check_autopilot = true;    ///< Invariant family (f).
   bool check_replication = true;  ///< Invariant family (g).
   bool check_partition = true;    ///< Invariant family (h).
+  bool check_graph = true;        ///< Invariant family (i).
   /// (b) is exponential in the universal plan; skip it beyond this size.
   size_t max_universal_plan_for_naive = 8;
   /// Subset-size cap fed to the naive enumeration; PACB rewritings above
@@ -72,8 +81,8 @@ struct HarnessOptions {
 /// ("rewriting-oracle", "naive-vs-pacb", "chase-idempotence",
 /// "chase-permutation", "chaos-correctness", "migration-invariance",
 /// "autopilot-equivalence", "replication-invariance",
-/// "partition-invariance", plus "setup" / "oracle" / "plan" / "generator"
-/// for harness-level breakage).
+/// "partition-invariance", "graph-invariance", plus "setup" / "oracle" /
+/// "plan" / "generator" for harness-level breakage).
 struct Mismatch {
   std::string invariant;
   std::string detail;
@@ -92,6 +101,7 @@ struct ScenarioOutcome {
   size_t autopilot_checks = 0;     ///< Invariant (f) verified answers.
   size_t replication_checks = 0;   ///< Invariant (g) verified answers.
   size_t partition_checks = 0;     ///< Invariant (h) verified answers.
+  size_t graph_checks = 0;         ///< Invariant (i) verified answers.
   size_t skipped_unanswerable = 0; ///< Queries with no rewriting (skipped).
   std::vector<Mismatch> mismatches;
 
@@ -145,6 +155,7 @@ struct SweepReport {
   size_t autopilot_checks = 0;
   size_t replication_checks = 0;
   size_t partition_checks = 0;
+  size_t graph_checks = 0;
   std::vector<SeedReport> failed;
 
   bool ok() const { return failures == 0; }

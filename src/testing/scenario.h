@@ -13,14 +13,17 @@
 
 namespace estocada::testing {
 
-/// Logical names of the five stores a generated scenario may place
-/// fragments on. The differential harness instantiates one store stand-in
-/// per name (matching the kind) when it deploys a scenario.
+/// Logical names of the stores a generated scenario may place fragments
+/// on. The differential harness instantiates one store stand-in per name
+/// (matching the kind) when it deploys a scenario. The graph store is the
+/// sixth island: the relational scenario generator never places fragments
+/// there, but invariant family (i) deploys property-graph datasets on it.
 inline constexpr const char* kRelationalStore = "pg";
 inline constexpr const char* kKeyValueStore = "redis";
 inline constexpr const char* kDocumentStore = "mongo";
 inline constexpr const char* kParallelStore = "spark";
 inline constexpr const char* kTextStore = "solr";
+inline constexpr const char* kGraphStore = "neo";
 
 /// Knobs of the random scenario generator. Defaults keep one scenario
 /// small enough that a few hundred of them fit in a tier-1 ctest budget.

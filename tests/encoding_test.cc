@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "chase/chase.h"
 #include "chase/homomorphism.h"
 #include "chase/instance.h"
@@ -122,6 +124,77 @@ TEST(DocumentTreeEncodingTest, OneParentAxiomMergesDuplicateParents) {
   EXPECT_EQ(inst.Canonical(pivot::Term::Null(1)), pivot::Term::Null(0));
 }
 
+TEST(DocumentTreeEncodingTest, ShredEmptyDocument) {
+  auto doc = json::Parse("{}");
+  ASSERT_TRUE(doc.ok());
+  std::vector<pivot::Atom> atoms = ShredDocument("cat", "d3", *doc);
+  // Nothing below the root: just the Doc fact and its root node.
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms[0].relation, "cat.Doc");
+  EXPECT_EQ(atoms[1].relation, "cat.Root");
+}
+
+TEST(DocumentTreeEncodingTest, ShredEmptyArrayEmitsNoElems) {
+  auto doc = json::Parse(R"({"tags": [], "ids": []})");
+  ASSERT_TRUE(doc.ok());
+  std::vector<pivot::Atom> atoms = ShredDocument("cat", "d4", *doc);
+  size_t children = 0;
+  for (const auto& a : atoms) {
+    EXPECT_NE(a.relation, "cat.ArrayElem") << "empty array shred an element";
+    EXPECT_NE(a.relation, "cat.Val") << "empty array is not a scalar";
+    if (a.relation == "cat.Child") ++children;
+  }
+  EXPECT_EQ(children, 2u);  // The two (empty) array nodes themselves.
+}
+
+TEST(DocumentTreeEncodingTest, ShredDeepNestingSurvivesChase) {
+  // 20 nested objects — past any "reasonable" depth a shredder might
+  // hard-code; the chase must still derive root-to-leaf descendancy.
+  constexpr int kDepth = 20;
+  std::string text = "'deep'";
+  text[0] = '"';
+  text[text.size() - 1] = '"';
+  for (int i = 0; i < kDepth; ++i) text = R"({"k": )" + text + "}";
+  auto doc = json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  std::vector<pivot::Atom> atoms = ShredDocument("cat", "d5", *doc);
+  size_t children = 0;
+  for (const auto& a : atoms) {
+    if (a.relation == "cat.Child") ++children;
+  }
+  EXPECT_EQ(children, static_cast<size_t>(kDepth));
+  auto schema = DocumentTreeEncoding("cat");
+  ASSERT_TRUE(schema.ok());
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(atoms).ok());
+  ASSERT_TRUE(RunChase(schema->dependencies(), &inst).ok());
+  auto q = pivot::ParseAtomList(
+      "cat.Root('d5', r), cat.Desc(r, n), cat.Val(n, 'deep')");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(chase::FindHomomorphisms(*q, inst).size(), 1u);
+}
+
+TEST(DocumentTreeEncodingTest, ShredDuplicateKeysLastWins) {
+  // JSON objects are key-maps: a repeated key overwrites, so the shred
+  // sees exactly one child for it, holding the last value.
+  auto doc = json::Parse(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(doc.ok());
+  std::vector<pivot::Atom> atoms = ShredDocument("cat", "d6", *doc);
+  size_t children = 0;
+  bool saw_last = false;
+  for (const auto& a : atoms) {
+    if (a.relation == "cat.Child") ++children;
+    if (a.relation == "cat.Val" && a.terms[1] == pivot::Term::Int(2)) {
+      saw_last = true;
+    }
+    ASSERT_FALSE(a.relation == "cat.Val" &&
+                 a.terms[1] == pivot::Term::Int(1))
+        << "shadowed first value leaked into the shred";
+  }
+  EXPECT_EQ(children, 1u);
+  EXPECT_TRUE(saw_last);
+}
+
 TEST(NestedEncodingTest, RelationWithKey) {
   auto s = NestedEncoding("mk", "carts", {"uid", "cart"}, {"uid"});
   ASSERT_TRUE(s.ok());
@@ -135,6 +208,90 @@ TEST(TextEncodingTest, TermIsInput) {
   auto sig = s->GetRelation("mk.catalogtext.contains");
   ASSERT_TRUE(sig.ok());
   EXPECT_EQ(sig->adornments[1], Adornment::kInput);
+}
+
+TEST(GraphEncodingTest, RelationsAxiomsAndKeys) {
+  auto s = GraphEncoding("soc", 3);
+  ASSERT_TRUE(s.ok()) << s.status();
+  for (const char* r : {"soc.Node", "soc.Edge", "soc.NodeProp",
+                        "soc.EdgeProp", "soc.Reach1", "soc.Reach2",
+                        "soc.Reach3"}) {
+    EXPECT_TRUE(s->HasRelation(r)) << r;
+  }
+  EXPECT_FALSE(s->HasRelation("soc.Reach4"));
+  EXPECT_EQ(s->GetRelation("soc.Edge")->arity(), 3u);
+  EXPECT_EQ(s->GetRelation("soc.EdgeProp")->arity(), 5u);
+  EXPECT_EQ(s->GetRelation("soc.Reach2")->arity(), 2u);
+  EXPECT_TRUE(s->Validate().ok());
+  // The hop bound stratifies reachability: no existential cycles.
+  EXPECT_TRUE(pivot::IsWeaklyAcyclic(s->dependencies()));
+  // Axioms: 1 edge->Reach1 + 2 per extra hop; EGDs: Node label +
+  // NodeProp value + EdgeProp value.
+  size_t egds = 0, tgds = 0;
+  for (const auto& d : s->dependencies()) {
+    d.is_egd() ? ++egds : ++tgds;
+  }
+  EXPECT_EQ(tgds, 5u);
+  EXPECT_EQ(egds, 3u);
+}
+
+TEST(GraphEncodingTest, ZeroHopBoundRejected) {
+  EXPECT_EQ(GraphEncoding("soc", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GraphEncodingTest, ChaseDerivesBoundedReachability) {
+  auto s = GraphEncoding("g", 2);
+  ASSERT_TRUE(s.ok());
+  GraphData data;
+  data.nodes = {{"a", "N", {}}, {"b", "N", {}}, {"c", "N", {}},
+                {"d", "N", {}}};
+  data.edges = {{"a", "e", "b", {}}, {"b", "e", "c", {}},
+                {"c", "e", "d", {}}};
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(ShredGraph("g", data)).ok());
+  ASSERT_TRUE(RunChase(s->dependencies(), &inst).ok());
+  auto count = [&inst](const std::string& atom) {
+    auto q = pivot::ParseAtomList(atom);
+    EXPECT_TRUE(q.ok()) << atom;
+    return chase::FindHomomorphisms(*q, inst).size();
+  };
+  // Reach1 = edges; Reach2 adds the 2-hop pairs and keeps the 1-hop
+  // ones (containment axiom); the bound cuts off the 3-hop pair.
+  EXPECT_EQ(count("g.Reach1('a', 'b')"), 1u);
+  EXPECT_EQ(count("g.Reach2('a', 'b')"), 1u);
+  EXPECT_EQ(count("g.Reach2('a', 'c')"), 1u);
+  EXPECT_EQ(count("g.Reach2('a', 'd')"), 0u);
+  EXPECT_EQ(count("g.Reach1('a', 'c')"), 0u);
+}
+
+TEST(GraphEncodingTest, NodeLabelKeyEgdDetectsViolation) {
+  auto s = GraphEncoding("g", 1);
+  ASSERT_TRUE(s.ok());
+  Instance inst;
+  ASSERT_TRUE(inst.InsertAll(*pivot::ParseAtomList(
+                                 "g.Node('n', 'User'), g.Node('n', 'Item')"))
+                  .ok());
+  EXPECT_EQ(RunChase(s->dependencies(), &inst).code(),
+            StatusCode::kChaseFailure);
+}
+
+TEST(GraphEncodingTest, ShredGraphEmitsAllAtomKinds) {
+  GraphData data;
+  data.nodes = {{"a", "User", {{"name", pivot::Constant::Str("Ann")}}},
+                {"b", "User", {}}};
+  data.edges = {{"a",
+                 "follows",
+                 "b",
+                 {{"since", pivot::Constant::Int(2021)}}}};
+  std::vector<pivot::Atom> atoms = ShredGraph("soc", data);
+  std::map<std::string, size_t> by_rel;
+  for (const auto& a : atoms) ++by_rel[a.relation];
+  EXPECT_EQ(by_rel["soc.Node"], 2u);
+  EXPECT_EQ(by_rel["soc.NodeProp"], 1u);
+  EXPECT_EQ(by_rel["soc.Edge"], 1u);
+  EXPECT_EQ(by_rel["soc.EdgeProp"], 1u);
+  EXPECT_EQ(atoms.size(), 5u);
 }
 
 }  // namespace

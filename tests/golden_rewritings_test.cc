@@ -228,6 +228,112 @@ TEST(GoldenRewritings, PartitionedMarketplacePlans) {
   CompareWithGolden("partitioned_marketplace", actual);
 }
 
+/// The marketplace with a social graph on the side: a property-graph
+/// dataset (soc) encoded into Node/Edge/NodeProp/Reach relations, its
+/// Edge and Reach3 fragments living natively on a graph store, the node
+/// properties on a document store, and the users table on a relational
+/// store. The golden pins three contracts at once: the untouched PACB
+/// rewriter rewrites a single CQ spanning all three islands; bound graph
+/// reads compile to EXPAND (adjacency-bucket probes) while unbound ones
+/// compile to GRAPH-SCAN; and the gmatch front-end's bounded path lowers
+/// to a Reach atom served by the graph store.
+TEST(GoldenRewritings, GraphMarketplacePlans) {
+  stores::GraphStore neo;
+  stores::DocumentStore mongo;
+  stores::RelationalStore postgres;
+  Estocada sys;
+  ASSERT_TRUE(sys.RegisterGraphDataset("soc", 3).ok());
+  pivot::Schema schema;
+  ASSERT_TRUE(schema.AddRelation("mk.users", 3).ok());
+  ASSERT_TRUE(sys.RegisterSchema(schema).ok());
+  ASSERT_TRUE(sys.RegisterStore({"neo", catalog::StoreKind::kGraph, nullptr,
+                                 nullptr, nullptr, nullptr, nullptr, &neo})
+                  .ok());
+  ASSERT_TRUE(sys.RegisterStore({"mongo", catalog::StoreKind::kDocument,
+                                 nullptr, nullptr, &mongo, nullptr, nullptr})
+                  .ok());
+  ASSERT_TRUE(sys.RegisterStore({"postgres", catalog::StoreKind::kRelational,
+                                 &postgres, nullptr, nullptr, nullptr,
+                                 nullptr})
+                  .ok());
+  // Small fixed extent so fragment statistics (and with them plan costs)
+  // are bit-stable: a 6-user follow cycle with a couple of chords.
+  encoding::GraphData g;
+  for (int i = 0; i < 6; ++i) {
+    std::string id = "u" + std::to_string(i);
+    g.nodes.push_back({id, "User",
+                       {{"name", pivot::Constant::Str("n" + id)}}});
+  }
+  for (int i = 0; i < 6; ++i) {
+    g.edges.push_back({"u" + std::to_string(i), "follows",
+                       "u" + std::to_string((i + 1) % 6), {}});
+  }
+  g.edges.push_back({"u0", "blocks", "u3", {}});
+  g.edges.push_back({"u2", "follows", "u5", {}});
+  ASSERT_TRUE(sys.LoadGraph("soc", g).ok());
+  for (int i = 0; i < 6; ++i) {
+    std::string id = "u" + std::to_string(i);
+    ASSERT_TRUE(sys.LoadRow("mk.users",
+                            {engine::Value::Str(id),
+                             engine::Value::Str("n" + id),
+                             engine::Value::Str("c" + std::to_string(i % 2))})
+                    .ok());
+  }
+  ASSERT_TRUE(sys.DefineFragment("F_node(n, l) :- soc.Node(n, l)", "neo")
+                  .ok());
+  ASSERT_TRUE(sys.DefineFragment("F_edge(s, l, d) :- soc.Edge(s, l, d)",
+                                 "neo")
+                  .ok());
+  ASSERT_TRUE(sys.DefineFragment("F_reach(s, d) :- soc.Reach3(s, d)", "neo")
+                  .ok());
+  ASSERT_TRUE(sys.DefineFragment("F_nprop(n, k, v) :- soc.NodeProp(n, k, v)",
+                                 "mongo")
+                  .ok());
+  ASSERT_TRUE(sys.DefineFragment("F_users(u, n, c) :- mk.users(u, n, c)",
+                                 "postgres")
+                  .ok());
+
+  std::string actual;
+  auto append = [&actual](const char* label, const char* qtext,
+                          const Estocada::QueryResult& r) {
+    actual += "query: ";
+    actual += label;
+    actual += qtext;
+    actual += "\nrewriting: ";
+    actual += r.rewriting_text;
+    actual += "\nplan:\n";
+    actual += r.plan_text;
+    actual += "\n";
+  };
+  const std::map<std::string, engine::Value> params = {
+      {"$s", engine::Value::Str("u0")}};
+  for (const char* qtext : {
+           // Bound anchor: the graph store serves an EXPAND.
+           "q(d) :- soc.Edge($s, l, d)",
+           // Unbound: a GRAPH-SCAN over the adjacency store.
+           "q(s, l, d) :- soc.Edge(s, l, d)",
+           // One CQ spanning all three islands: a bounded path on the
+           // graph store, node properties on the document store, and the
+           // relational users table.
+           "q(d, nm, c) :- soc.Reach3($s, d), soc.NodeProp(d, 'name', nm), "
+           "mk.users(d, u2, c)",
+       }) {
+    auto r = sys.Query(qtext, params);
+    ASSERT_TRUE(r.ok()) << qtext << ": " << r.status();
+    append("", qtext, *r);
+  }
+  // The gmatch front-end: a bounded path b -*1..3-> c lowers to Reach3.
+  frontend::GraphMatchSpec spec;
+  spec.dataset = "soc";
+  spec.nodes = {{"a", "User", {}}, {"b", "User", {}}};
+  spec.edges = {{"a", "", "b", {}, 3}};
+  spec.returns = {"b", "b.name"};
+  auto r = sys.QueryGraphMatch(spec);
+  ASSERT_TRUE(r.ok()) << r.status();
+  append("MATCH (a:User)-[*1..3]->(b:User) RETURN b, b.name", "", *r);
+  CompareWithGolden("graph_marketplace", actual);
+}
+
 /// The classic R ⋈ S with R replicated on two stores plus a pre-joined
 /// fragment: the rewriter must report every combination (join view alone,
 /// and each replica joined with S).

@@ -114,6 +114,62 @@ TEST_F(SerializeTest, RejectsMalformedDocuments) {
             StatusCode::kNotFound);
 }
 
+/// kGraph descriptors round-trip like every other kind: plain,
+/// K-replicated, and hash-partitioned graph fragments re-import onto
+/// fresh stores and re-export byte-identically.
+TEST(GraphSerializeTest, GraphFragmentsRoundTripByteIdentical) {
+  auto build = [](Estocada* sys, stores::GraphStore* a,
+                  stores::GraphStore* b) {
+    ASSERT_TRUE(sys->RegisterGraphDataset("soc", 2).ok());
+    ASSERT_TRUE(sys->RegisterStore({"neo", StoreKind::kGraph, nullptr,
+                                    nullptr, nullptr, nullptr, nullptr, a})
+                    .ok());
+    ASSERT_TRUE(sys->RegisterStore({"neo2", StoreKind::kGraph, nullptr,
+                                    nullptr, nullptr, nullptr, nullptr, b})
+                    .ok());
+    encoding::GraphData g;
+    for (int i = 0; i < 8; ++i) {
+      g.nodes.push_back({"n" + std::to_string(i), "User", {}});
+      g.edges.push_back({"n" + std::to_string(i), "follows",
+                         "n" + std::to_string((i + 1) % 8), {}});
+    }
+    ASSERT_TRUE(sys->LoadGraph("soc", g).ok());
+  };
+
+  stores::GraphStore neo, neo2;
+  Estocada sys;
+  build(&sys, &neo, &neo2);
+  ASSERT_TRUE(
+      sys.DefineFragment("G(s, l, d) :- soc.Edge(s, l, d)", "neo").ok());
+  ASSERT_TRUE(sys.DefineReplicatedFragment("GR(s, d) :- soc.Reach2(s, d)",
+                                           {"neo", "neo2"})
+                  .ok());
+  ASSERT_TRUE(sys.DefinePartitionedFragment(
+                     "GP(s, l, d) :- soc.Edge(s, l, d)",
+                     PartitionSpec::Kind::kHash, 0, {"neo", "neo2"})
+                  .ok());
+  std::string text = sys.ExportCatalogJson();
+
+  stores::GraphStore neo_b, neo2_b;
+  Estocada sys2;
+  build(&sys2, &neo_b, &neo2_b);
+  ASSERT_TRUE(sys2.ImportCatalogJson(text).ok());
+  EXPECT_TRUE(neo_b.HasGraph("G"));
+  EXPECT_TRUE(neo_b.HasGraph("GR"));
+  EXPECT_TRUE(neo2_b.HasGraph("GR#r1"));
+  EXPECT_TRUE(neo_b.HasGraph("GP#p0"));
+  EXPECT_TRUE(neo2_b.HasGraph("GP#p1"));
+  EXPECT_EQ(sys2.ExportCatalogJson(), text);
+
+  auto r1 = sys.Query("q(d) :- soc.Edge($s, l, d)",
+                      {{"$s", Value::Str("n3")}});
+  auto r2 = sys2.Query("q(d) :- soc.Edge($s, l, d)",
+                       {{"$s", Value::Str("n3")}});
+  ASSERT_TRUE(r1.ok() && r2.ok()) << r1.status() << r2.status();
+  EXPECT_EQ(r1->rows, r2->rows);
+  EXPECT_EQ(r1->rewriting_text, r2->rewriting_text);
+}
+
 TEST_F(SerializeTest, EmptyCatalogRoundTrips) {
   auto doc = json::Parse(sys_.ExportCatalogJson());
   ASSERT_TRUE(doc.ok());

@@ -5,6 +5,7 @@
 #include "engine/value.h"
 #include "stores/document_store.h"
 #include "stores/fault.h"
+#include "stores/graph_store.h"
 #include "stores/kv_store.h"
 #include "stores/open_hash.h"
 #include "stores/parallel_store.h"
@@ -743,6 +744,19 @@ TEST(StoreStatsGuardTest, AllReadPathsAcceptNullStats) {
   ASSERT_TRUE(solr.AddDocument("i", "1", {{"body", "hello world"}}).ok());
   EXPECT_TRUE(solr.Search("i", {"hello"}, nullptr).ok());
   EXPECT_TRUE(solr.GetDocument("i", "1", nullptr).ok());
+
+  GraphStore neo;
+  ASSERT_TRUE(neo.CreateGraph("g", 3).ok());
+  ASSERT_TRUE(neo.Insert("g", {Value::Str("a"), Value::Str("knows"),
+                               Value::Str("b")})
+                  .ok());
+  EXPECT_TRUE(neo.Expand("g", ExpandDirection::kOut, Value::Str("a"),
+                         std::nullopt, nullptr)
+                  .ok());
+  EXPECT_TRUE(neo.Match("g", {Value::Str("a"), std::nullopt, std::nullopt},
+                        nullptr)
+                  .ok());
+  EXPECT_TRUE(neo.Scan("g", nullptr).ok());
 }
 
 TEST(StoreStatsGuardTest, StatsAreChargedWhenProvided) {
@@ -753,6 +767,202 @@ TEST(StoreStatsGuardTest, StatsAreChargedWhenProvided) {
   ASSERT_TRUE(kv.Get("c", "k", &stats).ok());
   EXPECT_GT(stats.operations, 0u);
   EXPECT_GT(stats.simulated_cost, 0.0);
+}
+
+// ------------------------------------------------------------ GraphStore --
+
+/// Loads a small labeled graph: a -> b -> c plus a second out-edge of a.
+/// (GraphStore owns a mutex, so it is filled in place, not returned.)
+void FillSmallGraph(GraphStore* neo) {
+  ASSERT_TRUE(neo->CreateGraph("e", 3).ok());
+  for (const auto& [s, l, d] :
+       {std::tuple{"a", "follows", "b"}, {"b", "follows", "c"},
+        {"a", "likes", "c"}}) {
+    ASSERT_TRUE(
+        neo->Insert("e", {Value::Str(s), Value::Str(l), Value::Str(d)})
+            .ok());
+  }
+}
+
+TEST(GraphStoreTest, CreateInsertExpand) {
+  GraphStore neo;
+  FillSmallGraph(&neo);
+  EXPECT_TRUE(neo.HasGraph("e"));
+  EXPECT_EQ(*neo.RowCount("e"), 3u);
+  EXPECT_EQ(*neo.Arity("e"), 3u);
+  auto out = neo.Expand("e", ExpandDirection::kOut, Value::Str("a"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  auto in = neo.Expand("e", ExpandDirection::kIn, Value::Str("c"));
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in->size(), 2u);
+  auto labeled = neo.Expand("e", ExpandDirection::kOut, Value::Str("a"),
+                            Value::Str("likes"));
+  ASSERT_TRUE(labeled.ok());
+  ASSERT_EQ(labeled->size(), 1u);
+  EXPECT_EQ((*labeled)[0][2], Value::Str("c"));
+  ASSERT_TRUE(neo.DropGraph("e").ok());
+  EXPECT_FALSE(neo.HasGraph("e"));
+}
+
+TEST(GraphStoreTest, ExpandIsIndexProbeNotScan) {
+  GraphStore neo;
+  FillSmallGraph(&neo);
+  StoreStats stats;
+  ASSERT_TRUE(neo.Expand("e", ExpandDirection::kOut, Value::Str("a"),
+                         Value::Str("follows"), &stats)
+                  .ok());
+  // One operation through the labeled composite index: nothing examined
+  // beyond the bucket (no residual filter), one row back.
+  EXPECT_EQ(stats.operations, 1u);
+  EXPECT_EQ(stats.index_lookups, 1u);
+  EXPECT_EQ(stats.rows_scanned, 0u);
+  EXPECT_EQ(stats.rows_returned, 1u);
+}
+
+TEST(GraphStoreTest, PropertyLookupChargesResidualExamination) {
+  // Property maps are graphs anchored by id: NodeProp(id, key, value).
+  GraphStore neo;
+  ASSERT_TRUE(neo.CreateGraph("p", 3).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(neo.Insert("p", {Value::Str("n1"),
+                                 Value::Str("k" + std::to_string(i)),
+                                 Value::Int(i)})
+                    .ok());
+  }
+  // Anchored on the id with the *value* position also bound: the value is
+  // not part of any index, so the store must examine the whole bucket.
+  StoreStats stats;
+  auto rows = neo.Match(
+      "p", {Value::Str("n1"), std::nullopt, Value::Int(2)}, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+  EXPECT_EQ(stats.operations, 1u);
+  EXPECT_EQ(stats.index_lookups, 1u);
+  EXPECT_EQ(stats.rows_scanned, 4u);  // The bucket, not the graph.
+  EXPECT_EQ(stats.rows_returned, 1u);
+}
+
+TEST(GraphStoreTest, ScanCostsProportionally) {
+  GraphStore neo;
+  FillSmallGraph(&neo);
+  StoreStats stats;
+  auto rows = neo.Scan("e", &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+  EXPECT_EQ(stats.operations, 1u);
+  EXPECT_EQ(stats.rows_scanned, 3u);
+  EXPECT_EQ(stats.index_lookups, 0u);
+  EXPECT_EQ(stats.rows_returned, 3u);
+}
+
+TEST(GraphStoreTest, ExpandIsCheaperThanScan) {
+  GraphStore neo;
+  ASSERT_TRUE(neo.CreateGraph("e", 3).ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 200; ++i) {
+    rows.push_back({Value::Str("s" + std::to_string(i % 50)),
+                    Value::Str("follows"),
+                    Value::Str("s" + std::to_string((i + 1) % 50))});
+  }
+  ASSERT_TRUE(neo.InsertBatch("e", std::move(rows)).ok());
+  StoreStats expand, scan;
+  ASSERT_TRUE(neo.Expand("e", ExpandDirection::kOut, Value::Str("s3"),
+                         std::nullopt, &expand)
+                  .ok());
+  ASSERT_TRUE(neo.Scan("e", &scan).ok());
+  EXPECT_LT(expand.simulated_cost, scan.simulated_cost);
+  EXPECT_EQ(expand.rows_scanned, 0u);
+  EXPECT_EQ(scan.rows_scanned, 200u);
+}
+
+TEST(GraphStoreTest, MatchPagePaginates) {
+  GraphStore neo;
+  ASSERT_TRUE(neo.CreateGraph("e", 2).ok());
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(neo.Insert("e", {Value::Str("a"),
+                                 Value::Str("d" + std::to_string(i))})
+                    .ok());
+  }
+  size_t cursor = 0;
+  std::vector<Row> all;
+  StoreStats stats;
+  bool more = true;
+  size_t pages = 0;
+  while (more) {
+    std::vector<Row> page;
+    auto r = neo.MatchPage("e", {Value::Str("a"), std::nullopt},
+                           /*limit=*/3, &cursor, &page, &stats);
+    ASSERT_TRUE(r.ok());
+    more = *r;
+    all.insert(all.end(), page.begin(), page.end());
+    ++pages;
+    ASSERT_LE(pages, 5u);
+  }
+  EXPECT_EQ(all.size(), 7u);
+  // One operation per page; the bucket probe charged once, on page one.
+  EXPECT_EQ(stats.operations, pages);
+  EXPECT_EQ(stats.index_lookups, 1u);
+  EXPECT_EQ(stats.rows_returned, 7u);
+  // Paged and unpaged answers agree.
+  auto whole = neo.Match("e", {Value::Str("a"), std::nullopt});
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(all, *whole);
+}
+
+TEST(GraphStoreTest, LifetimeStatsAccumulate) {
+  GraphStore neo;
+  FillSmallGraph(&neo);
+  ASSERT_TRUE(
+      neo.Expand("e", ExpandDirection::kOut, Value::Str("a")).ok());
+  ASSERT_TRUE(neo.Scan("e").ok());
+  StoreStats life = neo.lifetime_stats();
+  // Insert batches + the two reads all landed in the lifetime counters.
+  EXPECT_GE(life.operations, 5u);
+  EXPECT_GT(life.simulated_cost, 0.0);
+  EXPECT_GE(life.rows_returned, 5u);
+}
+
+TEST(GraphStoreTest, FaultInjectionCoversAllPaths) {
+  FaultInjector injector(3);
+  GraphStore neo;
+  FillSmallGraph(&neo);
+  neo.AttachFaultInjector(&injector, "neo");
+
+  // Outage: every read and write refuses with kUnavailable.
+  injector.SetOutage("neo", true);
+  auto r = neo.Expand("e", ExpandDirection::kOut, Value::Str("a"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("store 'neo'"), std::string::npos);
+  EXPECT_EQ(neo.Match("e", {std::nullopt, std::nullopt, std::nullopt})
+                .status()
+                .code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(neo.Scan("e").status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(neo.Insert("e", {Value::Str("x"), Value::Str("l"),
+                             Value::Str("y")})
+                .code(),
+            StatusCode::kUnavailable);
+  injector.SetOutage("neo", false);
+  EXPECT_TRUE(neo.Expand("e", ExpandDirection::kOut, Value::Str("a")).ok());
+
+  // Fail-next-N: exactly two reads fail, the third succeeds.
+  injector.FailNextReads("neo", 2);
+  EXPECT_EQ(neo.Scan("e").status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(neo.Scan("e").status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(neo.Scan("e").ok());
+
+  // Transient faults: a seeded 25% rate lands near 25% deterministically.
+  FaultPlan plan;
+  plan.transient_fault_rate = 0.25;
+  injector.SetPlan("neo", plan);
+  int failed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!neo.Scan("e").ok()) ++failed;
+  }
+  EXPECT_GT(failed, 180);
+  EXPECT_LT(failed, 320);
 }
 
 // ----------------------------------------------------------- OpenHashMap --
